@@ -1,0 +1,218 @@
+(* Benchmark harness: one Bechamel test per performance-relevant row of
+   EXPERIMENTS.md — cipher and checksum throughput, string-to-key cost (the
+   unit of password-guessing work), modular exponentiation at the modulus
+   sizes of E13, protocol exchange costs per profile, CRC forgery cost, and
+   replay-cache operations. Results are printed as one table:
+   nanoseconds per run, from an OLS fit. *)
+
+open Bechamel
+open Toolkit
+open Kerberos
+
+let rng = Util.Rng.create 0xBE4CL
+
+(* --- crypto primitives --- *)
+
+let des_key = Crypto.Des.random_key rng
+let sched = Crypto.Des.schedule des_key
+let block8 = Util.Rng.bytes rng 8
+let buf1k = Util.Rng.bytes rng 1024
+let iv = Util.Rng.bytes rng 8
+
+let t_des_block =
+  Test.make ~name:"des/encrypt-block" (Staged.stage (fun () -> Crypto.Des.encrypt_block sched block8))
+
+let t_ecb_1k =
+  Test.make ~name:"des/ecb-1KiB" (Staged.stage (fun () -> Crypto.Mode.ecb_encrypt sched buf1k))
+
+let t_cbc_1k =
+  Test.make ~name:"des/cbc-1KiB" (Staged.stage (fun () -> Crypto.Mode.cbc_encrypt sched ~iv buf1k))
+
+let t_pcbc_1k =
+  Test.make ~name:"des/pcbc-1KiB" (Staged.stage (fun () -> Crypto.Mode.pcbc_encrypt sched ~iv buf1k))
+
+let t_md4_1k =
+  Test.make ~name:"checksum/md4-1KiB" (Staged.stage (fun () -> Crypto.Md4.digest buf1k))
+
+let t_crc_1k =
+  Test.make ~name:"checksum/crc32-1KiB" (Staged.stage (fun () -> Crypto.Crc32.bytes_digest buf1k))
+
+let t_crc_forge =
+  Test.make ~name:"checksum/crc32-forge"
+    (Staged.stage (fun () -> Crypto.Crc32.forge ~prefix:buf1k ~target:0xDEADBEEF))
+
+let t_str2key =
+  Test.make ~name:"password/string-to-key"
+    (Staged.stage (fun () -> Crypto.Str2key.derive "candidate.password7"))
+
+(* The attacker's unit of work: derive a key and test it against a recorded
+   AS_REP (one dictionary entry). *)
+let guess_target =
+  let key = Crypto.Str2key.derive "the.real.password" in
+  let body =
+    { Messages.b_session_key = Crypto.Des.random_key rng; b_nonce = 7L;
+      b_server = Principal.tgs ~realm:"ATHENA"; b_issued_at = 0.0;
+      b_lifetime = 3600.0; b_ticket = Bytes.make 48 't' }
+  in
+  Messages.seal_msg Profile.v4 rng ~key ~tag:Messages.tag_as_rep_body
+    (Messages.rep_body_to_value ~tag:Messages.tag_as_rep_body body)
+
+let t_guess =
+  Test.make ~name:"password/test-one-guess"
+    (Staged.stage (fun () ->
+         Attacks.Password_guess.try_crack ~profile:Profile.v4
+           ~candidates:[ "wrong.guess" ] ~sealed:guess_target ()))
+
+(* --- modular exponentiation (E13b) --- *)
+
+let modexp_test bits =
+  let grp = Crypto.Dh.group ~bits in
+  let e = Crypto.Bignum.random_below rng grp.Crypto.Dh.p in
+  Test.make ~name:(Printf.sprintf "dh/modexp-%db" bits)
+    (Staged.stage (fun () ->
+         Crypto.Bignum.mod_pow ~base:grp.Crypto.Dh.g ~exp:e ~modulus:grp.Crypto.Dh.p))
+
+let t_modexp_31 = modexp_test 31
+let t_modexp_127 = modexp_test 127
+let t_modexp_521 = modexp_test 521
+
+(* --- replay cache --- *)
+
+let t_cache =
+  let cache = Replay_cache.create ~horizon:600.0 in
+  let n = ref 0 in
+  Test.make ~name:"server/replay-cache-insert"
+    (Staged.stage (fun () ->
+         incr n;
+         Replay_cache.check_and_insert cache ~now:(float_of_int !n *. 0.001)
+           (Bytes.of_string (string_of_int !n))))
+
+(* --- whole protocol exchanges per profile (simulated end-to-end) --- *)
+
+let session_test (profile : Profile.t) =
+  Test.make ~name:("protocol/full-session-" ^ profile.Profile.name)
+    (Staged.stage (fun () ->
+         let bed = Attacks.Testbed.make ~profile () in
+         let ok = ref false in
+         Client.login bed.victim ~password:bed.victim_password (fun r ->
+             ignore (Attacks.Testbed.expect "login" r);
+             Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
+                 let creds = Attacks.Testbed.expect "ticket" r in
+                 Client.ap_exchange bed.victim creds
+                   ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
+                   (fun r ->
+                     let chan = Attacks.Testbed.expect "ap" r in
+                     Client.call_priv bed.victim chan (Bytes.of_string "LIST")
+                       ~k:(fun r ->
+                         ignore (Attacks.Testbed.expect "priv" r);
+                         ok := true))));
+         Attacks.Testbed.run bed;
+         assert !ok))
+
+let t_session_v4 = session_test Profile.v4
+let t_session_v5 = session_test Profile.v5_draft3
+let t_session_hardened = session_test Profile.hardened
+
+(* --- ablations: the cost of each recommended login mechanism, and of the
+   two AP-exchange styles, measured as one whole simulated exchange --- *)
+
+let login_test name (profile : Profile.t) =
+  Test.make ~name:("login/" ^ name)
+    (Staged.stage (fun () ->
+         let bed = Attacks.Testbed.make ~profile () in
+         let ok = ref false in
+         Client.login bed.victim ~password:bed.victim_password (fun r ->
+             ok := Result.is_ok r);
+         Attacks.Testbed.run bed;
+         assert !ok))
+
+let t_login_password = login_test "password" Profile.v4
+
+let t_login_preauth =
+  login_test "password+preauth" { Profile.v4 with Profile.name = "v4p"; preauth = true }
+
+let t_login_handheld =
+  login_test "handheld"
+    { Profile.v4 with Profile.name = "v4h"; login = Profile.Handheld_challenge }
+
+let t_login_dh61 =
+  login_test "dh-61bit"
+    { Profile.v4 with Profile.name = "v4d61"; login = Profile.Dh_protected; dh_group_bits = 61 }
+
+let t_login_dh127 =
+  login_test "dh-127bit"
+    { Profile.v4 with Profile.name = "v4d127"; login = Profile.Dh_protected; dh_group_bits = 127 }
+
+let t_login_full_hardened = login_test "handheld+dh+preauth" Profile.hardened
+
+let ap_test name (profile : Profile.t) =
+  Test.make ~name:("ap-exchange/" ^ name)
+    (Staged.stage (fun () ->
+         (* Login + ticket once per run is unavoidable in a fresh bed; the
+            relative difference between the two rows is the AP cost. *)
+         let bed = Attacks.Testbed.make ~profile () in
+         let ok = ref false in
+         Client.login bed.victim ~password:bed.victim_password (fun r ->
+             ignore (Attacks.Testbed.expect "login" r);
+             Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
+                 let creds = Attacks.Testbed.expect "ticket" r in
+                 Client.ap_exchange bed.victim creds
+                   ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
+                   (fun r -> ok := Result.is_ok r)));
+         Attacks.Testbed.run bed;
+         assert !ok))
+
+let t_ap_timestamp = ap_test "timestamp" Profile.v4
+
+let t_ap_cache =
+  ap_test "timestamp+cache"
+    { Profile.v4 with
+      Profile.name = "v4c";
+      ap_auth = Profile.Timestamp { skew = 300.0; replay_cache = true } }
+
+let t_ap_challenge =
+  ap_test "challenge-response"
+    { Profile.v4 with Profile.name = "v4cr"; ap_auth = Profile.Challenge_response }
+
+(* --- harness --- *)
+
+let tests =
+  Test.make_grouped ~name:"kerblim"
+    [ t_des_block; t_ecb_1k; t_cbc_1k; t_pcbc_1k; t_md4_1k; t_crc_1k; t_crc_forge;
+      t_str2key; t_guess; t_modexp_31; t_modexp_127; t_modexp_521; t_cache;
+      t_session_v4; t_session_v5; t_session_hardened; t_login_password;
+      t_login_preauth; t_login_handheld; t_login_dh61; t_login_dh127;
+      t_login_full_hardened; t_ap_timestamp; t_ap_cache; t_ap_challenge ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  print_endline "Benchmark results (OLS fit of monotonic clock vs. runs):";
+  Expframework.Table.print ~header:[ "benchmark"; "time/run"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         let time =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+           else Printf.sprintf "%.1f ns" ns
+         in
+         [ name; time; Printf.sprintf "%.4f" r2 ])
+       rows)

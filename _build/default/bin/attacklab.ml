@@ -1,0 +1,123 @@
+(* attacklab: run one named attack against one profile, with optional
+   packet-level narration — an exploration tool for the reproduction.
+
+     dune exec bin/attacklab.exe -- list
+     dune exec bin/attacklab.exe -- run e6 --profile v5
+     dune exec bin/attacklab.exe -- run e8b -p hardened
+
+   Exit status: 0 = the profile defended, 1 = the attack broke through —
+   so the lab can sit in scripts. *)
+
+open Kerberos
+
+let profile_of_string = function
+  | "v4" -> Ok Profile.v4
+  | "v5" | "v5-draft3" -> Ok Profile.v5_draft3
+  | "hardened" -> Ok Profile.hardened
+  | s -> Error (`Msg ("unknown profile " ^ s ^ " (v4|v5|hardened)"))
+
+type entry = {
+  key : string;
+  title : string;
+  run : Profile.t -> Attacks.Outcome.t;
+}
+
+let catalogue =
+  [ { key = "e1"; title = "live authenticator replay";
+      run = (fun p -> Attacks.Replay_auth.outcome (Attacks.Replay_auth.run ~profile:p ())) };
+    { key = "e2"; title = "time-service spoof + stale authenticator";
+      run = (fun p -> Attacks.Clock_spoof.outcome (Attacks.Clock_spoof.run ~profile:p ())) };
+    { key = "e2b"; title = "time/auth bootstrap circularity";
+      run = (fun p -> Attacks.Time_bootstrap.outcome (Attacks.Time_bootstrap.run ~profile:p ())) };
+    { key = "e3"; title = "offline password guessing (eavesdrop)";
+      run =
+        (fun p ->
+          Attacks.Password_guess.outcome
+            (Attacks.Password_guess.run ~n_users:10 ~dictionary_head:250 ~profile:p ())) };
+    { key = "e4"; title = "active AS_REP harvesting";
+      run =
+        (fun p ->
+          Attacks.Ticket_harvest.outcome
+            (Attacks.Ticket_harvest.run ~n_users:10 ~dictionary_head:250 ~profile:p ())) };
+    { key = "e5"; title = "trojaned login";
+      run = (fun p -> Attacks.Login_trojan.outcome (Attacks.Login_trojan.run ~profile:p ())) };
+    { key = "e6"; title = "CBC prefix chosen-plaintext on KRB_PRIV";
+      run = (fun p -> Attacks.Cpa_prefix.outcome (Attacks.Cpa_prefix.run ~profile:p ())) };
+    { key = "e6b"; title = "PCBC block-swap modification";
+      run = (fun p -> Attacks.Pcbc_swap.outcome (Attacks.Pcbc_swap.run ~profile:p ())) };
+    { key = "e7"; title = "cross-session replay";
+      run = (fun p -> Attacks.Cross_session.outcome (Attacks.Cross_session.run ~profile:p ())) };
+    { key = "e8a"; title = "post-auth connection hijack";
+      run = (fun p -> Attacks.Hijack.outcome (Attacks.Hijack.run ~profile:p ())) };
+    { key = "e8b"; title = "Morris ISN spoof + stolen authenticator";
+      run =
+        (fun p ->
+          Attacks.Morris_isn.outcome
+            (Attacks.Morris_isn.run ~isn:Sim.Tcpish.Predictable ~profile:p ())) };
+    { key = "e9"; title = "transit forgery / origin-less forwarding";
+      run = (fun p -> Attacks.Realm_spoof.outcome (Attacks.Realm_spoof.run ~profile:p ())) };
+    { key = "e10"; title = "CRC-32 cut-and-paste (ENC-TKT-IN-SKEY)";
+      run = (fun p -> Attacks.Cut_paste.outcome (Attacks.Cut_paste.run ~profile:p ())) };
+    { key = "e10b"; title = "ticket substitution in KDC replies";
+      run = (fun p -> Attacks.Ticket_sub.outcome (Attacks.Ticket_sub.run ~profile:p ())) };
+    { key = "e11"; title = "REUSE-SKEY redirect";
+      run = (fun p -> Attacks.Reuse_skey.outcome (Attacks.Reuse_skey.run ~profile:p ())) };
+    { key = "e12b"; title = "KRB_SAFE substitution";
+      run = (fun p -> Attacks.Safe_forge.outcome (Attacks.Safe_forge.run ~profile:p ())) };
+    { key = "e16"; title = "credential-cache theft";
+      run =
+        (fun p ->
+          Attacks.Cache_theft.outcome (Attacks.Cache_theft.run ~multi_user:true ~profile:p ())) };
+    { key = "e17"; title = "host srvtab key theft";
+      run =
+        (fun p ->
+          Attacks.Host_key_theft.outcome
+            (Attacks.Host_key_theft.run
+               ~use_encbox:(p.Profile.name = "hardened")
+               ~profile:p ())) };
+    { key = "e18"; title = "diskless paging key leak";
+      run =
+        (fun p ->
+          Attacks.Paging_leak.outcome
+            (Attacks.Paging_leak.run
+               ~pinned_memory:(p.Profile.name = "hardened")
+               ~profile:p ())) } ]
+
+let list_cmd () =
+  List.iter (fun e -> Printf.printf "%-5s %s\n" e.key e.title) catalogue
+
+let run_cmd name profile_name =
+  match profile_of_string profile_name with
+  | Error (`Msg m) ->
+      prerr_endline m;
+      exit 2
+  | Ok profile -> (
+      match List.find_opt (fun e -> e.key = name) catalogue with
+      | None ->
+          Printf.eprintf "unknown attack %s (try `attacklab list`)\n" name;
+          exit 2
+      | Some e ->
+          Printf.printf "%s vs %s:\n" e.title profile.Profile.name;
+          let o = e.run profile in
+          Printf.printf "  %s — %s\n" (Attacks.Outcome.label o) (Attacks.Outcome.detail o);
+          if Attacks.Outcome.is_broken o then exit 1)
+
+open Cmdliner
+
+let () =
+  let list_t = Term.(const list_cmd $ const ()) in
+  let attack_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK")
+  in
+  let profile_arg =
+    Arg.(value & opt string "v4" & info [ "profile"; "p" ] ~docv:"PROFILE")
+  in
+  let run_t = Term.(const run_cmd $ attack_arg $ profile_arg) in
+  let info_ =
+    Cmd.info "attacklab" ~doc:"run one attack from the paper against one protocol profile"
+  in
+  let cmds =
+    [ Cmd.v (Cmd.info "list" ~doc:"list attacks") list_t;
+      Cmd.v (Cmd.info "run" ~doc:"run an attack") run_t ]
+  in
+  exit (Cmd.eval (Cmd.group ~default:list_t info_ cmds))

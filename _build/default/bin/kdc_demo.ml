@@ -1,0 +1,71 @@
+(* A narrated run of one complete Kerberos conversation on the simulator:
+   login (AS), ticket acquisition (TGS), authentication to a file server
+   (AP), and a sealed request — with the full packet trace printed. *)
+
+open Kerberos
+
+let () =
+  let profile =
+    match Sys.argv with
+    | [| _; "v4" |] | [| _ |] -> Profile.v4
+    | [| _; "v5" |] -> Profile.v5_draft3
+    | [| _; "hardened" |] -> Profile.hardened
+    | _ ->
+        prerr_endline "usage: kdc_demo [v4|v5|hardened]";
+        exit 2
+  in
+  Printf.printf "Profile: %s\n\n" profile.Profile.name;
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let quad = Sim.Addr.of_quad in
+  let kdc_host = Sim.Host.create ~name:"kerberos" ~ips:[ quad 10 0 0 1 ] () in
+  let ws = Sim.Host.create ~name:"ws-pat" ~ips:[ quad 10 0 0 10 ] () in
+  let fs = Sim.Host.create ~name:"fs1" ~ips:[ quad 10 0 0 21 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; ws; fs ];
+  let db = Kdb.create () in
+  let rng = Util.Rng.create 2025L in
+  Kdb.add_service db (Principal.tgs ~realm:"ATHENA") ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user db (Principal.user ~realm:"ATHENA" "pat") ~password:"quietly9.flows";
+  let fsp = Principal.service ~realm:"ATHENA" "fileserv" ~host:"fs1" in
+  let fsk = Crypto.Des.random_key rng in
+  Kdb.add_service db fsp ~key:fsk;
+  let kdc = Kdc.create ~realm:"ATHENA" ~profile ~lifetime:28800.0 db in
+  Kdc.install net kdc_host kdc ();
+  let file = Services.Fileserver.install net fs ~profile ~principal:fsp ~key:fsk ~port:600 in
+  Services.Fileserver.write_file file ~owner:"pat@ATHENA" ~path:"/u/pat/notes"
+    (Bytes.of_string "remember the milk");
+  let client =
+    Client.create net ws ~profile
+      ~kdcs:[ ("ATHENA", Sim.Host.primary_ip kdc_host) ]
+      (Principal.user ~realm:"ATHENA" "pat")
+  in
+  Sim.Net.note net "pat types their password at the workstation";
+  Client.login client ~password:"quietly9.flows" (fun r ->
+      match r with
+      | Error e -> Printf.printf "login failed: %s\n" e
+      | Ok _ ->
+          Sim.Net.note net "TGT obtained; asking the TGS for a file-server ticket";
+          Client.get_ticket client ~service:fsp (fun r ->
+              match r with
+              | Error e -> Printf.printf "ticket failed: %s\n" e
+              | Ok creds ->
+                  Sim.Net.note net "service ticket in hand; authenticating to fs1";
+                  Client.ap_exchange client creds ~dst:(Sim.Host.primary_ip fs)
+                    ~dport:600 (fun r ->
+                      match r with
+                      | Error e -> Printf.printf "AP exchange failed: %s\n" e
+                      | Ok chan ->
+                          Sim.Net.note net "session up; sealed READ request";
+                          Client.call_priv client chan
+                            (Bytes.of_string "READ /u/pat/notes") ~k:(fun r ->
+                              match r with
+                              | Ok data ->
+                                  Sim.Net.note net
+                                    (Printf.sprintf "file contents received: %S"
+                                       (Bytes.to_string data))
+                              | Error e -> Printf.printf "priv failed: %s\n" e))));
+  Sim.Engine.run eng;
+  print_endline "Packet trace:";
+  List.iter
+    (fun ev -> Format.printf "  %a@." Sim.Net.pp_event ev)
+    (Sim.Net.events net)

@@ -1,0 +1,1 @@
+examples/cross_realm.ml: Apserver Attacks Bytes Client Crypto Kdb Kdc Kerberos List Principal Printf Profile Sim Util

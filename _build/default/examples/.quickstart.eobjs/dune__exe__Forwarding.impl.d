@@ -1,0 +1,1 @@
+examples/forwarding.ml: Attacks Bytes Client Crypto Kdb Kerberos Principal Printf Profile Services Sim

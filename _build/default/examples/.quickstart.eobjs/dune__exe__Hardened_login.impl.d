@@ -1,0 +1,1 @@
+examples/hardened_login.ml: Client Crypto Expframework Hardened Kdb Kdc Kerberos List Principal Printf Profile Sim Util

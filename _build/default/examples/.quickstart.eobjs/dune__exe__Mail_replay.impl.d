@@ -1,0 +1,1 @@
+examples/mail_replay.ml: Attacks Kerberos Printf Profile

@@ -1,0 +1,1 @@
+examples/mail_replay.mli:

@@ -1,0 +1,1 @@
+examples/password_crack.ml: Attacks Kerberos List Printf Profile

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Client Crypto Kdb Kdc Kerberos List Principal Printf Profile Services Sim Util

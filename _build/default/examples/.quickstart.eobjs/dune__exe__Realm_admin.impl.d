@@ -1,0 +1,1 @@
+examples/realm_admin.ml: Client Crypto Kdb Kdc Kerberos List Principal Printf Profile Result Services Sim Util

@@ -1,0 +1,1 @@
+examples/realm_admin.mli:

@@ -1,0 +1,75 @@
+(* Ticket forwarding, the paper's way: no flag bits, just a secure copy of
+   the credentials — and a demonstration of why V4's address-bound tickets
+   made forwarding need "a special-purpose ticket-forwarder ... of
+   necessity awkward".
+
+     dune exec examples/forwarding.exe *)
+
+open Kerberos
+
+let run_for profile_label (profile : Profile.t) =
+  Printf.printf "--- %s ---\n" profile_label;
+  let bed = Attacks.Testbed.make ~profile () in
+  let dest = Sim.Host.create ~name:"devbox" ~ips:[ Sim.Addr.of_quad 10 0 0 70 ] () in
+  Sim.Net.attach bed.net dest;
+  let fwd_principal = Principal.service ~realm:"ATHENA" "fwd" ~host:"devbox" in
+  let fwd_key = Crypto.Des.random_key bed.rng in
+  Kdb.add_service bed.db fwd_principal ~key:fwd_key;
+  let _daemon =
+    Services.Forwarder.install bed.net dest ~profile ~principal:fwd_principal
+      ~key:fwd_key ~port:754
+  in
+  Services.Fileserver.write_file bed.file ~owner:"pat@ATHENA" ~path:"/u/pat/todo"
+    (Bytes.of_string "finish the build");
+  (* pat, on the workstation, ships the TGT to devbox over KRB_PRIV. *)
+  Client.login bed.victim ~password:bed.victim_password (fun r ->
+      let tgt = Attacks.Testbed.expect "login" r in
+      Client.get_ticket bed.victim ~service:fwd_principal (fun r ->
+          let creds = Attacks.Testbed.expect "ticket" r in
+          Client.ap_exchange bed.victim creds ~dst:(Sim.Host.primary_ip dest)
+            ~dport:754 (fun r ->
+              let chan = Attacks.Testbed.expect "ap" r in
+              Services.Forwarder.forward_credentials bed.victim chan tgt
+                ~k:(fun r -> ignore (Attacks.Testbed.expect "forward" r)))));
+  Attacks.Testbed.run bed;
+  print_endline "credentials shipped to devbox over an authenticated, sealed channel";
+  (* A session on devbox picks them up and tries to work. *)
+  let pat_principal = Principal.user ~realm:"ATHENA" "pat" in
+  match Services.Forwarder.pick_up dest ~principal:pat_principal with
+  | None -> print_endline "nothing arrived?"
+  | Some moved ->
+      let remote = Client.create ~seed:81L bed.net dest ~profile
+          ~kdcs:[ ("ATHENA", Attacks.Testbed.kdc_addr bed) ] pat_principal
+      in
+      Client.adopt_tgt remote moved;
+      let outcome = ref "stalled" in
+      Client.get_ticket remote ~service:bed.file_principal (fun r ->
+          match r with
+          | Error e -> outcome := "refused at the TGS: " ^ e
+          | Ok svc ->
+              Client.ap_exchange remote svc ~dst:(Sim.Host.primary_ip bed.file_host)
+                ~dport:bed.file_port (fun r ->
+                  match r with
+                  | Error e -> outcome := "refused at the server: " ^ e
+                  | Ok chan ->
+                      Client.call_priv remote chan (Bytes.of_string "READ /u/pat/todo")
+                        ~k:(fun r ->
+                          match r with
+                          | Ok data ->
+                              outcome :=
+                                Printf.sprintf "worked from devbox: read %S"
+                                  (Bytes.to_string data)
+                          | Error e -> outcome := "priv failed: " ^ e)));
+      Attacks.Testbed.run bed;
+      Printf.printf "using the forwarded TGT from devbox: %s\n\n" !outcome
+
+let () =
+  print_endline "Forwarding credentials between hosts (Scope of Tickets):";
+  print_endline "";
+  run_for "V4 (tickets bound to the originating address)" Profile.v4;
+  run_for "V5-draft3 (no address in tickets)"
+    { Profile.v5_draft3 with Profile.allow_forwarding = false };
+  print_endline
+    "The V5 case needed no forwarded flag, no new protocol: \"all that is\n\
+     necessary ... is a secure mechanism for copying the multi-session key\n\
+     to the new host.\" The V4 case shows why the address binding had to go."

@@ -1,0 +1,35 @@
+(* The wiretapper's dictionary attack (E3): record a population's login
+   dialogs, then crack them offline — "the network equivalent of
+   /etc/passwd".
+
+     dune exec examples/password_crack.exe *)
+
+open Kerberos
+
+let report name (r : Attacks.Password_guess.result) =
+  Printf.printf "--- %s ---\n" name;
+  Printf.printf "population: %d users (%d chose weak passwords)\n" r.population
+    r.weak_users;
+  Printf.printf "login replies recorded off the wire: %d\n" r.replies_recorded;
+  Printf.printf "dictionary entries tested: %d\n" r.guesses_tried;
+  (match r.cracked with
+  | [] -> print_endline "passwords recovered: none"
+  | l ->
+      Printf.printf "passwords recovered: %d\n" (List.length l);
+      List.iter (fun (u, pw) -> Printf.printf "  %-6s -> %S\n" u pw) l);
+  print_endline ""
+
+let () =
+  print_endline "E3: offline password guessing from recorded AS exchanges";
+  print_endline "";
+  report "Kerberos V4"
+    (Attacks.Password_guess.run ~n_users:20 ~weak_fraction:0.5 ~dictionary_head:250
+       ~profile:Profile.v4 ());
+  report "hardened (exponential key exchange, recommendation h)"
+    (Attacks.Password_guess.run ~n_users:20 ~weak_fraction:0.5 ~dictionary_head:250
+       ~profile:Profile.hardened ());
+  print_endline
+    "With the DH layer a passive wiretapper cannot confirm guesses: the\n\
+     reply is sealed under a key mixing Kc with the exchange secret. An\n\
+     ACTIVE attacker can still ask the KDC directly (see E4 / ticket\n\
+     harvesting) — which is why the paper also wants preauthentication."

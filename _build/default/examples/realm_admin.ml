@@ -1,0 +1,107 @@
+(* Running a realm, not just using one: a master KDC, a slave KDC kept
+   fresh by kprop, and a kpasswd service enforcing the password policy the
+   paper's guessing attacks motivate.
+
+     dune exec examples/realm_admin.exe *)
+
+open Kerberos
+
+let realm = "ATHENA"
+
+let () =
+  let profile = Profile.v5_draft3 in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let quad = Sim.Addr.of_quad in
+  let master_host = Sim.Host.create ~name:"kerberos-1" ~ips:[ quad 10 0 0 1 ] () in
+  let slave_host = Sim.Host.create ~name:"kerberos-2" ~ips:[ quad 10 0 0 3 ] () in
+  let adm_host = Sim.Host.create ~name:"adm" ~ips:[ quad 10 0 0 5 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ quad 10 0 0 10 ] () in
+  List.iter (Sim.Net.attach net) [ master_host; slave_host; adm_host; ws ];
+  let rng = Util.Rng.create 2026L in
+  let master_db = Kdb.create () in
+  Kdb.add_service master_db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user master_db (Principal.user ~realm "pat") ~password:"purple"; (* oh no *)
+  let admin_p = Principal.user ~realm "kadmin" in
+  Kdb.add_user master_db admin_p ~password:"kadmin.secret.1";
+  let kpropd_p = Principal.service ~realm "kprop" ~host:"kerberos-2" in
+  let kpropd_key = Crypto.Des.random_key rng in
+  Kdb.add_service master_db kpropd_p ~key:kpropd_key;
+  let kpw_p = Principal.service ~realm "kpasswd" ~host:"adm" in
+  let kpw_key = Crypto.Des.random_key rng in
+  Kdb.add_service master_db kpw_p ~key:kpw_key;
+  let master = Kdc.create ~realm ~profile ~lifetime:28800.0 master_db in
+  Kdc.install net master_host master ();
+  let slave_db = Kdb.create () in
+  let slave = Kdc.create ~realm ~profile ~lifetime:28800.0 slave_db in
+  Kdc.install net slave_host slave ();
+  let kpropd =
+    Services.Kprop.install_slave net slave_host ~profile ~principal:kpropd_p
+      ~key:kpropd_key ~port:754 ~master:admin_p ~slave_db
+  in
+  let kpw =
+    Services.Kpasswd.install net adm_host ~profile ~principal:kpw_p ~key:kpw_key
+      ~port:464 ~db:master_db
+  in
+  let kdcs_master = [ (realm, Sim.Host.primary_ip master_host) ] in
+  let kdcs_slave = [ (realm, Sim.Host.primary_ip slave_host) ] in
+  (* 1. Propagate the database so the slave can serve. *)
+  let admin = Client.create ~seed:1L net master_host ~profile ~kdcs:kdcs_master admin_p in
+  Client.login admin ~password:"kadmin.secret.1" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket admin ~service:kpropd_p (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip slave_host)
+            ~dport:754 (fun r ->
+              let chan = Result.get_ok r in
+              Services.Kprop.propagate admin chan ~db:master_db ~k:(fun r ->
+                  ignore (Result.get_ok r);
+                  Printf.printf "kprop: pushed %d principals to the slave\n"
+                    (Kdb.size slave_db)))));
+  Sim.Engine.run eng;
+  (* 2. pat logs in against the slave (the master could be down). *)
+  let pat = Client.create ~seed:2L net ws ~profile ~kdcs:kdcs_slave (Principal.user ~realm "pat") in
+  Client.login pat ~password:"purple" (fun r ->
+      ignore (Result.get_ok r);
+      print_endline "pat authenticated against the SLAVE KDC");
+  Sim.Engine.run eng;
+  (* 3. pat's password is a dictionary word; the kpasswd policy forces a
+     better one (the "unless forced to" of the paper's empirics). *)
+  let pat_m = Client.create ~seed:3L net ws ~profile ~kdcs:kdcs_master (Principal.user ~realm "pat") in
+  Client.login pat_m ~password:"purple" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket pat_m ~service:kpw_p (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange pat_m creds ~dst:(Sim.Host.primary_ip adm_host) ~dport:464
+            (fun r ->
+              let chan = Result.get_ok r in
+              Services.Kpasswd.change_password pat_m chan ~new_password:"purple2"
+                ~k:(fun r ->
+                  (match r with
+                  | Error e -> Printf.printf "kpasswd refused 'purple2': %s\n" e
+                  | Ok () -> print_endline "?! policy let a decorated word through");
+                  Services.Kpasswd.change_password pat_m chan
+                    ~new_password:"brass.kettle.41" ~k:(fun r ->
+                      ignore (Result.get_ok r);
+                      print_endline "kpasswd accepted 'brass.kettle.41'")))));
+  Sim.Engine.run eng;
+  (* 4. Push again so the slave learns the new key. *)
+  Client.get_ticket admin ~service:kpropd_p (fun r ->
+      let creds = Result.get_ok r in
+      Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip slave_host) ~dport:754
+        (fun r ->
+          let chan = Result.get_ok r in
+          Services.Kprop.propagate admin chan ~db:master_db ~k:(fun r ->
+              ignore (Result.get_ok r);
+              print_endline "kprop: second push (new key now on the slave)")));
+  Sim.Engine.run eng;
+  let check = Client.create ~seed:4L net ws ~profile ~kdcs:kdcs_slave (Principal.user ~realm "pat") in
+  Client.login check ~password:"brass.kettle.41" (fun r ->
+      match r with
+      | Ok _ -> print_endline "pat's NEW password works against the slave"
+      | Error e -> Printf.printf "unexpected: %s\n" e);
+  Sim.Engine.run eng;
+  Printf.printf "propagations received: %d; password changes: %d applied, %d refused\n"
+    (Services.Kprop.propagations_received kpropd)
+    (Services.Kpasswd.changes_applied kpw)
+    (Services.Kpasswd.changes_refused kpw)

@@ -1,0 +1,1 @@
+lib/attacks/addr_binding.ml: Apserver Client Frames Kdb Kerberos Outcome Principal Profile Result Services Sim Testbed

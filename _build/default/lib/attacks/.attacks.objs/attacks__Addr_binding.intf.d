@@ -1,0 +1,1 @@
+lib/attacks/addr_binding.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/cache_theft.ml: Bytes Client Kerberos List Outcome Principal Services Sim Testbed

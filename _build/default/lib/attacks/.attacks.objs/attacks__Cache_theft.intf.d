@@ -1,0 +1,1 @@
+lib/attacks/cache_theft.mli: Kerberos Outcome

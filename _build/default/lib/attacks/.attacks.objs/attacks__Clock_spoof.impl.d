@@ -1,0 +1,1 @@
+lib/attacks/clock_spoof.ml: Apserver Bytes Frames Int64 Kerberos Outcome Services Sim Testbed Timesvc

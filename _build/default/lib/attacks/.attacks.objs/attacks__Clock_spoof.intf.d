@@ -1,0 +1,1 @@
+lib/attacks/clock_spoof.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/cpa_prefix.ml: Bytes Crypto Frames Int64 Kerberos List Outcome Profile Services Sim Testbed Wire

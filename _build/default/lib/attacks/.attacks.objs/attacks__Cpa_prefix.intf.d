@@ -1,0 +1,1 @@
+lib/attacks/cpa_prefix.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/cross_session.ml: Bytes Client Frames Kerberos List Outcome Services Sim Testbed

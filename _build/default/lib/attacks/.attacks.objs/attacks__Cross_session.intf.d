@@ -1,0 +1,1 @@
+lib/attacks/cross_session.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/cut_paste.ml: Bytes Client Crypto Frames Kdc Kerberos Krb_priv Messages Option Outcome Principal Profile Session Sim Testbed Util Wire

@@ -1,0 +1,1 @@
+lib/attacks/cut_paste.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/hijack.ml: Bytes Client Crypto Kdb Kerberos List Outcome Principal Services Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/hijack.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/host_key_theft.ml: Bytes Client Crypto Hardened Kdb Kerberos List Outcome Principal Services Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/host_key_theft.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/login_trojan.ml: Client Hardened Kerberos Outcome Principal Printf Profile Result Testbed

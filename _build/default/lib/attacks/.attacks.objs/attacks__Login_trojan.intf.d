@@ -1,0 +1,1 @@
+lib/attacks/login_trojan.mli: Kerberos Outcome

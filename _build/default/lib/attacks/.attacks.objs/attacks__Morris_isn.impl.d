@@ -1,0 +1,1 @@
+lib/attacks/morris_isn.ml: Bytes Client Crypto Frames Kdb Kerberos List Outcome Principal Services Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/morris_isn.mli: Kerberos Outcome Sim

@@ -1,0 +1,1 @@
+lib/attacks/outcome.mli: Format

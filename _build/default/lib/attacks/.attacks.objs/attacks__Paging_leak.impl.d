@@ -1,0 +1,1 @@
+lib/attacks/paging_leak.ml: Bytes Client Kerberos List Outcome Principal Profile Result Services Sim Spoofed_client Testbed Wire

@@ -1,0 +1,1 @@
+lib/attacks/paging_leak.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/password_guess.ml: Array Client Crypto Int64 Kdb Kdc Kerberos List Messages Option Outcome Principal Profile Sim String Testbed Util Wire Workloads

@@ -1,0 +1,1 @@
+lib/attacks/password_guess.mli: Kerberos Outcome

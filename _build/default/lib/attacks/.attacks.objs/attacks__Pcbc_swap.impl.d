@@ -1,0 +1,1 @@
+lib/attacks/pcbc_swap.ml: Bytes Client Frames Kerberos List Outcome Services Sim String Testbed

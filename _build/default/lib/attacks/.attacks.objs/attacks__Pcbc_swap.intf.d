@@ -1,0 +1,1 @@
+lib/attacks/pcbc_swap.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/realm_spoof.ml: Apserver Bytes Client Crypto Int64 Kdb Kdc Kerberos List Messages Option Outcome Principal Profile Result Sim Testbed Util

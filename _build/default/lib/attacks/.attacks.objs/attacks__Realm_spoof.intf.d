@@ -1,0 +1,1 @@
+lib/attacks/realm_spoof.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/replay_auth.ml: Apserver Frames Kerberos Outcome Profile Services Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/replay_auth.mli: Kerberos Outcome

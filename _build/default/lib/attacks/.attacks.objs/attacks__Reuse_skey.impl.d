@@ -1,0 +1,1 @@
+lib/attacks/reuse_skey.ml: Bytes Client Frames Kerberos List Messages Option Outcome Profile Services Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/reuse_skey.mli: Kerberos Outcome

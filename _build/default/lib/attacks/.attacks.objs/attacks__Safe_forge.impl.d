@@ -1,0 +1,1 @@
+lib/attacks/safe_forge.ml: Astring Bytes Client Crypto Frames Kerberos List Outcome Profile Services Sim Testbed Wire

@@ -1,0 +1,1 @@
+lib/attacks/safe_forge.mli: Kerberos Outcome

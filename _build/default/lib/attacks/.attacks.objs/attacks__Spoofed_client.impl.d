@@ -1,0 +1,1 @@
+lib/attacks/spoofed_client.ml: Bytes Client Crypto Frames Kdc Kerberos Krb_priv List Messages Principal Printf Profile Session Sim Testbed Util Wire

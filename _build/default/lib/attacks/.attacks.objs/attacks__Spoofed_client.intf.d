@@ -1,0 +1,1 @@
+lib/attacks/spoofed_client.mli: Kerberos Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/testbed.ml: Bytes Client Crypto Int64 Kdb Kdc Kerberos List Principal Printf Profile Services Sim Timesvc Util

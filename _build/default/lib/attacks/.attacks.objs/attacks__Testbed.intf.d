@@ -1,0 +1,1 @@
+lib/attacks/testbed.mli: Apserver Client Kdb Kdc Kerberos Principal Profile Services Sim Util

@@ -1,0 +1,1 @@
+lib/attacks/ticket_harvest.ml: Crypto Int64 Kdb Kdc Kerberos List Messages Option Outcome Password_guess Principal Profile Sim Util Wire Workloads

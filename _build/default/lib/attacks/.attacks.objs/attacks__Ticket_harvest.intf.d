@@ -1,0 +1,1 @@
+lib/attacks/ticket_harvest.mli: Kerberos Outcome

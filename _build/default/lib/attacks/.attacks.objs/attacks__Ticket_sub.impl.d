@@ -1,0 +1,1 @@
+lib/attacks/ticket_sub.ml: Bytes Client Kdc Kerberos Messages Outcome Profile Result Sim Testbed Wire

@@ -1,0 +1,1 @@
+lib/attacks/ticket_sub.mli: Kerberos Outcome

@@ -1,0 +1,1 @@
+lib/attacks/time_bootstrap.ml: Apserver Client Crypto Float Kdb Kerberos Outcome Principal Profile Result Services Sim Testbed

@@ -1,0 +1,1 @@
+lib/attacks/time_bootstrap.mli: Kerberos Outcome

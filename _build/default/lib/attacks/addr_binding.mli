@@ -1,0 +1,20 @@
+(** The ticket/address-binding probe (part of E8's argument and of the
+    environment section's multi-homed-host limitation).
+
+    Two measurements:
+    - {b limitation}: a multi-homed host obtains a ticket while speaking
+      from one interface and presents it from the other. V4's
+      address-bound tickets break this {e legitimate} use ("multi-user
+      hosts often do have multiple addresses, and cannot live with this
+      limitation; fixed in Version 5");
+    - {b no security}: the same address check does not stop an attacker,
+      who forges the source address on a datagram network at will. *)
+
+type result = {
+  legit_multihomed_works : bool;
+  spoofed_source_accepted : bool;
+  addr_in_ticket : bool;
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

@@ -1,0 +1,77 @@
+open Kerberos
+
+type result = {
+  host_kind : string;
+  stolen_entries : int;
+  impersonation_worked : bool;
+  files_read : string list;
+}
+
+let run ?(seed = 0xE16L) ?(multi_user = true) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  (* The victim works on a shared departmental machine (or a private
+     workstation, for the contrast case). *)
+  let shared =
+    Sim.Host.create
+      ~security:(if multi_user then Sim.Host.Multi_user else Sim.Host.Workstation)
+      ~name:"timeshare" ~ips:[ Sim.Addr.of_quad 10 0 0 40 ] ()
+  in
+  Sim.Net.attach bed.net shared;
+  let victim =
+    Client.create ~seed:11L bed.net shared ~profile
+      ~kdcs:[ ("ATHENA", Testbed.kdc_addr bed) ]
+      (Principal.user ~realm:"ATHENA" "pat")
+  in
+  Services.Fileserver.write_file bed.file ~owner:"pat@ATHENA" ~path:"/u/pat/thesis"
+    (Bytes.of_string "draft chapter 3");
+  Client.login victim ~password:bed.victim_password (fun r ->
+      ignore (Testbed.expect "victim login" r));
+  Testbed.run bed;
+  (* The co-resident attacker reads whatever the host lets it read. *)
+  let stolen = Sim.Host.steal_cache shared in
+  let stolen_entries = match stolen with None -> 0 | Some l -> List.length l in
+  let files_read = ref [] in
+  let worked = ref false in
+  (match stolen with
+  | None | Some [] -> ()
+  | Some entries -> (
+      match List.assoc_opt "tgt" entries with
+      | None -> ()
+      | Some blob ->
+          let creds = Client.creds_of_bytes blob in
+          (* Impersonation runs from the same machine (same address), so
+             even address-bound tickets pass. *)
+          let masquerade =
+            Client.create ~seed:12L bed.net shared ~profile
+              ~kdcs:[ ("ATHENA", Testbed.kdc_addr bed) ]
+              (Principal.user ~realm:"ATHENA" "pat")
+          in
+          Client.adopt_tgt masquerade creds;
+          Client.get_ticket masquerade ~service:bed.file_principal (fun r ->
+              match r with
+              | Error _ -> ()
+              | Ok svc ->
+                  Client.ap_exchange masquerade svc
+                    ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
+                    (fun r ->
+                      match r with
+                      | Error _ -> ()
+                      | Ok chan ->
+                          Client.call_priv masquerade chan
+                            (Bytes.of_string "READ /u/pat/thesis") ~k:(fun r ->
+                              match r with
+                              | Ok data ->
+                                  worked := true;
+                                  files_read := Bytes.to_string data :: !files_read
+                              | Error _ -> ())))));
+  Testbed.run bed;
+  { host_kind = (if multi_user then "multi-user host" else "workstation");
+    stolen_entries; impersonation_worked = !worked; files_read = !files_read }
+
+let outcome r =
+  if r.impersonation_worked then
+    Outcome.broken "%s: %d cache entries stolen; victim's files read via stolen TGT"
+      r.host_kind r.stolen_entries
+  else if r.stolen_entries = 0 then
+    Outcome.defended "%s: nothing readable in the credential cache" r.host_kind
+  else Outcome.defended "%s: cache read but credentials unusable" r.host_kind

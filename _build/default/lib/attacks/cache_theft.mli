@@ -1,0 +1,28 @@
+(** E16 — credential-cache theft on a multi-user host.
+
+    "The cached keys are accessible to attackers logged in at the same
+    time. In a workstation environment, only the current user has access
+    to system resources ... Kerberos attempts to wipe out old keys at
+    logoff time."
+
+    The victim logs in on a host; a co-resident attacker reads the
+    credential cache. On a multi-user machine the theft yields the TGT and
+    its session key, with which the attacker (from its own machine —
+    unless tickets carry addresses) obtains service tickets and reads the
+    victim's files. On a workstation there is nothing to read. *)
+
+type result = {
+  host_kind : string;
+  stolen_entries : int;
+  impersonation_worked : bool;
+  files_read : string list;
+}
+
+val run :
+  ?seed:int64 ->
+  ?multi_user:bool ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+
+val outcome : result -> Outcome.t

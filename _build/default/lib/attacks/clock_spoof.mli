@@ -1,0 +1,29 @@
+(** E2 — spoof the (unauthenticated) time service, then replay a stale
+    authenticator.
+
+    "If a host can be misled about the correct time, a stale authenticator
+    can be replayed without any trouble at all." The file server here
+    periodically synchronizes its clock from the network time service; the
+    adversary rewrites the reply to rewind the server's clock to the moment
+    a captured authenticator was fresh, then replays it — long after any
+    skew window has closed in real time.
+
+    With the MAC-authenticated time service the forgery is detected, the
+    clock stands, and the replay is stale. *)
+
+type result = {
+  age_at_replay : float;  (** real seconds between capture and replay *)
+  clock_rewound : bool;
+  accepted : bool;
+  authenticated_time : bool;
+}
+
+val run :
+  ?seed:int64 ->
+  ?age:float ->
+  ?authenticated_time:bool ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+
+val outcome : result -> Outcome.t

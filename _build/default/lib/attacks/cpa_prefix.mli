@@ -1,0 +1,29 @@
+(** E6 — the inter-session chosen-plaintext attack on the V5 KRB_PRIV
+    format.
+
+    "Since cipher-block chaining has the property that prefixes of
+    encryptions are encryptions of prefixes, if DATA has the form
+    (AUTHENTICATOR, CHECKSUM, REMAINDER) then a prefix of the encryption of
+    X with the session key is the encryption of (AUTHENTICATOR, CHECKSUM),
+    and can be used to spoof an entire session with the server. ... Mail
+    and file servers are examples of servers susceptible to such attacks."
+
+    Concretely: the attacker mails the victim a message whose first bytes
+    are a complete, valid KRB_PRIV {e plaintext} for the command
+    [DELE 0] — trailer, direction byte, padding and all. When the victim
+    retrieves the mail, the server encrypts those attacker-chosen bytes
+    under the victim's session key with the fixed IV; the attacker cuts
+    the matching ciphertext prefix off the wire and sends it back to the
+    server as a message {e from} the victim.
+
+    V4's leading length field "disrupts the prefix-based attack"; the
+    hardened profile's evolving IV plus internal MD4 breaks it too. *)
+
+type result = {
+  planted_bytes : int;
+  prefix_cut : bool;  (** the oracle produced a usable ciphertext *)
+  executed_as_victim : bool;
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

@@ -1,0 +1,22 @@
+(** E7 — replaying messages between two concurrent sessions that share a
+    multi-session key.
+
+    "The term session key is a misnomer ... it is used for all contacts
+    with that server during the life of the ticket. [True session keys]
+    would preclude attacks which substitute messages from one session in
+    another" — and: "if two authenticated or encrypted sessions run
+    concurrently, the cache must be shared between them, or messages from
+    one session can be replayed into the other."
+
+    The victim opens two sessions to the file server with the same ticket
+    and issues a destructive command in session A; the adversary replays
+    the ciphertext into session B, doubling its effect. Negotiated true
+    session keys (or per-session sequence numbers) stop it. *)
+
+type result = {
+  command : string;
+  executions : int;  (** how many times the server executed it *)
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

@@ -1,0 +1,34 @@
+(** E10 — the appendix's cut-and-paste attack: weak checksums plus
+    ENC-TKT-IN-SKEY defeat bidirectional authentication.
+
+    "The enemy intercepts this request and modifies it. First, the
+    ENC-TKT-IN-SKEY bit is set ... Second, the attacker's own
+    ticket-granting ticket is enclosed. Obviously, the attacker knows its
+    session key. Finally, the additional authorization data field is
+    filled in with whatever information is needed to make the CRC match
+    the original version. ... The client may request bidirectional
+    authentication; however, since the attacker has decrypted the ticket,
+    the session key for that service request is available. Consequently,
+    the bidirectional authentication dialog may be spoofed without
+    trouble."
+
+    The forgery is a real CRC-32 preimage computation
+    ({!Crypto.Crc32.forge}); with MD4 checksums, or with the
+    intended-but-omitted cname check at the KDC, the attack dies. *)
+
+type result = {
+  applicable : bool;
+  checksum_forged : bool;
+  kdc_issued_misencrypted_ticket : bool;
+  mutual_auth_spoofed : bool;
+  stolen_plaintext : string option;  (** the victim's sealed request, read by the enemy *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?enc_tkt_cname_check:bool ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+
+val outcome : result -> Outcome.t

@@ -1,0 +1,21 @@
+(** E8a — post-authentication connection hijacking.
+
+    "An attacker can always wait until the connection is set up and
+    authenticated, and then take it over, thus obviating any security
+    provided by the presence of the address [in the ticket]."
+
+    The victim authenticates an rsh connection (Kerberos checks pass — any
+    profile) and runs a command. The adversary, having watched the
+    sequence numbers go by, injects the next in-sequence segment with a
+    spoofed source. The server attributes the injected command to the
+    victim. No AP-exchange hardening helps; the fix is to protect the
+    {e session} (KRB_PRIV with chained IVs), not the handshake. *)
+
+type result = {
+  victim_command : string;
+  injected_command : string;
+  executed_as_victim : bool;
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

@@ -1,0 +1,96 @@
+open Kerberos
+
+type result = {
+  key_on_disk : bool;
+  key_stolen : bool;
+  victims_files_read : string list;
+}
+
+let run ?(seed = 0xE17L) ?(use_encbox = false) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  (* The shared departmental machine, trusted by the file server. *)
+  let shared =
+    Sim.Host.create ~security:Sim.Host.Multi_user ~name:"timeshare"
+      ~ips:[ Sim.Addr.of_quad 10 0 0 40 ] ()
+  in
+  Sim.Net.attach bed.net shared;
+  let host_principal = Principal.service ~realm:"ATHENA" "rcmd" ~host:"timeshare" in
+  let host_key = Crypto.Des.random_key bed.rng in
+  Kdb.add_service bed.db host_principal ~key:host_key;
+  (* An NFS-style file server that trusts the shared host's assertions. *)
+  let nfs_principal = Principal.service ~realm:"ATHENA" "nfs" ~host:"fs1" in
+  let nfs_key = Crypto.Des.random_key bed.rng in
+  Kdb.add_service bed.db nfs_principal ~key:nfs_key;
+  let nfs =
+    Services.Fileserver.install ~trusted_hosts:[ host_principal ] bed.net
+      bed.file_host ~profile ~principal:nfs_principal ~key:nfs_key ~port:2049
+  in
+  Services.Fileserver.write_file nfs ~owner:"pat@ATHENA" ~path:"/u/pat/grades"
+    (Bytes.of_string "all the grades");
+  (* Where does the host keep its key? *)
+  if not use_encbox then
+    (* The srvtab: a plaintext key on disk, world-readable to root. *)
+    Sim.Host.cache_put shared "srvtab:rcmd" host_key
+  else begin
+    (* The encryption box holds it; disk holds nothing. *)
+    let box = Hardened.Encbox.create () in
+    let (_ : Hardened.Encbox.handle) =
+      Hardened.Encbox.install_key box Hardened.Encbox.Service_key host_key
+    in
+    ()
+  end;
+  (* The one-time root compromise: read whatever the disk holds, leave. *)
+  let loot = Sim.Host.steal_cache shared in
+  let stolen_key =
+    match loot with
+    | Some entries -> List.assoc_opt "srvtab:rcmd" entries
+    | None -> None
+  in
+  let files_read = ref [] in
+  (match stolen_key with
+  | None -> ()
+  | Some key ->
+      (* Weeks later, from the attacker's own machine: be the host. *)
+      let masquerade =
+        Client.create ~seed:91L bed.net bed.attacker_host ~profile
+          ~kdcs:[ ("ATHENA", Testbed.kdc_addr bed) ]
+          host_principal
+      in
+      Client.login masquerade ~key ~password:"(none)" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok _ ->
+              Client.get_ticket masquerade ~service:nfs_principal (fun r ->
+                  match r with
+                  | Error _ -> ()
+                  | Ok creds ->
+                      Client.ap_exchange masquerade creds
+                        ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:2049
+                        (fun r ->
+                          match r with
+                          | Error _ -> ()
+                          | Ok chan ->
+                              (* "impersonating requests vouched for by that
+                                 machine": mount pat's files as the host. *)
+                              Client.call_priv masquerade chan
+                                (Bytes.of_string "SUDO pat READ /u/pat/grades")
+                                ~k:(fun r ->
+                                  match r with
+                                  | Ok data ->
+                                      files_read :=
+                                        Bytes.to_string data :: !files_read
+                                  | Error _ -> ())))));
+  Testbed.run bed;
+  { key_on_disk = not use_encbox;
+    key_stolen = stolen_key <> None;
+    victims_files_read = !files_read }
+
+let outcome r =
+  if r.victims_files_read <> [] then
+    Outcome.broken
+      "srvtab key stolen once; attacker impersonates the host's users at will (read %d file(s))"
+      (List.length r.victims_files_read)
+  else if not r.key_on_disk then
+    Outcome.defended
+      "host key lives in the encryption box; the burglar's haul from disk was empty"
+  else Outcome.defended "key on disk but the impersonation failed"

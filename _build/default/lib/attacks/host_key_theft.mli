@@ -1,0 +1,29 @@
+(** E17 — theft of a multi-user host's own key.
+
+    "Typical computer systems do not have a secure key storage area ...
+    storing plaintext keys in a machine is generally felt to be a bad
+    idea; if a Kerberos key that a machine uses for itself is compromised,
+    the intruder can likely impersonate any user on that computer, by
+    impersonating requests vouched for by that machine (i.e., file mounts
+    or cron jobs)."
+
+    The shared host [timeshare] keeps its service key in an on-disk srvtab
+    and is trusted by the file server to speak for its local users (the
+    NFS-mount verb [SUDO]). The attacker roots the host once, copies the
+    key, leaves — and from then on, from its own machine, is every user of
+    that host at once.
+
+    The encryption box is the paper's answer: the key enters the box and
+    never exists on disk. A root compromise can misuse the box {e while
+    resident} ("such temporary breaches of security [are] far less serious
+    than the compromise of a key"), but the burglar leaves empty-handed:
+    after cleanup nothing persists. *)
+
+type result = {
+  key_on_disk : bool;
+  key_stolen : bool;
+  victims_files_read : string list;  (** via forged host-vouched requests *)
+}
+
+val run : ?seed:int64 -> ?use_encbox:bool -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

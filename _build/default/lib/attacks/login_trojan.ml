@@ -1,0 +1,61 @@
+open Kerberos
+
+type result = { loot : string; attacker_login_as_victim : bool }
+
+let run ?(seed = 0xE5L) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  (* What the trojan sees depends on the login method. *)
+  let recorded_password = ref None in
+  let recorded_response = ref None in
+  let device = Hardened.Handheld.enroll ~password:bed.victim_password in
+  (match profile.Profile.login with
+  | Profile.Handheld_challenge | Profile.Handheld_dh ->
+      (* The victim types no password; the trojan can only watch the
+         device's challenge/response crossing the keyboard path. *)
+      let trojaned_device r =
+        let resp = Hardened.Handheld.respond device r in
+        recorded_response := Some (r, resp);
+        resp
+      in
+      Client.login bed.victim ~handheld:trojaned_device ~password:bed.victim_password
+        (fun r -> ignore (Testbed.expect "victim login" r))
+  | Profile.Password | Profile.Dh_protected ->
+      (* The trojan records the typed password before forwarding it. *)
+      recorded_password := Some bed.victim_password;
+      Client.login bed.victim ~password:bed.victim_password (fun r ->
+          ignore (Testbed.expect "victim login" r)));
+  Testbed.run bed;
+  (* Later, from the attacker's machine: try to become the victim. *)
+  let masquerade =
+    Client.create ~seed:77L bed.net bed.attacker_host ~profile
+      ~kdcs:[ ("ATHENA", Testbed.kdc_addr bed) ]
+      (Principal.user ~realm:"ATHENA" "pat")
+  in
+  let succeeded = ref false in
+  (match (profile.Profile.login, !recorded_password, !recorded_response) with
+  | (Profile.Password | Profile.Dh_protected), Some pw, _ ->
+      Client.login masquerade ~password:pw (fun r ->
+          succeeded := Result.is_ok r)
+  | (Profile.Handheld_challenge | Profile.Handheld_dh), _, Some (_r, resp) ->
+      (* The attacker has one recorded response but no device and no
+         password; it can only try replaying the response as if the KDC
+         would issue the same challenge again. *)
+      let replay_device _fresh_r = resp in
+      Client.login masquerade ~handheld:replay_device ~password:"(unknown)" (fun r ->
+          succeeded := Result.is_ok r)
+  | _ -> ());
+  Testbed.run bed;
+  let loot =
+    match (!recorded_password, !recorded_response) with
+    | Some pw, _ -> Printf.sprintf "the password %S" pw
+    | None, Some _ -> "one challenge response {R}Kc"
+    | None, None -> "nothing"
+  in
+  { loot; attacker_login_as_victim = !succeeded }
+
+let outcome r =
+  if r.attacker_login_as_victim then
+    Outcome.broken "trojan recorded %s; attacker logged in as the victim" r.loot
+  else
+    Outcome.defended "trojan recorded %s; useless for a later login (fresh challenge)"
+      r.loot

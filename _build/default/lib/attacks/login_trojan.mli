@@ -1,0 +1,20 @@
+(** E5 — login spoofing.
+
+    "It is quite simple for an intruder to replace the login command with a
+    version that records users' passwords before employing them in the
+    Kerberos dialog."
+
+    The trojan here wraps the victim's login and records whatever crosses
+    it. Under password login that is the password itself: the attacker can
+    log in as the victim from anywhere, forever (until a password change).
+    Under the handheld [{R}Kc] scheme the trojan records only one
+    challenge's response; when the attacker later tries to log in, the KDC
+    issues a fresh [R'] and the loot is useless. *)
+
+type result = {
+  loot : string;  (** what the trojan recorded *)
+  attacker_login_as_victim : bool;  (** could the attacker use the loot later? *)
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

@@ -1,0 +1,34 @@
+(** E8b — Morris's 1985 sequence-number attack, Kerberos edition.
+
+    "He demonstrated that it was possible, under certain circumstances, to
+    spoof one half of a preauthenticated TCP connection without ever seeing
+    any responses from the targeted host. In a Kerberos environment, his
+    attack would still work if accompanied by a stolen live authenticator,
+    but not if a challenge/response protocol was used."
+
+    The attacker never sees a single byte from the server: it predicts the
+    server's initial sequence number (old-BSD clock-derived ISNs), completes
+    the handshake blind with the victim's spoofed address, presents a live
+    authenticator captured moments earlier, and issues a command.
+
+    Three outcomes, exactly as the paper argues:
+    - predictable ISN + timestamp authenticator: {b broken};
+    - random ISN: the blind ACK misses — defended by the transport;
+    - challenge/response: the server's challenge goes to the victim's
+      address where the attacker cannot see it — defended by the protocol
+      no matter how weak the ISN. *)
+
+type result = {
+  isn_predictable : bool;
+  handshake_completed : bool;
+  executed_as_victim : bool;
+}
+
+val run :
+  ?seed:int64 ->
+  ?isn:Sim.Tcpish.isn_mode ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+
+val outcome : result -> Outcome.t

@@ -1,0 +1,16 @@
+type t = Broken of string | Defended of string | Not_applicable of string
+
+let broken fmt = Printf.ksprintf (fun s -> Broken s) fmt
+let defended fmt = Printf.ksprintf (fun s -> Defended s) fmt
+let not_applicable fmt = Printf.ksprintf (fun s -> Not_applicable s) fmt
+
+let is_broken = function Broken _ -> true | Defended _ | Not_applicable _ -> false
+
+let label = function
+  | Broken _ -> "BROKEN"
+  | Defended _ -> "defended"
+  | Not_applicable _ -> "n/a"
+
+let detail = function Broken s | Defended s | Not_applicable s -> s
+
+let pp ppf t = Format.fprintf ppf "%s (%s)" (label t) (detail t)

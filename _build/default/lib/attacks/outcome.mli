@@ -1,0 +1,17 @@
+(** The result of mounting an attack against a protocol profile. *)
+
+type t =
+  | Broken of string  (** the attack achieved its goal; evidence attached *)
+  | Defended of string  (** the attack was stopped; by what *)
+  | Not_applicable of string
+      (** the profile does not expose the surface (e.g. an option is
+          disabled, so the request to abuse never exists) *)
+
+val broken : ('a, unit, string, t) format4 -> 'a
+val defended : ('a, unit, string, t) format4 -> 'a
+val not_applicable : ('a, unit, string, t) format4 -> 'a
+
+val is_broken : t -> bool
+val label : t -> string
+val detail : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** E18 — key capture from a diskless workstation's paging traffic.
+
+    "The original code used /tmp. But this is highly insecure on diskless
+    workstations, where /tmp exists on a file server; accordingly, a
+    modification was made to store keys in shared memory. However, there is
+    no guarantee that shared memory is not paged; if this entails network
+    traffic, an intruder can capture these keys."
+
+    The victim's diskless workstation pages its credential cache to a swap
+    server in the clear; the wiretapper reassembles the TGT and session key
+    from the page-outs and impersonates the victim from its own machine.
+    With [pinned_memory] (the deployment fix: wired pages / the encryption
+    box), nothing crosses the wire. *)
+
+type result = {
+  pages_captured : int;
+  tgt_recovered : bool;
+  impersonation_worked : bool;
+}
+
+val run :
+  ?seed:int64 -> ?pinned_memory:bool -> profile:Kerberos.Profile.t -> unit -> result
+
+val outcome : result -> Outcome.t

@@ -1,0 +1,48 @@
+(** E3 — offline password-guessing from recorded login dialogs.
+
+    "When a user requests [the TGT], the answer is returned encrypted with
+    Kc, a key derived by a publicly-known algorithm from the user's
+    password. A guess at the user's password can be confirmed by
+    calculating Kc and using it to decrypt the recorded answer."
+
+    A passive wiretapper records the AS exchanges of a user population and
+    then runs a dictionary over the recordings — "the network equivalent of
+    /etc/passwd". Against a DH-protected login (recommendation h) the same
+    recordings are useless to a passive attacker: confirming a guess would
+    require the discrete log of the exchange. *)
+
+type result = {
+  population : int;
+  weak_users : int;
+  replies_recorded : int;
+  cracked : (string * string) list;  (** (user, recovered password) *)
+  guesses_tried : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?n_users:int ->
+  ?weak_fraction:float ->
+  ?dictionary_head:int ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+(** [dictionary_head] bounds the attacker's dictionary (default 80 words,
+    each expanded with the usual decorations). *)
+
+val outcome : result -> Outcome.t
+val candidates : head:int -> string list
+(** The attacker's expanded guess list, shared with E4. *)
+
+val try_crack :
+  profile:Kerberos.Profile.t ->
+  candidates:string list ->
+  ?challenge:bytes ->
+  ?dh_key:bytes ->
+  sealed:bytes ->
+  unit ->
+  string option
+(** Offline confirmation of a guess against one recorded sealed AS_REP
+    body. When the reply used the handheld [{R}Kc] wrapping, [challenge]
+    is the cleartext [R] also captured off the wire — the handheld scheme
+    defeats login trojans, {e not} eavesdropping guessers. *)

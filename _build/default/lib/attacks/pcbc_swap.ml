@@ -1,0 +1,56 @@
+open Kerberos
+
+type result = {
+  sent_command : string;
+  server_saw : string option;
+  modification_undetected : bool;
+}
+
+let sent_command =
+  "WRITE /u/pat/report quarterly numbers: revenue 1842k, costs 1211k, margin 34pc"
+
+let run ?(seed = 0xE6BL) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  (* In-flight block swap on the first sufficiently long priv request. *)
+  let swapped = ref false in
+  Sim.Adversary.intercept bed.adv (fun pkt ->
+      if !swapped || pkt.Sim.Packet.dport <> bed.file_port then Sim.Net.Deliver
+      else
+        match Frames.unwrap pkt.Sim.Packet.payload with
+        | Some (k, body) when k = Frames.priv && Bytes.length body >= 64 ->
+            swapped := true;
+            (* Swap ciphertext blocks 3 and 4 — interior data bytes, away
+               from the V4 length prefix and from the trailer. *)
+            let body = Bytes.copy body in
+            let tmp = Bytes.sub body 24 8 in
+            Bytes.blit body 32 body 24 8;
+            Bytes.blit tmp 0 body 32 8;
+            Sim.Net.Replace
+              [ { pkt with Sim.Packet.payload = Frames.wrap Frames.priv body } ]
+        | _ -> Sim.Net.Deliver);
+  Client.login bed.victim ~password:bed.victim_password (fun r ->
+      ignore (Testbed.expect "login" r);
+      Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
+          let creds = Testbed.expect "ticket" r in
+          Client.ap_exchange bed.victim creds ~dst:(Sim.Host.primary_ip bed.file_host)
+            ~dport:bed.file_port (fun r ->
+              let chan = Testbed.expect "ap" r in
+              Client.call_priv bed.victim chan (Bytes.of_string sent_command)
+                ~k:(fun _ -> ()))));
+  Testbed.run bed;
+  let server_saw =
+    List.find_map
+      (fun (cmd, who) -> if who = "pat@ATHENA" then Some cmd else None)
+      (Services.Fileserver.request_log bed.file)
+  in
+  { sent_command; server_saw;
+    modification_undetected =
+      (match server_saw with Some cmd -> cmd <> sent_command | None -> false) }
+
+let outcome r =
+  if r.modification_undetected then
+    Outcome.broken "swapped ciphertext blocks accepted: server executed a garbled %S"
+      (match r.server_saw with Some s -> String.sub s 0 (min 24 (String.length s)) | None -> "")
+  else if r.server_saw = None then
+    Outcome.defended "modified message rejected outright"
+  else Outcome.defended "message arrived intact (swap had no effect?)"

@@ -1,0 +1,23 @@
+(** E6b — message-stream modification via PCBC's "poor propagation".
+
+    "This mode was observed to have poor propagation properties that permit
+    message-stream modification: specifically, if two blocks of ciphertext
+    are interchanged, only the corresponding blocks are garbled on
+    decryption."
+
+    V4's KRB_PRIV has no integrity check beyond what its parser happens to
+    notice: swapping two interior ciphertext blocks garbles only the swapped
+    data bytes, the length field and trailer still parse, and the server
+    executes a command the victim never sent. The V5 draft's internal
+    checksum catches the garbling (this attack — unlike the prefix attack —
+    modifies data the attacker cannot predict, so the attacker cannot fix
+    the checksum up). *)
+
+type result = {
+  sent_command : string;
+  server_saw : string option;  (** what the server actually executed, if anything *)
+  modification_undetected : bool;
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

@@ -1,0 +1,32 @@
+(** E9 — cascading trust and inter-realm path forgery.
+
+    Two demonstrations:
+
+    {b Forwarding loses the origin.} "Host A may be willing to trust
+    credentials from host B, and B may be willing to trust host C, but A
+    may not be willing to accept tickets originally created on host C.
+    Kerberos has a flag bit to indicate that a ticket was forwarded, but
+    does not include the original source." We forward the victim's
+    credentials once from a trusted host and once from a compromised one:
+    the resulting tickets are indistinguishable to the server, whose policy
+    collapses to all-or-nothing.
+
+    {b A transit realm can erase itself.} The paper doubts the Draft 3
+    transited-path scheme: "to assess the validity of a request, a server
+    needs global knowledge of the trustworthiness of all possible transit
+    realms". Worse, the path is written by the realms themselves: our
+    compromised intermediate (ENG) mints a cross-realm TGT whose transited
+    list omits ENG, and the destination realm — trusting the field — issues
+    a service ticket that passes an "ATHENA-only transit" policy. With
+    [verify_transit] on, the destination KDC appends the realm whose key
+    actually vouched for the ticket, and the forgery is exposed. *)
+
+type result = {
+  forwarded_indistinguishable : bool option;
+      (** [None] when the profile forbids forwarding *)
+  transit_forgery_accepted : bool;
+  transit_forgery_with_verification : bool;
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

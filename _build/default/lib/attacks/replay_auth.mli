@@ -1,0 +1,31 @@
+(** E1 — replay of a live authenticator inside the clock-skew window.
+
+    "An intruder may simply watch for a mail-checking session, wherein a
+    user logs in briefly, reads a few messages, and logs out. A number of
+    valuable tickets would be exposed by such a session ... the lifetime of
+    the authenticators — 5 minutes — contributes considerably to this
+    attack."
+
+    The victim runs one mail check; the adversary captures the AP_REQ and,
+    [delay] seconds later, replays it from its own machine. Success =
+    the server establishes a second session attributed to the victim. *)
+
+type result = {
+  replay_delay : float;
+  skew : float;
+  accepted : bool;  (** the server attributed a session to the victim *)
+  honest_sessions : int;
+  total_sessions : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?delay:float ->
+  ?skew:float ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+(** [skew] tightens the server's acceptance window below the profile's
+    default (the knob the E1 sweep turns). *)
+
+val outcome : result -> Outcome.t

@@ -1,0 +1,31 @@
+(** E11 — the REUSE-SKEY redirect.
+
+    "If two tickets T1 and T2 share the same key, the attacker can
+    intercept a request for one service, and redirect it to the other.
+    ... If, say, a file server and a backup server were invoked this way,
+    an attacker might redirect some requests to destroy archival copies of
+    files being edited."
+
+    The victim holds a file-server ticket and a backup-server ticket
+    sharing one session key (the multicast-style REUSE-SKEY issuance),
+    with live sessions to both. A housekeeping [DELETE] meant for the file
+    server is copied in flight and re-aimed at the backup server, where
+    the same verb destroys the archive. *)
+
+type result = {
+  applicable : bool;
+  archive_destroyed : bool;
+  believed_principal : string option;
+}
+
+val run :
+  ?seed:int64 ->
+  ?server_config:Kerberos.Apserver.config ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+(** Pass a [server_config] with [refuse_dup_skey = true] to model servers
+    that obey Draft 3's warning — "servers that obey this restriction are
+    not vulnerable". *)
+
+val outcome : result -> Outcome.t

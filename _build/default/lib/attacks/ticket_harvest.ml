@@ -1,0 +1,110 @@
+open Kerberos
+
+type result = {
+  requested : int;
+  replies_obtained : int;
+  preauth_refusals : int;
+  cracked : (string * string) list;
+}
+
+let run ?(seed = 0xE4L) ?(n_users = 25) ?(weak_fraction = 0.5) ?(dictionary_head = 80)
+    ?rate_limit ~profile () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let kdc_host = Sim.Host.create ~name:"kerberos" ~ips:[ Sim.Addr.of_quad 10 0 0 1 ] () in
+  let dark = Sim.Host.create ~name:"darkstar" ~ips:[ Sim.Addr.of_quad 10 0 0 66 ] () in
+  Sim.Net.attach net kdc_host;
+  Sim.Net.attach net dark;
+  let db = Kdb.create () in
+  let rng = Util.Rng.create seed in
+  Kdb.add_service db (Principal.tgs ~realm:"ATHENA") ~key:(Crypto.Des.random_key rng);
+  let users = Workloads.Passwords.population rng ~n:n_users ~weak_fraction in
+  List.iter
+    (fun u ->
+      Kdb.add_user db (Principal.user ~realm:"ATHENA" u.Workloads.Passwords.name)
+        ~password:u.Workloads.Passwords.password)
+    users;
+  let kdc = Kdc.create ?rate_limit ~realm:"ATHENA" ~profile ~lifetime:28800.0 db in
+  Kdc.install net kdc_host kdc ();
+  (* The attacker fires bare AS_REQs for every known user from its own
+     machine — it never needs to see anyone else's traffic. If the realm
+     runs DH-protected logins, the attacker simply supplies its own
+     exponential: it then knows the DH contribution to the wrapping key and
+     guesses remain testable. Only preauthentication stops this. *)
+  let dh =
+    match profile.Profile.login with
+    | Profile.Dh_protected | Profile.Handheld_dh ->
+        let grp = Crypto.Dh.group ~bits:profile.Profile.dh_group_bits in
+        let kp = Crypto.Dh.generate rng grp in
+        Some (grp, kp)
+    | Profile.Password | Profile.Handheld_challenge -> None
+  in
+  let padata =
+    match dh with
+    | None -> []
+    | Some (grp, kp) ->
+        [ Messages.Pa_dh
+            (Crypto.Bignum.to_bytes_be
+               ~size:((Crypto.Bignum.num_bits grp.Crypto.Dh.p + 7) / 8)
+               kp.Crypto.Dh.public) ]
+  in
+  let harvested = ref [] in
+  let refusals = ref 0 in
+  List.iteri
+    (fun i u ->
+      let name = u.Workloads.Passwords.name in
+      let req =
+        { Messages.q_client = Principal.user ~realm:"ATHENA" name;
+          q_server = Principal.tgs ~realm:"ATHENA";
+          q_nonce = Int64.of_int (7000 + i);
+          q_addr = Sim.Host.primary_ip dark;
+          q_padata = padata }
+      in
+      Sim.Rpc.call net dark ~dst:(Sim.Host.primary_ip kdc_host) ~dport:Kdc.default_port
+        (Wire.Encoding.encode profile.Profile.encoding (Messages.as_req_to_value req))
+        ~on_timeout:ignore
+        ~on_reply:(fun pkt ->
+          match
+            Wire.Encoding.decode profile.Profile.encoding pkt.Sim.Packet.payload
+          with
+          | exception Wire.Codec.Decode_error _ -> ()
+          | v -> (
+              match Messages.as_rep_of_value v with
+              | rep ->
+                  let dh_key =
+                    match (dh, rep.Messages.p_dh_public) with
+                    | Some (grp, kp), Some server_pub ->
+                        Some
+                          (Crypto.Dh.secret_to_key grp
+                             (Crypto.Dh.shared_secret grp kp
+                                (Crypto.Bignum.of_bytes_be server_pub)))
+                    | _ -> None
+                  in
+                  harvested :=
+                    (name, rep.Messages.p_sealed, dh_key, rep.Messages.p_challenge)
+                    :: !harvested
+              | exception Wire.Codec.Decode_error _ -> incr refusals)))
+    users;
+  Sim.Engine.run eng;
+  let cands = Password_guess.candidates ~head:dictionary_head in
+  let cracked =
+    List.filter_map
+      (fun (user, sealed, dh_key, challenge) ->
+        Option.map
+          (fun pw -> (user, pw))
+          (Password_guess.try_crack ~profile ~candidates:cands ?challenge ?dh_key
+             ~sealed ()))
+      !harvested
+  in
+  { requested = n_users; replies_obtained = List.length !harvested;
+    preauth_refusals = !refusals; cracked }
+
+let outcome r =
+  if r.cracked <> [] then
+    Outcome.broken "harvested %d/%d AS replies by asking; %d passwords recovered"
+      r.replies_obtained r.requested (List.length r.cracked)
+  else if r.replies_obtained = 0 then
+    Outcome.defended "KDC refused all %d unauthenticated requests (preauthentication)"
+      r.preauth_refusals
+  else
+    Outcome.defended "replies obtained but none crackable offline"

@@ -1,0 +1,31 @@
+(** E4 — active ticket harvesting, no eavesdropping required.
+
+    "Requests for tickets are not themselves encrypted; an attacker could
+    simply request ticket-granting tickets for many different users."
+    The attacker enumerates user names (they are public — mail aliases,
+    finger) and asks the KDC directly, then cracks the replies offline.
+
+    Recommendation (g) — preauthentication of the user to the KDC — makes
+    the KDC refuse to hand out the crackable material. *)
+
+type result = {
+  requested : int;
+  replies_obtained : int;
+  preauth_refusals : int;
+  cracked : (string * string) list;
+}
+
+val run :
+  ?seed:int64 ->
+  ?n_users:int ->
+  ?weak_fraction:float ->
+  ?dictionary_head:int ->
+  ?rate_limit:int ->
+  profile:Kerberos.Profile.t ->
+  unit ->
+  result
+(** [rate_limit] configures the KDC's per-source request cap — the paper's
+    suggested partial mitigation; the harvest then yields at most that many
+    replies per minute per attacking host. *)
+
+val outcome : result -> Outcome.t

@@ -1,0 +1,74 @@
+open Kerberos
+
+type result = {
+  substitution_possible : bool;
+  client_fooled : bool;
+  failure_surfaced_at : string;
+}
+
+let run ?(seed = 0xE10BL) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  let substituted = ref false in
+  let kdc_replies_seen = ref 0 in
+  (* Swap the cleartext ticket in the TGS reply (the second KDC reply the
+     victim receives): a swapped TGT would already surface at the TGS, but
+     a swapped service ticket travels all the way to the service before
+     anything complains. *)
+  Sim.Adversary.intercept bed.adv (fun pkt ->
+      if pkt.Sim.Packet.sport <> Kdc.default_port then Sim.Net.Deliver
+      else if
+        (incr kdc_replies_seen;
+         !kdc_replies_seen < 2)
+      then Sim.Net.Deliver
+      else
+        match
+          Messages.as_rep_of_value
+            (Wire.Encoding.decode profile.Profile.encoding pkt.Sim.Packet.payload)
+        with
+        | exception Wire.Codec.Decode_error _ -> Sim.Net.Deliver
+        | rep -> (
+            match rep.p_ticket with
+            | None -> Sim.Net.Deliver (* nothing outside the seal to touch *)
+            | Some ticket ->
+                substituted := true;
+                let bogus = Bytes.make (Bytes.length ticket) '\x5a' in
+                Sim.Net.Replace
+                  [ { pkt with
+                      Sim.Packet.payload =
+                        Wire.Encoding.encode profile.Profile.encoding
+                          (Messages.as_rep_to_value
+                             { rep with Messages.p_ticket = Some bogus }) } ]));
+  let login_ok = ref false and ticket_ok = ref false and use_ok = ref false in
+  Client.login bed.victim ~password:bed.victim_password (fun r ->
+      match r with
+      | Error _ -> ()
+      | Ok _ ->
+          login_ok := true;
+          Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
+              match r with
+              | Error _ -> ()
+              | Ok creds ->
+                  ticket_ok := true;
+                  Client.ap_exchange bed.victim creds
+                    ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
+                    (fun r -> use_ok := Result.is_ok r)));
+  Testbed.run bed;
+  let failure_surfaced_at =
+    if not !login_ok then "login"
+    else if not !ticket_ok then "ticket acquisition"
+    else if not !use_ok then "service use"
+    else "nowhere"
+  in
+  { substitution_possible = !substituted;
+    client_fooled = !ticket_ok && not !use_ok;
+    failure_surfaced_at }
+
+let outcome r =
+  if r.client_fooled then
+    Outcome.broken
+      "cleartext ticket swapped undetected; the failure only surfaced at %s"
+      r.failure_surfaced_at
+  else if not r.substitution_possible then
+    Outcome.defended
+      "ticket rides inside the sealed reply: nothing to substitute, tampering fails at login"
+  else Outcome.defended "substitution detected at %s" r.failure_surfaced_at

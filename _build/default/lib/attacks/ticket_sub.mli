@@ -1,0 +1,26 @@
+(** E10b — ticket substitution in KDC replies.
+
+    "A last attack of this sort can occur if the attacker substitutes a
+    different ticket for the legitimate one in key distribution replies
+    from Kerberos. The encrypted part of such a message does not contain
+    any checksum to validate that the message was not tampered with in
+    transit. While this appears to be more a denial-of-service attack than
+    a penetration, it would be useful for the client to know this
+    immediately."
+
+    The adversary swaps the cleartext ticket riding beside the sealed
+    reply. A V4/draft client accepts the credentials cheerfully and only
+    discovers the damage when the service rejects the mangled ticket —
+    late, ambiguous, unattributable. The hardened profile carries the
+    ticket inside the sealed body (appendix recommendation c): there is
+    nothing outside the seal to substitute, and any tampering surfaces as
+    an immediate, attributable login failure. *)
+
+type result = {
+  substitution_possible : bool;  (** a cleartext ticket existed to swap *)
+  client_fooled : bool;  (** credentials accepted with the swapped ticket *)
+  failure_surfaced_at : string;  (** "login" | "service use" | "nowhere" *)
+}
+
+val run : ?seed:int64 -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t

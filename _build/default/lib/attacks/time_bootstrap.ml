@@ -1,0 +1,95 @@
+open Kerberos
+
+type result = {
+  initial_skew : float;
+  could_reach_time_service : bool;
+  clock_recovered : bool;
+  honest_clients_locked_out : bool;
+}
+
+let run ?(seed = 0xE2BL) ?(skew_amount = 2000.0) ~profile () =
+  let bed = Testbed.make ~seed ~profile () in
+  (* The mail host doubles as the skewed machine needing recovery. *)
+  let skewed = bed.mail_host in
+  skewed.Sim.Host.clock_offset <- skew_amount;
+  (* A kerberized time service on the (well-synchronized) time host. *)
+  let ts_principal = Principal.service ~realm:"ATHENA" "timeserv" ~host:"timehost" in
+  let ts_key = Crypto.Des.random_key bed.rng in
+  Kdb.add_service bed.db ts_principal ~key:ts_key;
+  let _ts =
+    Services.Timeservice.install bed.net bed.time_host ~profile
+      ~principal:ts_principal ~key:ts_key ~port:4444
+  in
+  (* The skewed machine has a host account for exactly this purpose. *)
+  Kdb.add_user bed.db (Principal.user ~realm:"ATHENA" "timesync") ~password:"host.key.po10";
+  (* First: while skewed, does the machine lock out honest clients? Its
+     mail service judges authenticator freshness by its own clock. (The
+     attempt is allowed to fail — that failure is the measurement.) *)
+  Client.login bed.victim ~password:bed.victim_password (fun r ->
+      match r with
+      | Error _ -> ()
+      | Ok _ ->
+          Client.get_ticket bed.victim ~service:bed.mail_principal (fun r ->
+              match r with
+              | Error _ -> ()
+              | Ok creds ->
+                  Client.ap_exchange bed.victim creds
+                    ~dst:(Sim.Host.primary_ip bed.mail_host) ~dport:bed.mail_port
+                    (fun _ -> ())));
+  Testbed.run bed;
+  let honest_locked_out =
+    (match profile.Profile.ap_auth with
+    | Profile.Timestamp _ ->
+        Apserver.sessions_established (Services.Mailserver.apserver bed.mail) = 0
+    | Profile.Challenge_response -> false)
+  in
+  (* Now the recovery attempt, from the skewed machine itself. *)
+  let sync_client =
+    Client.create ~seed:55L bed.net skewed ~profile
+      ~kdcs:[ ("ATHENA", Testbed.kdc_addr bed) ]
+      (Principal.user ~realm:"ATHENA" "timesync")
+  in
+  let reached = ref false and synced = ref false in
+  let attempt_via_creds creds =
+    Client.ap_exchange sync_client creds ~dst:(Sim.Host.primary_ip bed.time_host)
+      ~dport:4444 (fun r ->
+        match r with
+        | Error _ -> ()
+        | Ok chan ->
+            reached := true;
+            Services.Timeservice.sync sync_client chan ~k:(fun r ->
+                if Result.is_ok r then synced := true))
+  in
+  (match profile.Profile.ap_auth with
+  | Profile.Timestamp _ ->
+      (* The classic path: TGT, then a TGS exchange whose authenticator
+         carries the broken clock's time. *)
+      Client.login sync_client ~password:"host.key.po10" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok _ ->
+              Client.get_ticket sync_client ~service:ts_principal (fun r ->
+                  match r with Error _ -> () | Ok creds -> attempt_via_creds creds))
+  | Profile.Challenge_response ->
+      (* The paper's option: a clock-free path — service ticket directly
+         from the (nonce-based) AS exchange, then challenge/response. *)
+      Client.login sync_client ~service:ts_principal ~password:"host.key.po10"
+        (fun r ->
+          match r with Error _ -> () | Ok creds -> attempt_via_creds creds));
+  Testbed.run bed;
+  let real = Sim.Engine.now bed.eng in
+  let residual = Float.abs (Sim.Host.local_time skewed ~real -. real) in
+  { initial_skew = skew_amount;
+    could_reach_time_service = !reached;
+    clock_recovered = residual < 5.0;
+    honest_clients_locked_out = honest_locked_out }
+
+let outcome r =
+  if r.clock_recovered then
+    Outcome.defended
+      "clock-free path (nonce AS + challenge/response) reached the time service; clock fixed"
+  else
+    Outcome.broken
+      "%.0fs skew: machine cannot authenticate to fix its own clock (TGS refuses)%s"
+      r.initial_skew
+      (if r.honest_clients_locked_out then "; honest clients locked out meanwhile" else "")

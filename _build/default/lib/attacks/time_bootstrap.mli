@@ -1,0 +1,29 @@
+(** E2b — the time/authentication bootstrap circularity.
+
+    "The design philosophy of building an authentication service on top of
+    a secure time service is itself questionable ... if they access the
+    time service as a client, they must somehow obtain and store a ticket
+    and key to authenticate it."
+
+    A file server's clock has drifted far beyond the skew window. The
+    realm's time service is Kerberos-authenticated (so E2's spoofing is
+    closed). To fix its clock the server must authenticate — but under the
+    timestamp protocol its authenticators are exactly what its broken
+    clock ruins: the TGS refuses them, and the machine is wedged (and
+    meanwhile refuses its own honest clients). Under the paper's
+    challenge/response option the path to the time service is clock-free
+    — AS exchange (nonce), direct service ticket, challenge/response AP —
+    and the machine recovers. *)
+
+type result = {
+  initial_skew : float;
+  could_reach_time_service : bool;
+  clock_recovered : bool;
+  honest_clients_locked_out : bool;
+      (** while skewed, did the server refuse an honest AP attempt? *)
+}
+
+val run : ?seed:int64 -> ?skew_amount:float -> profile:Kerberos.Profile.t -> unit -> result
+val outcome : result -> Outcome.t
+(** [Broken] = the machine stayed wedged (the circularity bit);
+    [Defended] = it recovered via a clock-free path. *)

@@ -1,0 +1,1 @@
+lib/core/ap_check.ml: Crypto Float Krb_priv List Messages Principal Printf Profile Replay_cache Sim Wire

@@ -1,0 +1,1 @@
+lib/core/ap_check.mli: Messages Principal Profile Replay_cache Sim

@@ -1,0 +1,1 @@
+lib/core/apserver.ml: Ap_check Bytes Frames Hashtbl Int64 Krb_priv Krb_safe Messages Option Principal Printf Profile Queue Replay_cache Session Sim Util Wire

@@ -1,0 +1,1 @@
+lib/core/apserver.mli: Principal Profile Session Sim

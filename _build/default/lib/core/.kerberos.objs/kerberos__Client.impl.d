@@ -1,0 +1,1 @@
+lib/core/client.ml: Bytes Crypto Frames Fun Int64 Kdc Krb_priv Krb_safe List Messages Option Principal Profile Result Session Sim Util Wire

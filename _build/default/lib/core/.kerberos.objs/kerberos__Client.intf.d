@@ -1,0 +1,1 @@
+lib/core/client.mli: Messages Principal Profile Session Sim Util

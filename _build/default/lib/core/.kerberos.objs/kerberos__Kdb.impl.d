@@ -1,0 +1,1 @@
+lib/core/kdb.ml: Crypto Hashtbl List Principal Wire

@@ -1,0 +1,1 @@
+lib/core/kdb.mli: Principal

@@ -1,0 +1,1 @@
+lib/core/kdc.ml: Bytes Crypto Float Hashtbl Kdb List Messages Option Principal Profile Replay_cache Result Sim Util Wire

@@ -1,0 +1,1 @@
+lib/core/kdc.mli: Kdb Profile Sim

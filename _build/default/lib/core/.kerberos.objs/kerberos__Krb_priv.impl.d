@@ -1,0 +1,1 @@
+lib/core/krb_priv.ml: Bytes Crypto Float Int64 Printf Profile Replay_cache Result Session Sim Util Wire

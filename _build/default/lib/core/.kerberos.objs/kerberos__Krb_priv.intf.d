@@ -1,0 +1,1 @@
+lib/core/krb_priv.mli: Session

@@ -1,0 +1,1 @@
+lib/core/krb_safe.ml: Crypto Float Int64 Krb_priv Printf Profile Replay_cache Session Util Wire

@@ -1,0 +1,1 @@
+lib/core/krb_safe.mli: Session

@@ -1,0 +1,1 @@
+lib/core/messages.ml: Int64 List Principal Printf Profile Seal Sim Wire

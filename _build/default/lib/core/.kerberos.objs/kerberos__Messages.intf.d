@@ -1,0 +1,1 @@
+lib/core/messages.mli: Principal Profile Sim Util Wire

@@ -1,0 +1,1 @@
+lib/core/principal.ml: Format Printf Stdlib String Wire

@@ -1,0 +1,1 @@
+lib/core/realm_routing.ml: Kdc List String

@@ -1,0 +1,1 @@
+lib/core/realm_routing.mli: Kdc

@@ -1,0 +1,1 @@
+lib/core/seal.ml: Bytes Crypto Profile Util Wire

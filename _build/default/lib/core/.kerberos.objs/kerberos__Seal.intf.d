@@ -1,0 +1,1 @@
+lib/core/seal.mli: Crypto Profile Util

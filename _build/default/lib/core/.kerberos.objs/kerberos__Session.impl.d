@@ -1,0 +1,1 @@
+lib/core/session.ml: Bytes Crypto Profile Replay_cache Sim Util

@@ -1,0 +1,1 @@
+lib/core/session.mli: Profile Replay_cache Sim Util

@@ -1,0 +1,72 @@
+type reject = { code : int; reason : string }
+
+let fail code reason = Error { code; reason }
+
+let validate_ticket ~profile ~service_key ~principal ~now ~src_addr
+    ~accept_forwarded ~trusted_transit ~refuse_dup_skey blob =
+  match Messages.open_msg profile ~key:service_key ~tag:Messages.tag_ticket blob with
+  | Error e -> fail Messages.err_bad_integrity ("ticket: " ^ e)
+  | Ok v -> (
+      match Messages.ticket_of_value v with
+      | exception Wire.Codec.Decode_error e -> fail Messages.err_bad_integrity e
+      | ticket ->
+          if not (Principal.equal ticket.server principal) then
+            fail Messages.err_bad_integrity "ticket for a different service"
+          else if ticket.issued_at +. ticket.lifetime < now then
+            fail Messages.err_ticket_expired "ticket expired"
+          else if ticket.issued_at > now +. Krb_priv.skew then
+            fail Messages.err_skew "ticket from the future"
+          else if
+            (match ticket.addr with
+            | Some a -> not (Sim.Addr.equal a src_addr)
+            | None -> false)
+          then fail Messages.err_badaddr "ticket bound to another address"
+          else if ticket.forwarded && not accept_forwarded then
+            fail Messages.err_policy "forwarded tickets not accepted here"
+          else if ticket.dup_skey && refuse_dup_skey then
+            (* Draft 3: "explicitly warns against using tickets with
+               DUPLICATE-SKEY set for authentication. Servers that obey this
+               restriction are not vulnerable." *)
+            fail Messages.err_policy "DUPLICATE-SKEY tickets refused for authentication"
+          else if
+            ticket.transited <> []
+            && List.exists (fun r -> not (List.mem r trusted_transit)) ticket.transited
+          then fail Messages.err_transit "untrusted transit realm"
+          else Ok ticket)
+
+let validate_authenticator ~profile ~(ticket : Messages.ticket) ~ticket_blob
+    ~principal ~now ~skew ~cache blob =
+  match
+    Messages.open_msg profile ~key:ticket.Messages.session_key
+      ~tag:Messages.tag_authenticator blob
+  with
+  | Error e -> fail Messages.err_bad_integrity ("authenticator: " ^ e)
+  | Ok v -> (
+      match Messages.authenticator_of_value v with
+      | exception Wire.Codec.Decode_error e -> fail Messages.err_bad_integrity e
+      | auth ->
+          if not (Principal.equal auth.a_client ticket.client) then
+            fail Messages.err_bad_integrity "authenticator names a different client"
+          else if Float.abs (auth.a_timestamp -. now) > skew then
+            fail Messages.err_skew
+              (Printf.sprintf "authenticator %.0fs outside the window"
+                 (Float.abs (auth.a_timestamp -. now)))
+          else if
+            (match cache with
+            | Some c -> Replay_cache.check_and_insert c ~now blob = Replay_cache.Replayed
+            | None -> false)
+          then fail Messages.err_replay "authenticator replayed"
+          else if profile.Profile.ticket_checksum_in_authenticator then begin
+            (* Hardened: the authenticator must name this service and carry
+               a collision-proof checksum of the ticket it accompanies. *)
+            match (auth.a_service, auth.a_ticket_cksum) with
+            | Some svc, Some cksum
+              when Principal.equal svc principal
+                   && Crypto.Checksum.verify Crypto.Checksum.Md4
+                        ~key:ticket.session_key ticket_blob ~expect:cksum ->
+                Ok auth
+            | Some svc, Some _ when not (Principal.equal svc principal) ->
+                fail Messages.err_policy "authenticator names a different service"
+            | _ -> fail Messages.err_bad_integrity "ticket/authenticator link missing or wrong"
+          end
+          else Ok auth)

@@ -1,0 +1,39 @@
+(** Ticket and authenticator validation, shared by the datagram application
+    server and the connection-oriented services. Every check the paper
+    discusses is here, each contingent on the profile:
+
+    - ticket decryption and expiry (against the {e server's} clock — a
+      clock the time-service attack can move);
+    - the address binding, when the profile writes addresses into tickets;
+    - forwarded-flag policy ("A may not be willing to accept tickets
+      originally created on host C" — but the flag carries no origin, so
+      the policy can only be all-or-nothing);
+    - transited-realm policy;
+    - timestamp-window and replay-cache checks on the authenticator;
+    - the hardened collision-proof checksum tying authenticator to ticket,
+      and the service name inside the authenticator. *)
+
+type reject = { code : int; reason : string }
+
+val validate_ticket :
+  profile:Profile.t ->
+  service_key:bytes ->
+  principal:Principal.t ->
+  now:float ->
+  src_addr:Sim.Addr.t ->
+  accept_forwarded:bool ->
+  trusted_transit:string list ->
+  refuse_dup_skey:bool ->
+  bytes ->
+  (Messages.ticket, reject) result
+
+val validate_authenticator :
+  profile:Profile.t ->
+  ticket:Messages.ticket ->
+  ticket_blob:bytes ->
+  principal:Principal.t ->
+  now:float ->
+  skew:float ->
+  cache:Replay_cache.t option ->
+  bytes ->
+  (Messages.authenticator, reject) result

@@ -1,0 +1,261 @@
+type config = {
+  accept_forwarded : bool;
+  trusted_transit : string list;
+  skew : float;
+  refuse_dup_skey : bool;
+  max_peers : int;
+}
+
+let default_config =
+  { accept_forwarded = false; trusted_transit = []; skew = 300.0;
+    refuse_dup_skey = false; max_peers = 4096 }
+
+type pending = {
+  pend_ticket : Messages.ticket;
+  pend_nonce : int64;
+  pend_server_part : bytes option;
+  pend_seq_init : int option;  (** server's chosen initial sequence number *)
+}
+
+type peer_state =
+  | Awaiting_response of pending  (** challenge sent, waiting for the reply *)
+  | Established of Session.t * Principal.t
+
+type t = {
+  net : Sim.Net.t;
+  host : Sim.Host.t;
+  profile : Profile.t;
+  principal : Principal.t;
+  key : bytes;
+  port : int;
+  config : config;
+  rng : Util.Rng.t;
+  cache : Replay_cache.t option;
+  peers : (Sim.Addr.t * int, peer_state) Hashtbl.t;
+  peer_order : (Sim.Addr.t * int) Queue.t;  (** insertion order, for eviction *)
+  handler : Session.t -> client:Principal.t -> bytes -> bytes option;
+  mutable established : int;
+  mutable rejected : (int * string) list;
+}
+
+let sessions_established t = t.established
+let rejections t = t.rejected
+
+let replay_cache_size t =
+  match t.cache with None -> 0 | Some c -> Replay_cache.size c
+
+let peer_state_size t = Hashtbl.length t.peers
+
+(* Insert peer state, evicting the oldest entries beyond the bound. An
+   evicted pending challenge simply forces the honest client to start
+   over; an evicted session forces re-authentication. *)
+let put_peer t key state =
+  if not (Hashtbl.mem t.peers key) then Queue.push key t.peer_order;
+  Hashtbl.replace t.peers key state;
+  while Hashtbl.length t.peers > t.config.max_peers do
+    match Queue.take_opt t.peer_order with
+    | None -> Hashtbl.reset t.peers
+    | Some oldest -> Hashtbl.remove t.peers oldest
+  done
+
+let reply t ~(pkt : Sim.Packet.t) kind payload =
+  Sim.Net.send t.net ~sport:t.port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
+    t.host (Frames.wrap kind payload)
+
+let reject t ~pkt (r : Ap_check.reject) =
+  t.rejected <- (r.code, r.reason) :: t.rejected;
+  Sim.Net.note t.net
+    (Printf.sprintf "%s: rejected AP attempt (%s)" t.host.Sim.Host.name r.reason);
+  reply t ~pkt Frames.error
+    (Messages.encode_msg t.profile ~tag:Messages.tag_err
+       (Messages.err_to_value { Messages.e_code = r.code; e_text = r.reason }))
+
+let now t = Sim.Net.local_time t.net t.host
+
+let fresh_parts t =
+  let server_part =
+    if t.profile.Profile.negotiate_session_key then Some (Util.Rng.bytes t.rng 8)
+    else None
+  in
+  let seq_init =
+    match t.profile.Profile.priv_replay with
+    | Profile.Priv_sequence -> Some (Util.Rng.int t.rng 1_000_000)
+    | Profile.Priv_timestamp -> None
+  in
+  (server_part, seq_init)
+
+let establish t ~pkt ~(ticket : Messages.ticket) ~client_part ~server_part
+    ~client_seq ~server_seq =
+  let key =
+    Session.derived_key t.profile ~multi:ticket.Messages.session_key
+      ~client_part ~server_part
+  in
+  let session =
+    Session.make ~profile:t.profile ~rng:(Util.Rng.split t.rng) ~role:Session.Server_side
+      ~key ~own_addr:pkt.Sim.Packet.dst ~peer_addr:pkt.Sim.Packet.src
+      ~send_seq:(Option.value server_seq ~default:0)
+      ~recv_seq:(Option.value client_seq ~default:0)
+  in
+  put_peer t
+    (pkt.Sim.Packet.src, pkt.Sim.Packet.sport)
+    (Established (session, ticket.Messages.client));
+  t.established <- t.established + 1;
+  session
+
+(* --- Timestamp-authenticator path ---------------------------------- *)
+
+let handle_ap_timestamp t ~pkt ~skew (r : Messages.ap_req) =
+  match
+    Ap_check.validate_ticket ~profile:t.profile ~service_key:t.key
+      ~principal:t.principal ~now:(now t) ~src_addr:pkt.Sim.Packet.src
+      ~accept_forwarded:t.config.accept_forwarded
+      ~trusted_transit:t.config.trusted_transit
+      ~refuse_dup_skey:t.config.refuse_dup_skey r.r_ticket
+  with
+  | Error rej -> reject t ~pkt rej
+  | Ok ticket -> (
+      match
+        Ap_check.validate_authenticator ~profile:t.profile ~ticket
+          ~ticket_blob:r.r_ticket ~principal:t.principal ~now:(now t) ~skew
+          ~cache:t.cache r.r_authenticator
+      with
+      | Error rej -> reject t ~pkt rej
+      | Ok auth ->
+          let server_part, server_seq = fresh_parts t in
+          let (_ : Session.t) =
+            establish t ~pkt ~ticket ~client_part:auth.a_subkey_part ~server_part
+              ~client_seq:auth.a_seq_init ~server_seq
+          in
+          let body =
+            if r.r_mutual || server_part <> None || server_seq <> None then
+              Messages.seal_msg t.profile t.rng ~key:ticket.Messages.session_key
+                ~tag:Messages.tag_ap_rep_body
+                (Messages.ap_rep_body_to_value
+                   { Messages.ar_timestamp = auth.a_timestamp +. 1.0;
+                     ar_subkey_part = server_part; ar_seq_init = server_seq })
+            else Bytes.empty
+          in
+          reply t ~pkt Frames.ap_ok body)
+
+(* --- Challenge/response path --------------------------------------- *)
+
+let handle_ap_challenge t ~pkt (r : Messages.ap_req) =
+  match
+    Ap_check.validate_ticket ~profile:t.profile ~service_key:t.key
+      ~principal:t.principal ~now:(now t) ~src_addr:pkt.Sim.Packet.src
+      ~accept_forwarded:t.config.accept_forwarded
+      ~trusted_transit:t.config.trusted_transit
+      ~refuse_dup_skey:t.config.refuse_dup_skey r.r_ticket
+  with
+  | Error rej -> reject t ~pkt rej
+  | Ok ticket ->
+      (* No authenticator, no clock: issue a nonce under the session key.
+         The state burden ("all servers must then retain state") is this
+         table entry. *)
+      let nonce = Util.Rng.next_int64 t.rng in
+      let server_part, server_seq = fresh_parts t in
+      let pending =
+        { pend_ticket = ticket; pend_nonce = nonce; pend_server_part = server_part;
+          pend_seq_init = server_seq }
+      in
+      put_peer t (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) (Awaiting_response pending);
+      let body =
+        Messages.seal_msg t.profile t.rng ~key:ticket.Messages.session_key
+          ~tag:Messages.tag_challenge
+          (Messages.challenge_to_value
+             { Messages.c_nonce = nonce; c_server_part = server_part;
+               c_seq_init = server_seq })
+      in
+      reply t ~pkt Frames.challenge body
+
+let handle_challenge_resp t ~pkt pending payload =
+  match
+    Messages.open_msg t.profile ~key:pending.pend_ticket.Messages.session_key
+      ~tag:Messages.tag_challenge_resp payload
+  with
+  | Error e ->
+      reject t ~pkt { Ap_check.code = Messages.err_bad_integrity; reason = e }
+  | Ok v -> (
+      match Messages.challenge_resp_of_value v with
+      | exception Wire.Codec.Decode_error e ->
+          reject t ~pkt { Ap_check.code = Messages.err_bad_integrity; reason = e }
+      | resp ->
+          if resp.cr_nonce_f <> Int64.add pending.pend_nonce 1L then
+            reject t ~pkt
+              { Ap_check.code = Messages.err_bad_integrity;
+                reason = "challenge response incorrect" }
+          else begin
+            ignore
+              (establish t ~pkt ~ticket:pending.pend_ticket
+                 ~client_part:resp.cr_client_part ~server_part:pending.pend_server_part
+                 ~client_seq:resp.cr_seq_init ~server_seq:pending.pend_seq_init);
+            reply t ~pkt Frames.ap_ok Bytes.empty
+          end)
+
+(* --- Established-session traffic ----------------------------------- *)
+
+let handle_priv t ~pkt session client payload =
+  match Krb_priv.open_ session ~now:(now t) payload with
+  | Error e ->
+      Sim.Net.note t.net
+        (Printf.sprintf "%s: KRB_PRIV rejected (%s)" t.host.Sim.Host.name
+           (Krb_priv.error_to_string e))
+  | Ok data -> (
+      match t.handler session ~client data with
+      | None -> ()
+      | Some resp ->
+          reply t ~pkt Frames.priv (Krb_priv.seal session ~now:(now t) resp))
+
+let handle_safe t ~pkt session client payload =
+  match Krb_safe.open_ session ~now:(now t) payload with
+  | Error e ->
+      Sim.Net.note t.net
+        (Printf.sprintf "%s: KRB_SAFE rejected (%s)" t.host.Sim.Host.name
+           (Krb_safe.error_to_string e))
+  | Ok data -> (
+      match t.handler session ~client data with
+      | None -> ()
+      | Some resp ->
+          reply t ~pkt Frames.safe (Krb_safe.seal session ~now:(now t) resp))
+
+let install ?(seed = 0x5345525645L) ?(config = default_config) net host ~profile
+    ~principal ~key ~port ~handler () =
+  let cache =
+    match profile.Profile.ap_auth with
+    | Profile.Timestamp { replay_cache = true; _ } ->
+        Some (Replay_cache.create ~horizon:(2.0 *. config.skew))
+    | _ -> None
+  in
+  let t =
+    { net; host; profile; principal; key; port; config; rng = Util.Rng.create seed;
+      cache; peers = Hashtbl.create 16; peer_order = Queue.create (); handler;
+      established = 0; rejected = [] }
+  in
+  Sim.Net.listen net host ~port (fun pkt ->
+      match Frames.unwrap pkt.Sim.Packet.payload with
+      | None -> ()
+      | Some (kind, payload) -> (
+          let peer = (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) in
+          match (kind, Hashtbl.find_opt t.peers peer) with
+          | k, _ when k = Frames.ap_req -> (
+              match
+                Messages.ap_req_of_value
+                  (Wire.Encoding.decode profile.Profile.encoding payload)
+              with
+              | exception Wire.Codec.Decode_error e ->
+                  reject t ~pkt { Ap_check.code = Messages.err_generic; reason = e }
+              | r -> (
+                  match profile.Profile.ap_auth with
+                  | Profile.Timestamp { skew; _ } ->
+                      handle_ap_timestamp t ~pkt ~skew:(min skew t.config.skew) r
+                  | Profile.Challenge_response -> handle_ap_challenge t ~pkt r))
+          | k, Some (Awaiting_response pending) when k = Frames.challenge_resp ->
+              handle_challenge_resp t ~pkt pending payload
+          | k, Some (Established (session, client)) when k = Frames.priv ->
+              handle_priv t ~pkt session client payload
+          | k, Some (Established (session, client)) when k = Frames.safe ->
+              handle_safe t ~pkt session client payload
+          | _ ->
+              Sim.Net.note t.net
+                (Printf.sprintf "%s: unexpected frame %d" t.host.Sim.Host.name kind)));
+  t

@@ -1,0 +1,49 @@
+(** A Kerberos-authenticated application server on a datagram port.
+
+    After a successful AP exchange (timestamp-authenticator or
+    challenge/response, per the profile), the [handler] is invoked for each
+    KRB_PRIV request on the established session; its optional result is
+    sealed and sent back. *)
+
+type t
+
+type config = {
+  accept_forwarded : bool;
+  trusted_transit : string list;
+  skew : float;  (** authenticator acceptance window *)
+  refuse_dup_skey : bool;
+      (** obey Draft 3's warning against authenticating with
+          DUPLICATE-SKEY tickets (defeats the REUSE-SKEY redirect) *)
+  max_peers : int;
+      (** bound on per-peer state (pending challenges + live sessions).
+          "All servers must then retain state to complete the
+          authentication process" — and an attacker can milk that by
+          opening challenges it never answers; beyond the bound the oldest
+          entries are evicted. *)
+}
+
+val default_config : config
+
+val install :
+  ?seed:int64 ->
+  ?config:config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Profile.t ->
+  principal:Principal.t ->
+  key:bytes ->
+  port:int ->
+  handler:(Session.t -> client:Principal.t -> bytes -> bytes option) ->
+  unit ->
+  t
+
+val sessions_established : t -> int
+val rejections : t -> (int * string) list
+(** Reverse-chronological (code, reason) of refused AP attempts. *)
+
+val replay_cache_size : t -> int
+(** 0 when the profile runs without a cache. *)
+
+val peer_state_size : t -> int
+(** Pending challenges plus established sessions currently held — the
+    state cost E14 measures. *)

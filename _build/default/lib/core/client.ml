@@ -1,0 +1,535 @@
+type credentials = {
+  service : Principal.t;
+  ticket : bytes;
+  session_key : bytes;
+  issued_at : float;
+  lifetime : float;
+}
+
+type t = {
+  net : Sim.Net.t;
+  host : Sim.Host.t;
+  profile : Profile.t;
+  kdcs : (string * Sim.Addr.t) list;
+  me : Principal.t;
+  rng : Util.Rng.t;
+  mutable tgt_creds : credentials option;
+}
+
+let create ?(seed = 0x434c49L) net host ~profile ~kdcs me =
+  { net; host; profile; kdcs; me; rng = Util.Rng.create seed; tgt_creds = None }
+
+let principal t = t.me
+let host t = t.host
+let net t = t.net
+let client_profile t = t.profile
+let client_rng t = t.rng
+let tgt t = t.tgt_creds
+let adopt_tgt t creds = t.tgt_creds <- Some creds
+
+let now t = Sim.Net.local_time t.net t.host
+
+let kdc_addr t realm =
+  match List.assoc_opt realm t.kdcs with
+  | Some a -> Ok a
+  | None -> Error ("no KDC known for realm " ^ realm)
+
+(* Credentials are parked in the host cache so the cache-theft experiment
+   can steal exactly what a real intruder would find. *)
+let creds_to_bytes c =
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.lstring w (Principal.to_string c.service);
+  Wire.Codec.Writer.lbytes w c.ticket;
+  Wire.Codec.Writer.lbytes w c.session_key;
+  Wire.Codec.Writer.i64 w (Int64.bits_of_float c.issued_at);
+  Wire.Codec.Writer.i64 w (Int64.bits_of_float c.lifetime);
+  Wire.Codec.Writer.contents w
+
+let creds_of_bytes b =
+  let r = Wire.Codec.Reader.of_bytes b in
+  let service = Principal.of_string (Wire.Codec.Reader.lstring r) in
+  let ticket = Wire.Codec.Reader.lbytes r in
+  let session_key = Wire.Codec.Reader.lbytes r in
+  let issued_at = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
+  let lifetime = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
+  { service; ticket; session_key; issued_at; lifetime }
+
+let cache_creds t label c =
+  Sim.Host.cache_put t.host label (creds_to_bytes c);
+  t.host.Sim.Host.logged_in <- true
+
+let logout t =
+  t.tgt_creds <- None;
+  Sim.Host.cache_wipe t.host
+
+(* ------------------------------------------------------------------ *)
+(* Login (AS exchange)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let preauth_blob t ~client_key ~nonce =
+  let v =
+    Wire.Encoding.Tagged
+      (Messages.tag_preauth, Wire.Encoding.List [ Wire.Encoding.Int nonce ])
+  in
+  Messages.seal_msg t.profile t.rng ~key:client_key ~tag:Messages.tag_preauth v
+
+(* The ticket arrives inside the sealed body (hardened) or in the clear
+   alongside it (V4/draft behaviour) — in the latter case nothing vouches
+   for it, which the substitution attack exploits. *)
+let ticket_of_reply (rep : Messages.as_rep) (body : Messages.rep_body) =
+  if Bytes.length body.Messages.b_ticket > 0 then Ok body.Messages.b_ticket
+  else
+    match rep.Messages.p_ticket with
+    | Some t -> Ok t
+    | None -> Error "reply carried no ticket"
+
+let login t ?handheld ?key ?service ~password k =
+  (* Host principals authenticate with a raw key (srvtab) instead of a
+     typed password. *)
+  let client_key =
+    match key with Some k -> k | None -> Crypto.Str2key.derive password
+  in
+  let nonce = Util.Rng.next_int64 t.rng in
+  let dh_keypair = ref None in
+  let padata =
+    let pre = if t.profile.Profile.preauth then [ Messages.Pa_preauth (preauth_blob t ~client_key ~nonce) ] else [] in
+    let dh_part () =
+      let grp = Crypto.Dh.group ~bits:t.profile.Profile.dh_group_bits in
+      let kp = Crypto.Dh.generate t.rng grp in
+      dh_keypair := Some (grp, kp);
+      Messages.Pa_dh
+        (Crypto.Bignum.to_bytes_be ~size:((Crypto.Bignum.num_bits grp.p + 7) / 8)
+           kp.public)
+    in
+    match t.profile.Profile.login with
+    | Profile.Password -> pre
+    | Profile.Handheld_challenge -> Messages.Pa_handheld :: pre
+    | Profile.Dh_protected -> dh_part () :: pre
+    | Profile.Handheld_dh -> Messages.Pa_handheld :: dh_part () :: pre
+  in
+  let target =
+    match service with
+    | Some s -> s
+    | None -> Principal.tgs ~realm:t.me.Principal.realm
+  in
+  let req =
+    { Messages.q_client = t.me; q_server = target; q_nonce = nonce;
+      q_addr = Sim.Host.primary_ip t.host; q_padata = padata }
+  in
+  match kdc_addr t t.me.Principal.realm with
+  | Error e -> k (Error e)
+  | Ok kdc ->
+      Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+        (Wire.Encoding.encode t.profile.Profile.encoding (Messages.as_req_to_value req))
+        ~on_timeout:(fun () -> k (Error "KDC timeout"))
+        ~on_reply:(fun pkt ->
+          match Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload with
+          | exception Wire.Codec.Decode_error e -> k (Error e)
+          | v -> (
+              match Messages.err_of_value v with
+              | { e_code = _; e_text } -> k (Error ("KDC error: " ^ e_text))
+              | exception Wire.Codec.Decode_error _ -> (
+                  match Messages.as_rep_of_value v with
+                  | exception Wire.Codec.Decode_error e -> k (Error e)
+                  | rep -> (
+                      let handheld_response () =
+                        match rep.p_challenge with
+                        | None -> Error "KDC omitted the handheld challenge"
+                        | Some r ->
+                            let response =
+                              match handheld with
+                              | Some device -> device r
+                              | None ->
+                                  (* No device: the login program computes
+                                     {R}Kc itself from the typed password. *)
+                                  Crypto.Des.encrypt_block
+                                    (Crypto.Des.schedule
+                                       (Crypto.Des.fix_parity client_key))
+                                    r
+                            in
+                            Ok (Crypto.Des.fix_parity response)
+                      in
+                      let dh_shared_key () =
+                        match (rep.p_dh_public, !dh_keypair) with
+                        | Some server_pub, Some (grp, kp) ->
+                            let shared =
+                              Crypto.Dh.shared_secret grp kp
+                                (Crypto.Bignum.of_bytes_be server_pub)
+                            in
+                            Ok (Crypto.Dh.secret_to_key grp shared)
+                        | _ -> Error "KDC omitted its exponential"
+                      in
+                      let unwrap_key =
+                        match t.profile.Profile.login with
+                        | Profile.Password -> Ok client_key
+                        | Profile.Handheld_challenge -> handheld_response ()
+                        | Profile.Dh_protected ->
+                            Result.map
+                              (fun kdh ->
+                                Crypto.Prf.tag_key ~tag:"dh-login"
+                                  (Util.Bytesutil.xor client_key kdh))
+                              (dh_shared_key ())
+                        | Profile.Handheld_dh -> (
+                            match (handheld_response (), dh_shared_key ()) with
+                            | Ok resp, Ok kdh ->
+                                Ok
+                                  (Crypto.Prf.tag_key ~tag:"dh-login"
+                                     (Util.Bytesutil.xor resp kdh))
+                            | Error e, _ | _, Error e -> Error e)
+                      in
+                      match unwrap_key with
+                      | Error e -> k (Error e)
+                      | Ok key -> (
+                          match
+                            Messages.open_msg t.profile ~key
+                              ~tag:Messages.tag_as_rep_body rep.p_sealed
+                          with
+                          | Error e -> k (Error ("AS_REP: " ^ e))
+                          | Ok bv -> (
+                              match
+                                Messages.rep_body_of_value ~tag:Messages.tag_as_rep_body
+                                  t.profile.Profile.encoding bv
+                              with
+                              | exception Wire.Codec.Decode_error e -> k (Error e)
+                              | body ->
+                                  if body.b_nonce <> nonce then
+                                    k (Error "AS_REP nonce mismatch (replayed reply?)")
+                                  else begin
+                                    match ticket_of_reply rep body with
+                                    | Error e -> k (Error e)
+                                    | Ok ticket ->
+                                    let creds =
+                                      { service = body.b_server; ticket;
+                                        session_key = body.b_session_key;
+                                        issued_at = body.b_issued_at;
+                                        lifetime = body.b_lifetime }
+                                    in
+                                    (if service = None then begin
+                                       t.tgt_creds <- Some creds;
+                                       cache_creds t "tgt" creds
+                                     end
+                                     else
+                                       cache_creds t
+                                         ("svc:" ^ Principal.to_string creds.service)
+                                         creds);
+                                    k (Ok creds)
+                                  end))))))
+
+(* ------------------------------------------------------------------ *)
+(* Authenticators and the TGS exchange                                 *)
+(* ------------------------------------------------------------------ *)
+
+let build_authenticator t (creds : credentials) ?req_cksum ~now:ts () =
+  let subkey_part =
+    if t.profile.Profile.negotiate_session_key then Some (Util.Rng.bytes t.rng 8)
+    else None
+  in
+  let seq_init =
+    match t.profile.Profile.priv_replay with
+    | Profile.Priv_sequence -> Some (Util.Rng.int t.rng 1_000_000)
+    | Profile.Priv_timestamp -> None
+  in
+  let auth =
+    { Messages.a_client = t.me; a_addr = Sim.Host.primary_ip t.host; a_timestamp = ts;
+      a_req_cksum = req_cksum;
+      a_ticket_cksum =
+        (if t.profile.Profile.ticket_checksum_in_authenticator then
+           Some
+             (Crypto.Checksum.compute Crypto.Checksum.Md4 ~key:creds.session_key
+                creds.ticket)
+         else None);
+      a_service =
+        (if t.profile.Profile.ticket_checksum_in_authenticator then Some creds.service
+         else None);
+      a_seq_init = seq_init; a_subkey_part = subkey_part }
+  in
+  (auth, subkey_part, seq_init)
+
+let seal_authenticator t (creds : credentials) auth =
+  Messages.seal_msg t.profile t.rng ~key:creds.session_key
+    ~tag:Messages.tag_authenticator (Messages.authenticator_to_value auth)
+
+let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
+    ?additional_ticket ?(authz_data = Bytes.empty) ~hops ~service ~k () =
+  if hops > 4 then k (Error "too many cross-realm hops")
+  else begin
+    let nonce = Util.Rng.next_int64 t.rng in
+    (* The checksum over the cleartext fields rides inside the sealed
+       authenticator (Draft 3 layout). *)
+    let skeleton =
+      { Messages.t_ap = { r_ticket = via.ticket; r_authenticator = Bytes.empty; r_mutual = false };
+        t_server = service; t_nonce = nonce; t_options = options;
+        t_additional_ticket = additional_ticket; t_authz_data = authz_data }
+    in
+    let req_cksum =
+      match t.profile.Profile.encoding with
+      | Wire.Encoding.V4_adhoc -> None
+      | Wire.Encoding.Der_typed ->
+          Some
+            (Crypto.Checksum.compute t.profile.Profile.checksum ~key:via.session_key
+               (Messages.tgs_req_cleartext_fields skeleton))
+    in
+    let auth, _, _ = build_authenticator t via ?req_cksum ~now:(now t) () in
+    let req =
+      { skeleton with
+        t_ap =
+          { r_ticket = via.ticket; r_authenticator = seal_authenticator t via auth;
+            r_mutual = false } }
+    in
+    (* The TGS for the realm the 'via' credentials belong to. *)
+    match kdc_addr t via.service.Principal.realm with
+    | Error e -> k (Error e)
+    | Ok kdc ->
+        Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+          (Wire.Encoding.encode t.profile.Profile.encoding (Messages.tgs_req_to_value req))
+          ~on_timeout:(fun () -> k (Error "TGS timeout"))
+          ~on_reply:(fun pkt ->
+            match
+              Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload
+            with
+            | exception Wire.Codec.Decode_error e -> k (Error e)
+            | v -> (
+                match Messages.err_of_value v with
+                | { e_text; _ } -> k (Error ("TGS error: " ^ e_text))
+                | exception Wire.Codec.Decode_error _ -> (
+                    match Messages.as_rep_of_value v with
+                    | exception Wire.Codec.Decode_error e -> k (Error e)
+                    | rep -> (
+                        match
+                          Messages.open_msg t.profile ~key:via.session_key
+                            ~tag:Messages.tag_rep_body rep.p_sealed
+                        with
+                        | Error e -> k (Error ("TGS_REP: " ^ e))
+                        | Ok bv -> (
+                            match
+                              Messages.rep_body_of_value ~tag:Messages.tag_rep_body
+                                t.profile.Profile.encoding bv
+                            with
+                            | exception Wire.Codec.Decode_error e -> k (Error e)
+                            | body ->
+                                if body.b_nonce <> nonce then
+                                  k (Error "TGS_REP nonce mismatch")
+                                else begin
+                                  match ticket_of_reply rep body with
+                                  | Error e -> k (Error e)
+                                  | Ok ticket ->
+                                  let creds =
+                                    { service = body.b_server; ticket;
+                                      session_key = body.b_session_key;
+                                      issued_at = body.b_issued_at;
+                                      lifetime = body.b_lifetime }
+                                  in
+                                  if Principal.equal body.b_server service then begin
+                                    cache_creds t
+                                      ("svc:" ^ Principal.to_string service)
+                                      creds;
+                                    k (Ok creds)
+                                  end
+                                  else
+                                    (* Referral: we were handed a TGT for the
+                                       next realm on the path. *)
+                                    get_ticket_via t ~via:creds ~options
+                                      ?additional_ticket ~authz_data
+                                      ~hops:(hops + 1) ~service ~k ()
+                                end)))))
+  end
+
+let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
+  match t.tgt_creds with
+  | None -> k (Error "not logged in")
+  | Some via ->
+      get_ticket_via t ~via ?options ?additional_ticket
+        ?authz_data:(Option.map Fun.id authz_data) ~hops:0 ~service ~k ()
+
+(* ------------------------------------------------------------------ *)
+(* AP exchange and sealed calls                                        *)
+(* ------------------------------------------------------------------ *)
+
+type channel = {
+  chan_session : Session.t;
+  chan_sport : int;
+  chan_dst : Sim.Addr.t;
+  chan_dport : int;
+  mutable chan_waiting : (bytes, string) result -> unit;
+  chan_client : t;
+}
+
+let session c = c.chan_session
+
+let make_channel t session ~sport ~dst ~dport =
+  let chan =
+    { chan_session = session; chan_sport = sport; chan_dst = dst; chan_dport = dport;
+      chan_waiting = ignore; chan_client = t }
+  in
+  (* Replies on the channel port: priv frames handed to the waiter. *)
+  Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
+      match Frames.unwrap pkt.Sim.Packet.payload with
+      | Some (kind, payload) when kind = Frames.priv -> (
+          let waiter = chan.chan_waiting in
+          chan.chan_waiting <- ignore;
+          match Krb_priv.open_ session ~now:(now t) payload with
+          | Ok data -> waiter (Ok data)
+          | Error e -> waiter (Error (Krb_priv.error_to_string e)))
+      | Some (kind, payload) when kind = Frames.safe -> (
+          let waiter = chan.chan_waiting in
+          chan.chan_waiting <- ignore;
+          match Krb_safe.open_ session ~now:(now t) payload with
+          | Ok data -> waiter (Ok data)
+          | Error e -> waiter (Error (Krb_safe.error_to_string e)))
+      | Some (kind, payload) when kind = Frames.error ->
+          let waiter = chan.chan_waiting in
+          chan.chan_waiting <- ignore;
+          let text =
+            match
+              Messages.err_of_value
+                (Wire.Encoding.decode t.profile.Profile.encoding payload)
+            with
+            | { e_text; _ } -> e_text
+            | exception Wire.Codec.Decode_error _ -> "unparseable error"
+          in
+          waiter (Error text)
+      | _ -> ());
+  chan
+
+let ap_exchange t (creds : credentials) ?(mutual = true) ~dst ~dport k =
+  let sport = Sim.Net.ephemeral_port t.net in
+  let send kind payload =
+    Sim.Net.send t.net ~sport ~dst ~dport t.host (Frames.wrap kind payload)
+  in
+  let finish_session ~client_part ~server_part ~my_seq ~their_seq =
+    match
+      Session.derived_key t.profile ~multi:creds.session_key ~client_part ~server_part
+    with
+    | key ->
+        let session =
+          Session.make ~profile:t.profile ~rng:(Util.Rng.split t.rng)
+            ~role:Session.Client_side ~key ~own_addr:(Sim.Host.primary_ip t.host)
+            ~peer_addr:dst
+            ~send_seq:(Option.value my_seq ~default:0)
+            ~recv_seq:(Option.value their_seq ~default:0)
+        in
+        Ok (make_channel t session ~sport ~dst ~dport)
+    | exception Invalid_argument e -> Error e
+  in
+  match t.profile.Profile.ap_auth with
+  | Profile.Timestamp _ ->
+      let ts = now t in
+      let auth, client_part, my_seq = build_authenticator t creds ~now:ts () in
+      let ap =
+        { Messages.r_ticket = creds.ticket;
+          r_authenticator = seal_authenticator t creds auth; r_mutual = mutual }
+      in
+      let expect_body = mutual || client_part <> None || my_seq <> None in
+      Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
+          Sim.Net.unlisten t.net t.host ~port:sport;
+          match Frames.unwrap pkt.Sim.Packet.payload with
+          | Some (kind, body) when kind = Frames.ap_ok ->
+              if not expect_body then
+                k (finish_session ~client_part:None ~server_part:None ~my_seq:None ~their_seq:None)
+              else (
+                match
+                  Messages.open_msg t.profile ~key:creds.session_key
+                    ~tag:Messages.tag_ap_rep_body body
+                with
+                | Error e -> k (Error ("AP_REP: " ^ e))
+                | Ok v -> (
+                    match Messages.ap_rep_body_of_value v with
+                    | exception Wire.Codec.Decode_error e -> k (Error e)
+                    | rep ->
+                        if mutual && rep.ar_timestamp <> ts +. 1.0 then
+                          k (Error "mutual authentication failed (bad timestamp echo)")
+                        else
+                          k
+                            (finish_session ~client_part ~server_part:rep.ar_subkey_part
+                               ~my_seq ~their_seq:rep.ar_seq_init)))
+          | Some (kind, body) when kind = Frames.error ->
+              let text =
+                match
+                  Messages.err_of_value
+                    (Wire.Encoding.decode t.profile.Profile.encoding body)
+                with
+                | { e_text; _ } -> e_text
+                | exception Wire.Codec.Decode_error _ -> "unparseable error"
+              in
+              k (Error text)
+          | _ -> k (Error "unexpected reply to AP_REQ"));
+      send Frames.ap_req
+        (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
+           (Messages.ap_req_to_value ap))
+  | Profile.Challenge_response ->
+      let ap =
+        { Messages.r_ticket = creds.ticket; r_authenticator = Bytes.empty;
+          r_mutual = mutual }
+      in
+      let client_part =
+        if t.profile.Profile.negotiate_session_key then Some (Util.Rng.bytes t.rng 8)
+        else None
+      in
+      let my_seq =
+        match t.profile.Profile.priv_replay with
+        | Profile.Priv_sequence -> Some (Util.Rng.int t.rng 1_000_000)
+        | Profile.Priv_timestamp -> None
+      in
+      let stage = ref `Challenge in
+      Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
+          match (!stage, Frames.unwrap pkt.Sim.Packet.payload) with
+          | `Challenge, Some (kind, body) when kind = Frames.challenge -> (
+              match
+                Messages.open_msg t.profile ~key:creds.session_key
+                  ~tag:Messages.tag_challenge body
+              with
+              | Error e ->
+                  Sim.Net.unlisten t.net t.host ~port:sport;
+                  k (Error ("challenge: " ^ e))
+              | Ok v -> (
+                  match Messages.challenge_of_value v with
+                  | exception Wire.Codec.Decode_error e ->
+                      Sim.Net.unlisten t.net t.host ~port:sport;
+                      k (Error e)
+                  | ch ->
+                      (* A well-formed sealed challenge is itself proof the
+                         server holds the session key: mutual auth. *)
+                      stage := `Ok (ch.c_server_part, ch.c_seq_init);
+                      let resp =
+                        { Messages.cr_nonce_f = Int64.add ch.c_nonce 1L;
+                          cr_client_part = client_part; cr_seq_init = my_seq }
+                      in
+                      send Frames.challenge_resp
+                        (Messages.seal_msg t.profile t.rng ~key:creds.session_key
+                           ~tag:Messages.tag_challenge_resp
+                           (Messages.challenge_resp_to_value resp))))
+          | `Ok (server_part, their_seq), Some (kind, _) when kind = Frames.ap_ok ->
+              Sim.Net.unlisten t.net t.host ~port:sport;
+              k (finish_session ~client_part ~server_part ~my_seq ~their_seq)
+          | _, Some (kind, body) when kind = Frames.error ->
+              Sim.Net.unlisten t.net t.host ~port:sport;
+              let text =
+                match
+                  Messages.err_of_value
+                    (Wire.Encoding.decode t.profile.Profile.encoding body)
+                with
+                | { e_text; _ } -> e_text
+                | exception Wire.Codec.Decode_error _ -> "unparseable error"
+              in
+              k (Error text)
+          | _ -> ());
+      send Frames.ap_req
+        (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
+           (Messages.ap_req_to_value ap))
+
+let call_priv t chan data ~k =
+  chan.chan_waiting <- k;
+  let sealed = Krb_priv.seal chan.chan_session ~now:(now t) data in
+  Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
+    t.host (Frames.wrap Frames.priv sealed)
+
+let send_priv_oneway t chan data =
+  let sealed = Krb_priv.seal chan.chan_session ~now:(now t) data in
+  Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
+    t.host (Frames.wrap Frames.priv sealed)
+
+let call_safe t chan data ~k =
+  chan.chan_waiting <- k;
+  let msg = Krb_safe.seal chan.chan_session ~now:(now t) data in
+  Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
+    t.host (Frames.wrap Frames.safe msg)

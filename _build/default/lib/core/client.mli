@@ -1,0 +1,115 @@
+(** The client library: login, ticket acquisition (including multi-hop
+    cross-realm referrals), the AP exchange, and sealed application calls.
+
+    All operations are continuation-passing over the simulated network.
+    Credentials are cached in the host's credential cache — which is the
+    object the paper worries about on multi-user machines. *)
+
+type t
+
+type credentials = {
+  service : Principal.t;
+  ticket : bytes;  (** sealed, opaque to us *)
+  session_key : bytes;
+  issued_at : float;
+  lifetime : float;
+}
+
+val create :
+  ?seed:int64 ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Profile.t ->
+  kdcs:(string * Sim.Addr.t) list ->
+  Principal.t ->
+  t
+(** [kdcs] maps realm names to KDC addresses. *)
+
+val principal : t -> Principal.t
+val host : t -> Sim.Host.t
+val net : t -> Sim.Net.t
+val client_profile : t -> Profile.t
+val client_rng : t -> Util.Rng.t
+
+val login :
+  t ->
+  ?handheld:(bytes -> bytes) ->
+  ?key:bytes ->
+  ?service:Principal.t ->
+  password:string ->
+  ((credentials, string) result -> unit) ->
+  unit
+(** Obtain the ticket-granting ticket — or, with [?service], a ticket for
+    that service directly from the AS exchange. The AS exchange is
+    clock-free on the client side (nonce-based), which matters when a
+    machine with a broken clock must reach the time service to fix it
+    (the bootstrap problem of the "Secure Time Services" section).
+    Credentials from a [?service] login are returned but not installed as
+    the TGT. Under [Handheld_challenge] the
+    optional [handheld] function computes [{R}Kc] (a hardware device that
+    never reveals Kc); without a device the login code derives Kc from the
+    password and computes it itself, as the paper says the login program
+    would. The password-derived key is discarded after login except under
+    [Password] login where it transiently protects the reply. *)
+
+val tgt : t -> credentials option
+
+val adopt_tgt : t -> credentials -> unit
+(** Install stolen or forwarded credentials as this client's TGT — what an
+    attacker does with a cache-theft haul. *)
+
+val get_ticket :
+  t ->
+  ?options:Messages.kdc_options ->
+  ?additional_ticket:bytes ->
+  ?authz_data:bytes ->
+  service:Principal.t ->
+  ((credentials, string) result -> unit) ->
+  unit
+(** Obtain a service ticket via the TGS, following cross-realm referrals
+    (bounded hops). *)
+
+(** An authenticated session handle bound to a client-side port. *)
+type channel
+
+val session : channel -> Session.t
+
+val ap_exchange :
+  t ->
+  credentials ->
+  ?mutual:bool ->
+  dst:Sim.Addr.t ->
+  dport:int ->
+  ((channel, string) result -> unit) ->
+  unit
+
+val call_priv :
+  t -> channel -> bytes -> k:((bytes, string) result -> unit) -> unit
+(** Seal a request, send it on the channel, open the sealed response. *)
+
+val send_priv_oneway : t -> channel -> bytes -> unit
+
+val call_safe : t -> channel -> bytes -> k:((bytes, string) result -> unit) -> unit
+(** As [call_priv] but integrity-only (KRB_SAFE): the request travels in
+    the clear with a sealed checksum. *)
+
+val logout : t -> unit
+(** Wipe cached credentials (workstation logout). *)
+
+(** Plumbing shared with the hardened helpers and the attacks: *)
+
+val seal_authenticator : t -> credentials -> Messages.authenticator -> bytes
+
+val creds_to_bytes : credentials -> bytes
+(** The serialized form parked in the host credential cache. *)
+
+val creds_of_bytes : bytes -> credentials
+(** What a cache thief does with a stolen entry.
+    @raise Wire.Codec.Decode_error *)
+
+val build_authenticator :
+  t -> credentials -> ?req_cksum:bytes -> now:float -> unit ->
+  Messages.authenticator * bytes option * int option
+(** The authenticator record plus the subkey part and initial sequence
+    number chosen for it (also returned so the caller can build the session
+    afterwards). Not sealed yet. *)

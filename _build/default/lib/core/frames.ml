@@ -1,0 +1,17 @@
+let ap_req = 0
+let challenge = 1
+let challenge_resp = 2
+let ap_ok = 3
+let priv = 4
+let safe = 5
+let error = 6
+
+let wrap kind payload =
+  let out = Bytes.create (1 + Bytes.length payload) in
+  Bytes.set out 0 (Char.chr kind);
+  Bytes.blit payload 0 out 1 (Bytes.length payload);
+  out
+
+let unwrap b =
+  if Bytes.length b = 0 then None
+  else Some (Char.code (Bytes.get b 0), Bytes.sub b 1 (Bytes.length b - 1))

@@ -1,0 +1,15 @@
+(** One-byte transport framing for application-service ports, so a server
+    can tell a fresh AP_REQ from traffic belonging to an established
+    session. (Cleartext framing — the adversary can read and forge it,
+    which several attacks rely on.) *)
+
+val ap_req : int
+val challenge : int
+val challenge_resp : int
+val ap_ok : int
+val priv : int
+val safe : int
+val error : int
+
+val wrap : int -> bytes -> bytes
+val unwrap : bytes -> (int * bytes) option

@@ -1,0 +1,63 @@
+type kind = User | Service | Cross_realm
+
+type entry = { key : bytes; kind : kind }
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let add t principal entry = Hashtbl.replace t (Principal.to_string principal) entry
+
+let add_user t principal ~password =
+  add t principal { key = Crypto.Str2key.derive password; kind = User }
+
+let add_service t principal ~key = add t principal { key; kind = Service }
+let add_cross_realm t principal ~key = add t principal { key; kind = Cross_realm }
+
+let lookup t principal = Hashtbl.find_opt t (Principal.to_string principal)
+
+let principals t =
+  Hashtbl.fold (fun name _ acc -> Principal.of_string name :: acc) t []
+  |> List.sort Principal.compare
+
+let kind_code = function User -> 0 | Service -> 1 | Cross_realm -> 2
+
+let kind_of_code = function
+  | 0 -> User
+  | 1 -> Service
+  | 2 -> Cross_realm
+  | _ -> Wire.Codec.fail "kdb: unknown principal kind"
+
+let to_bytes t =
+  let w = Wire.Codec.Writer.create () in
+  let entries =
+    Hashtbl.fold (fun name e acc -> (name, e) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Wire.Codec.Writer.u32 w (List.length entries);
+  List.iter
+    (fun (name, e) ->
+      Wire.Codec.Writer.lstring w name;
+      Wire.Codec.Writer.u8 w (kind_code e.kind);
+      Wire.Codec.Writer.lbytes w e.key)
+    entries;
+  Wire.Codec.Writer.contents w
+
+let of_bytes b =
+  let r = Wire.Codec.Reader.of_bytes b in
+  let n = Wire.Codec.Reader.u32 r in
+  let t = create () in
+  for _ = 1 to n do
+    let name = Wire.Codec.Reader.lstring r in
+    let kind = kind_of_code (Wire.Codec.Reader.u8 r) in
+    let key = Wire.Codec.Reader.lbytes r in
+    Hashtbl.replace t name { key; kind }
+  done;
+  Wire.Codec.Reader.expect_end r;
+  t
+
+let replace_from dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let size t = Hashtbl.length t

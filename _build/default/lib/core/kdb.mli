@@ -1,0 +1,39 @@
+(** The KDC's principal database. "Kerberos is secure if and only if it can
+    protect other clients and servers, beginning only with the premise that
+    these client and server keys are secret." This module holds those keys.
+
+    The database is itself an experiment surface: the paper notes that
+    without preauthentication "the Kerberos equivalent of /etc/passwd must
+    be treated as public" — the database contents are what the
+    password-guessing attacks try to reconstruct. *)
+
+type kind = User | Service | Cross_realm
+
+type entry = { key : bytes; kind : kind }
+
+type t
+
+val create : unit -> t
+val add_user : t -> Principal.t -> password:string -> unit
+(** Stores the password-derived key (the KDC never keeps the password). *)
+
+val add_service : t -> Principal.t -> key:bytes -> unit
+val add_cross_realm : t -> Principal.t -> key:bytes -> unit
+val lookup : t -> Principal.t -> entry option
+val principals : t -> Principal.t list
+
+val to_bytes : t -> bytes
+(** Serialize the whole database — the payload of master→slave propagation
+    (and precisely the blob whose theft equals total compromise, which is
+    why kprop runs over [KRB_PRIV] and the master "must [have] strong
+    physical security"). *)
+
+val of_bytes : bytes -> t
+(** @raise Wire.Codec.Decode_error *)
+
+val replace_from : t -> t -> unit
+(** [replace_from dst src] atomically swaps [dst]'s contents for [src]'s —
+    the slave side of a propagation. *)
+
+val size : t -> int
+

@@ -1,0 +1,435 @@
+let default_port = 750
+
+type t = {
+  realm : string;
+  profile : Profile.t;
+  lifetime : float;
+  db : Kdb.t;
+  rng : Util.Rng.t;
+  routes : (string, string) Hashtbl.t;  (** remote realm -> next-hop realm *)
+  tgs_cache : Replay_cache.t;  (** authenticators presented to the TGS *)
+  enc_tkt_cname_check : bool;
+  verify_transit : bool;
+  rate_limit : int option;  (** AS requests per source per minute *)
+  rate_table : (Sim.Addr.t, float list ref) Hashtbl.t;  (** recent request times *)
+  mutable as_served : int;
+  mutable preauth_rejected : int;
+  mutable rate_limited : int;
+}
+
+let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
+    ?(verify_transit = false) ?rate_limit ~realm ~profile ~lifetime db =
+  { realm; profile; lifetime; db; rng = Util.Rng.create seed;
+    routes = Hashtbl.create 4; tgs_cache = Replay_cache.create ~horizon:600.0;
+    enc_tkt_cname_check; verify_transit; rate_limit;
+    rate_table = Hashtbl.create 16; as_served = 0; preauth_rejected = 0;
+    rate_limited = 0 }
+
+let realm t = t.realm
+let database t = t.db
+let add_realm_route t ~remote ~next_hop = Hashtbl.replace t.routes remote next_hop
+let as_requests_served t = t.as_served
+let preauth_rejections t = t.preauth_rejected
+let rate_limited_requests t = t.rate_limited
+
+(* Sliding one-minute window per source address. *)
+let rate_limit_exceeded t ~now src =
+  match t.rate_limit with
+  | None -> false
+  | Some limit ->
+      let slot =
+        match Hashtbl.find_opt t.rate_table src with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.rate_table src l;
+            l
+      in
+      slot := List.filter (fun ts -> now -. ts < 60.0) !slot;
+      if List.length !slot >= limit then begin
+        t.rate_limited <- t.rate_limited + 1;
+        true
+      end
+      else begin
+        slot := now :: !slot;
+        false
+      end
+
+let tgs_principal t = Principal.tgs ~realm:t.realm
+
+let err code text = Messages.err_to_value { Messages.e_code = code; e_text = text }
+
+let skew = 300.0
+
+(* ------------------------------------------------------------------ *)
+(* AS exchange                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_preauth t ~client_key (q : Messages.as_req) =
+  if not t.profile.Profile.preauth then Ok ()
+  else
+    match
+      List.find_map
+        (function Messages.Pa_preauth b -> Some b | _ -> None)
+        q.q_padata
+    with
+    | Some blob -> (
+        match
+          Messages.open_msg t.profile ~key:client_key ~tag:Messages.tag_preauth blob
+        with
+        | Error _ -> Error "preauth does not decrypt"
+        | Ok v -> (
+            match Wire.Encoding.expect_tag t.profile.Profile.encoding Messages.tag_preauth v with
+            | exception Wire.Codec.Decode_error _ -> Error "preauth malformed"
+            | inner ->
+                let nonce = Wire.Encoding.get_int (Wire.Encoding.nth inner 0) in
+                if nonce = q.q_nonce then Ok () else Error "preauth nonce mismatch"))
+    | None -> Error "preauthentication required"
+
+(* The {R}Kc wrapping of the handheld scheme. *)
+let handheld_wrap ~client_key r =
+  let k = Crypto.Des.schedule (Crypto.Des.fix_parity client_key) in
+  Crypto.Des.fix_parity (Crypto.Des.encrypt_block k r)
+
+(* The KDC's half of the exponential exchange: its public value and the
+   DES key distilled from the shared secret. *)
+let dh_respond t (q : Messages.as_req) =
+  match
+    List.find_map (function Messages.Pa_dh b -> Some b | _ -> None) q.q_padata
+  with
+  | None -> Error "dh login requires an exponential"
+  | Some client_pub ->
+      let grp = Crypto.Dh.group ~bits:t.profile.Profile.dh_group_bits in
+      let kp = Crypto.Dh.generate t.rng grp in
+      let shared = Crypto.Dh.shared_secret grp kp (Crypto.Bignum.of_bytes_be client_pub) in
+      let kdh = Crypto.Dh.secret_to_key grp shared in
+      let pub_bytes =
+        Crypto.Bignum.to_bytes_be ~size:((Crypto.Bignum.num_bits grp.p + 7) / 8) kp.public
+      in
+      Ok (kdh, pub_bytes)
+
+let wrap_key t ~client_key (q : Messages.as_req) =
+  (* Returns (wrapping key, challenge field, dh field) per login method. *)
+  match t.profile.Profile.login with
+  | Profile.Password -> Ok (client_key, None, None)
+  | Profile.Handheld_challenge ->
+      let r = Util.Rng.bytes t.rng 8 in
+      Ok (handheld_wrap ~client_key r, Some r, None)
+  | Profile.Dh_protected ->
+      Result.map
+        (fun (kdh, pub) ->
+          (Crypto.Prf.tag_key ~tag:"dh-login" (Util.Bytesutil.xor client_key kdh),
+           None, Some pub))
+        (dh_respond t q)
+  | Profile.Handheld_dh ->
+      let r = Util.Rng.bytes t.rng 8 in
+      Result.map
+        (fun (kdh, pub) ->
+          ( Crypto.Prf.tag_key ~tag:"dh-login"
+              (Util.Bytesutil.xor (handheld_wrap ~client_key r) kdh),
+            Some r, Some pub ))
+        (dh_respond t q)
+
+let handle_as t net host (q : Messages.as_req) ~src_addr =
+  if rate_limit_exceeded t ~now:(Sim.Net.local_time net host) src_addr then
+    err Messages.err_policy "request rate limit exceeded"
+  else
+  match Kdb.lookup t.db q.q_client with
+  | None -> err Messages.err_principal_unknown (Principal.to_string q.q_client)
+  | Some { key = client_key; _ } -> (
+      match check_preauth t ~client_key q with
+      | Error reason ->
+          t.preauth_rejected <- t.preauth_rejected + 1;
+          err Messages.err_preauth_required reason
+      | Ok () -> (
+          match Kdb.lookup t.db q.q_server with
+          | None -> err Messages.err_principal_unknown (Principal.to_string q.q_server)
+          | Some { key = server_key; _ } -> (
+              match wrap_key t ~client_key q with
+              | Error reason -> err Messages.err_preauth_failed reason
+              | Ok (wrap, challenge, dh_pub) ->
+                  t.as_served <- t.as_served + 1;
+                  let now = Sim.Net.local_time net host in
+                  let session_key = Crypto.Des.random_key t.rng in
+                  let ticket =
+                    { Messages.server = q.q_server; client = q.q_client;
+                      addr =
+                        (if t.profile.Profile.addr_in_ticket then Some q.q_addr else None);
+                      issued_at = now; lifetime = t.lifetime; session_key;
+                      forwarded = false; dup_skey = false; transited = [] }
+                  in
+                  let sealed_ticket =
+                    Messages.seal_msg t.profile t.rng ~key:server_key
+                      ~tag:Messages.tag_ticket (Messages.ticket_to_value ticket)
+                  in
+                  (* Recommendation (c), second half: only the hardened
+                     profile protects the ticket inside the sealed body; V4
+                     and the drafts ship it in the clear. *)
+                  let inside = t.profile.Profile.ticket_inside_sealed_rep in
+                  let body =
+                    { Messages.b_session_key = session_key; b_nonce = q.q_nonce;
+                      b_server = q.q_server; b_issued_at = now; b_lifetime = t.lifetime;
+                      b_ticket = (if inside then sealed_ticket else Bytes.empty) }
+                  in
+                  let sealed =
+                    Messages.seal_msg t.profile t.rng ~key:wrap
+                      ~tag:Messages.tag_as_rep_body
+                      (Messages.rep_body_to_value ~tag:Messages.tag_as_rep_body body)
+                  in
+                  Messages.as_rep_to_value
+                    { Messages.p_challenge = challenge; p_dh_public = dh_pub;
+                      p_ticket = (if inside then None else Some sealed_ticket);
+                      p_sealed = sealed })))
+
+(* ------------------------------------------------------------------ *)
+(* TGS exchange                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The presented ticket-granting ticket may be sealed under our own TGS key
+   or under a cross-realm key another realm shares with us. The key that
+   opens it tells us which neighboring realm vouched for it — information
+   the ticket's own transited field cannot be trusted to carry. *)
+let open_tgt t (blob : bytes) =
+  let candidates =
+    List.filter_map
+      (fun p ->
+        match Kdb.lookup t.db p with
+        | Some { key; kind = Kdb.Service } when Principal.equal p (tgs_principal t) ->
+            Some (key, None)
+        | Some { key; kind = Kdb.Cross_realm } ->
+            (* krbtgt.<us>@<neighbor>: the neighbor is the key's realm. *)
+            Some (key, Some p.Principal.realm)
+        | _ -> None)
+      (Kdb.principals t.db)
+  in
+  let rec try_keys = function
+    | [] -> Error "ticket does not decrypt under any TGS key"
+    | (key, source_realm) :: rest -> (
+        match Messages.open_msg t.profile ~key ~tag:Messages.tag_ticket blob with
+        | Ok v -> (
+            match Messages.ticket_of_value v with
+            | ticket -> Ok (ticket, source_realm)
+            | exception Wire.Codec.Decode_error e -> Error e)
+        | Error _ -> try_keys rest)
+  in
+  try_keys candidates
+
+(* Additional tickets (ENC-TKT-IN-SKEY / REUSE-SKEY) may name any service;
+   the KDC holds every key in the realm and can open them all. *)
+let open_any_ticket t (blob : bytes) =
+  let keys =
+    List.filter_map
+      (fun p -> Option.map (fun e -> e.Kdb.key) (Kdb.lookup t.db p))
+      (Kdb.principals t.db)
+  in
+  let rec try_keys = function
+    | [] -> Error "additional ticket does not decrypt under any realm key"
+    | key :: rest -> (
+        match Messages.open_msg t.profile ~key ~tag:Messages.tag_ticket blob with
+        | Ok v -> (
+            match Messages.ticket_of_value v with
+            | ticket -> Ok ticket
+            | exception Wire.Codec.Decode_error _ -> try_keys rest)
+        | Error _ -> try_keys rest)
+  in
+  try_keys keys
+
+let validate_tgs_authenticator t ~now ~src_addr ~(ticket : Messages.ticket)
+    (req : Messages.tgs_req) =
+  let open Messages in
+  match
+    open_msg t.profile ~key:ticket.session_key ~tag:tag_authenticator
+      req.t_ap.r_authenticator
+  with
+  | Error e -> Error (err_bad_integrity, "authenticator: " ^ e)
+  | Ok v -> (
+      match authenticator_of_value v with
+      | exception Wire.Codec.Decode_error e -> Error (err_bad_integrity, e)
+      | auth ->
+          if not (Principal.equal auth.a_client ticket.client) then
+            Error (err_bad_integrity, "authenticator/ticket client mismatch")
+          else if
+            (* The paper's challenge/response option extends to the TGS: the
+               request's nonce (echoed, sealed, in the reply) plus the
+               request checksum make the exchange self-authenticating — a
+               replayed TGS request merely re-issues a ticket sealed to the
+               original TGT holder. Only timestamp profiles check clocks. *)
+            (match t.profile.Profile.ap_auth with
+            | Profile.Timestamp _ -> Float.abs (auth.a_timestamp -. now) > skew
+            | Profile.Challenge_response -> false)
+          then Error (err_skew, "authenticator outside clock skew")
+          else if
+            (match t.profile.Profile.ap_auth with
+            | Profile.Timestamp { replay_cache = true; _ } ->
+                Replay_cache.check_and_insert t.tgs_cache ~now req.t_ap.r_authenticator
+                = Replay_cache.Replayed
+            | _ -> false)
+          then Error (err_replay, "authenticator replayed")
+          else if
+            (match ticket.addr with
+            | Some a -> not (Sim.Addr.equal a src_addr)
+            | None -> false)
+          then Error (err_badaddr, "ticket bound to another address")
+          else if ticket.issued_at +. ticket.lifetime < now then
+            Error (err_ticket_expired, "ticket expired")
+          else begin
+            (* Draft 3: the cleartext request fields are covered only by a
+               checksum sealed in the authenticator. *)
+            match t.profile.Profile.encoding with
+            | Wire.Encoding.V4_adhoc -> Ok auth
+            | Wire.Encoding.Der_typed -> (
+                match auth.a_req_cksum with
+                | None -> Error (err_bad_integrity, "request checksum missing")
+                | Some cksum ->
+                    let data = tgs_req_cleartext_fields req in
+                    if
+                      Crypto.Checksum.verify t.profile.Profile.checksum
+                        ~key:ticket.session_key data ~expect:cksum
+                    then Ok auth
+                    else Error (err_bad_integrity, "request checksum mismatch"))
+          end)
+
+let handle_tgs t net host (req : Messages.tgs_req) ~src_addr =
+  let open Messages in
+  let now = Sim.Net.local_time net host in
+  match open_tgt t req.t_ap.r_ticket with
+  | Error e -> err err_bad_integrity e
+  | Ok (tgt, source_realm) -> (
+      (* With transit verification on, the realm whose key vouched for this
+         TGT is appended by us — a lying intermediate cannot erase itself. *)
+      let tgt =
+        match source_realm with
+        | Some r when t.verify_transit && not (List.mem r tgt.Messages.transited) ->
+            { tgt with Messages.transited = tgt.Messages.transited @ [ r ] }
+        | _ -> tgt
+      in
+      match validate_tgs_authenticator t ~now ~src_addr ~ticket:tgt req with
+      | Error (code, text) -> err code text
+      | Ok _auth -> (
+          let opts = req.t_options in
+          if opts.enc_tkt_in_skey && not t.profile.Profile.allow_enc_tkt_in_skey then
+            err err_option_forbidden "ENC-TKT-IN-SKEY not allowed"
+          else if opts.reuse_skey && not t.profile.Profile.allow_reuse_skey then
+            err err_option_forbidden "REUSE-SKEY not allowed"
+          else if opts.forward && not t.profile.Profile.allow_forwarding then
+            err err_option_forbidden "forwarding not allowed"
+          else
+            (* Open the additional ticket if an option needs it. Note,
+               faithfully to Draft 3: no check that its client names the
+               requested server — the omission behind the cut-and-paste
+               attack. *)
+            let additional =
+              if opts.enc_tkt_in_skey || opts.reuse_skey then
+                match req.t_additional_ticket with
+                | None -> Error "option requires an additional ticket"
+                | Some blob -> Result.map (fun tkt -> Some tkt) (open_any_ticket t blob)
+              else Ok None
+            in
+            match additional with
+            | Error e -> err err_bad_integrity e
+            | Ok (Some a)
+              when opts.enc_tkt_in_skey && t.enc_tkt_cname_check
+                   && not (Principal.equal a.client req.t_server) ->
+                (* The intended-but-omitted Draft 3 rule. *)
+                err err_policy
+                  "additional ticket's client does not name the requested server"
+            | Ok additional -> (
+                (* Cross-realm referral when the target lives elsewhere. *)
+                let target_realm = req.t_server.Principal.realm in
+                let issue_for ~server_principal ~seal_key ~server_for_client =
+                  let session_key =
+                    match (opts.reuse_skey, additional) with
+                    | true, Some a -> a.session_key
+                    | _ -> Crypto.Des.random_key t.rng
+                  in
+                  let ticket =
+                    { server = server_principal; client = tgt.client;
+                      addr =
+                        (if opts.forward then None
+                         else if t.profile.Profile.addr_in_ticket then Some src_addr
+                         else None);
+                      issued_at = now; lifetime = t.lifetime; session_key;
+                      forwarded = (opts.forward || tgt.forwarded);
+                      dup_skey = opts.reuse_skey;
+                      transited =
+                        (if Principal.equal server_principal req.t_server then tgt.transited
+                         else tgt.transited @ [ t.realm ]) }
+                  in
+                  let sealed_ticket =
+                    seal_msg t.profile t.rng ~key:seal_key ~tag:tag_ticket
+                      (ticket_to_value ticket)
+                  in
+                  let inside = t.profile.Profile.ticket_inside_sealed_rep in
+                  let body =
+                    { b_session_key = session_key; b_nonce = req.t_nonce;
+                      b_server = server_for_client; b_issued_at = now;
+                      b_lifetime = t.lifetime;
+                      b_ticket = (if inside then sealed_ticket else Bytes.empty) }
+                  in
+                  let sealed =
+                    seal_msg t.profile t.rng ~key:tgt.session_key ~tag:tag_rep_body
+                      (rep_body_to_value ~tag:tag_rep_body body)
+                  in
+                  as_rep_to_value
+                    { p_challenge = None; p_dh_public = None;
+                      p_ticket = (if inside then None else Some sealed_ticket);
+                      p_sealed = sealed }
+                in
+                if target_realm <> t.realm then begin
+                  (* Refer the client to the next hop. *)
+                  let next =
+                    match Hashtbl.find_opt t.routes target_realm with
+                    | Some hop -> Some hop
+                    | None -> None
+                  in
+                  match next with
+                  | None -> err err_transit ("no route to realm " ^ target_realm)
+                  | Some hop -> (
+                      let xrealm = Principal.cross_realm_tgs ~local:t.realm ~remote:hop in
+                      match Kdb.lookup t.db xrealm with
+                      | None -> err err_transit ("no key for " ^ Principal.to_string xrealm)
+                      | Some { key; _ } ->
+                          issue_for ~server_principal:(Principal.tgs ~realm:hop)
+                            ~seal_key:key
+                            ~server_for_client:(Principal.tgs ~realm:hop))
+                end
+                else
+                  match
+                    (* ENC-TKT-IN-SKEY: seal the new ticket under the session
+                       key of the enclosed ticket instead of the server key. *)
+                    match (opts.enc_tkt_in_skey, additional) with
+                    | true, Some a -> Ok a.session_key
+                    | true, None -> Error "missing additional ticket"
+                    | false, _ -> (
+                        match Kdb.lookup t.db req.t_server with
+                        | None -> Error (Principal.to_string req.t_server ^ " unknown")
+                        | Some { key; _ } -> Ok key)
+                  with
+                  | Error e -> err err_principal_unknown e
+                  | Ok seal_key ->
+                      issue_for ~server_principal:req.t_server ~seal_key
+                        ~server_for_client:req.t_server)))
+
+(* ------------------------------------------------------------------ *)
+(* Service loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let install net host t ?(port = default_port) () =
+  Sim.Net.listen net host ~port (fun pkt ->
+      let reply v =
+        Sim.Net.send net ~sport:port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
+          host
+          (Wire.Encoding.encode t.profile.Profile.encoding v)
+      in
+      match Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload with
+      | exception Wire.Codec.Decode_error e -> reply (err Messages.err_generic e)
+      | v -> (
+          (* Try AS first, then TGS; under Der the tag disambiguates, under
+             V4 the structural parse does. *)
+          match Messages.as_req_of_value v with
+          | q -> reply (handle_as t net host q ~src_addr:pkt.Sim.Packet.src)
+          | exception Wire.Codec.Decode_error _ -> (
+              match Messages.tgs_req_of_value v with
+              | req -> reply (handle_tgs t net host req ~src_addr:pkt.Sim.Packet.src)
+              | exception Wire.Codec.Decode_error e ->
+                  reply (err Messages.err_generic e))))

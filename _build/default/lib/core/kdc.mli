@@ -1,0 +1,54 @@
+(** The Key Distribution Center: authentication server (AS) and
+    ticket-granting server (TGS) in one network service, as in MIT
+    Kerberos.
+
+    Behaviour follows the profile faithfully, including the weaknesses:
+    without [preauth], anyone may request an [AS_REP] for any user (grist
+    for password-guessing mills); with [allow_enc_tkt_in_skey] /
+    [allow_reuse_skey] the Draft 3 options are honoured with {e no} check
+    that the enclosed ticket's client matches the requested server — the
+    omission the paper's cut-and-paste attack exploits. *)
+
+type t
+
+val default_port : int
+(** 750, as in V4. *)
+
+val create :
+  ?seed:int64 ->
+  ?enc_tkt_cname_check:bool ->
+  ?verify_transit:bool ->
+  ?rate_limit:int ->
+  realm:string ->
+  profile:Profile.t ->
+  lifetime:float ->
+  Kdb.t ->
+  t
+(** [rate_limit] caps AS requests accepted per source address per minute —
+    "an enhancement to the server, to limit the rate of requests from a
+    single source, may be useful" (the paper's partial mitigation for
+    ticket harvesting). Default: unlimited.
+
+    [enc_tkt_cname_check] (default [false], faithful to Draft 3) enables
+    the rule the designers intended but omitted: with [ENC-TKT-IN-SKEY],
+    "the cname in the additional ticket [must] match the name of the server
+    for which the new ticket is being requested". Turning it on defeats the
+    cut-and-paste attack even under a weak checksum. *)
+
+val realm : t -> string
+val database : t -> Kdb.t
+
+val add_realm_route : t -> remote:string -> next_hop:string -> unit
+(** Static inter-realm routing: requests for [remote] are referred to the
+    cross-realm principal for [next_hop]. The paper: "there is no
+    discussion of how a TGS can determine which of its neighboring realms
+    should be the next hop ... static tables ... have security
+    limitations." *)
+
+val install : Sim.Net.t -> Sim.Host.t -> t -> ?port:int -> unit -> unit
+
+(** Statistics for the experiments. *)
+
+val as_requests_served : t -> int
+val preauth_rejections : t -> int
+val rate_limited_requests : t -> int

@@ -1,0 +1,40 @@
+(** KRB_PRIV: confidential application messages under the session key.
+
+    Three wire layouts, selected by [Profile.priv_mode]:
+
+    - [Pcbc_v4] — V4's format: {e leading} data length, then data,
+      millisecond time, host address, timestamp+direction; PCBC, zero IV.
+      The leading length "disrupts the prefix-based attack".
+    - [Cbc_v5_draft] — the Draft 2/3 shape the paper attacks: the data
+      comes {e first}, followed by (timestamp, direction, address); CBC
+      under a fixed public IV. Because CBC prefixes of encryptions are
+      encryptions of prefixes, a server that can be made to encrypt chosen
+      data (a mail or file server) can be turned into an oracle producing
+      valid ciphertexts for attacker-chosen messages.
+    - [Cbc_iv_chain] — recommendation (d): a per-direction IV that evolves
+      across messages (chaining over the whole session) plus an MD4
+      integrity check inside. A cut-and-pasted prefix decrypts under the
+      wrong IV and fails the check; message deletion is also detectable.
+
+    Replay protection within the session follows [Profile.priv_replay]:
+    timestamps plus a per-session cache, or sequence numbers. *)
+
+type error =
+  | Garbled  (** decryption or parse failure *)
+  | Bad_direction
+  | Bad_address
+  | Stale of float  (** timestamp outside the skew window *)
+  | Replay
+  | Out_of_sequence of { expected : int; got : int }
+
+val error_to_string : error -> string
+
+val seal : Session.t -> now:float -> bytes -> bytes
+(** [seal session ~now data]: [now] is the sender's local clock. Advances
+    the session's send state (sequence number / IV). *)
+
+val open_ : Session.t -> now:float -> bytes -> (bytes, error) result
+(** Advances receive state on success. *)
+
+val skew : float
+(** Acceptance window for timestamps (matches the authenticator skew). *)

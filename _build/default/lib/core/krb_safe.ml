@@ -1,0 +1,78 @@
+type error = Bad_checksum | Stale of float | Replay | Out_of_sequence | Malformed
+
+let error_to_string = function
+  | Bad_checksum -> "bad checksum"
+  | Stale dt -> Printf.sprintf "stale by %.1fs" dt
+  | Replay -> "replay"
+  | Out_of_sequence -> "out of sequence"
+  | Malformed -> "malformed"
+
+let skew = Krb_priv.skew
+
+(* Covered fields: data, stamp, the sender's address. The sender passes its
+   own address; the verifier passes the peer's. *)
+let covered ~addr data stamp =
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.lbytes w data;
+  Wire.Codec.Writer.i64 w stamp;
+  Wire.Codec.Writer.u32 w addr;
+  Wire.Codec.Writer.contents w
+
+(* Encipher the checksum under the session key (ECB over its padded form),
+   as the drafts' "encrypted checksum" types do. *)
+let seal_cksum (s : Session.t) raw =
+  let k = Crypto.Des.schedule (Crypto.Des.fix_parity s.key) in
+  Crypto.Mode.ecb_encrypt k (Crypto.Mode.pad raw)
+
+let stamp_of (s : Session.t) ~now =
+  match s.profile.Profile.priv_replay with
+  | Profile.Priv_timestamp -> Int64.bits_of_float now
+  | Profile.Priv_sequence ->
+      let v = Int64.of_int s.send_seq in
+      s.send_seq <- s.send_seq + 1;
+      v
+
+let seal (s : Session.t) ~now data =
+  let stamp = stamp_of s ~now in
+  let cksum =
+    Crypto.Checksum.compute s.profile.Profile.checksum ~key:s.key
+      (covered ~addr:s.own_addr data stamp)
+  in
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.lbytes w data;
+  Wire.Codec.Writer.i64 w stamp;
+  Wire.Codec.Writer.lbytes w (seal_cksum s cksum);
+  Wire.Codec.Writer.contents w
+
+let open_ (s : Session.t) ~now msg =
+  match
+    let r = Wire.Codec.Reader.of_bytes msg in
+    let data = Wire.Codec.Reader.lbytes r in
+    let stamp = Wire.Codec.Reader.i64 r in
+    let sealed = Wire.Codec.Reader.lbytes r in
+    Wire.Codec.Reader.expect_end r;
+    (data, stamp, sealed)
+  with
+  | exception Wire.Codec.Decode_error _ -> Error Malformed
+  | data, stamp, sealed ->
+      let expect =
+        Crypto.Checksum.compute s.profile.Profile.checksum ~key:s.key
+          (covered ~addr:s.peer_addr data stamp)
+      in
+      if not (Util.Bytesutil.equal sealed (seal_cksum s expect)) then Error Bad_checksum
+      else begin
+        match s.profile.Profile.priv_replay with
+        | Profile.Priv_timestamp ->
+            let ts = Int64.float_of_bits stamp in
+            let dt = Float.abs (now -. ts) in
+            if dt > skew then Error (Stale dt)
+            else if Replay_cache.check_and_insert s.cache ~now msg = Replay_cache.Replayed
+            then Error Replay
+            else Ok data
+        | Profile.Priv_sequence ->
+            if Int64.to_int stamp <> s.recv_seq then Error Out_of_sequence
+            else begin
+              s.recv_seq <- s.recv_seq + 1;
+              Ok data
+            end
+      end

@@ -1,0 +1,16 @@
+(** KRB_SAFE: integrity-protected (but cleartext) application messages.
+
+    The checksum is computed over the message and enciphered under the
+    session key. The paper's warning applies verbatim: "encrypting a
+    checksum provides very little protection; if the checksum is not
+    collision-proof and the data is public, an adversary can ... replace
+    the data with another message with the same checksum." With the
+    profile's checksum set to CRC-32, {!open_} accepts forgeries produced
+    by {!Crypto.Crc32.forge}; with MD4 it does not. *)
+
+type error = Bad_checksum | Stale of float | Replay | Out_of_sequence | Malformed
+
+val error_to_string : error -> string
+
+val seal : Session.t -> now:float -> bytes -> bytes
+val open_ : Session.t -> now:float -> bytes -> (bytes, error) result

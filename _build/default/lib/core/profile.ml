@@ -1,0 +1,84 @@
+type ap_auth =
+  | Timestamp of { skew : float; replay_cache : bool }
+  | Challenge_response
+
+type login_method = Password | Handheld_challenge | Dh_protected | Handheld_dh
+
+type priv_mode = Pcbc_v4 | Cbc_v5_draft | Cbc_iv_chain
+
+type priv_replay = Priv_timestamp | Priv_sequence
+
+type t = {
+  name : string;
+  encoding : Wire.Encoding.kind;
+  checksum : Crypto.Checksum.kind;
+  ap_auth : ap_auth;
+  login : login_method;
+  preauth : bool;
+  addr_in_ticket : bool;
+  negotiate_session_key : bool;
+  priv_mode : priv_mode;
+  priv_replay : priv_replay;
+  allow_enc_tkt_in_skey : bool;
+  allow_reuse_skey : bool;
+  allow_forwarding : bool;
+  ticket_checksum_in_authenticator : bool;
+  ticket_inside_sealed_rep : bool;
+  ticket_lifetime : float;
+  dh_group_bits : int;
+}
+
+let five_minutes = 300.0
+
+let v4 =
+  { name = "v4";
+    encoding = Wire.Encoding.V4_adhoc;
+    checksum = Crypto.Checksum.Crc32;
+    ap_auth = Timestamp { skew = five_minutes; replay_cache = false };
+    login = Password;
+    preauth = false;
+    addr_in_ticket = true;
+    negotiate_session_key = false;
+    priv_mode = Pcbc_v4;
+    priv_replay = Priv_timestamp;
+    allow_enc_tkt_in_skey = false;
+    allow_reuse_skey = false;
+    allow_forwarding = false;
+    ticket_checksum_in_authenticator = false;
+    ticket_inside_sealed_rep = false;
+    ticket_lifetime = 8.0 *. 3600.0;
+    dh_group_bits = 0 }
+
+let v5_draft3 =
+  { v4 with
+    name = "v5-draft3";
+    encoding = Wire.Encoding.Der_typed;
+    checksum = Crypto.Checksum.Crc32;
+    priv_mode = Cbc_v5_draft;
+    addr_in_ticket = false;
+    allow_enc_tkt_in_skey = true;
+    allow_reuse_skey = true;
+    allow_forwarding = true }
+
+let hardened =
+  { name = "hardened";
+    encoding = Wire.Encoding.Der_typed;
+    checksum = Crypto.Checksum.Md4;
+    ap_auth = Challenge_response;
+    login = Handheld_dh;
+    preauth = true;
+    addr_in_ticket = false;
+    negotiate_session_key = true;
+    priv_mode = Cbc_iv_chain;
+    priv_replay = Priv_sequence;
+    allow_enc_tkt_in_skey = false;
+    allow_reuse_skey = false;
+    allow_forwarding = false;
+    ticket_checksum_in_authenticator = true;
+    ticket_inside_sealed_rep = true;
+    ticket_lifetime = 8.0 *. 3600.0;
+    dh_group_bits = 127 }
+
+let all = [ v4; v5_draft3; hardened ]
+
+let pp ppf t = Format.pp_print_string ppf t.name

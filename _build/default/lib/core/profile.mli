@@ -1,0 +1,76 @@
+(** Protocol-variant profiles.
+
+    Every knob the paper discusses is gathered here, so each experiment
+    reads "run attack A against profile P". Three named instances:
+
+    - {!v4} — Kerberos Version 4 as shipped: PCBC encryption, ad-hoc
+      encodings, timestamp authenticators with no replay cache (caching
+      "was never implemented"), tickets bound to one address, no
+      preauthentication, no forwarding or options;
+    - {!v5_draft3} — the Version 5 Draft 3 the appendix analyzes: CBC with
+      confounder, typed (ASN.1-style) encodings, CRC-32 checksums,
+      [ENC-TKT-IN-SKEY] and [REUSE-SKEY] options, forwardable tickets,
+      still no preauthentication;
+    - {!hardened} — every change the paper recommends, switched on. *)
+
+type ap_auth =
+  | Timestamp of { skew : float; replay_cache : bool }
+      (** accept authenticators within [skew] seconds of the server clock *)
+  | Challenge_response
+      (** recommendation (a): server issues an encrypted nonce instead of
+          trusting clocks *)
+
+type login_method =
+  | Password  (** AS_REP sealed under the password-derived key *)
+  | Handheld_challenge
+      (** recommendation (c): AS_REP sealed under [{R}Kc] for a fresh [R] *)
+  | Dh_protected
+      (** recommendation (h): an exponential-key-exchange layer on top *)
+  | Handheld_dh
+      (** recommendations (c) and (h) composed: the reply is sealed under a
+          key mixing [{R}Kc] with the exponential secret — trojan-proof and
+          eavesdropper-proof at once *)
+
+type priv_mode =
+  | Pcbc_v4  (** length-prefixed data, PCBC, zero IV *)
+  | Cbc_v5_draft  (** data-first layout, CBC, fixed public IV *)
+  | Cbc_iv_chain
+      (** recommendation (d): per-session IV evolving across messages, MD4
+          integrity inside *)
+
+type priv_replay =
+  | Priv_timestamp  (** per-message timestamps + a cache of recent ones *)
+  | Priv_sequence  (** sequence numbers negotiated at AP exchange *)
+
+type t = {
+  name : string;
+  encoding : Wire.Encoding.kind;
+  checksum : Crypto.Checksum.kind;
+  ap_auth : ap_auth;
+  login : login_method;
+  preauth : bool;  (** recommendation (g) *)
+  addr_in_ticket : bool;
+  negotiate_session_key : bool;  (** recommendation (e) *)
+  priv_mode : priv_mode;
+  priv_replay : priv_replay;
+  allow_enc_tkt_in_skey : bool;
+  allow_reuse_skey : bool;
+  allow_forwarding : bool;
+  ticket_checksum_in_authenticator : bool;
+      (** appendix recommendation (c): tie the authenticator to its ticket *)
+  ticket_inside_sealed_rep : bool;
+      (** the other half of appendix recommendation (c): "the encrypted
+          part of KRB_AS_REP and KRB_TGS_REP should contain collision-proof
+          checksums of the tickets". V4 and the drafts carry the ticket
+          outside any integrity protection — an adversary can substitute a
+          different ticket in the reply, a denial of service the client
+          cannot detect until it tries to use the ticket. *)
+  ticket_lifetime : float;
+  dh_group_bits : int;  (** modulus size when [login = Dh_protected] *)
+}
+
+val v4 : t
+val v5_draft3 : t
+val hardened : t
+val all : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+let parent realm =
+  match String.index_opt realm '.' with
+  | None -> None
+  | Some i -> Some (String.sub realm (i + 1) (String.length realm - i - 1))
+
+let rec ancestors realm =
+  match parent realm with None -> [] | Some p -> p :: ancestors p
+
+let is_descendant realm ~of_ =
+  realm <> of_ && List.mem of_ (ancestors realm)
+
+(* The child of [local] lying on the path down to [target]: the unique
+   realm whose parent is [local] and of which [target] is a descendant (or
+   which is the target itself). *)
+let child_toward ~local ~target ~known =
+  List.find_opt
+    (fun r ->
+      parent r = Some local && (r = target || is_descendant target ~of_:r))
+    known
+
+let next_hop ~local ~target ~known =
+  if target = local then None
+  else if is_descendant target ~of_:local then child_toward ~local ~target ~known
+  else
+    (* Target is not below us: climb. The root with no parent cannot climb;
+       if it also cannot find a child, the request is unroutable. *)
+    match parent local with
+    | Some p -> Some p
+    | None -> child_toward ~local ~target ~known
+
+let configure kdc ~known ~targets =
+  let local = Kdc.realm kdc in
+  List.iter
+    (fun target ->
+      if target <> local then
+        match next_hop ~local ~target ~known with
+        | Some hop -> Kdc.add_realm_route kdc ~remote:target ~next_hop:hop
+        | None -> ())
+    targets

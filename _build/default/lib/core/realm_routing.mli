@@ -1,0 +1,31 @@
+(** Hierarchical realm routing.
+
+    "Realms will normally be configured in a hierarchical fashion ...
+    Moving up the tree, towards the root, is an obvious answer for leaf
+    nodes; however, each parent node would need complete knowledge of its
+    entire subtree's realms in order to determine how to pass the request
+    downwards."
+
+    Realm names are dotted, child-first ("CS.MIT", parent "MIT"). The
+    next-hop computation makes the paper's observation concrete: routing
+    {e up} needs only the local name; routing {e down} needs the parent to
+    already know the descendant — an unknown grandchild is unroutable
+    ([None]), and learning about it requires exactly the out-of-band,
+    hard-to-authenticate configuration the paper worries about. *)
+
+val parent : string -> string option
+(** ["CS.MIT"] -> [Some "MIT"]; a root (no dot) has no parent. *)
+
+val ancestors : string -> string list
+(** ["A.B.C"] -> [["B.C"; "C"]]. *)
+
+val is_descendant : string -> of_:string -> bool
+
+val next_hop : local:string -> target:string -> known:string list -> string option
+(** The neighbor to refer a request for [target] to. Up-moves need no
+    knowledge; down-moves return the child of [local] on the path to
+    [target] only if that child is in [known]. [None] = unroutable. *)
+
+val configure : Kdc.t -> known:string list -> targets:string list -> unit
+(** Fill the KDC's static route table from the hierarchy, one entry per
+    reachable target. *)

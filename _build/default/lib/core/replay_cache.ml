@@ -1,0 +1,22 @@
+type t = { horizon : float; entries : (string, float) Hashtbl.t }
+
+let create ~horizon = { horizon; entries = Hashtbl.create 64 }
+
+type verdict = Fresh | Replayed
+
+let purge t ~now =
+  let stale =
+    Hashtbl.fold (fun k exp acc -> if exp < now then k :: acc else acc) t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) stale
+
+let check_and_insert t ~now blob =
+  purge t ~now;
+  let key = Crypto.Md4.hex_digest blob in
+  match Hashtbl.find_opt t.entries key with
+  | Some _ -> Replayed
+  | None ->
+      Hashtbl.replace t.entries key (now +. t.horizon);
+      Fresh
+
+let size t = Hashtbl.length t.entries

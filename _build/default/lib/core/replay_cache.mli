@@ -1,0 +1,22 @@
+(** A cache of recently seen authenticators.
+
+    The original Kerberos design "required such caching, though this was
+    never implemented"; the paper discusses why multi-process UNIX servers
+    found it awkward. Here the cache is a module servers may or may not be
+    configured with (the V4 profile runs without one, faithfully). Entries
+    expire after the clock-skew horizon — outside it, the timestamp check
+    itself rejects the authenticator. *)
+
+type t
+
+val create : horizon:float -> t
+
+type verdict = Fresh | Replayed
+
+val check_and_insert : t -> now:float -> bytes -> verdict
+(** Keyed by a digest of the authenticator ciphertext. [Fresh] inserts. *)
+
+val size : t -> int
+(** Live entries (after purging), the server-state cost measured in E14. *)
+
+val purge : t -> now:float -> unit

@@ -1,0 +1,48 @@
+type scheme = Pcbc_raw | Cbc_confounder of Crypto.Checksum.kind
+
+let of_profile (p : Profile.t) =
+  match p.encoding with
+  | Wire.Encoding.V4_adhoc -> Pcbc_raw
+  | Wire.Encoding.Der_typed -> Cbc_confounder p.checksum
+
+let seal scheme rng ~key plaintext =
+  let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+  match scheme with
+  | Pcbc_raw ->
+      Crypto.Mode.pcbc_encrypt k ~iv:Crypto.Mode.zero_iv (Crypto.Mode.pad plaintext)
+  | Cbc_confounder kind ->
+      let confounder = Util.Rng.bytes rng 8 in
+      let cksum_size = Crypto.Checksum.size kind in
+      (* Checksum is computed over the message with the checksum field
+         zeroed, then spliced in. *)
+      let body =
+        Bytes.concat Bytes.empty [ confounder; Bytes.make cksum_size '\000'; plaintext ]
+      in
+      let cksum = Crypto.Checksum.compute kind ~key body in
+      Bytes.blit cksum 0 body 8 cksum_size;
+      Crypto.Mode.cbc_encrypt k ~iv:Crypto.Mode.zero_iv (Crypto.Mode.pad body)
+
+let open_ scheme ~key ciphertext =
+  let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+  if Bytes.length ciphertext = 0 || Bytes.length ciphertext mod 8 <> 0 then
+    Error "not a ciphertext"
+  else
+    match scheme with
+    | Pcbc_raw -> (
+        match Crypto.Mode.unpad (Crypto.Mode.pcbc_decrypt k ~iv:Crypto.Mode.zero_iv ciphertext) with
+        | Some b -> Ok b
+        | None -> Error "bad padding")
+    | Cbc_confounder kind -> (
+        match Crypto.Mode.unpad (Crypto.Mode.cbc_decrypt k ~iv:Crypto.Mode.zero_iv ciphertext) with
+        | None -> Error "bad padding"
+        | Some body ->
+            let cksum_size = Crypto.Checksum.size kind in
+            if Bytes.length body < 8 + cksum_size then Error "too short"
+            else begin
+              let expect = Bytes.sub body 8 cksum_size in
+              let zeroed = Bytes.copy body in
+              Bytes.fill zeroed 8 cksum_size '\000';
+              if Crypto.Checksum.verify kind ~key zeroed ~expect then
+                Ok (Bytes.sub body (8 + cksum_size) (Bytes.length body - 8 - cksum_size))
+              else Error "checksum mismatch"
+            end)

@@ -1,0 +1,25 @@
+(** The encryption layer, separated from the protocol proper — the paper's
+    recommendation (d): "mechanisms such as random initial vectors (in place
+    of confounders), block chaining and message authentication codes should
+    be left to a separate encryption layer, whose information-hiding
+    requirements are clearly explicated."
+
+    Two schemes:
+    - {!Pcbc_raw}: Kerberos V4's layer — PCBC under a zero IV, no integrity
+      beyond what the caller's parser happens to notice;
+    - {!Cbc_confounder}: the V5 drafts' layer — a random confounder block
+      followed by a checksum sealed inside the encryption (CBC, fixed IV).
+      With a CRC-32 checksum this is the Draft 3 configuration; with MD4 it
+      is the hardened one. *)
+
+type scheme = Pcbc_raw | Cbc_confounder of Crypto.Checksum.kind
+
+val of_profile : Profile.t -> scheme
+
+val seal : scheme -> Util.Rng.t -> key:bytes -> bytes -> bytes
+(** [seal scheme rng ~key plaintext]. *)
+
+val open_ : scheme -> key:bytes -> bytes -> (bytes, string) result
+(** Decrypt and (for {!Cbc_confounder}) verify the sealed checksum. A
+    [Pcbc_raw] opening never fails here — V4 has no integrity check at this
+    layer; garbage is detected, if at all, by the caller's parser. *)

@@ -1,0 +1,39 @@
+type role = Client_side | Server_side
+
+type t = {
+  profile : Profile.t;
+  key : bytes;
+  role : role;
+  own_addr : Sim.Addr.t;
+  peer_addr : Sim.Addr.t;
+  mutable send_seq : int;
+  mutable recv_seq : int;
+  mutable send_iv : bytes;
+  mutable recv_iv : bytes;
+  cache : Replay_cache.t;
+  rng : Util.Rng.t;
+}
+
+(* Directional initial IVs both sides can compute: E_k(direction byte,
+   zero-padded). "Initial values for it should be exchanged during (or
+   derived from) the authentication handshake." *)
+let initial_iv ~key direction =
+  let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+  let block = Bytes.make 8 '\000' in
+  Bytes.set block 0 direction;
+  Crypto.Des.encrypt_block k block
+
+let make ~profile ~rng ~role ~key ~own_addr ~peer_addr ~send_seq ~recv_seq =
+  let c2s = initial_iv ~key 'C' and s2c = initial_iv ~key 'S' in
+  let send_iv, recv_iv =
+    match role with Client_side -> (c2s, s2c) | Server_side -> (s2c, c2s)
+  in
+  { profile; key; role; own_addr; peer_addr; send_seq; recv_seq; send_iv; recv_iv;
+    cache = Replay_cache.create ~horizon:600.0; rng }
+
+let derived_key (profile : Profile.t) ~multi ~client_part ~server_part =
+  if not profile.negotiate_session_key then multi
+  else
+    match (client_part, server_part) with
+    | Some c, Some s -> Crypto.Prf.negotiate_session_key ~multi ~client_part:c ~server_part:s
+    | _ -> invalid_arg "Session.derived_key: negotiation parts missing"

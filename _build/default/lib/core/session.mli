@@ -1,0 +1,41 @@
+(** Per-connection cryptographic state shared by the two ends of an
+    authenticated exchange.
+
+    The paper's point about "session" keys: in stock Kerberos the key in
+    the ticket is really a {e multi-session} key, alive as long as the
+    ticket. When [Profile.negotiate_session_key] is set, the key here is
+    instead the XOR-negotiated true session key (recommendation (e)),
+    limiting both cryptanalytic exposure and cross-session substitution. *)
+
+type role = Client_side | Server_side
+
+type t = {
+  profile : Profile.t;
+  key : bytes;  (** multi-session or negotiated, per profile *)
+  role : role;
+  own_addr : Sim.Addr.t;
+  peer_addr : Sim.Addr.t;
+  mutable send_seq : int;
+  mutable recv_seq : int;
+  mutable send_iv : bytes;  (** evolving IV, [Cbc_iv_chain] only *)
+  mutable recv_iv : bytes;
+  cache : Replay_cache.t;  (** per-session cache of priv timestamps *)
+  rng : Util.Rng.t;
+}
+
+val make :
+  profile:Profile.t ->
+  rng:Util.Rng.t ->
+  role:role ->
+  key:bytes ->
+  own_addr:Sim.Addr.t ->
+  peer_addr:Sim.Addr.t ->
+  send_seq:int ->
+  recv_seq:int ->
+  t
+
+val derived_key :
+  Profile.t -> multi:bytes -> client_part:bytes option -> server_part:bytes option -> bytes
+(** The session key per profile: the multi-session key as-is, or the
+    negotiated XOR when the profile asks for it (both parts must then be
+    present). *)

@@ -1,0 +1,1 @@
+lib/crypto/checksum.ml: Crc32 Format Md4 Util

@@ -1,0 +1,1 @@
+lib/crypto/dlog.ml: Bignum Dh Hashtbl Util

@@ -1,0 +1,1 @@
+lib/crypto/dlog.mli: Bignum Dh Util

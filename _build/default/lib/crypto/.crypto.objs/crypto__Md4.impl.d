@@ -1,0 +1,1 @@
+lib/crypto/md4.ml: Array Bytes Des Int32 Int64 List Mode Util

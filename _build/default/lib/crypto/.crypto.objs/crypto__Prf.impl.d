@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Bytes Des Md4 Util

@@ -1,0 +1,1 @@
+lib/crypto/str2key.ml: Array Bytes Char Des Mode String Util

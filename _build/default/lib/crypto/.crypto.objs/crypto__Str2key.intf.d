@@ -1,0 +1,1 @@
+lib/crypto/str2key.mli:

@@ -1,0 +1,301 @@
+(* Little-endian limbs in base 2^26. 26-bit limbs keep every intermediate of
+   schoolbook multiplication (limb*limb + carry + acc <= 2^52 + 2^53) well
+   inside OCaml's 63-bit native ints. The zero value is the empty array;
+   all values are kept normalized (no leading zero limbs). *)
+
+let limb_bits = 26
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+type t = int array
+
+let zero : t = [||]
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs v = if v = 0 then [] else (v land limb_mask) :: limbs (v lsr limb_bits) in
+  Array.of_list (limbs v)
+
+let one = of_int 1
+let two = of_int 2
+
+let is_zero (a : t) = Array.length a = 0
+
+let num_bits (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0
+  else
+    let top = a.(n - 1) in
+    let rec width v = if v = 0 then 0 else 1 + width (v lsr 1) in
+    ((n - 1) * limb_bits) + width top
+
+let to_int_opt (a : t) =
+  if num_bits a > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      v := (!v lsl limb_bits) lor a.(i)
+    done;
+    Some !v
+  end
+
+let compare (a : t) (b : t) =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Stdlib.compare na nb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (na - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  let n = max na nb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < na then a.(i) else 0) + (if i < nb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make na 0 in
+  let borrow = ref 0 in
+  for i = 0 to na - 1 do
+    let d = a.(i) - (if i < nb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + limb_base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let mul (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then zero
+  else begin
+    let out = Array.make (na + nb) 0 in
+    for i = 0 to na - 1 do
+      let carry = ref 0 in
+      for j = 0 to nb - 1 do
+        let v = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      let k = ref (i + nb) in
+      while !carry <> 0 do
+        let v = out.(!k) + !carry in
+        out.(!k) <- v land limb_mask;
+        carry := v lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let shift_left (a : t) bits : t =
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let na = Array.length a in
+    let out = Array.make (na + limb_shift + 1) 0 in
+    for i = 0 to na - 1 do
+      let v = a.(i) lsl bit_shift in
+      out.(i + limb_shift) <- out.(i + limb_shift) lor (v land limb_mask);
+      out.(i + limb_shift + 1) <- v lsr limb_bits
+    done;
+    normalize out
+  end
+
+let shift_right (a : t) bits : t =
+  if bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let na = Array.length a in
+    if limb_shift >= na then zero
+    else begin
+      let n = na - limb_shift in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= na then 0
+          else (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land limb_mask
+        in
+        out.(i) <- lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+let bit (a : t) i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+(* Binary long division: O(bits * limbs), fine at the 512-bit scale this
+   repository needs. *)
+let divmod (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let nbits = num_bits a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = nbits - 1 downto 0 do
+      r := shift_left !r 1;
+      if bit a i then r := add !r one;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let rem a b = snd (divmod a b)
+
+let mod_mul a b ~modulus = rem (mul a b) modulus
+
+let mod_pow ~base ~exp ~modulus =
+  if equal modulus one then zero
+  else begin
+    let result = ref one in
+    let b = ref (rem base modulus) in
+    let n = num_bits exp in
+    for i = 0 to n - 1 do
+      if bit exp i then result := mod_mul !result !b ~modulus;
+      if i < n - 1 then b := mod_mul !b !b ~modulus
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let of_hex s =
+  let v = ref zero in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | '_' | ' ' -> -1
+        | _ -> invalid_arg "Bignum.of_hex"
+      in
+      if d >= 0 then v := add (shift_left !v 4) (of_int d))
+    s;
+  !v
+
+let to_hex (a : t) =
+  if is_zero a then "0"
+  else begin
+    let nibbles = (num_bits a + 3) / 4 in
+    let buf = Buffer.create nibbles in
+    for i = nibbles - 1 downto 0 do
+      let limb = (i * 4) / limb_bits and off = (i * 4) mod limb_bits in
+      let v =
+        (a.(limb) lsr off)
+        lor (if off > limb_bits - 4 && limb + 1 < Array.length a then a.(limb + 1) lsl (limb_bits - off) else 0)
+      in
+      Buffer.add_char buf "0123456789abcdef".[v land 0xf]
+    done;
+    (* strip leading zero nibble if the bit count wasn't a nibble multiple *)
+    let s = Buffer.contents buf in
+    let start = ref 0 in
+    while !start < String.length s - 1 && s.[!start] = '0' do incr start done;
+    String.sub s !start (String.length s - !start)
+  end
+
+let of_bytes_be b =
+  let v = ref zero in
+  Bytes.iter (fun c -> v := add (shift_left !v 8) (of_int (Char.code c))) b;
+  !v
+
+let to_bytes_be ?size (a : t) =
+  let needed = (num_bits a + 7) / 8 in
+  let size = match size with None -> max needed 1 | Some s -> s in
+  if needed > size then invalid_arg "Bignum.to_bytes_be: value too large";
+  let out = Bytes.make size '\000' in
+  let v = ref a in
+  let i = ref (size - 1) in
+  while not (is_zero !v) do
+    (match to_int_opt (rem !v (of_int 256)) with
+    | Some b -> Bytes.set out !i (Char.chr b)
+    | None -> assert false);
+    v := shift_right !v 8;
+    decr i
+  done;
+  out
+
+let random rng ~bits =
+  if bits <= 0 then zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let b = Util.Rng.bytes rng nbytes in
+    (* Mask excess high bits. *)
+    let excess = (nbytes * 8) - bits in
+    if excess > 0 then
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land (0xff lsr excess)));
+    of_bytes_be b
+  end
+
+let rec random_below rng bound =
+  if is_zero bound then invalid_arg "Bignum.random_below: zero bound";
+  let candidate = random rng ~bits:(num_bits bound) in
+  if compare candidate bound < 0 then candidate else random_below rng bound
+
+let is_probable_prime ?(rounds = 20) rng n =
+  if compare n two < 0 then false
+  else if compare n (of_int 4) < 0 then true (* 2 and 3 *)
+  else if not (bit n 0) then false
+  else begin
+    (* n - 1 = d * 2^s with d odd *)
+    let n_minus_1 = sub n one in
+    let s = ref 0 in
+    let d = ref n_minus_1 in
+    while not (bit !d 0) do
+      d := shift_right !d 1;
+      incr s
+    done;
+    let witness a =
+      let x = ref (mod_pow ~base:a ~exp:!d ~modulus:n) in
+      if equal !x one || equal !x n_minus_1 then false
+      else begin
+        let composite = ref true in
+        (try
+           for _ = 1 to !s - 1 do
+             x := mod_mul !x !x ~modulus:n;
+             if equal !x n_minus_1 then begin
+               composite := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !composite
+      end
+    in
+    let rec trial k =
+      if k = 0 then true
+      else
+        let a = add two (random_below rng (sub n (of_int 3))) in
+        if witness a then false else trial (k - 1)
+    in
+    trial rounds
+  end
+
+let pp ppf a = Format.fprintf ppf "0x%s" (to_hex a)

@@ -1,0 +1,25 @@
+type kind = Crc32 | Md4 | Md4_des
+
+let show = function Crc32 -> "crc32" | Md4 -> "md4" | Md4_des -> "md4-des"
+let pp ppf k = Format.pp_print_string ppf (show k)
+let equal (a : kind) b = a = b
+
+let collision_proof = function Crc32 -> false | Md4 | Md4_des -> true
+
+let size = function Crc32 -> 4 | Md4 -> 16 | Md4_des -> 16
+
+let compute kind ~key data =
+  match kind with
+  | Crc32 -> Crc32.digest_to_bytes (Crc32.bytes_digest data)
+  | Md4 -> Md4.digest data
+  | Md4_des -> Md4.hmac_des ~key data
+
+let verify kind ~key data ~expect =
+  Util.Bytesutil.equal (compute kind ~key data) expect
+
+let forge_to_match kind ~original ~tampered_prefix =
+  match kind with
+  | Md4 | Md4_des -> None
+  | Crc32 ->
+      let target = Crc32.bytes_digest original in
+      Some (Crc32.forge ~prefix:tampered_prefix ~target)

@@ -1,0 +1,29 @@
+(** Checksum dispatch, mirroring the Draft 3 checksum registry.
+
+    The crucial classification, which Draft 3 omitted and the paper supplies:
+    whether a checksum is {e collision-proof} — "whether or not an attacker
+    can construct a new message with the same checksum". CRC-32 is not;
+    MD4 is (by 1990 assumption). Encrypting a non-collision-proof checksum
+    over public data protects nothing, which [forge_to_match] demonstrates. *)
+
+type kind = Crc32 | Md4 | Md4_des
+
+val show : kind -> string
+val pp : Format.formatter -> kind -> unit
+val equal : kind -> kind -> bool
+
+val collision_proof : kind -> bool
+(** [false] only for {!Crc32}. *)
+
+val size : kind -> int
+
+val compute : kind -> key:bytes -> bytes -> bytes
+(** [compute kind ~key data]. The [key] is used only by {!Md4_des}. *)
+
+val verify : kind -> key:bytes -> bytes -> expect:bytes -> bool
+
+val forge_to_match : kind -> original:bytes -> tampered_prefix:bytes -> bytes option
+(** [forge_to_match kind ~original ~tampered_prefix] attempts to produce a
+    4-byte filler such that [tampered_prefix ^ filler] has the same [kind]
+    checksum as [original] — the attacker's move in the cut-and-paste
+    attacks. [Some _] exactly when the checksum is not collision-proof. *)

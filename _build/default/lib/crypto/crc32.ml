@@ -1,0 +1,64 @@
+(* Reflected CRC-32, polynomial 0xEDB88320, init/xorout 0xFFFFFFFF. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for i = 0 to 255 do
+    let c = ref i in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(i) <- !c
+  done;
+  t
+
+(* The 256 table entries have pairwise-distinct high bytes, which is what
+   makes the backward pass of [forge] well-defined. *)
+let reverse_index =
+  let r = Array.make 256 0 in
+  Array.iteri (fun i v -> r.(v lsr 24) <- i) table;
+  r
+
+type state = int
+
+let init = 0xFFFFFFFF
+
+let update st b =
+  let s = ref st in
+  for i = 0 to Bytes.length b - 1 do
+    s := (!s lsr 8) lxor table.((!s lxor Char.code (Bytes.get b i)) land 0xff)
+  done;
+  !s
+
+let digest st = st lxor 0xFFFFFFFF
+
+let bytes_digest b = digest (update init b)
+
+let digest_to_bytes d =
+  let out = Bytes.create 4 in
+  Util.Bytesutil.put_u32_be out 0 d;
+  out
+
+let forge_state ~from_state ~to_state =
+  (* Backward pass: recover the table indices a 4-byte patch must hit so the
+     register lands on [to_state]. Only the top byte matters at each step,
+     so zero-filled shifts are sound (see Stigge et al., "Reversing CRC"). *)
+  let indices = Array.make 4 0 in
+  let v = ref to_state in
+  for k = 3 downto 0 do
+    let i = reverse_index.(!v lsr 24) in
+    indices.(k) <- i;
+    v := ((!v lxor table.(i)) lsl 8) land 0xFFFFFFFF
+  done;
+  (* Forward pass: choose each byte so the register xors to the wanted
+     table index. *)
+  let s = ref from_state in
+  let patch = Bytes.create 4 in
+  for k = 0 to 3 do
+    let b = (!s lxor indices.(k)) land 0xff in
+    Bytes.set patch k (Char.chr b);
+    s := (!s lsr 8) lxor table.(indices.(k))
+  done;
+  patch
+
+let forge ~prefix ~target =
+  forge_state ~from_state:(update init prefix) ~to_state:(target lxor 0xFFFFFFFF)

@@ -1,0 +1,34 @@
+(** CRC-32 (the IEEE 802.3 polynomial), the "weak checksum" of the Version 5
+    Draft 3 specification — and the forgery routine that makes the paper's
+    cut-and-paste attacks concrete.
+
+    CRC-32 is linear over GF(2): anyone can compute a 4-byte patch that
+    steers the checksum of a chosen message to any target value. The paper's
+    attacker fills the "additional authorization data" field of a modified
+    TGS request "with whatever information is needed to make the CRC match
+    the original version" — [forge] is exactly that computation. *)
+
+type state
+(** Running CRC register. *)
+
+val init : state
+val update : state -> bytes -> state
+val digest : state -> int
+(** Final 32-bit checksum value. *)
+
+val bytes_digest : bytes -> int
+(** One-shot checksum. *)
+
+val digest_to_bytes : int -> bytes
+(** Big-endian 4-byte rendering, as carried in protocol messages. *)
+
+val forge : prefix:bytes -> target:int -> bytes
+(** [forge ~prefix ~target] computes 4 bytes [p] such that
+    [bytes_digest (prefix ^ p) = target]. *)
+
+val forge_state : from_state:state -> to_state:state -> bytes
+(** [forge_state ~from_state ~to_state] computes 4 bytes that advance the
+    CRC register from one state to another. This generalizes [forge] to
+    forgeries in the {e middle} of a message: to replace a segment while
+    keeping the overall CRC, steer the register to the state the original
+    segment left it in, and the untouched suffix does the rest. *)

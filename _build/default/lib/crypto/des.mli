@@ -1,0 +1,37 @@
+(** The Data Encryption Standard (FIPS 46), the cipher Kerberos V4 and the
+    V5 drafts are built on.
+
+    Blocks and keys are 8 bytes. The implementation is a straightforward
+    table-driven Feistel network; it is validated in the test suite against
+    the classic NBS known-answer vectors. *)
+
+type key
+(** A scheduled key (the 16 48-bit subkeys). *)
+
+val block_size : int
+(** 8. *)
+
+val schedule : bytes -> key
+(** [schedule k] expands an 8-byte key. Parity bits (the low bit of each
+    byte) are ignored, as in the standard.
+    @raise Invalid_argument if [k] is not 8 bytes. *)
+
+val key_bytes : key -> bytes
+(** The original 8-byte key material (with its parity bits untouched). *)
+
+val encrypt_block : key -> bytes -> bytes
+(** [encrypt_block k b] enciphers one 8-byte block. *)
+
+val decrypt_block : key -> bytes -> bytes
+(** [decrypt_block k b] deciphers one 8-byte block. *)
+
+val fix_parity : bytes -> bytes
+(** [fix_parity k] returns a copy with each byte's low bit set to give odd
+    parity, the DES key convention. *)
+
+val is_weak : bytes -> bool
+(** True for the four weak and twelve semi-weak DES keys (after parity
+    fixing). The simulated KDC rejects these when generating session keys. *)
+
+val random_key : Util.Rng.t -> bytes
+(** A fresh parity-fixed, non-weak key. *)

@@ -1,0 +1,161 @@
+let baby_step_giant_step grp ~target =
+  let open Bignum in
+  let p = grp.Dh.p and g = grp.Dh.g in
+  let order = sub p one in
+  (* m = ceil(sqrt(p)) via integer Newton-ish doubling on num_bits *)
+  let m =
+    let approx = shift_left one ((num_bits p + 1) / 2) in
+    approx
+  in
+  let m_int = match to_int_opt m with Some v -> v | None -> invalid_arg "bsgs: modulus too large" in
+  let table = Hashtbl.create (2 * m_int) in
+  (* Baby steps: g^j *)
+  let acc = ref one in
+  for j = 0 to m_int - 1 do
+    if not (Hashtbl.mem table (to_hex !acc)) then Hashtbl.add table (to_hex !acc) j;
+    acc := mod_mul !acc g ~modulus:p
+  done;
+  (* Giant steps: target * (g^-m)^i where g^-m = g^(order - m) *)
+  let g_inv_m = mod_pow ~base:g ~exp:(sub order (rem m order)) ~modulus:p in
+  let gamma = ref (rem target p) in
+  let found = ref None in
+  (try
+     for i = 0 to m_int - 1 do
+       (match Hashtbl.find_opt table (to_hex !gamma) with
+       | Some j ->
+           let x = rem (add (mul (of_int i) m) (of_int j)) order in
+           found := Some x;
+           raise Exit
+       | None -> ());
+       gamma := mod_mul !gamma g_inv_m ~modulus:p
+     done
+   with Exit -> ());
+  !found
+
+(* Pollard's lambda: a tame kangaroo hops from g^max_exp leaving a trap at
+   its final landing spot; a wild kangaroo starting from the target hops
+   with the same pseudorandom strides and, if the exponent is in range,
+   lands in the trap with constant probability per pass. Strides are powers
+   of two keyed on the group element, mean ~sqrt(max_exp). *)
+let kangaroo ?(max_iters = 10_000_000) grp ~target ~max_exp =
+  let open Bignum in
+  let p = grp.Dh.p and g = grp.Dh.g in
+  if max_exp <= 0 then None
+  else begin
+    let h = rem target p in
+    (* Stride set: k powers of two with mean around sqrt(max_exp)/2. *)
+    let k =
+      let rec bits n = if n <= 1 then 0 else 1 + bits (n / 2) in
+      max 2 (bits max_exp / 2 + 1)
+    in
+    let stride x =
+      let sel = match to_int_opt (rem x (of_int k)) with Some v -> v | None -> 0 in
+      1 lsl sel
+    in
+    let hops = 4 * (1 lsl (k - 1)) in
+    (* Tame kangaroo from g^max_exp. *)
+    let tame = ref (mod_pow ~base:g ~exp:(of_int max_exp) ~modulus:p) in
+    let tame_dist = ref 0 in
+    for _ = 1 to hops do
+      let s = stride !tame in
+      tame := mod_mul !tame (mod_pow ~base:g ~exp:(of_int s) ~modulus:p) ~modulus:p;
+      tame_dist := !tame_dist + s
+    done;
+    let trap = !tame and trap_dist = !tame_dist in
+    (* Wild kangaroo from the target. *)
+    let wild = ref h in
+    let wild_dist = ref 0 in
+    let result = ref None in
+    (try
+       for _ = 1 to max_iters do
+         if equal !wild trap then begin
+           (* g^(x + wild_dist) = g^(max_exp + trap_dist) *)
+           let x = max_exp + trap_dist - !wild_dist in
+           if
+             x >= 0
+             && equal (mod_pow ~base:g ~exp:(of_int x) ~modulus:p) h
+           then result := Some (of_int x);
+           raise Exit
+         end;
+         if !wild_dist > max_exp + trap_dist then raise Exit;
+         let s = stride !wild in
+         wild := mod_mul !wild (mod_pow ~base:g ~exp:(of_int s) ~modulus:p) ~modulus:p;
+         wild_dist := !wild_dist + s
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* Pollard rho with Floyd cycle detection. Exponent bookkeeping is done in
+   native ints modulo n = p - 1, which restricts this function to moduli
+   under 62 bits -- exactly the crackable regime it exists to demonstrate. *)
+let pollard_rho ?(max_iters = 200_000_000) rng grp ~target =
+  let open Bignum in
+  let p = grp.Dh.p and g = grp.Dh.g in
+  let n =
+    match to_int_opt (sub p one) with
+    | Some v -> v
+    | None -> invalid_arg "pollard_rho: modulus too large for the toy solver"
+  in
+  let h = rem target p in
+  if is_zero h then None
+  else begin
+    let step (x, a, b) =
+      (* Partition by a cheap residue of the group element. *)
+      let sel = match to_int_opt (rem x (of_int 3)) with Some v -> v | None -> 0 in
+      match sel with
+      | 0 -> (mod_mul x g ~modulus:p, (a + 1) mod n, b)
+      | 1 -> (mod_mul x h ~modulus:p, a, (b + 1) mod n)
+      | _ -> (mod_mul x x ~modulus:p, a * 2 mod n, b * 2 mod n)
+    in
+    let rec egcd a b = if b = 0 then (a, 1, 0) else
+      let d, x, y = egcd b (a mod b) in
+      (d, y, x - (a / b * y))
+    in
+    let solve a1 b1 a2 b2 =
+      (* a1 + b1*x = a2 + b2*x (mod n)  =>  (b1 - b2) x = a2 - a1 (mod n) *)
+      let bd = ((b1 - b2) mod n + n) mod n in
+      let ad = ((a2 - a1) mod n + n) mod n in
+      if bd = 0 then None
+      else begin
+        let d, inv, _ = egcd bd n in
+        if ad mod d <> 0 then None
+        else begin
+          let n' = n / d in
+          let x0 = ((ad / d * inv) mod n' + n') mod n' in
+          (* Up to d candidates x0 + k*n'; cap the scan. *)
+          let rec try_k k =
+            if k >= d || k > 4096 then None
+            else
+              let x = x0 + (k * n') in
+              if equal (mod_pow ~base:g ~exp:(of_int x) ~modulus:p) h then Some (of_int x)
+              else try_k (k + 1)
+          in
+          try_k 0
+        end
+      end
+    in
+    (* Randomized start: x = g^a0 * h^b0 *)
+    let a0 = Util.Rng.int rng n and b0 = 1 + Util.Rng.int rng (n - 1) in
+    let x0 =
+      mod_mul
+        (mod_pow ~base:g ~exp:(of_int a0) ~modulus:p)
+        (mod_pow ~base:h ~exp:(of_int b0) ~modulus:p)
+        ~modulus:p
+    in
+    let tortoise = ref (x0, a0, b0) and hare = ref (step (x0, a0, b0)) in
+    let result = ref None in
+    (try
+       for _ = 1 to max_iters do
+         let tx, _, _ = !tortoise and hx, _, _ = !hare in
+         if equal tx hx then begin
+           let _, a1, b1 = !tortoise and _, a2, b2 = !hare in
+           result := solve a1 b1 a2 b2;
+           raise Exit
+         end;
+         tortoise := step !tortoise;
+         hare := step (step !hare)
+       done
+     with Exit -> ());
+    !result
+  end

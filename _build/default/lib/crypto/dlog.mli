@@ -1,0 +1,22 @@
+(** Discrete-logarithm attacks for the small-modulus sweep (E13).
+
+    LaMacchia and Odlyzko "demonstrated that exchanging small numbers is
+    quite insecure"; we make the same point with generic-group algorithms
+    (their index-calculus attack on 192/224-bit primes is out of scope for a
+    reproduction — baby-step/giant-step and Pollard rho already crack the
+    toy groups in milliseconds-to-seconds, which is the shape that matters). *)
+
+val baby_step_giant_step : Dh.group -> target:Bignum.t -> Bignum.t option
+(** [baby_step_giant_step grp ~target] finds x with g^x = target (mod p),
+    using O(sqrt p) time and memory. *)
+
+val pollard_rho : ?max_iters:int -> Util.Rng.t -> Dh.group -> target:Bignum.t -> Bignum.t option
+(** O(sqrt p) time, O(1) memory. May fail (returns [None]) on unlucky
+    cycles or when the group order has awkward factors; callers retry. *)
+
+val kangaroo : ?max_iters:int -> Dh.group -> target:Bignum.t -> max_exp:int -> Bignum.t option
+(** Pollard's lambda ("kangaroo") method: finds x with g^x = target when
+    x is known to lie in [0, max_exp], in O(sqrt max_exp) time regardless
+    of how large the modulus is. The cautionary corollary for implementers
+    tempted to shrink secret exponents to cut the E13b cost: the attack
+    scales with the {e exponent} range, not the modulus. *)

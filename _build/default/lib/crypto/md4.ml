@@ -1,0 +1,82 @@
+(* RFC 1320. 32-bit arithmetic is done on native ints masked to 32 bits. *)
+
+let digest_size = 16
+
+let mask = 0xFFFFFFFF
+
+let ( +% ) a b = (a + b) land mask
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let f x y z = (x land y) lor (lnot x land z land mask)
+let g x y z = (x land y) lor (x land z) lor (y land z)
+let h x y z = x lxor y lxor z
+
+let pad_message b =
+  let len = Bytes.length b in
+  let bitlen = Int64.of_int (len * 8) in
+  let padlen =
+    let r = (len + 1) mod 64 in
+    if r <= 56 then 56 - r + 1 else 64 - r + 56 + 1
+  in
+  let out = Bytes.create (len + padlen + 8) in
+  Bytes.blit b 0 out 0 len;
+  Bytes.set out len '\x80';
+  Bytes.fill out (len + 1) (padlen - 1) '\000';
+  Bytes.set_int64_le out (len + padlen) bitlen;
+  out
+
+let digest b =
+  let msg = pad_message b in
+  let a = ref 0x67452301 and b' = ref 0xefcdab89
+  and c = ref 0x98badcfe and d = ref 0x10325476 in
+  let x = Array.make 16 0 in
+  let nblocks = Bytes.length msg / 64 in
+  for blk = 0 to nblocks - 1 do
+    for i = 0 to 15 do
+      x.(i) <- Int32.to_int (Bytes.get_int32_le msg ((blk * 64) + (i * 4))) land mask
+    done;
+    let aa = !a and bb = !b' and cc = !c and dd = !d in
+    let round1 a b c d k s = rotl (a +% f b c d +% x.(k)) s in
+    let round2 a b c d k s = rotl (a +% g b c d +% x.(k) +% 0x5a827999) s in
+    let round3 a b c d k s = rotl (a +% h b c d +% x.(k) +% 0x6ed9eba1) s in
+    (* Round 1 *)
+    List.iter
+      (fun k ->
+        a := round1 !a !b' !c !d k 3;
+        d := round1 !d !a !b' !c (k + 1) 7;
+        c := round1 !c !d !a !b' (k + 2) 11;
+        b' := round1 !b' !c !d !a (k + 3) 19)
+      [ 0; 4; 8; 12 ];
+    (* Round 2 *)
+    List.iter
+      (fun k ->
+        a := round2 !a !b' !c !d k 3;
+        d := round2 !d !a !b' !c (k + 4) 5;
+        c := round2 !c !d !a !b' (k + 8) 9;
+        b' := round2 !b' !c !d !a (k + 12) 13)
+      [ 0; 1; 2; 3 ];
+    (* Round 3 *)
+    List.iter
+      (fun k ->
+        a := round3 !a !b' !c !d k 3;
+        d := round3 !d !a !b' !c (k + 8) 9;
+        c := round3 !c !d !a !b' (k + 4) 11;
+        b' := round3 !b' !c !d !a (k + 12) 15)
+      [ 0; 2; 1; 3 ];
+    a := !a +% aa;
+    b' := !b' +% bb;
+    c := !c +% cc;
+    d := !d +% dd
+  done;
+  let out = Bytes.create 16 in
+  List.iteri
+    (fun i v -> Bytes.set_int32_le out (i * 4) (Int32.of_int v))
+    [ !a; !b'; !c; !d ];
+  out
+
+let hex_digest b = Util.Bytesutil.to_hex (digest b)
+
+let hmac_des ~key b =
+  let k = Des.schedule (Des.fix_parity key) in
+  Mode.cbc_encrypt k ~iv:Mode.zero_iv (digest b)

@@ -1,0 +1,115 @@
+let block = Des.block_size
+
+let pad b =
+  let n = Bytes.length b in
+  let padlen = block - (n mod block) in
+  let out = Bytes.create (n + padlen) in
+  Bytes.blit b 0 out 0 n;
+  Bytes.fill out n padlen (Char.chr padlen);
+  out
+
+let unpad b =
+  let n = Bytes.length b in
+  if n = 0 || n mod block <> 0 then None
+  else
+    let padlen = Char.code (Bytes.get b (n - 1)) in
+    if padlen < 1 || padlen > block || padlen > n then None
+    else
+      let ok = ref true in
+      for i = n - padlen to n - 1 do
+        if Char.code (Bytes.get b i) <> padlen then ok := false
+      done;
+      if !ok then Some (Bytes.sub b 0 (n - padlen)) else None
+
+let check_blocks name b =
+  if Bytes.length b mod block <> 0 then
+    invalid_arg (name ^ ": input not a multiple of the block size")
+
+let check_iv iv =
+  if Bytes.length iv <> block then invalid_arg "Mode: IV must be 8 bytes"
+
+let map_blocks f b =
+  let n = Bytes.length b in
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    Bytes.blit (f (Bytes.sub b !i block)) 0 out !i block;
+    i := !i + block
+  done;
+  out
+
+let ecb_encrypt key b =
+  check_blocks "ecb_encrypt" b;
+  map_blocks (Des.encrypt_block key) b
+
+let ecb_decrypt key b =
+  check_blocks "ecb_decrypt" b;
+  map_blocks (Des.decrypt_block key) b
+
+let cbc_encrypt key ~iv b =
+  check_blocks "cbc_encrypt" b;
+  check_iv iv;
+  let n = Bytes.length b in
+  let out = Bytes.create n in
+  let prev = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let p = Bytes.sub b !i block in
+    let c = Des.encrypt_block key (Util.Bytesutil.xor p !prev) in
+    Bytes.blit c 0 out !i block;
+    prev := c;
+    i := !i + block
+  done;
+  out
+
+let cbc_decrypt key ~iv b =
+  check_blocks "cbc_decrypt" b;
+  check_iv iv;
+  let n = Bytes.length b in
+  let out = Bytes.create n in
+  let prev = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.sub b !i block in
+    let p = Util.Bytesutil.xor (Des.decrypt_block key c) !prev in
+    Bytes.blit p 0 out !i block;
+    prev := c;
+    i := !i + block
+  done;
+  out
+
+(* PCBC: C_i = E(P_i xor P_{i-1} xor C_{i-1}), seeding P_0 xor C_0 with the
+   IV. Kerberos V4's "propagating" mode. *)
+let pcbc_encrypt key ~iv b =
+  check_blocks "pcbc_encrypt" b;
+  check_iv iv;
+  let n = Bytes.length b in
+  let out = Bytes.create n in
+  let feed = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let p = Bytes.sub b !i block in
+    let c = Des.encrypt_block key (Util.Bytesutil.xor p !feed) in
+    Bytes.blit c 0 out !i block;
+    feed := Util.Bytesutil.xor p c;
+    i := !i + block
+  done;
+  out
+
+let pcbc_decrypt key ~iv b =
+  check_blocks "pcbc_decrypt" b;
+  check_iv iv;
+  let n = Bytes.length b in
+  let out = Bytes.create n in
+  let feed = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.sub b !i block in
+    let p = Util.Bytesutil.xor (Des.decrypt_block key c) !feed in
+    Bytes.blit p 0 out !i block;
+    feed := Util.Bytesutil.xor p c;
+    i := !i + block
+  done;
+  out
+
+let zero_iv = Bytes.make block '\000'

@@ -1,0 +1,33 @@
+(** Block-cipher modes of operation over DES.
+
+    Three modes matter to the paper:
+    - {b ECB} for single-block values;
+    - {b CBC} (FIPS 81), used by the Version 5 drafts — and whose
+      "prefixes of encryptions are encryptions of prefixes" property under a
+      fixed IV enables the paper's inter-session chosen-plaintext attack;
+    - {b PCBC}, the nonstandard propagating mode used by Kerberos Version 4,
+      whose poor error-propagation (swapping two interior ciphertext blocks
+      garbles only those blocks) the paper also discusses.
+
+    All functions require the input length to be a multiple of 8; use [pad]
+    / [unpad] for arbitrary-length payloads. *)
+
+val pad : bytes -> bytes
+(** [pad b] appends 1–8 bytes of padding, each holding the pad length, so
+    the result is a non-empty multiple of the block size (PKCS#5-style). *)
+
+val unpad : bytes -> bytes option
+(** [unpad b] strips padding added by [pad]; [None] if malformed. *)
+
+val ecb_encrypt : Des.key -> bytes -> bytes
+val ecb_decrypt : Des.key -> bytes -> bytes
+
+val cbc_encrypt : Des.key -> iv:bytes -> bytes -> bytes
+val cbc_decrypt : Des.key -> iv:bytes -> bytes -> bytes
+
+val pcbc_encrypt : Des.key -> iv:bytes -> bytes -> bytes
+val pcbc_decrypt : Des.key -> iv:bytes -> bytes -> bytes
+
+val zero_iv : bytes
+(** The all-zero IV — "assume the initial vector is fixed and public", as the
+    paper's hint to the reader puts it. *)

@@ -1,0 +1,9 @@
+let negotiate_session_key ~multi ~client_part ~server_part =
+  if Bytes.length multi <> 8 || Bytes.length client_part <> 8 || Bytes.length server_part <> 8
+  then invalid_arg "Prf.negotiate_session_key: parts must be 8 bytes";
+  Des.fix_parity
+    (Util.Bytesutil.xor multi (Util.Bytesutil.xor client_part server_part))
+
+let tag_key ~tag k =
+  let material = Bytes.concat Bytes.empty [ Bytes.of_string tag; Bytes.of_string "\x00"; k ] in
+  Des.fix_parity (Bytes.sub (Md4.digest material) 0 8)

@@ -1,0 +1,17 @@
+(** Key-derivation helpers for the paper's fixes.
+
+    - {!negotiate_session_key} implements recommendation (e): "the actual
+      session key could be formed by an exclusive-or of the multisession key
+      associated with the ticket, a randomly-generated field in the
+      authenticator, and a similar field in the reply message."
+    - {!tag_key} implements the encryption-box rule that "keys should be
+      tagged with their purpose": deriving a purpose-separated key prevents,
+      e.g., the login key from being misused to decrypt a ticket-granting
+      ticket. *)
+
+val negotiate_session_key : multi:bytes -> client_part:bytes -> server_part:bytes -> bytes
+(** XOR of the three 8-byte values, parity-fixed. *)
+
+val tag_key : tag:string -> bytes -> bytes
+(** [tag_key ~tag k] derives a DES key bound to [tag] (MD4 of tag || key,
+    truncated, parity-fixed). Distinct tags give independent keys. *)

@@ -1,0 +1,12 @@
+(** Password-to-key derivation, Kerberos V4 style.
+
+    "The client key Kc is derived from a non-invertible transform of the
+    user's typed password." The transform is public — which is exactly what
+    makes the paper's offline password-guessing attack work: anyone can run
+    candidate passwords through [derive] and test the result against a
+    recorded [AS_REP]. *)
+
+val derive : string -> bytes
+(** [derive password] fan-folds the password into 56 bits, fixes parity,
+    then runs a DES-CBC checksum of the password under that key (the V4
+    recipe's shape). The result is a parity-fixed, non-weak DES key. *)

@@ -1,0 +1,1 @@
+lib/expframework/confusion_check.ml: Format Kerberos List Messages Principal Printf Util Wire

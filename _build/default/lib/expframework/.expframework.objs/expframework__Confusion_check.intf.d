@@ -1,0 +1,1 @@
+lib/expframework/confusion_check.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/expframework/hardware_check.ml: Bytes Crypto Hardened Kerberos List Messages Principal Profile Result Util

@@ -1,0 +1,1 @@
+lib/expframework/hardware_check.mli:

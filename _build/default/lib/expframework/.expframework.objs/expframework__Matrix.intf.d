@@ -1,0 +1,1 @@
+lib/expframework/matrix.mli: Attacks Kerberos

@@ -1,0 +1,1 @@
+lib/expframework/sweeps.ml: Apserver Attacks Bytes Client Crypto Int64 Kerberos List Principal Printf Profile Services Sim Sys Util

@@ -1,0 +1,1 @@
+lib/expframework/sweeps.mli:

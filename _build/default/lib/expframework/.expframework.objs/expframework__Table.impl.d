@@ -1,0 +1,1 @@
+lib/expframework/table.ml: Buffer List Option String

@@ -1,0 +1,153 @@
+open Kerberos
+
+type matrix = {
+  encoding : Wire.Encoding.kind;
+  kinds : string list;
+  confusable : (string * string) list;
+}
+
+(* Random instance generators for every protocol record, driven by one
+   deterministic stream. *)
+
+let principal rng =
+  if Util.Rng.bool rng then
+    Principal.user ~realm:"R" (Printf.sprintf "u%d" (Util.Rng.int rng 1000))
+  else
+    Principal.service ~realm:"R" (Printf.sprintf "s%d" (Util.Rng.int rng 1000))
+      ~host:(Printf.sprintf "h%d" (Util.Rng.int rng 100))
+
+let opt rng f = if Util.Rng.bool rng then Some (f rng) else None
+let bytes8 rng = Util.Rng.bytes rng 8
+let small_bytes rng = Util.Rng.bytes rng (1 + Util.Rng.int rng 40)
+
+let gen_ticket rng =
+  Messages.ticket_to_value
+    { Messages.server = principal rng; client = principal rng;
+      addr = opt rng (fun r -> Util.Rng.int r 0xFFFF);
+      issued_at = Util.Rng.float rng 1e6; lifetime = Util.Rng.float rng 1e5;
+      session_key = bytes8 rng; forwarded = Util.Rng.bool rng;
+      dup_skey = Util.Rng.bool rng;
+      transited = List.init (Util.Rng.int rng 3) (fun i -> Printf.sprintf "T%d" i) }
+
+let gen_authenticator rng =
+  Messages.authenticator_to_value
+    { Messages.a_client = principal rng; a_addr = Util.Rng.int rng 0xFFFF;
+      a_timestamp = Util.Rng.float rng 1e6; a_req_cksum = opt rng small_bytes;
+      a_ticket_cksum = opt rng small_bytes; a_service = opt rng principal;
+      a_seq_init = opt rng (fun r -> Util.Rng.int r 100000);
+      a_subkey_part = opt rng bytes8 }
+
+let gen_as_req rng =
+  Messages.as_req_to_value
+    { Messages.q_client = principal rng; q_server = principal rng;
+      q_nonce = Util.Rng.next_int64 rng; q_addr = Util.Rng.int rng 0xFFFF;
+      q_padata = (if Util.Rng.bool rng then [ Messages.Pa_handheld ] else []) }
+
+let gen_as_rep rng =
+  Messages.as_rep_to_value
+    { Messages.p_challenge = opt rng bytes8; p_dh_public = opt rng small_bytes;
+      p_ticket = opt rng small_bytes; p_sealed = small_bytes rng }
+
+let gen_rep_body rng =
+  Messages.rep_body_to_value ~tag:Messages.tag_rep_body
+    { Messages.b_session_key = bytes8 rng; b_nonce = Util.Rng.next_int64 rng;
+      b_server = principal rng; b_issued_at = Util.Rng.float rng 1e6;
+      b_lifetime = Util.Rng.float rng 1e5; b_ticket = small_bytes rng }
+
+let gen_ap_req rng =
+  Messages.ap_req_to_value
+    { Messages.r_ticket = small_bytes rng; r_authenticator = small_bytes rng;
+      r_mutual = Util.Rng.bool rng }
+
+let gen_tgs_req rng =
+  Messages.tgs_req_to_value
+    { Messages.t_ap =
+        { r_ticket = small_bytes rng; r_authenticator = small_bytes rng;
+          r_mutual = Util.Rng.bool rng };
+      t_server = principal rng; t_nonce = Util.Rng.next_int64 rng;
+      t_options = Messages.no_options; t_additional_ticket = opt rng small_bytes;
+      t_authz_data = small_bytes rng }
+
+let gen_ap_rep_body rng =
+  Messages.ap_rep_body_to_value
+    { Messages.ar_timestamp = Util.Rng.float rng 1e6;
+      ar_subkey_part = opt rng bytes8;
+      ar_seq_init = opt rng (fun r -> Util.Rng.int r 100000) }
+
+let gen_challenge rng =
+  Messages.challenge_to_value
+    { Messages.c_nonce = Util.Rng.next_int64 rng; c_server_part = opt rng bytes8;
+      c_seq_init = opt rng (fun r -> Util.Rng.int r 100000) }
+
+let gen_challenge_resp rng =
+  Messages.challenge_resp_to_value
+    { Messages.cr_nonce_f = Util.Rng.next_int64 rng; cr_client_part = opt rng bytes8;
+      cr_seq_init = opt rng (fun r -> Util.Rng.int r 100000) }
+
+let gen_err rng =
+  Messages.err_to_value
+    { Messages.e_code = Util.Rng.int rng 12; e_text = "some diagnostic text" }
+
+let generators =
+  [ ("ticket", gen_ticket); ("authenticator", gen_authenticator);
+    ("as_req", gen_as_req); ("as_rep", gen_as_rep); ("rep_body", gen_rep_body);
+    ("ap_req", gen_ap_req); ("tgs_req", gen_tgs_req);
+    ("ap_rep_body", gen_ap_rep_body); ("challenge", gen_challenge);
+    ("challenge_resp", gen_challenge_resp); ("err", gen_err) ]
+
+let parsers kind : (string * (Wire.Encoding.value -> unit)) list =
+  [ ("ticket", fun v -> ignore (Messages.ticket_of_value v));
+    ("authenticator", fun v -> ignore (Messages.authenticator_of_value v));
+    ("as_req", fun v -> ignore (Messages.as_req_of_value v));
+    ("as_rep", fun v -> ignore (Messages.as_rep_of_value v));
+    ( "rep_body",
+      fun v -> ignore (Messages.rep_body_of_value ~tag:Messages.tag_rep_body kind v) );
+    ("ap_req", fun v -> ignore (Messages.ap_req_of_value v));
+    ("tgs_req", fun v -> ignore (Messages.tgs_req_of_value v));
+    ("ap_rep_body", fun v -> ignore (Messages.ap_rep_body_of_value v));
+    ("challenge", fun v -> ignore (Messages.challenge_of_value v));
+    ("challenge_resp", fun v -> ignore (Messages.challenge_resp_of_value v));
+    ("err", fun v -> ignore (Messages.err_of_value v)) ]
+
+(* Under Der, of_value functions accept a correctly-tagged value; parsing
+   bytes of type A as type B must go through the wire decode plus the
+   receiving context's expectations. A context expecting B accepts iff the
+   decode produces a value its of_value digests without error AND (under
+   Der) the tag matches — which the Tagged pattern-match inside each
+   of_value enforces. *)
+let cross_parses kind ~encoded ~parser_fn =
+  match Wire.Encoding.decode kind encoded with
+  | exception Wire.Codec.Decode_error _ -> false
+  | v -> (
+      match parser_fn v with
+      | () -> true
+      | exception Wire.Codec.Decode_error _ -> false
+      | exception _ -> false)
+
+let run ?(trials = 40) kind =
+  let rng = Util.Rng.create 0xC0FE5EL in
+  let confusable = ref [] in
+  let parsers = parsers kind in
+  List.iter
+    (fun (gname, gen) ->
+      let samples = List.init trials (fun _ -> Wire.Encoding.encode kind (gen rng)) in
+      List.iter
+        (fun (pname, parser_fn) ->
+          if pname <> gname then begin
+            let hit =
+              List.exists (fun encoded -> cross_parses kind ~encoded ~parser_fn) samples
+            in
+            if hit then confusable := (gname, pname) :: !confusable
+          end)
+        parsers)
+    generators;
+  { encoding = kind; kinds = List.map fst generators; confusable = List.rev !confusable }
+
+let pp_matrix ppf m =
+  Format.fprintf ppf "encoding %s: %d message kinds, %d confusable pairs@."
+    (Wire.Encoding.show_kind m.encoding)
+    (List.length m.kinds)
+    (List.length m.confusable);
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "  %s bytes also parse as %s@." a b)
+    m.confusable

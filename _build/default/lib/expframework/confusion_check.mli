@@ -1,0 +1,26 @@
+(** Executable protocol validation, after the paper's SECURITY VALIDATION
+    section: "the most simple analysis of the security of the Kerberos
+    protocols should check that there is no possibility of ambiguity
+    between messages sent in different contexts. That is, a ticket should
+    never be interpretable as an authenticator, or vice versa. ...
+    This repetitive and often intricate analysis would be unnecessary if
+    standard encodings (such as ASN.1) were used."
+
+    We run that analysis mechanically: generate random instances of every
+    protocol record, encode them under each wire encoding, and attempt to
+    parse the bytes as every {e other} message type. A cell is
+    "confusable" when any instance cross-parses. Under the typed (ASN.1)
+    encoding the matrix must be diagonal; under the V4 ad-hoc encoding it
+    is not — and every off-diagonal hit is an analysis obligation V4
+    imposes on a human reviewer at every protocol change. *)
+
+type matrix = {
+  encoding : Wire.Encoding.kind;
+  kinds : string list;
+  confusable : (string * string) list;
+      (** (encoded-as, also-parses-as) pairs, excluding the diagonal *)
+}
+
+val run : ?trials:int -> Wire.Encoding.kind -> matrix
+
+val pp_matrix : Format.formatter -> matrix -> unit

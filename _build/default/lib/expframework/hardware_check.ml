@@ -1,0 +1,93 @@
+open Kerberos
+
+let violation f =
+  match f () with
+  | exception Hardened.Encbox.Purpose_violation _ -> true
+  | _ -> false
+
+let run () =
+  let profile = Profile.hardened in
+  let rng = Util.Rng.create 0xE15L in
+  let box = Hardened.Encbox.create () in
+  let login_key = Crypto.Str2key.derive "user.passwd" in
+  let login = Hardened.Encbox.install_key box Hardened.Encbox.Login login_key in
+  (* A KDC-side sealed AS reply body for the box to absorb. *)
+  let tgt_session_key = Crypto.Des.random_key rng in
+  let body =
+    { Messages.b_session_key = tgt_session_key; b_nonce = 42L;
+      b_server = Principal.tgs ~realm:"ATHENA"; b_issued_at = 0.0; b_lifetime = 3600.0;
+      b_ticket = Bytes.make 24 't' }
+  in
+  let sealed =
+    Messages.seal_msg profile rng ~key:login_key ~tag:Messages.tag_as_rep_body
+      (Messages.rep_body_to_value ~tag:Messages.tag_as_rep_body body)
+  in
+  let absorb_result =
+    Hardened.Encbox.absorb_rep_body box ~profile ~with_key:login
+      ~new_purpose:Hardened.Encbox.Tgs_session ~tag:Messages.tag_as_rep_body sealed
+  in
+  let tgs_handle, redacted =
+    match absorb_result with
+    | Ok (h, b) -> (Some h, Some b)
+    | Error _ -> (None, None)
+  in
+  (* Evaluation order matters: the audit check must run after the
+     violations, and OCaml evaluates list elements right-to-left — so each
+     check is let-bound in order. *)
+  let c1 =
+    ( "keys enter the box but never leave (absorbed reply has key zeroed)",
+      match redacted with
+      | Some b -> Util.Bytesutil.equal b.Messages.b_session_key (Bytes.make 8 '\000')
+      | None -> false )
+  in
+  let c2 = ("the box opens protocol messages itself (AS reply absorbed)", Result.is_ok absorb_result) in
+  let c3 =
+    ( "login keys refuse generic encryption (purpose tags enforced)",
+      violation (fun () ->
+          Hardened.Encbox.encrypt_block box ~with_key:login
+            ~require:Hardened.Encbox.Login (Bytes.make 8 'x')) )
+  in
+  let c4 =
+    ( "a TGS-session handle cannot open an AS reply (wrong purpose)",
+      match tgs_handle with
+      | Some h ->
+          violation (fun () ->
+              Hardened.Encbox.absorb_rep_body box ~profile ~with_key:h
+                ~new_purpose:Hardened.Encbox.Service_session
+                ~tag:Messages.tag_as_rep_body sealed)
+      | None -> false )
+  in
+  let blank_auth =
+    { Messages.a_client = Principal.user ~realm:"ATHENA" "pat"; a_addr = 1;
+      a_timestamp = 0.0; a_req_cksum = None; a_ticket_cksum = None;
+      a_service = None; a_seq_init = None; a_subkey_part = None }
+  in
+  let c5 =
+    ( "login keys cannot seal authenticators",
+      violation (fun () ->
+          Hardened.Encbox.seal_authenticator box ~profile ~with_key:login blank_auth) )
+  in
+  let c6 =
+    ( "a session handle does seal authenticators",
+      match tgs_handle with
+      | Some h -> (
+          match Hardened.Encbox.seal_authenticator box ~profile ~with_key:h blank_auth with
+          | _sealed -> true
+          | exception Hardened.Encbox.Purpose_violation _ -> false)
+      | None -> false )
+  in
+  let c7 =
+    ( "refused operations land in the untamperable audit log",
+      List.length (Hardened.Encbox.audit box) >= 3 )
+  in
+  let c8 =
+    ( "on-board generator mints keys without exposing them",
+      let h = Hardened.Encbox.generate_key box Hardened.Encbox.Service_session in
+      match
+        Hardened.Encbox.encrypt_block box ~with_key:h
+          ~require:Hardened.Encbox.Service_session (Bytes.make 8 'y')
+      with
+      | _ -> true
+      | exception Hardened.Encbox.Purpose_violation _ -> false )
+  in
+  [ c1; c2; c3; c4; c5; c6; c7; c8 ]

@@ -1,0 +1,5 @@
+(** E15 — the encryption-box design criteria, checked as executable
+    invariants. Each pair is (criterion, holds?); the report prints them
+    and the test suite asserts them all. *)
+
+val run : unit -> (string * bool) list

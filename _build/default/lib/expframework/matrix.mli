@@ -1,0 +1,24 @@
+(** The headline result: every attack from the paper run against the three
+    protocol profiles. This is the reproduction's "Table 1". *)
+
+type row = {
+  id : string;
+  attack : string;
+  section : string;  (** where in the paper the attack lives *)
+  outcomes : (string * Attacks.Outcome.t) list;  (** profile name -> outcome *)
+}
+
+val profiles : Kerberos.Profile.t list
+(** v4, v5-draft3, hardened. *)
+
+val run_row : string -> row list -> row option
+
+val run_all : unit -> row list
+(** Runs every attack against every profile. Deterministic (seeded). *)
+
+val expected_shape : (string * bool list) list
+(** For each experiment id, the expected broken/defended pattern across
+    [profiles] — the assertion the test suite and EXPERIMENTS.md share. *)
+
+val to_cells : row list -> string list list
+val header : string list

@@ -1,0 +1,37 @@
+let max_cell = 72
+
+let clip s = if String.length s <= max_cell then s else String.sub s 0 (max_cell - 2) ^ ".."
+
+let render ~header rows =
+  let rows = List.map (List.map clip) rows in
+  let header = List.map clip header in
+  let ncols = List.length header in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth_opt row i |> Option.value ~default:"")))
+      (String.length (List.nth header i))
+      rows
+  in
+  let widths = List.init ncols width in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun i c ->
+           let w = List.nth widths i in
+           c ^ String.make (max 0 (w - String.length c)) ' ')
+         cells)
+  in
+  let pad row = row @ List.init (max 0 (ncols - List.length row)) (fun _ -> "") in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (List.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line (pad row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)

@@ -1,0 +1,7 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned, with a rule under the header. Cells are truncated to a
+    sane width rather than wrapped. *)
+
+val print : header:string list -> string list list -> unit

@@ -1,0 +1,1 @@
+lib/hardened/encbox.ml: Bytes Crypto Hashtbl Kerberos List Messages Printf Profile Util Wire

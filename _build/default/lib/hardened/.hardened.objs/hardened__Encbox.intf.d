@@ -1,0 +1,1 @@
+lib/hardened/encbox.mli: Kerberos

@@ -1,0 +1,1 @@
+lib/hardened/handheld.ml: Bytes Crypto

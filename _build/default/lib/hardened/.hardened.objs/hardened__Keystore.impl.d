@@ -1,0 +1,1 @@
+lib/hardened/keystore.ml: Bytes Crypto Hashtbl Kerberos Printf String Util

@@ -1,0 +1,1 @@
+lib/hardened/keystore.mli: Kerberos Sim

@@ -1,0 +1,81 @@
+(** The host encryption unit of the paper's hardware-design section.
+
+    Design criteria implemented here, each with a test in the suite:
+    - "perform cryptographic operations without exposing any keys":
+      keys enter via {!install_key} or are born inside via
+      {!generate_key}; no operation returns key material, only opaque
+      handles — the type system enforces what the paper's hardware would;
+    - "the encryption box itself must understand the Kerberos protocols":
+      {!absorb_rep_body} opens an AS/TGS reply {e inside the box}, captures
+      the embedded session key as a new handle, and hands the host a copy
+      with the key field zeroed;
+    - "keys should be tagged with their purpose. A login key should be used
+      only to decrypt the ticket-granting ticket": every handle carries a
+      {!purpose}, every operation names the purpose it requires, and
+      mismatches raise {!Purpose_violation} and are recorded in the audit
+      log ("using a separate unit allows us to create untamperable logs");
+    - "a hardware random number generator on-board": {!generate_key}. *)
+
+type t
+
+type purpose = Login | Tgs_session | Service_session | Service_key | Master
+
+val purpose_to_string : purpose -> string
+
+type handle
+(** An opaque in-box key reference. The constructor is not exported;
+    handles cannot be minted or dereferenced outside the box. *)
+
+exception Purpose_violation of string
+
+val create : ?seed:int64 -> unit -> t
+
+val install_key : t -> purpose -> bytes -> handle
+(** One-way: key material goes in, a handle comes out. *)
+
+val generate_key : t -> purpose -> handle
+(** Fresh random key from the on-board generator. *)
+
+val absorb_rep_body :
+  t ->
+  profile:Kerberos.Profile.t ->
+  with_key:handle ->
+  new_purpose:purpose ->
+  tag:int ->
+  bytes ->
+  (handle * Kerberos.Messages.rep_body, string) result
+(** Open a sealed AS/TGS reply body under [with_key] (which must be a
+    [Login] or [Tgs_session] handle as appropriate for [tag]), register the
+    embedded session key under [new_purpose], and return the body with
+    [b_session_key] replaced by zeros. The real key never reaches host
+    memory.
+    @raise Purpose_violation if [with_key] has the wrong purpose. *)
+
+val seal_authenticator :
+  t -> profile:Kerberos.Profile.t -> with_key:handle ->
+  Kerberos.Messages.authenticator -> bytes
+(** Requires a [Tgs_session] or [Service_session] handle. *)
+
+val absorb_sealed_key :
+  t ->
+  profile:Kerberos.Profile.t ->
+  with_key:handle ->
+  new_purpose:purpose ->
+  bytes ->
+  (handle, string) result
+(** The keystore-download path: "keys be kept in volatile memory, and
+    downloaded from a secure keystore on request, via an
+    encryption-protected channel". The blob is a {!Kerberos.Seal}-sealed
+    8-byte key; the box opens it under an in-box session key and registers
+    the content as a new key — host memory never sees it. Requires a
+    [Service_session] handle. *)
+
+val encrypt_block : t -> with_key:handle -> require:purpose -> bytes -> bytes
+(** Generic single-block operation for session-purpose handles only:
+    [Login] and [Master] handles refuse generic use.
+    @raise Purpose_violation *)
+
+val audit : t -> string list
+(** Chronological log of refused operations — the untamperable log. *)
+
+val handles_live : t -> int

@@ -1,0 +1,22 @@
+(** A hand-held authenticator: a device in the user's possession holding the
+    login key and exposing only challenge → response.
+
+    "Both the server and the user (with the aid of the device) encrypt this
+    number using the secret key; the result is transmitted back." The
+    module boundary models the hardware boundary: nothing in this interface
+    returns key material, so a trojaned login program that is given the
+    device can steal at most one challenge's response — not the password,
+    and not the key. *)
+
+type t
+
+val enroll : password:string -> t
+(** Burn the password-derived key into the device (done once, offline). *)
+
+val of_key : bytes -> t
+
+val respond : t -> bytes -> bytes
+(** [respond device r] is [{R}Kc] for the 8-byte challenge [r]. *)
+
+val responses_issued : t -> int
+(** Usage counter (the device's own audit trail). *)

@@ -1,0 +1,42 @@
+(** The keystore: "a secure, reliable repository for a limited amount of
+    information. A client of the keystore could package arbitrary data to
+    be retained by the keystore, and retrieved at a later date. ...
+    Storage and retrieval requests would be authenticated by Kerberos
+    tickets, of course. Only encrypted transfer (KRB_PRIV) should be
+    employed."
+
+    Server side: a Kerberos service whose namespace is partitioned by the
+    requesting principal — one client cannot see another's blobs. Client
+    side: [put]/[get] helpers over an authenticated channel.
+
+    A random-key service is included: "the best alternative is to provide a
+    (secure) random number service on the network" for creating additional
+    client-instance keys. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  t
+
+val stored_count : t -> int
+(** Blobs currently held, across all principals. *)
+
+val put :
+  Kerberos.Client.t -> Kerberos.Client.channel -> label:string -> bytes ->
+  k:((unit, string) result -> unit) -> unit
+
+val get :
+  Kerberos.Client.t -> Kerberos.Client.channel -> label:string ->
+  k:((bytes, string) result -> unit) -> unit
+
+val fresh_key :
+  Kerberos.Client.t -> Kerberos.Client.channel ->
+  k:((bytes, string) result -> unit) -> unit
+(** Ask the keystore's random number service for a new DES key. *)

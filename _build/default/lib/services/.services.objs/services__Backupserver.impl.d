@@ -1,0 +1,1 @@
+lib/services/backupserver.ml: Bytes Hashtbl Kerberos String

@@ -1,0 +1,1 @@
+lib/services/backupserver.mli: Kerberos Sim

@@ -1,0 +1,1 @@
+lib/services/fileserver.ml: Bytes Hashtbl Kerberos List Option String

@@ -1,0 +1,1 @@
+lib/services/fileserver.mli: Kerberos Sim

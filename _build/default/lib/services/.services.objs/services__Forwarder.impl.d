@@ -1,0 +1,1 @@
+lib/services/forwarder.ml: Apserver Bytes Client Kerberos Principal Sim String Wire

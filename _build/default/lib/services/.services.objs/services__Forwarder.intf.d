@@ -1,0 +1,1 @@
+lib/services/forwarder.mli: Kerberos Sim

@@ -1,0 +1,1 @@
+lib/services/kpasswd.ml: Apserver Array Bytes Client Kdb Kerberos String Workloads

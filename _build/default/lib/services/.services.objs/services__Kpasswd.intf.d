@@ -1,0 +1,1 @@
+lib/services/kpasswd.mli: Kerberos Sim

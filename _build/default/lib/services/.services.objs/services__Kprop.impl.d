@@ -1,0 +1,1 @@
+lib/services/kprop.ml: Apserver Bytes Client Kdb Kerberos Principal Wire

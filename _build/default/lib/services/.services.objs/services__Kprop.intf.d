@@ -1,0 +1,1 @@
+lib/services/kprop.mli: Kerberos Sim

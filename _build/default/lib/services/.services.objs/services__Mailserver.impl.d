@@ -1,0 +1,1 @@
+lib/services/mailserver.ml: Bytes Hashtbl Kerberos List Option String

@@ -1,0 +1,1 @@
+lib/services/mailserver.mli: Kerberos Sim

@@ -1,0 +1,1 @@
+lib/services/rsh.ml: Ap_check Apserver Bytes Client Frames Int64 Kerberos Messages Principal Profile Sim Util Wire

@@ -1,0 +1,1 @@
+lib/services/rsh.mli: Kerberos Sim

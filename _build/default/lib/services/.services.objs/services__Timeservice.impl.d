@@ -1,0 +1,1 @@
+lib/services/timeservice.ml: Apserver Bytes Client Int64 Kerberos Sim

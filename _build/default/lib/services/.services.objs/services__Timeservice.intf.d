@@ -1,0 +1,1 @@
+lib/services/timeservice.mli: Kerberos Sim

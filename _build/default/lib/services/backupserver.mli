@@ -1,0 +1,28 @@
+(** The backup/archive server of the paper's REUSE-SKEY example: "if, say, a
+    file server and a backup server were invoked this way, an attacker might
+    redirect some requests to destroy archival copies of files being
+    edited."
+
+    It deliberately speaks the same command verbs as {!Fileserver}
+    ([DELETE <path>] destroys the archival copy) so a file-server request
+    redirected here parses and does damage. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  t
+
+val apserver : t -> Kerberos.Apserver.t
+(** The underlying AP server, for session statistics. *)
+
+val archive : t -> path:string -> bytes -> unit
+val archived : t -> string -> bytes option
+val destroyed : t -> (string * string) list
+(** Archival copies destroyed, with the principal the server believed asked. *)

@@ -1,0 +1,49 @@
+(** A Kerberos-authenticated file server — the "file mounts" workload whose
+    tickets the paper's intruder watches for. Line-oriented protocol inside
+    KRB_PRIV:
+
+    {v
+    READ <path>            -> contents | ERR ...
+    WRITE <path> <bytes>   -> OK
+    DELETE <path>          -> OK | ERR not found
+    LIST                   -> space-separated paths
+    v}
+
+    Files are recorded with the principal that wrote them, so experiments
+    can check exactly who the server {e believed} it was talking to.
+
+    [trusted_hosts] enables the NFS-era proxy verb
+    [SUDO <user> <command>]: a listed host principal may speak on behalf
+    of any of its local users — the trust relationship whose key the
+    paper's host-key-compromise discussion is about. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  ?trusted_hosts:Kerberos.Principal.t list ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  t
+
+val apserver : t -> Kerberos.Apserver.t
+(** The underlying AP server, for session statistics. *)
+
+val write_file : t -> owner:string -> path:string -> bytes -> unit
+(** Local (non-network) seeding of content. *)
+
+val read_file : t -> string -> bytes option
+val files : t -> (string * string) list
+(** (path, owner principal) pairs. *)
+
+val deletions : t -> (string * string) list
+(** Reverse-chronological (path, principal the server believed requested the
+    deletion). *)
+
+val request_log : t -> (string * string) list
+(** Every command the server processed, reverse-chronological, with the
+    principal it attributed the command to. *)

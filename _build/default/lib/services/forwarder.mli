@@ -1,0 +1,47 @@
+(** The credential forwarder — the paper's argument made executable.
+
+    Version 4 needed "a special-purpose ticket-forwarder ... the
+    implementation was of necessity awkward, and required participating
+    hosts to run an additional server". And for Version 5: "If the address
+    is omitted ... a ticket may be used from any host, without any further
+    modifications to the protocol. All that is necessary to employ such a
+    ticket is a secure mechanism for copying the multi-session key to the
+    new host. But that can be accomplished by an encrypted file transfer
+    mechanism layered on top of existing facilities; it does not require
+    flag bits in the Kerberos header."
+
+    This daemon is that mechanism: an ordinary Kerberos service that
+    receives serialized credentials over KRB_PRIV and drops them into the
+    destination host's credential cache. With address-free tickets the
+    forwarded credentials simply work; with V4's address-bound tickets
+    they are dead on arrival at the next TGS — no flag bits involved
+    either way. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  t
+
+val received_count : t -> int
+
+val forward_credentials :
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  Kerberos.Client.credentials ->
+  k:((unit, string) result -> unit) ->
+  unit
+(** Ship [credentials] over an authenticated channel to the forwarder at
+    the other end; it installs them in its host's cache under
+    ["fwd:<principal>"]. *)
+
+val pick_up :
+  Sim.Host.t -> principal:Kerberos.Principal.t -> Kerberos.Client.credentials option
+(** What a process on the destination host does: read the forwarded
+    credentials out of the local cache. *)

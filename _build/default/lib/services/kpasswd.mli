@@ -1,0 +1,38 @@
+(** Password changing, kpasswd-style.
+
+    The paper's password-guessing sections end in administration:
+    "passwords must be chosen and administered with password-guessing
+    attacks in mind". This service lets a user change their key over an
+    authenticated, sealed channel — and can enforce a quality policy
+    (refusing dictionary words), the "unless forced to" of "users do not
+    pick good passwords unless forced to".
+
+    Protocol inside KRB_PRIV: [CHANGE <newpassword>]. The principal is
+    taken from the authenticated session, never from the message. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  ?enforce_quality:bool ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  db:Kerberos.Kdb.t ->
+  t
+
+val changes_applied : t -> int
+(** Successful key changes. *)
+
+val changes_refused : t -> int
+(** Changes the quality policy refused. *)
+
+val change_password :
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  new_password:string ->
+  k:((unit, string) result -> unit) ->
+  unit

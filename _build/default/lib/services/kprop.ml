@@ -1,0 +1,44 @@
+open Kerberos
+
+type t = {
+  master : Principal.t;
+  slave_db : Kdb.t;
+  mutable received : int;
+  mutable refused : int;
+}
+
+let propagations_received t = t.received
+let pushes_refused t = t.refused
+
+let handle t _session ~client data =
+  let reply m = Some (Bytes.of_string m) in
+  if not (Principal.equal client t.master) then begin
+    t.refused <- t.refused + 1;
+    reply "ERR only the master propagates"
+  end
+  else if Bytes.length data > 5 && Bytes.to_string (Bytes.sub data 0 5) = "PROP " then begin
+    match Kdb.of_bytes (Bytes.sub data 5 (Bytes.length data - 5)) with
+    | db ->
+        Kdb.replace_from t.slave_db db;
+        t.received <- t.received + 1;
+        reply "OK"
+    | exception Wire.Codec.Decode_error e -> reply ("ERR " ^ e)
+  end
+  else reply "ERR bad command"
+
+let install_slave ?config net host ~profile ~principal ~key ~port ~master ~slave_db =
+  let t = { master; slave_db; received = 0; refused = 0 } in
+  let (_ : Apserver.t) =
+    Apserver.install ?config net host ~profile ~principal ~key ~port
+      ~handler:(handle t) ()
+  in
+  t
+
+let propagate client chan ~db ~k =
+  let msg = Bytes.cat (Bytes.of_string "PROP ") (Kdb.to_bytes db) in
+  Client.call_priv client chan msg ~k:(fun r ->
+      match r with
+      | Error e -> k (Error e)
+      | Ok data ->
+          if Bytes.to_string data = "OK" then k (Ok ())
+          else k (Error (Bytes.to_string data)))

@@ -1,0 +1,37 @@
+(** Master→slave KDC database propagation (kprop/kpropd), the replication
+    machinery Project Athena ran so workstations always had a reachable
+    KDC.
+
+    The dump carries every key in the realm, so it travels only over
+    KRB_PRIV, authenticated as the master's own principal — and the slave
+    daemon refuses pushes from anyone else. (The master host itself is the
+    one machine the paper exempts from its skepticism: "the Kerberos master
+    server, for which strong physical security must be assumed in any
+    event.") *)
+
+type t
+
+val install_slave :
+  ?config:Kerberos.Apserver.config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  master:Kerberos.Principal.t ->
+  slave_db:Kerberos.Kdb.t ->
+  t
+(** The kpropd daemon: accepts dumps only from [master], installs them
+    into [slave_db] (which a slave {!Kerberos.Kdc.t} serves from). *)
+
+val propagations_received : t -> int
+val pushes_refused : t -> int
+
+val propagate :
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  db:Kerberos.Kdb.t ->
+  k:((unit, string) result -> unit) ->
+  unit
+(** Master side: dump [db] and push it over the channel. *)

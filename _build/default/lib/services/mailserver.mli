@@ -1,0 +1,34 @@
+(** A mail server: the paper's two uses of mail —
+
+    - brief "mail-check" login sessions that expose valuable tickets to a
+      watching intruder (E1's workload), and
+    - a server that will store attacker-chosen bytes and later {e encrypt
+      them under the victim's session key} when the victim retrieves mail:
+      the encryption oracle of the inter-session chosen-plaintext attack
+      (E6).
+
+    Protocol inside KRB_PRIV: [SEND <user> <bytes>], [COUNT], [RETR <n>]
+    (returns the raw stored bytes, nothing prepended — faithful to a
+    delivery agent), [DELE <n>]. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  t
+
+val apserver : t -> Kerberos.Apserver.t
+(** The underlying AP server, for session statistics. *)
+
+val deliver : t -> user:string -> bytes -> unit
+(** Out-of-band delivery (e.g. from an unauthenticated SMTP-world sender —
+    exactly how the attacker plants chosen plaintext). *)
+
+val mailbox_count : t -> user:string -> int
+val deleted_count : t -> user:string -> int

@@ -1,0 +1,152 @@
+open Kerberos
+
+type conn_state =
+  | Want_ap_req
+  | Want_challenge_resp of { ticket : Messages.ticket; nonce : int64 }
+  | Authenticated of Principal.t
+
+type t = {
+  net : Sim.Net.t;
+  profile : Profile.t;
+  principal : Principal.t;
+  key : bytes;
+  config : Apserver.config;
+  rng : Util.Rng.t;
+  mutable executed : (string * string) list;
+}
+
+let executed t = t.executed
+
+let handle_conn t conn =
+  let state = ref Want_ap_req in
+  Sim.Tcpish.on_data conn (fun data ->
+      match !state with
+      | Want_ap_req -> (
+          match Frames.unwrap data with
+          | Some (kind, payload) when kind = Frames.ap_req -> (
+              match
+                Messages.ap_req_of_value
+                  (Wire.Encoding.decode t.profile.Profile.encoding payload)
+              with
+              | exception Wire.Codec.Decode_error _ -> Sim.Tcpish.close conn
+              | r -> (
+                  let src_addr = fst (Sim.Tcpish.peer conn) in
+                  (* The rsh daemon has no reliable clock service of its own
+                     in this model; it uses true time like other hosts. *)
+                  let now = Sim.Net.now t.net in
+                  match
+                    Ap_check.validate_ticket ~profile:t.profile ~service_key:t.key
+                      ~principal:t.principal ~now ~src_addr
+                      ~accept_forwarded:t.config.Apserver.accept_forwarded
+                      ~trusted_transit:t.config.Apserver.trusted_transit
+                      ~refuse_dup_skey:t.config.Apserver.refuse_dup_skey r.r_ticket
+                  with
+                  | Error _ -> Sim.Tcpish.close conn
+                  | Ok ticket -> (
+                      match t.profile.Profile.ap_auth with
+                      | Profile.Timestamp { skew; _ } -> (
+                          match
+                            Ap_check.validate_authenticator ~profile:t.profile
+                              ~ticket ~ticket_blob:r.r_ticket ~principal:t.principal
+                              ~now ~skew ~cache:None r.r_authenticator
+                          with
+                          | Error _ -> Sim.Tcpish.close conn
+                          | Ok _auth ->
+                              state := Authenticated ticket.Messages.client;
+                              Sim.Tcpish.send conn (Frames.wrap Frames.ap_ok Bytes.empty))
+                      | Profile.Challenge_response ->
+                          let nonce = Util.Rng.next_int64 t.rng in
+                          state := Want_challenge_resp { ticket; nonce };
+                          let body =
+                            Messages.seal_msg t.profile t.rng
+                              ~key:ticket.Messages.session_key
+                              ~tag:Messages.tag_challenge
+                              (Messages.challenge_to_value
+                                 { Messages.c_nonce = nonce; c_server_part = None;
+                                   c_seq_init = None })
+                          in
+                          Sim.Tcpish.send conn (Frames.wrap Frames.challenge body))))
+          | _ -> Sim.Tcpish.close conn)
+      | Want_challenge_resp { ticket; nonce } -> (
+          match Frames.unwrap data with
+          | Some (kind, payload) when kind = Frames.challenge_resp -> (
+              match
+                Messages.open_msg t.profile ~key:ticket.Messages.session_key
+                  ~tag:Messages.tag_challenge_resp payload
+              with
+              | Error _ -> Sim.Tcpish.close conn
+              | Ok v -> (
+                  match Messages.challenge_resp_of_value v with
+                  | exception Wire.Codec.Decode_error _ -> Sim.Tcpish.close conn
+                  | resp ->
+                      if resp.cr_nonce_f = Int64.add nonce 1L then begin
+                        state := Authenticated ticket.Messages.client;
+                        Sim.Tcpish.send conn (Frames.wrap Frames.ap_ok Bytes.empty)
+                      end
+                      else Sim.Tcpish.close conn))
+          | _ -> Sim.Tcpish.close conn)
+      | Authenticated who ->
+          let cmd = Bytes.to_string data in
+          t.executed <- (cmd, Principal.to_string who) :: t.executed;
+          Sim.Tcpish.send conn (Bytes.of_string ("ran: " ^ cmd)))
+
+let install net host ~profile ~principal ~key ~port ?(isn = Sim.Tcpish.Random_isn)
+    ?(config = Apserver.default_config) () =
+  let t =
+    { net; profile; principal; key; config; rng = Util.Rng.create 0x525348L;
+      executed = [] }
+  in
+  Sim.Tcpish.listen net host ~port ~isn ~on_accept:(fun conn -> handle_conn t conn) ();
+  t
+
+let run_command client (creds : Client.credentials) ~dst ~dport ~cmd ~k =
+  let net = Client.net client in
+  let profile = Client.client_profile client in
+  Sim.Tcpish.connect net (Client.host client) ~dst ~dport
+    ~on_connected:(fun conn ->
+      let stage = ref `Auth in
+      Sim.Tcpish.on_data conn (fun data ->
+          match (!stage, Frames.unwrap data) with
+          | `Auth, Some (kind, payload) when kind = Frames.challenge -> (
+              match
+                Messages.open_msg profile ~key:creds.Client.session_key
+                  ~tag:Messages.tag_challenge payload
+              with
+              | Error e -> k (Error e)
+              | Ok v -> (
+                  match Messages.challenge_of_value v with
+                  | exception Wire.Codec.Decode_error e -> k (Error e)
+                  | ch ->
+                      let resp =
+                        Messages.seal_msg profile (Client.client_rng client)
+                          ~key:creds.Client.session_key
+                          ~tag:Messages.tag_challenge_resp
+                          (Messages.challenge_resp_to_value
+                             { Messages.cr_nonce_f = Int64.add ch.c_nonce 1L;
+                               cr_client_part = None; cr_seq_init = None })
+                      in
+                      Sim.Tcpish.send conn (Frames.wrap Frames.challenge_resp resp)))
+          | `Auth, Some (kind, _) when kind = Frames.ap_ok ->
+              stage := `Ran;
+              Sim.Tcpish.send conn (Bytes.of_string cmd)
+          | `Ran, _ -> k (Ok (Bytes.to_string data))
+          | _ -> k (Error "rsh: unexpected server message"));
+      (* First segment: the AP_REQ. Under challenge/response profiles the
+         authenticator is absent; under timestamp profiles it is required. *)
+      let authenticator =
+        match profile.Profile.ap_auth with
+        | Profile.Challenge_response -> Bytes.empty
+        | Profile.Timestamp _ ->
+            let now = Sim.Net.local_time net (Client.host client) in
+            let auth, _, _ = Client.build_authenticator client creds ~now () in
+            Client.seal_authenticator client creds auth
+      in
+      let ap =
+        { Messages.r_ticket = creds.Client.ticket; r_authenticator = authenticator;
+          r_mutual = false }
+      in
+      Sim.Tcpish.send conn
+        (Frames.wrap Frames.ap_req
+           (Messages.encode_msg profile ~tag:Messages.tag_ap_req
+              (Messages.ap_req_to_value ap))))
+    ()

@@ -1,0 +1,37 @@
+(** A remote-shell service over the connection-oriented transport — the
+    stage for the Morris sequence-number attack and for post-authentication
+    hijacking.
+
+    The connection is authenticated once, Kerberos-style, at setup: the
+    first segment carries an AP_REQ. Subsequent segments are commands in
+    the clear (faithful to a 1990 kerberized rlogin, where encryption of
+    the session was optional and rarely on). The server therefore trusts
+    {e the connection} after one authentication — which is exactly the
+    property the paper says an attacker can wait out and take over. *)
+
+type t
+
+val install :
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  ?isn:Sim.Tcpish.isn_mode ->
+  ?config:Kerberos.Apserver.config ->
+  unit ->
+  t
+
+val executed : t -> (string * string) list
+(** Reverse-chronological (command, principal the server believed). *)
+
+val run_command :
+  Kerberos.Client.t ->
+  Kerberos.Client.credentials ->
+  dst:Sim.Addr.t ->
+  dport:int ->
+  cmd:string ->
+  k:((string, string) result -> unit) ->
+  unit
+(** Honest client: connect, authenticate, run one command. *)

@@ -1,0 +1,36 @@
+(** A Kerberos-authenticated time service: replies travel inside an
+    authenticated session, so they cannot be spoofed by a wire adversary —
+    closing the hole of E2. But it creates the bootstrap problem the paper
+    points out ("it may not make sense to build an authentication system
+    assuming an already-authenticated underlying system"): reaching this
+    service requires Kerberos, and parts of Kerberos require a good clock.
+
+    With timestamp-authenticator profiles a badly skewed host can never
+    authenticate to fix its own clock (the TGS refuses its authenticators).
+    With the paper's challenge/response option — usable "to authenticate
+    the user in the initial ticket-granting ticket exchange and to access
+    a time service" — the path is clock-free: AS exchange (nonce-based),
+    direct service ticket, challenge/response AP, sealed time reply. *)
+
+type t
+
+val install :
+  ?config:Kerberos.Apserver.config ->
+  Sim.Net.t ->
+  Sim.Host.t ->
+  profile:Kerberos.Profile.t ->
+  principal:Kerberos.Principal.t ->
+  key:bytes ->
+  port:int ->
+  t
+
+val queries_served : t -> int
+(** How many time queries this service answered. *)
+
+val sync :
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  k:((float, string) result -> unit) ->
+  unit
+(** Ask for the time over the authenticated channel and slam the client
+    host's clock to the answer. Returns the reading. *)

@@ -1,0 +1,1 @@
+lib/sim/addr.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/sim/host.ml: Addr List

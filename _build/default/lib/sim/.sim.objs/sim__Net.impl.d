@@ -1,0 +1,1 @@
+lib/sim/net.ml: Addr Engine Format Hashtbl Host List Packet Printf Util

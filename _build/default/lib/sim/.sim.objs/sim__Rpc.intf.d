@@ -1,0 +1,1 @@
+lib/sim/rpc.mli: Addr Host Net Packet

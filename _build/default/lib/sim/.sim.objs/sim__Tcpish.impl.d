@@ -1,0 +1,1 @@
+lib/sim/tcpish.ml: Addr Bytes Hashtbl Host Net Packet Util Wire

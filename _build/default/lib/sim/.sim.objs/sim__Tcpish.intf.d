@@ -1,0 +1,1 @@
+lib/sim/tcpish.mli: Addr Host Net

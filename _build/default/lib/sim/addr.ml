@@ -1,0 +1,13 @@
+type t = int
+
+let of_quad a b c d =
+  let byte v = if v < 0 || v > 255 then invalid_arg "Addr.of_quad" else v in
+  (byte a lsl 24) lor (byte b lsl 16) lor (byte c lsl 8) lor byte d
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xff) ((t lsr 16) land 0xff)
+    ((t lsr 8) land 0xff) (t land 0xff)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal = Int.equal
+let compare = Int.compare

@@ -1,0 +1,10 @@
+(** Network addresses: IPv4-shaped 32-bit values. Kerberos V4 binds tickets
+    to these; the paper argues the binding buys nothing. *)
+
+type t = int
+
+val of_quad : int -> int -> int -> int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,21 @@
+type t = { network : Net.t; mutable seen : Packet.t list (* reverse order *) }
+
+let attach network = { network; seen = [] }
+let net t = t.network
+
+let start_tap t = Net.add_tap t.network (fun pkt -> t.seen <- pkt :: t.seen)
+
+let captured t = List.rev t.seen
+
+let capture_matching t pred = List.filter pred (captured t)
+
+let intercept t fn = Net.set_interceptor t.network fn
+let stop_intercepting t = Net.clear_interceptor t.network
+
+let spoof t ~src ~sport ~dst ~dport payload =
+  Net.inject t.network { Packet.src; sport; dst; dport; payload; uid = 0 }
+
+let replay t pkt = Net.inject t.network pkt
+
+let replay_to t pkt ~dst ~dport =
+  Net.inject t.network { pkt with Packet.dst; dport }

@@ -1,0 +1,35 @@
+(** The Dolev-Yao attacker: a convenient façade over the network hooks.
+
+    One adversary per network is enough for every experiment; it records
+    all traffic it has seen ([captured]) so attack code can hunt for
+    tickets, authenticators and login dialogs after the fact, exactly as
+    the paper's intruder "would have everything in place before the
+    ticket-capture was attempted". *)
+
+type t
+
+val attach : Net.t -> t
+val net : t -> Net.t
+
+val start_tap : t -> unit
+(** Begin recording all packets. *)
+
+val captured : t -> Packet.t list
+(** Everything seen so far, chronological. *)
+
+val capture_matching : t -> (Packet.t -> bool) -> Packet.t list
+
+val intercept : t -> (Packet.t -> Net.decision) -> unit
+(** Install an in-flight rewriter (drop / modify / replace). *)
+
+val stop_intercepting : t -> unit
+
+val spoof :
+  t -> src:Addr.t -> sport:int -> dst:Addr.t -> dport:int -> bytes -> unit
+(** Inject a forged packet with an arbitrary source. *)
+
+val replay : t -> Packet.t -> unit
+(** Re-inject a previously captured packet verbatim. *)
+
+val replay_to : t -> Packet.t -> dst:Addr.t -> dport:int -> unit
+(** Re-inject a captured packet, redirected to a different destination. *)

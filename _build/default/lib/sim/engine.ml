@@ -1,0 +1,38 @@
+type event = { time : float; seq : int; fn : unit -> unit }
+
+type t = { heap : event Heap.t; mutable clock : float; mutable next_seq : int }
+
+let cmp a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create () = { heap = Heap.create ~cmp; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let schedule t ~at fn =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  Heap.push t.heap { time = at; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t delay fn = schedule t ~at:(t.clock +. delay) fn
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.fn ();
+      true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | Some ev when ev.time <= limit -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if t.clock < limit then t.clock <- limit
+
+let pending t = Heap.size t.heap

@@ -1,0 +1,19 @@
+(** Deterministic discrete-event engine. Time is in seconds. Events
+    scheduled at equal times fire in scheduling order. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+val run : t -> unit
+(** Drain the queue. *)
+
+val run_until : t -> float -> unit
+(** Fire everything scheduled at or before the given time, then set the
+    clock to it. *)
+
+val pending : t -> int

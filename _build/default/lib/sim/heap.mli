@@ -1,0 +1,11 @@
+(** A classic array-backed binary min-heap, the event queue of the
+    discrete-event engine. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,40 @@
+type security = Workstation | Multi_user
+
+type t = {
+  name : string;
+  ips : Addr.t list;
+  security : security;
+  mutable clock_offset : float;
+  clock_drift : float;
+  mutable cache : (string * bytes) list;
+  mutable logged_in : bool;
+  mutable on_cache_write : (string -> bytes -> unit) option;
+}
+
+let create ?(security = Workstation) ?(clock_offset = 0.0) ?(clock_drift = 0.0)
+    ~name ~ips () =
+  if ips = [] then invalid_arg "Host.create: a host needs at least one address";
+  { name; ips; security; clock_offset; clock_drift; cache = []; logged_in = false;
+    on_cache_write = None }
+
+let primary_ip t = List.hd t.ips
+
+let local_time t ~real = real +. t.clock_offset +. (t.clock_drift *. real)
+
+let set_clock t ~real ~reading =
+  t.clock_offset <- reading -. real -. (t.clock_drift *. real)
+
+let cache_put t key v =
+  t.cache <- (key, v) :: List.remove_assoc key t.cache;
+  (* Diskless workstations page their memory to a server: every cache
+     write may cross the network in the clear. *)
+  match t.on_cache_write with None -> () | Some page -> page key v
+
+let cache_get t key = List.assoc_opt key t.cache
+
+let cache_wipe t =
+  t.cache <- [];
+  t.logged_in <- false
+
+let steal_cache t =
+  match t.security with Multi_user -> Some t.cache | Workstation -> None

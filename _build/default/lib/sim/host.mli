@@ -1,0 +1,57 @@
+(** A simulated machine.
+
+    The model carries the environmental facts the paper's analysis turns on:
+    - a local clock with offset and drift (authenticator validation depends
+      on "machines' clocks being roughly synchronized");
+    - a credential cache, which on a {e multi-user} host is readable by a
+      co-resident attacker while sessions are live, but on a single-user
+      workstation is wiped at logout ("Kerberos attempts to wipe out old
+      keys at logoff time");
+    - possibly several addresses (multi-homed hosts, for which V4's
+      address-bound tickets "cannot live with this limitation"). *)
+
+type security = Workstation | Multi_user
+
+type t = {
+  name : string;
+  ips : Addr.t list;
+  security : security;
+  mutable clock_offset : float;  (** seconds added to true (engine) time *)
+  clock_drift : float;  (** fractional rate error, e.g. 1e-5 *)
+  mutable cache : (string * bytes) list;  (** credential cache *)
+  mutable logged_in : bool;
+  mutable on_cache_write : (string -> bytes -> unit) option;
+      (** paging hook: on a diskless workstation, "/tmp exists on a file
+          server" and "there is no guarantee that shared memory is not
+          paged; if this entails network traffic, an intruder can capture
+          these keys". When set, every cache write is also handed to this
+          function (which the scenario wires to a cleartext page-out). *)
+}
+
+val create :
+  ?security:security ->
+  ?clock_offset:float ->
+  ?clock_drift:float ->
+  name:string ->
+  ips:Addr.t list ->
+  unit ->
+  t
+
+val primary_ip : t -> Addr.t
+
+val local_time : t -> real:float -> float
+(** What this host's clock reads when true time is [real]. *)
+
+val set_clock : t -> real:float -> reading:float -> unit
+(** Adjust [clock_offset] so the host's clock shows [reading] at [real]
+    — what a (possibly spoofed) time-protocol synchronization does. *)
+
+val cache_put : t -> string -> bytes -> unit
+val cache_get : t -> string -> bytes option
+val cache_wipe : t -> unit
+(** Logout on a workstation: keys are destroyed. *)
+
+val steal_cache : t -> (string * bytes) list option
+(** What a co-resident attacker can read: [Some cache] on a multi-user host
+    with live sessions, [None] on a workstation (no remote access, and keys
+    are wiped when the user leaves). *)

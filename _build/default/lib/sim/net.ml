@@ -1,0 +1,100 @@
+type decision = Deliver | Drop | Replace of Packet.t list
+
+type event =
+  | Sent of float * Packet.t
+  | Delivered of float * Packet.t
+  | Dropped of float * Packet.t * string
+  | Note of float * string
+
+type t = {
+  eng : Engine.t;
+  latency : float;
+  rng : Util.Rng.t;
+  hosts : (Addr.t, Host.t) Hashtbl.t;
+  ports : (Addr.t * int, Packet.t -> unit) Hashtbl.t;
+  mutable taps : (Packet.t -> unit) list;
+  mutable interceptor : (Packet.t -> decision) option;
+  mutable next_uid : int;
+  mutable next_port : int;
+  mutable trace : event list;  (** reverse chronological *)
+}
+
+let create ?(latency = 0.005) ?(seed = 1L) eng =
+  { eng; latency; rng = Util.Rng.create seed; hosts = Hashtbl.create 16;
+    ports = Hashtbl.create 64; taps = []; interceptor = None; next_uid = 0;
+    next_port = 33000; trace = [] }
+
+let engine t = t.eng
+let now t = Engine.now t.eng
+let rng t = t.rng
+
+let record t ev = t.trace <- ev :: t.trace
+let note t msg = record t (Note (now t, msg))
+let events t = List.rev t.trace
+
+let attach t host =
+  List.iter
+    (fun ip ->
+      if Hashtbl.mem t.hosts ip then
+        invalid_arg (Printf.sprintf "Net.attach: address %s already in use" (Addr.to_string ip));
+      Hashtbl.replace t.hosts ip host)
+    host.Host.ips
+
+let host_of_addr t addr = Hashtbl.find_opt t.hosts addr
+
+let local_time t host = Host.local_time host ~real:(now t)
+
+let listen t host ~port fn =
+  List.iter (fun ip -> Hashtbl.replace t.ports (ip, port) fn) host.Host.ips
+
+let unlisten t host ~port =
+  List.iter (fun ip -> Hashtbl.remove t.ports (ip, port)) host.Host.ips
+
+let ephemeral_port t =
+  t.next_port <- t.next_port + 1;
+  t.next_port
+
+let deliver t pkt =
+  Engine.schedule_after t.eng t.latency (fun () ->
+      match Hashtbl.find_opt t.ports (pkt.Packet.dst, pkt.Packet.dport) with
+      | Some fn ->
+          record t (Delivered (now t, pkt));
+          fn pkt
+      | None -> record t (Dropped (now t, pkt, "no listener")))
+
+let transmit t pkt =
+  record t (Sent (now t, pkt));
+  List.iter (fun tap -> tap pkt) t.taps;
+  match t.interceptor with
+  | None -> deliver t pkt
+  | Some f -> (
+      match f pkt with
+      | Deliver -> deliver t pkt
+      | Drop -> record t (Dropped (now t, pkt, "intercepted"))
+      | Replace pkts ->
+          record t (Dropped (now t, pkt, "replaced in flight"));
+          List.iter (deliver t) pkts)
+
+let send t ?src ~sport ~dst ~dport host payload =
+  let src = match src with None -> Host.primary_ip host | Some s -> s in
+  if not (List.exists (Addr.equal src) host.Host.ips) then
+    invalid_arg "Net.send: source address not owned by sending host";
+  t.next_uid <- t.next_uid + 1;
+  transmit t { Packet.src; sport; dst; dport; payload; uid = t.next_uid }
+
+let inject t pkt =
+  t.next_uid <- t.next_uid + 1;
+  let pkt = { pkt with Packet.uid = t.next_uid } in
+  record t (Sent (now t, pkt));
+  List.iter (fun tap -> tap pkt) t.taps;
+  deliver t pkt
+
+let add_tap t fn = t.taps <- t.taps @ [ fn ]
+let set_interceptor t fn = t.interceptor <- Some fn
+let clear_interceptor t = t.interceptor <- None
+
+let pp_event ppf = function
+  | Sent (ts, p) -> Format.fprintf ppf "[%8.4f] send    %a" ts Packet.pp p
+  | Delivered (ts, p) -> Format.fprintf ppf "[%8.4f] deliver %a" ts Packet.pp p
+  | Dropped (ts, p, why) -> Format.fprintf ppf "[%8.4f] drop    %a (%s)" ts Packet.pp p why
+  | Note (ts, msg) -> Format.fprintf ppf "[%8.4f] note    %s" ts msg

@@ -1,0 +1,64 @@
+(** The simulated network: datagram delivery between hosts, plus the hooks
+    that realize the paper's threat model — "the protocols should be secure
+    even if the network is under the complete control of an adversary."
+
+    The adversary surface (used via {!Adversary}):
+    - {e taps} observe every packet;
+    - one {e interceptor} may drop, rewrite, or replace packets in flight;
+    - {e injection} delivers forged packets with arbitrary source fields. *)
+
+type t
+
+type decision =
+  | Deliver  (** pass the original through *)
+  | Drop
+  | Replace of Packet.t list  (** deliver these (possibly rewritten) instead *)
+
+val create : ?latency:float -> ?seed:int64 -> Engine.t -> t
+val engine : t -> Engine.t
+val now : t -> float
+(** True (engine) time. *)
+
+val rng : t -> Util.Rng.t
+
+val attach : t -> Host.t -> unit
+(** Register a host's addresses for delivery.
+    @raise Invalid_argument on address clashes. *)
+
+val host_of_addr : t -> Addr.t -> Host.t option
+
+val local_time : t -> Host.t -> float
+(** The host's own clock reading, offset/drift included. *)
+
+val listen : t -> Host.t -> port:int -> (Packet.t -> unit) -> unit
+val unlisten : t -> Host.t -> port:int -> unit
+val ephemeral_port : t -> int
+(** Fresh high port, unique per network. *)
+
+val send : t -> ?src:Addr.t -> sport:int -> dst:Addr.t -> dport:int -> Host.t -> bytes -> unit
+(** [send net host payload ~sport ~dst ~dport] transmits from [host]
+    (source address [?src] defaults to the host's primary address and must
+    be one of the host's addresses — honest parties cannot forge). Packets
+    traverse taps and the interceptor, then arrive after the network
+    latency. Unroutable packets are dropped silently (and traced). *)
+
+val inject : t -> Packet.t -> unit
+(** Adversarial transmission: arbitrary source, bypasses the interceptor. *)
+
+val add_tap : t -> (Packet.t -> unit) -> unit
+val set_interceptor : t -> (Packet.t -> decision) -> unit
+val clear_interceptor : t -> unit
+
+(** Tracing *)
+
+type event =
+  | Sent of float * Packet.t
+  | Delivered of float * Packet.t
+  | Dropped of float * Packet.t * string
+  | Note of float * string
+
+val note : t -> string -> unit
+val events : t -> event list
+(** Chronological. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,12 @@
+type t = {
+  src : Addr.t;
+  sport : int;
+  dst : Addr.t;
+  dport : int;
+  payload : bytes;
+  uid : int;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a:%d -> %a:%d (%d bytes)" t.uid Addr.pp t.src t.sport
+    Addr.pp t.dst t.dport (Bytes.length t.payload)

@@ -1,0 +1,12 @@
+(** Datagrams carried by the simulated network. *)
+
+type t = {
+  src : Addr.t;
+  sport : int;
+  dst : Addr.t;
+  dport : int;
+  payload : bytes;
+  uid : int;  (** unique per send, for tracing *)
+}
+
+val pp : Format.formatter -> t -> unit

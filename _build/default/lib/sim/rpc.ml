@@ -1,0 +1,21 @@
+let call net host ?src ?(timeout = 1.0) ?(retries = 0) ~dst ~dport payload
+    ~on_reply ~on_timeout =
+  let sport = Net.ephemeral_port net in
+  let answered = ref false in
+  Net.listen net host ~port:sport (fun pkt ->
+      if not !answered then begin
+        answered := true;
+        Net.unlisten net host ~port:sport;
+        on_reply pkt
+      end);
+  let rec attempt remaining =
+    Net.send net ?src ~sport ~dst ~dport host payload;
+    Engine.schedule_after (Net.engine net) timeout (fun () ->
+        if not !answered then
+          if remaining > 0 then attempt (remaining - 1)
+          else begin
+            Net.unlisten net host ~port:sport;
+            on_timeout ()
+          end)
+  in
+  attempt retries

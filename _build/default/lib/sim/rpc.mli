@@ -1,0 +1,17 @@
+(** Request/response helper over the datagram network: sends a request from
+    an ephemeral port and hands the first reply to the continuation.
+    UDP-shaped — the client retransmits on timeout, which is the behaviour
+    that complicates server-side authenticator caching in the paper. *)
+
+val call :
+  Net.t ->
+  Host.t ->
+  ?src:Addr.t ->
+  ?timeout:float ->
+  ?retries:int ->
+  dst:Addr.t ->
+  dport:int ->
+  bytes ->
+  on_reply:(Packet.t -> unit) ->
+  on_timeout:(unit -> unit) ->
+  unit

@@ -1,0 +1,156 @@
+type isn_mode = Predictable | Random_isn
+
+type segment = { syn : bool; ack : bool; fin : bool; seq : int; ackno : int; body : bytes }
+
+let encode_segment s =
+  let w = Wire.Codec.Writer.create () in
+  let flags =
+    (if s.syn then 1 else 0) lor (if s.ack then 2 else 0) lor if s.fin then 4 else 0
+  in
+  Wire.Codec.Writer.u8 w flags;
+  Wire.Codec.Writer.u32 w s.seq;
+  Wire.Codec.Writer.u32 w s.ackno;
+  Wire.Codec.Writer.lbytes w s.body;
+  Wire.Codec.Writer.contents w
+
+let decode_segment b =
+  match
+    let r = Wire.Codec.Reader.of_bytes b in
+    let flags = Wire.Codec.Reader.u8 r in
+    let seq = Wire.Codec.Reader.u32 r in
+    let ackno = Wire.Codec.Reader.u32 r in
+    let body = Wire.Codec.Reader.lbytes r in
+    Wire.Codec.Reader.expect_end r;
+    { syn = flags land 1 <> 0; ack = flags land 2 <> 0; fin = flags land 4 <> 0;
+      seq; ackno; body }
+  with
+  | s -> Some s
+  | exception Wire.Codec.Decode_error _ -> None
+
+let predict_isn net = function
+  | Predictable ->
+      (* Old-BSD shape: a coarse, clock-derived counter. Anyone who knows
+         the time knows the ISN. *)
+      (64 * int_of_float (Net.now net)) land 0x7FFFFFFF
+  | Random_isn -> Util.Rng.int (Net.rng net) 0x40000000
+
+type conn = {
+  net : Net.t;
+  host : Host.t;
+  local_addr : Addr.t;
+  local_port : int;
+  peer_addr : Addr.t;
+  peer_port : int;
+  mutable snd_nxt : int;
+  mutable rcv_nxt : int;
+  mutable established : bool;
+  mutable closed : bool;
+  mutable data_cb : bytes -> unit;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let peer c = (c.peer_addr, c.peer_port)
+let local c = (c.local_addr, c.local_port)
+let bytes_received c = c.received
+let bytes_sent c = c.sent
+
+let transmit c seg =
+  Net.send c.net ~src:c.local_addr ~sport:c.local_port ~dst:c.peer_addr
+    ~dport:c.peer_port c.host (encode_segment seg)
+
+let send c body =
+  if c.closed then invalid_arg "Tcpish.send: connection closed";
+  transmit c { syn = false; ack = false; fin = false; seq = c.snd_nxt; ackno = c.rcv_nxt; body };
+  c.snd_nxt <- (c.snd_nxt + Bytes.length body) land 0x7FFFFFFF;
+  c.sent <- c.sent + Bytes.length body
+
+let on_data c fn = c.data_cb <- fn
+
+let close c =
+  if not c.closed then begin
+    transmit c { syn = false; ack = false; fin = true; seq = c.snd_nxt; ackno = c.rcv_nxt; body = Bytes.empty };
+    c.closed <- true
+  end
+
+(* Shared inbound segment handling once established. *)
+let handle_established c seg =
+  if seg.fin then c.closed <- true
+  else if Bytes.length seg.body > 0 then
+    if seg.seq = c.rcv_nxt then begin
+      c.rcv_nxt <- (c.rcv_nxt + Bytes.length seg.body) land 0x7FFFFFFF;
+      c.received <- c.received + Bytes.length seg.body;
+      c.data_cb seg.body
+    end
+    else Net.note c.net "tcpish: out-of-window segment dropped"
+
+let listen net host ~port ?(isn = Random_isn) ~on_accept () =
+  (* Connection table keyed by the apparent peer. *)
+  let conns : (Addr.t * int, conn * bool ref (* handshake done *)) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Net.listen net host ~port (fun pkt ->
+      match decode_segment pkt.Packet.payload with
+      | None -> Net.note net "tcpish: malformed segment"
+      | Some seg -> (
+          let key = (pkt.Packet.src, pkt.Packet.sport) in
+          match Hashtbl.find_opt conns key with
+          | None ->
+              if seg.syn && not seg.ack then begin
+                let c =
+                  { net; host; local_addr = pkt.Packet.dst; local_port = port;
+                    peer_addr = pkt.Packet.src; peer_port = pkt.Packet.sport;
+                    snd_nxt = predict_isn net isn; rcv_nxt = (seg.seq + 1) land 0x7FFFFFFF;
+                    established = false; closed = false; data_cb = ignore;
+                    sent = 0; received = 0 }
+                in
+                Hashtbl.replace conns key (c, ref false);
+                (* SYN+ACK *)
+                transmit c
+                  { syn = true; ack = true; fin = false; seq = c.snd_nxt;
+                    ackno = c.rcv_nxt; body = Bytes.empty };
+                c.snd_nxt <- (c.snd_nxt + 1) land 0x7FFFFFFF
+              end
+          | Some (c, done_) ->
+              if (not !done_) && seg.ack && not seg.syn then begin
+                (* Final ACK of the handshake: the server checks that the
+                   client echoes its ISN — the only proof of return-path
+                   reachability, and exactly what Morris predicted. *)
+                if seg.ackno = c.snd_nxt then begin
+                  done_ := true;
+                  c.established <- true;
+                  on_accept c;
+                  (* the ACK segment may itself carry data *)
+                  handle_established c seg
+                end
+                else Net.note net "tcpish: bad handshake ack"
+              end
+              else if !done_ then handle_established c seg))
+
+let connect net host ?src ?(isn = Random_isn) ~dst ~dport ~on_connected () =
+  let sport = Net.ephemeral_port net in
+  let local_addr = match src with None -> Host.primary_ip host | Some a -> a in
+  let c =
+    { net; host; local_addr; local_port = sport; peer_addr = dst; peer_port = dport;
+      snd_nxt = predict_isn net isn; rcv_nxt = 0; established = false; closed = false;
+      data_cb = ignore; sent = 0; received = 0 }
+  in
+  Net.listen net host ~port:sport (fun pkt ->
+      match decode_segment pkt.Packet.payload with
+      | None -> ()
+      | Some seg ->
+          if (not c.established) && seg.syn && seg.ack then begin
+            (* snd_nxt already counts the SYN we sent. *)
+            if seg.ackno = c.snd_nxt then begin
+              c.rcv_nxt <- (seg.seq + 1) land 0x7FFFFFFF;
+              c.established <- true;
+              transmit c
+                { syn = false; ack = true; fin = false; seq = c.snd_nxt;
+                  ackno = c.rcv_nxt; body = Bytes.empty };
+              on_connected c
+            end
+          end
+          else if c.established then handle_established c seg);
+  (* SYN *)
+  transmit c { syn = true; ack = false; fin = false; seq = c.snd_nxt; ackno = 0; body = Bytes.empty };
+  c.snd_nxt <- (c.snd_nxt + 1) land 0x7FFFFFFF

@@ -1,0 +1,60 @@
+(** A miniature connection-oriented transport, enough to reproduce two of
+    the paper's points:
+
+    - Morris's 1985 attack: with a {e predictable} initial sequence number,
+      an off-path attacker can complete a handshake and speak one half of a
+      "preauthenticated" connection without seeing any responses — and in a
+      Kerberos world, "his attack would still work if accompanied by a
+      stolen live authenticator";
+    - connection hijacking: "an attacker can always wait until the
+      connection is set up and authenticated, and then take it over",
+      making the network address in the ticket worthless.
+
+    Segments are accepted iff their sequence number is exactly the next
+    expected one; there is no retransmission (the simulated network is
+    reliable unless the adversary interferes). *)
+
+type isn_mode =
+  | Predictable  (** old-BSD style: a coarse function of wall-clock time *)
+  | Random_isn  (** drawn from the network RNG *)
+
+type conn
+
+val listen :
+  Net.t -> Host.t -> port:int -> ?isn:isn_mode -> on_accept:(conn -> unit) -> unit -> unit
+(** Accept connections on [port]. [on_accept] fires when the handshake
+    completes; the server cannot tell a spoofed handshake from a real one. *)
+
+val connect :
+  Net.t ->
+  Host.t ->
+  ?src:Addr.t ->
+  ?isn:isn_mode ->
+  dst:Addr.t ->
+  dport:int ->
+  on_connected:(conn -> unit) ->
+  unit ->
+  unit
+
+val send : conn -> bytes -> unit
+val on_data : conn -> (bytes -> unit) -> unit
+val close : conn -> unit
+
+val peer : conn -> Addr.t * int
+(** The address the connection {e appears} to come from — what an
+    address-checking server trusts. *)
+
+val local : conn -> Addr.t * int
+val bytes_received : conn -> int
+val bytes_sent : conn -> int
+
+val predict_isn : Net.t -> isn_mode -> int
+(** The attacker's computation: for [Predictable] this equals the ISN the
+    target will choose right now; for [Random_isn] it is a blind guess. *)
+
+(** Raw segment forging, for attack code. *)
+
+type segment = { syn : bool; ack : bool; fin : bool; seq : int; ackno : int; body : bytes }
+
+val encode_segment : segment -> bytes
+val decode_segment : bytes -> segment option

@@ -1,0 +1,76 @@
+let default_port = 37 (* the RFC 868 time port *)
+
+let encode_time reading =
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.i64 w (Int64.bits_of_float reading);
+  Wire.Codec.Writer.contents w
+
+let decode_time b =
+  let r = Wire.Codec.Reader.of_bytes b in
+  let v = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
+  Wire.Codec.Reader.expect_end r;
+  v
+
+let install_server net host ?(port = default_port) () =
+  Sim.Net.listen net host ~port (fun pkt ->
+      let reading = Sim.Net.local_time net host in
+      Sim.Net.send net ~sport:port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
+        host (encode_time reading))
+
+let sync net host ?(port = default_port) ~server ~on_done () =
+  Sim.Rpc.call net host ~dst:server ~dport:port (Bytes.of_string "time?")
+    ~on_reply:(fun pkt ->
+      match decode_time pkt.Sim.Packet.payload with
+      | reading ->
+          Sim.Host.set_clock host ~real:(Sim.Net.now net) ~reading;
+          on_done ()
+      | exception Wire.Codec.Decode_error _ ->
+          Sim.Net.note net "timesvc: malformed reply ignored")
+    ~on_timeout:(fun () -> Sim.Net.note net "timesvc: sync timed out")
+
+let mac ~key nonce reading =
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.lbytes w key;
+  Wire.Codec.Writer.i64 w nonce;
+  Wire.Codec.Writer.i64 w (Int64.bits_of_float reading);
+  Crypto.Md4.digest (Wire.Codec.Writer.contents w)
+
+let install_authenticated_server net host ?(port = default_port) ~key () =
+  Sim.Net.listen net host ~port (fun pkt ->
+      match
+        let r = Wire.Codec.Reader.of_bytes pkt.Sim.Packet.payload in
+        Wire.Codec.Reader.i64 r
+      with
+      | nonce ->
+          let reading = Sim.Net.local_time net host in
+          let w = Wire.Codec.Writer.create () in
+          Wire.Codec.Writer.i64 w (Int64.bits_of_float reading);
+          Wire.Codec.Writer.lbytes w (mac ~key nonce reading);
+          Sim.Net.send net ~sport:port ~dst:pkt.Sim.Packet.src
+            ~dport:pkt.Sim.Packet.sport host (Wire.Codec.Writer.contents w)
+      | exception Wire.Codec.Decode_error _ -> ())
+
+let sync_authenticated net host ?(port = default_port) ~key ~server ~on_done () =
+  let nonce = Util.Rng.next_int64 (Sim.Net.rng net) in
+  let req = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.i64 req nonce;
+  Sim.Rpc.call net host ~dst:server ~dport:port (Wire.Codec.Writer.contents req)
+    ~on_reply:(fun pkt ->
+      match
+        let r = Wire.Codec.Reader.of_bytes pkt.Sim.Packet.payload in
+        let reading = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
+        let tag = Wire.Codec.Reader.lbytes r in
+        Wire.Codec.Reader.expect_end r;
+        (reading, tag)
+      with
+      | reading, tag ->
+          if Util.Bytesutil.equal tag (mac ~key nonce reading) then begin
+            Sim.Host.set_clock host ~real:(Sim.Net.now net) ~reading;
+            on_done true
+          end
+          else begin
+            Sim.Net.note net "timesvc: BAD MAC on time reply — forgery detected";
+            on_done false
+          end
+      | exception Wire.Codec.Decode_error _ -> on_done false)
+    ~on_timeout:(fun () -> Sim.Net.note net "timesvc: sync timed out")

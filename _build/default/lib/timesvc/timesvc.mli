@@ -1,0 +1,46 @@
+(** Network time service, RFC 868-shaped.
+
+    The paper: "authenticators rely on machines' clocks being roughly
+    synchronized. If a host can be misled about the correct time, a stale
+    authenticator can be replayed without any trouble at all. Since some
+    time synchronization protocols are unauthenticated ... such attacks are
+    not difficult."
+
+    [install_server]/[sync] implement the unauthenticated protocol — any
+    adversary reply is believed. The [authenticated] variants append a
+    keyed MD4 MAC under a key the two parties must already share, which is
+    precisely the bootstrapping problem the paper points out ("it may not
+    make sense to build an authentication system assuming an
+    already-authenticated underlying system"). *)
+
+val default_port : int
+
+val install_server : Sim.Net.t -> Sim.Host.t -> ?port:int -> unit -> unit
+(** Serve this host's own clock reading (hosts trust their time source's
+    clock, drift and all). *)
+
+val sync :
+  Sim.Net.t ->
+  Sim.Host.t ->
+  ?port:int ->
+  server:Sim.Addr.t ->
+  on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Ask the server for the time and slam this host's clock to the answer.
+    No authentication: the first reply wins. *)
+
+val install_authenticated_server :
+  Sim.Net.t -> Sim.Host.t -> ?port:int -> key:bytes -> unit -> unit
+
+val sync_authenticated :
+  Sim.Net.t ->
+  Sim.Host.t ->
+  ?port:int ->
+  key:bytes ->
+  server:Sim.Addr.t ->
+  on_done:(bool -> unit) ->
+  unit ->
+  unit
+(** As [sync] but the reply must carry a valid MAC over (nonce, reading);
+    [on_done false] means a forgery was detected and the clock left alone. *)

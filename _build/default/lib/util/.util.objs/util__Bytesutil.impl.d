@@ -1,0 +1,1 @@
+lib/util/bytesutil.ml: Buffer Bytes Char Format List Printf String

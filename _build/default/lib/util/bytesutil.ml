@@ -1,0 +1,76 @@
+let to_hex b =
+  let n = Bytes.length b in
+  let out = Buffer.create (2 * n) in
+  for i = 0 to n - 1 do
+    Buffer.add_string out (Printf.sprintf "%02x" (Char.code (Bytes.get b i)))
+  done;
+  Buffer.contents out
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Bytesutil.of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bytesutil.of_hex: bad digit"
+  in
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let xor a b =
+  let n = Bytes.length a in
+  if Bytes.length b <> n then invalid_arg "Bytesutil.xor: length mismatch";
+  Bytes.init n (fun i ->
+      Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+
+let xor_into ~src ~dst =
+  let n = Bytes.length dst in
+  if Bytes.length src <> n then invalid_arg "Bytesutil.xor_into: length mismatch";
+  for i = 0 to n - 1 do
+    Bytes.set dst i
+      (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+let concat bs = Bytes.concat Bytes.empty bs
+
+let sub = Bytes.sub
+
+let chunks n b =
+  if n <= 0 then invalid_arg "Bytesutil.chunks: non-positive size";
+  let len = Bytes.length b in
+  let rec loop pos acc =
+    if pos >= len then List.rev acc
+    else
+      let take = min n (len - pos) in
+      loop (pos + take) (Bytes.sub b pos take :: acc)
+  in
+  loop 0 []
+
+let equal a b =
+  let na = Bytes.length a and nb = Bytes.length b in
+  if na <> nb then false
+  else begin
+    let diff = ref 0 in
+    for i = 0 to na - 1 do
+      diff := !diff lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
+    done;
+    !diff = 0
+  end
+
+let u32_be b pos =
+  let g i = Char.code (Bytes.get b (pos + i)) in
+  (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
+
+let put_u32_be b pos v =
+  Bytes.set b pos (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (pos + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (pos + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (pos + 3) (Char.chr (v land 0xff))
+
+let u64_be b pos = Bytes.get_int64_be b pos
+
+let put_u64_be b pos v = Bytes.set_int64_be b pos v
+
+let pp ppf b = Format.pp_print_string ppf (to_hex b)

@@ -1,0 +1,46 @@
+(** Byte-string helpers shared by the crypto and wire layers.
+
+    All functions are pure; [bytes] arguments are never mutated unless the
+    function name says so ([xor_into]). *)
+
+val to_hex : bytes -> string
+(** [to_hex b] is the lowercase hexadecimal rendering of [b]. *)
+
+val of_hex : string -> bytes
+(** [of_hex s] parses a hex string (even length, case-insensitive).
+    @raise Invalid_argument on malformed input. *)
+
+val xor : bytes -> bytes -> bytes
+(** [xor a b] is the bytewise exclusive-or of two equal-length strings.
+    @raise Invalid_argument if lengths differ. *)
+
+val xor_into : src:bytes -> dst:bytes -> unit
+(** [xor_into ~src ~dst] xors [src] into [dst] in place (equal lengths). *)
+
+val concat : bytes list -> bytes
+(** [concat bs] joins the chunks in order. *)
+
+val sub : bytes -> int -> int -> bytes
+(** [sub b pos len] copies a slice. Alias for [Bytes.sub]. *)
+
+val chunks : int -> bytes -> bytes list
+(** [chunks n b] splits [b] into [n]-byte chunks; the last chunk may be
+    short. [n] must be positive. *)
+
+val equal : bytes -> bytes -> bool
+(** Constant-time-shaped equality (always scans the full length). *)
+
+val u32_be : bytes -> int -> int
+(** [u32_be b pos] reads a big-endian 32-bit unsigned value. *)
+
+val put_u32_be : bytes -> int -> int -> unit
+(** [put_u32_be b pos v] writes the low 32 bits of [v] big-endian. *)
+
+val u64_be : bytes -> int -> int64
+(** [u64_be b pos] reads a big-endian 64-bit value. *)
+
+val put_u64_be : bytes -> int -> int64 -> unit
+(** [put_u64_be b pos v] writes [v] big-endian. *)
+
+val pp : Format.formatter -> bytes -> unit
+(** Prints as hex, for test diagnostics. *)

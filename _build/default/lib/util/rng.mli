@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every experiment in this repository is seeded so runs are reproducible;
+    nothing uses [Random.self_init]. The generator is {e not}
+    cryptographically strong — which is itself one of the paper's themes
+    (predictable randomness, e.g. TCP initial sequence numbers). The
+    [Strong] submodule hashes the stream through MD4-free mixing for key
+    generation in the simulated KDC, which suffices inside the simulation. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes an independent generator. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator (advances [t]). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,1 @@
+lib/wire/der.ml: Buffer Bytes Char Codec Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/wire/encoding.ml: Codec Der List Printf

@@ -1,0 +1,73 @@
+exception Decode_error of string
+
+let fail msg = raise (Decode_error msg)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v =
+    u16 t (v lsr 16);
+    u16 t v
+
+  let i64 t v = Buffer.add_int64_be t v
+  let raw t b = Buffer.add_bytes t b
+
+  let lbytes t b =
+    u32 t (Bytes.length b);
+    raw t b
+
+  let lstring t s = lbytes t (Bytes.of_string s)
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+
+  let need t n =
+    if t.pos + n > Bytes.length t.data then fail "truncated message"
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    (hi lsl 8) lor u8 t
+
+  let u32 t =
+    let hi = u16 t in
+    (hi lsl 16) lor u16 t
+
+  let i64 t =
+    need t 8;
+    let v = Bytes.get_int64_be t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let raw t n =
+    need t n;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let lbytes t =
+    let n = u32 t in
+    if n > Bytes.length t.data - t.pos then fail "length field exceeds input";
+    raw t n
+
+  let lstring t = Bytes.to_string (lbytes t)
+  let remaining t = Bytes.length t.data - t.pos
+  let at_end t = remaining t = 0
+  let expect_end t = if not (at_end t) then fail "trailing bytes"
+end

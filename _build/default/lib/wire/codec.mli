@@ -1,0 +1,39 @@
+(** Low-level byte readers and writers used by both message encodings. *)
+
+exception Decode_error of string
+
+val fail : string -> 'a
+(** @raise Decode_error always. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val raw : t -> bytes -> unit
+  val lstring : t -> string -> unit
+  (** 32-bit length followed by the bytes. *)
+
+  val lbytes : t -> bytes -> unit
+  val contents : t -> bytes
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val raw : t -> int -> bytes
+  val lstring : t -> string
+  val lbytes : t -> bytes
+  val remaining : t -> int
+  val at_end : t -> bool
+  val expect_end : t -> unit
+  (** @raise Decode_error if bytes remain. *)
+end

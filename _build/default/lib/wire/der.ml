@@ -1,0 +1,165 @@
+type t =
+  | Boolean of bool
+  | Integer of int64
+  | Octets of bytes
+  | Utf8 of string
+  | Sequence of t list
+  | Context of int * t
+
+let fail = Codec.fail
+
+let tag_boolean = 0x01
+let tag_integer = 0x02
+let tag_octets = 0x04
+let tag_utf8 = 0x0C
+let tag_sequence = 0x30 (* constructed *)
+
+let context_tag n =
+  if n < 0 || n > 30 then invalid_arg "Der: context tag out of range";
+  0xA0 lor n
+
+(* --- length octets --- *)
+
+let encode_length buf n =
+  if n < 0x80 then Buffer.add_char buf (Char.chr n)
+  else begin
+    let rec octets n = if n = 0 then [] else (n land 0xff) :: octets (n lsr 8) in
+    let os = List.rev (octets n) in
+    Buffer.add_char buf (Char.chr (0x80 lor List.length os));
+    List.iter (fun o -> Buffer.add_char buf (Char.chr o)) os
+  end
+
+(* --- integer content: minimal two's-complement big-endian --- *)
+
+let integer_octets (v : int64) =
+  let bytes = Bytes.create 8 in
+  Bytes.set_int64_be bytes 0 v;
+  (* Strip redundant leading octets. *)
+  let rec start i =
+    if i >= 7 then i
+    else
+      let b0 = Char.code (Bytes.get bytes i) and b1 = Char.code (Bytes.get bytes (i + 1)) in
+      if (b0 = 0x00 && b1 < 0x80) || (b0 = 0xFF && b1 >= 0x80) then start (i + 1) else i
+  in
+  let s = start 0 in
+  Bytes.sub bytes s (8 - s)
+
+let decode_integer content =
+  let n = Bytes.length content in
+  if n = 0 then fail "der: empty INTEGER";
+  if n > 8 then fail "der: INTEGER too wide";
+  if n >= 2 then begin
+    let b0 = Char.code (Bytes.get content 0) and b1 = Char.code (Bytes.get content 1) in
+    if (b0 = 0x00 && b1 < 0x80) || (b0 = 0xFF && b1 >= 0x80) then
+      fail "der: non-minimal INTEGER"
+  end;
+  let v = ref (if Char.code (Bytes.get content 0) >= 0x80 then -1L else 0L) in
+  Bytes.iter
+    (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c)))
+    content;
+  !v
+
+(* --- encoding --- *)
+
+let rec encode_into buf v =
+  match v with
+  | Boolean b ->
+      Buffer.add_char buf (Char.chr tag_boolean);
+      encode_length buf 1;
+      Buffer.add_char buf (if b then '\xff' else '\x00')
+  | Integer i ->
+      let content = integer_octets i in
+      Buffer.add_char buf (Char.chr tag_integer);
+      encode_length buf (Bytes.length content);
+      Buffer.add_bytes buf content
+  | Octets b ->
+      Buffer.add_char buf (Char.chr tag_octets);
+      encode_length buf (Bytes.length b);
+      Buffer.add_bytes buf b
+  | Utf8 s ->
+      Buffer.add_char buf (Char.chr tag_utf8);
+      encode_length buf (String.length s);
+      Buffer.add_string buf s
+  | Sequence vs ->
+      let inner = Buffer.create 64 in
+      List.iter (encode_into inner) vs;
+      Buffer.add_char buf (Char.chr tag_sequence);
+      encode_length buf (Buffer.length inner);
+      Buffer.add_buffer buf inner
+  | Context (n, inner_v) ->
+      let inner = Buffer.create 64 in
+      encode_into inner inner_v;
+      Buffer.add_char buf (Char.chr (context_tag n));
+      encode_length buf (Buffer.length inner);
+      Buffer.add_buffer buf inner
+
+let encode v =
+  let buf = Buffer.create 128 in
+  encode_into buf v;
+  Buffer.to_bytes buf
+
+(* --- decoding --- *)
+
+let decode_length data pos =
+  if pos >= Bytes.length data then fail "der: missing length";
+  let first = Char.code (Bytes.get data pos) in
+  if first < 0x80 then (first, pos + 1)
+  else begin
+    let n = first land 0x7f in
+    if n = 0 then fail "der: indefinite length forbidden in DER";
+    if n > 4 then fail "der: length too wide";
+    if pos + 1 + n > Bytes.length data then fail "der: truncated length";
+    let v = ref 0 in
+    for i = 1 to n do
+      v := (!v lsl 8) lor Char.code (Bytes.get data (pos + i))
+    done;
+    if !v < 0x80 then fail "der: non-minimal length";
+    if n > 1 && Char.code (Bytes.get data (pos + 1)) = 0 then
+      fail "der: non-minimal length octets";
+    (!v, pos + 1 + n)
+  end
+
+let rec decode_at data pos =
+  if pos >= Bytes.length data then fail "der: truncated";
+  let tag = Char.code (Bytes.get data pos) in
+  let len, content_pos = decode_length data (pos + 1) in
+  if content_pos + len > Bytes.length data then fail "der: content overruns input";
+  let content () = Bytes.sub data content_pos len in
+  let after = content_pos + len in
+  if tag = tag_boolean then begin
+    if len <> 1 then fail "der: BOOLEAN length";
+    match Char.code (Bytes.get data content_pos) with
+    | 0x00 -> (Boolean false, after)
+    | 0xFF -> (Boolean true, after)
+    | _ -> fail "der: BOOLEAN value not canonical"
+  end
+  else if tag = tag_integer then (Integer (decode_integer (content ())), after)
+  else if tag = tag_octets then (Octets (content ()), after)
+  else if tag = tag_utf8 then (Utf8 (Bytes.to_string (content ())), after)
+  else if tag = tag_sequence then begin
+    let rec elems pos acc =
+      if pos = after then List.rev acc
+      else if pos > after then fail "der: SEQUENCE element overruns"
+      else
+        let v, next = decode_at data pos in
+        elems next (v :: acc)
+    in
+    (Sequence (elems content_pos []), after)
+  end
+  else if tag land 0xE0 = 0xA0 then begin
+    let n = tag land 0x1f in
+    if n > 30 then fail "der: high-tag-number form unsupported";
+    let v, next = decode_at data content_pos in
+    if next <> after then fail "der: context tag content length mismatch";
+    (Context (n, v), after)
+  end
+  else fail (Printf.sprintf "der: unsupported tag 0x%02x" tag)
+
+let decode_prefix data =
+  let v, consumed = decode_at data 0 in
+  (v, consumed)
+
+let decode data =
+  let v, consumed = decode_at data 0 in
+  if consumed <> Bytes.length data then fail "der: trailing garbage";
+  v

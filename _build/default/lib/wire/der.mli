@@ -1,0 +1,33 @@
+(** A Distinguished Encoding Rules (ASN.1 BER/DER subset) codec.
+
+    Version 5 adopted ASN.1 "for other reasons"; the paper reinforces "that
+    there are design principles other than standards compatibility that
+    motivate such a change": self-describing types inside the encryption
+    kill cross-context confusion, and the definite-length framing means "it
+    is no longer possible for an attacker to truncate a message, and
+    present the shortened form as a valid encrypted message".
+
+    Supported universal types: BOOLEAN, INTEGER (64-bit, two's-complement
+    minimal octets), OCTET STRING, UTF8String, SEQUENCE; plus constructed
+    context-specific tags [0]..[30], which carry the protocol's
+    message-type labels.
+
+    [decode] enforces DER strictness: minimal length octets, minimal
+    integer octets, no trailing garbage. *)
+
+type t =
+  | Boolean of bool
+  | Integer of int64
+  | Octets of bytes
+  | Utf8 of string
+  | Sequence of t list
+  | Context of int * t  (** constructed context-specific tag [n], n <= 30 *)
+
+val encode : t -> bytes
+
+val decode : bytes -> t
+(** @raise Codec.Decode_error on malformed, non-minimal, or trailing input. *)
+
+val decode_prefix : bytes -> t * int
+(** Decode one element, returning it and the number of bytes consumed —
+    for callers that frame several elements themselves. *)

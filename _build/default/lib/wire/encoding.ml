@@ -1,0 +1,99 @@
+type value =
+  | Str of string
+  | Raw of bytes
+  | Int of int64
+  | List of value list
+  | Tagged of int * value
+
+type kind = V4_adhoc | Der_typed
+
+let show_kind = function V4_adhoc -> "v4-adhoc" | Der_typed -> "der-typed"
+
+let fail = Codec.fail
+
+(* V4 wire kind bytes. [Tagged] has no byte under V4: it is simply erased. *)
+let k_str = 0
+let k_raw = 1
+let k_int = 2
+let k_list = 3
+
+let encode_v4 v =
+  let w = Codec.Writer.create () in
+  let rec go v =
+    match v with
+    | Str s ->
+        Codec.Writer.u8 w k_str;
+        Codec.Writer.lstring w s
+    | Raw b ->
+        Codec.Writer.u8 w k_raw;
+        Codec.Writer.lbytes w b
+    | Int i ->
+        Codec.Writer.u8 w k_int;
+        Codec.Writer.i64 w i
+    | List vs ->
+        Codec.Writer.u8 w k_list;
+        Codec.Writer.u32 w (List.length vs);
+        List.iter go vs
+    | Tagged (_, inner) -> go inner (* the V4 deficiency: the label vanishes *)
+  in
+  go v;
+  Codec.Writer.contents w
+
+let decode_v4 b =
+  let r = Codec.Reader.of_bytes b in
+  let rec go () =
+    match Codec.Reader.u8 r with
+    | k when k = k_str -> Str (Codec.Reader.lstring r)
+    | k when k = k_raw -> Raw (Codec.Reader.lbytes r)
+    | k when k = k_int -> Int (Codec.Reader.i64 r)
+    | k when k = k_list ->
+        let n = Codec.Reader.u32 r in
+        if n > Codec.Reader.remaining r then fail "implausible list length";
+        List (List.init n (fun _ -> go ()))
+    | k -> fail (Printf.sprintf "unknown value kind %d" k)
+  in
+  let v = go () in
+  Codec.Reader.expect_end r;
+  v
+
+(* Der_typed rides on the real ASN.1 codec; message-type labels become
+   constructed context-specific tags. *)
+let rec to_der = function
+  | Str s -> Der.Utf8 s
+  | Raw b -> Der.Octets b
+  | Int i -> Der.Integer i
+  | List vs -> Der.Sequence (List.map to_der vs)
+  | Tagged (t, v) -> Der.Context (t, to_der v)
+
+let rec of_der = function
+  | Der.Utf8 s -> Str s
+  | Der.Octets b -> Raw b
+  | Der.Integer i -> Int i
+  | Der.Sequence vs -> List (List.map of_der vs)
+  | Der.Context (t, v) -> Tagged (t, of_der v)
+  | Der.Boolean _ -> fail "unexpected BOOLEAN in protocol message"
+
+let encode kind v =
+  match kind with V4_adhoc -> encode_v4 v | Der_typed -> Der.encode (to_der v)
+
+let decode kind b =
+  match kind with V4_adhoc -> decode_v4 b | Der_typed -> of_der (Der.decode b)
+
+let expect_tag kind tag v =
+  match kind with
+  | V4_adhoc -> ( match v with Tagged (_, inner) -> inner | v -> v)
+  | Der_typed -> (
+      match v with
+      | Tagged (t, inner) when t = tag -> inner
+      | Tagged (t, _) -> fail (Printf.sprintf "message type %d where %d expected" t tag)
+      | _ -> fail "untyped message where typed expected")
+
+let get_str = function Str s -> s | _ -> fail "expected string"
+let get_raw = function Raw b -> b | _ -> fail "expected raw bytes"
+let get_int = function Int i -> i | _ -> fail "expected integer"
+let get_list = function List l -> l | _ -> fail "expected list"
+
+let nth v i =
+  match v with
+  | List l -> ( match List.nth_opt l i with Some x -> x | None -> fail "index out of range")
+  | _ -> fail "expected list"

@@ -1,0 +1,50 @@
+(** The two pre-encryption message encodings the paper contrasts.
+
+    - {!V4_adhoc} mirrors Kerberos V4's ad-hoc packing: fields are written
+      in order with no indication, inside the encrypted data, of what kind
+      of message the bytes are. Two messages of coincident field shapes are
+      indistinguishable once decrypted, so "a ticket should never be
+      interpretable as an authenticator, or vice versa" must be re-argued by
+      hand after every protocol change.
+    - {!Der_typed} mirrors the ASN.1 move of Version 5: every encoded value
+      carries its message type ("all encrypted data is labeled with the
+      message type prior to encryption"), so cross-context confusion fails
+      structurally. This is the paper's recommended change (b).
+
+    Both encodings share a small structural value type; the difference is
+    whether {!constructor:Tagged} wrappers survive on the wire. *)
+
+type value =
+  | Str of string
+  | Raw of bytes
+  | Int of int64
+  | List of value list
+  | Tagged of int * value
+      (** [Tagged (msg_type, v)]: the message-type label. Erased by
+          {!V4_adhoc}; preserved (and checked) by {!Der_typed}, where it
+          becomes an ASN.1 context-specific tag — so [msg_type] must lie in
+          [0..30]. *)
+
+type kind = V4_adhoc | Der_typed
+
+val show_kind : kind -> string
+
+val encode : kind -> value -> bytes
+
+val decode : kind -> bytes -> value
+(** Structural inverse of [encode]. Under [V4_adhoc], any [Tagged] wrappers
+    present at encode time are gone. @raise Codec.Decode_error *)
+
+val expect_tag : kind -> int -> value -> value
+(** [expect_tag kind t v] enforces the message-type discipline: under
+    [Der_typed] it requires [v = Tagged (t, inner)] and returns [inner];
+    under [V4_adhoc] there is nothing to check (the V4 weakness) and [v] is
+    returned as-is. @raise Codec.Decode_error on a [Der_typed] mismatch. *)
+
+(** Accessors with decode errors rather than pattern-match failures. *)
+
+val get_str : value -> string
+val get_raw : value -> bytes
+val get_int : value -> int64
+val get_list : value -> value list
+val nth : value -> int -> value

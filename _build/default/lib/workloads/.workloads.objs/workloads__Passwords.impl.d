@@ -1,0 +1,1 @@
+lib/workloads/passwords.ml: List Printf String Util

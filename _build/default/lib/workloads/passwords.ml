@@ -1,0 +1,53 @@
+let dictionary =
+  [| "password"; "secret"; "love"; "sex"; "god"; "wizard"; "dragon"; "qwerty";
+     "abc123"; "letmein"; "monkey"; "shadow"; "master"; "sunshine"; "princess";
+     "football"; "baseball"; "welcome"; "ninja"; "mustang"; "access"; "batman";
+     "trustno1"; "superman"; "iloveyou"; "starwars"; "computer"; "michelle";
+     "jessica"; "pepper"; "daniel"; "ashley"; "hunter"; "killer"; "george";
+     "charlie"; "andrew"; "michael"; "thomas"; "jordan"; "harley"; "ranger";
+     "buster"; "soccer"; "hockey"; "tigger"; "summer"; "orange"; "purple";
+     "silver"; "golden"; "banana"; "cookie"; "flower"; "ginger"; "hammer";
+     "maggie"; "marina"; "maxwell"; "merlin"; "morgan"; "nicole"; "patrick";
+     "phoenix"; "rabbit"; "sparky"; "taylor"; "winter"; "zxcvbn"; "asdfgh";
+     "athena"; "kerberos"; "project"; "system"; "student"; "history"; "physics";
+     "biology"; "chemistry"; "library"; "coffee"; "pizza"; "guitar"; "piano";
+     "violin"; "tennis"; "runner"; "swimmer"; "sailing"; "skiing"; "boston";
+     "chicago"; "dallas"; "denver"; "austin"; "camden"; "oxford"; "berlin";
+     "dublin"; "geneva"; "madrid"; "monday"; "friday"; "sunday"; "january";
+     "october"; "spring"; "autumn"; "meadow"; "forest"; "canyon"; "desert";
+     "island"; "harbor"; "bridge"; "castle"; "temple"; "garden"; "window";
+     "mirror"; "candle"; "pencil"; "marker"; "folder"; "laptop"; "modem";
+     "router"; "server"; "kernel"; "buffer"; "socket"; "packet"; "cursor";
+     "editor"; "version"; "release"; "upgrade"; "install"; "delete"; "backup";
+     "archive"; "printer"; "scanner"; "monitor"; "speaker"; "engine"; "rocket";
+     "planet"; "saturn"; "jupiter"; "mercury"; "neptune"; "gemini"; "taurus";
+     "dakota"; "cheyenne"; "apache"; "mohawk"; "falcon"; "eagle"; "condor";
+     "osprey"; "pelican"; "dolphin"; "whale"; "salmon"; "marlin"; "barracuda";
+     "panther"; "cougar"; "jaguar"; "leopard"; "cheetah"; "gazelle"; "buffalo";
+     "bronco"; "stallion"; "pony"; "colt"; "filly"; "derby"; "ascot"; "epsom";
+     "velvet"; "cotton"; "linen"; "denim"; "flannel"; "tweed"; "paisley";
+     "magnet"; "crystal"; "quartz"; "garnet"; "topaz"; "amber"; "coral";
+     "pearl"; "ivory"; "ebony"; "maple"; "willow"; "cedar"; "aspen"; "birch" |]
+
+let weak rng =
+  let word = Util.Rng.pick rng dictionary in
+  match Util.Rng.int rng 4 with
+  | 0 -> word
+  | 1 -> word ^ string_of_int (Util.Rng.int rng 10)
+  | 2 -> String.capitalize_ascii word
+  | _ -> word ^ "1"
+
+let strong_alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!@#$%"
+
+let strong rng =
+  String.init 12 (fun _ ->
+      strong_alphabet.[Util.Rng.int rng (String.length strong_alphabet)])
+
+type user = { name : string; password : string; is_weak : bool }
+
+let population rng ~n ~weak_fraction =
+  List.init n (fun i ->
+      let is_weak = Util.Rng.float rng 1.0 < weak_fraction in
+      { name = Printf.sprintf "u%03d" i;
+        password = (if is_weak then weak rng else strong rng);
+        is_weak })

@@ -1,0 +1,23 @@
+(** Password populations for the guessing experiments.
+
+    "Empirically, users do not pick good passwords unless forced to"
+    [Morris & Thompson 1979; Grampp & Morris 1984; Stoll 1988]. A
+    population mixes dictionary-chosen passwords (crackable) with random
+    ones (not), at a configurable ratio. *)
+
+val dictionary : string array
+(** The attacker's dictionary, in guessing order. A couple of hundred
+    entries in the spirit of the era's cracking lists. *)
+
+val weak : Util.Rng.t -> string
+(** A password a careless user would pick: a dictionary word, sometimes
+    decorated with a digit the way users imagine helps. *)
+
+val strong : Util.Rng.t -> string
+(** A random 12-character password outside any dictionary. *)
+
+type user = { name : string; password : string; is_weak : bool }
+
+val population : Util.Rng.t -> n:int -> weak_fraction:float -> user list
+(** [n] users named [u000..], each with a password; approximately
+    [weak_fraction] of them weak. Deterministic for a given generator. *)

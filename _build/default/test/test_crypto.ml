@@ -1,0 +1,547 @@
+(* Unit and property tests for the crypto substrate. *)
+
+let hex = Util.Bytesutil.of_hex
+let to_hex = Util.Bytesutil.to_hex
+
+let check_hex msg expected actual = Alcotest.(check string) msg expected (to_hex actual)
+
+(* ------------------------------------------------------------------ *)
+(* DES known-answer tests                                              *)
+(* ------------------------------------------------------------------ *)
+
+let des_classic () =
+  (* The walk-through vector from every DES tutorial. *)
+  let k = Crypto.Des.schedule (hex "133457799bbcdff1") in
+  let ct = Crypto.Des.encrypt_block k (hex "0123456789abcdef") in
+  check_hex "classic encrypt" "85e813540f0ab405" ct;
+  check_hex "classic decrypt" "0123456789abcdef" (Crypto.Des.decrypt_block k ct)
+
+let des_nbs_variable_plaintext () =
+  (* First entries of the NBS variable-plaintext known-answer test. *)
+  let k = Crypto.Des.schedule (hex "0101010101010101") in
+  check_hex "pt 80.." "95f8a5e5dd31d900"
+    (Crypto.Des.encrypt_block k (hex "8000000000000000"));
+  check_hex "pt 40.." "dd7f121ca5015619"
+    (Crypto.Des.encrypt_block k (hex "4000000000000000"));
+  check_hex "pt 20.." "2e8653104f3834ea"
+    (Crypto.Des.encrypt_block k (hex "2000000000000000"));
+  check_hex "pt 00.." "8ca64de9c1b123a7"
+    (Crypto.Des.encrypt_block k (hex "0000000000000000"))
+
+let des_roundtrip_prop =
+  QCheck.Test.make ~name:"des roundtrip" ~count:200
+    QCheck.(pair (bytes_of_size (QCheck.Gen.return 8)) (bytes_of_size (QCheck.Gen.return 8)))
+    (fun (key, block) ->
+      let k = Crypto.Des.schedule key in
+      Bytes.equal (Crypto.Des.decrypt_block k (Crypto.Des.encrypt_block k block)) block)
+
+let des_parity () =
+  let k = Crypto.Des.fix_parity (hex "0000000000000000") in
+  check_hex "parity of zero key" "0101010101010101" k;
+  Alcotest.(check bool) "weak" true (Crypto.Des.is_weak (hex "0101010101010101"));
+  Alcotest.(check bool) "not weak" false (Crypto.Des.is_weak (hex "133457799bbcdff1"))
+
+let suite_des =
+  [ Alcotest.test_case "classic vector" `Quick des_classic;
+    Alcotest.test_case "nbs variable plaintext" `Quick des_nbs_variable_plaintext;
+    Alcotest.test_case "parity and weak keys" `Quick des_parity;
+    QCheck_alcotest.to_alcotest des_roundtrip_prop ]
+
+(* ------------------------------------------------------------------ *)
+(* Modes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let key8 = hex "133457799bbcdff1"
+let sched = Crypto.Des.schedule key8
+
+let gen_payload = QCheck.Gen.(map Bytes.of_string (string_size ~gen:printable (int_range 0 200)))
+
+let mode_roundtrip name enc dec =
+  QCheck.Test.make ~name ~count:200 (QCheck.make gen_payload) (fun payload ->
+      let padded = Crypto.Mode.pad payload in
+      let ct = enc padded in
+      match Crypto.Mode.unpad (dec ct) with
+      | Some back -> Bytes.equal back payload
+      | None -> false)
+
+let iv = hex "0f1571c947d9e859"
+
+let cbc_prefix_property =
+  (* The property the V5 KRB_PRIV chosen-plaintext attack exploits: with a
+     fixed IV, the encryption of a block-aligned prefix is a prefix of the
+     encryption. *)
+  QCheck.Test.make ~name:"cbc prefix property (the attack's lever)" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (a, b) ->
+      let rng = Util.Rng.create 42L in
+      let part1 = Util.Rng.bytes rng (8 * a) and part2 = Util.Rng.bytes rng (8 * b) in
+      let whole = Bytes.cat part1 part2 in
+      let ct_whole = Crypto.Mode.cbc_encrypt sched ~iv whole in
+      let ct_prefix = Crypto.Mode.cbc_encrypt sched ~iv part1 in
+      Bytes.equal ct_prefix (Bytes.sub ct_whole 0 (Bytes.length part1)))
+
+let pcbc_blockswap () =
+  (* PCBC's documented flaw: swapping two interior ciphertext blocks garbles
+     only those blocks; later blocks decrypt correctly (the xor of garbles
+     cancels). This is why V4 swapped PCBC out in V5. *)
+  let rng = Util.Rng.create 7L in
+  let pt = Util.Rng.bytes rng 48 in
+  let ct = Crypto.Mode.pcbc_encrypt sched ~iv pt in
+  let swapped = Bytes.copy ct in
+  Bytes.blit ct 8 swapped 16 8;
+  Bytes.blit ct 16 swapped 8 8;
+  let dec = Crypto.Mode.pcbc_decrypt sched ~iv swapped in
+  Alcotest.(check bool) "blocks 1,2 garbled"
+    false
+    (Bytes.equal (Bytes.sub dec 8 16) (Bytes.sub pt 8 16));
+  Alcotest.(check bool) "tail blocks survive the swap"
+    true
+    (Bytes.equal (Bytes.sub dec 32 16) (Bytes.sub pt 32 16))
+
+let cbc_blockswap_propagates () =
+  (* Contrast: in CBC a swap garbles the swapped blocks and their successors
+     only locally too, but the *xor-cancellation* of PCBC (tail fully intact
+     including block 3) does not hold for CBC block 3. *)
+  let rng = Util.Rng.create 8L in
+  let pt = Util.Rng.bytes rng 48 in
+  let ct = Crypto.Mode.cbc_encrypt sched ~iv pt in
+  let swapped = Bytes.copy ct in
+  Bytes.blit ct 8 swapped 16 8;
+  Bytes.blit ct 16 swapped 8 8;
+  let dec = Crypto.Mode.cbc_decrypt sched ~iv swapped in
+  Alcotest.(check bool) "block 3 garbled under cbc"
+    false
+    (Bytes.equal (Bytes.sub dec 24 8) (Bytes.sub pt 24 8))
+
+let pad_unpad_prop =
+  QCheck.Test.make ~name:"pad/unpad roundtrip" ~count:500 (QCheck.make gen_payload)
+    (fun payload ->
+      match Crypto.Mode.unpad (Crypto.Mode.pad payload) with
+      | Some b -> Bytes.equal b payload
+      | None -> false)
+
+let suite_modes =
+  [ QCheck_alcotest.to_alcotest
+      (mode_roundtrip "ecb roundtrip" (Crypto.Mode.ecb_encrypt sched) (Crypto.Mode.ecb_decrypt sched));
+    QCheck_alcotest.to_alcotest
+      (mode_roundtrip "cbc roundtrip" (Crypto.Mode.cbc_encrypt sched ~iv) (Crypto.Mode.cbc_decrypt sched ~iv));
+    QCheck_alcotest.to_alcotest
+      (mode_roundtrip "pcbc roundtrip" (Crypto.Mode.pcbc_encrypt sched ~iv) (Crypto.Mode.pcbc_decrypt sched ~iv));
+    QCheck_alcotest.to_alcotest cbc_prefix_property;
+    Alcotest.test_case "pcbc block swap locality" `Quick pcbc_blockswap;
+    Alcotest.test_case "cbc block swap propagates" `Quick cbc_blockswap_propagates;
+    QCheck_alcotest.to_alcotest pad_unpad_prop ]
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_known () =
+  (* Standard check value: crc32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int) "check value" 0xCBF43926
+    (Crypto.Crc32.bytes_digest (Bytes.of_string "123456789"));
+  Alcotest.(check int) "empty" 0 (Crypto.Crc32.bytes_digest Bytes.empty)
+
+let crc_linearity =
+  (* crc(a xor b xor c) = crc(a) xor crc(b) xor crc(c) for equal lengths:
+     the linearity the paper's cut-and-paste forging rests on. *)
+  QCheck.Test.make ~name:"crc32 linearity" ~count:200 (QCheck.int_range 1 64)
+    (fun n ->
+      let rng = Util.Rng.create (Int64.of_int n) in
+      let a = Util.Rng.bytes rng n and b = Util.Rng.bytes rng n and c = Util.Rng.bytes rng n in
+      let ( ^^ ) = Util.Bytesutil.xor in
+      Crypto.Crc32.bytes_digest (a ^^ b ^^ c)
+      = Crypto.Crc32.bytes_digest a lxor Crypto.Crc32.bytes_digest b
+        lxor Crypto.Crc32.bytes_digest c)
+
+let crc_forge_prop =
+  QCheck.Test.make ~name:"crc32 forgery hits any target" ~count:300
+    QCheck.(pair (make gen_payload) (int_bound 0xFFFFFF))
+    (fun (prefix, seed) ->
+      let target = (seed * 2654435761) land 0xFFFFFFFF in
+      let patch = Crypto.Crc32.forge ~prefix ~target in
+      Crypto.Crc32.bytes_digest (Bytes.cat prefix patch) = target)
+
+let suite_crc =
+  [ Alcotest.test_case "known vectors" `Quick crc_known;
+    QCheck_alcotest.to_alcotest crc_linearity;
+    QCheck_alcotest.to_alcotest crc_forge_prop ]
+
+(* ------------------------------------------------------------------ *)
+(* MD4                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let md4_rfc () =
+  let check s expected =
+    Alcotest.(check string) s expected (Crypto.Md4.hex_digest (Bytes.of_string s))
+  in
+  check "" "31d6cfe0d16ae931b73c59d7e0c089c0";
+  check "a" "bde52cb31de33e46245e05fbdbd6fb24";
+  check "abc" "a448017aaf21d8525fc10ae87aa6729d";
+  check "message digest" "d9130a8164549fe818874806e1c7014b";
+  check "abcdefghijklmnopqrstuvwxyz" "d79e1c308aa5bbcdeea8ed63df412da9";
+  check "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    "043f8582f241db351ce627e153e7f0e4";
+  check
+    "12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+    "e33b4ddc9c38f2199c3e7b164fcc0536"
+
+let suite_md4 = [ Alcotest.test_case "rfc 1320 vectors" `Quick md4_rfc ]
+
+(* ------------------------------------------------------------------ *)
+(* string_to_key                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let s2k_shape () =
+  let k = Crypto.Str2key.derive "CHANGEME" in
+  Alcotest.(check int) "8 bytes" 8 (Bytes.length k);
+  Alcotest.(check bool) "parity fixed" true (Bytes.equal k (Crypto.Des.fix_parity k));
+  Alcotest.(check bool) "not weak" false (Crypto.Des.is_weak k);
+  Alcotest.(check bool) "deterministic" true
+    (Bytes.equal k (Crypto.Str2key.derive "CHANGEME"));
+  Alcotest.(check bool) "distinct passwords differ" false
+    (Bytes.equal k (Crypto.Str2key.derive "changeme"))
+
+let s2k_never_weak =
+  QCheck.Test.make ~name:"derived keys never weak" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 24))
+    (fun pw ->
+      let k = Crypto.Str2key.derive pw in
+      (not (Crypto.Des.is_weak k)) && Bytes.equal k (Crypto.Des.fix_parity k))
+
+let suite_s2k =
+  [ Alcotest.test_case "shape" `Quick s2k_shape; QCheck_alcotest.to_alcotest s2k_never_weak ]
+
+(* ------------------------------------------------------------------ *)
+(* Checksum dispatch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let checksum_classification () =
+  Alcotest.(check bool) "crc32 weak" false (Crypto.Checksum.collision_proof Crc32);
+  Alcotest.(check bool) "md4 strong" true (Crypto.Checksum.collision_proof Md4);
+  Alcotest.(check bool) "md4-des strong" true (Crypto.Checksum.collision_proof Md4_des)
+
+let checksum_forge () =
+  let original = Bytes.of_string "legitimate TGS request body" in
+  let tampered = Bytes.of_string "tampered! TGS request body with ENC-TKT-IN-SKEY" in
+  (match Crypto.Checksum.forge_to_match Crc32 ~original ~tampered_prefix:tampered with
+  | None -> Alcotest.fail "crc32 should be forgeable"
+  | Some filler ->
+      let forged = Bytes.cat tampered filler in
+      Alcotest.(check bool) "forged crc matches" true
+        (Util.Bytesutil.equal
+           (Crypto.Checksum.compute Crc32 ~key:Bytes.empty original)
+           (Crypto.Checksum.compute Crc32 ~key:Bytes.empty forged)));
+  Alcotest.(check bool) "md4 not forgeable" true
+    (Crypto.Checksum.forge_to_match Md4 ~original ~tampered_prefix:tampered = None)
+
+let suite_checksum =
+  [ Alcotest.test_case "classification" `Quick checksum_classification;
+    Alcotest.test_case "forgery" `Quick checksum_forge ]
+
+(* ------------------------------------------------------------------ *)
+(* Bignum                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bn = Crypto.Bignum.of_int
+let gen_small = QCheck.int_bound 1_000_000_000
+
+let bignum_int_oracle =
+  QCheck.Test.make ~name:"bignum agrees with int arithmetic" ~count:1000
+    QCheck.(pair gen_small gen_small)
+    (fun (a, b) ->
+      let open Crypto.Bignum in
+      let ( = ) = equal in
+      add (bn a) (bn b) = bn (a + b)
+      && mul (bn a) (bn b) = bn (a * b)
+      && (b == 0
+          || let q, r = divmod (bn a) (bn b) in
+             q = bn (a / b) && r = bn (a mod b))
+      && (a < b || sub (bn a) (bn b) = bn (a - b)))
+
+let bignum_ring_axioms =
+  QCheck.Test.make ~name:"bignum ring axioms at width" ~count:200
+    QCheck.(triple (int_range 1 120) small_nat small_nat)
+    (fun (bits, s1, s2) ->
+      let rng = Util.Rng.create (Int64.of_int ((s1 * 65537) + s2)) in
+      let open Crypto.Bignum in
+      let a = random rng ~bits and b = random rng ~bits and c = random rng ~bits in
+      equal (add a b) (add b a)
+      && equal (mul a b) (mul b a)
+      && equal (mul a (add b c)) (add (mul a b) (mul a c))
+      && equal (sub (add a b) b) a)
+
+let bignum_divmod_prop =
+  QCheck.Test.make ~name:"divmod identity" ~count:200
+    QCheck.(triple (int_range 1 200) small_nat small_nat)
+    (fun (bits, s1, s2) ->
+      let rng = Util.Rng.create (Int64.of_int ((s1 * 31337) + s2 + 1)) in
+      let open Crypto.Bignum in
+      let a = random rng ~bits in
+      let b = add (random rng ~bits:(max 1 (bits / 2))) one in
+      let q, r = divmod a b in
+      equal a (add (mul q b) r) && compare r b < 0)
+
+let bignum_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:300 (QCheck.int_range 0 300) (fun bits ->
+      let rng = Util.Rng.create (Int64.of_int (bits + 99)) in
+      let open Crypto.Bignum in
+      let a = random rng ~bits:(max 1 bits) in
+      equal a (of_hex (to_hex a)) && equal a (of_bytes_be (to_bytes_be a)))
+
+let bignum_modpow () =
+  let open Crypto.Bignum in
+  (* 2^10 mod 1000 = 24 *)
+  Alcotest.(check bool) "2^10 mod 1000" true
+    (equal (mod_pow ~base:(bn 2) ~exp:(bn 10) ~modulus:(bn 1000)) (bn 24));
+  (* Fermat: 7^(p-1) = 1 mod p for p = 1000003 *)
+  Alcotest.(check bool) "fermat" true
+    (equal (mod_pow ~base:(bn 7) ~exp:(bn 1_000_002) ~modulus:(bn 1_000_003)) one)
+
+let bignum_primality () =
+  let rng = Util.Rng.create 1234L in
+  let open Crypto.Bignum in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (string_of_int p ^ " prime") true
+        (is_probable_prime rng (bn p)))
+    [ 2; 3; 5; 65521; 1048573; 16777213; 0xFFFFFC7; 1_000_003 ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (string_of_int c ^ " composite") false
+        (is_probable_prime rng (bn c)))
+    [ 1; 4; 9; 65519 * 3; 1048573 * 7 ];
+  (* Mersenne primes used by the DH groups. *)
+  List.iter
+    (fun e ->
+      let p = sub (shift_left one e) one in
+      Alcotest.(check bool) (Printf.sprintf "2^%d-1 prime" e) true
+        (is_probable_prime rng p))
+    [ 61; 89; 107; 127 ]
+
+let suite_bignum =
+  [ QCheck_alcotest.to_alcotest bignum_int_oracle;
+    QCheck_alcotest.to_alcotest bignum_ring_axioms;
+    QCheck_alcotest.to_alcotest bignum_divmod_prop;
+    QCheck_alcotest.to_alcotest bignum_hex_roundtrip;
+    Alcotest.test_case "modpow" `Quick bignum_modpow;
+    Alcotest.test_case "primality" `Quick bignum_primality ]
+
+(* ------------------------------------------------------------------ *)
+(* DH and discrete log                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dh_agreement () =
+  let rng = Util.Rng.create 5L in
+  List.iter
+    (fun grp ->
+      let alice = Crypto.Dh.generate rng grp and bob = Crypto.Dh.generate rng grp in
+      let s1 = Crypto.Dh.shared_secret grp alice bob.public in
+      let s2 = Crypto.Dh.shared_secret grp bob alice.public in
+      Alcotest.(check bool) (grp.name ^ " agreement") true (Crypto.Bignum.equal s1 s2);
+      let k = Crypto.Dh.secret_to_key grp s1 in
+      Alcotest.(check int) (grp.name ^ " key size") 8 (Bytes.length k))
+    [ Crypto.Dh.toy_group ~bits:16; Crypto.Dh.toy_group ~bits:24;
+      Crypto.Dh.toy_group ~bits:31; Crypto.Dh.mersenne_group ~exponent:61;
+      Crypto.Dh.mersenne_group ~exponent:127 ]
+
+let dh_toy_primes_are_prime () =
+  let rng = Util.Rng.create 6L in
+  List.iter
+    (fun bits ->
+      let grp = Crypto.Dh.toy_group ~bits in
+      Alcotest.(check bool) (grp.name ^ " prime") true
+        (Crypto.Bignum.is_probable_prime rng grp.p))
+    [ 16; 20; 24; 28; 31; 36; 40 ]
+
+let bsgs_cracks_toy () =
+  let rng = Util.Rng.create 77L in
+  List.iter
+    (fun bits ->
+      let grp = Crypto.Dh.toy_group ~bits in
+      let kp = Crypto.Dh.generate rng grp in
+      match Crypto.Dlog.baby_step_giant_step grp ~target:kp.public with
+      | None -> Alcotest.fail (grp.name ^ ": bsgs failed")
+      | Some x ->
+          Alcotest.(check bool)
+            (grp.name ^ " recovered exponent reproduces public value") true
+            (Crypto.Bignum.equal
+               (Crypto.Bignum.mod_pow ~base:grp.g ~exp:x ~modulus:grp.p)
+               kp.public))
+    [ 16; 20; 24 ]
+
+let rho_cracks_toy () =
+  let rng = Util.Rng.create 99L in
+  let grp = Crypto.Dh.toy_group ~bits:24 in
+  let kp = Crypto.Dh.generate rng grp in
+  let rec attempt n =
+    if n = 0 then Alcotest.fail "pollard rho kept failing"
+    else
+      match Crypto.Dlog.pollard_rho rng grp ~target:kp.public with
+      | Some x ->
+          Alcotest.(check bool) "rho exponent reproduces public value" true
+            (Crypto.Bignum.equal
+               (Crypto.Bignum.mod_pow ~base:grp.g ~exp:x ~modulus:grp.p)
+               kp.public)
+      | None -> attempt (n - 1)
+  in
+  attempt 5
+
+let kangaroo_cracks_short_exponents () =
+  (* A 127-bit modulus is no shelter for a 20-bit secret exponent. *)
+  let grp = Crypto.Dh.mersenne_group ~exponent:127 in
+  let rng = Util.Rng.create 0x6a6aL in
+  let rec attempt n =
+    if n = 0 then Alcotest.fail "kangaroo kept missing"
+    else begin
+      let x = 1 + Util.Rng.int rng ((1 lsl 20) - 1) in
+      let target =
+        Crypto.Bignum.mod_pow ~base:grp.g ~exp:(Crypto.Bignum.of_int x) ~modulus:grp.p
+      in
+      match Crypto.Dlog.kangaroo grp ~target ~max_exp:(1 lsl 20) with
+      | Some found ->
+          Alcotest.(check bool) "exponent recovered" true
+            (Crypto.Bignum.equal found (Crypto.Bignum.of_int x))
+      | None -> attempt (n - 1)
+    end
+  in
+  attempt 6
+
+let suite_dh =
+  [ Alcotest.test_case "agreement" `Quick dh_agreement;
+    Alcotest.test_case "kangaroo cracks short exponents" `Slow
+      kangaroo_cracks_short_exponents;
+    Alcotest.test_case "toy primes are prime" `Quick dh_toy_primes_are_prime;
+    Alcotest.test_case "bsgs cracks toy groups" `Quick bsgs_cracks_toy;
+    Alcotest.test_case "pollard rho cracks toy group" `Slow rho_cracks_toy ]
+
+(* ------------------------------------------------------------------ *)
+(* PRF / key derivation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prf_tests () =
+  let rng = Util.Rng.create 11L in
+  let multi = Crypto.Des.random_key rng in
+  let c = Util.Rng.bytes rng 8 and s = Util.Rng.bytes rng 8 in
+  let k1 = Crypto.Prf.negotiate_session_key ~multi ~client_part:c ~server_part:s in
+  let k2 = Crypto.Prf.negotiate_session_key ~multi ~client_part:c ~server_part:s in
+  Alcotest.(check bool) "deterministic" true (Bytes.equal k1 k2);
+  let k3 = Crypto.Prf.negotiate_session_key ~multi ~client_part:s ~server_part:c in
+  Alcotest.(check bool) "xor symmetric in parts" true (Bytes.equal k1 k3);
+  let t1 = Crypto.Prf.tag_key ~tag:"login" multi and t2 = Crypto.Prf.tag_key ~tag:"tgs" multi in
+  Alcotest.(check bool) "tags separate keys" false (Bytes.equal t1 t2);
+  Alcotest.(check bool) "tagged differs from base" false (Bytes.equal t1 multi)
+
+let suite_prf = [ Alcotest.test_case "negotiation and tagging" `Quick prf_tests ]
+
+(* ------------------------------------------------------------------ *)
+(* Deeper algorithm properties                                         *)
+(* ------------------------------------------------------------------ *)
+
+let complement b = Bytes.map (fun c -> Char.chr (lnot (Char.code c) land 0xff)) b
+
+let des_complementation =
+  (* The classic DES complementation property: E_~k(~p) = ~E_k(p). A strong
+     correctness check — it only holds if the whole Feistel/key-schedule
+     pipeline is right. *)
+  QCheck.Test.make ~name:"des complementation property" ~count:200
+    QCheck.(pair (bytes_of_size (QCheck.Gen.return 8)) (bytes_of_size (QCheck.Gen.return 8)))
+    (fun (key, pt) ->
+      let c1 = Crypto.Des.encrypt_block (Crypto.Des.schedule key) pt in
+      let c2 =
+        Crypto.Des.encrypt_block (Crypto.Des.schedule (complement key)) (complement pt)
+      in
+      Bytes.equal (complement c1) c2)
+
+let des_avalanche =
+  (* Flipping one plaintext bit flips a lot of ciphertext bits (on average
+     half; we assert a sane lower bound). *)
+  QCheck.Test.make ~name:"des avalanche" ~count:100
+    QCheck.(pair (bytes_of_size (QCheck.Gen.return 8)) (int_bound 63))
+    (fun (pt, bit) ->
+      let k = Crypto.Des.schedule (hex "8f3b2ac51d9e6074") in
+      let pt' = Bytes.copy pt in
+      let byte = bit / 8 and off = bit mod 8 in
+      Bytes.set pt' byte (Char.chr (Char.code (Bytes.get pt' byte) lxor (1 lsl off)));
+      let c1 = Crypto.Des.encrypt_block k pt and c2 = Crypto.Des.encrypt_block k pt' in
+      let diff = ref 0 in
+      for i = 0 to 7 do
+        let x = Char.code (Bytes.get c1 i) lxor Char.code (Bytes.get c2 i) in
+        for j = 0 to 7 do
+          if (x lsr j) land 1 = 1 then incr diff
+        done
+      done;
+      !diff >= 10 (* far above chance for a broken implementation *))
+
+let md4_padding_boundaries () =
+  (* Lengths around the 55/56/64-byte padding boundaries are the classic
+     place paddings go wrong; check self-consistency and distinctness. *)
+  let digests =
+    List.map
+      (fun n -> Crypto.Md4.hex_digest (Bytes.make n 'a'))
+      [ 54; 55; 56; 57; 63; 64; 65; 119; 120; 121 ]
+  in
+  let uniq = List.sort_uniq compare digests in
+  Alcotest.(check int) "all distinct" (List.length digests) (List.length uniq);
+  (* And a known vector straddling one boundary: 56 a's. *)
+  Alcotest.(check string) "56 a's stable"
+    (Crypto.Md4.hex_digest (Bytes.make 56 'a'))
+    (Crypto.Md4.hex_digest (Bytes.cat (Bytes.make 28 'a') (Bytes.make 28 'a')))
+
+let crc_forge_state_prop =
+  (* The register-steering primitive behind the KRB_SAFE substitution:
+     advancing from any state over the patch lands exactly on the target
+     state. *)
+  QCheck.Test.make ~name:"crc32 forge_state" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 40)) (string_of_size (QCheck.Gen.int_range 0 40)))
+    (fun (a, b) ->
+      let sa = Crypto.Crc32.update Crypto.Crc32.init (Bytes.of_string a) in
+      let sb = Crypto.Crc32.update Crypto.Crc32.init (Bytes.of_string b) in
+      let patch = Crypto.Crc32.forge_state ~from_state:sa ~to_state:sb in
+      Crypto.Crc32.update sa patch = sb)
+
+let bignum_shift_props =
+  QCheck.Test.make ~name:"bignum shifts" ~count:300
+    QCheck.(pair (int_range 0 120) (int_range 0 90))
+    (fun (bits, sh) ->
+      let rng = Util.Rng.create (Int64.of_int ((bits * 1000) + sh)) in
+      let open Crypto.Bignum in
+      let a = random rng ~bits:(max 1 bits) in
+      equal (shift_right (shift_left a sh) sh) a
+      && equal (shift_left a sh) (mul a (mod_pow ~base:two ~exp:(of_int sh) ~modulus:(shift_left one 400))))
+
+let bignum_gcd_props =
+  QCheck.Test.make ~name:"bignum gcd divides both" ~count:200
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let open Crypto.Bignum in
+      let g = gcd (of_int a) (of_int b) in
+      match to_int_opt g with
+      | Some gi -> gi > 0 && a mod gi = 0 && b mod gi = 0
+      | None -> false)
+
+let dh_public_in_range =
+  QCheck.Test.make ~name:"dh public values lie in (1, p)" ~count:50
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Util.Rng.create (Int64.of_int (seed + 3)) in
+      let grp = Crypto.Dh.toy_group ~bits:31 in
+      let kp = Crypto.Dh.generate rng grp in
+      Crypto.Bignum.compare kp.public grp.p < 0
+      && Crypto.Bignum.compare kp.public Crypto.Bignum.one > 0)
+
+let suite_deep =
+  [ QCheck_alcotest.to_alcotest des_complementation;
+    QCheck_alcotest.to_alcotest des_avalanche;
+    Alcotest.test_case "md4 padding boundaries" `Quick md4_padding_boundaries;
+    QCheck_alcotest.to_alcotest crc_forge_state_prop;
+    QCheck_alcotest.to_alcotest bignum_shift_props;
+    QCheck_alcotest.to_alcotest bignum_gcd_props;
+    QCheck_alcotest.to_alcotest dh_public_in_range ]
+
+let () =
+  Alcotest.run "crypto"
+    [ ("des", suite_des); ("modes", suite_modes); ("crc32", suite_crc);
+      ("md4", suite_md4); ("str2key", suite_s2k); ("checksum", suite_checksum);
+      ("bignum", suite_bignum); ("dh", suite_dh); ("prf", suite_prf);
+      ("deep", suite_deep) ]

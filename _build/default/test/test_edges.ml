@@ -1,0 +1,162 @@
+(* Edge-case battery: argument validation and malformed-input behaviour of
+   the lower layers, the stuff production users hit first. *)
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* --- Modes --- *)
+
+let mode_argument_checks () =
+  let k = Crypto.Des.schedule (Util.Bytesutil.of_hex "133457799bbcdff1") in
+  Alcotest.(check bool) "ecb rejects ragged input" true
+    (raises_invalid (fun () -> Crypto.Mode.ecb_encrypt k (Bytes.make 13 'x')));
+  Alcotest.(check bool) "cbc rejects short iv" true
+    (raises_invalid (fun () ->
+         Crypto.Mode.cbc_encrypt k ~iv:(Bytes.make 4 'i') (Bytes.make 16 'x')));
+  Alcotest.(check bool) "pcbc rejects ragged input" true
+    (raises_invalid (fun () ->
+         Crypto.Mode.pcbc_decrypt k ~iv:Crypto.Mode.zero_iv (Bytes.make 9 'x')));
+  Alcotest.(check (option string)) "unpad rejects empty" None
+    (Option.map Bytes.to_string (Crypto.Mode.unpad Bytes.empty));
+  (* Forged padding byte out of range *)
+  let bad = Bytes.make 8 '\x00' in
+  Bytes.set bad 7 '\x0b';
+  Alcotest.(check bool) "unpad rejects pad > block" true (Crypto.Mode.unpad bad = None)
+
+let des_argument_checks () =
+  Alcotest.(check bool) "key must be 8 bytes" true
+    (raises_invalid (fun () -> Crypto.Des.schedule (Bytes.make 7 'k')));
+  let k = Crypto.Des.schedule (Bytes.make 8 'k') in
+  Alcotest.(check bool) "block must be 8 bytes" true
+    (raises_invalid (fun () -> Crypto.Des.encrypt_block k (Bytes.make 9 'b')))
+
+(* --- Seal --- *)
+
+let seal_cross_scheme () =
+  (* A PCBC-sealed blob opened as CBC+checksum fails cleanly, and vice
+     versa. *)
+  let rng = Util.Rng.create 3L in
+  let key = Crypto.Des.random_key rng in
+  let data = Bytes.of_string "cross scheme confusion test payload" in
+  let a = Kerberos.Seal.seal Kerberos.Seal.Pcbc_raw rng ~key data in
+  (match Kerberos.Seal.open_ (Kerberos.Seal.Cbc_confounder Crypto.Checksum.Md4) ~key a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pcbc blob opened as cbc+md4");
+  let b =
+    Kerberos.Seal.seal (Kerberos.Seal.Cbc_confounder Crypto.Checksum.Md4) rng ~key data
+  in
+  match Kerberos.Seal.open_ Kerberos.Seal.Pcbc_raw ~key b with
+  | Error _ -> ()
+  | Ok plain ->
+      (* PCBC has no integrity: opening may "succeed" with garbage — it must
+         at least not reproduce the plaintext. *)
+      Alcotest.(check bool) "no silent plaintext recovery" false (Bytes.equal plain data)
+
+let seal_truncation () =
+  let rng = Util.Rng.create 4L in
+  let key = Crypto.Des.random_key rng in
+  let blob =
+    Kerberos.Seal.seal (Kerberos.Seal.Cbc_confounder Crypto.Checksum.Md4) rng ~key
+      (Bytes.of_string "soon to be truncated, which must not go unnoticed")
+  in
+  let cut = Bytes.sub blob 0 (Bytes.length blob - 8) in
+  match Kerberos.Seal.open_ (Kerberos.Seal.Cbc_confounder Crypto.Checksum.Md4) ~key cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated sealed blob accepted"
+
+(* --- Principal --- *)
+
+let principal_roundtrip =
+  QCheck.Test.make ~name:"principal string roundtrip" ~count:300
+    QCheck.(pair (pair small_nat small_nat) bool)
+    (fun ((a, b), svc) ->
+      let p =
+        if svc then
+          Kerberos.Principal.service ~realm:"SOME.REALM" (Printf.sprintf "s%d" a)
+            ~host:(Printf.sprintf "host%d" b)
+        else Kerberos.Principal.user ~realm:"SOME.REALM" (Printf.sprintf "u%d" a)
+      in
+      Kerberos.Principal.equal p
+        (Kerberos.Principal.of_string (Kerberos.Principal.to_string p)))
+
+let principal_rejects () =
+  Alcotest.(check bool) "empty name" true
+    (raises_invalid (fun () -> Kerberos.Principal.user ~realm:"R" ""));
+  Alcotest.(check bool) "dotted name" true
+    (raises_invalid (fun () -> Kerberos.Principal.user ~realm:"R" "a.b"));
+  Alcotest.(check bool) "at-sign in name" true
+    (raises_invalid (fun () -> Kerberos.Principal.user ~realm:"R" "a@b"));
+  Alcotest.(check bool) "of_string needs a realm" true
+    (raises_invalid (fun () -> Kerberos.Principal.of_string "no-realm-here"))
+
+(* --- Addr --- *)
+
+let addr_checks () =
+  Alcotest.(check string) "render" "10.0.0.1"
+    (Sim.Addr.to_string (Sim.Addr.of_quad 10 0 0 1));
+  Alcotest.(check bool) "byte range enforced" true
+    (raises_invalid (fun () -> Sim.Addr.of_quad 256 0 0 1));
+  Alcotest.(check bool) "negative rejected" true
+    (raises_invalid (fun () -> Sim.Addr.of_quad 10 (-1) 0 1))
+
+(* --- Tcpish segment codec --- *)
+
+let segment_roundtrip =
+  QCheck.Test.make ~name:"tcpish segment roundtrip" ~count:300
+    QCheck.(
+      pair
+        (triple bool bool bool)
+        (triple (int_bound 0x7FFFFFFF) (int_bound 0x7FFFFFFF)
+           (string_of_size (QCheck.Gen.int_range 0 80))))
+    (fun ((syn, ack, fin), (seq, ackno, body)) ->
+      let seg = { Sim.Tcpish.syn; ack; fin; seq; ackno; body = Bytes.of_string body } in
+      match Sim.Tcpish.decode_segment (Sim.Tcpish.encode_segment seg) with
+      | Some back -> back = seg
+      | None -> false)
+
+let segment_rejects_garbage () =
+  Alcotest.(check bool) "empty" true (Sim.Tcpish.decode_segment Bytes.empty = None);
+  Alcotest.(check bool) "truncated" true
+    (Sim.Tcpish.decode_segment (Bytes.of_string "\x01\x00\x00") = None)
+
+(* --- Engine --- *)
+
+let engine_rejects_past () =
+  let eng = Sim.Engine.create () in
+  Sim.Engine.schedule eng ~at:5.0 ignore;
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "past scheduling rejected" true
+    (raises_invalid (fun () -> Sim.Engine.schedule eng ~at:1.0 ignore))
+
+(* --- Bignum --- *)
+
+let bignum_edges () =
+  let open Crypto.Bignum in
+  Alcotest.(check bool) "of_int rejects negatives" true
+    (raises_invalid (fun () -> of_int (-1)));
+  Alcotest.(check bool) "sub refuses negatives" true
+    (raises_invalid (fun () -> sub one two));
+  (match divmod one zero with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "division by zero");
+  Alcotest.(check bool) "to_bytes size check" true
+    (raises_invalid (fun () -> to_bytes_be ~size:1 (of_int 70000)));
+  Alcotest.(check string) "zero prints" "0" (to_hex zero);
+  Alcotest.(check (option int)) "to_int of zero" (Some 0) (to_int_opt zero)
+
+let () =
+  Alcotest.run "edges"
+    [ ( "crypto",
+        [ Alcotest.test_case "mode arguments" `Quick mode_argument_checks;
+          Alcotest.test_case "des arguments" `Quick des_argument_checks;
+          Alcotest.test_case "seal cross-scheme" `Quick seal_cross_scheme;
+          Alcotest.test_case "seal truncation" `Quick seal_truncation;
+          Alcotest.test_case "bignum edges" `Quick bignum_edges ] );
+      ( "identifiers",
+        [ QCheck_alcotest.to_alcotest principal_roundtrip;
+          Alcotest.test_case "principal rejects" `Quick principal_rejects;
+          Alcotest.test_case "addr" `Quick addr_checks ] );
+      ( "transport",
+        [ QCheck_alcotest.to_alcotest segment_roundtrip;
+          Alcotest.test_case "segment garbage" `Quick segment_rejects_garbage;
+          Alcotest.test_case "engine past events" `Quick engine_rejects_past ] ) ]

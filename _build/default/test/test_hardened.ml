@@ -1,0 +1,215 @@
+(* Tests for the hardware-section modules: the handheld authenticator, the
+   encryption box, and the networked keystore. *)
+
+open Kerberos
+
+(* ------------------------------------------------------------------ *)
+(* Handheld authenticator                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handheld_matches_kdc () =
+  (* The device and the KDC compute the same {R}Kc. *)
+  let device = Hardened.Handheld.enroll ~password:"pw.of.pat" in
+  let kc = Crypto.Str2key.derive "pw.of.pat" in
+  let r = Util.Bytesutil.of_hex "0123456789abcdef" in
+  let expected =
+    Crypto.Des.encrypt_block (Crypto.Des.schedule (Crypto.Des.fix_parity kc)) r
+  in
+  Alcotest.(check bool) "same result" true
+    (Bytes.equal expected (Hardened.Handheld.respond device r));
+  Alcotest.(check int) "usage counted" 1 (Hardened.Handheld.responses_issued device)
+
+let handheld_challenge_dependent =
+  QCheck.Test.make ~name:"distinct challenges give distinct responses" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let device = Hardened.Handheld.enroll ~password:"pw" in
+      let mk i =
+        let r = Bytes.make 8 '\000' in
+        Util.Bytesutil.put_u32_be r 0 i;
+        r
+      in
+      not (Bytes.equal (Hardened.Handheld.respond device (mk a))
+             (Hardened.Handheld.respond device (mk b))))
+
+let suite_handheld =
+  [ Alcotest.test_case "matches the KDC's computation" `Quick handheld_matches_kdc;
+    QCheck_alcotest.to_alcotest handheld_challenge_dependent ]
+
+(* ------------------------------------------------------------------ *)
+(* Encryption box: E15 invariants plus a full client-side flow          *)
+(* ------------------------------------------------------------------ *)
+
+let e15_invariants () =
+  List.iter
+    (fun (criterion, ok) -> Alcotest.(check bool) criterion true ok)
+    (Expframework.Hardware_check.run ())
+
+let box_absorb_chain () =
+  (* Login key opens the AS reply; the captured TGS-session handle then
+     opens a TGS reply; each absorbed body has its key redacted. *)
+  let profile = Profile.hardened in
+  let rng = Util.Rng.create 0xB0C5L in
+  let box = Hardened.Encbox.create () in
+  let kc = Crypto.Str2key.derive "pw" in
+  let login = Hardened.Encbox.install_key box Hardened.Encbox.Login kc in
+  let tgt_key = Crypto.Des.random_key rng in
+  let as_body =
+    { Messages.b_session_key = tgt_key; b_nonce = 1L;
+      b_server = Principal.tgs ~realm:"ATHENA"; b_issued_at = 0.0; b_lifetime = 1.0;
+      b_ticket = Bytes.make 16 'T' }
+  in
+  let sealed_as =
+    Messages.seal_msg profile rng ~key:kc ~tag:Messages.tag_as_rep_body
+      (Messages.rep_body_to_value ~tag:Messages.tag_as_rep_body as_body)
+  in
+  let tgs_handle, body1 =
+    match
+      Hardened.Encbox.absorb_rep_body box ~profile ~with_key:login
+        ~new_purpose:Hardened.Encbox.Tgs_session ~tag:Messages.tag_as_rep_body sealed_as
+    with
+    | Ok (h, b) -> (h, b)
+    | Error e -> Alcotest.failf "absorb as: %s" e
+  in
+  Alcotest.(check bool) "key redacted" true
+    (Util.Bytesutil.equal body1.Messages.b_session_key (Bytes.make 8 '\000'));
+  (* Now a TGS reply sealed under the TGT session key the host never saw. *)
+  let svc_key = Crypto.Des.random_key rng in
+  let tgs_body =
+    { Messages.b_session_key = svc_key; b_nonce = 2L;
+      b_server = Principal.service ~realm:"ATHENA" "fs" ~host:"h"; b_issued_at = 0.0;
+      b_lifetime = 1.0; b_ticket = Bytes.make 16 'S' }
+  in
+  let sealed_tgs =
+    Messages.seal_msg profile rng ~key:tgt_key ~tag:Messages.tag_rep_body
+      (Messages.rep_body_to_value ~tag:Messages.tag_rep_body tgs_body)
+  in
+  (match
+     Hardened.Encbox.absorb_rep_body box ~profile ~with_key:tgs_handle
+       ~new_purpose:Hardened.Encbox.Service_session ~tag:Messages.tag_rep_body sealed_tgs
+   with
+  | Ok (_, body2) ->
+      Alcotest.(check bool) "service key redacted too" true
+        (Util.Bytesutil.equal body2.Messages.b_session_key (Bytes.make 8 '\000'))
+  | Error e -> Alcotest.failf "absorb tgs: %s" e);
+  Alcotest.(check int) "three keys live in the box" 3 (Hardened.Encbox.handles_live box)
+
+let box_authenticator_verifiable () =
+  (* An authenticator sealed by the box verifies under the real key. *)
+  let profile = Profile.hardened in
+  let rng = Util.Rng.create 0xB0C6L in
+  let box = Hardened.Encbox.create () in
+  let skey = Crypto.Des.random_key rng in
+  let h = Hardened.Encbox.install_key box Hardened.Encbox.Service_session skey in
+  let auth =
+    { Messages.a_client = Principal.user ~realm:"ATHENA" "pat"; a_addr = 7;
+      a_timestamp = 123.0; a_req_cksum = None; a_ticket_cksum = None; a_service = None;
+      a_seq_init = Some 5; a_subkey_part = None }
+  in
+  let sealed = Hardened.Encbox.seal_authenticator box ~profile ~with_key:h auth in
+  match Messages.open_msg profile ~key:skey ~tag:Messages.tag_authenticator sealed with
+  | Ok v ->
+      Alcotest.(check bool) "roundtrip" true (Messages.authenticator_of_value v = auth)
+  | Error e -> Alcotest.fail e
+
+let box_keystore_download () =
+  (* The keystore-download path: a sealed key enters the box without ever
+     existing in host memory in the clear. *)
+  let profile = Profile.hardened in
+  let rng = Util.Rng.create 0xB0C7L in
+  let box = Hardened.Encbox.create () in
+  let session_key = Crypto.Des.random_key rng in
+  let session = Hardened.Encbox.install_key box Hardened.Encbox.Service_session session_key in
+  let downloaded = Crypto.Des.random_key rng in
+  let blob = Seal.seal (Seal.of_profile profile) rng ~key:session_key downloaded in
+  (match
+     Hardened.Encbox.absorb_sealed_key box ~profile ~with_key:session
+       ~new_purpose:Hardened.Encbox.Service_key blob
+   with
+  | Error e -> Alcotest.fail e
+  | Ok _h -> ());
+  (* A login handle must not be usable for the download. *)
+  let login = Hardened.Encbox.install_key box Hardened.Encbox.Login (Crypto.Str2key.derive "x") in
+  match
+    Hardened.Encbox.absorb_sealed_key box ~profile ~with_key:login
+      ~new_purpose:Hardened.Encbox.Service_key blob
+  with
+  | exception Hardened.Encbox.Purpose_violation _ -> ()
+  | Ok _ -> Alcotest.fail "login handle downloaded a key"
+  | Error _ -> Alcotest.fail "wrong failure mode"
+
+let suite_encbox =
+  [ Alcotest.test_case "E15 invariants" `Quick e15_invariants;
+    Alcotest.test_case "absorb chain with redaction" `Quick box_absorb_chain;
+    Alcotest.test_case "box-sealed authenticator verifies" `Quick box_authenticator_verifiable;
+    Alcotest.test_case "keystore download path" `Quick box_keystore_download ]
+
+(* ------------------------------------------------------------------ *)
+(* Keystore service                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let keystore_flow () =
+  let profile = Profile.hardened in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ Sim.Addr.of_quad 10 0 0 1 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ Sim.Addr.of_quad 10 0 0 10 ] () in
+  let ks_host = Sim.Host.create ~name:"keysafe" ~ips:[ Sim.Addr.of_quad 10 0 0 30 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; ws; ks_host ];
+  let db = Kdb.create () in
+  let rng = Util.Rng.create 77L in
+  Kdb.add_service db (Principal.tgs ~realm:"ATHENA") ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user db (Principal.user ~realm:"ATHENA" "pat") ~password:"pw";
+  Kdb.add_user db (Principal.user ~realm:"ATHENA" "eve") ~password:"evepw";
+  let ksp = Principal.service ~realm:"ATHENA" "keystore" ~host:"keysafe" in
+  let ksk = Crypto.Des.random_key rng in
+  Kdb.add_service db ksp ~key:ksk;
+  let kdc = Kdc.create ~realm:"ATHENA" ~profile ~lifetime:3600.0 db in
+  Kdc.install net kdc_host kdc ();
+  let store = Hardened.Keystore.install net ks_host ~profile ~principal:ksp ~key:ksk ~port:751 in
+  let kdcs = [ ("ATHENA", Sim.Host.primary_ip kdc_host) ] in
+  let connect user password k =
+    let c = Client.create ~seed:(Int64.of_int (Hashtbl.hash user)) net ws ~profile ~kdcs
+        (Principal.user ~realm:"ATHENA" user)
+    in
+    Client.login c ~password (fun r ->
+        ignore (Result.get_ok r);
+        Client.get_ticket c ~service:ksp (fun r ->
+            let creds = Result.get_ok r in
+            Client.ap_exchange c creds ~dst:(Sim.Host.primary_ip ks_host) ~dport:751
+              (fun r -> k c (Result.get_ok r))))
+  in
+  let fetched = ref None and cross = ref None and fresh = ref None in
+  connect "pat" "pw" (fun pat chan ->
+      Hardened.Keystore.put pat chan ~label:"mailkey" (Bytes.of_string "s3cr3t!!")
+        ~k:(fun r ->
+          ignore (Result.get_ok r);
+          Hardened.Keystore.get pat chan ~label:"mailkey" ~k:(fun r ->
+              fetched := Some r;
+              Hardened.Keystore.fresh_key pat chan ~k:(fun r -> fresh := Some r);
+              (* Another principal must not see pat's blob. *)
+              connect "eve" "evepw" (fun eve echan ->
+                  Hardened.Keystore.get eve echan ~label:"mailkey" ~k:(fun r ->
+                      cross := Some r)))));
+  Sim.Engine.run eng;
+  (match !fetched with
+  | Some (Ok b) -> Alcotest.(check string) "fetched" "s3cr3t!!" (Bytes.to_string b)
+  | _ -> Alcotest.fail "fetch failed");
+  (match !fresh with
+  | Some (Ok k) ->
+      Alcotest.(check int) "key size" 8 (Bytes.length k);
+      Alcotest.(check bool) "parity-fixed" true (Bytes.equal k (Crypto.Des.fix_parity k))
+  | _ -> Alcotest.fail "fresh key failed");
+  (match !cross with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "namespace leak between principals"
+  | None -> Alcotest.fail "cross check did not run");
+  Alcotest.(check int) "one blob stored" 1 (Hardened.Keystore.stored_count store)
+
+let suite_keystore = [ Alcotest.test_case "put/get/newkey + isolation" `Quick keystore_flow ]
+
+let () =
+  Alcotest.run "hardened"
+    [ ("handheld", suite_handheld); ("encbox", suite_encbox);
+      ("keystore", suite_keystore) ]

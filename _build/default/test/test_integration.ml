@@ -1,0 +1,208 @@
+(* A day at Athena: one simulation carrying many users, several services,
+   background time synchronization, password changes, forwarding — and an
+   adversary mounting attacks in the middle of the honest traffic. The
+   assertions check that honest work succeeded, the attacks landed exactly
+   where the profile says they should, and nothing interfered with anything
+   else. *)
+
+open Kerberos
+
+let realm = "ATHENA"
+
+type world = {
+  eng : Sim.Engine.t;
+  net : Sim.Net.t;
+  db : Kdb.t;
+  kdc_host : Sim.Host.t;
+  kdcs : (string * Sim.Addr.t) list;
+  rng : Util.Rng.t;
+  mutable errors : string list;
+}
+
+let fail_soft w what = function
+  | Ok v -> Some v
+  | Error e ->
+      w.errors <- (what ^ ": " ^ e) :: w.errors;
+      None
+
+let day_at_athena (profile : Profile.t) () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let quad = Sim.Addr.of_quad in
+  let kdc_host = Sim.Host.create ~name:"kerberos" ~ips:[ quad 10 0 0 1 ] () in
+  let time_host = Sim.Host.create ~name:"timehost" ~ips:[ quad 10 0 0 2 ] () in
+  let mail_host = Sim.Host.create ~name:"po10" ~ips:[ quad 10 0 0 20 ] () in
+  let file_host = Sim.Host.create ~name:"fs1" ~ips:[ quad 10 0 0 21 ] () in
+  let adm_host = Sim.Host.create ~name:"adm" ~ips:[ quad 10 0 0 23 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; time_host; mail_host; file_host; adm_host ];
+  let db = Kdb.create () in
+  let rng = Util.Rng.create 0xDA7L in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  let users = Workloads.Passwords.population rng ~n:8 ~weak_fraction:0.4 in
+  List.iter
+    (fun u ->
+      Kdb.add_user db (Principal.user ~realm u.Workloads.Passwords.name)
+        ~password:u.Workloads.Passwords.password)
+    users;
+  let mail_p = Principal.service ~realm "pop" ~host:"po10" in
+  let file_p = Principal.service ~realm "fileserv" ~host:"fs1" in
+  let kpw_p = Principal.service ~realm "kpasswd" ~host:"adm" in
+  let mail_k = Crypto.Des.random_key rng in
+  let file_k = Crypto.Des.random_key rng in
+  let kpw_k = Crypto.Des.random_key rng in
+  Kdb.add_service db mail_p ~key:mail_k;
+  Kdb.add_service db file_p ~key:file_k;
+  Kdb.add_service db kpw_p ~key:kpw_k;
+  let kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 db in
+  Kdc.install net kdc_host kdc ();
+  Timesvc.install_server net time_host ();
+  let mail = Services.Mailserver.install net mail_host ~profile ~principal:mail_p ~key:mail_k ~port:110 in
+  let file = Services.Fileserver.install net file_host ~profile ~principal:file_p ~key:file_k ~port:600 in
+  let kpw =
+    Services.Kpasswd.install net adm_host ~profile ~principal:kpw_p ~key:kpw_k
+      ~port:464 ~db
+  in
+  let kdcs = [ (realm, Sim.Host.primary_ip kdc_host) ] in
+  let w = { eng; net; db; kdc_host; kdcs; rng; errors = [] } in
+  let completed = ref 0 in
+  (* Every user gets a workstation and runs a morning routine: sync the
+     clock, log in, file work, mail check. *)
+  List.iteri
+    (fun i u ->
+      let name = u.Workloads.Passwords.name in
+      let ws =
+        Sim.Host.create
+          ~clock_offset:(Util.Rng.float rng 4.0 -. 2.0)
+          ~name:("ws-" ^ name)
+          ~ips:[ quad 10 0 1 (10 + i) ]
+          ()
+      in
+      Sim.Net.attach net ws;
+      Services.Mailserver.deliver mail ~user:name (Bytes.of_string ("note for " ^ name));
+      (* The routine, flattened into named steps to keep the CPS readable. *)
+      let step what r k = match fail_soft w (name ^ " " ^ what) r with None -> () | Some v -> k v in
+      let check_mail c chan =
+        Client.call_priv c chan (Bytes.of_string "COUNT") ~k:(fun r ->
+            step "count" r (fun _ -> incr completed))
+      in
+      let mail_session c =
+        Client.get_ticket c ~service:mail_p (fun r ->
+            step "mail ticket" r (fun mc ->
+                Client.ap_exchange c mc ~dst:(Sim.Host.primary_ip mail_host) ~dport:110
+                  (fun r -> step "mail ap" r (fun mchan -> check_mail c mchan))))
+      in
+      let file_work c =
+        Client.get_ticket c ~service:file_p (fun r ->
+            step "file ticket" r (fun creds ->
+                Client.ap_exchange c creds ~dst:(Sim.Host.primary_ip file_host)
+                  ~dport:600 (fun r ->
+                    step "file ap" r (fun chan ->
+                        Client.call_priv c chan
+                          (Bytes.of_string (Printf.sprintf "WRITE /u/%s/diary kept" name))
+                          ~k:(fun r -> step "write" r (fun _ -> mail_session c))))))
+      in
+      Sim.Engine.schedule eng ~at:(float_of_int i *. 13.0) (fun () ->
+          Timesvc.sync net ws ~server:(Sim.Host.primary_ip time_host)
+            ~on_done:(fun () ->
+              let c =
+                Client.create ~seed:(Int64.of_int (400 + i)) net ws ~profile ~kdcs
+                  (Principal.user ~realm name)
+              in
+              Client.login c ~password:u.Workloads.Passwords.password (fun r ->
+                  step "login" r (fun _ -> file_work c)))
+            ()))
+    users;
+  (* One user changes a weak password mid-morning; policy rejects a
+     dictionary word first, accepts a decent one after. *)
+  let u0 = List.hd users in
+  Sim.Engine.schedule eng ~at:200.0 (fun () ->
+      let ws0 = Sim.Host.create ~name:"ws-chg" ~ips:[ quad 10 0 2 9 ] () in
+      Sim.Net.attach net ws0;
+      let c =
+        Client.create ~seed:777L net ws0 ~profile ~kdcs
+          (Principal.user ~realm u0.Workloads.Passwords.name)
+      in
+      Client.login c ~password:u0.Workloads.Passwords.password (fun r ->
+          match fail_soft w "chg login" r with
+          | None -> ()
+          | Some _ ->
+              Client.get_ticket c ~service:kpw_p (fun r ->
+                  match fail_soft w "chg ticket" r with
+                  | None -> ()
+                  | Some creds ->
+                      Client.ap_exchange c creds ~dst:(Sim.Host.primary_ip adm_host)
+                        ~dport:464 (fun r ->
+                          match fail_soft w "chg ap" r with
+                          | None -> ()
+                          | Some chan ->
+                              Services.Kpasswd.change_password c chan
+                                ~new_password:"dragon" ~k:(fun r ->
+                                  (match r with
+                                  | Error _ -> () (* policy refusal expected *)
+                                  | Ok () ->
+                                      w.errors <- "weak password accepted" :: w.errors);
+                                  Services.Kpasswd.change_password c chan
+                                    ~new_password:"ample.turbine.42" ~k:(fun r ->
+                                      ignore (fail_soft w "good change" r)))))));
+  (* The adversary taps everything and replays a captured mail AP_REQ late
+     in the morning. *)
+  let adv = Sim.Adversary.attach net in
+  Sim.Adversary.start_tap adv;
+  Sim.Engine.schedule eng ~at:150.0 (fun () ->
+      match
+        Sim.Adversary.capture_matching adv (fun p ->
+            p.Sim.Packet.dport = 110
+            &&
+            match Frames.unwrap p.Sim.Packet.payload with
+            | Some (k, _) -> k = Frames.ap_req
+            | None -> false)
+      with
+      | pkt :: _ ->
+          Sim.Adversary.spoof adv ~src:pkt.Sim.Packet.src ~sport:47001
+            ~dst:(Sim.Host.primary_ip mail_host) ~dport:110 pkt.Sim.Packet.payload
+      | [] -> w.errors <- "adversary found nothing to replay" :: w.errors);
+  Sim.Engine.run eng;
+  (* --- assertions --- *)
+  Alcotest.(check (list string)) "no honest failures" [] w.errors;
+  Alcotest.(check int) "all users completed the routine" (List.length users) !completed;
+  Alcotest.(check int) "one policy refusal" 1 (Services.Kpasswd.changes_refused kpw);
+  Alcotest.(check int) "one change applied" 1 (Services.Kpasswd.changes_applied kpw);
+  (* The old password no longer works; the new one does. *)
+  let ws9 = Sim.Host.create ~name:"ws9" ~ips:[ quad 10 0 2 50 ] () in
+  Sim.Net.attach net ws9;
+  let c9 =
+    Client.create ~seed:901L net ws9 ~profile ~kdcs
+      (Principal.user ~realm (List.hd users).Workloads.Passwords.name)
+  in
+  let old_ok = ref None and new_ok = ref None in
+  Client.login c9 ~password:(List.hd users).Workloads.Passwords.password (fun r ->
+      old_ok := Some (Result.is_ok r);
+      Client.login c9 ~password:"ample.turbine.42" (fun r ->
+          new_ok := Some (Result.is_ok r)));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "old password dead" (Some false) !old_ok;
+  Alcotest.(check (option bool)) "new password live" (Some true) !new_ok;
+  (* The mid-morning replay: accepted only where the profile is weak. *)
+  let mail_sessions = Apserver.sessions_established (Services.Mailserver.apserver mail) in
+  let expected_sessions =
+    match profile.Profile.ap_auth with
+    | Profile.Timestamp _ -> List.length users + 1 (* honest + the replay *)
+    | Profile.Challenge_response -> List.length users
+  in
+  Alcotest.(check int) "replay landed exactly as the profile predicts"
+    expected_sessions mail_sessions;
+  (* Files were written by their owners, not by the adversary. *)
+  List.iter
+    (fun u ->
+      let name = u.Workloads.Passwords.name in
+      match Services.Fileserver.read_file file (Printf.sprintf "/u/%s/diary" name) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s's diary missing" name)
+    users
+
+let () =
+  Alcotest.run "integration"
+    [ ( "day-at-athena",
+        [ Alcotest.test_case "v4" `Slow (day_at_athena Profile.v4);
+          Alcotest.test_case "v5-draft3" `Slow (day_at_athena Profile.v5_draft3);
+          Alcotest.test_case "hardened" `Slow (day_at_athena Profile.hardened) ] ) ]

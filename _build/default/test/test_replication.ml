@@ -1,0 +1,153 @@
+(* Master/slave KDC replication: the kprop push, serving logins from the
+   slave, refreshing after a password change, and refusing rogue pushes. *)
+
+open Kerberos
+
+let realm = "ATHENA"
+
+let replication_flow () =
+  let profile = Profile.v5_draft3 in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let quad = Sim.Addr.of_quad in
+  let master_host = Sim.Host.create ~name:"kerberos-1" ~ips:[ quad 10 0 0 1 ] () in
+  let slave_host = Sim.Host.create ~name:"kerberos-2" ~ips:[ quad 10 0 0 3 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ quad 10 0 0 10 ] () in
+  List.iter (Sim.Net.attach net) [ master_host; slave_host; ws ];
+  let rng = Util.Rng.create 0x4b50L in
+  (* Master database: realm key, a user, the master's own principal, and
+     the slave's kpropd service. *)
+  let master_db = Kdb.create () in
+  Kdb.add_service master_db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user master_db (Principal.user ~realm "pat") ~password:"first.pw";
+  let master_principal = Principal.user ~realm "kadmin" in
+  Kdb.add_user master_db master_principal ~password:"master.host.pw";
+  let kpropd_principal = Principal.service ~realm "kprop" ~host:"kerberos-2" in
+  let kpropd_key = Crypto.Des.random_key rng in
+  Kdb.add_service master_db kpropd_principal ~key:kpropd_key;
+  let master_kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 master_db in
+  Kdc.install net master_host master_kdc ();
+  (* Slave: an empty database and a kpropd accepting only the master. *)
+  let slave_db = Kdb.create () in
+  let slave_kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 slave_db in
+  Kdc.install net slave_host slave_kdc ();
+  let kpropd =
+    Services.Kprop.install_slave net slave_host ~profile ~principal:kpropd_principal
+      ~key:kpropd_key ~port:754 ~master:master_principal ~slave_db
+  in
+  let kdcs_master = [ (realm, Sim.Host.primary_ip master_host) ] in
+  let kdcs_slave = [ (realm, Sim.Host.primary_ip slave_host) ] in
+  (* Before propagation the slave knows nobody. *)
+  let early = ref None in
+  let c_early =
+    Client.create ~seed:1L net ws ~profile ~kdcs:kdcs_slave (Principal.user ~realm "pat")
+  in
+  Client.login c_early ~password:"first.pw" (fun r -> early := Some (Result.is_ok r));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "slave empty before push" (Some false) !early;
+  (* The master pushes. *)
+  let admin =
+    Client.create ~seed:2L net master_host ~profile ~kdcs:kdcs_master master_principal
+  in
+  let pushed = ref None in
+  Client.login admin ~password:"master.host.pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket admin ~service:kpropd_principal (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip slave_host)
+            ~dport:754 (fun r ->
+              let chan = Result.get_ok r in
+              Services.Kprop.propagate admin chan ~db:master_db ~k:(fun r ->
+                  pushed := Some r))));
+  Sim.Engine.run eng;
+  (match !pushed with
+  | Some (Ok ()) -> ()
+  | Some (Error e) -> Alcotest.failf "push failed: %s" e
+  | None -> Alcotest.fail "push stalled");
+  Alcotest.(check int) "one propagation" 1 (Services.Kprop.propagations_received kpropd);
+  Alcotest.(check int) "databases equal" (Kdb.size master_db) (Kdb.size slave_db);
+  (* Now pat can log in against the slave. *)
+  let late = ref None in
+  let c_late =
+    Client.create ~seed:3L net ws ~profile ~kdcs:kdcs_slave (Principal.user ~realm "pat")
+  in
+  Client.login c_late ~password:"first.pw" (fun r -> late := Some (Result.is_ok r));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "slave serves after push" (Some true) !late;
+  (* Password changes at the master reach the slave on the next push. *)
+  Kdb.add_user master_db (Principal.user ~realm "pat") ~password:"second.pw";
+  let repushed = ref None in
+  Client.get_ticket admin ~service:kpropd_principal (fun r ->
+      let creds = Result.get_ok r in
+      Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip slave_host) ~dport:754
+        (fun r ->
+          let chan = Result.get_ok r in
+          Services.Kprop.propagate admin chan ~db:master_db ~k:(fun r ->
+              repushed := Some r)));
+  Sim.Engine.run eng;
+  (match !repushed with Some (Ok ()) -> () | _ -> Alcotest.fail "second push failed");
+  let old_pw = ref None and new_pw = ref None in
+  let c2 =
+    Client.create ~seed:4L net ws ~profile ~kdcs:kdcs_slave (Principal.user ~realm "pat")
+  in
+  Client.login c2 ~password:"first.pw" (fun r ->
+      old_pw := Some (Result.is_ok r);
+      Client.login c2 ~password:"second.pw" (fun r -> new_pw := Some (Result.is_ok r)));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "old password gone from slave" (Some false) !old_pw;
+  Alcotest.(check (option bool)) "new password live on slave" (Some true) !new_pw;
+  (* A rogue push from an ordinary user is refused. *)
+  Kdb.add_user master_db (Principal.user ~realm "robin") ~password:"robin.pw";
+  (* robin needs to be known to the slave too (it is, after the pushes? no —
+     robin was added after; push again first). For the rogue test, use the
+     already-replicated pat account. *)
+  let rogue = ref None in
+  let evil_db = Kdb.create () in
+  Kdb.add_user evil_db (Principal.user ~realm "pat") ~password:"attacker-chosen";
+  let c_pat =
+    Client.create ~seed:5L net ws ~profile ~kdcs:kdcs_master (Principal.user ~realm "pat")
+  in
+  Client.login c_pat ~password:"second.pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket c_pat ~service:kpropd_principal (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange c_pat creds ~dst:(Sim.Host.primary_ip slave_host)
+            ~dport:754 (fun r ->
+              let chan = Result.get_ok r in
+              Services.Kprop.propagate c_pat chan ~db:evil_db ~k:(fun r ->
+                  rogue := Some r))));
+  Sim.Engine.run eng;
+  (match !rogue with
+  | Some (Error _) -> ()
+  | Some (Ok ()) -> Alcotest.fail "rogue push accepted"
+  | None -> Alcotest.fail "rogue push stalled");
+  Alcotest.(check int) "refusal counted" 1 (Services.Kprop.pushes_refused kpropd)
+
+let kdb_roundtrip =
+  QCheck.Test.make ~name:"kdb serialization roundtrip" ~count:100
+    QCheck.(int_range 0 20)
+    (fun n ->
+      let rng = Util.Rng.create (Int64.of_int (n + 1)) in
+      let db = Kdb.create () in
+      for i = 0 to n - 1 do
+        if i mod 2 = 0 then
+          Kdb.add_user db (Principal.user ~realm (Printf.sprintf "u%d" i))
+            ~password:(Printf.sprintf "pw%d" i)
+        else
+          Kdb.add_service db
+            (Principal.service ~realm (Printf.sprintf "s%d" i) ~host:"h")
+            ~key:(Crypto.Des.random_key rng)
+      done;
+      let back = Kdb.of_bytes (Kdb.to_bytes db) in
+      Kdb.size back = Kdb.size db
+      && List.for_all
+           (fun p ->
+             match (Kdb.lookup db p, Kdb.lookup back p) with
+             | Some a, Some b -> a.Kdb.kind = b.Kdb.kind && Bytes.equal a.Kdb.key b.Kdb.key
+             | _ -> false)
+           (Kdb.principals db))
+
+let () =
+  Alcotest.run "replication"
+    [ ("kprop", [ Alcotest.test_case "master/slave flow" `Quick replication_flow ]);
+      ("kdb", [ QCheck_alcotest.to_alcotest kdb_roundtrip ]) ]

@@ -1,0 +1,222 @@
+(* Honest-path tests for the application services: file server protocol,
+   mail flows, backup archive, the rsh daemon, and server policy knobs
+   (forwarded tickets, transit lists). *)
+
+open Kerberos
+
+let realm = "ATHENA"
+
+type world = {
+  eng : Sim.Engine.t;
+  net : Sim.Net.t;
+  db : Kdb.t;
+  kdc_host : Sim.Host.t;
+  ws : Sim.Host.t;
+  svc_host : Sim.Host.t;
+  kdcs : (string * Sim.Addr.t) list;
+  rng : Util.Rng.t;
+}
+
+let mk_world ?(profile = Profile.v4) () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ Sim.Addr.of_quad 10 0 0 1 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ Sim.Addr.of_quad 10 0 0 10 ] () in
+  let svc_host = Sim.Host.create ~name:"svc" ~ips:[ Sim.Addr.of_quad 10 0 0 20 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; ws; svc_host ];
+  let db = Kdb.create () in
+  let rng = Util.Rng.create 5150L in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user db (Principal.user ~realm "pat") ~password:"pw";
+  let kdc = Kdc.create ~realm ~profile ~lifetime:3600.0 db in
+  Kdc.install net kdc_host kdc ();
+  { eng; net; db; kdc_host; ws; svc_host; kdcs = [ (realm, Sim.Host.primary_ip kdc_host) ]; rng }
+
+let with_channel w ~profile ~principal ~port k =
+  let client = Client.create w.net w.ws ~profile ~kdcs:w.kdcs (Principal.user ~realm "pat") in
+  Client.login client ~password:"pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket client ~service:principal (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange client creds ~dst:(Sim.Host.primary_ip w.svc_host)
+            ~dport:port (fun r -> k client (Result.get_ok r))));
+  Sim.Engine.run w.eng
+
+let fileserver_protocol () =
+  let profile = Profile.v4 in
+  let w = mk_world ~profile () in
+  let p = Principal.service ~realm "fileserv" ~host:"svc" in
+  let key = Crypto.Des.random_key w.rng in
+  Kdb.add_service w.db p ~key;
+  let fs = Services.Fileserver.install w.net w.svc_host ~profile ~principal:p ~key ~port:600 in
+  let results = ref [] in
+  with_channel w ~profile ~principal:p ~port:600 (fun client chan ->
+      let send cmd k =
+        Client.call_priv client chan (Bytes.of_string cmd) ~k:(fun r ->
+            results := (cmd, Result.map Bytes.to_string r) :: !results;
+            k ())
+      in
+      send "WRITE /a hello" (fun () ->
+          send "WRITE /b world" (fun () ->
+              send "READ /a" (fun () ->
+                  send "LIST" (fun () ->
+                      send "DELETE /a" (fun () ->
+                          send "READ /a" (fun () -> send "BOGUS x" (fun () -> ()))))))));
+  let expect cmd v =
+    match List.assoc_opt cmd (List.rev !results) with
+    | Some (Ok got) -> Alcotest.(check string) cmd v got
+    | Some (Error e) -> Alcotest.failf "%s: %s" cmd e
+    | None -> Alcotest.failf "%s: no result" cmd
+  in
+  expect "WRITE /a hello" "OK";
+  expect "READ /a" "hello";
+  expect "LIST" "/a /b";
+  expect "DELETE /a" "OK";
+  expect "BOGUS x" "ERR bad command";
+  (* the second READ /a after deletion *)
+  (match List.filter (fun (c, _) -> c = "READ /a") (List.rev !results) with
+  | [ _; (_, Ok second) ] -> Alcotest.(check string) "deleted" "ERR not found" second
+  | _ -> Alcotest.fail "missing second READ");
+  Alcotest.(check (list (pair string string))) "deletion log"
+    [ ("/a", "pat@ATHENA") ]
+    (Services.Fileserver.deletions fs)
+
+let mailserver_protocol () =
+  let profile = Profile.v5_draft3 in
+  let w = mk_world ~profile () in
+  let p = Principal.service ~realm "pop" ~host:"svc" in
+  let key = Crypto.Des.random_key w.rng in
+  Kdb.add_service w.db p ~key;
+  let ms = Services.Mailserver.install w.net w.svc_host ~profile ~principal:p ~key ~port:110 in
+  Services.Mailserver.deliver ms ~user:"pat" (Bytes.of_string "hi pat");
+  let counted = ref "" and retrieved = ref "" and after_delete = ref "" in
+  with_channel w ~profile ~principal:p ~port:110 (fun client chan ->
+      Client.call_priv client chan (Bytes.of_string "COUNT") ~k:(fun r ->
+          counted := Bytes.to_string (Result.get_ok r);
+          Client.call_priv client chan (Bytes.of_string "RETR 0") ~k:(fun r ->
+              retrieved := Bytes.to_string (Result.get_ok r);
+              Client.call_priv client chan (Bytes.of_string "DELE 0") ~k:(fun r ->
+                  ignore (Result.get_ok r);
+                  Client.call_priv client chan (Bytes.of_string "COUNT") ~k:(fun r ->
+                      after_delete := Bytes.to_string (Result.get_ok r))))));
+  Alcotest.(check string) "count" "1" !counted;
+  Alcotest.(check string) "retr" "hi pat" !retrieved;
+  Alcotest.(check string) "after delete" "0" !after_delete;
+  Alcotest.(check int) "deletion counted" 1 (Services.Mailserver.deleted_count ms ~user:"pat")
+
+let backup_protocol () =
+  let profile = Profile.v4 in
+  let w = mk_world ~profile () in
+  let p = Principal.service ~realm "backup" ~host:"svc" in
+  let key = Crypto.Des.random_key w.rng in
+  Kdb.add_service w.db p ~key;
+  let b = Services.Backupserver.install w.net w.svc_host ~profile ~principal:p ~key ~port:601 in
+  let restored = ref "" in
+  with_channel w ~profile ~principal:p ~port:601 (fun client chan ->
+      Client.call_priv client chan (Bytes.of_string "ARCHIVE /th v1") ~k:(fun r ->
+          ignore (Result.get_ok r);
+          Client.call_priv client chan (Bytes.of_string "RESTORE /th") ~k:(fun r ->
+              restored := Bytes.to_string (Result.get_ok r))));
+  Alcotest.(check string) "restore" "v1" !restored;
+  Alcotest.(check bool) "archived" true (Services.Backupserver.archived b "/th" <> None);
+  Alcotest.(check (list (pair string string))) "nothing destroyed" []
+    (Services.Backupserver.destroyed b)
+
+let rsh_honest collect_profile () =
+  let profile = collect_profile in
+  let w = mk_world ~profile () in
+  let p = Principal.service ~realm "rsh" ~host:"svc" in
+  let key = Crypto.Des.random_key w.rng in
+  Kdb.add_service w.db p ~key;
+  let daemon =
+    Services.Rsh.install w.net w.svc_host ~profile ~principal:p ~key ~port:514 ()
+  in
+  let output = ref "" in
+  let client = Client.create w.net w.ws ~profile ~kdcs:w.kdcs (Principal.user ~realm "pat") in
+  Client.login client ~password:"pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket client ~service:p (fun r ->
+          let creds = Result.get_ok r in
+          Services.Rsh.run_command client creds ~dst:(Sim.Host.primary_ip w.svc_host)
+            ~dport:514 ~cmd:"uname -a"
+            ~k:(fun r -> output := Result.get_ok r)));
+  Sim.Engine.run w.eng;
+  Alcotest.(check string) "output" "ran: uname -a" !output;
+  Alcotest.(check (list (pair string string))) "audit"
+    [ ("uname -a", "pat@ATHENA") ]
+    (Services.Rsh.executed daemon)
+
+let kpasswd_policy () =
+  let profile = Profile.v4 in
+  let w = mk_world ~profile () in
+  let p = Principal.service ~realm "kpasswd" ~host:"svc" in
+  let key = Crypto.Des.random_key w.rng in
+  Kdb.add_service w.db p ~key;
+  let kpw =
+    Services.Kpasswd.install w.net w.svc_host ~profile ~principal:p ~key ~port:464
+      ~db:w.db
+  in
+  let refused = ref None and accepted = ref None in
+  with_channel w ~profile ~principal:p ~port:464 (fun client chan ->
+      (* A dictionary word with a digit tacked on: the policy sees through
+         the decoration. *)
+      Services.Kpasswd.change_password client chan ~new_password:"dragon7" ~k:(fun r ->
+          refused := Some r;
+          Services.Kpasswd.change_password client chan
+            ~new_password:"orthogonal.sunrise" ~k:(fun r -> accepted := Some r)));
+  (match !refused with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "weak password accepted");
+  (match !accepted with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "strong password refused");
+  Alcotest.(check int) "counters" 1 (Services.Kpasswd.changes_applied kpw);
+  Alcotest.(check int) "refusals" 1 (Services.Kpasswd.changes_refused kpw);
+  (* The stored key now matches the new password. *)
+  match Kdb.lookup w.db (Principal.user ~realm "pat") with
+  | Some e ->
+      Alcotest.(check bool) "key updated" true
+        (Bytes.equal e.Kdb.key (Crypto.Str2key.derive "orthogonal.sunrise"))
+  | None -> Alcotest.fail "pat vanished"
+
+let forwarded_policy () =
+  (* accept_forwarded=false refuses a forwarded ticket even from a friend —
+     the all-or-nothing bind of an origin-less flag. *)
+  let profile = Profile.v5_draft3 in
+  let w = mk_world ~profile () in
+  let p = Principal.service ~realm "fileserv" ~host:"svc" in
+  let key = Crypto.Des.random_key w.rng in
+  Kdb.add_service w.db p ~key;
+  let fs =
+    Services.Fileserver.install w.net w.svc_host
+      ~config:{ Apserver.default_config with accept_forwarded = false } ~profile
+      ~principal:p ~key ~port:600
+  in
+  let refused = ref None in
+  let client = Client.create w.net w.ws ~profile ~kdcs:w.kdcs (Principal.user ~realm "pat") in
+  Client.login client ~password:"pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket client
+        ~options:{ Messages.no_options with forward = true }
+        ~service:p (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange client creds ~dst:(Sim.Host.primary_ip w.svc_host)
+            ~dport:600 (fun r -> refused := Some r)));
+  Sim.Engine.run w.eng;
+  (match !refused with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "forwarded ticket accepted against policy"
+  | None -> Alcotest.fail "stalled");
+  Alcotest.(check int) "no session" 0
+    (Apserver.sessions_established (Services.Fileserver.apserver fs))
+
+let () =
+  Alcotest.run "services"
+    [ ("fileserver", [ Alcotest.test_case "protocol" `Quick fileserver_protocol ]);
+      ("mailserver", [ Alcotest.test_case "protocol" `Quick mailserver_protocol ]);
+      ("backupserver", [ Alcotest.test_case "protocol" `Quick backup_protocol ]);
+      ( "rsh",
+        [ Alcotest.test_case "honest v4" `Quick (rsh_honest Profile.v4);
+          Alcotest.test_case "honest hardened" `Quick (rsh_honest Profile.hardened) ] );
+      ("kpasswd", [ Alcotest.test_case "policy and key change" `Quick kpasswd_policy ]);
+      ("policy", [ Alcotest.test_case "forwarded refused" `Quick forwarded_policy ]) ]

@@ -1,0 +1,132 @@
+(* Tests for the util substrate: byte helpers and the deterministic PRNG. *)
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 100))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Util.Bytesutil.of_hex (Util.Bytesutil.to_hex b)))
+
+let hex_case_insensitive () =
+  Alcotest.(check bytes) "upper == lower"
+    (Util.Bytesutil.of_hex "deadBEEF")
+    (Util.Bytesutil.of_hex "DEADbeef")
+
+let hex_rejects () =
+  List.iter
+    (fun s ->
+      match Util.Bytesutil.of_hex s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%S accepted" s)
+    [ "a"; "0g"; "zz"; "123" ]
+
+let xor_involution =
+  QCheck.Test.make ~name:"xor involution" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.return 24)) (string_of_size (QCheck.Gen.return 24)))
+    (fun (a, b) ->
+      let a = Bytes.of_string a and b = Bytes.of_string b in
+      Bytes.equal a Util.Bytesutil.(xor (xor a b) b))
+
+let xor_into_matches_xor =
+  QCheck.Test.make ~name:"xor_into agrees with xor" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (string_of_size (QCheck.Gen.return 16)))
+    (fun (a, b) ->
+      let a = Bytes.of_string a and b = Bytes.of_string b in
+      let dst = Bytes.copy a in
+      Util.Bytesutil.xor_into ~src:b ~dst;
+      Bytes.equal dst (Util.Bytesutil.xor a b))
+
+let chunks_partition =
+  QCheck.Test.make ~name:"chunks concatenate back" ~count:300
+    QCheck.(pair (int_range 1 16) (string_of_size (QCheck.Gen.int_range 0 100)))
+    (fun (n, s) ->
+      let b = Bytes.of_string s in
+      let cs = Util.Bytesutil.chunks n b in
+      Bytes.equal b (Util.Bytesutil.concat cs)
+      && List.for_all (fun c -> Bytes.length c <= n && Bytes.length c > 0) cs)
+
+let u32_u64_roundtrip =
+  QCheck.Test.make ~name:"u32/u64 big-endian roundtrip" ~count:300
+    QCheck.(pair (int_bound 0xFFFFFFFF) int)
+    (fun (v32, v64) ->
+      let b = Bytes.create 12 in
+      Util.Bytesutil.put_u32_be b 0 v32;
+      Util.Bytesutil.put_u64_be b 4 (Int64.of_int v64);
+      Util.Bytesutil.u32_be b 0 = v32
+      && Util.Bytesutil.u64_be b 4 = Int64.of_int v64)
+
+let equal_constant_shape () =
+  Alcotest.(check bool) "equal" true
+    (Util.Bytesutil.equal (Bytes.of_string "abc") (Bytes.of_string "abc"));
+  Alcotest.(check bool) "unequal" false
+    (Util.Bytesutil.equal (Bytes.of_string "abc") (Bytes.of_string "abd"));
+  Alcotest.(check bool) "length mismatch" false
+    (Util.Bytesutil.equal (Bytes.of_string "abc") (Bytes.of_string "abcd"))
+
+let suite_bytes =
+  [ QCheck_alcotest.to_alcotest hex_roundtrip;
+    Alcotest.test_case "hex case" `Quick hex_case_insensitive;
+    Alcotest.test_case "hex rejects garbage" `Quick hex_rejects;
+    QCheck_alcotest.to_alcotest xor_involution;
+    QCheck_alcotest.to_alcotest xor_into_matches_xor;
+    QCheck_alcotest.to_alcotest chunks_partition;
+    QCheck_alcotest.to_alcotest u32_u64_roundtrip;
+    Alcotest.test_case "equality" `Quick equal_constant_shape ]
+
+(* --- RNG --- *)
+
+let rng_deterministic () =
+  let a = Util.Rng.create 42L and b = Util.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.next_int64 a) (Util.Rng.next_int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Util.Rng.create 42L and b = Util.Rng.create 43L in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Util.Rng.next_int64 a <> Util.Rng.next_int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "streams differ" true !distinct
+
+let rng_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_nat)
+    (fun (bound, seed) ->
+      let rng = Util.Rng.create (Int64.of_int (seed + 1)) in
+      let v = Util.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let rng_bytes_length =
+  QCheck.Test.make ~name:"Rng.bytes length" ~count:200 (QCheck.int_bound 100)
+    (fun n ->
+      let rng = Util.Rng.create 7L in
+      Bytes.length (Util.Rng.bytes rng n) = n)
+
+let rng_split_independent () =
+  (* A split generator's stream does not mirror its parent's. *)
+  let parent = Util.Rng.create 99L in
+  let child = Util.Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 32 do
+    if Util.Rng.next_int64 parent = Util.Rng.next_int64 child then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let rng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200 (QCheck.int_range 0 50)
+    (fun n ->
+      let rng = Util.Rng.create (Int64.of_int (n + 13)) in
+      let arr = Array.init n (fun i -> i) in
+      Util.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.init n (fun i -> i))
+
+let suite_rng =
+  [ Alcotest.test_case "deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+    QCheck_alcotest.to_alcotest rng_bounds;
+    QCheck_alcotest.to_alcotest rng_bytes_length;
+    Alcotest.test_case "split independence" `Quick rng_split_independent;
+    QCheck_alcotest.to_alcotest rng_shuffle_permutes ]
+
+let () = Alcotest.run "util" [ ("bytes", suite_bytes); ("rng", suite_rng) ]
