@@ -2,8 +2,13 @@
    EXPERIMENTS.md — cipher and checksum throughput, string-to-key cost (the
    unit of password-guessing work), modular exponentiation at the modulus
    sizes of E13, protocol exchange costs per profile, CRC forgery cost, and
-   replay-cache operations. Results are printed as one table:
-   nanoseconds per run, from an OLS fit. *)
+   replay-cache operations. Results are printed as one table (nanoseconds
+   per run, from an OLS fit) and persisted to BENCH_crypto.json so the perf
+   trajectory is comparable across PRs.
+
+   With --smoke, every benchmark runs for one iteration on a tiny quota and
+   no JSON is written: a compile-and-run guard wired into `dune runtest` so
+   bench bit-rot is caught by tier-1. *)
 
 open Bechamel
 open Toolkit
@@ -184,12 +189,34 @@ let tests =
       t_login_preauth; t_login_handheld; t_login_dh61; t_login_dh127;
       t_login_full_hardened; t_ap_timestamp; t_ap_cache; t_ap_challenge ]
 
+let json_path = "BENCH_crypto.json"
+
+(* Hand-rolled serialization: the sealed environment has no JSON library,
+   and the schema is one flat object. NaNs (an OLS fit that never
+   converged) are encoded as null. *)
+let write_json rows =
+  let oc = open_out json_path in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc "  %S: { \"ns_per_run\": %s, \"r_square\": %s }%s\n" name
+        (num ns) (num r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
 let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -203,16 +230,24 @@ let () =
       results []
     |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   in
-  print_endline "Benchmark results (OLS fit of monotonic clock vs. runs):";
-  Expframework.Table.print ~header:[ "benchmark"; "time/run"; "r^2" ]
-    (List.map
-       (fun (name, ns, r2) ->
-         let time =
-           if Float.is_nan ns then "n/a"
-           else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-           else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
-           else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
-           else Printf.sprintf "%.1f ns" ns
-         in
-         [ name; time; Printf.sprintf "%.4f" r2 ])
-       rows)
+  if smoke then
+    Printf.printf "bench smoke: %d benchmarks ran (timings not meaningful)\n"
+      (List.length rows)
+  else begin
+    print_endline "Benchmark results (OLS fit of monotonic clock vs. runs):";
+    Expframework.Table.print ~header:[ "benchmark"; "time/run"; "r^2" ]
+      (List.map
+         (fun (name, ns, r2) ->
+           let time =
+             if Float.is_nan ns then "n/a"
+             else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+             else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+             else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+             else Printf.sprintf "%.1f ns" ns
+           in
+           [ name; time; Printf.sprintf "%.4f" r2 ])
+         rows);
+    write_json rows;
+    Printf.printf "machine-readable results: %s\n"
+      (Filename.concat (Sys.getcwd ()) json_path)
+  end

@@ -1,1 +1,1 @@
-lib/core/replay_cache.ml: Crypto Hashtbl List
+lib/core/replay_cache.ml: Bytes Float Hashtbl Sim

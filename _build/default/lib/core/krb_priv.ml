@@ -24,6 +24,28 @@ let direction_byte (s : Session.t) ~sending =
 
 let sched (s : Session.t) = Crypto.Des.schedule (Crypto.Des.fix_parity s.key)
 
+(* Pad-then-encrypt in place, and decrypt into one fresh buffer: the only
+   allocations on the sealing path are the padded plaintext itself. *)
+let encrypt_pcbc k ~iv plain =
+  let buf = Crypto.Mode.pad plain in
+  Crypto.Mode.pcbc_encrypt_into k ~iv ~src:buf ~dst:buf;
+  buf
+
+let encrypt_cbc k ~iv plain =
+  let buf = Crypto.Mode.pad plain in
+  Crypto.Mode.cbc_encrypt_into k ~iv ~src:buf ~dst:buf;
+  buf
+
+let decrypt_pcbc k ~iv ct =
+  let plain = Bytes.create (Bytes.length ct) in
+  Crypto.Mode.pcbc_decrypt_into k ~iv ~src:ct ~dst:plain;
+  Crypto.Mode.unpad plain
+
+let decrypt_cbc k ~iv ct =
+  let plain = Bytes.create (Bytes.length ct) in
+  Crypto.Mode.cbc_decrypt_into k ~iv ~src:ct ~dst:plain;
+  Crypto.Mode.unpad plain
+
 (* Stamp field: timestamp or sequence number, by profile. *)
 let stamp_value (s : Session.t) ~now =
   match s.profile.Profile.priv_replay with
@@ -59,11 +81,10 @@ let seal_v4 s ~now data =
   Wire.Codec.Writer.u32 w s.Session.own_addr;
   Wire.Codec.Writer.i64 w (stamp_value s ~now);
   Wire.Codec.Writer.u8 w (direction_byte s ~sending:true);
-  Crypto.Mode.pcbc_encrypt (sched s) ~iv:Crypto.Mode.zero_iv
-    (Crypto.Mode.pad (Wire.Codec.Writer.contents w))
+  encrypt_pcbc (sched s) ~iv:Crypto.Mode.zero_iv (Wire.Codec.Writer.contents w)
 
 let open_v4 s ~now ct =
-  match Crypto.Mode.unpad (Crypto.Mode.pcbc_decrypt (sched s) ~iv:Crypto.Mode.zero_iv ct) with
+  match decrypt_pcbc (sched s) ~iv:Crypto.Mode.zero_iv ct with
   | None -> Error Garbled
   | Some plain -> (
       match
@@ -105,8 +126,7 @@ let seal_v5 s ~now data =
   Wire.Codec.Writer.i64 w (stamp_value s ~now);
   Wire.Codec.Writer.u8 w (direction_byte s ~sending:true);
   Wire.Codec.Writer.u32 w s.Session.own_addr;
-  Crypto.Mode.cbc_encrypt (sched s) ~iv:Crypto.Mode.zero_iv
-    (Crypto.Mode.pad (Wire.Codec.Writer.contents w))
+  encrypt_cbc (sched s) ~iv:Crypto.Mode.zero_iv (Wire.Codec.Writer.contents w)
 
 let parse_v5_plain s plain =
   let n = Bytes.length plain in
@@ -124,7 +144,7 @@ let parse_v5_plain s plain =
   end
 
 let open_v5 s ~now ct =
-  match Crypto.Mode.unpad (Crypto.Mode.cbc_decrypt (sched s) ~iv:Crypto.Mode.zero_iv ct) with
+  match decrypt_cbc (sched s) ~iv:Crypto.Mode.zero_iv ct with
   | None -> Error Garbled
   | Some plain -> (
       match parse_v5_plain s plain with
@@ -149,13 +169,13 @@ let seal_chain s ~now data =
   (* The digest field is still zero here, so this hashes the zeroed form. *)
   let digest = Crypto.Md4.digest plain in
   Bytes.blit digest 0 plain dlen 16;
-  let ct = Crypto.Mode.cbc_encrypt (sched s) ~iv:s.Session.send_iv (Crypto.Mode.pad plain) in
+  let ct = encrypt_cbc (sched s) ~iv:s.Session.send_iv plain in
   (* Chain: next message continues from this one's last block. *)
   s.Session.send_iv <- Bytes.sub ct (Bytes.length ct - 8) 8;
   ct
 
 let open_chain s ~now ct =
-  match Crypto.Mode.unpad (Crypto.Mode.cbc_decrypt (sched s) ~iv:s.Session.recv_iv ct) with
+  match decrypt_cbc (sched s) ~iv:s.Session.recv_iv ct with
   | None -> Error Garbled
   | Some plain ->
       let n = Bytes.length plain in

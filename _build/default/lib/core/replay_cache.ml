@@ -1,22 +1,56 @@
-type t = { horizon : float; entries : (string, float) Hashtbl.t }
+(* Entries live in a hash table keyed by the raw authenticator bytes (an
+   earlier version keyed on an MD4 hex digest alone, which would conflate
+   two distinct authenticators on a digest collision). Expiry is tracked by
+   a min-heap of (expiry, key) pairs — reusing the discrete-event engine's
+   heap — drained incrementally at the front of every operation, so a
+   sustained insert load costs O(log n) amortized per operation instead of
+   the O(n) full-table sweep the purge-on-every-insert scheme paid.
 
-let create ~horizon = { horizon; entries = Hashtbl.create 64 }
+   The heap uses lazy deletion: a key that expires and is later re-inserted
+   leaves its stale heap entry behind, so a popped entry only evicts the
+   table slot when the slot's recorded expiry has itself passed. A live key
+   is never re-inserted (it reports [Replayed]), so there is at most one
+   heap entry per table entry plus already-popped stragglers. *)
+
+type entry = { expiry : float; ekey : string }
+
+type t = {
+  horizon : float;
+  entries : (string, float) Hashtbl.t; (* key -> expiry *)
+  expq : entry Sim.Heap.t;
+}
+
+let create ~horizon =
+  { horizon;
+    entries = Hashtbl.create 64;
+    expq = Sim.Heap.create ~cmp:(fun a b -> Float.compare a.expiry b.expiry) }
 
 type verdict = Fresh | Replayed
 
+(* Pop every heap entry whose expiry has passed; evict the table slot unless
+   a re-insert refreshed it in the meantime. *)
 let purge t ~now =
-  let stale =
-    Hashtbl.fold (fun k exp acc -> if exp < now then k :: acc else acc) t.entries []
+  let rec drain () =
+    match Sim.Heap.peek t.expq with
+    | Some e when e.expiry < now ->
+        ignore (Sim.Heap.pop t.expq);
+        (match Hashtbl.find_opt t.entries e.ekey with
+        | Some recorded when recorded < now -> Hashtbl.remove t.entries e.ekey
+        | _ -> ());
+        drain ()
+    | _ -> ()
   in
-  List.iter (Hashtbl.remove t.entries) stale
+  drain ()
 
 let check_and_insert t ~now blob =
   purge t ~now;
-  let key = Crypto.Md4.hex_digest blob in
+  let key = Bytes.to_string blob in
   match Hashtbl.find_opt t.entries key with
   | Some _ -> Replayed
   | None ->
-      Hashtbl.replace t.entries key (now +. t.horizon);
+      let expiry = now +. t.horizon in
+      Hashtbl.replace t.entries key expiry;
+      Sim.Heap.push t.expq { expiry; ekey = key };
       Fresh
 
 let size t = Hashtbl.length t.entries

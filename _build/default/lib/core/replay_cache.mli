@@ -5,7 +5,11 @@
     found it awkward. Here the cache is a module servers may or may not be
     configured with (the V4 profile runs without one, faithfully). Entries
     expire after the clock-skew horizon — outside it, the timestamp check
-    itself rejects the authenticator. *)
+    itself rejects the authenticator.
+
+    Expiry is tracked by a min-heap drained incrementally, so sustained
+    insert load costs O(log n) amortized per operation rather than a full
+    table sweep per insert. *)
 
 type t
 
@@ -14,7 +18,8 @@ val create : horizon:float -> t
 type verdict = Fresh | Replayed
 
 val check_and_insert : t -> now:float -> bytes -> verdict
-(** Keyed by a digest of the authenticator ciphertext. [Fresh] inserts. *)
+(** Keyed by the raw authenticator ciphertext (not a digest, so two
+    distinct authenticators can never be conflated). [Fresh] inserts. *)
 
 val size : t -> int
 (** Live entries (after purging), the server-state cost measured in E14. *)

@@ -9,7 +9,9 @@ let seal scheme rng ~key plaintext =
   let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
   match scheme with
   | Pcbc_raw ->
-      Crypto.Mode.pcbc_encrypt k ~iv:Crypto.Mode.zero_iv (Crypto.Mode.pad plaintext)
+      let buf = Crypto.Mode.pad plaintext in
+      Crypto.Mode.pcbc_encrypt_into k ~iv:Crypto.Mode.zero_iv ~src:buf ~dst:buf;
+      buf
   | Cbc_confounder kind ->
       let confounder = Util.Rng.bytes rng 8 in
       let cksum_size = Crypto.Checksum.size kind in
@@ -20,7 +22,9 @@ let seal scheme rng ~key plaintext =
       in
       let cksum = Crypto.Checksum.compute kind ~key body in
       Bytes.blit cksum 0 body 8 cksum_size;
-      Crypto.Mode.cbc_encrypt k ~iv:Crypto.Mode.zero_iv (Crypto.Mode.pad body)
+      let buf = Crypto.Mode.pad body in
+      Crypto.Mode.cbc_encrypt_into k ~iv:Crypto.Mode.zero_iv ~src:buf ~dst:buf;
+      buf
 
 let open_ scheme ~key ciphertext =
   let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
@@ -29,11 +33,15 @@ let open_ scheme ~key ciphertext =
   else
     match scheme with
     | Pcbc_raw -> (
-        match Crypto.Mode.unpad (Crypto.Mode.pcbc_decrypt k ~iv:Crypto.Mode.zero_iv ciphertext) with
+        let plain = Bytes.create (Bytes.length ciphertext) in
+        Crypto.Mode.pcbc_decrypt_into k ~iv:Crypto.Mode.zero_iv ~src:ciphertext ~dst:plain;
+        match Crypto.Mode.unpad plain with
         | Some b -> Ok b
         | None -> Error "bad padding")
     | Cbc_confounder kind -> (
-        match Crypto.Mode.unpad (Crypto.Mode.cbc_decrypt k ~iv:Crypto.Mode.zero_iv ciphertext) with
+        let plain = Bytes.create (Bytes.length ciphertext) in
+        Crypto.Mode.cbc_decrypt_into k ~iv:Crypto.Mode.zero_iv ~src:ciphertext ~dst:plain;
+        match Crypto.Mode.unpad plain with
         | None -> Error "bad padding"
         | Some body ->
             let cksum_size = Crypto.Checksum.size kind in

@@ -1,1 +1,1 @@
-lib/crypto/mode.ml: Bytes Char Des Util
+lib/crypto/mode.ml: Bytes Char Des

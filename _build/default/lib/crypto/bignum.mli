@@ -48,7 +48,7 @@ val num_bits : t -> int
 (** Position of the highest set bit plus one; 0 for zero. *)
 
 val mod_pow : base:t -> exp:t -> modulus:t -> t
-(** Square-and-multiply modular exponentiation. *)
+(** Sliding-window (4-bit) modular exponentiation. *)
 
 val mod_mul : t -> t -> modulus:t -> t
 

@@ -1,12 +1,16 @@
 (** The Data Encryption Standard (FIPS 46), the cipher Kerberos V4 and the
     V5 drafts are built on.
 
-    Blocks and keys are 8 bytes. The implementation is a straightforward
-    table-driven Feistel network; it is validated in the test suite against
-    the classic NBS known-answer vectors. *)
+    Blocks and keys are 8 bytes. The hot path is table-driven — the S-box
+    and P permutations are fused into eight precomputed SP tables, the E
+    expansion is a shift/mask window, and IP/FP are five-step bit-swap
+    networks — and is validated in the test suite against the classic NBS
+    known-answer vectors and against the bit-by-bit {!Reference}
+    implementation. *)
 
 type key
-(** A scheduled key (the 16 48-bit subkeys). *)
+(** A scheduled key (the 16 48-bit subkeys, in both encrypt and decrypt
+    order). *)
 
 val block_size : int
 (** 8. *)
@@ -24,6 +28,30 @@ val encrypt_block : key -> bytes -> bytes
 
 val decrypt_block : key -> bytes -> bytes
 (** [decrypt_block k b] deciphers one 8-byte block. *)
+
+val encrypt_block_i64 : key -> int64 -> int64
+(** [encrypt_block_i64 k b] enciphers one block held as a big-endian int64
+    (bit 63 is the block's first bit), with no [bytes] round-trip. *)
+
+val decrypt_block_i64 : key -> int64 -> int64
+
+type halves = { mutable hi : int; mutable lo : int }
+(** One block as two 32-bit words ([hi] first). A scratch cell the block
+    modes allocate once per call and reuse for every block. *)
+
+val encrypt_halves : key -> halves -> unit
+(** [encrypt_halves k st] enciphers the block in [st] in place. Allocates
+    nothing; this is the hot entry point the streaming modes are built on. *)
+
+val decrypt_halves : key -> halves -> unit
+
+module Reference : sig
+  val encrypt_block : key -> bytes -> bytes
+  val decrypt_block : key -> bytes -> bytes
+end
+(** The original permute-per-round implementation, kept as the oracle that
+    pins the table-driven path to the old semantics in the property tests.
+    Roughly 30x slower; never used outside the test suite. *)
 
 val fix_parity : bytes -> bytes
 (** [fix_parity k] returns a copy with each byte's low bit set to give odd

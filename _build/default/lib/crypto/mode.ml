@@ -1,3 +1,9 @@
+(* All three modes stream over the input with one reusable scratch cell
+   ([Des.halves]) and write ciphertext straight into the destination buffer:
+   no per-block [Bytes.sub] or xor temporaries. The [*_into] variants are
+   the primitive; the allocating functions wrap them, and sealing layers
+   (Seal, Krb_priv) call them in place on freshly padded buffers. *)
+
 let block = Des.block_size
 
 let pad b =
@@ -21,95 +27,142 @@ let unpad b =
       done;
       if !ok then Some (Bytes.sub b 0 (n - padlen)) else None
 
-let check_blocks name b =
-  if Bytes.length b mod block <> 0 then
-    invalid_arg (name ^ ": input not a multiple of the block size")
+let check_into name ~src ~dst =
+  if Bytes.length src mod block <> 0 then
+    invalid_arg (name ^ ": input not a multiple of the block size");
+  if Bytes.length dst <> Bytes.length src then
+    invalid_arg (name ^ ": src and dst lengths differ")
 
 let check_iv iv =
   if Bytes.length iv <> block then invalid_arg "Mode: IV must be 8 bytes"
 
-let map_blocks f b =
-  let n = Bytes.length b in
-  let out = Bytes.create n in
-  let i = ref 0 in
-  while !i < n do
-    Bytes.blit (f (Bytes.sub b !i block)) 0 out !i block;
-    i := !i + block
-  done;
-  out
+(* 32-bit big-endian words via the uint16 accessors, which traffic in
+   immediate ints (get_int32_be would box an Int32 per read). *)
+let get32 b pos = (Bytes.get_uint16_be b pos lsl 16) lor Bytes.get_uint16_be b (pos + 2)
 
-let ecb_encrypt key b =
-  check_blocks "ecb_encrypt" b;
-  map_blocks (Des.encrypt_block key) b
+let set32 b pos v =
+  Bytes.set_uint16_be b pos (v lsr 16);
+  Bytes.set_uint16_be b (pos + 2) (v land 0xffff)
 
-let ecb_decrypt key b =
-  check_blocks "ecb_decrypt" b;
-  map_blocks (Des.decrypt_block key) b
+let ecb_encrypt_into key ~src ~dst =
+  check_into "ecb_encrypt" ~src ~dst;
+  let st = { Des.hi = 0; lo = 0 } in
+  let n = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < n do
+    st.Des.hi <- get32 src !pos;
+    st.Des.lo <- get32 src (!pos + 4);
+    Des.encrypt_halves key st;
+    set32 dst !pos st.Des.hi;
+    set32 dst (!pos + 4) st.Des.lo;
+    pos := !pos + block
+  done
 
-let cbc_encrypt key ~iv b =
-  check_blocks "cbc_encrypt" b;
+let ecb_decrypt_into key ~src ~dst =
+  check_into "ecb_decrypt" ~src ~dst;
+  let st = { Des.hi = 0; lo = 0 } in
+  let n = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < n do
+    st.Des.hi <- get32 src !pos;
+    st.Des.lo <- get32 src (!pos + 4);
+    Des.decrypt_halves key st;
+    set32 dst !pos st.Des.hi;
+    set32 dst (!pos + 4) st.Des.lo;
+    pos := !pos + block
+  done
+
+let cbc_encrypt_into key ~iv ~src ~dst =
+  check_into "cbc_encrypt" ~src ~dst;
   check_iv iv;
-  let n = Bytes.length b in
-  let out = Bytes.create n in
-  let prev = ref iv in
-  let i = ref 0 in
-  while !i < n do
-    let p = Bytes.sub b !i block in
-    let c = Des.encrypt_block key (Util.Bytesutil.xor p !prev) in
-    Bytes.blit c 0 out !i block;
-    prev := c;
-    i := !i + block
-  done;
-  out
+  let st = { Des.hi = 0; lo = 0 } in
+  let n = Bytes.length src in
+  let rec go pos chi clo =
+    if pos < n then begin
+      st.Des.hi <- get32 src pos lxor chi;
+      st.Des.lo <- get32 src (pos + 4) lxor clo;
+      Des.encrypt_halves key st;
+      set32 dst pos st.Des.hi;
+      set32 dst (pos + 4) st.Des.lo;
+      go (pos + block) st.Des.hi st.Des.lo
+    end
+  in
+  go 0 (get32 iv 0) (get32 iv 4)
 
-let cbc_decrypt key ~iv b =
-  check_blocks "cbc_decrypt" b;
+let cbc_decrypt_into key ~iv ~src ~dst =
+  check_into "cbc_decrypt" ~src ~dst;
   check_iv iv;
-  let n = Bytes.length b in
-  let out = Bytes.create n in
-  let prev = ref iv in
-  let i = ref 0 in
-  while !i < n do
-    let c = Bytes.sub b !i block in
-    let p = Util.Bytesutil.xor (Des.decrypt_block key c) !prev in
-    Bytes.blit p 0 out !i block;
-    prev := c;
-    i := !i + block
-  done;
-  out
+  let st = { Des.hi = 0; lo = 0 } in
+  let n = Bytes.length src in
+  let rec go pos chi clo =
+    if pos < n then begin
+      (* Read the ciphertext block before writing: dst may alias src. *)
+      let c0 = get32 src pos and c1 = get32 src (pos + 4) in
+      st.Des.hi <- c0;
+      st.Des.lo <- c1;
+      Des.decrypt_halves key st;
+      set32 dst pos (st.Des.hi lxor chi);
+      set32 dst (pos + 4) (st.Des.lo lxor clo);
+      go (pos + block) c0 c1
+    end
+  in
+  go 0 (get32 iv 0) (get32 iv 4)
 
 (* PCBC: C_i = E(P_i xor P_{i-1} xor C_{i-1}), seeding P_0 xor C_0 with the
    IV. Kerberos V4's "propagating" mode. *)
-let pcbc_encrypt key ~iv b =
-  check_blocks "pcbc_encrypt" b;
+let pcbc_encrypt_into key ~iv ~src ~dst =
+  check_into "pcbc_encrypt" ~src ~dst;
   check_iv iv;
-  let n = Bytes.length b in
-  let out = Bytes.create n in
-  let feed = ref iv in
-  let i = ref 0 in
-  while !i < n do
-    let p = Bytes.sub b !i block in
-    let c = Des.encrypt_block key (Util.Bytesutil.xor p !feed) in
-    Bytes.blit c 0 out !i block;
-    feed := Util.Bytesutil.xor p c;
-    i := !i + block
-  done;
+  let st = { Des.hi = 0; lo = 0 } in
+  let n = Bytes.length src in
+  let rec go pos fhi flo =
+    if pos < n then begin
+      let p0 = get32 src pos and p1 = get32 src (pos + 4) in
+      st.Des.hi <- p0 lxor fhi;
+      st.Des.lo <- p1 lxor flo;
+      Des.encrypt_halves key st;
+      set32 dst pos st.Des.hi;
+      set32 dst (pos + 4) st.Des.lo;
+      go (pos + block) (p0 lxor st.Des.hi) (p1 lxor st.Des.lo)
+    end
+  in
+  go 0 (get32 iv 0) (get32 iv 4)
+
+let pcbc_decrypt_into key ~iv ~src ~dst =
+  check_into "pcbc_decrypt" ~src ~dst;
+  check_iv iv;
+  let st = { Des.hi = 0; lo = 0 } in
+  let n = Bytes.length src in
+  let rec go pos fhi flo =
+    if pos < n then begin
+      let c0 = get32 src pos and c1 = get32 src (pos + 4) in
+      st.Des.hi <- c0;
+      st.Des.lo <- c1;
+      Des.decrypt_halves key st;
+      let p0 = st.Des.hi lxor fhi and p1 = st.Des.lo lxor flo in
+      set32 dst pos p0;
+      set32 dst (pos + 4) p1;
+      go (pos + block) (p0 lxor c0) (p1 lxor c1)
+    end
+  in
+  go 0 (get32 iv 0) (get32 iv 4)
+
+let fresh f key b =
+  let out = Bytes.create (Bytes.length b) in
+  f key ~src:b ~dst:out;
   out
 
-let pcbc_decrypt key ~iv b =
-  check_blocks "pcbc_decrypt" b;
-  check_iv iv;
-  let n = Bytes.length b in
-  let out = Bytes.create n in
-  let feed = ref iv in
-  let i = ref 0 in
-  while !i < n do
-    let c = Bytes.sub b !i block in
-    let p = Util.Bytesutil.xor (Des.decrypt_block key c) !feed in
-    Bytes.blit p 0 out !i block;
-    feed := Util.Bytesutil.xor p c;
-    i := !i + block
-  done;
+let ecb_encrypt key b = fresh ecb_encrypt_into key b
+let ecb_decrypt key b = fresh ecb_decrypt_into key b
+
+let fresh_iv f key ~iv b =
+  let out = Bytes.create (Bytes.length b) in
+  f key ~iv ~src:b ~dst:out;
   out
+
+let cbc_encrypt key ~iv b = fresh_iv cbc_encrypt_into key ~iv b
+let cbc_decrypt key ~iv b = fresh_iv cbc_decrypt_into key ~iv b
+let pcbc_encrypt key ~iv b = fresh_iv pcbc_encrypt_into key ~iv b
+let pcbc_decrypt key ~iv b = fresh_iv pcbc_decrypt_into key ~iv b
 
 let zero_iv = Bytes.make block '\000'

@@ -10,7 +10,13 @@
       garbles only those blocks) the paper also discusses.
 
     All functions require the input length to be a multiple of 8; use [pad]
-    / [unpad] for arbitrary-length payloads. *)
+    / [unpad] for arbitrary-length payloads.
+
+    Each mode comes in two forms: an allocating one returning fresh bytes,
+    and an [*_into] primitive that streams [src] to [dst] with a single
+    reusable scratch block and no per-block allocation. [dst] may be [src]
+    (in-place transformation); the sealing layers exploit this to encrypt
+    freshly padded buffers without another copy. *)
 
 val pad : bytes -> bytes
 (** [pad b] appends 1–8 bytes of padding, each holding the pad length, so
@@ -27,6 +33,18 @@ val cbc_decrypt : Des.key -> iv:bytes -> bytes -> bytes
 
 val pcbc_encrypt : Des.key -> iv:bytes -> bytes -> bytes
 val pcbc_decrypt : Des.key -> iv:bytes -> bytes -> bytes
+
+val ecb_encrypt_into : Des.key -> src:bytes -> dst:bytes -> unit
+val ecb_decrypt_into : Des.key -> src:bytes -> dst:bytes -> unit
+
+val cbc_encrypt_into : Des.key -> iv:bytes -> src:bytes -> dst:bytes -> unit
+val cbc_decrypt_into : Des.key -> iv:bytes -> src:bytes -> dst:bytes -> unit
+
+val pcbc_encrypt_into : Des.key -> iv:bytes -> src:bytes -> dst:bytes -> unit
+val pcbc_decrypt_into : Des.key -> iv:bytes -> src:bytes -> dst:bytes -> unit
+(** The streaming primitives. [src] and [dst] must have equal lengths, a
+    multiple of the block size; [dst] may alias [src].
+    @raise Invalid_argument on length mismatch or a bad IV. *)
 
 val zero_iv : bytes
 (** The all-zero IV — "assume the initial vector is fixed and public", as the

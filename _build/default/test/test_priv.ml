@@ -340,8 +340,42 @@ let cache_prop =
           verdict = expected)
         ids)
 
+let cache_no_conflation_prop =
+  (* The cache must key on the raw authenticator bytes, never on a digest of
+     them: two distinct blobs — however similar — must each be Fresh on
+     first sight and must not evict or shadow one another. (The old digest
+     keying meant a checksum collision silently conflated two distinct
+     authenticators.) *)
+  QCheck.Test.make ~name:"distinct blobs are never conflated" ~count:300
+    QCheck.(pair (bytes_of_size (Gen.int_range 0 64)) (bytes_of_size (Gen.int_range 0 64)))
+    (fun (b1, b2) ->
+      QCheck.assume (not (Bytes.equal b1 b2));
+      let c = Replay_cache.create ~horizon:100.0 in
+      Replay_cache.check_and_insert c ~now:0.0 b1 = Replay_cache.Fresh
+      && Replay_cache.check_and_insert c ~now:1.0 b2 = Replay_cache.Fresh
+      && Replay_cache.check_and_insert c ~now:2.0 b1 = Replay_cache.Replayed
+      && Replay_cache.check_and_insert c ~now:3.0 b2 = Replay_cache.Replayed
+      && Replay_cache.size c = 2)
+
+let cache_mutation_safe () =
+  (* The caller may reuse its buffer after the call; the cache must have
+     captured the contents, not the reference. *)
+  let c = Replay_cache.create ~horizon:100.0 in
+  let b = Bytes.of_string "authenticator-A" in
+  Alcotest.(check bool) "first" true
+    (Replay_cache.check_and_insert c ~now:0.0 b = Replay_cache.Fresh);
+  Bytes.set b 14 'B';
+  Alcotest.(check bool) "mutated buffer is a different authenticator" true
+    (Replay_cache.check_and_insert c ~now:1.0 b = Replay_cache.Fresh);
+  Alcotest.(check bool) "original contents still remembered" true
+    (Replay_cache.check_and_insert c ~now:2.0 (Bytes.of_string "authenticator-A")
+     = Replay_cache.Replayed)
+
 let suite_cache =
-  [ Alcotest.test_case "basics" `Quick cache_basics; QCheck_alcotest.to_alcotest cache_prop ]
+  [ Alcotest.test_case "basics" `Quick cache_basics;
+    QCheck_alcotest.to_alcotest cache_prop;
+    QCheck_alcotest.to_alcotest cache_no_conflation_prop;
+    Alcotest.test_case "buffer mutation safety" `Quick cache_mutation_safe ]
 
 let () =
   Alcotest.run "priv-safe"

@@ -146,41 +146,144 @@ let bit (a : t) i =
   let limb = i / limb_bits and off = i mod limb_bits in
   limb < Array.length a && (a.(limb) lsr off) land 1 = 1
 
-(* Binary long division: O(bits * limbs), fine at the 512-bit scale this
-   repository needs. *)
+(* Limb-wise schoolbook division (Knuth TAOCP vol. 2, Algorithm D): O(limbs
+   of quotient * limbs of divisor), versus O(bits * limbs) for the binary
+   long division it replaced — the difference between a 521-bit modular
+   reduction costing ~1000 limb passes and ~20. All intermediates fit the
+   63-bit native int: two-limb numerators and limb*limb products stay under
+   2^53. *)
 let divmod (a : t) (b : t) =
   if is_zero b then raise Division_by_zero;
   if compare a b < 0 then (zero, a)
   else begin
-    let nbits = num_bits a in
-    let q = Array.make (Array.length a) 0 in
-    let r = ref zero in
-    for i = nbits - 1 downto 0 do
-      r := shift_left !r 1;
-      if bit a i then r := add !r one;
-      if compare !r b >= 0 then begin
-        r := sub !r b;
-        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
-      end
-    done;
-    (normalize q, !r)
+    let nb = Array.length b in
+    if nb = 1 then begin
+      (* Short division by a single limb. *)
+      let d = b.(0) in
+      let na = Array.length a in
+      let q = Array.make na 0 in
+      let r = ref 0 in
+      for i = na - 1 downto 0 do
+        let cur = (!r lsl limb_bits) lor a.(i) in
+        q.(i) <- cur / d;
+        r := cur mod d
+      done;
+      (normalize q, normalize [| !r |])
+    end
+    else begin
+      (* D1: normalize so the divisor's top limb has its high bit set; the
+         quotient-digit estimate from the top two limbs is then off by at
+         most 2. *)
+      let width v =
+        let rec go v = if v = 0 then 0 else 1 + go (v lsr 1) in
+        go v
+      in
+      let shift = limb_bits - width b.(nb - 1) in
+      let v = if shift = 0 then b else shift_left b shift in
+      let na = Array.length a in
+      let u = Array.make (na + 2) 0 in
+      let a' = shift_left a shift in
+      Array.blit a' 0 u 0 (Array.length a');
+      let m = na - nb in
+      let q = Array.make (m + 1) 0 in
+      let vtop = v.(nb - 1) and vsec = v.(nb - 2) in
+      for j = m downto 0 do
+        (* D3: estimate the quotient digit from the top two limbs, then
+           correct it with the third. *)
+        let num = (u.(j + nb) lsl limb_bits) lor u.(j + nb - 1) in
+        let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+        let adjusting = ref true in
+        while !adjusting do
+          if
+            !qhat >= limb_base
+            || !qhat * vsec > (!rhat lsl limb_bits) lor u.(j + nb - 2)
+          then begin
+            decr qhat;
+            rhat := !rhat + vtop;
+            if !rhat >= limb_base then adjusting := false
+          end
+          else adjusting := false
+        done;
+        (* D4: multiply and subtract. *)
+        let carry = ref 0 and borrow = ref 0 in
+        for i = 0 to nb - 1 do
+          let p = (!qhat * v.(i)) + !carry in
+          carry := p lsr limb_bits;
+          let d = u.(i + j) - (p land limb_mask) - !borrow in
+          if d < 0 then begin
+            u.(i + j) <- d + limb_base;
+            borrow := 1
+          end
+          else begin
+            u.(i + j) <- d;
+            borrow := 0
+          end
+        done;
+        let d = u.(j + nb) - !carry - !borrow in
+        u.(j + nb) <- d land limb_mask;
+        if d >= 0 then q.(j) <- !qhat
+        else begin
+          (* D6: the estimate was one too high; add the divisor back. *)
+          q.(j) <- !qhat - 1;
+          let c = ref 0 in
+          for i = 0 to nb - 1 do
+            let s = u.(i + j) + v.(i) + !c in
+            u.(i + j) <- s land limb_mask;
+            c := s lsr limb_bits
+          done;
+          u.(j + nb) <- (u.(j + nb) + !c) land limb_mask
+        end
+      done;
+      let r = normalize (Array.sub u 0 nb) in
+      (normalize q, if shift = 0 then r else shift_right r shift)
+    end
   end
 
 let rem a b = snd (divmod a b)
 
 let mod_mul a b ~modulus = rem (mul a b) modulus
 
+(* Sliding-window exponentiation, 4-bit windows: precompute the eight odd
+   powers b^1, b^3, ..., b^15 and consume the exponent MSB-first, squaring
+   per bit and multiplying once per window — about 1.2 multiplies per
+   exponent bit instead of the 1.5 of square-and-multiply. *)
 let mod_pow ~base ~exp ~modulus =
   if equal modulus one then zero
   else begin
-    let result = ref one in
-    let b = ref (rem base modulus) in
     let n = num_bits exp in
-    for i = 0 to n - 1 do
-      if bit exp i then result := mod_mul !result !b ~modulus;
-      if i < n - 1 then b := mod_mul !b !b ~modulus
-    done;
-    !result
+    if n = 0 then one
+    else begin
+      let b = rem base modulus in
+      let b2 = mod_mul b b ~modulus in
+      let odd_pows = Array.make 8 b in
+      for i = 1 to 7 do
+        odd_pows.(i) <- mod_mul odd_pows.(i - 1) b2 ~modulus
+      done;
+      let result = ref one in
+      let i = ref (n - 1) in
+      while !i >= 0 do
+        if not (bit exp !i) then begin
+          result := mod_mul !result !result ~modulus;
+          decr i
+        end
+        else begin
+          (* Window [l, i]: at most 4 bits, ending on a set bit so the
+             window value is odd. *)
+          let l = ref (max 0 (!i - 3)) in
+          while not (bit exp !l) do incr l done;
+          let v = ref 0 in
+          for j = !i downto !l do
+            v := (!v lsl 1) lor (if bit exp j then 1 else 0)
+          done;
+          for _ = !l to !i do
+            result := mod_mul !result !result ~modulus
+          done;
+          result := mod_mul !result odd_pows.(!v lsr 1) ~modulus;
+          i := !l - 1
+        end
+      done;
+      !result
+    end
   end
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)

@@ -41,10 +41,51 @@ let des_parity () =
   Alcotest.(check bool) "weak" true (Crypto.Des.is_weak (hex "0101010101010101"));
   Alcotest.(check bool) "not weak" false (Crypto.Des.is_weak (hex "133457799bbcdff1"))
 
+let des_nbs_variable_key () =
+  (* First entries of the NBS variable-key known-answer test: key has one
+     non-parity bit set, plaintext all-zero. *)
+  let zero = hex "0000000000000000" in
+  List.iter
+    (fun (k, expect) ->
+      check_hex ("key " ^ k) expect
+        (Crypto.Des.encrypt_block (Crypto.Des.schedule (hex k)) zero);
+      check_hex ("key " ^ k ^ " decrypt") "0000000000000000"
+        (Crypto.Des.decrypt_block (Crypto.Des.schedule (hex k)) (hex expect)))
+    [ ("8001010101010101", "95a8d72813daa94d");
+      ("4001010101010101", "0eec1487dd8c26d5");
+      ("2001010101010101", "7ad16ffb79c45926");
+      ("1001010101010101", "d3746294ca6a6cf3") ]
+
+let des_nbs_substitution () =
+  (* First entries of the NBS substitution-table known-answer test. *)
+  List.iter
+    (fun (k, p, c) ->
+      let sched = Crypto.Des.schedule (hex k) in
+      check_hex ("encrypt " ^ p) c (Crypto.Des.encrypt_block sched (hex p));
+      check_hex ("decrypt " ^ c) p (Crypto.Des.decrypt_block sched (hex c)))
+    [ ("7ca110454a1a6e57", "01a1d6d039776742", "690f5b0d9a26939b");
+      ("0131d9619dc1376e", "5cd54ca83def57da", "7a389d10354bd271");
+      ("07a1133e4a0b2686", "0248d43806f67172", "868ebb51cab4599a");
+      ("3849674c2602319e", "51454b582ddf440a", "7178876e01f19b2a") ]
+
+let des_parity_ignored_prop =
+  (* The schedule must ignore parity bits (the low bit of each byte), so a
+     key and its parity-fixed form — and the weak-key variants thereof —
+     encipher identically. *)
+  QCheck.Test.make ~name:"schedule ignores parity bits" ~count:200
+    QCheck.(pair (bytes_of_size (QCheck.Gen.return 8)) (bytes_of_size (QCheck.Gen.return 8)))
+    (fun (key, block) ->
+      let k1 = Crypto.Des.schedule key in
+      let k2 = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+      Bytes.equal (Crypto.Des.encrypt_block k1 block) (Crypto.Des.encrypt_block k2 block))
+
 let suite_des =
   [ Alcotest.test_case "classic vector" `Quick des_classic;
     Alcotest.test_case "nbs variable plaintext" `Quick des_nbs_variable_plaintext;
+    Alcotest.test_case "nbs variable key" `Quick des_nbs_variable_key;
+    Alcotest.test_case "nbs substitution table" `Quick des_nbs_substitution;
     Alcotest.test_case "parity and weak keys" `Quick des_parity;
+    QCheck_alcotest.to_alcotest des_parity_ignored_prop;
     QCheck_alcotest.to_alcotest des_roundtrip_prop ]
 
 (* ------------------------------------------------------------------ *)
@@ -131,6 +172,137 @@ let suite_modes =
     Alcotest.test_case "pcbc block swap locality" `Quick pcbc_blockswap;
     Alcotest.test_case "cbc block swap propagates" `Quick cbc_blockswap_propagates;
     QCheck_alcotest.to_alcotest pad_unpad_prop ]
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: the table-driven core and the streaming modes must     *)
+(* compute exactly what the original permute-per-round code computed.  *)
+(* ------------------------------------------------------------------ *)
+
+let block_equiv_prop =
+  QCheck.Test.make ~name:"table-driven DES matches reference" ~count:300
+    QCheck.(pair (bytes_of_size (Gen.return 8)) (bytes_of_size (Gen.return 8)))
+    (fun (key, block) ->
+      let k = Crypto.Des.schedule key in
+      let ct = Crypto.Des.encrypt_block k block in
+      Bytes.equal ct (Crypto.Des.Reference.encrypt_block k block)
+      && Bytes.equal block (Crypto.Des.Reference.decrypt_block k ct)
+      && Bytes.equal block (Crypto.Des.decrypt_block k ct))
+
+let i64_entry_points () =
+  let rng = Util.Rng.create 99L in
+  for _ = 1 to 100 do
+    let k = Crypto.Des.schedule (Util.Rng.bytes rng 8) in
+    let block = Util.Rng.bytes rng 8 in
+    let v = Bytes.get_int64_be block 0 in
+    let ct = Crypto.Des.encrypt_block k block in
+    Alcotest.(check int64) "encrypt_block_i64 agrees with bytes entry point"
+      (Bytes.get_int64_be ct 0)
+      (Crypto.Des.encrypt_block_i64 k v);
+    Alcotest.(check int64) "decrypt_block_i64 inverts" v
+      (Crypto.Des.decrypt_block_i64 k (Bytes.get_int64_be ct 0))
+  done
+
+(* Reference implementations of the three modes, composed block-by-block
+   from [Des.Reference] exactly as the original allocating code did. *)
+
+let xor8 a b =
+  let out = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set out i
+      (Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+  done;
+  out
+
+let ref_ecb_encrypt k pt =
+  let out = Bytes.create (Bytes.length pt) in
+  for i = 0 to (Bytes.length pt / 8) - 1 do
+    let c = Crypto.Des.Reference.encrypt_block k (Bytes.sub pt (i * 8) 8) in
+    Bytes.blit c 0 out (i * 8) 8
+  done;
+  out
+
+let ref_cbc_encrypt k ~iv pt =
+  let out = Bytes.create (Bytes.length pt) in
+  let chain = ref iv in
+  for i = 0 to (Bytes.length pt / 8) - 1 do
+    let p = Bytes.sub pt (i * 8) 8 in
+    let c = Crypto.Des.Reference.encrypt_block k (xor8 p !chain) in
+    Bytes.blit c 0 out (i * 8) 8;
+    chain := c
+  done;
+  out
+
+let ref_pcbc_encrypt k ~iv pt =
+  let out = Bytes.create (Bytes.length pt) in
+  let chain = ref iv in
+  for i = 0 to (Bytes.length pt / 8) - 1 do
+    let p = Bytes.sub pt (i * 8) 8 in
+    let c = Crypto.Des.Reference.encrypt_block k (xor8 p !chain) in
+    Bytes.blit c 0 out (i * 8) 8;
+    chain := xor8 p c
+  done;
+  out
+
+let check_buf name expect got =
+  Alcotest.(check bool) name true (Bytes.equal expect got)
+
+let modes_equiv_all_lengths () =
+  (* Every block-aligned length from 8 to 1024: the streaming modes agree
+     with the reference composition, decryption inverts, and the in-place
+     [_into] form (dst == src) computes the same bytes. *)
+  let rng = Util.Rng.create 4242L in
+  let k = Crypto.Des.schedule (Crypto.Des.random_key rng) in
+  let iv = Util.Rng.bytes rng 8 in
+  let len = ref 8 in
+  while !len <= 1024 do
+    let pt = Util.Rng.bytes rng !len in
+    let tag mode = Printf.sprintf "%s len=%d" mode !len in
+    let ct_ecb = Crypto.Mode.ecb_encrypt k pt in
+    check_buf (tag "ecb equiv") (ref_ecb_encrypt k pt) ct_ecb;
+    check_buf (tag "ecb roundtrip") pt (Crypto.Mode.ecb_decrypt k ct_ecb);
+    let buf = Bytes.copy pt in
+    Crypto.Mode.ecb_encrypt_into k ~src:buf ~dst:buf;
+    check_buf (tag "ecb in-place encrypt") ct_ecb buf;
+    Crypto.Mode.ecb_decrypt_into k ~src:buf ~dst:buf;
+    check_buf (tag "ecb in-place decrypt") pt buf;
+    let ct_cbc = Crypto.Mode.cbc_encrypt k ~iv pt in
+    check_buf (tag "cbc equiv") (ref_cbc_encrypt k ~iv pt) ct_cbc;
+    check_buf (tag "cbc roundtrip") pt (Crypto.Mode.cbc_decrypt k ~iv ct_cbc);
+    let buf = Bytes.copy pt in
+    Crypto.Mode.cbc_encrypt_into k ~iv ~src:buf ~dst:buf;
+    check_buf (tag "cbc in-place encrypt") ct_cbc buf;
+    Crypto.Mode.cbc_decrypt_into k ~iv ~src:buf ~dst:buf;
+    check_buf (tag "cbc in-place decrypt") pt buf;
+    let ct_pcbc = Crypto.Mode.pcbc_encrypt k ~iv pt in
+    check_buf (tag "pcbc equiv") (ref_pcbc_encrypt k ~iv pt) ct_pcbc;
+    check_buf (tag "pcbc roundtrip") pt (Crypto.Mode.pcbc_decrypt k ~iv ct_pcbc);
+    let buf = Bytes.copy pt in
+    Crypto.Mode.pcbc_encrypt_into k ~iv ~src:buf ~dst:buf;
+    check_buf (tag "pcbc in-place encrypt") ct_pcbc buf;
+    Crypto.Mode.pcbc_decrypt_into k ~iv ~src:buf ~dst:buf;
+    check_buf (tag "pcbc in-place decrypt") pt buf;
+    len := !len + 8
+  done
+
+let into_rejects_bad_lengths () =
+  let k = sched in
+  let raises f = match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "non-multiple of 8" true
+    (raises (fun () ->
+         Crypto.Mode.ecb_encrypt_into k ~src:(Bytes.create 12) ~dst:(Bytes.create 12)));
+  Alcotest.(check bool) "length mismatch" true
+    (raises (fun () ->
+         Crypto.Mode.cbc_encrypt_into k ~iv ~src:(Bytes.create 16) ~dst:(Bytes.create 8)))
+
+let suite_equiv =
+  [ QCheck_alcotest.to_alcotest block_equiv_prop;
+    Alcotest.test_case "i64 entry points" `Quick i64_entry_points;
+    Alcotest.test_case "modes equiv + roundtrip, lengths 8..1024" `Quick
+      modes_equiv_all_lengths;
+    Alcotest.test_case "_into rejects bad lengths" `Quick into_rejects_bad_lengths ]
 
 (* ------------------------------------------------------------------ *)
 (* CRC-32                                                              *)
@@ -541,7 +713,8 @@ let suite_deep =
 
 let () =
   Alcotest.run "crypto"
-    [ ("des", suite_des); ("modes", suite_modes); ("crc32", suite_crc);
+    [ ("des", suite_des); ("modes", suite_modes); ("equiv", suite_equiv);
+      ("crc32", suite_crc);
       ("md4", suite_md4); ("str2key", suite_s2k); ("checksum", suite_checksum);
       ("bignum", suite_bignum); ("dh", suite_dh); ("prf", suite_prf);
       ("deep", suite_deep) ]
