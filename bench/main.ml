@@ -94,25 +94,27 @@ let t_cache =
 
 (* --- whole protocol exchanges per profile (simulated end-to-end) --- *)
 
+let full_session (profile : Profile.t) =
+  let bed = Attacks.Testbed.make ~profile () in
+  let ok = ref false in
+  Client.login bed.victim ~password:bed.victim_password (fun r ->
+      ignore (Attacks.Testbed.expect "login" r);
+      Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
+          let creds = Attacks.Testbed.expect "ticket" r in
+          Client.ap_exchange bed.victim creds
+            ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
+            (fun r ->
+              let chan = Attacks.Testbed.expect "ap" r in
+              Client.call_priv bed.victim chan (Bytes.of_string "LIST")
+                ~k:(fun r ->
+                  ignore (Attacks.Testbed.expect "priv" r);
+                  ok := true))));
+  Attacks.Testbed.run bed;
+  assert !ok
+
 let session_test (profile : Profile.t) =
   Test.make ~name:("protocol/full-session-" ^ profile.Profile.name)
-    (Staged.stage (fun () ->
-         let bed = Attacks.Testbed.make ~profile () in
-         let ok = ref false in
-         Client.login bed.victim ~password:bed.victim_password (fun r ->
-             ignore (Attacks.Testbed.expect "login" r);
-             Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
-                 let creds = Attacks.Testbed.expect "ticket" r in
-                 Client.ap_exchange bed.victim creds
-                   ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
-                   (fun r ->
-                     let chan = Attacks.Testbed.expect "ap" r in
-                     Client.call_priv bed.victim chan (Bytes.of_string "LIST")
-                       ~k:(fun r ->
-                         ignore (Attacks.Testbed.expect "priv" r);
-                         ok := true))));
-         Attacks.Testbed.run bed;
-         assert !ok))
+    (Staged.stage (fun () -> full_session profile))
 
 let t_session_v4 = session_test Profile.v4
 let t_session_v5 = session_test Profile.v5_draft3
@@ -190,6 +192,7 @@ let tests =
       t_login_full_hardened; t_ap_timestamp; t_ap_cache; t_ap_challenge ]
 
 let json_path = "BENCH_crypto.json"
+let telemetry_json_path = "BENCH_telemetry.json"
 
 (* Hand-rolled serialization: the sealed environment has no JSON library,
    and the schema is one flat object. NaNs (an OLS fit that never
@@ -249,5 +252,17 @@ let () =
          rows);
     write_json rows;
     Printf.printf "machine-readable results: %s\n"
-      (Filename.concat (Sys.getcwd ()) json_path)
+      (Filename.concat (Sys.getcwd ()) json_path);
+    (* Telemetry companion: run one traced session per profile on a fresh
+       collector and persist its metrics export — span-latency histograms
+       (simulated seconds) plus the request counters — alongside the
+       wall-clock numbers above. *)
+    let tel = Telemetry.Collector.fresh_default () in
+    List.iter full_session [ Profile.v4; Profile.v5_draft3; Profile.hardened ];
+    let oc = open_out telemetry_json_path in
+    output_string oc (Telemetry.Json.to_string (Telemetry.Collector.metrics_json tel));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "telemetry histograms:     %s\n"
+      (Filename.concat (Sys.getcwd ()) telemetry_json_path)
   end

@@ -86,7 +86,7 @@ let catalogue =
 let list_cmd () =
   List.iter (fun e -> Printf.printf "%-5s %s\n" e.key e.title) catalogue
 
-let run_cmd name profile_name =
+let run_cmd name profile_name opsview =
   match profile_of_string profile_name with
   | Error (`Msg m) ->
       prerr_endline m;
@@ -97,9 +97,14 @@ let run_cmd name profile_name =
           Printf.eprintf "unknown attack %s (try `attacklab list`)\n" name;
           exit 2
       | Some e ->
+          (* A collector of our own, so the report covers exactly this run. *)
+          let tel = Telemetry.Collector.fresh_default () in
           Printf.printf "%s vs %s:\n" e.title profile.Profile.name;
           let o = e.run profile in
           Printf.printf "  %s — %s\n" (Attacks.Outcome.label o) (Attacks.Outcome.detail o);
+          if opsview then
+            Printf.printf "\nOperator view:\n%s"
+              (Telemetry.Opsview.report (Telemetry.Collector.ops tel));
           if Attacks.Outcome.is_broken o then exit 1)
 
 open Cmdliner
@@ -112,7 +117,13 @@ let () =
   let profile_arg =
     Arg.(value & opt string "v4" & info [ "profile"; "p" ] ~docv:"PROFILE")
   in
-  let run_t = Term.(const run_cmd $ attack_arg $ profile_arg) in
+  let opsview_arg =
+    Arg.(
+      value & flag
+      & info [ "opsview"; "o" ]
+          ~doc:"also print what the operator's telemetry showed during the run")
+  in
+  let run_t = Term.(const run_cmd $ attack_arg $ profile_arg $ opsview_arg) in
   let info_ =
     Cmd.info "attacklab" ~doc:"run one attack from the paper against one protocol profile"
   in

@@ -66,4 +66,17 @@ let () =
 
   (* 6. Run the world. *)
   Sim.Engine.run engine;
-  Printf.printf "done in %.3f simulated seconds\n" (Sim.Engine.now engine)
+  Printf.printf "done in %.3f simulated seconds\n" (Sim.Engine.now engine);
+
+  (* 7. The run was observed: every exchange left spans, events and
+     metrics in the network's collector (clocked on simulation time, so a
+     rerun dumps byte-identical telemetry). *)
+  let tel = Sim.Net.telemetry net in
+  print_newline ();
+  print_string (Telemetry.Collector.metrics_text tel);
+  let jsonl = Telemetry.Collector.trace_jsonl tel in
+  let oc = open_out "quickstart_trace.jsonl" in
+  output_string oc jsonl;
+  close_out oc;
+  Printf.printf "\ntrace: %d events written to quickstart_trace.jsonl\n"
+    (Telemetry.Trace.length (Telemetry.Collector.trace tel))

@@ -2,6 +2,31 @@ type reject = { code : int; reason : string }
 
 let fail code reason = Error { code; reason }
 
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Map a protocol error to the telemetry outcome vocabulary shared by the
+   KDC and AP-server spans. *)
+let outcome_of_code ~code ~text =
+  if code = Messages.err_replay then "replay-detected"
+  else if code = Messages.err_skew then "skew"
+  else if code = Messages.err_ticket_expired then "ticket-expired"
+  else if code = Messages.err_badaddr then "bad-address"
+  else if code = Messages.err_policy then
+    if contains_substring text "rate limit" then "rate-limited" else "policy"
+  else if code = Messages.err_option_forbidden then "option-forbidden"
+  else if code = Messages.err_transit then "transit"
+  else if code = Messages.err_principal_unknown then "unknown-principal"
+  else if code = Messages.err_preauth_required then "preauth-reject"
+  else if code = Messages.err_preauth_failed then "preauth-failed"
+  else if code = Messages.err_bad_integrity then
+    if contains_substring text "checksum" then "bad-checksum" else "bad-integrity"
+  else "error"
+
+let outcome_of_reject r = outcome_of_code ~code:r.code ~text:r.reason
+
 let validate_ticket ~profile ~service_key ~principal ~now ~src_addr
     ~accept_forwarded ~trusted_transit ~refuse_dup_skey blob =
   match Messages.open_msg profile ~key:service_key ~tag:Messages.tag_ticket blob with

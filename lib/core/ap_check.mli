@@ -15,6 +15,14 @@
 
 type reject = { code : int; reason : string }
 
+val outcome_of_code : code:int -> text:string -> string
+(** Map a protocol error to the span-outcome vocabulary the telemetry layer
+    uses everywhere: ["replay-detected"], ["preauth-reject"],
+    ["rate-limited"], ["bad-checksum"], ["skew"], … Success is ["ok"] by
+    convention (no error, so no code to map). *)
+
+val outcome_of_reject : reject -> string
+
 val validate_ticket :
   profile:Profile.t ->
   service_key:bytes ->

@@ -36,6 +36,13 @@ type t = {
   handler : Session.t -> client:Principal.t -> bytes -> bytes option;
   mutable established : int;
   mutable rejected : (int * string) list;
+  tel : Telemetry.Collector.t;
+  c_established : Telemetry.Metrics.counter;
+  c_rejected : Telemetry.Metrics.counter;
+  c_replay_hits : Telemetry.Metrics.counter;
+  mutable pending_outcome : string option;
+      (** outcome of the frame being handled, set by the failure paths and
+          read back by the per-frame span when the handler returns *)
 }
 
 let sessions_established t = t.established
@@ -62,8 +69,21 @@ let reply t ~(pkt : Sim.Packet.t) kind payload =
   Sim.Net.send t.net ~sport:t.port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
     t.host (Frames.wrap kind payload)
 
+(* Mark how the current frame ended; replays additionally feed the
+   operator view and the per-service replay counter. *)
+let flag_outcome t outcome =
+  t.pending_outcome <- Some outcome;
+  if outcome = "replay-detected" then begin
+    Telemetry.Opsview.record_replay
+      (Telemetry.Collector.ops t.tel)
+      ~component:("ap." ^ Principal.to_string t.principal);
+    Telemetry.Metrics.incr t.c_replay_hits
+  end
+
 let reject t ~pkt (r : Ap_check.reject) =
   t.rejected <- (r.code, r.reason) :: t.rejected;
+  Telemetry.Metrics.incr t.c_rejected;
+  flag_outcome t (Ap_check.outcome_of_reject r);
   Sim.Net.note t.net
     (Printf.sprintf "%s: rejected AP attempt (%s)" t.host.Sim.Host.name r.reason);
   reply t ~pkt Frames.error
@@ -100,6 +120,7 @@ let establish t ~pkt ~(ticket : Messages.ticket) ~client_part ~server_part
     (pkt.Sim.Packet.src, pkt.Sim.Packet.sport)
     (Established (session, ticket.Messages.client));
   t.established <- t.established + 1;
+  Telemetry.Metrics.incr t.c_established;
   session
 
 (* --- Timestamp-authenticator path ---------------------------------- *)
@@ -194,9 +215,25 @@ let handle_challenge_resp t ~pkt pending payload =
 
 (* --- Established-session traffic ----------------------------------- *)
 
+let priv_outcome = function
+  | Krb_priv.Replay -> "replay-detected"
+  | Krb_priv.Stale _ -> "skew"
+  | Krb_priv.Garbled -> "bad-integrity"
+  | Krb_priv.Bad_direction -> "bad-direction"
+  | Krb_priv.Bad_address -> "bad-address"
+  | Krb_priv.Out_of_sequence _ -> "out-of-sequence"
+
+let safe_outcome = function
+  | Krb_safe.Bad_checksum -> "bad-checksum"
+  | Krb_safe.Stale _ -> "skew"
+  | Krb_safe.Replay -> "replay-detected"
+  | Krb_safe.Out_of_sequence -> "out-of-sequence"
+  | Krb_safe.Malformed -> "bad-integrity"
+
 let handle_priv t ~pkt session client payload =
   match Krb_priv.open_ session ~now:(now t) payload with
   | Error e ->
+      flag_outcome t (priv_outcome e);
       Sim.Net.note t.net
         (Printf.sprintf "%s: KRB_PRIV rejected (%s)" t.host.Sim.Host.name
            (Krb_priv.error_to_string e))
@@ -209,6 +246,7 @@ let handle_priv t ~pkt session client payload =
 let handle_safe t ~pkt session client payload =
   match Krb_safe.open_ session ~now:(now t) payload with
   | Error e ->
+      flag_outcome t (safe_outcome e);
       Sim.Net.note t.net
         (Printf.sprintf "%s: KRB_SAFE rejected (%s)" t.host.Sim.Host.name
            (Krb_safe.error_to_string e))
@@ -226,35 +264,62 @@ let install ?(seed = 0x5345525645L) ?(config = default_config) net host ~profile
         Some (Replay_cache.create ~horizon:(2.0 *. config.skew))
     | _ -> None
   in
+  let tel = Sim.Net.telemetry net in
+  let m = Telemetry.Collector.metrics tel in
+  let fresh base = Telemetry.Metrics.counter m (Telemetry.Metrics.fresh_name m base) in
+  let svc = "ap." ^ Principal.to_string principal in
   let t =
     { net; host; profile; principal; key; port; config; rng = Util.Rng.create seed;
       cache; peers = Hashtbl.create 16; peer_order = Queue.create (); handler;
-      established = 0; rejected = [] }
+      established = 0; rejected = []; tel;
+      c_established = fresh (svc ^ ".sessions_established");
+      c_rejected = fresh (svc ^ ".ap_rejects");
+      c_replay_hits = fresh (svc ^ ".replay_hits");
+      pending_outcome = None }
   in
   Sim.Net.listen net host ~port (fun pkt ->
       match Frames.unwrap pkt.Sim.Packet.payload with
       | None -> ()
       | Some (kind, payload) -> (
           let peer = (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) in
+          (* One span per recognized frame, nested under the packet span;
+             replies sent inside the handler nest under it in turn. The
+             failure paths record the outcome via [flag_outcome]. *)
+          let traced name handler =
+            let span =
+              Telemetry.Collector.span_begin t.tel ~component:"apserver" name
+                ~attrs:
+                  [ ("service", Principal.to_string t.principal);
+                    ("src", Sim.Addr.to_string pkt.Sim.Packet.src) ]
+            in
+            t.pending_outcome <- None;
+            Telemetry.Collector.with_context t.tel span handler;
+            Telemetry.Collector.span_finish t.tel
+              ~outcome:(Option.value t.pending_outcome ~default:"ok")
+              span;
+            t.pending_outcome <- None
+          in
           match (kind, Hashtbl.find_opt t.peers peer) with
-          | k, _ when k = Frames.ap_req -> (
-              match
-                Messages.ap_req_of_value
-                  (Wire.Encoding.decode profile.Profile.encoding payload)
-              with
-              | exception Wire.Codec.Decode_error e ->
-                  reject t ~pkt { Ap_check.code = Messages.err_generic; reason = e }
-              | r -> (
-                  match profile.Profile.ap_auth with
-                  | Profile.Timestamp { skew; _ } ->
-                      handle_ap_timestamp t ~pkt ~skew:(min skew t.config.skew) r
-                  | Profile.Challenge_response -> handle_ap_challenge t ~pkt r))
+          | k, _ when k = Frames.ap_req ->
+              traced "ap.req" (fun () ->
+                  match
+                    Messages.ap_req_of_value
+                      (Wire.Encoding.decode profile.Profile.encoding payload)
+                  with
+                  | exception Wire.Codec.Decode_error e ->
+                      reject t ~pkt { Ap_check.code = Messages.err_generic; reason = e }
+                  | r -> (
+                      match profile.Profile.ap_auth with
+                      | Profile.Timestamp { skew; _ } ->
+                          handle_ap_timestamp t ~pkt ~skew:(min skew t.config.skew) r
+                      | Profile.Challenge_response -> handle_ap_challenge t ~pkt r))
           | k, Some (Awaiting_response pending) when k = Frames.challenge_resp ->
-              handle_challenge_resp t ~pkt pending payload
+              traced "ap.challenge_resp" (fun () ->
+                  handle_challenge_resp t ~pkt pending payload)
           | k, Some (Established (session, client)) when k = Frames.priv ->
-              handle_priv t ~pkt session client payload
+              traced "ap.priv" (fun () -> handle_priv t ~pkt session client payload)
           | k, Some (Established (session, client)) when k = Frames.safe ->
-              handle_safe t ~pkt session client payload
+              traced "ap.safe" (fun () -> handle_safe t ~pkt session client payload)
           | _ ->
               Sim.Net.note t.net
                 (Printf.sprintf "%s: unexpected frame %d" t.host.Sim.Host.name kind)));

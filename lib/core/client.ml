@@ -83,7 +83,26 @@ let ticket_of_reply (rep : Messages.as_rep) (body : Messages.rep_body) =
     | Some t -> Ok t
     | None -> Error "reply carried no ticket"
 
+(* Exchange spans: begin one, shadow the continuation so every completion
+   path closes it, and transmit inside its context so the request packet
+   nests under it. *)
+let exchange_span t name =
+  let tel = Sim.Net.telemetry t.net in
+  let span =
+    Telemetry.Collector.span_begin tel ~component:"client" name
+      ~attrs:[ ("client", Principal.to_string t.me) ]
+  in
+  let wrap_k k r =
+    Telemetry.Collector.span_finish tel
+      ~outcome:(match r with Ok _ -> "ok" | Error e -> "error: " ^ e)
+      span;
+    k r
+  in
+  (tel, span, wrap_k)
+
 let login t ?handheld ?key ?service ~password k =
+  let tel, span, wrap_k = exchange_span t "client.as_exchange" in
+  let k = wrap_k k in
   (* Host principals authenticate with a raw key (srvtab) instead of a
      typed password. *)
   let client_key =
@@ -119,6 +138,7 @@ let login t ?handheld ?key ?service ~password k =
   match kdc_addr t t.me.Principal.realm with
   | Error e -> k (Error e)
   | Ok kdc ->
+      Telemetry.Collector.with_context tel span (fun () ->
       Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
         (Wire.Encoding.encode t.profile.Profile.encoding (Messages.as_req_to_value req))
         ~on_timeout:(fun () -> k (Error "KDC timeout"))
@@ -213,7 +233,7 @@ let login t ?handheld ?key ?service ~password k =
                                          ("svc:" ^ Principal.to_string creds.service)
                                          creds);
                                     k (Ok creds)
-                                  end))))))
+                                  end)))))))
 
 (* ------------------------------------------------------------------ *)
 (* Authenticators and the TGS exchange                                 *)
@@ -253,6 +273,8 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
     ?additional_ticket ?(authz_data = Bytes.empty) ~hops ~service ~k () =
   if hops > 4 then k (Error "too many cross-realm hops")
   else begin
+    let tel, span, wrap_k = exchange_span t "client.tgs_exchange" in
+    let k = wrap_k k in
     let nonce = Util.Rng.next_int64 t.rng in
     (* The checksum over the cleartext fields rides inside the sealed
        authenticator (Draft 3 layout). *)
@@ -280,6 +302,7 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
     match kdc_addr t via.service.Principal.realm with
     | Error e -> k (Error e)
     | Ok kdc ->
+        Telemetry.Collector.with_context tel span (fun () ->
         Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
           (Wire.Encoding.encode t.profile.Profile.encoding (Messages.tgs_req_to_value req))
           ~on_timeout:(fun () -> k (Error "TGS timeout"))
@@ -331,7 +354,7 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
                                     get_ticket_via t ~via:creds ~options
                                       ?additional_ticket ~authz_data
                                       ~hops:(hops + 1) ~service ~k ()
-                                end)))))
+                                end))))))
   end
 
 let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
@@ -392,9 +415,14 @@ let make_channel t session ~sport ~dst ~dport =
   chan
 
 let ap_exchange t (creds : credentials) ?(mutual = true) ~dst ~dport k =
+  let tel, span, wrap_k = exchange_span t "client.ap_exchange" in
+  let k = wrap_k k in
   let sport = Sim.Net.ephemeral_port t.net in
+  (* Transmit inside the span's context: AP_REQ and any challenge
+     response nest under the exchange. *)
   let send kind payload =
-    Sim.Net.send t.net ~sport ~dst ~dport t.host (Frames.wrap kind payload)
+    Telemetry.Collector.with_context tel span (fun () ->
+        Sim.Net.send t.net ~sport ~dst ~dport t.host (Frames.wrap kind payload))
   in
   let finish_session ~client_part ~server_part ~my_seq ~their_seq =
     match

@@ -12,25 +12,38 @@ type t = {
   verify_transit : bool;
   rate_limit : int option;  (** AS requests per source per minute *)
   rate_table : (Sim.Addr.t, float list ref) Hashtbl.t;  (** recent request times *)
-  mutable as_served : int;
-  mutable preauth_rejected : int;
-  mutable rate_limited : int;
+  tel : Telemetry.Collector.t;
+  (* The bespoke int fields these replaced live on in the registry; the
+     .mli accessors below read the counters back. [fresh_name] keeps two
+     KDCs of one realm (replication tests) from merging their counts. *)
+  c_as_served : Telemetry.Metrics.counter;
+  c_preauth_rejected : Telemetry.Metrics.counter;
+  c_rate_limited : Telemetry.Metrics.counter;
+  c_replay_hits : Telemetry.Metrics.counter;
 }
 
 let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
-    ?(verify_transit = false) ?rate_limit ~realm ~profile ~lifetime db =
+    ?(verify_transit = false) ?rate_limit ?telemetry ~realm ~profile ~lifetime db =
+  let tel =
+    match telemetry with Some c -> c | None -> Telemetry.Collector.default ()
+  in
+  let m = Telemetry.Collector.metrics tel in
+  let fresh base = Telemetry.Metrics.counter m (Telemetry.Metrics.fresh_name m base) in
   { realm; profile; lifetime; db; rng = Util.Rng.create seed;
     routes = Hashtbl.create 4; tgs_cache = Replay_cache.create ~horizon:600.0;
     enc_tkt_cname_check; verify_transit; rate_limit;
-    rate_table = Hashtbl.create 16; as_served = 0; preauth_rejected = 0;
-    rate_limited = 0 }
+    rate_table = Hashtbl.create 16; tel;
+    c_as_served = fresh ("kdc." ^ realm ^ ".as_requests_served");
+    c_preauth_rejected = fresh ("kdc." ^ realm ^ ".preauth_rejections");
+    c_rate_limited = fresh ("kdc." ^ realm ^ ".rate_limited_requests");
+    c_replay_hits = fresh ("kdc." ^ realm ^ ".replay_hits") }
 
 let realm t = t.realm
 let database t = t.db
 let add_realm_route t ~remote ~next_hop = Hashtbl.replace t.routes remote next_hop
-let as_requests_served t = t.as_served
-let preauth_rejections t = t.preauth_rejected
-let rate_limited_requests t = t.rate_limited
+let as_requests_served t = Telemetry.Metrics.value t.c_as_served
+let preauth_rejections t = Telemetry.Metrics.value t.c_preauth_rejected
+let rate_limited_requests t = Telemetry.Metrics.value t.c_rate_limited
 
 (* Sliding one-minute window per source address. *)
 let rate_limit_exceeded t ~now src =
@@ -47,7 +60,7 @@ let rate_limit_exceeded t ~now src =
       in
       slot := List.filter (fun ts -> now -. ts < 60.0) !slot;
       if List.length !slot >= limit then begin
-        t.rate_limited <- t.rate_limited + 1;
+        Telemetry.Metrics.incr t.c_rate_limited;
         true
       end
       else begin
@@ -139,7 +152,7 @@ let handle_as t net host (q : Messages.as_req) ~src_addr =
   | Some { key = client_key; _ } -> (
       match check_preauth t ~client_key q with
       | Error reason ->
-          t.preauth_rejected <- t.preauth_rejected + 1;
+          Telemetry.Metrics.incr t.c_preauth_rejected;
           err Messages.err_preauth_required reason
       | Ok () -> (
           match Kdb.lookup t.db q.q_server with
@@ -148,7 +161,7 @@ let handle_as t net host (q : Messages.as_req) ~src_addr =
               match wrap_key t ~client_key q with
               | Error reason -> err Messages.err_preauth_failed reason
               | Ok (wrap, challenge, dh_pub) ->
-                  t.as_served <- t.as_served + 1;
+                  Telemetry.Metrics.incr t.c_as_served;
                   let now = Sim.Net.local_time net host in
                   let session_key = Crypto.Des.random_key t.rng in
                   let ticket =
@@ -414,12 +427,47 @@ let handle_tgs t net host (req : Messages.tgs_req) ~src_addr =
 (* Service loop                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* The reply is an error exactly when it parses as one; map its code to the
+   shared outcome vocabulary, otherwise the exchange succeeded. *)
+let outcome_of_reply v =
+  match Messages.err_of_value v with
+  | e -> Ap_check.outcome_of_code ~code:e.Messages.e_code ~text:e.Messages.e_text
+  | exception Wire.Codec.Decode_error _ -> "ok"
+
 let install net host t ?(port = default_port) () =
+  let tel = t.tel in
   Sim.Net.listen net host ~port (fun pkt ->
       let reply v =
         Sim.Net.send net ~sport:port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
           host
           (Wire.Encoding.encode t.profile.Profile.encoding v)
+      in
+      let src_addr = pkt.Sim.Packet.src in
+      let src = Sim.Addr.to_string src_addr in
+      (* One span per exchange, nested under the request's packet span; the
+         reply is transmitted inside the span's context so the reply packet
+         nests under it in turn. *)
+      let traced name ?(attrs = []) handler =
+        let span =
+          Telemetry.Collector.span_begin tel ~component:"kdc" name
+            ~attrs:(("realm", t.realm) :: ("src", src) :: attrs)
+        in
+        let outcome =
+          Telemetry.Collector.with_context tel span (fun () ->
+              let v = handler () in
+              let outcome = outcome_of_reply v in
+              reply v;
+              outcome)
+        in
+        if name = "kdc.as_req" then
+          Telemetry.Opsview.record_as_req (Telemetry.Collector.ops tel) ~src
+            ~time:(Sim.Net.local_time net host) ~outcome;
+        if outcome = "replay-detected" then begin
+          Telemetry.Opsview.record_replay (Telemetry.Collector.ops tel)
+            ~component:("kdc." ^ t.realm);
+          Telemetry.Metrics.incr t.c_replay_hits
+        end;
+        Telemetry.Collector.span_finish tel ~outcome span
       in
       match Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload with
       | exception Wire.Codec.Decode_error e -> reply (err Messages.err_generic e)
@@ -427,9 +475,15 @@ let install net host t ?(port = default_port) () =
           (* Try AS first, then TGS; under Der the tag disambiguates, under
              V4 the structural parse does. *)
           match Messages.as_req_of_value v with
-          | q -> reply (handle_as t net host q ~src_addr:pkt.Sim.Packet.src)
+          | q ->
+              traced "kdc.as_req"
+                ~attrs:[ ("client", Principal.to_string q.Messages.q_client) ]
+                (fun () -> handle_as t net host q ~src_addr)
           | exception Wire.Codec.Decode_error _ -> (
               match Messages.tgs_req_of_value v with
-              | req -> reply (handle_tgs t net host req ~src_addr:pkt.Sim.Packet.src)
+              | req ->
+                  traced "kdc.tgs_req"
+                    ~attrs:[ ("server", Principal.to_string req.Messages.t_server) ]
+                    (fun () -> handle_tgs t net host req ~src_addr)
               | exception Wire.Codec.Decode_error e ->
                   reply (err Messages.err_generic e))))

@@ -19,6 +19,7 @@ val create :
   ?enc_tkt_cname_check:bool ->
   ?verify_transit:bool ->
   ?rate_limit:int ->
+  ?telemetry:Telemetry.Collector.t ->
   realm:string ->
   profile:Profile.t ->
   lifetime:float ->
@@ -33,7 +34,13 @@ val create :
     the rule the designers intended but omitted: with [ENC-TKT-IN-SKEY],
     "the cname in the additional ticket [must] match the name of the server
     for which the new ticket is being requested". Turning it on defeats the
-    cut-and-paste attack even under a weak checksum. *)
+    cut-and-paste attack even under a weak checksum.
+
+    [telemetry] (default {!Telemetry.Collector.default}) receives a
+    ["kdc.as_req"]/["kdc.tgs_req"] span per exchange, per-source AS_REQ
+    tracking in the operator view, and the request counters as registry
+    metrics named [kdc.<realm>.as_requests_served] etc. (suffixed [#2], …
+    when several KDCs serve one realm). *)
 
 val realm : t -> string
 val database : t -> Kdb.t
@@ -47,7 +54,8 @@ val add_realm_route : t -> remote:string -> next_hop:string -> unit
 
 val install : Sim.Net.t -> Sim.Host.t -> t -> ?port:int -> unit -> unit
 
-(** Statistics for the experiments. *)
+(** Statistics for the experiments — thin wrappers over the registry
+    counters the KDC records into (the historical interface, kept). *)
 
 val as_requests_served : t -> int
 val preauth_rejections : t -> int

@@ -18,12 +18,15 @@ type t = {
   horizon : float;
   entries : (string, float) Hashtbl.t; (* key -> expiry *)
   expq : entry Sim.Heap.t;
+  mutable hits : int;     (* authenticators refused as replays *)
+  mutable inserts : int;  (* fresh authenticators admitted *)
 }
 
 let create ~horizon =
   { horizon;
     entries = Hashtbl.create 64;
-    expq = Sim.Heap.create ~cmp:(fun a b -> Float.compare a.expiry b.expiry) }
+    expq = Sim.Heap.create ~cmp:(fun a b -> Float.compare a.expiry b.expiry);
+    hits = 0; inserts = 0 }
 
 type verdict = Fresh | Replayed
 
@@ -46,11 +49,16 @@ let check_and_insert t ~now blob =
   purge t ~now;
   let key = Bytes.to_string blob in
   match Hashtbl.find_opt t.entries key with
-  | Some _ -> Replayed
+  | Some _ ->
+      t.hits <- t.hits + 1;
+      Replayed
   | None ->
       let expiry = now +. t.horizon in
       Hashtbl.replace t.entries key expiry;
       Sim.Heap.push t.expq { expiry; ekey = key };
+      t.inserts <- t.inserts + 1;
       Fresh
 
 let size t = Hashtbl.length t.entries
+let hits t = t.hits
+let inserts t = t.inserts

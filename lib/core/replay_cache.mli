@@ -24,4 +24,11 @@ val check_and_insert : t -> now:float -> bytes -> verdict
 val size : t -> int
 (** Live entries (after purging), the server-state cost measured in E14. *)
 
+val hits : t -> int
+(** Authenticators refused as replays over the cache's lifetime — the
+    signal the telemetry layer surfaces to the operator. *)
+
+val inserts : t -> int
+(** Fresh authenticators admitted over the cache's lifetime. *)
+
 val purge : t -> now:float -> unit

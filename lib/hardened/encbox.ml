@@ -34,6 +34,16 @@ let generate_key t purpose = add t purpose (Crypto.Des.random_key t.rng)
 
 let violation t msg =
   t.log <- msg :: t.log;
+  (* Purpose violations are exactly what an operator wants surfaced: count
+     them and leave a Warn in the trace (default collector — the box has
+     no network handle). *)
+  let tel = Telemetry.Collector.default () in
+  Telemetry.Metrics.incr
+    (Telemetry.Metrics.counter (Telemetry.Collector.metrics tel)
+       "encbox.purpose_violations");
+  Telemetry.Collector.event tel ~severity:Telemetry.Trace.Warn ~component:"encbox"
+    ~kind:"encbox.violation"
+    [ ("msg", msg) ];
   raise (Purpose_violation msg)
 
 let slot t h =

@@ -29,7 +29,8 @@ let install ?config net host ~profile ~principal ~key ~port =
   let t = { store = Hashtbl.create 16; rng = Util.Rng.create 0x4b53L } in
   let (_ : Kerberos.Apserver.t) =
     Kerberos.Apserver.install ?config net host ~profile ~principal ~key ~port
-      ~handler:(handle t) ()
+      ~handler:(Services.Svc_telemetry.instrument net ~component:"keystore" (handle t))
+      ()
   in
   t
 

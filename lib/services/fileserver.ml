@@ -65,7 +65,7 @@ let install ?config ?(trusted_hosts = []) net host ~profile ~principal ~key ~por
   in
   let ap =
     Kerberos.Apserver.install ?config net host ~profile ~principal ~key ~port
-      ~handler:(handle t) ()
+      ~handler:(Svc_telemetry.instrument net ~component:"fileserver" (handle t)) ()
   in
   t.ap <- Some ap;
   t

@@ -48,7 +48,7 @@ let install ?config ?(enforce_quality = true) net host ~profile ~principal ~key
   let t = { db; enforce_quality; applied = 0; refused = 0 } in
   let (_ : Apserver.t) =
     Apserver.install ?config net host ~profile ~principal ~key ~port
-      ~handler:(handle t) ()
+      ~handler:(Svc_telemetry.instrument net ~component:"kpasswd" (handle t)) ()
   in
   t
 

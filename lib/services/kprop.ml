@@ -30,7 +30,7 @@ let install_slave ?config net host ~profile ~principal ~key ~port ~master ~slave
   let t = { master; slave_db; received = 0; refused = 0 } in
   let (_ : Apserver.t) =
     Apserver.install ?config net host ~profile ~principal ~key ~port
-      ~handler:(handle t) ()
+      ~handler:(Svc_telemetry.instrument net ~component:"kprop" (handle t)) ()
   in
   t
 

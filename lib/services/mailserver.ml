@@ -66,7 +66,7 @@ let install ?config net host ~profile ~principal ~key ~port =
   let t = { boxes = Hashtbl.create 8; deleted = Hashtbl.create 8; ap = None } in
   let ap =
     Kerberos.Apserver.install ?config net host ~profile ~principal ~key ~port
-      ~handler:(handle t) ()
+      ~handler:(Svc_telemetry.instrument net ~component:"mailserver" (handle t)) ()
   in
   t.ap <- Some ap;
   t

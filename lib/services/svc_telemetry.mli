@@ -1,0 +1,13 @@
+(** Handler wrapper the services install with: counts commands in the
+    registry (["svc.<component>.commands"], [fresh_name]-suffixed per
+    instance) and traces each one with the client principal and command
+    verb. *)
+
+val instrument :
+  Sim.Net.t ->
+  component:string ->
+  (Kerberos.Session.t -> client:Kerberos.Principal.t -> bytes -> bytes option) ->
+  Kerberos.Session.t ->
+  client:Kerberos.Principal.t ->
+  bytes ->
+  bytes option

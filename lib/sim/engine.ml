@@ -1,13 +1,24 @@
 type event = { time : float; seq : int; fn : unit -> unit }
 
-type t = { heap : event Heap.t; mutable clock : float; mutable next_seq : int }
+type t = {
+  heap : event Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable telemetry : Telemetry.Collector.t list;
+}
 
 let cmp a b =
   match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
 
-let create () = { heap = Heap.create ~cmp; clock = 0.0; next_seq = 0 }
+let create () =
+  { heap = Heap.create ~cmp; clock = 0.0; next_seq = 0; telemetry = [] }
 
 let now t = t.clock
+
+let attach_telemetry t c =
+  if not (List.memq c t.telemetry) then t.telemetry <- c :: t.telemetry
+
+let attached_telemetry t = List.rev t.telemetry
 
 let schedule t ~at fn =
   if at < t.clock then invalid_arg "Engine.schedule: event in the past";
@@ -24,7 +35,30 @@ let step t =
       ev.fn ();
       true
 
-let run t = while step t do () done
+(* Once the queue is empty no future event can close a span, so anything
+   still open has leaked. Non-strict runs close them as "abandoned" (with
+   a Warn trace event — never silently); strict runs raise. *)
+let settle_spans ~strict t =
+  List.iter
+    (fun c ->
+      if strict && Telemetry.Collector.open_span_count c > 0 then begin
+        let names =
+          List.map
+            (fun (s : Telemetry.Span.t) -> s.Telemetry.Span.name)
+            (Telemetry.Collector.open_spans c)
+        in
+        (* Leave the trace honest even when raising. *)
+        ignore (Telemetry.Collector.abandon_open_spans c ~time:t.clock ());
+        failwith
+          ("Engine.run: spans left open after the event queue drained: "
+          ^ String.concat ", " names)
+      end
+      else ignore (Telemetry.Collector.abandon_open_spans c ~time:t.clock ()))
+    t.telemetry
+
+let run ?(strict_spans = false) t =
+  while step t do () done;
+  settle_spans ~strict:strict_spans t
 
 let run_until t limit =
   let continue = ref true in
@@ -33,6 +67,9 @@ let run_until t limit =
     | Some ev when ev.time <= limit -> ignore (step t)
     | _ -> continue := false
   done;
-  if t.clock < limit then t.clock <- limit
+  if t.clock < limit then t.clock <- limit;
+  (* Events past [limit] may still legitimately close spans, so only a
+     fully drained queue settles them. *)
+  if Heap.size t.heap = 0 then settle_spans ~strict:false t
 
 let pending t = Heap.size t.heap

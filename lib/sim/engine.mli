@@ -5,15 +5,31 @@ type t
 
 val create : unit -> t
 val now : t -> float
+
+val attach_telemetry : t -> Telemetry.Collector.t -> unit
+(** Register a collector whose spans this engine settles when its queue
+    drains ({!run}, or {!run_until} reaching an empty queue): any span
+    still open at that point can never be closed by a future event, so it
+    is finished with outcome ["abandoned"] plus a [Warn] trace event —
+    open spans never leak silently. [Net.create] attaches its collector
+    automatically. Idempotent per collector. *)
+
+val attached_telemetry : t -> Telemetry.Collector.t list
+
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** @raise Invalid_argument if [at] is in the past. *)
 
 val schedule_after : t -> float -> (unit -> unit) -> unit
-val run : t -> unit
-(** Drain the queue. *)
+
+val run : ?strict_spans:bool -> t -> unit
+(** Drain the queue, then settle attached collectors' spans.
+    [strict_spans] (default [false]) instead treats a leaked span as a
+    bug: @raise Failure naming the open spans (after abandoning them, so
+    the dumped trace is still honest). *)
 
 val run_until : t -> float -> unit
 (** Fire everything scheduled at or before the given time, then set the
-    clock to it. *)
+    clock to it. Spans are settled only if this empties the queue —
+    a later event may still close a span that is open at [limit]. *)
 
 val pending : t -> int

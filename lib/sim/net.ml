@@ -10,6 +10,7 @@ type t = {
   eng : Engine.t;
   latency : float;
   rng : Util.Rng.t;
+  tel : Telemetry.Collector.t;
   hosts : (Addr.t, Host.t) Hashtbl.t;
   ports : (Addr.t * int, Packet.t -> unit) Hashtbl.t;
   mutable taps : (Packet.t -> unit) list;
@@ -19,17 +20,28 @@ type t = {
   mutable trace : event list;  (** reverse chronological *)
 }
 
-let create ?(latency = 0.005) ?(seed = 1L) eng =
-  { eng; latency; rng = Util.Rng.create seed; hosts = Hashtbl.create 16;
+let create ?(latency = 0.005) ?(seed = 1L) ?telemetry eng =
+  let tel =
+    match telemetry with Some c -> c | None -> Telemetry.Collector.default ()
+  in
+  (* Telemetry time is simulation time, never the wall clock. *)
+  Telemetry.Collector.set_clock tel (fun () -> Engine.now eng);
+  Engine.attach_telemetry eng tel;
+  { eng; latency; rng = Util.Rng.create seed; tel; hosts = Hashtbl.create 16;
     ports = Hashtbl.create 64; taps = []; interceptor = None; next_uid = 0;
     next_port = 33000; trace = [] }
 
 let engine t = t.eng
 let now t = Engine.now t.eng
 let rng t = t.rng
+let telemetry t = t.tel
 
 let record t ev = t.trace <- ev :: t.trace
-let note t msg = record t (Note (now t, msg))
+
+let note t msg =
+  record t (Note (now t, msg));
+  Telemetry.Collector.event t.tel ~component:"net" ~kind:"note" [ ("msg", msg) ]
+
 let events t = List.rev t.trace
 
 let attach t host =
@@ -54,26 +66,65 @@ let ephemeral_port t =
   t.next_port <- t.next_port + 1;
   t.next_port
 
-let deliver t pkt =
+let c_sent t = Telemetry.Metrics.counter (Telemetry.Collector.metrics t.tel) "net.packets.sent"
+let c_delivered t = Telemetry.Metrics.counter (Telemetry.Collector.metrics t.tel) "net.packets.delivered"
+let c_dropped t = Telemetry.Metrics.counter (Telemetry.Collector.metrics t.tel) "net.packets.dropped"
+
+let packet_attrs pkt =
+  [ ("src", Printf.sprintf "%s:%d" (Addr.to_string pkt.Packet.src) pkt.Packet.sport);
+    ("dst", Printf.sprintf "%s:%d" (Addr.to_string pkt.Packet.dst) pkt.Packet.dport);
+    ("bytes", string_of_int (Bytes.length pkt.Packet.payload));
+    ("uid", string_of_int pkt.Packet.uid) ]
+
+(* Every packet is one span: begun at transmission (nested, via the
+   context stack, under whatever exchange sent it) and finished at
+   delivery or drop. The receiving handler runs inside the packet's span
+   context, so server-side handling nests under the packet that caused
+   it. *)
+let begin_packet_span t pkt =
+  Telemetry.Collector.span_begin t.tel ~component:"net" ~attrs:(packet_attrs pkt)
+    "net.packet"
+
+let drop_packet t span pkt why =
+  record t (Dropped (now t, pkt, why));
+  Telemetry.Metrics.incr (c_dropped t);
+  Telemetry.Collector.span_finish t.tel ~outcome:("dropped:" ^ why) span
+
+let deliver t span pkt =
   Engine.schedule_after t.eng t.latency (fun () ->
       match Hashtbl.find_opt t.ports (pkt.Packet.dst, pkt.Packet.dport) with
       | Some fn ->
           record t (Delivered (now t, pkt));
-          fn pkt
-      | None -> record t (Dropped (now t, pkt, "no listener")))
+          Telemetry.Metrics.incr (c_delivered t);
+          Telemetry.Collector.with_context t.tel span (fun () -> fn pkt);
+          Telemetry.Collector.span_finish t.tel ~outcome:"ok" span
+      | None -> drop_packet t span pkt "no listener")
 
 let transmit t pkt =
   record t (Sent (now t, pkt));
+  Telemetry.Metrics.incr (c_sent t);
+  let span = begin_packet_span t pkt in
   List.iter (fun tap -> tap pkt) t.taps;
   match t.interceptor with
-  | None -> deliver t pkt
+  | None -> deliver t span pkt
   | Some f -> (
       match f pkt with
-      | Deliver -> deliver t pkt
-      | Drop -> record t (Dropped (now t, pkt, "intercepted"))
+      | Deliver -> deliver t span pkt
+      | Drop -> drop_packet t span pkt "intercepted"
       | Replace pkts ->
-          record t (Dropped (now t, pkt, "replaced in flight"));
-          List.iter (deliver t) pkts)
+          drop_packet t span pkt "replaced in flight";
+          (* Replacements nest where the original would have: an operator
+             tracing the exchange sees the substitution inside it. *)
+          List.iter
+            (fun p ->
+              let sp =
+                Telemetry.Collector.span_begin t.tel ~component:"net"
+                  ?parent:span.Telemetry.Span.parent
+                  ~attrs:(("injected", "replace") :: packet_attrs p)
+                  "net.packet"
+              in
+              deliver t sp p)
+            pkts)
 
 let send t ?src ~sport ~dst ~dport host payload =
   let src = match src with None -> Host.primary_ip host | Some s -> s in
@@ -86,8 +137,14 @@ let inject t pkt =
   t.next_uid <- t.next_uid + 1;
   let pkt = { pkt with Packet.uid = t.next_uid } in
   record t (Sent (now t, pkt));
+  Telemetry.Metrics.incr (c_sent t);
   List.iter (fun tap -> tap pkt) t.taps;
-  deliver t pkt
+  let span =
+    Telemetry.Collector.span_begin t.tel ~component:"net"
+      ~attrs:(("injected", "true") :: packet_attrs pkt)
+      "net.packet"
+  in
+  deliver t span pkt
 
 let add_tap t fn = t.taps <- t.taps @ [ fn ]
 let set_interceptor t fn = t.interceptor <- Some fn

@@ -14,8 +14,17 @@ type decision =
   | Drop
   | Replace of Packet.t list  (** deliver these (possibly rewritten) instead *)
 
-val create : ?latency:float -> ?seed:int64 -> Engine.t -> t
+val create : ?latency:float -> ?seed:int64 -> ?telemetry:Telemetry.Collector.t -> Engine.t -> t
+(** [telemetry] defaults to {!Telemetry.Collector.default}. The network
+    points the collector's clock at the engine (telemetry time is
+    simulation time) and attaches it to the engine for span settling.
+    Every packet becomes a ["net.packet"] span — begun at transmission
+    under the sending exchange's span context, finished at delivery
+    (outcome ["ok"]) or drop (["dropped:<why>"]); receive handlers run
+    inside the packet's span context so server-side spans nest under it. *)
+
 val engine : t -> Engine.t
+val telemetry : t -> Telemetry.Collector.t
 val now : t -> float
 (** True (engine) time. *)
 

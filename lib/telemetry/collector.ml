@@ -1,0 +1,141 @@
+(* The collector binds one metrics registry, one trace ring, one operator
+   view, and the span lifecycle into a single handle that the simulator
+   and every instrumented component share.
+
+   Time: spans and events are stamped by the collector's clock, which the
+   simulator points at [Sim.Engine.now] (never the wall clock), so two
+   identical runs dump byte-identical telemetry.
+
+   Nesting: a context stack carries the "current" span across synchronous
+   calls — [with_context c span f] makes [span] the default parent for
+   any span begun inside [f]. The network wraps packet delivery in the
+   packet's span context, so a KDC handler's span nests under the packet
+   that triggered it, which itself nests under the client exchange that
+   sent the packet. *)
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  ops : Opsview.t;
+  mutable clock : unit -> float;
+  mutable next_span_id : int;
+  open_table : (int, Span.t) Hashtbl.t;
+  mutable context : Span.t list;
+}
+
+let create ?trace_capacity () =
+  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity ();
+    ops = Opsview.create (); clock = (fun () -> 0.0); next_span_id = 1;
+    open_table = Hashtbl.create 16; context = [] }
+
+let metrics t = t.metrics
+let trace t = t.trace
+let ops t = t.ops
+
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+
+let event t ?time ?severity ~component ~kind attrs =
+  let time = match time with Some x -> x | None -> now t in
+  Trace.event t.trace ~time ?severity ~component ~kind attrs
+
+(* --- spans --------------------------------------------------------- *)
+
+let current_span t = match t.context with [] -> None | s :: _ -> Some s
+
+let span_begin t ?time ?parent ?(attrs = []) ~component name =
+  let time = match time with Some x -> x | None -> now t in
+  let parent =
+    match parent with
+    | Some _ as p -> p
+    | None -> Option.map (fun (s : Span.t) -> s.Span.id) (current_span t)
+  in
+  let span =
+    { Span.id = t.next_span_id; name; component; parent; start_time = time;
+      end_time = None; outcome = "open"; attrs }
+  in
+  t.next_span_id <- t.next_span_id + 1;
+  Hashtbl.replace t.open_table span.Span.id span;
+  Trace.event t.trace ~time ~severity:Trace.Debug ~component ~kind:"span.begin"
+    ([ ("span", string_of_int span.Span.id); ("name", name) ]
+    @ (match parent with
+      | Some p -> [ ("parent", string_of_int p) ]
+      | None -> [])
+    @ attrs);
+  span
+
+let span_finish t ?time ?(outcome = "ok") (span : Span.t) =
+  if Span.is_open span then begin
+    let time = match time with Some x -> x | None -> now t in
+    span.Span.end_time <- Some time;
+    span.Span.outcome <- outcome;
+    Hashtbl.remove t.open_table span.Span.id;
+    let duration = time -. span.Span.start_time in
+    Metrics.observe
+      (Metrics.histogram t.metrics ("span." ^ span.Span.name ^ ".seconds"))
+      duration;
+    Trace.event t.trace ~time ~severity:Trace.Debug ~component:span.Span.component
+      ~kind:"span.end"
+      [ ("span", string_of_int span.Span.id); ("name", span.Span.name);
+        ("outcome", outcome);
+        ("duration_ms", Printf.sprintf "%.3f" (duration *. 1000.0)) ]
+  end
+
+let span_abandon t ?time (span : Span.t) =
+  if Span.is_open span then begin
+    let time = match time with Some x -> x | None -> now t in
+    Trace.event t.trace ~time ~severity:Trace.Warn ~component:span.Span.component
+      ~kind:"span.abandoned"
+      [ ("span", string_of_int span.Span.id); ("name", span.Span.name) ];
+    span_finish t ~time ~outcome:"abandoned" span
+  end
+
+let with_context t span f =
+  t.context <- span :: t.context;
+  Fun.protect
+    ~finally:(fun () ->
+      match t.context with
+      | s :: rest when s == span -> t.context <- rest
+      | _ -> () (* unbalanced pops are a bug, but don't mask [f]'s result *))
+    f
+
+let open_spans t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.open_table []
+  |> List.sort (fun (a : Span.t) b -> compare a.Span.id b.Span.id)
+
+let open_span_count t = Hashtbl.length t.open_table
+
+let abandon_open_spans t ?time () =
+  let spans = open_spans t in
+  List.iter (fun s -> span_abandon t ?time s) spans;
+  List.length spans
+
+(* --- dumps --------------------------------------------------------- *)
+
+let trace_jsonl t = Trace.to_jsonl t.trace
+let metrics_json t = Metrics.to_json t.metrics
+let metrics_text t = Metrics.to_text t.metrics
+
+(* --- the shared default -------------------------------------------- *)
+
+(* Components accept [?telemetry] and fall back to this process-wide
+   collector, so existing call sites observe without plumbing. Harnesses
+   that need isolation (determinism tests, per-scenario operator views)
+   either pass their own collector or call [fresh_default]. *)
+
+let default_collector = ref None
+
+let default () =
+  match !default_collector with
+  | Some c -> c
+  | None ->
+      let c = create () in
+      default_collector := Some c;
+      c
+
+let set_default c = default_collector := Some c
+
+let fresh_default () =
+  let c = create () in
+  default_collector := Some c;
+  c

@@ -1,0 +1,65 @@
+(** The telemetry collector: one metrics registry + one trace ring + one
+    operator view + the span lifecycle, stamped by a pluggable clock that
+    the simulator points at [Sim.Engine.now] — never the wall clock, so
+    identical runs dump byte-identical telemetry. *)
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+val ops : t -> Opsview.t
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the time source for events/spans recorded without an explicit
+    [?time]. [Sim.Net.create] points this at its engine. *)
+
+val now : t -> float
+
+val event :
+  t -> ?time:float -> ?severity:Trace.severity -> component:string ->
+  kind:string -> (string * string) list -> unit
+
+(** {2 Spans}
+
+    [span_begin] opens a span (default parent: the innermost span entered
+    with [with_context]); [span_finish] closes it, records a [span.end]
+    trace event and feeds the duration into the
+    ["span.<name>.seconds"] histogram. Both are idempotent-safe:
+    finishing a closed span is a no-op. *)
+
+val span_begin :
+  t -> ?time:float -> ?parent:int -> ?attrs:(string * string) list ->
+  component:string -> string -> Span.t
+
+val span_finish : t -> ?time:float -> ?outcome:string -> Span.t -> unit
+val span_abandon : t -> ?time:float -> Span.t -> unit
+(** Close with outcome ["abandoned"] and a [Warn] trace event — for spans
+    whose completion event can never arrive (dropped packets, timeouts). *)
+
+val with_context : t -> Span.t -> (unit -> 'a) -> 'a
+val current_span : t -> Span.t option
+val open_spans : t -> Span.t list
+(** Sorted by id. *)
+
+val open_span_count : t -> int
+val abandon_open_spans : t -> ?time:float -> unit -> int
+(** Abandon every open span (the engine calls this when the event queue
+    drains); returns how many were open. *)
+
+(** {2 Dumps} *)
+
+val trace_jsonl : t -> string
+val metrics_json : t -> Json.t
+val metrics_text : t -> string
+
+(** {2 The process-wide default}
+
+    Components accept [?telemetry] and fall back to this collector, so
+    unmodified call sites are observed without plumbing. Harnesses wanting
+    isolation pass their own collector or reset the default. *)
+
+val default : unit -> t
+val set_default : t -> unit
+val fresh_default : unit -> t
+(** Install and return a brand-new default collector. *)

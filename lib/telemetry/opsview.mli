@@ -1,0 +1,30 @@
+(** Attack visibility: per-source-address AS_REQ rate tracking and
+    replay-hit counters — "what the operator would have seen" while an
+    experiment's attack ran. Fed by the KDC and AP servers, rendered by
+    [bin/experiments] and [bin/attacklab]. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record_as_req : t -> src:string -> time:float -> outcome:string -> unit
+(** [outcome] uses the span outcome labels: "ok" / "preauth-reject" /
+    "rate-limited" / anything else counts as another rejection. *)
+
+val record_replay : t -> component:string -> unit
+
+val as_req_count : t -> src:string -> int
+val replay_hits : t -> component:string -> int
+val total_replay_hits : t -> int
+
+val suspicious : t -> src:string -> bool
+(** Whether a source trips the operator's 1991-grade heuristics: over 30
+    AS_REQs/minute, repeated preauth failures, or any rate-limiter hit. *)
+
+val report : t -> string
+(** Multi-line operator console: per-source request table (rate per
+    minute, reject breakdown, a suspicion flag) and replay-hit counts.
+    Deterministic ordering. *)
+
+val to_json : t -> Json.t

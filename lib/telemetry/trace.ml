@@ -1,0 +1,131 @@
+(* The structured event log: a bounded ring of {time; component; kind;
+   attrs} records stamped with *simulation* time, with severity filtering
+   at record time and a JSONL dump. When the ring is full the oldest event
+   is dropped and counted — the dump always says how much history it is
+   missing. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  time : float;
+  severity : severity;
+  component : string;
+  kind : string;
+  attrs : (string * string) list;
+}
+
+type t = {
+  capacity : int;
+  ring : event Queue.t;
+  mutable level : severity;
+  mutable dropped : int;    (* overwritten by ring overflow *)
+  mutable filtered : int;   (* suppressed below the severity floor *)
+}
+
+let create ?(capacity = 8192) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Queue.create (); level = Debug; dropped = 0; filtered = 0 }
+
+let set_level t level = t.level <- level
+let level t = t.level
+
+let record t ev =
+  if severity_rank ev.severity < severity_rank t.level then
+    t.filtered <- t.filtered + 1
+  else begin
+    if Queue.length t.ring >= t.capacity then begin
+      ignore (Queue.pop t.ring);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.push ev t.ring
+  end
+
+let event t ~time ?(severity = Info) ~component ~kind attrs =
+  record t { time; severity; component; kind; attrs }
+
+let events t = List.of_seq (Queue.to_seq t.ring)
+let length t = Queue.length t.ring
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.ring;
+  t.dropped <- 0;
+  t.filtered <- 0
+
+let event_to_json ev =
+  Json.Obj
+    [ ("time", Json.Float ev.time);
+      ("severity", Json.Str (severity_to_string ev.severity));
+      ("component", Json.Str ev.component);
+      ("kind", Json.Str ev.kind);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ev.attrs)) ]
+
+let event_of_json j =
+  match
+    ( Option.bind (Json.member "time" j) Json.to_float,
+      Option.bind (Json.member "severity" j) Json.to_str,
+      Option.bind (Json.member "component" j) Json.to_str,
+      Option.bind (Json.member "kind" j) Json.to_str,
+      Json.member "attrs" j )
+  with
+  | Some time, Some sev, Some component, Some kind, Some (Json.Obj fields) -> (
+      match severity_of_string sev with
+      | None -> Result.Error ("unknown severity " ^ sev)
+      | Some severity ->
+          if List.exists (fun (_, v) -> Json.to_str v = None) fields then
+            Result.Error "non-string attr value"
+          else
+            let attrs =
+              List.map (fun (k, v) -> (k, Option.get (Json.to_str v))) fields
+            in
+            Ok { time; severity; component; kind; attrs })
+  | _ -> Result.Error "event missing a required field"
+
+let to_jsonl t =
+  let b = Buffer.create 1024 in
+  if t.dropped > 0 then begin
+    Buffer.add_string b
+      (Json.to_string
+         (Json.Obj
+            [ ("time", Json.Float 0.0); ("severity", Json.Str "warn");
+              ("component", Json.Str "telemetry");
+              ("kind", Json.Str "trace.truncated");
+              ("attrs",
+               Json.Obj [ ("dropped_events", Json.Str (string_of_int t.dropped)) ]) ]));
+    Buffer.add_char b '\n'
+  end;
+  Queue.iter
+    (fun ev ->
+      Buffer.add_string b (Json.to_string (event_to_json ev));
+      Buffer.add_char b '\n')
+    t.ring;
+  Buffer.contents b
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.of_string line with
+        | Result.Error e -> Result.Error e
+        | Ok j -> (
+            match event_of_json j with
+            | Result.Error e -> Result.Error e
+            | Ok ev -> go (ev :: acc) rest))
+  in
+  go [] lines
