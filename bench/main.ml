@@ -94,8 +94,10 @@ let t_cache =
 
 (* --- whole protocol exchanges per profile (simulated end-to-end) --- *)
 
-let full_session (profile : Profile.t) =
+let full_session ?(prepare = fun (_ : Attacks.Testbed.t) -> ())
+    (profile : Profile.t) =
   let bed = Attacks.Testbed.make ~profile () in
+  prepare bed;
   let ok = ref false in
   Client.login bed.victim ~password:bed.victim_password (fun r ->
       ignore (Attacks.Testbed.expect "login" r);
@@ -119,6 +121,26 @@ let session_test (profile : Profile.t) =
 let t_session_v4 = session_test Profile.v4
 let t_session_v5 = session_test Profile.v5_draft3
 let t_session_hardened = session_test Profile.hardened
+
+(* --- fault plane: the disabled plane must be free --- *)
+
+let t_faults_none =
+  Test.make ~name:"fault-plane/session-no-plane"
+    (Staged.stage (fun () -> full_session Profile.v4))
+
+let t_faults_inert =
+  Test.make ~name:"fault-plane/session-inert-plane"
+    (Staged.stage (fun () ->
+         full_session Profile.v4 ~prepare:(fun bed ->
+             Sim.Net.attach_faults bed.Attacks.Testbed.net (Sim.Faults.create ()))))
+
+let t_faults_jitter =
+  Test.make ~name:"fault-plane/session-jitter-plane"
+    (Staged.stage (fun () ->
+         full_session Profile.v4 ~prepare:(fun bed ->
+             let plane = Sim.Faults.create () in
+             Sim.Faults.add_jitter plane ~max_delay:0.002 ();
+             Sim.Net.attach_faults bed.Attacks.Testbed.net plane)))
 
 (* --- ablations: the cost of each recommended login mechanism, and of the
    two AP-exchange styles, measured as one whole simulated exchange --- *)
@@ -187,19 +209,21 @@ let tests =
   Test.make_grouped ~name:"kerblim"
     [ t_des_block; t_ecb_1k; t_cbc_1k; t_pcbc_1k; t_md4_1k; t_crc_1k; t_crc_forge;
       t_str2key; t_guess; t_modexp_31; t_modexp_127; t_modexp_521; t_cache;
-      t_session_v4; t_session_v5; t_session_hardened; t_login_password;
+      t_session_v4; t_session_v5; t_session_hardened; t_faults_none;
+      t_faults_inert; t_faults_jitter; t_login_password;
       t_login_preauth; t_login_handheld; t_login_dh61; t_login_dh127;
       t_login_full_hardened; t_ap_timestamp; t_ap_cache; t_ap_challenge ]
 
 let json_path = "BENCH_crypto.json"
 let telemetry_json_path = "BENCH_telemetry.json"
+let faults_json_path = "BENCH_faults.json"
+let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
 
 (* Hand-rolled serialization: the sealed environment has no JSON library,
    and the schema is one flat object. NaNs (an OLS fit that never
    converged) are encoded as null. *)
 let write_json rows =
   let oc = open_out json_path in
-  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
   output_string oc "{\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -253,6 +277,31 @@ let () =
     write_json rows;
     Printf.printf "machine-readable results: %s\n"
       (Filename.concat (Sys.getcwd ()) json_path);
+    (* Fault-plane overhead check: an attached-but-empty plane should cost
+       nothing measurable on a full session (budget: 1%). The jitter row
+       shows what a plane that actually fires costs, for scale. *)
+    let ns_of name =
+      match List.find_opt (fun (n, _, _) -> String.equal n name) rows with
+      | Some (_, ns, _) -> ns
+      | None -> nan
+    in
+    let base = ns_of "kerblim/fault-plane/session-no-plane" in
+    let inert = ns_of "kerblim/fault-plane/session-inert-plane" in
+    let jitter = ns_of "kerblim/fault-plane/session-jitter-plane" in
+    let disabled_pct = (inert -. base) /. base *. 100.0 in
+    let oc = open_out faults_json_path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"session_no_plane_ns\": %s,\n\
+      \  \"session_inert_plane_ns\": %s,\n\
+      \  \"session_jitter_plane_ns\": %s,\n\
+      \  \"overhead_disabled_pct\": %s,\n\
+      \  \"overhead_budget_pct\": 1.0\n\
+       }\n"
+      (num base) (num inert) (num jitter) (num disabled_pct);
+    close_out oc;
+    Printf.printf "fault-plane overhead:     %s (disabled plane: %+.2f%%)\n"
+      (Filename.concat (Sys.getcwd ()) faults_json_path) disabled_pct;
     (* Telemetry companion: run one traced session per profile on a fresh
        collector and persist its metrics export — span-latency histograms
        (simulated seconds) plus the request counters — alongside the

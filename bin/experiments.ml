@@ -149,6 +149,37 @@ let print_opsview () =
     (fun () -> ignore (Attacks.Replay_auth.run ~profile:v4_cached ()));
   ignore (Telemetry.Collector.fresh_default ())
 
+(* The chaos runbook: each seed runs twice — once for the verdict, once to
+   prove the fault plane is deterministic (byte-identical trace dumps).
+   Exit nonzero on any safety violation or divergence, so CI can gate on
+   it. *)
+let print_chaos fault_seed seeds =
+  print_endline "== Chaos: quickstart workload under randomized fault schedules ==";
+  print_newline ();
+  let failures = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.add fault_seed (Int64.of_int i) in
+    let r = Expframework.Chaos.run ~fault_seed:seed () in
+    let r2 = Expframework.Chaos.run ~fault_seed:seed () in
+    print_string (Expframework.Chaos.summary r);
+    let identical = String.equal r.Expframework.Chaos.trace r2.Expframework.Chaos.trace in
+    Printf.printf "  determinism: %s\n\n"
+      (if identical then
+         Printf.sprintf "re-run produced a byte-identical trace (%d bytes)"
+           (String.length r.Expframework.Chaos.trace)
+       else "RE-RUN DIVERGED");
+    if not identical then incr failures;
+    if Expframework.Chaos.safety_violations r <> [] then incr failures
+  done;
+  ignore (Telemetry.Collector.fresh_default ());
+  if !failures = 0 then
+    Printf.printf "chaos: %d seed(s), all safety invariants held, all traces deterministic\n"
+      seeds
+  else begin
+    Printf.printf "chaos: FAILURES in %d seed(s)\n" !failures;
+    exit 1
+  end
+
 let run_all () =
   print_matrix ();
   print_endline "";
@@ -168,6 +199,27 @@ open Cmdliner
 
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
+let chaos_cmd =
+  let fault_seed =
+    Arg.(
+      value
+      & opt int64 1L
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"First fault-schedule seed.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the quickstart workload under seeded fault injection and check \
+          the safety invariants (each seed is run twice to prove trace \
+          determinism; exits nonzero on violation)")
+    Term.(const print_chaos $ fault_seed $ seeds)
+
 let () =
   let default = Term.(const run_all $ const ()) in
   let info =
@@ -185,6 +237,7 @@ let () =
       cmd_of "e15" "encryption box invariants" print_e15;
       cmd_of "validation" "message-confusion matrices" print_validation;
       cmd_of "opsview" "operator view of the attacks" print_opsview;
+      chaos_cmd;
       cmd_of "all" "run everything" run_all ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -4,11 +4,12 @@ type config = {
   skew : float;
   refuse_dup_skey : bool;
   max_peers : int;
+  persist_replay_cache : bool;
 }
 
 let default_config =
   { accept_forwarded = false; trusted_transit = []; skew = 300.0;
-    refuse_dup_skey = false; max_peers = 4096 }
+    refuse_dup_skey = false; max_peers = 4096; persist_replay_cache = false }
 
 type pending = {
   pend_ticket : Messages.ticket;
@@ -30,7 +31,10 @@ type t = {
   port : int;
   config : config;
   rng : Util.Rng.t;
-  cache : Replay_cache.t option;
+  mutable cache : Replay_cache.t option;
+  mutable disk : bytes option;
+      (** persisted replay-cache snapshot, written at crash *)
+  mutable running : bool;
   peers : (Sim.Addr.t * int, peer_state) Hashtbl.t;
   peer_order : (Sim.Addr.t * int) Queue.t;  (** insertion order, for eviction *)
   handler : Session.t -> client:Principal.t -> bytes -> bytes option;
@@ -47,6 +51,9 @@ type t = {
 
 let sessions_established t = t.established
 let rejections t = t.rejected
+let running t = t.running
+
+let replay_hits t = Telemetry.Metrics.value t.c_replay_hits
 
 let replay_cache_size t =
   match t.cache with None -> 0 | Some c -> Replay_cache.size c
@@ -256,71 +263,116 @@ let handle_safe t ~pkt session client payload =
       | Some resp ->
           reply t ~pkt Frames.safe (Krb_safe.seal session ~now:(now t) resp))
 
+(* --- Frame dispatch and lifecycle ---------------------------------- *)
+
+let handle_frame t pkt =
+  match Frames.unwrap pkt.Sim.Packet.payload with
+  | None -> ()
+  | Some (kind, payload) -> (
+      let peer = (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) in
+      (* One span per recognized frame, nested under the packet span;
+         replies sent inside the handler nest under it in turn. The
+         failure paths record the outcome via [flag_outcome]. *)
+      let traced name handler =
+        let span =
+          Telemetry.Collector.span_begin t.tel ~component:"apserver" name
+            ~attrs:
+              [ ("service", Principal.to_string t.principal);
+                ("src", Sim.Addr.to_string pkt.Sim.Packet.src) ]
+        in
+        t.pending_outcome <- None;
+        Telemetry.Collector.with_context t.tel span handler;
+        Telemetry.Collector.span_finish t.tel
+          ~outcome:(Option.value t.pending_outcome ~default:"ok")
+          span;
+        t.pending_outcome <- None
+      in
+      match (kind, Hashtbl.find_opt t.peers peer) with
+      | k, _ when k = Frames.ap_req ->
+          traced "ap.req" (fun () ->
+              match
+                Messages.ap_req_of_value
+                  (Wire.Encoding.decode t.profile.Profile.encoding payload)
+              with
+              | exception Wire.Codec.Decode_error e ->
+                  reject t ~pkt { Ap_check.code = Messages.err_generic; reason = e }
+              | r -> (
+                  match t.profile.Profile.ap_auth with
+                  | Profile.Timestamp { skew; _ } ->
+                      handle_ap_timestamp t ~pkt ~skew:(min skew t.config.skew) r
+                  | Profile.Challenge_response -> handle_ap_challenge t ~pkt r))
+      | k, Some (Awaiting_response pending) when k = Frames.challenge_resp ->
+          traced "ap.challenge_resp" (fun () ->
+              handle_challenge_resp t ~pkt pending payload)
+      | k, Some (Established (session, client)) when k = Frames.priv ->
+          traced "ap.priv" (fun () -> handle_priv t ~pkt session client payload)
+      | k, Some (Established (session, client)) when k = Frames.safe ->
+          traced "ap.safe" (fun () -> handle_safe t ~pkt session client payload)
+      | _ ->
+          Sim.Net.note t.net
+            (Printf.sprintf "%s: unexpected frame %d" t.host.Sim.Host.name kind))
+
+let fresh_cache ~profile ~config =
+  match profile.Profile.ap_auth with
+  | Profile.Timestamp { replay_cache = true; _ } ->
+      Some (Replay_cache.create ~horizon:(2.0 *. config.skew))
+  | _ -> None
+
+(* A crash loses everything in memory: the port, every pending challenge
+   and established session — and, unless the configuration keeps the
+   replay cache on disk, the replay cache too. That last loss is the
+   paper's warning: after a fast restart, every authenticator still
+   inside the skew window is fresh again. *)
+let crash t =
+  if t.running then begin
+    t.running <- false;
+    Sim.Net.unlisten t.net t.host ~port:t.port;
+    t.disk <-
+      (match t.cache with
+      | Some c when t.config.persist_replay_cache -> Some (Replay_cache.to_bytes c)
+      | _ -> None);
+    t.cache <- None;
+    Hashtbl.reset t.peers;
+    Queue.clear t.peer_order;
+    Sim.Net.note t.net
+      (Printf.sprintf "%s: %s crashed" t.host.Sim.Host.name
+         (Principal.to_string t.principal))
+  end
+
+let restart t =
+  if not t.running then begin
+    t.running <- true;
+    t.cache <-
+      (match t.disk with
+      | Some b -> Some (Replay_cache.of_bytes b)
+      | None -> fresh_cache ~profile:t.profile ~config:t.config);
+    t.disk <- None;
+    Sim.Net.listen t.net t.host ~port:t.port (fun pkt -> handle_frame t pkt);
+    Sim.Net.note t.net
+      (Printf.sprintf "%s: %s restarted%s" t.host.Sim.Host.name
+         (Principal.to_string t.principal)
+         (match t.cache with
+         | Some c when t.config.persist_replay_cache ->
+             Printf.sprintf " (replay cache restored, %d entries)"
+               (Replay_cache.size c)
+         | _ -> ""))
+  end
+
 let install ?(seed = 0x5345525645L) ?(config = default_config) net host ~profile
     ~principal ~key ~port ~handler () =
-  let cache =
-    match profile.Profile.ap_auth with
-    | Profile.Timestamp { replay_cache = true; _ } ->
-        Some (Replay_cache.create ~horizon:(2.0 *. config.skew))
-    | _ -> None
-  in
   let tel = Sim.Net.telemetry net in
   let m = Telemetry.Collector.metrics tel in
   let fresh base = Telemetry.Metrics.counter m (Telemetry.Metrics.fresh_name m base) in
   let svc = "ap." ^ Principal.to_string principal in
   let t =
     { net; host; profile; principal; key; port; config; rng = Util.Rng.create seed;
-      cache; peers = Hashtbl.create 16; peer_order = Queue.create (); handler;
+      cache = fresh_cache ~profile ~config; disk = None; running = true;
+      peers = Hashtbl.create 16; peer_order = Queue.create (); handler;
       established = 0; rejected = []; tel;
       c_established = fresh (svc ^ ".sessions_established");
       c_rejected = fresh (svc ^ ".ap_rejects");
       c_replay_hits = fresh (svc ^ ".replay_hits");
       pending_outcome = None }
   in
-  Sim.Net.listen net host ~port (fun pkt ->
-      match Frames.unwrap pkt.Sim.Packet.payload with
-      | None -> ()
-      | Some (kind, payload) -> (
-          let peer = (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) in
-          (* One span per recognized frame, nested under the packet span;
-             replies sent inside the handler nest under it in turn. The
-             failure paths record the outcome via [flag_outcome]. *)
-          let traced name handler =
-            let span =
-              Telemetry.Collector.span_begin t.tel ~component:"apserver" name
-                ~attrs:
-                  [ ("service", Principal.to_string t.principal);
-                    ("src", Sim.Addr.to_string pkt.Sim.Packet.src) ]
-            in
-            t.pending_outcome <- None;
-            Telemetry.Collector.with_context t.tel span handler;
-            Telemetry.Collector.span_finish t.tel
-              ~outcome:(Option.value t.pending_outcome ~default:"ok")
-              span;
-            t.pending_outcome <- None
-          in
-          match (kind, Hashtbl.find_opt t.peers peer) with
-          | k, _ when k = Frames.ap_req ->
-              traced "ap.req" (fun () ->
-                  match
-                    Messages.ap_req_of_value
-                      (Wire.Encoding.decode profile.Profile.encoding payload)
-                  with
-                  | exception Wire.Codec.Decode_error e ->
-                      reject t ~pkt { Ap_check.code = Messages.err_generic; reason = e }
-                  | r -> (
-                      match profile.Profile.ap_auth with
-                      | Profile.Timestamp { skew; _ } ->
-                          handle_ap_timestamp t ~pkt ~skew:(min skew t.config.skew) r
-                      | Profile.Challenge_response -> handle_ap_challenge t ~pkt r))
-          | k, Some (Awaiting_response pending) when k = Frames.challenge_resp ->
-              traced "ap.challenge_resp" (fun () ->
-                  handle_challenge_resp t ~pkt pending payload)
-          | k, Some (Established (session, client)) when k = Frames.priv ->
-              traced "ap.priv" (fun () -> handle_priv t ~pkt session client payload)
-          | k, Some (Established (session, client)) when k = Frames.safe ->
-              traced "ap.safe" (fun () -> handle_safe t ~pkt session client payload)
-          | _ ->
-              Sim.Net.note t.net
-                (Printf.sprintf "%s: unexpected frame %d" t.host.Sim.Host.name kind)));
+  Sim.Net.listen net host ~port (fun pkt -> handle_frame t pkt);
   t

@@ -20,6 +20,10 @@ type config = {
           authentication process" — and an attacker can milk that by
           opening challenges it never answers; beyond the bound the oldest
           entries are evicted. *)
+  persist_replay_cache : bool;
+      (** snapshot the replay cache at {!crash} and restore it at
+          {!restart} (default [false] — the volatile cache whose restart
+          gap the paper warns about). *)
 }
 
 val default_config : config
@@ -38,8 +42,31 @@ val install :
   t
 
 val sessions_established : t -> int
+(** Cumulative over the server's lifetime, crashes included. *)
+
 val rejections : t -> (int * string) list
 (** Reverse-chronological (code, reason) of refused AP attempts. *)
+
+val replay_hits : t -> int
+(** Authenticators refused as replays (the per-service telemetry
+    counter), cumulative across restarts. *)
+
+(** {1 Crash/restart}
+
+    A server process dies and comes back: the port goes silent, pending
+    challenges and established sessions are lost, and the replay cache
+    survives only under [persist_replay_cache]. A {e non}-persistent
+    cache restart re-admits any authenticator still inside the skew
+    window — the operational gap the paper points out. *)
+
+val crash : t -> unit
+(** Idempotent; the port stops answering immediately. *)
+
+val restart : t -> unit
+(** Idempotent; re-listens on the same port with fresh peer state and a
+    restored (persistent) or empty (volatile) replay cache. *)
+
+val running : t -> bool
 
 val replay_cache_size : t -> int
 (** 0 when the profile runs without a cache. *)

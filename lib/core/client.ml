@@ -13,11 +13,16 @@ type t = {
   kdcs : (string * Sim.Addr.t) list;
   me : Principal.t;
   rng : Util.Rng.t;
+  password : string option;  (** remembered for re-login on TGT expiry *)
+  kdc_timeout : float;
+  kdc_retries : int;
   mutable tgt_creds : credentials option;
 }
 
-let create ?(seed = 0x434c49L) net host ~profile ~kdcs me =
-  { net; host; profile; kdcs; me; rng = Util.Rng.create seed; tgt_creds = None }
+let create ?(seed = 0x434c49L) ?password ?(kdc_timeout = 1.0) ?(kdc_retries = 0)
+    net host ~profile ~kdcs me =
+  { net; host; profile; kdcs; me; rng = Util.Rng.create seed; password;
+    kdc_timeout; kdc_retries; tgt_creds = None }
 
 let principal t = t.me
 let host t = t.host
@@ -29,10 +34,34 @@ let adopt_tgt t creds = t.tgt_creds <- Some creds
 
 let now t = Sim.Net.local_time t.net t.host
 
-let kdc_addr t realm =
-  match List.assoc_opt realm t.kdcs with
-  | Some a -> Ok a
-  | None -> Error ("no KDC known for realm " ^ realm)
+(* Every entry for the realm, in configuration order: the first is the
+   master, the rest the slaves Project Athena ran "so workstations always
+   had a reachable KDC". *)
+let kdc_addrs t realm =
+  List.filter_map
+    (fun (r, a) -> if String.equal r realm then Some a else None)
+    t.kdcs
+
+(* One logical KDC request: try each address in turn (with the client's
+   per-address timeout/retry budget) and fail over on silence. *)
+let kdc_call t ~realm payload ~on_reply ~on_error =
+  match kdc_addrs t realm with
+  | [] -> on_error ("no KDC known for realm " ^ realm)
+  | first :: rest ->
+      let rec go kdc rest =
+        Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+          ~timeout:t.kdc_timeout ~retries:t.kdc_retries payload ~on_reply
+          ~on_timeout:(fun () ->
+            match rest with
+            | [] -> on_error "KDC timeout"
+            | next :: rest ->
+                Sim.Net.note t.net
+                  (Printf.sprintf "%s: KDC %s unreachable, failing over to %s"
+                     t.host.Sim.Host.name (Sim.Addr.to_string kdc)
+                     (Sim.Addr.to_string next));
+                go next rest)
+      in
+      go first rest
 
 (* Credentials are parked in the host cache so the cache-theft experiment
    can steal exactly what a real intruder would find. *)
@@ -135,13 +164,10 @@ let login t ?handheld ?key ?service ~password k =
     { Messages.q_client = t.me; q_server = target; q_nonce = nonce;
       q_addr = Sim.Host.primary_ip t.host; q_padata = padata }
   in
-  match kdc_addr t t.me.Principal.realm with
-  | Error e -> k (Error e)
-  | Ok kdc ->
-      Telemetry.Collector.with_context tel span (fun () ->
-      Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+  Telemetry.Collector.with_context tel span (fun () ->
+      kdc_call t ~realm:t.me.Principal.realm
         (Wire.Encoding.encode t.profile.Profile.encoding (Messages.as_req_to_value req))
-        ~on_timeout:(fun () -> k (Error "KDC timeout"))
+        ~on_error:(fun e -> k (Error e))
         ~on_reply:(fun pkt ->
           match Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload with
           | exception Wire.Codec.Decode_error e -> k (Error e)
@@ -299,13 +325,11 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
             r_mutual = false } }
     in
     (* The TGS for the realm the 'via' credentials belong to. *)
-    match kdc_addr t via.service.Principal.realm with
-    | Error e -> k (Error e)
-    | Ok kdc ->
-        Telemetry.Collector.with_context tel span (fun () ->
-        Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+    Telemetry.Collector.with_context tel span (fun () ->
+        kdc_call t ~realm:via.service.Principal.realm
           (Wire.Encoding.encode t.profile.Profile.encoding (Messages.tgs_req_to_value req))
-          ~on_timeout:(fun () -> k (Error "TGS timeout"))
+          ~on_error:(fun e ->
+            k (Error (if String.equal e "KDC timeout" then "TGS timeout" else e)))
           ~on_reply:(fun pkt ->
             match
               Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload
@@ -357,12 +381,48 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
                                 end))))))
   end
 
+let tgt_expired t (c : credentials) = now t >= c.issued_at +. c.lifetime
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* The TGS says the TGT died (server clocks may see the expiry before
+   ours does, and a mid-retry client can cross the boundary in flight). *)
+let is_expiry_error e = contains_substring ~sub:"expired" e
+
 let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
+  let request via ~k =
+    get_ticket_via t ~via ?options ?additional_ticket
+      ?authz_data:(Option.map Fun.id authz_data) ~hops:0 ~service ~k ()
+  in
+  let relogin ~err k =
+    match t.password with
+    | None -> k (Error err)
+    | Some pw ->
+        login t ~password:pw (function
+          | Error e -> k (Error (err ^ "; re-login failed: " ^ e))
+          | Ok via -> k (Ok via))
+  in
   match t.tgt_creds with
-  | None -> k (Error "not logged in")
+  | None -> relogin ~err:"not logged in" (function
+      | Error e -> k (Error e)
+      | Ok via -> request via ~k)
+  | Some via when tgt_expired t via ->
+      (* Expired by our own clock: renew before asking the TGS. *)
+      relogin ~err:"TGT expired" (function
+        | Error e -> k (Error e)
+        | Ok via -> request via ~k)
   | Some via ->
-      get_ticket_via t ~via ?options ?additional_ticket
-        ?authz_data:(Option.map Fun.id authz_data) ~hops:0 ~service ~k ()
+      request via ~k:(fun r ->
+          match r with
+          | Error e when is_expiry_error e && t.password <> None ->
+              (* Expired by the KDC's clock mid-flight: one re-login retry. *)
+              relogin ~err:e (function
+                | Error e -> k (Error e)
+                | Ok via -> request via ~k)
+          | r -> k r)
 
 (* ------------------------------------------------------------------ *)
 (* AP exchange and sealed calls                                        *)
@@ -414,10 +474,27 @@ let make_channel t session ~sport ~dst ~dport =
       | _ -> ());
   chan
 
-let ap_exchange t (creds : credentials) ?(mutual = true) ~dst ~dport k =
+let ap_exchange t (creds : credentials) ?(mutual = true) ?deadline ~dst ~dport k =
   let tel, span, wrap_k = exchange_span t "client.ap_exchange" in
   let k = wrap_k k in
+  (* With a deadline the continuation can be raced by the timer: first
+     completion wins, the loser is a no-op. *)
+  let settled = ref false in
+  let k r =
+    if not !settled then begin
+      settled := true;
+      k r
+    end
+  in
   let sport = Sim.Net.ephemeral_port t.net in
+  (match deadline with
+  | None -> ()
+  | Some d ->
+      Sim.Engine.schedule_after (Sim.Net.engine t.net) d (fun () ->
+          if not !settled then begin
+            Sim.Net.unlisten t.net t.host ~port:sport;
+            k (Error "AP exchange timed out")
+          end));
   (* Transmit inside the span's context: AP_REQ and any challenge
      response nest under the exchange. *)
   let send kind payload =
@@ -545,8 +622,32 @@ let ap_exchange t (creds : credentials) ?(mutual = true) ~dst ~dport k =
         (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
            (Messages.ap_req_to_value ap))
 
-let call_priv t chan data ~k =
-  chan.chan_waiting <- k;
+(* Park a waiter on the channel, optionally bounded by a deadline. The
+   waiter and the timer race; the first to settle wins, and the timer only
+   clears the channel slot if it still holds {e this} call's waiter (a
+   later call may have replaced it). *)
+let wait_on_channel chan ?deadline net ~k =
+  match deadline with
+  | None -> chan.chan_waiting <- k
+  | Some d ->
+      let settled = ref false in
+      let rec waiter r =
+        if not !settled then begin
+          settled := true;
+          k r
+        end
+      and timer () =
+        if not !settled then begin
+          settled := true;
+          if chan.chan_waiting == waiter then chan.chan_waiting <- ignore;
+          k (Error "call timed out")
+        end
+      in
+      chan.chan_waiting <- waiter;
+      Sim.Engine.schedule_after (Sim.Net.engine net) d timer
+
+let call_priv t chan ?deadline data ~k =
+  wait_on_channel chan ?deadline t.net ~k;
   let sealed = Krb_priv.seal chan.chan_session ~now:(now t) data in
   Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
     t.host (Frames.wrap Frames.priv sealed)
@@ -556,8 +657,8 @@ let send_priv_oneway t chan data =
   Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
     t.host (Frames.wrap Frames.priv sealed)
 
-let call_safe t chan data ~k =
-  chan.chan_waiting <- k;
+let call_safe t chan ?deadline data ~k =
+  wait_on_channel chan ?deadline t.net ~k;
   let msg = Krb_safe.seal chan.chan_session ~now:(now t) data in
   Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
     t.host (Frames.wrap Frames.safe msg)

@@ -17,13 +17,22 @@ type credentials = {
 
 val create :
   ?seed:int64 ->
+  ?password:string ->
+  ?kdc_timeout:float ->
+  ?kdc_retries:int ->
   Sim.Net.t ->
   Sim.Host.t ->
   profile:Profile.t ->
   kdcs:(string * Sim.Addr.t) list ->
   Principal.t ->
   t
-(** [kdcs] maps realm names to KDC addresses. *)
+(** [kdcs] maps realm names to KDC addresses. A realm may appear more
+    than once: the first entry is the master, later entries the slave
+    KDCs, and every KDC exchange fails over down the list when an address
+    stays silent through its retry budget ([kdc_timeout] seconds per
+    attempt, default 1.0, exponential backoff over [kdc_retries]
+    retransmissions, default 0). [password], if given, is remembered so
+    {!get_ticket} can re-login when the TGT has expired. *)
 
 val principal : t -> Principal.t
 val host : t -> Sim.Host.t
@@ -67,7 +76,13 @@ val get_ticket :
   ((credentials, string) result -> unit) ->
   unit
 (** Obtain a service ticket via the TGS, following cross-realm referrals
-    (bounded hops). *)
+    (bounded hops). If the client was created with a [password], an
+    expired (or missing) TGT triggers a re-login first — including once
+    on a TGS "ticket expired" error, for the client whose TGT dies while
+    a retry is in flight. *)
+
+val kdc_addrs : t -> string -> Sim.Addr.t list
+(** All configured KDC addresses for a realm, failover order. *)
 
 (** An authenticated session handle bound to a client-side port. *)
 type channel
@@ -78,18 +93,26 @@ val ap_exchange :
   t ->
   credentials ->
   ?mutual:bool ->
+  ?deadline:float ->
   dst:Sim.Addr.t ->
   dport:int ->
   ((channel, string) result -> unit) ->
   unit
+(** [deadline] (seconds from now; default none — wait forever, the
+    pre-fault-plane behaviour) bounds the whole exchange: if it passes
+    first the ephemeral port is torn down and the continuation gets
+    [Error "AP exchange timed out"], exactly once. *)
 
 val call_priv :
-  t -> channel -> bytes -> k:((bytes, string) result -> unit) -> unit
-(** Seal a request, send it on the channel, open the sealed response. *)
+  t -> channel -> ?deadline:float -> bytes -> k:((bytes, string) result -> unit) -> unit
+(** Seal a request, send it on the channel, open the sealed response.
+    [deadline] bounds the wait as in {!ap_exchange} (the channel itself
+    survives for later calls). *)
 
 val send_priv_oneway : t -> channel -> bytes -> unit
 
-val call_safe : t -> channel -> bytes -> k:((bytes, string) result -> unit) -> unit
+val call_safe :
+  t -> channel -> ?deadline:float -> bytes -> k:((bytes, string) result -> unit) -> unit
 (** As [call_priv] but integrity-only (KRB_SAFE): the request travels in
     the clear with a sealed checksum. *)
 

@@ -62,3 +62,36 @@ let check_and_insert t ~now blob =
 let size t = Hashtbl.length t.entries
 let hits t = t.hits
 let inserts t = t.inserts
+
+(* Persistence: the paper's replay cache only earns its name if it
+   survives a server restart — a cache that evaporates with the process
+   re-admits every authenticator still inside the skew window. Entries are
+   dumped sorted by key so the snapshot is deterministic; the heap is
+   rebuilt from the table on load, and the lifetime counters start over
+   (they describe a process, not a disk file). *)
+let to_bytes t =
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.i64 w (Int64.bits_of_float t.horizon);
+  let entries = Hashtbl.fold (fun k exp acc -> (k, exp) :: acc) t.entries [] in
+  let entries = List.sort compare entries in
+  Wire.Codec.Writer.u32 w (List.length entries);
+  List.iter
+    (fun (k, exp) ->
+      Wire.Codec.Writer.lstring w k;
+      Wire.Codec.Writer.i64 w (Int64.bits_of_float exp))
+    entries;
+  Wire.Codec.Writer.contents w
+
+let of_bytes b =
+  let r = Wire.Codec.Reader.of_bytes b in
+  let horizon = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
+  let t = create ~horizon in
+  let n = Wire.Codec.Reader.u32 r in
+  for _ = 1 to n do
+    let k = Wire.Codec.Reader.lstring r in
+    let expiry = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
+    Hashtbl.replace t.entries k expiry;
+    Sim.Heap.push t.expq { expiry; ekey = k }
+  done;
+  Wire.Codec.Reader.expect_end r;
+  t

@@ -32,3 +32,13 @@ val inserts : t -> int
 (** Fresh authenticators admitted over the cache's lifetime. *)
 
 val purge : t -> now:float -> unit
+
+val to_bytes : t -> bytes
+(** Deterministic snapshot (entries sorted by key) of the horizon and the
+    live entries — what a server that keeps its cache on disk writes at
+    shutdown. Lifetime counters ({!hits}/{!inserts}) are process state and
+    are not included. *)
+
+val of_bytes : bytes -> t
+(** Rebuild a cache from {!to_bytes} output; counters start at zero.
+    @raise Wire.Codec.Decode_error on malformed input. *)

@@ -1,0 +1,230 @@
+open Kerberos
+
+type client_report = {
+  cr_name : string;
+  cr_outcome : (string, string) result option;
+}
+
+type report = {
+  fault_seed : int64;
+  clients : client_report list;
+  ap_attempts : int;
+  sessions_established : int;
+  replay_hits : int;
+  replay_cache_size : int;
+  kdc_failovers : int;
+  fault_counts : (string * int) list;
+  packets_sent : int;
+  packets_dropped : int;
+  pending_after : int;
+  open_spans_after : int;
+  sim_seconds : float;
+  trace : string;
+}
+
+let profile =
+  { Profile.v5_draft3 with
+    Profile.name = "v5d3+cache";
+    ap_auth = Profile.Timestamp { skew = 300.0; replay_cache = true } }
+
+let expected_read = "chaos payload"
+
+let quad = Sim.Addr.of_quad
+
+let run ?(clients = 4) ?(crash_appserver = true) ~fault_seed () =
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed:0x4e4554L ~telemetry:tel eng in
+  (* The realm: a master KDC (the chaos schedule's victim), a slave fed
+     from the same database, one file server, [clients] workstations. *)
+  let master_host = Sim.Host.create ~name:"kdc-master" ~ips:[ quad 10 0 0 1 ] () in
+  let slave_host = Sim.Host.create ~name:"kdc-slave" ~ips:[ quad 10 0 0 2 ] () in
+  let fs_host = Sim.Host.create ~name:"fs" ~ips:[ quad 10 0 0 20 ] () in
+  let ws =
+    List.init clients (fun i ->
+        Sim.Host.create ~name:(Printf.sprintf "ws%d" i)
+          ~ips:[ quad 10 0 0 (30 + i) ] ())
+  in
+  List.iter (Sim.Net.attach net) (master_host :: slave_host :: fs_host :: ws);
+  let rng = Util.Rng.create 0xC4A05L in
+  let db = Kdb.create () in
+  Kdb.add_service db (Principal.tgs ~realm:"CHAOS") ~key:(Crypto.Des.random_key rng);
+  let users =
+    List.init clients (fun i ->
+        ( Principal.user ~realm:"CHAOS" (Printf.sprintf "user%d" i),
+          Printf.sprintf "chaos.pw.%d" i ))
+  in
+  List.iter (fun (p, pw) -> Kdb.add_user db p ~password:pw) users;
+  let fileserv = Principal.service ~realm:"CHAOS" "fileserv" ~host:"fs" in
+  let fs_key = Crypto.Des.random_key rng in
+  Kdb.add_service db fileserv ~key:fs_key;
+  let master = Kdc.create ~realm:"CHAOS" ~profile ~lifetime:28800.0 db in
+  Kdc.install net master_host master ();
+  (* The slave serves a replica of the same database (in production kprop
+     keeps it fresh — test_faults exercises that path explicitly). *)
+  let slave = Kdc.create ~realm:"CHAOS" ~profile ~lifetime:28800.0
+      (Kdb.of_bytes (Kdb.to_bytes db))
+  in
+  Kdc.install net slave_host slave ();
+  let fsrv =
+    Services.Fileserver.install net fs_host
+      ~config:{ Apserver.default_config with persist_replay_cache = true }
+      ~profile ~principal:fileserv ~key:fs_key ~port:600
+  in
+  Services.Fileserver.write_file fsrv ~owner:"seed" ~path:"/readme"
+    (Bytes.of_string expected_read);
+  let apsrv = Services.Fileserver.apserver fsrv in
+  (* The weather: a schedule derived entirely from [fault_seed]. Only the
+     master KDC may crash or be cut off — the slave keeps the realm
+     reachable, which is exactly why Athena ran slaves. *)
+  let plane = Sim.Faults.create ~seed:fault_seed () in
+  let frng = Util.Rng.create fault_seed in
+  Sim.Faults.random_schedule plane ~rng:frng
+    ~addrs:(List.map Sim.Host.primary_ip (master_host :: slave_host :: fs_host :: ws))
+    ~crashable:[ Sim.Host.primary_ip master_host ]
+    ~horizon:40.0 ();
+  (* One workstation's clock steps mid-run, inside the skew window. *)
+  (match ws with
+  | w0 :: _ ->
+      let delta = Util.Rng.float frng 120.0 -. 60.0 in
+      Sim.Faults.clock_step plane eng w0 ~at:(2.0 +. Util.Rng.float frng 10.0)
+        ~delta
+  | [] -> ());
+  Sim.Net.attach_faults net plane;
+  if crash_appserver then begin
+    Sim.Engine.schedule eng ~at:6.0 (fun () -> Apserver.crash apsrv);
+    Sim.Engine.schedule eng ~at:8.0 (fun () -> Apserver.restart apsrv)
+  end;
+  (* The workload: login -> service ticket -> AP exchange -> sealed READ,
+     each stage retried a bounded number of times with a deadline, so the
+     client either succeeds or reports a typed error — never hangs. *)
+  let ap_attempts = ref 0 in
+  let outcomes = Array.make clients None in
+  let kdcs =
+    [ ("CHAOS", Sim.Host.primary_ip master_host);
+      ("CHAOS", Sim.Host.primary_ip slave_host) ]
+  in
+  List.iteri
+    (fun i host ->
+      let who, pw = List.nth users i in
+      let c =
+        Client.create ~seed:(Int64.of_int (0x10C0 + i)) ~password:pw
+          ~kdc_timeout:0.8 ~kdc_retries:2 net host ~profile ~kdcs who
+      in
+      let finish r = if outcomes.(i) = None then outcomes.(i) <- Some r in
+      let retrying label attempts f k =
+        let rec go n =
+          f (fun r ->
+              match r with
+              | Ok v -> k v
+              | Error e ->
+                  if n + 1 < attempts then
+                    Sim.Engine.schedule_after eng 1.0 (fun () -> go (n + 1))
+                  else finish (Error (label ^ ": " ^ e)))
+        in
+        go 0
+      in
+      Sim.Engine.schedule eng ~at:(0.3 *. float_of_int i) (fun () ->
+          retrying "login" 3 (fun k -> Client.login c ~password:pw k) (fun _ ->
+              retrying "ticket" 3 (fun k -> Client.get_ticket c ~service:fileserv k)
+                (fun creds ->
+                  retrying "ap" 3
+                    (fun k ->
+                      incr ap_attempts;
+                      Client.ap_exchange c creds ~deadline:3.0
+                        ~dst:(Sim.Host.primary_ip fs_host) ~dport:600 k)
+                    (fun chan ->
+                      retrying "read" 3
+                        (fun k ->
+                          Client.call_priv c chan ~deadline:3.0
+                            (Bytes.of_string "READ /readme") ~k)
+                        (fun data -> finish (Ok (Bytes.to_string data))))))))
+    ws;
+  Sim.Engine.run eng;
+  let trace = Telemetry.Collector.trace_jsonl tel in
+  let counter name =
+    Telemetry.Metrics.value (Telemetry.Metrics.counter (Telemetry.Collector.metrics tel) name)
+  in
+  let failovers =
+    List.length
+      (List.filter
+         (function
+           | Sim.Net.Note (_, msg) ->
+               (* "<ws>: KDC <addr> unreachable, failing over to <addr>" *)
+               let sub = "failing over" in
+               let n = String.length sub and m = String.length msg in
+               let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+               n <= m && go 0
+           | _ -> false)
+         (Sim.Net.events net))
+  in
+  { fault_seed;
+    clients =
+      List.mapi
+        (fun i (who, _) ->
+          { cr_name = Principal.to_string who; cr_outcome = outcomes.(i) })
+        users;
+    ap_attempts = !ap_attempts;
+    sessions_established = Apserver.sessions_established apsrv;
+    replay_hits = Apserver.replay_hits apsrv;
+    replay_cache_size = Apserver.replay_cache_size apsrv;
+    kdc_failovers = failovers;
+    fault_counts = Sim.Faults.counts plane;
+    packets_sent = counter "net.packets.sent";
+    packets_dropped = counter "net.packets.dropped";
+    pending_after = Sim.Engine.pending eng;
+    open_spans_after = Telemetry.Collector.open_span_count tel;
+    sim_seconds = Sim.Engine.now eng;
+    trace }
+
+let safety_violations r =
+  let v = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+  (* No forged or replayed authenticator ever mints a session: the server
+     can never hold more sessions than honest AP exchanges were started. *)
+  if r.sessions_established > r.ap_attempts then
+    add "forged/replayed authenticator accepted: %d sessions from %d honest AP attempts"
+      r.sessions_established r.ap_attempts;
+  (* Sealed reads are authenticated end-to-end: corruption may deny
+     service but can never change what a successful read returns. *)
+  List.iter
+    (fun c ->
+      match c.cr_outcome with
+      | Some (Ok data) when data <> expected_read ->
+          add "%s: sealed read returned wrong bytes %S" c.cr_name data
+      | Some _ -> ()
+      | None -> add "%s: continuation never settled (stalled client)" c.cr_name)
+    r.clients;
+  if r.pending_after <> 0 then
+    add "engine failed to drain: %d events pending" r.pending_after;
+  if r.open_spans_after <> 0 then
+    add "%d telemetry spans left open" r.open_spans_after;
+  List.rev !v
+
+let summary r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "fault seed %Ld: %.1f simulated seconds, %d packets sent, %d dropped"
+    r.fault_seed r.sim_seconds r.packets_sent r.packets_dropped;
+  line "  faults injected: %s"
+    (if r.fault_counts = [] then "(none)"
+     else
+       String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) r.fault_counts));
+  line "  fileserver: %d sessions from %d honest AP attempts, %d replay hits, cache %d entries"
+    r.sessions_established r.ap_attempts r.replay_hits r.replay_cache_size;
+  line "  KDC failovers: %d" r.kdc_failovers;
+  List.iter
+    (fun c ->
+      line "  %-16s %s" c.cr_name
+        (match c.cr_outcome with
+        | Some (Ok data) -> Printf.sprintf "ok (read %S)" data
+        | Some (Error e) -> Printf.sprintf "error (%s)" e
+        | None -> "STALLED"))
+    r.clients;
+  (match safety_violations r with
+  | [] -> line "  safety: OK (0 violations)"
+  | vs ->
+      line "  safety: %d VIOLATIONS" (List.length vs);
+      List.iter (fun v -> line "    - %s" v) vs);
+  Buffer.contents b

@@ -1,0 +1,61 @@
+(** The chaos workload: the quickstart realm (clients logging in, fetching
+    tickets, and making sealed file-server calls) run under a seeded
+    random fault schedule — loss, duplication, reordering, corruption,
+    jitter, a partition or crash of the master KDC, a clock step, and a
+    mid-run application-server crash/restart with a persistent replay
+    cache.
+
+    Everything is deterministic in [fault_seed]: running the same seed
+    twice produces byte-identical telemetry traces. The safety invariants
+    ({!safety_violations}) are the ones the paper's operational sections
+    promise: no forged or replayed authenticator ever mints a session, a
+    sealed read never returns wrong bytes, every client continuation
+    settles (success or typed error), the engine drains, and no telemetry
+    span leaks. *)
+
+type client_report = {
+  cr_name : string;
+  cr_outcome : (string, string) result option;
+      (** [Ok data] — the sealed read's plaintext; [Error e] — the typed
+          failure; [None] — the continuation never fired (a liveness
+          violation). *)
+}
+
+type report = {
+  fault_seed : int64;
+  clients : client_report list;
+  ap_attempts : int;  (** honest AP exchanges started *)
+  sessions_established : int;
+  replay_hits : int;
+  replay_cache_size : int;
+  kdc_failovers : int;  (** client-side failover notes observed *)
+  fault_counts : (string * int) list;
+  packets_sent : int;
+  packets_dropped : int;
+  pending_after : int;
+  open_spans_after : int;
+  sim_seconds : float;
+  trace : string;  (** full JSONL trace dump — the determinism witness *)
+}
+
+val profile : Kerberos.Profile.t
+(** v5-draft3 with a replay cache — the configuration the paper says the
+    design required but V4 never shipped. *)
+
+val expected_read : string
+(** The file contents every successful client must have read. *)
+
+val run :
+  ?clients:int -> ?crash_appserver:bool -> fault_seed:int64 -> unit -> report
+(** One full chaos run on a fresh engine, network and collector.
+    [clients] (default 4) workstations start staggered; the master KDC is
+    the fault schedule's designated victim (the slave keeps the realm
+    reachable); with [crash_appserver] (default true) the file server
+    crashes at t=6s and restarts at t=8s with its replay cache restored
+    from disk. *)
+
+val safety_violations : report -> string list
+(** Empty iff every safety and liveness invariant held. *)
+
+val summary : report -> string
+(** Multi-line human-readable transcript block for one run. *)

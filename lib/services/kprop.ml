@@ -34,11 +34,29 @@ let install_slave ?config net host ~profile ~principal ~key ~port ~master ~slave
   in
   t
 
-let propagate client chan ~db ~k =
+let propagate ?deadline client chan ~db ~k =
   let msg = Bytes.cat (Bytes.of_string "PROP ") (Kdb.to_bytes db) in
-  Client.call_priv client chan msg ~k:(fun r ->
+  Client.call_priv client chan ?deadline msg ~k:(fun r ->
       match r with
       | Error e -> k (Error e)
       | Ok data ->
           if Bytes.to_string data = "OK" then k (Ok ())
           else k (Error (Bytes.to_string data)))
+
+(* A slave cut off by a partition misses pushes; the master's kprop job
+   just runs again. Each attempt is bounded by [deadline] so a dump
+   swallowed by the dead link fails over to the next try instead of
+   parking the master forever; [pause] spaces the attempts out so a heal
+   mid-schedule gets a chance to matter. *)
+let propagate_with_retry ?(attempts = 3) ?(deadline = 2.0) ?(pause = 1.0) client
+    chan ~db ~k =
+  let eng = Sim.Net.engine (Client.net client) in
+  let rec go n =
+    propagate ~deadline client chan ~db ~k:(fun r ->
+        match r with
+        | Ok () -> k (Ok ())
+        | Error e ->
+            if n + 1 < attempts then Sim.Engine.schedule_after eng pause (fun () -> go (n + 1))
+            else k (Error e))
+  in
+  if attempts <= 0 then k (Error "kprop: no attempts configured") else go 0

@@ -29,9 +29,25 @@ val propagations_received : t -> int
 val pushes_refused : t -> int
 
 val propagate :
+  ?deadline:float ->
   Kerberos.Client.t ->
   Kerberos.Client.channel ->
   db:Kerberos.Kdb.t ->
   k:((unit, string) result -> unit) ->
   unit
-(** Master side: dump [db] and push it over the channel. *)
+(** Master side: dump [db] and push it over the channel. [deadline]
+    bounds the wait for the slave's acknowledgement (default: forever). *)
+
+val propagate_with_retry :
+  ?attempts:int ->
+  ?deadline:float ->
+  ?pause:float ->
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  db:Kerberos.Kdb.t ->
+  k:((unit, string) result -> unit) ->
+  unit
+(** {!propagate} up to [attempts] times (default 3), each bounded by
+    [deadline] seconds (default 2.0) and spaced [pause] seconds apart
+    (default 1.0) — the re-propagation loop that repairs a slave stranded
+    behind a partition once the network heals. *)

@@ -72,4 +72,6 @@ let run_until t limit =
      fully drained queue settles them. *)
   if Heap.size t.heap = 0 then settle_spans ~strict:false t
 
+let settle t = settle_spans ~strict:false t
+
 let pending t = Heap.size t.heap

@@ -32,4 +32,14 @@ val run_until : t -> float -> unit
     clock to it. Spans are settled only if this empties the queue —
     a later event may still close a span that is open at [limit]. *)
 
+val settle : t -> unit
+(** Settle attached collectors' spans now, as a drained {!run} would:
+    everything still open is finished as ["abandoned"] with a [Warn]
+    trace event. {!run_until} deliberately leaves spans open while the
+    queue is non-empty (a later event may close them), so a caller that
+    stops mid-simulation and dumps the trace would otherwise leak
+    never-finished spans — call this first. Settling a span an event
+    would later have closed makes that close a no-op, so only settle
+    when you are done observing. *)
+
 val pending : t -> int

@@ -1,0 +1,254 @@
+type kind =
+  | Loss
+  | Duplicate
+  | Reorder
+  | Corrupt
+  | Jitter
+  | Partition
+  | Host_down
+  | Clock_step
+
+let kind_index = function
+  | Loss -> 0
+  | Duplicate -> 1
+  | Reorder -> 2
+  | Corrupt -> 3
+  | Jitter -> 4
+  | Partition -> 5
+  | Host_down -> 6
+  | Clock_step -> 7
+
+let kind_name = function
+  | Loss -> "loss"
+  | Duplicate -> "duplicate"
+  | Reorder -> "reorder"
+  | Corrupt -> "corrupt"
+  | Jitter -> "jitter"
+  | Partition -> "partition"
+  | Host_down -> "host_down"
+  | Clock_step -> "clock_step"
+
+let all_kinds =
+  [ Loss; Duplicate; Reorder; Corrupt; Jitter; Partition; Host_down; Clock_step ]
+
+type window = { w_from : float; w_until : float }  (* [from, until) *)
+
+type rule_action =
+  | R_loss of float
+  | R_duplicate of float * float  (* p, copy delay *)
+  | R_reorder of float * float  (* p, hold *)
+  | R_corrupt of float
+  | R_jitter of float  (* max extra delay *)
+
+type rule = {
+  action : rule_action;
+  r_src : Addr.t option;
+  r_dst : Addr.t option;
+  r_win : window;
+}
+
+type cut = {
+  side_a : Addr.t list;
+  side_b : Addr.t list;
+  c_from : float;
+  mutable c_until : float;
+}
+
+type outage = { o_addr : Addr.t; o_from : float; mutable o_until : float }
+
+type t = {
+  rng : Util.Rng.t;
+  mutable rules : rule list;  (* insertion order — evaluation order *)
+  mutable cuts : cut list;
+  mutable outages : outage list;
+  counts : int array;
+  mutable on_fire : kind -> unit;
+}
+
+let create ?(seed = 0xFA0175L) () =
+  { rng = Util.Rng.create seed; rules = []; cuts = []; outages = [];
+    counts = Array.make 8 0; on_fire = ignore }
+
+let set_on_fire t fn = t.on_fire <- fn
+let count t kind = t.counts.(kind_index kind)
+
+let counts t =
+  List.filter_map
+    (fun k ->
+      let n = count t k in
+      if n > 0 then Some (kind_name k, n) else None)
+    all_kinds
+
+let fire t kind =
+  t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
+  t.on_fire kind
+
+let window ?(from = 0.0) ?(until = infinity) () = { w_from = from; w_until = until }
+let in_window w now = now >= w.w_from && now < w.w_until
+
+let add_rule t ?src ?dst ?from ?until action =
+  t.rules <-
+    t.rules @ [ { action; r_src = src; r_dst = dst; r_win = window ?from ?until () } ]
+
+let add_loss t ?src ?dst ?from ?until ~p () =
+  add_rule t ?src ?dst ?from ?until (R_loss p)
+
+let add_duplicate t ?src ?dst ?from ?until ?(copy_delay = 0.002) ~p () =
+  add_rule t ?src ?dst ?from ?until (R_duplicate (p, copy_delay))
+
+let add_reorder t ?src ?dst ?from ?until ?(hold = 0.02) ~p () =
+  add_rule t ?src ?dst ?from ?until (R_reorder (p, hold))
+
+let add_corrupt t ?src ?dst ?from ?until ~p () =
+  add_rule t ?src ?dst ?from ?until (R_corrupt p)
+
+let add_jitter t ?src ?dst ?from ?until ~max_delay () =
+  add_rule t ?src ?dst ?from ?until (R_jitter max_delay)
+
+let partition t ~a ~b ?from ?until () =
+  let w = window ?from ?until () in
+  t.cuts <- t.cuts @ [ { side_a = a; side_b = b; c_from = w.w_from; c_until = w.w_until } ]
+
+let crash_host t addr ?from ?until () =
+  let w = window ?from ?until () in
+  t.outages <- t.outages @ [ { o_addr = addr; o_from = w.w_from; o_until = w.w_until } ]
+
+let heal t ~now =
+  List.iter (fun c -> if c.c_until > now then c.c_until <- now) t.cuts;
+  List.iter (fun o -> if o.o_until > now then o.o_until <- now) t.outages
+
+let host_up t ~now addr =
+  not
+    (List.exists
+       (fun o ->
+         Addr.equal o.o_addr addr && now >= o.o_from && now < o.o_until)
+       t.outages)
+
+let cut_between c src dst =
+  let mem a l = List.exists (Addr.equal a) l in
+  (mem src c.side_a && mem dst c.side_b) || (mem src c.side_b && mem dst c.side_a)
+
+let partitioned t ~now src dst =
+  List.exists
+    (fun c -> now >= c.c_from && now < c.c_until && cut_between c src dst)
+    t.cuts
+
+let clock_step t eng host ~at ~delta =
+  Engine.schedule eng ~at (fun () ->
+      host.Host.clock_offset <- host.Host.clock_offset +. delta;
+      fire t Clock_step)
+
+type verdict =
+  | Pass
+  | Drop of string
+  | Deliveries of (float * bytes) list
+
+let matches rule ~now (pkt : Packet.t) =
+  in_window rule.r_win now
+  && (match rule.r_src with None -> true | Some a -> Addr.equal a pkt.Packet.src)
+  && (match rule.r_dst with None -> true | Some a -> Addr.equal a pkt.Packet.dst)
+
+(* One random bit of the payload flips; everything downstream must treat
+   the datagram as an integrity question, not an availability one. *)
+let corrupt_payload t b =
+  if Bytes.length b = 0 then b
+  else begin
+    let b = Bytes.copy b in
+    let i = Util.Rng.int t.rng (Bytes.length b) in
+    let bit = Util.Rng.int t.rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    b
+  end
+
+let plan t ~now (pkt : Packet.t) =
+  if
+    not (host_up t ~now pkt.Packet.src) || not (host_up t ~now pkt.Packet.dst)
+  then begin
+    fire t Host_down;
+    Drop "host_down"
+  end
+  else if partitioned t ~now pkt.Packet.src pkt.Packet.dst then begin
+    fire t Partition;
+    Drop "partition"
+  end
+  else begin
+    (* Probabilistic rules, in insertion order. Every matching rule draws
+       from the stream whether or not it fires, so a schedule's draws line
+       up identically across runs. *)
+    let payload = ref pkt.Packet.payload in
+    let extra = ref 0.0 in
+    let duplicate = ref None in
+    let touched = ref false in
+    let dropped = ref false in
+    List.iter
+      (fun rule ->
+        if (not !dropped) && matches rule ~now pkt then
+          match rule.action with
+          | R_loss p ->
+              if Util.Rng.float t.rng 1.0 < p then begin
+                fire t Loss;
+                dropped := true
+              end
+          | R_corrupt p ->
+              if Util.Rng.float t.rng 1.0 < p then begin
+                fire t Corrupt;
+                payload := corrupt_payload t !payload;
+                touched := true
+              end
+          | R_jitter max_delay ->
+              let d = Util.Rng.float t.rng max_delay in
+              if d > 0.0 then begin
+                fire t Jitter;
+                extra := !extra +. d;
+                touched := true
+              end
+          | R_reorder (p, hold) ->
+              if Util.Rng.float t.rng 1.0 < p then begin
+                fire t Reorder;
+                extra := !extra +. hold;
+                touched := true
+              end
+          | R_duplicate (p, copy_delay) ->
+              if Util.Rng.float t.rng 1.0 < p then begin
+                fire t Duplicate;
+                duplicate := Some copy_delay;
+                touched := true
+              end)
+      t.rules;
+    if !dropped then Drop "loss"
+    else if not !touched then Pass
+    else
+      let first = (!extra, !payload) in
+      match !duplicate with
+      | None -> Deliveries [ first ]
+      | Some copy_delay -> Deliveries [ first; (!extra +. copy_delay, !payload) ]
+  end
+
+let random_schedule t ~rng ~addrs ?(crashable = []) ~horizon () =
+  (* Global background weather. *)
+  add_loss t ~p:(Util.Rng.float rng 0.15) ();
+  add_duplicate t ~p:(Util.Rng.float rng 0.15)
+    ~copy_delay:(0.001 +. Util.Rng.float rng 0.01) ();
+  add_reorder t ~p:(Util.Rng.float rng 0.1) ~hold:(0.01 +. Util.Rng.float rng 0.03) ();
+  add_corrupt t ~p:(Util.Rng.float rng 0.05) ();
+  add_jitter t ~max_delay:(Util.Rng.float rng 0.008) ();
+  (* Designated victims either crash or get cut off, once each, and heal. *)
+  List.iter
+    (fun addr ->
+      let from = Util.Rng.float rng (horizon /. 2.0) in
+      let until = from +. 1.0 +. Util.Rng.float rng (horizon /. 4.0) in
+      if Util.Rng.bool rng then crash_host t addr ~from ~until ()
+      else
+        partition t ~a:[ addr ]
+          ~b:(List.filter (fun x -> not (Addr.equal x addr)) addrs)
+          ~from ~until ())
+    crashable;
+  (* A couple of per-destination loss bursts. *)
+  List.iter
+    (fun addr ->
+      if Util.Rng.bool rng then begin
+        let from = Util.Rng.float rng horizon in
+        add_loss t ~dst:addr ~from ~until:(from +. 2.0)
+          ~p:(0.3 +. Util.Rng.float rng 0.4) ()
+      end)
+    addrs

@@ -1,0 +1,133 @@
+(** A deterministic, seeded fault-injection plane for the simulated network.
+
+    The paper assumes "the network is under the complete control of an
+    adversary" — but even a non-malicious network loses, duplicates,
+    reorders and corrupts datagrams, partitions, and watches hosts crash.
+    This module models exactly that layer: a schedule of faults a {!Net.t}
+    consults for every packet it would otherwise deliver.
+
+    Design rules:
+    - {e Off by default.} A network with no plane attached takes a single
+      [None] branch; behaviour and telemetry are byte-identical to a build
+      without this module.
+    - {e Deterministic.} All randomness comes from the plane's own
+      splitmix64 stream, drawn in fixed rule order per packet. The same
+      seed and schedule over the same packet sequence reproduce the same
+      faults — and therefore a byte-identical trace dump.
+    - {e Observable.} Every injected fault is counted here (see {!count})
+      and, when the plane is attached to a network, mirrored into the
+      telemetry registry as [fault.injected.<kind>] counters; drops carry
+      a ["fault:<kind>"] reason on their [net.packet] span.
+
+    Rule evaluation order per packet (fixed, documented so schedules are
+    reproducible): host outages, partitions, loss, corruption, jitter,
+    reordering hold-back, duplication. *)
+
+type t
+
+type kind =
+  | Loss
+  | Duplicate
+  | Reorder
+  | Corrupt
+  | Jitter
+  | Partition
+  | Host_down
+  | Clock_step
+
+val kind_name : kind -> string
+(** Lowercase slug, e.g. ["host_down"] — the suffix of the
+    [fault.injected.<kind>] counter. *)
+
+val all_kinds : kind list
+
+val create : ?seed:int64 -> unit -> t
+(** A plane with an empty schedule: every packet passes untouched. *)
+
+(** {1 Building a schedule}
+
+    All rules take an optional link filter ([?src]/[?dst] — omitted means
+    "any") and an optional active window [\[from, until)] in engine time
+    (omitted means "always"). Probabilities are per matching packet. *)
+
+val add_loss :
+  t -> ?src:Addr.t -> ?dst:Addr.t -> ?from:float -> ?until:float ->
+  p:float -> unit -> unit
+
+val add_duplicate :
+  t -> ?src:Addr.t -> ?dst:Addr.t -> ?from:float -> ?until:float ->
+  ?copy_delay:float -> p:float -> unit -> unit
+(** The duplicate copy arrives [copy_delay] (default [0.002]) after the
+    original — the retransmission ghost that "complicates server-side
+    authenticator caching". *)
+
+val add_reorder :
+  t -> ?src:Addr.t -> ?dst:Addr.t -> ?from:float -> ?until:float ->
+  ?hold:float -> p:float -> unit -> unit
+(** A selected packet is held back an extra [hold] seconds (default
+    [0.02]), letting later traffic overtake it. *)
+
+val add_corrupt :
+  t -> ?src:Addr.t -> ?dst:Addr.t -> ?from:float -> ?until:float ->
+  p:float -> unit -> unit
+(** Flips one random bit of the payload; the packet still arrives. *)
+
+val add_jitter :
+  t -> ?src:Addr.t -> ?dst:Addr.t -> ?from:float -> ?until:float ->
+  max_delay:float -> unit -> unit
+(** Every matching packet gains a uniform extra delay in [\[0, max_delay)]. *)
+
+val partition :
+  t -> a:Addr.t list -> b:Addr.t list -> ?from:float -> ?until:float ->
+  unit -> unit
+(** Cut the network between address sets [a] and [b] (both directions)
+    for the window. Traffic within a side is unaffected. *)
+
+val crash_host : t -> Addr.t -> ?from:float -> ?until:float -> unit -> unit
+(** The host at this address is down for the window: nothing it sends
+    leaves, nothing addressed to it arrives. (Listener and process state
+    are the application's concern — see [Apserver.crash]/[restart].) *)
+
+val heal : t -> now:float -> unit
+(** End every partition and host outage whose window is still open at
+    [now]. Probabilistic rules are unaffected. *)
+
+val clock_step : t -> Engine.t -> Host.t -> at:float -> delta:float -> unit
+(** Schedule a step of [delta] seconds onto the host's clock offset at
+    engine time [at] — the suddenly-wrong clock that breaks timestamp
+    authenticators. Counted as [Clock_step] when it fires. *)
+
+val random_schedule :
+  t -> rng:Util.Rng.t -> addrs:Addr.t list -> ?crashable:Addr.t list ->
+  horizon:float -> unit -> unit
+(** Derive a whole chaos schedule from [rng]: global loss / duplication /
+    reordering / corruption / jitter rates, per-link loss bursts over
+    [addrs], and for each address in [crashable] (default none) either a
+    crash window or a partition cutting it off, placed inside
+    [\[0, horizon)]. Deterministic in [rng]. *)
+
+(** {1 The network-facing decision function} *)
+
+type verdict =
+  | Pass  (** untouched — the zero-cost common case *)
+  | Drop of string  (** swallowed; the string is the reason slug *)
+  | Deliveries of (float * bytes) list
+      (** deliver these instead: (extra delay, payload) per copy. The
+          first entry replaces the original packet; any further entries
+          are injected duplicates. *)
+
+val plan : t -> now:float -> Packet.t -> verdict
+(** Decide the fate of one packet, drawing from the plane's RNG in fixed
+    rule order and counting every fault fired. *)
+
+val host_up : t -> now:float -> Addr.t -> bool
+
+val set_on_fire : t -> (kind -> unit) -> unit
+(** Hook invoked once per fault fired (used by [Net.attach_faults] to
+    mirror counts into the telemetry registry). *)
+
+val count : t -> kind -> int
+(** Faults of this kind injected so far. *)
+
+val counts : t -> (string * int) list
+(** All kinds with nonzero counts, in {!all_kinds} order. *)

@@ -15,6 +15,7 @@ type t = {
   ports : (Addr.t * int, Packet.t -> unit) Hashtbl.t;
   mutable taps : (Packet.t -> unit) list;
   mutable interceptor : (Packet.t -> decision) option;
+  mutable faults : Faults.t option;
   mutable next_uid : int;
   mutable next_port : int;
   mutable trace : event list;  (** reverse chronological *)
@@ -28,8 +29,8 @@ let create ?(latency = 0.005) ?(seed = 1L) ?telemetry eng =
   Telemetry.Collector.set_clock tel (fun () -> Engine.now eng);
   Engine.attach_telemetry eng tel;
   { eng; latency; rng = Util.Rng.create seed; tel; hosts = Hashtbl.create 16;
-    ports = Hashtbl.create 64; taps = []; interceptor = None; next_uid = 0;
-    next_port = 33000; trace = [] }
+    ports = Hashtbl.create 64; taps = []; interceptor = None; faults = None;
+    next_uid = 0; next_port = 33000; trace = [] }
 
 let engine t = t.eng
 let now t = Engine.now t.eng
@@ -62,6 +63,8 @@ let listen t host ~port fn =
 let unlisten t host ~port =
   List.iter (fun ip -> Hashtbl.remove t.ports (ip, port)) host.Host.ips
 
+let listening t addr ~port = Hashtbl.mem t.ports (addr, port)
+
 let ephemeral_port t =
   t.next_port <- t.next_port + 1;
   t.next_port
@@ -85,13 +88,22 @@ let begin_packet_span t pkt =
   Telemetry.Collector.span_begin t.tel ~component:"net" ~attrs:(packet_attrs pkt)
     "net.packet"
 
+(* Every drop also bumps a per-reason counter ("no listener" →
+   net.dropped.no-listener) so black holes show up in the metrics export,
+   not just the trace. *)
+let drop_reason_slug why = String.map (function ' ' -> '-' | c -> c) why
+
 let drop_packet t span pkt why =
   record t (Dropped (now t, pkt, why));
   Telemetry.Metrics.incr (c_dropped t);
+  Telemetry.Metrics.incr
+    (Telemetry.Metrics.counter
+       (Telemetry.Collector.metrics t.tel)
+       ("net.dropped." ^ drop_reason_slug why));
   Telemetry.Collector.span_finish t.tel ~outcome:("dropped:" ^ why) span
 
-let deliver t span pkt =
-  Engine.schedule_after t.eng t.latency (fun () ->
+let deliver ?(extra = 0.0) t span pkt =
+  Engine.schedule_after t.eng (t.latency +. extra) (fun () ->
       match Hashtbl.find_opt t.ports (pkt.Packet.dst, pkt.Packet.dport) with
       | Some fn ->
           record t (Delivered (now t, pkt));
@@ -100,16 +112,43 @@ let deliver t span pkt =
           Telemetry.Collector.span_finish t.tel ~outcome:"ok" span
       | None -> drop_packet t span pkt "no listener")
 
+(* The fault plane sits between the adversary and the wire: a packet the
+   interceptor lets through (or substitutes) still has to survive the
+   network itself. With no plane attached this is the old direct path. *)
+let faulted_deliver t span pkt =
+  match t.faults with
+  | None -> deliver t span pkt
+  | Some f -> (
+      match Faults.plan f ~now:(now t) pkt with
+      | Faults.Pass -> deliver t span pkt
+      | Faults.Drop reason -> drop_packet t span pkt ("fault:" ^ reason)
+      | Faults.Deliveries deliveries ->
+          List.iteri
+            (fun i (extra, payload) ->
+              let p = { pkt with Packet.payload } in
+              if i = 0 then deliver ~extra t span p
+              else
+                (* An injected duplicate is its own wire event: fresh span,
+                   same parent exchange as the original. *)
+                let sp =
+                  Telemetry.Collector.span_begin t.tel ~component:"net"
+                    ?parent:span.Telemetry.Span.parent
+                    ~attrs:(("fault", "duplicate") :: packet_attrs p)
+                    "net.packet"
+                in
+                deliver ~extra t sp p)
+            deliveries)
+
 let transmit t pkt =
   record t (Sent (now t, pkt));
   Telemetry.Metrics.incr (c_sent t);
   let span = begin_packet_span t pkt in
   List.iter (fun tap -> tap pkt) t.taps;
   match t.interceptor with
-  | None -> deliver t span pkt
+  | None -> faulted_deliver t span pkt
   | Some f -> (
       match f pkt with
-      | Deliver -> deliver t span pkt
+      | Deliver -> faulted_deliver t span pkt
       | Drop -> drop_packet t span pkt "intercepted"
       | Replace pkts ->
           drop_packet t span pkt "replaced in flight";
@@ -123,7 +162,7 @@ let transmit t pkt =
                   ~attrs:(("injected", "replace") :: packet_attrs p)
                   "net.packet"
               in
-              deliver t sp p)
+              faulted_deliver t sp p)
             pkts)
 
 let send t ?src ~sport ~dst ~dport host payload =
@@ -149,6 +188,17 @@ let inject t pkt =
 let add_tap t fn = t.taps <- t.taps @ [ fn ]
 let set_interceptor t fn = t.interceptor <- Some fn
 let clear_interceptor t = t.interceptor <- None
+
+let attach_faults t f =
+  t.faults <- Some f;
+  Faults.set_on_fire f (fun kind ->
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter
+           (Telemetry.Collector.metrics t.tel)
+           ("fault.injected." ^ Faults.kind_name kind)))
+
+let detach_faults t = t.faults <- None
+let faults t = t.faults
 
 let pp_event ppf = function
   | Sent (ts, p) -> Format.fprintf ppf "[%8.4f] send    %a" ts Packet.pp p

@@ -41,6 +41,11 @@ val local_time : t -> Host.t -> float
 
 val listen : t -> Host.t -> port:int -> (Packet.t -> unit) -> unit
 val unlisten : t -> Host.t -> port:int -> unit
+
+val listening : t -> Addr.t -> port:int -> bool
+(** Whether any handler is registered at this address/port — lets tests
+    assert that ephemeral listeners are torn down. *)
+
 val ephemeral_port : t -> int
 (** Fresh high port, unique per network. *)
 
@@ -48,15 +53,33 @@ val send : t -> ?src:Addr.t -> sport:int -> dst:Addr.t -> dport:int -> Host.t ->
 (** [send net host payload ~sport ~dst ~dport] transmits from [host]
     (source address [?src] defaults to the host's primary address and must
     be one of the host's addresses — honest parties cannot forge). Packets
-    traverse taps and the interceptor, then arrive after the network
-    latency. Unroutable packets are dropped silently (and traced). *)
+    traverse taps, the interceptor and the fault plane (if attached), then
+    arrive after the network latency. Unroutable packets are dropped
+    silently — traced, and counted under both [net.packets.dropped] and a
+    per-reason [net.dropped.<reason>] counter (spaces slugged to dashes,
+    e.g. [net.dropped.no-listener]). *)
 
 val inject : t -> Packet.t -> unit
-(** Adversarial transmission: arbitrary source, bypasses the interceptor. *)
+(** Adversarial transmission: arbitrary source, bypasses the interceptor
+    {e and} the fault plane — the adversary is not subject to the weather,
+    so replay/spoof experiments stay exact under chaos schedules. *)
 
 val add_tap : t -> (Packet.t -> unit) -> unit
 val set_interceptor : t -> (Packet.t -> decision) -> unit
 val clear_interceptor : t -> unit
+
+(** {1 Fault injection} *)
+
+val attach_faults : t -> Faults.t -> unit
+(** Subject delivery to a {!Faults} plane: every packet the interceptor
+    passes (or substitutes) is planned through it. Faults fired while
+    attached are mirrored into this network's telemetry registry as
+    [fault.injected.<kind>] counters; fault drops finish the packet span
+    with outcome ["dropped:fault:<kind>"]. With no plane attached the
+    delivery path is unchanged. *)
+
+val detach_faults : t -> unit
+val faults : t -> Faults.t option
 
 (** Tracing *)
 

@@ -1,21 +1,33 @@
-let call net host ?src ?(timeout = 1.0) ?(retries = 0) ~dst ~dport payload
-    ~on_reply ~on_timeout =
+(* The one-shot [finish] owns the listener: whichever of reply / final
+   timeout wins removes the ephemeral-port handler before running its
+   continuation, and the loser becomes a no-op. The old arrangement let a
+   reply racing the final timeout fire [on_reply] after [on_timeout] —
+   and under duplicate-prone networks a second copy of the reply could
+   find the listener still registered. *)
+let call net host ?src ?(timeout = 1.0) ?(retries = 0) ?(backoff = 2.0)
+    ?(max_timeout = 8.0) ?(jitter = 0.1) ~dst ~dport payload ~on_reply
+    ~on_timeout =
   let sport = Net.ephemeral_port net in
-  let answered = ref false in
-  Net.listen net host ~port:sport (fun pkt ->
-      if not !answered then begin
-        answered := true;
-        Net.unlisten net host ~port:sport;
-        on_reply pkt
-      end);
-  let rec attempt remaining =
-    Net.send net ?src ~sport ~dst ~dport host payload;
-    Engine.schedule_after (Net.engine net) timeout (fun () ->
-        if not !answered then
-          if remaining > 0 then attempt (remaining - 1)
-          else begin
-            Net.unlisten net host ~port:sport;
-            on_timeout ()
-          end)
+  let finished = ref false in
+  let finish k =
+    if not !finished then begin
+      finished := true;
+      Net.unlisten net host ~port:sport;
+      k ()
+    end
   in
-  attempt retries
+  Net.listen net host ~port:sport (fun pkt -> finish (fun () -> on_reply pkt));
+  let rec attempt n base =
+    Net.send net ?src ~sport ~dst ~dport host payload;
+    (* Seeded jitter desynchronizes a fleet of retransmitting clients; the
+       draw comes from the network's stream, so runs stay reproducible. *)
+    let wait =
+      if jitter <= 0.0 then base
+      else base *. (1.0 +. (Util.Rng.float (Net.rng net) (2.0 *. jitter) -. jitter))
+    in
+    Engine.schedule_after (Net.engine net) wait (fun () ->
+        if not !finished then
+          if n < retries then attempt (n + 1) (Float.min max_timeout (base *. backoff))
+          else finish on_timeout)
+  in
+  attempt 0 timeout
