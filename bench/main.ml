@@ -203,6 +203,53 @@ let t_ap_challenge =
   ap_test "challenge-response"
     { Profile.v4 with Profile.name = "v4cr"; ap_auth = Profile.Challenge_response }
 
+(* --- load smoke: BENCH_load.json schema guard --- *)
+
+(* With --load-smoke, run the loadgen ablation suite at reduced traffic
+   (1k users, but far fewer requests than `experiments load`) and assert
+   the serialized suite still carries every field EXPERIMENTS.md tells
+   operators to read. A schema drift in Loadgen then fails `dune runtest`
+   instead of silently breaking downstream consumers of BENCH_load.json. *)
+let load_smoke () =
+  let cfg =
+    { Workloads.Loadgen.default with
+      Workloads.Loadgen.active_clients = 50;
+      requests_per_client = 20 }
+  in
+  let suite = Workloads.Loadgen.run_suite cfg in
+  let s = Telemetry.Json.to_string (Workloads.Loadgen.suite_to_json suite) in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let required =
+    [ "\"main\""; "\"cache_off\""; "\"shard_ablation\"";
+      "\"tgs_reduction_factor\""; "\"config\""; "\"sim_seconds\"";
+      "\"completed\""; "\"errors\""; "\"as_requests\""; "\"tgs_requests\"";
+      "\"ap_exchanges\""; "\"ccache_hits\""; "\"ccache_misses\"";
+      "\"as_latency\""; "\"tgs_latency\""; "\"ap_latency\""; "\"p50\"";
+      "\"p90\""; "\"p99\""; "\"shard_lookups\""; "\"shard_entries\"";
+      "\"shard_balance\""; "\"lookup_balance\"";
+      "\"throughput_per_sim_second\"" ]
+  in
+  List.iter
+    (fun key ->
+      if not (contains key) then (
+        Printf.eprintf "load smoke: BENCH_load.json schema lost %s\n" key;
+        exit 1))
+    required;
+  let r = suite.Workloads.Loadgen.main in
+  assert (r.Workloads.Loadgen.completed > 0);
+  assert (r.Workloads.Loadgen.errors = 0);
+  assert (Workloads.Loadgen.tgs_reduction suite > 1.0);
+  Printf.printf
+    "load smoke: suite ran (%d completed, tgs reduction %.1fx), schema has \
+     all %d keys\n"
+    r.Workloads.Loadgen.completed
+    (Workloads.Loadgen.tgs_reduction suite)
+    (List.length required)
+
 (* --- harness --- *)
 
 let tests =
@@ -235,6 +282,7 @@ let write_json rows =
   close_out oc
 
 let () =
+  if Array.exists (( = ) "--load-smoke") Sys.argv then (load_smoke (); exit 0);
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

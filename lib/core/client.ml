@@ -16,13 +16,22 @@ type t = {
   password : string option;  (** remembered for re-login on TGT expiry *)
   kdc_timeout : float;
   kdc_retries : int;
+  ccache : bool;
+  kdc_rotation : bool;
+  mutable rotation : int;  (** next starting index into the KDC list *)
+  svc_creds : (string, credentials) Hashtbl.t;
+      (** in-memory view of the /tmp/tkt<uid> service-ticket entries *)
+  mutable ccache_hits : int;
+  mutable ccache_misses : int;
   mutable tgt_creds : credentials option;
 }
 
 let create ?(seed = 0x434c49L) ?password ?(kdc_timeout = 1.0) ?(kdc_retries = 0)
-    net host ~profile ~kdcs me =
+    ?(ccache = false) ?(kdc_rotation = false) net host ~profile ~kdcs me =
   { net; host; profile; kdcs; me; rng = Util.Rng.create seed; password;
-    kdc_timeout; kdc_retries; tgt_creds = None }
+    kdc_timeout; kdc_retries; ccache; kdc_rotation; rotation = 0;
+    svc_creds = Hashtbl.create 8; ccache_hits = 0; ccache_misses = 0;
+    tgt_creds = None }
 
 let principal t = t.me
 let host t = t.host
@@ -42,10 +51,28 @@ let kdc_addrs t realm =
     (fun (r, a) -> if String.equal r realm then Some a else None)
     t.kdcs
 
+(* Under rotation the same list doubles as a load-balancing schedule:
+   each logical request starts one position further along and wraps, so a
+   pool of KDCs shares the steady-state load while silence still fails
+   over to every other member. *)
+let rotated t addrs =
+  if not t.kdc_rotation then addrs
+  else begin
+    let n = List.length addrs in
+    let k = if n = 0 then 0 else t.rotation mod n in
+    t.rotation <- t.rotation + 1;
+    let rec split i acc = function
+      | rest when i = k -> rest @ List.rev acc
+      | x :: rest -> split (i + 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    split 0 [] addrs
+  end
+
 (* One logical KDC request: try each address in turn (with the client's
    per-address timeout/retry budget) and fail over on silence. *)
 let kdc_call t ~realm payload ~on_reply ~on_error =
-  match kdc_addrs t realm with
+  match rotated t (kdc_addrs t realm) with
   | [] -> on_error ("no KDC known for realm " ^ realm)
   | first :: rest ->
       let rec go kdc rest =
@@ -89,7 +116,11 @@ let cache_creds t label c =
 
 let logout t =
   t.tgt_creds <- None;
+  Hashtbl.reset t.svc_creds;
   Sim.Host.cache_wipe t.host
+
+let ccache_hits t = t.ccache_hits
+let ccache_misses t = t.ccache_misses
 
 (* ------------------------------------------------------------------ *)
 (* Login (AS exchange)                                                 *)
@@ -393,6 +424,39 @@ let contains_substring ~sub s =
 let is_expiry_error e = contains_substring ~sub:"expired" e
 
 let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
+  (* The credential cache: an unexpired service ticket is reused without
+     going back to the TGS, exactly the /tmp/tkt<uid> behaviour — and with
+     the same caveat the paper raises: anyone who can read the cache can
+     replay its contents until they expire. Only plain requests (no
+     options, no enclosed ticket, no authorization data) are cacheable. *)
+  let plain = options = None && additional_ticket = None && authz_data = None in
+  let sname = Principal.to_string service in
+  let cached =
+    if not (t.ccache && plain) then None
+    else
+      match Hashtbl.find_opt t.svc_creds sname with
+      | Some c when not (tgt_expired t c) -> Some c
+      | Some _ ->
+          Hashtbl.remove t.svc_creds sname;
+          None
+      | None -> None
+  in
+  match cached with
+  | Some c ->
+      t.ccache_hits <- t.ccache_hits + 1;
+      k (Ok c)
+  | None ->
+  if t.ccache && plain then t.ccache_misses <- t.ccache_misses + 1;
+  let k r =
+    (match r with
+    | Ok c when t.ccache && plain ->
+        Hashtbl.replace t.svc_creds sname c;
+        (* Park it in the host cache too, as /tmp/tkt<uid> does — which is
+           exactly what makes it stealable on a multi-user machine. *)
+        cache_creds t ("svc:" ^ sname) c
+    | _ -> ());
+    k r
+  in
   let request via ~k =
     get_ticket_via t ~via ?options ?additional_ticket
       ?authz_data:(Option.map Fun.id authz_data) ~hops:0 ~service ~k ()

@@ -20,6 +20,8 @@ val create :
   ?password:string ->
   ?kdc_timeout:float ->
   ?kdc_retries:int ->
+  ?ccache:bool ->
+  ?kdc_rotation:bool ->
   Sim.Net.t ->
   Sim.Host.t ->
   profile:Profile.t ->
@@ -32,7 +34,21 @@ val create :
     stays silent through its retry budget ([kdc_timeout] seconds per
     attempt, default 1.0, exponential backoff over [kdc_retries]
     retransmissions, default 0). [password], if given, is remembered so
-    {!get_ticket} can re-login when the TGT has expired. *)
+    {!get_ticket} can re-login when the TGT has expired.
+
+    [ccache] (default [false]) turns on the service-ticket credential
+    cache: {!get_ticket} reuses an unexpired ticket for the same service
+    without a TGS exchange, as the real client reuses [/tmp/tkt<uid>] —
+    including the paper's caveat that anyone who can read the cache can
+    replay its contents ("an intruder ... can use these until they
+    expire"). Only plain requests are cached; a request carrying options,
+    an additional ticket, or authorization data always goes to the TGS.
+
+    [kdc_rotation] (default [false]) reuses the failover list as a
+    load-balancing rotation: each logical KDC request starts one position
+    further along the realm's list (wrapping), so a pool of KDCs serving
+    one realm shares the load while an unreachable member still fails
+    over to the rest. *)
 
 val principal : t -> Principal.t
 val host : t -> Sim.Host.t
@@ -117,7 +133,16 @@ val call_safe :
     the clear with a sealed checksum. *)
 
 val logout : t -> unit
-(** Wipe cached credentials (workstation logout). *)
+(** Wipe cached credentials (workstation logout) — the TGT, the
+    service-ticket cache, and the host cache entries. *)
+
+val ccache_hits : t -> int
+(** TGS exchanges skipped because an unexpired service ticket was reused
+    (always 0 unless the client was created with [~ccache:true]). *)
+
+val ccache_misses : t -> int
+(** Cacheable {!get_ticket} requests that had to go to the TGS anyway —
+    first use of a service, or its cached ticket had expired. *)
 
 (** Plumbing shared with the hardened helpers and the attacks: *)
 

@@ -2,11 +2,43 @@ type kind = User | Service | Cross_realm
 
 type entry = { key : bytes; kind : kind }
 
-type t = (string, entry) Hashtbl.t
+(* Hash-partitioned shards. [shards] is swapped wholesale (never mutated
+   element-by-element across event boundaries) so a propagation installs
+   either the old view or the new one — nothing in between. *)
+type t = {
+  mutable shards : (string, entry) Hashtbl.t array;
+  mutable lookups : int array;  (* per-shard lookup counts, same length *)
+  (* The few cross-realm keys, memoized: the TGS opens every presented TGT
+     against this set plus its own key, so deriving it must not scan a
+     realm-sized database per request. Any mutation clears it. *)
+  mutable cross_realm_cache : (Principal.t * bytes) list option;
+}
 
-let create () = Hashtbl.create 32
+(* FNV-1a over the principal string: stable across runs and processes
+   (Hashtbl.hash is not guaranteed to be), so a dump produced by one
+   process lands in the same shards on another. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
 
-let add t principal entry = Hashtbl.replace t (Principal.to_string principal) entry
+let create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Kdb.create: shards must be >= 1";
+  { shards = Array.init shards (fun _ -> Hashtbl.create 32);
+    lookups = Array.make shards 0;
+    cross_realm_cache = None }
+
+let shard_count t = Array.length t.shards
+let shard_of_name t name = fnv1a name mod Array.length t.shards
+let shard_of t principal = shard_of_name t (Principal.to_string principal)
+let shard_lookups t = Array.copy t.lookups
+
+let add t principal entry =
+  let name = Principal.to_string principal in
+  t.cross_realm_cache <- None;
+  Hashtbl.replace t.shards.(shard_of_name t name) name entry
 
 let add_user t principal ~password =
   add t principal { key = Crypto.Str2key.derive password; kind = User }
@@ -14,11 +46,35 @@ let add_user t principal ~password =
 let add_service t principal ~key = add t principal { key; kind = Service }
 let add_cross_realm t principal ~key = add t principal { key; kind = Cross_realm }
 
-let lookup t principal = Hashtbl.find_opt t (Principal.to_string principal)
+let lookup t principal =
+  let name = Principal.to_string principal in
+  let i = shard_of_name t name in
+  t.lookups.(i) <- t.lookups.(i) + 1;
+  Hashtbl.find_opt t.shards.(i) name
+
+let fold f t acc =
+  Array.fold_left
+    (fun acc shard -> Hashtbl.fold (fun name e acc -> f name e acc) shard acc)
+    acc t.shards
 
 let principals t =
-  Hashtbl.fold (fun name _ acc -> Principal.of_string name :: acc) t []
+  fold (fun name _ acc -> Principal.of_string name :: acc) t []
   |> List.sort Principal.compare
+
+let cross_realm_keys t =
+  match t.cross_realm_cache with
+  | Some l -> l
+  | None ->
+      let l =
+        fold
+          (fun name e acc ->
+            if e.kind = Cross_realm then (Principal.of_string name, e.key) :: acc
+            else acc)
+          t []
+        |> List.sort (fun (a, _) (b, _) -> Principal.compare a b)
+      in
+      t.cross_realm_cache <- Some l;
+      l
 
 let kind_code = function User -> 0 | Service -> 1 | Cross_realm -> 2
 
@@ -28,12 +84,9 @@ let kind_of_code = function
   | 2 -> Cross_realm
   | _ -> Wire.Codec.fail "kdb: unknown principal kind"
 
-let to_bytes t =
+let entries_to_bytes entries =
   let w = Wire.Codec.Writer.create () in
-  let entries =
-    Hashtbl.fold (fun name e acc -> (name, e) :: acc) t []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
   Wire.Codec.Writer.u32 w (List.length entries);
   List.iter
     (fun (name, e) ->
@@ -43,21 +96,58 @@ let to_bytes t =
     entries;
   Wire.Codec.Writer.contents w
 
-let of_bytes b =
+let to_bytes t = entries_to_bytes (fold (fun name e acc -> (name, e) :: acc) t [])
+
+let shard_to_bytes t i =
+  if i < 0 || i >= Array.length t.shards then invalid_arg "Kdb.shard_to_bytes";
+  entries_to_bytes
+    (Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.shards.(i) [])
+
+(* Decode a dump into a fresh table first; only a fully decoded blob is
+   ever made visible to readers. *)
+let entries_of_bytes b =
   let r = Wire.Codec.Reader.of_bytes b in
   let n = Wire.Codec.Reader.u32 r in
-  let t = create () in
+  let tbl = Hashtbl.create (max 32 n) in
   for _ = 1 to n do
     let name = Wire.Codec.Reader.lstring r in
     let kind = kind_of_code (Wire.Codec.Reader.u8 r) in
     let key = Wire.Codec.Reader.lbytes r in
-    Hashtbl.replace t name { key; kind }
+    Hashtbl.replace tbl name { key; kind }
   done;
   Wire.Codec.Reader.expect_end r;
+  tbl
+
+let of_bytes b =
+  let tbl = entries_of_bytes b in
+  let t = create () in
+  t.shards <- [| tbl |];
   t
 
-let replace_from dst src =
-  Hashtbl.reset dst;
-  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+let replace_shard_from_bytes t i b =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Kdb.replace_shard_from_bytes";
+  let tbl = entries_of_bytes b in
+  Hashtbl.iter
+    (fun name _ ->
+      if shard_of_name t name <> i then
+        Wire.Codec.fail
+          (Printf.sprintf "kdb: %s does not belong in shard %d" name i))
+    tbl;
+  t.cross_realm_cache <- None;
+  t.shards.(i) <- tbl
 
-let size t = Hashtbl.length t
+let replace_from dst src =
+  let n = Array.length dst.shards in
+  let fresh = Array.init n (fun _ -> Hashtbl.create 32) in
+  Array.iter
+    (fun shard ->
+      Hashtbl.iter
+        (fun name e -> Hashtbl.replace fresh.(shard_of_name dst name) name e)
+        shard)
+    src.shards;
+  dst.cross_realm_cache <- None;
+  dst.shards <- fresh
+
+let size t = Array.fold_left (fun acc s -> acc + Hashtbl.length s) 0 t.shards
+let shard_sizes t = Array.map Hashtbl.length t.shards

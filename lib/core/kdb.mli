@@ -5,7 +5,13 @@
     The database is itself an experiment surface: the paper notes that
     without preauthentication "the Kerberos equivalent of /etc/passwd must
     be treated as public" — the database contents are what the
-    password-guessing attacks try to reconstruct. *)
+    password-guessing attacks try to reconstruct.
+
+    The backend is hash-partitioned into {e shards} (principal name →
+    shard, stable FNV-1a hash), so a realm serving "a fairly large user
+    community" can be propagated shard-by-shard and load can be accounted
+    per shard. A database created with [?shards:1] (the default) behaves
+    exactly as the unsharded original. *)
 
 type kind = User | Service | Cross_realm
 
@@ -13,27 +19,77 @@ type entry = { key : bytes; kind : kind }
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] (default 1) fixes the partition count for the database's
+    lifetime. @raise Invalid_argument if [shards < 1]. *)
+
 val add_user : t -> Principal.t -> password:string -> unit
 (** Stores the password-derived key (the KDC never keeps the password). *)
 
 val add_service : t -> Principal.t -> key:bytes -> unit
 val add_cross_realm : t -> Principal.t -> key:bytes -> unit
 val lookup : t -> Principal.t -> entry option
+(** Also counts the access against the principal's shard, the raw
+    material of the per-shard throughput numbers in [BENCH_load.json]. *)
+
 val principals : t -> Principal.t list
+
+val cross_realm_keys : t -> (Principal.t * bytes) list
+(** The realm's cross-realm entries ([krbtgt.<us>@<neighbor>] keys),
+    sorted by principal. Memoized: the TGS consults this set for every
+    presented TGT, and a realm sized for "a fairly large user community"
+    cannot afford a full-database scan per request. Any mutation
+    (an [add_*] or a propagation swap) invalidates the memo. *)
+
+val shard_count : t -> int
+
+val shard_of : t -> Principal.t -> int
+(** The shard this principal's entry lives in (whether or not the
+    principal is present): FNV-1a of the principal string modulo
+    {!shard_count} — deterministic across runs and processes, so master
+    and slave agree on the partition. *)
+
+val shard_lookups : t -> int array
+(** Per-shard {!lookup} counts since creation (length {!shard_count}) —
+    how evenly the hash spreads a realm's traffic. *)
 
 val to_bytes : t -> bytes
 (** Serialize the whole database — the payload of master→slave propagation
     (and precisely the blob whose theft equals total compromise, which is
     why kprop runs over [KRB_PRIV] and the master "must [have] strong
-    physical security"). *)
+    physical security"). The format is shard-agnostic: a dump taken from
+    an 8-shard master installs into a 2-shard slave. *)
 
 val of_bytes : bytes -> t
 (** @raise Wire.Codec.Decode_error *)
 
+val shard_to_bytes : t -> int -> bytes
+(** One shard's entries, same wire format as {!to_bytes} — the unit of
+    incremental propagation ({!Services.Kprop.propagate_shard}).
+    @raise Invalid_argument if the index is out of range. *)
+
+val replace_shard_from_bytes : t -> int -> bytes -> unit
+(** Atomically replace shard [i] from a {!shard_to_bytes} dump taken on a
+    database with the {e same} shard count. The blob is decoded fully
+    before anything becomes visible: on a decode error (a truncated or
+    corrupted propagation) the shard keeps its previous contents — no
+    half-swapped state, ever.
+    @raise Wire.Codec.Decode_error on malformed input or if an entry does
+    not belong in shard [i]
+    @raise Invalid_argument if the index is out of range. *)
+
 val replace_from : t -> t -> unit
 (** [replace_from dst src] atomically swaps [dst]'s contents for [src]'s —
-    the slave side of a propagation. *)
+    the slave side of a propagation. [src]'s entries are re-partitioned
+    into [dst]'s own shard count, and the swap is a single reference
+    update: a lookup interleaved with an in-flight propagation sees either
+    the old database or the new one, never an emptied or half-filled
+    hybrid. *)
 
 val size : t -> int
 
+val shard_sizes : t -> int array
+(** Entries per shard (length {!shard_count}) — how evenly FNV-1a spreads
+    a registered population, as opposed to {!shard_lookups}, which follows
+    the {e traffic} and concentrates on hot principals (the TGS's own
+    entry, popular services). *)

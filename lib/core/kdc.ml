@@ -204,16 +204,15 @@ let handle_as t net host (q : Messages.as_req) ~src_addr =
    the ticket's own transited field cannot be trusted to carry. *)
 let open_tgt t (blob : bytes) =
   let candidates =
-    List.filter_map
-      (fun p ->
-        match Kdb.lookup t.db p with
-        | Some { key; kind = Kdb.Service } when Principal.equal p (tgs_principal t) ->
-            Some (key, None)
-        | Some { key; kind = Kdb.Cross_realm } ->
-            (* krbtgt.<us>@<neighbor>: the neighbor is the key's realm. *)
-            Some (key, Some p.Principal.realm)
-        | _ -> None)
-      (Kdb.principals t.db)
+    (match Kdb.lookup t.db (tgs_principal t) with
+    | Some { Kdb.key; kind = Kdb.Service } -> [ (key, None) ]
+    | _ -> [])
+    (* krbtgt.<us>@<neighbor>: the neighbor is the key's realm. The
+       cross-realm set is memoized in the database — this runs per TGS
+       request and must not scan a realm-sized principal table. *)
+    @ List.map
+        (fun (p, key) -> (key, Some p.Principal.realm))
+        (Kdb.cross_realm_keys t.db)
   in
   let rec try_keys = function
     | [] -> Error "ticket does not decrypt under any TGS key"

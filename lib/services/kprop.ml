@@ -5,10 +5,47 @@ type t = {
   slave_db : Kdb.t;
   mutable received : int;
   mutable refused : int;
+  mutable shards_received : int;
 }
 
 let propagations_received t = t.received
 let pushes_refused t = t.refused
+let shard_propagations_received t = t.shards_received
+
+(* "SHRD " payload: shard index, sender's shard count, shard dump. The
+   count travels with every push so a mis-configured pair (master and
+   slave partitioned differently) is refused instead of scattering
+   entries into the wrong shards. *)
+let shard_msg ~db ~shard =
+  let w = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.u32 w shard;
+  Wire.Codec.Writer.u32 w (Kdb.shard_count db);
+  Wire.Codec.Writer.lbytes w (Kdb.shard_to_bytes db shard);
+  Bytes.cat (Bytes.of_string "SHRD ") (Wire.Codec.Writer.contents w)
+
+let handle_shard t data =
+  match
+    let r = Wire.Codec.Reader.of_bytes data in
+    let idx = Wire.Codec.Reader.u32 r in
+    let count = Wire.Codec.Reader.u32 r in
+    let blob = Wire.Codec.Reader.lbytes r in
+    Wire.Codec.Reader.expect_end r;
+    (idx, count, blob)
+  with
+  | exception Wire.Codec.Decode_error e -> "ERR " ^ e
+  | idx, count, blob ->
+      if count <> Kdb.shard_count t.slave_db then
+        Printf.sprintf "ERR shard count mismatch (master %d, slave %d)" count
+          (Kdb.shard_count t.slave_db)
+      else if idx < 0 || idx >= count then
+        Printf.sprintf "ERR shard index %d out of range" idx
+      else (
+        (* Atomic per shard: a decode error leaves the shard untouched. *)
+        match Kdb.replace_shard_from_bytes t.slave_db idx blob with
+        | () ->
+            t.shards_received <- t.shards_received + 1;
+            "OK"
+        | exception Wire.Codec.Decode_error e -> "ERR " ^ e)
 
 let handle t _session ~client data =
   let reply m = Some (Bytes.of_string m) in
@@ -24,24 +61,46 @@ let handle t _session ~client data =
         reply "OK"
     | exception Wire.Codec.Decode_error e -> reply ("ERR " ^ e)
   end
+  else if Bytes.length data > 5 && Bytes.to_string (Bytes.sub data 0 5) = "SHRD " then
+    reply (handle_shard t (Bytes.sub data 5 (Bytes.length data - 5)))
   else reply "ERR bad command"
 
 let install_slave ?config net host ~profile ~principal ~key ~port ~master ~slave_db =
-  let t = { master; slave_db; received = 0; refused = 0 } in
+  let t = { master; slave_db; received = 0; refused = 0; shards_received = 0 } in
   let (_ : Apserver.t) =
     Apserver.install ?config net host ~profile ~principal ~key ~port
       ~handler:(Svc_telemetry.instrument net ~component:"kprop" (handle t)) ()
   in
   t
 
+let expect_ok ~k r =
+  match r with
+  | Error e -> k (Error e)
+  | Ok data ->
+      if Bytes.to_string data = "OK" then k (Ok ())
+      else k (Error (Bytes.to_string data))
+
 let propagate ?deadline client chan ~db ~k =
   let msg = Bytes.cat (Bytes.of_string "PROP ") (Kdb.to_bytes db) in
-  Client.call_priv client chan ?deadline msg ~k:(fun r ->
-      match r with
-      | Error e -> k (Error e)
-      | Ok data ->
-          if Bytes.to_string data = "OK" then k (Ok ())
-          else k (Error (Bytes.to_string data)))
+  Client.call_priv client chan ?deadline msg ~k:(expect_ok ~k)
+
+let propagate_shard ?deadline client chan ~db ~shard ~k =
+  Client.call_priv client chan ?deadline (shard_msg ~db ~shard) ~k:(expect_ok ~k)
+
+(* Incremental propagation pushes the shards one at a time, so a realm of
+   "a fairly large user community" never ships its whole database in one
+   message — and a push interrupted mid-sequence leaves the slave with
+   whole shards from the old and new dumps, never a torn shard. *)
+let propagate_shards ?deadline client chan ~db ~k =
+  let n = Kdb.shard_count db in
+  let rec go i =
+    if i >= n then k (Ok ())
+    else
+      propagate_shard ?deadline client chan ~db ~shard:i ~k:(function
+        | Ok () -> go (i + 1)
+        | Error e -> k (Error (Printf.sprintf "shard %d: %s" i e)))
+  in
+  go 0
 
 (* A slave cut off by a partition misses pushes; the master's kprop job
    just runs again. Each attempt is bounded by [deadline] so a dump

@@ -26,7 +26,13 @@ val install_slave :
     into [slave_db] (which a slave {!Kerberos.Kdc.t} serves from). *)
 
 val propagations_received : t -> int
+(** Full-database pushes installed. *)
+
 val pushes_refused : t -> int
+(** Pushes refused because the pusher was not [master]. *)
+
+val shard_propagations_received : t -> int
+(** Single-shard pushes installed (see {!propagate_shard}). *)
 
 val propagate :
   ?deadline:float ->
@@ -37,6 +43,33 @@ val propagate :
   unit
 (** Master side: dump [db] and push it over the channel. [deadline]
     bounds the wait for the slave's acknowledgement (default: forever). *)
+
+val propagate_shard :
+  ?deadline:float ->
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  db:Kerberos.Kdb.t ->
+  shard:int ->
+  k:((unit, string) result -> unit) ->
+  unit
+(** Push one shard of [db]. The message carries the master's shard count;
+    a slave partitioned differently refuses the push rather than
+    scattering entries into the wrong shards, and the slave installs the
+    shard atomically (a corrupted or truncated push leaves the previous
+    shard contents in place). *)
+
+val propagate_shards :
+  ?deadline:float ->
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  db:Kerberos.Kdb.t ->
+  k:((unit, string) result -> unit) ->
+  unit
+(** Incremental propagation: push every shard of [db] in turn, stopping
+    at the first failure (reported as ["shard <i>: <reason>"]). A realm
+    with a large database never ships it in one message, and a sequence
+    interrupted partway leaves the slave with whole shards from the old
+    and new dumps — consistent per principal, never torn. *)
 
 val propagate_with_retry :
   ?attempts:int ->

@@ -1,11 +1,31 @@
-(** A classic array-backed binary min-heap, the event queue of the
-    discrete-event engine. *)
+(** A classic array-backed binary min-heap — the event queue of the
+    discrete-event engine, and the expiry queue of the replay cache (which
+    is what bought the cache its O(log n) inserts; see the
+    [replay_cache_stress] test for the budget it must meet). *)
 
 type 'a t
 
 val create : cmp:('a -> 'a -> int) -> 'a t
+(** An empty heap ordered by [cmp] (negative means "closer to the top").
+    The engine orders events by [(time, sequence)] so simultaneous events
+    pop in schedule order — one of the two pillars of the simulator's
+    determinism claim. *)
+
 val push : 'a t -> 'a -> unit
+(** O(log n): append and sift up. The backing array doubles as needed, so
+    a realm-sized burst of scheduled events costs amortised O(1) space
+    per push. *)
+
 val pop : 'a t -> 'a option
+(** Remove and return the minimum, or [None] on an empty heap. O(log n):
+    swap the last leaf to the root and sift down. *)
+
 val peek : 'a t -> 'a option
+(** The minimum without removing it — how the engine reads the next event
+    time — or [None] on an empty heap. O(1). *)
+
 val size : 'a t -> int
+(** Live elements (not the backing-array capacity). O(1). *)
+
 val is_empty : 'a t -> bool
+(** [size t = 0] — the engine's run loop drains until this holds. *)

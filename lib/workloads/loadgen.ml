@@ -1,0 +1,315 @@
+open Kerberos
+
+type config = {
+  users : int;
+  shards : int;
+  kdcs : int;
+  services : int;
+  active_clients : int;
+  requests_per_client : int;
+  think_time : float;
+  ramp : float;
+  ccache : bool;
+  zipf_exponent : float;
+  seed : int64;
+  profile : Profile.t;
+  lifetime : float;
+}
+
+let default =
+  { users = 1000; shards = 2; kdcs = 2; services = 10; active_clients = 200;
+    requests_per_client = 150; think_time = 0.2; ramp = 20.0; ccache = true;
+    zipf_exponent = 1.3; seed = 0x10adL; profile = Profile.v4;
+    lifetime = 28800.0 }
+
+type percentiles = { p50 : float; p90 : float; p99 : float }
+
+type report = {
+  r_config : config;
+  sim_seconds : float;
+  completed : int;
+  errors : int;
+  as_requests : int;
+  tgs_requests : int;
+  ap_exchanges : int;
+  ccache_hits : int;
+  ccache_misses : int;
+  as_latency : percentiles;
+  tgs_latency : percentiles;
+  ap_latency : percentiles;
+  shard_lookups : int array;
+  shard_entries : int array;
+  throughput : float;
+}
+
+let realm = "LOAD"
+
+(* Quantiles from a fixed-bucket histogram: the upper bound of the bucket
+   the quantile lands in, clamped to the last finite bound. Coarse, but
+   deterministic and cheap — the operator cares about the order of
+   magnitude and the trend across ablations. *)
+let percentile_of ~buckets ~counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let last = buckets.(Array.length buckets - 1) in
+    let res = ref last in
+    let cum = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if !cum >= target then begin
+             res := (if i < Array.length buckets then buckets.(i) else last);
+             raise Exit
+           end)
+         counts
+     with Exit -> ());
+    !res
+  end
+
+let percentiles_of_hist h =
+  let buckets = Telemetry.Metrics.default_latency_buckets in
+  let counts = Telemetry.Metrics.bucket_counts h in
+  { p50 = percentile_of ~buckets ~counts 0.50;
+    p90 = percentile_of ~buckets ~counts 0.90;
+    p99 = percentile_of ~buckets ~counts 0.99 }
+
+(* Service popularity: zipf-ish weights 1/rank^s, sampled by inverse CDF.
+   A couple of services carry most of the traffic — which is exactly what
+   makes the credential cache pay off at steady state. *)
+let zipf_sampler cfg =
+  let w =
+    Array.init cfg.services (fun i ->
+        1.0 /. Float.pow (float_of_int (i + 1)) cfg.zipf_exponent)
+  in
+  let cum = Array.make cfg.services 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      total := !total +. x;
+      cum.(i) <- !total)
+    w;
+  fun rng ->
+    let u = Util.Rng.float rng !total in
+    let rec find i = if i >= cfg.services - 1 || u < cum.(i) then i else find (i + 1) in
+    find 0
+
+let validate cfg =
+  if cfg.users < 1 then invalid_arg "Loadgen: users must be >= 1";
+  if cfg.kdcs < 1 || cfg.kdcs > 200 then invalid_arg "Loadgen: kdcs out of range";
+  if cfg.services < 1 || cfg.services > 200 then
+    invalid_arg "Loadgen: services out of range";
+  if cfg.active_clients < 1 || cfg.active_clients > 30_000 then
+    invalid_arg "Loadgen: active_clients out of range";
+  if cfg.active_clients > cfg.users then
+    invalid_arg "Loadgen: more active clients than users";
+  if cfg.requests_per_client < 1 then
+    invalid_arg "Loadgen: requests_per_client must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Loadgen: shards must be >= 1"
+
+let run cfg =
+  validate cfg;
+  (* A private collector: latency histograms and KDC counters for this run
+     only, clocked on this run's engine. *)
+  let tel = Telemetry.Collector.create () in
+  let engine = Sim.Engine.create () in
+  let net = Sim.Net.create ~telemetry:tel engine in
+  let rng = Util.Rng.create cfg.seed in
+  let db = Kdb.create ~shards:cfg.shards () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  (* The KDC pool: every member serves the same sharded database. *)
+  let kdc_addrs =
+    List.init cfg.kdcs (fun i ->
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "kdc%02d" i)
+            ~ips:[ Sim.Addr.of_quad 10 0 0 (i + 1) ] ()
+        in
+        Sim.Net.attach net host;
+        let kdc =
+          Kdc.create ~seed:(Util.Rng.next_int64 rng) ~telemetry:tel ~realm
+            ~profile:cfg.profile ~lifetime:cfg.lifetime db
+        in
+        Kdc.install net host kdc ();
+        (realm, Sim.Host.primary_ip host))
+  in
+  (* Application services, one host each, echo handlers. *)
+  let services =
+    Array.init cfg.services (fun i ->
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "svc%02d" i)
+            ~ips:[ Sim.Addr.of_quad 10 1 (i / 200) ((i mod 200) + 1) ] ()
+        in
+        Sim.Net.attach net host;
+        let principal =
+          Principal.service ~realm (Printf.sprintf "app%02d" i)
+            ~host:host.Sim.Host.name
+        in
+        let key = Crypto.Des.random_key rng in
+        Kdb.add_service db principal ~key;
+        let (_ : Apserver.t) =
+          Apserver.install ~seed:(Util.Rng.next_int64 rng) net host
+            ~profile:cfg.profile ~principal ~key ~port:600
+            ~handler:(fun _session ~client:_ data -> Some data)
+            ()
+        in
+        (principal, Sim.Host.primary_ip host))
+  in
+  (* The population. Registering a principal derives its key from the
+     password, exactly the work a realm-sized user community costs. *)
+  let population =
+    Array.of_list (Passwords.population rng ~n:cfg.users ~weak_fraction:0.4)
+  in
+  Array.iter
+    (fun u ->
+      Kdb.add_user db (Principal.user ~realm u.Passwords.name)
+        ~password:u.Passwords.password)
+    population;
+  (* Active clients: open-loop traffic. Each client's requests fire on a
+     fixed schedule regardless of completions — arrival is not gated on
+     service, as in any open-loop load test. *)
+  let completed = ref 0 and errors = ref 0 in
+  let pick_service = zipf_sampler cfg in
+  let clients =
+    Array.init cfg.active_clients (fun i ->
+        let u = population.(i) in
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "c%05d" i)
+            ~ips:[ Sim.Addr.of_quad 10 (2 + (i / 250)) (i mod 250) 1 ] ()
+        in
+        Sim.Net.attach net host;
+        let client =
+          Client.create ~seed:(Util.Rng.next_int64 rng)
+            ~password:u.Passwords.password ~ccache:cfg.ccache
+            ~kdc_rotation:true net host ~profile:cfg.profile ~kdcs:kdc_addrs
+            (Principal.user ~realm u.Passwords.name)
+        in
+        let crng = Util.Rng.create (Util.Rng.next_int64 rng) in
+        let start = Util.Rng.float rng cfg.ramp in
+        Sim.Engine.schedule engine ~at:start (fun () ->
+            Client.login client ~password:u.Passwords.password (function
+              | Ok _ -> ()
+              | Error _ -> incr errors));
+        for j = 0 to cfg.requests_per_client - 1 do
+          let at = start +. 1.0 +. (float_of_int j *. cfg.think_time) in
+          Sim.Engine.schedule engine ~at (fun () ->
+              let svc_principal, svc_addr = services.(pick_service crng) in
+              Client.get_ticket client ~service:svc_principal (function
+                | Error _ -> incr errors
+                | Ok creds ->
+                    Client.ap_exchange client creds ~dst:svc_addr ~dport:600
+                      (function
+                      | Error _ -> incr errors
+                      | Ok chan ->
+                          Client.call_priv client chan (Bytes.of_string "PING")
+                            ~k:(function
+                            | Error _ -> incr errors
+                            | Ok _ -> incr completed))))
+        done;
+        client)
+  in
+  Sim.Engine.run engine;
+  let m = Telemetry.Collector.metrics tel in
+  let hist name = Telemetry.Metrics.histogram m name in
+  let count name = Telemetry.Metrics.hist_count (hist name) in
+  let hits = Array.fold_left (fun a c -> a + Client.ccache_hits c) 0 clients in
+  let misses = Array.fold_left (fun a c -> a + Client.ccache_misses c) 0 clients in
+  let sim_seconds = Sim.Engine.now engine in
+  { r_config = cfg; sim_seconds; completed = !completed; errors = !errors;
+    as_requests = count "span.kdc.as_req.seconds";
+    tgs_requests = count "span.kdc.tgs_req.seconds";
+    ap_exchanges = count "span.client.ap_exchange.seconds";
+    ccache_hits = hits; ccache_misses = misses;
+    as_latency = percentiles_of_hist (hist "span.kdc.as_req.seconds");
+    tgs_latency = percentiles_of_hist (hist "span.client.tgs_exchange.seconds");
+    ap_latency = percentiles_of_hist (hist "span.client.ap_exchange.seconds");
+    shard_lookups = Kdb.shard_lookups db;
+    shard_entries = Kdb.shard_sizes db;
+    throughput =
+      (if sim_seconds > 0.0 then float_of_int !completed /. sim_seconds else 0.0) }
+
+let max_over_mean a =
+  let n = Array.length a in
+  if n = 0 then 1.0
+  else begin
+    let total = Array.fold_left ( + ) 0 a in
+    if total = 0 then 1.0
+    else
+      let mean = float_of_int total /. float_of_int n in
+      let mx = Array.fold_left max 0 a in
+      float_of_int mx /. mean
+  end
+
+let shard_balance r = max_over_mean r.shard_entries
+let lookup_balance r = max_over_mean r.shard_lookups
+
+let json_percentiles p =
+  Telemetry.Json.Obj
+    [ ("p50", Telemetry.Json.Float p.p50); ("p90", Telemetry.Json.Float p.p90);
+      ("p99", Telemetry.Json.Float p.p99) ]
+
+let json_config (c : config) =
+  let open Telemetry.Json in
+  Obj
+    [ ("users", Int c.users); ("shards", Int c.shards); ("kdcs", Int c.kdcs);
+      ("services", Int c.services); ("active_clients", Int c.active_clients);
+      ("requests_per_client", Int c.requests_per_client);
+      ("think_time", Float c.think_time); ("ramp", Float c.ramp);
+      ("ccache", Bool c.ccache); ("zipf_exponent", Float c.zipf_exponent);
+      ("seed", Str (Int64.to_string c.seed));
+      ("profile", Str c.profile.Profile.name); ("lifetime", Float c.lifetime) ]
+
+let report_to_json r =
+  let open Telemetry.Json in
+  Obj
+    [ ("config", json_config r.r_config);
+      ("sim_seconds", Float r.sim_seconds); ("completed", Int r.completed);
+      ("errors", Int r.errors); ("as_requests", Int r.as_requests);
+      ("tgs_requests", Int r.tgs_requests); ("ap_exchanges", Int r.ap_exchanges);
+      ("ccache_hits", Int r.ccache_hits); ("ccache_misses", Int r.ccache_misses);
+      ("as_latency", json_percentiles r.as_latency);
+      ("tgs_latency", json_percentiles r.tgs_latency);
+      ("ap_latency", json_percentiles r.ap_latency);
+      ("shard_lookups",
+       List (Array.to_list (Array.map (fun n -> Int n) r.shard_lookups)));
+      ("shard_entries",
+       List (Array.to_list (Array.map (fun n -> Int n) r.shard_entries)));
+      ("shard_balance", Float (shard_balance r));
+      ("lookup_balance", Float (lookup_balance r));
+      ("throughput_per_sim_second", Float r.throughput) ]
+
+type suite = { main : report; cache_off : report; shard_ablation : report list }
+
+(* Shard counts for the sweep: powers of two up to the configured count,
+   always ending at the configured count itself. *)
+let ablation_shards cfg =
+  let rec go acc s = if s >= cfg.shards then List.rev (cfg.shards :: acc) else go (s :: acc) (2 * s) in
+  go [] 1
+
+let run_suite cfg =
+  let main = run cfg in
+  let cache_off = run { cfg with ccache = false } in
+  (* The sweep runs reduced traffic: it measures partition balance and
+     scaling shape, not absolute throughput. *)
+  let small =
+    { cfg with
+      active_clients = max 10 (cfg.active_clients / 4);
+      requests_per_client = max 5 (cfg.requests_per_client / 5) }
+  in
+  let shard_ablation =
+    List.map (fun s -> run { small with shards = s }) (ablation_shards cfg)
+  in
+  { main; cache_off; shard_ablation }
+
+let tgs_reduction s =
+  if s.main.tgs_requests = 0 then Float.of_int s.cache_off.tgs_requests
+  else float_of_int s.cache_off.tgs_requests /. float_of_int s.main.tgs_requests
+
+let suite_to_json s =
+  let open Telemetry.Json in
+  Obj
+    [ ("main", report_to_json s.main);
+      ("cache_off", report_to_json s.cache_off);
+      ("tgs_reduction_factor", Float (tgs_reduction s));
+      ("shard_ablation", List (List.map report_to_json s.shard_ablation)) ]

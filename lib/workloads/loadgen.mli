@@ -1,0 +1,97 @@
+(** The load generator: stand up a realm of [n] principals behind a pool
+    of KDCs over a sharded database, then drive open-loop AS/TGS/AP
+    traffic through the simulator and report throughput and latency from
+    the telemetry histograms.
+
+    This is the scale harness the paper's closing sections ask for: a KDC
+    must survive "a fairly large user community" whose every login is
+    "grist for password-guessing mills", so realm-sized populations have
+    to be cheap to stand up and realistic to drive. Everything is seeded;
+    the same configuration produces a byte-identical {!report_to_json}. *)
+
+type config = {
+  users : int;  (** principals registered in the realm *)
+  shards : int;  (** {!Kerberos.Kdb} partition count *)
+  kdcs : int;  (** pool size: KDCs sharing the one database *)
+  services : int;  (** distinct application services *)
+  active_clients : int;  (** how many users actually drive traffic *)
+  requests_per_client : int;
+  think_time : float;  (** simulated seconds between a client's requests *)
+  ramp : float;  (** client start times are spread over this window *)
+  ccache : bool;  (** clients reuse unexpired service tickets *)
+  zipf_exponent : float;  (** service-popularity skew (1.0 = classic Zipf) *)
+  seed : int64;
+  profile : Kerberos.Profile.t;
+  lifetime : float;  (** ticket lifetime the KDCs issue *)
+}
+
+val default : config
+(** 1000 users, 2 shards, a pool of 2 KDCs, 10 services, 200 active
+    clients sending 150 requests each, credential cache on. *)
+
+(** Latency percentiles, estimated from the fixed-bucket telemetry
+    histograms: each value is the upper bound of the bucket the quantile
+    falls in (clamped to the last finite bucket), in simulated seconds. *)
+type percentiles = { p50 : float; p90 : float; p99 : float }
+
+type report = {
+  r_config : config;
+  sim_seconds : float;  (** simulated time when the event queue drained *)
+  completed : int;  (** requests that finished the full TGS→AP→priv chain *)
+  errors : int;
+  as_requests : int;  (** AS exchanges served by the pool *)
+  tgs_requests : int;  (** TGS exchanges served by the pool *)
+  ap_exchanges : int;
+  ccache_hits : int;
+  ccache_misses : int;
+  as_latency : percentiles;
+  tgs_latency : percentiles;
+  ap_latency : percentiles;
+  shard_lookups : int array;  (** per-shard database accesses *)
+  shard_entries : int array;  (** per-shard registered principals *)
+  throughput : float;  (** completed requests per simulated second *)
+}
+
+val run : config -> report
+(** Build the world, drive the traffic, drain the engine. Uses a private
+    telemetry collector, so concurrent harnesses do not pollute each
+    other. @raise Invalid_argument on a non-positive population or pool. *)
+
+val report_to_json : report -> Telemetry.Json.t
+(** Deterministic: same [config] ⇒ byte-identical
+    [Telemetry.Json.to_string]. Wall-clock timings deliberately live
+    outside this object (the experiment runner adds them next to it). *)
+
+(** {2 The ablation suite}
+
+    What [experiments load] runs and [BENCH_load.json] records: the
+    configured run, the same run with the credential cache off (the
+    steady-state TGS-reduction claim), and a shard-count sweep at reduced
+    traffic (the balance/scaling claim). *)
+
+type suite = {
+  main : report;
+  cache_off : report;
+  shard_ablation : report list;  (** shard counts 1, 2, 4, … up to [shards] *)
+}
+
+val run_suite : config -> suite
+
+val tgs_reduction : suite -> float
+(** TGS requests with the cache off divided by TGS requests with it on —
+    the headline ≥10x claim. *)
+
+val shard_balance : report -> float
+(** Max over mean of {!report.shard_entries}: 1.0 means FNV-1a spread the
+    registered population perfectly evenly; large values mean one shard
+    holds the realm. *)
+
+val lookup_balance : report -> float
+(** Max over mean of {!report.shard_lookups} — the {e traffic} skew. This
+    is legitimately worse than {!shard_balance}: lookups concentrate on a
+    handful of hot principals (the TGS's own entry on every presented TGT,
+    the most popular services), which hash partitioning cannot spread. *)
+
+val suite_to_json : suite -> Telemetry.Json.t
+(** The [BENCH_load.json] payload (minus the wall-clock section). Also
+    deterministic for a fixed configuration. *)

@@ -17,6 +17,8 @@ val strong : Util.Rng.t -> string
 (** A random 12-character password outside any dictionary. *)
 
 type user = { name : string; password : string; is_weak : bool }
+(** One member of the population; [is_weak] records whether the password
+    came from the dictionary (i.e. whether the guessing mill can win). *)
 
 val population : Util.Rng.t -> n:int -> weak_fraction:float -> user list
 (** [n] users named [u000..], each with a password; approximately

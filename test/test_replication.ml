@@ -123,6 +123,139 @@ let replication_flow () =
   | None -> Alcotest.fail "rogue push stalled");
   Alcotest.(check int) "refusal counted" 1 (Services.Kprop.pushes_refused kpropd)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded propagation: one shard at a time, atomically.               *)
+(* ------------------------------------------------------------------ *)
+
+let shard_propagation_flow () =
+  let profile = Profile.v5_draft3 in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let quad = Sim.Addr.of_quad in
+  let master_host = Sim.Host.create ~name:"kerberos-1" ~ips:[ quad 10 0 0 1 ] () in
+  let slave_host = Sim.Host.create ~name:"kerberos-2" ~ips:[ quad 10 0 0 3 ] () in
+  let odd_host = Sim.Host.create ~name:"kerberos-3" ~ips:[ quad 10 0 0 4 ] () in
+  List.iter (Sim.Net.attach net) [ master_host; slave_host; odd_host ];
+  let rng = Util.Rng.create 0x5D4BL in
+  let master_db = Kdb.create ~shards:2 () in
+  Kdb.add_service master_db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  for i = 0 to 11 do
+    Kdb.add_user master_db (Principal.user ~realm (Printf.sprintf "u%d" i))
+      ~password:(Printf.sprintf "pw%d" i)
+  done;
+  let master_principal = Principal.user ~realm "kadmin" in
+  Kdb.add_user master_db master_principal ~password:"master.host.pw";
+  let kpropd_principal = Principal.service ~realm "kprop" ~host:"kerberos-2" in
+  let kpropd_key = Crypto.Des.random_key rng in
+  Kdb.add_service master_db kpropd_principal ~key:kpropd_key;
+  let odd_principal = Principal.service ~realm "kprop" ~host:"kerberos-3" in
+  let odd_key = Crypto.Des.random_key rng in
+  Kdb.add_service master_db odd_principal ~key:odd_key;
+  let master_kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 master_db in
+  Kdc.install net master_host master_kdc ();
+  (* A slave partitioned like the master, and one partitioned differently. *)
+  let slave_db = Kdb.create ~shards:2 () in
+  let kpropd =
+    Services.Kprop.install_slave net slave_host ~profile ~principal:kpropd_principal
+      ~key:kpropd_key ~port:754 ~master:master_principal ~slave_db
+  in
+  let odd_db = Kdb.create ~shards:3 () in
+  let odd_kpropd =
+    Services.Kprop.install_slave net odd_host ~profile ~principal:odd_principal
+      ~key:odd_key ~port:754 ~master:master_principal ~slave_db:odd_db
+  in
+  let admin =
+    Client.create ~seed:7L net master_host ~profile
+      ~kdcs:[ (realm, Sim.Host.primary_ip master_host) ]
+      master_principal
+  in
+  let pushed = ref None in
+  Client.login admin ~password:"master.host.pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket admin ~service:kpropd_principal (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip slave_host)
+            ~dport:754 (fun r ->
+              let chan = Result.get_ok r in
+              Services.Kprop.propagate_shards admin chan ~db:master_db ~k:(fun r ->
+                  pushed := Some r))));
+  Sim.Engine.run eng;
+  (match !pushed with
+  | Some (Ok ()) -> ()
+  | Some (Error e) -> Alcotest.failf "shard push failed: %s" e
+  | None -> Alcotest.fail "shard push stalled");
+  Alcotest.(check int) "one push per shard" 2
+    (Services.Kprop.shard_propagations_received kpropd);
+  Alcotest.(check int) "no full-database push" 0
+    (Services.Kprop.propagations_received kpropd);
+  Alcotest.(check int) "databases equal" (Kdb.size master_db) (Kdb.size slave_db);
+  List.iter
+    (fun p ->
+      match (Kdb.lookup master_db p, Kdb.lookup slave_db p) with
+      | Some a, Some b when a.Kdb.kind = b.Kdb.kind && Bytes.equal a.Kdb.key b.Kdb.key
+        -> ()
+      | _ -> Alcotest.failf "entry mismatch for %s" (Principal.to_string p))
+    (Kdb.principals master_db);
+  (* The differently-partitioned slave refuses rather than scattering
+     entries into the wrong shards. *)
+  let refused = ref None in
+  Client.get_ticket admin ~service:odd_principal (fun r ->
+      let creds = Result.get_ok r in
+      Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip odd_host) ~dport:754
+        (fun r ->
+          let chan = Result.get_ok r in
+          Services.Kprop.propagate_shards admin chan ~db:master_db ~k:(fun r ->
+              refused := Some r)));
+  Sim.Engine.run eng;
+  (match !refused with
+  | Some (Error e) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the mismatch (%s)" e)
+        true
+        (Astring.String.is_infix ~affix:"mismatch" e)
+  | Some (Ok ()) -> Alcotest.fail "mismatched shard count accepted"
+  | None -> Alcotest.fail "mismatched push stalled");
+  Alcotest.(check int) "nothing installed on the odd slave" 0 (Kdb.size odd_db);
+  Alcotest.(check int) "no shard pushes counted" 0
+    (Services.Kprop.shard_propagations_received odd_kpropd)
+
+(* replace_shard_from_bytes is all-or-nothing: a truncated or misrouted
+   blob leaves the previous shard contents fully in place — the regression
+   for the old reset-then-refill replace_from, which destroyed the slave's
+   data before the refill could fail. *)
+let shard_atomicity () =
+  let db = Kdb.create ~shards:2 () in
+  for i = 0 to 19 do
+    Kdb.add_user db (Principal.user ~realm (Printf.sprintf "u%d" i))
+      ~password:(Printf.sprintf "pw%d" i)
+  done;
+  let in_shard_1 = List.filter (fun p -> Kdb.shard_of db p = 1) (Kdb.principals db) in
+  Alcotest.(check bool) "shard 1 populated" true (in_shard_1 <> []);
+  let intact label =
+    List.iter
+      (fun p ->
+        match Kdb.lookup db p with
+        | Some _ -> ()
+        | None -> Alcotest.failf "%s: lost %s" label (Principal.to_string p))
+      in_shard_1
+  in
+  let good = Kdb.shard_to_bytes db 1 in
+  (* Truncated mid-entry: must raise and change nothing. *)
+  (match Kdb.replace_shard_from_bytes db 1 (Bytes.sub good 0 (Bytes.length good - 3)) with
+  | exception Wire.Codec.Decode_error _ -> ()
+  | () -> Alcotest.fail "truncated shard blob accepted");
+  intact "after truncated push";
+  (* A well-formed blob whose entries belong in another shard: same deal. *)
+  (match Kdb.replace_shard_from_bytes db 1 (Kdb.shard_to_bytes db 0) with
+  | exception Wire.Codec.Decode_error _ -> ()
+  | () -> Alcotest.fail "misrouted shard blob accepted");
+  intact "after misrouted push";
+  (* And the good blob still installs cleanly. *)
+  let size_before = Kdb.size db in
+  Kdb.replace_shard_from_bytes db 1 good;
+  intact "after clean push";
+  Alcotest.(check int) "size unchanged by idempotent push" size_before (Kdb.size db)
+
 let kdb_roundtrip =
   QCheck.Test.make ~name:"kdb serialization roundtrip" ~count:100
     QCheck.(int_range 0 20)
@@ -146,6 +279,36 @@ let kdb_roundtrip =
              | Some a, Some b -> a.Kdb.kind = b.Kdb.kind && Bytes.equal a.Kdb.key b.Kdb.key
              | _ -> false)
            (Kdb.principals db))
+
+let kdb_reshard =
+  QCheck.Test.make ~name:"replace_from re-partitions across shard counts" ~count:60
+    QCheck.(triple (int_range 0 30) (int_range 1 8) (int_range 1 8))
+    (fun (n, s1, s2) ->
+      let rng = Util.Rng.create (Int64.of_int ((n * 64) + (s1 * 8) + s2 + 1)) in
+      let src = Kdb.create ~shards:s1 () in
+      for i = 0 to n - 1 do
+        if i mod 2 = 0 then
+          Kdb.add_user src (Principal.user ~realm (Printf.sprintf "u%d" i))
+            ~password:(Printf.sprintf "pw%d" i)
+        else
+          Kdb.add_service src
+            (Principal.service ~realm (Printf.sprintf "s%d" i) ~host:"h")
+            ~key:(Crypto.Des.random_key rng)
+      done;
+      let dst = Kdb.create ~shards:s2 () in
+      let stale = Principal.user ~realm "stale" in
+      Kdb.add_user dst stale ~password:"gone.after.swap";
+      Kdb.replace_from dst src;
+      Kdb.shard_count dst = s2
+      && Kdb.size dst = Kdb.size src
+      && Option.is_none (Kdb.lookup dst stale)
+      && List.for_all
+           (fun p ->
+             match (Kdb.lookup src p, Kdb.lookup dst p) with
+             | Some a, Some b ->
+                 a.Kdb.kind = b.Kdb.kind && Bytes.equal a.Kdb.key b.Kdb.key
+             | _ -> false)
+           (Kdb.principals src))
 
 (* ------------------------------------------------------------------ *)
 (* Replay-cache stress: a busy server's worth of authenticators.       *)
@@ -200,7 +363,12 @@ let cache_stress () =
 
 let () =
   Alcotest.run "replication"
-    [ ("kprop", [ Alcotest.test_case "master/slave flow" `Quick replication_flow ]);
-      ("kdb", [ QCheck_alcotest.to_alcotest kdb_roundtrip ]);
+    [ ("kprop",
+       [ Alcotest.test_case "master/slave flow" `Quick replication_flow;
+         Alcotest.test_case "shard-by-shard propagation" `Quick shard_propagation_flow ]);
+      ("kdb",
+       [ Alcotest.test_case "atomic shard swap" `Quick shard_atomicity;
+         QCheck_alcotest.to_alcotest kdb_roundtrip;
+         QCheck_alcotest.to_alcotest kdb_reshard ]);
       ("replay_cache_stress",
        [ Alcotest.test_case "50k inserts with expiry" `Quick cache_stress ]) ]
