@@ -92,6 +92,26 @@ let t_cache =
          Replay_cache.check_and_insert cache ~now:(float_of_int !n *. 0.001)
            (Bytes.of_string (string_of_int !n))))
 
+(* --- durability: what the WAL costs on the mutation path --- *)
+
+(* add_service with a fixed key isolates the write path (shard, version
+   bump, log append) from string-to-key derivation, which would otherwise
+   dominate both rows equally. *)
+let kdb_add_test name ~wal =
+  let db = Kdb.create ~shards:16 () in
+  if wal then Kdb.enable_durability db;
+  let key = Crypto.Des.random_key rng in
+  let n = ref 0 in
+  Test.make ~name:("kdb/" ^ name)
+    (Staged.stage (fun () ->
+         incr n;
+         Kdb.add_service db
+           (Principal.service ~realm:"BENCH" (string_of_int !n) ~host:"h")
+           ~key))
+
+let t_kdb_add = kdb_add_test "add-no-wal" ~wal:false
+let t_kdb_add_wal = kdb_add_test "add-wal" ~wal:true
+
 (* --- whole protocol exchanges per profile (simulated end-to-end) --- *)
 
 let full_session ?(prepare = fun (_ : Attacks.Testbed.t) -> ())
@@ -250,13 +270,109 @@ let load_smoke () =
     (Workloads.Loadgen.tgs_reduction suite)
     (List.length required)
 
+(* --- recovery smoke: BENCH_recovery.json schema guard --- *)
+
+(* With --recovery-smoke, measure what durability costs where it matters:
+   the per-mutation WAL overhead against a WAL-less twin, and the
+   checkpoint + WAL-replay recovery time as the log grows. The results
+   are persisted to BENCH_recovery.json and the schema checked here, so
+   a drift fails `dune runtest` instead of breaking downstream readers. *)
+let recovery_json_path = "BENCH_recovery.json"
+let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+
+let recovery_smoke () =
+  let key = Util.Rng.bytes (Util.Rng.create 0x52454342L) 8 in
+  let adds = 2000 in
+  let time_adds ~wal =
+    let db = Kdb.create ~shards:16 () in
+    if wal then Kdb.enable_durability db;
+    let t0 = Sys.time () in
+    for i = 0 to adds - 1 do
+      Kdb.add_service db
+        (Kerberos.Principal.service ~realm:"BENCH" (string_of_int i) ~host:"h")
+        ~key
+    done;
+    (Sys.time () -. t0) /. float_of_int adds *. 1e9
+  in
+  let no_wal_ns = time_adds ~wal:false in
+  let wal_ns = time_adds ~wal:true in
+  let overhead_pct = (wal_ns -. no_wal_ns) /. no_wal_ns *. 100.0 in
+  let recovery_row records =
+    let db = Kdb.create ~shards:16 () in
+    Kdb.enable_durability db;
+    for i = 0 to records - 1 do
+      Kdb.add_service db
+        (Kerberos.Principal.service ~realm:"BENCH" (string_of_int i) ~host:"h")
+        ~key
+    done;
+    let checkpoint, wal = Option.get (Kdb.disk_image db) in
+    let best = ref infinity and applied = ref 0 in
+    for _ = 1 to 3 do
+      let t0 = Sys.time () in
+      let r = Kdb.recover ~checkpoint ~wal in
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt;
+      applied := r.Kdb.applied;
+      assert (r.Kdb.discarded_bytes = 0)
+    done;
+    (records, !applied, !best *. 1e3)
+  in
+  let rows = List.map recovery_row [ 100; 1000; 5000 ] in
+  List.iter
+    (fun (records, applied, _) ->
+      if applied <> records then (
+        Printf.eprintf "recovery smoke: %d WAL records but %d applied\n" records
+          applied;
+        exit 1))
+    rows;
+  let oc = open_out recovery_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"wal_overhead\": { \"add_ns_no_wal\": %s, \"add_ns_wal\": %s, \
+     \"overhead_pct\": %s },\n\
+    \  \"recovery_time\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    (num no_wal_ns) (num wal_ns) (num overhead_pct)
+    (String.concat ",\n"
+       (List.map
+          (fun (records, applied, ms) ->
+            Printf.sprintf
+              "    { \"wal_records\": %d, \"applied\": %d, \"replay_ms\": %s }"
+              records applied (num ms))
+          rows));
+  close_out oc;
+  (* Schema guard over what was actually written. *)
+  let ic = open_in recovery_json_path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      if not (contains k) then (
+        Printf.eprintf "recovery smoke: BENCH_recovery.json schema lost %s\n" k;
+        exit 1))
+    [ "\"wal_overhead\""; "\"add_ns_no_wal\""; "\"add_ns_wal\"";
+      "\"overhead_pct\""; "\"recovery_time\""; "\"wal_records\"";
+      "\"applied\""; "\"replay_ms\"" ];
+  Printf.printf
+    "recovery smoke: add %.0f -> %.0f ns/mutation with WAL (%+.1f%%), replay \
+     of %d-record log %.2f ms; schema intact\n"
+    no_wal_ns wal_ns overhead_pct
+    (match List.rev rows with (r, _, _) :: _ -> r | [] -> 0)
+    (match List.rev rows with (_, _, ms) :: _ -> ms | [] -> 0.0)
+
 (* --- harness --- *)
 
 let tests =
   Test.make_grouped ~name:"kerblim"
     [ t_des_block; t_ecb_1k; t_cbc_1k; t_pcbc_1k; t_md4_1k; t_crc_1k; t_crc_forge;
       t_str2key; t_guess; t_modexp_31; t_modexp_127; t_modexp_521; t_cache;
-      t_session_v4; t_session_v5; t_session_hardened; t_faults_none;
+      t_kdb_add; t_kdb_add_wal; t_session_v4; t_session_v5; t_session_hardened; t_faults_none;
       t_faults_inert; t_faults_jitter; t_login_password;
       t_login_preauth; t_login_handheld; t_login_dh61; t_login_dh127;
       t_login_full_hardened; t_ap_timestamp; t_ap_cache; t_ap_challenge ]
@@ -264,7 +380,6 @@ let tests =
 let json_path = "BENCH_crypto.json"
 let telemetry_json_path = "BENCH_telemetry.json"
 let faults_json_path = "BENCH_faults.json"
-let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
 
 (* Hand-rolled serialization: the sealed environment has no JSON library,
    and the schema is one flat object. NaNs (an OLS fit that never
@@ -283,6 +398,8 @@ let write_json rows =
 
 let () =
   if Array.exists (( = ) "--load-smoke") Sys.argv then (load_smoke (); exit 0);
+  if Array.exists (( = ) "--recovery-smoke") Sys.argv then
+    (recovery_smoke (); exit 0);
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

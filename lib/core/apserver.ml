@@ -344,7 +344,7 @@ let restart t =
     t.running <- true;
     t.cache <-
       (match t.disk with
-      | Some b -> Some (Replay_cache.of_bytes b)
+      | Some b -> Some (Replay_cache.of_bytes ~now:(now t) b)
       | None -> fresh_cache ~profile:t.profile ~config:t.config);
     t.disk <- None;
     Sim.Net.listen t.net t.host ~port:t.port (fun pkt -> handle_frame t pkt);

@@ -23,6 +23,8 @@ type t = {
       (** in-memory view of the /tmp/tkt<uid> service-ticket entries *)
   mutable ccache_hits : int;
   mutable ccache_misses : int;
+  mutable degraded : int;
+      (** requests served from the wallet because no KDC answered *)
   mutable tgt_creds : credentials option;
 }
 
@@ -31,7 +33,7 @@ let create ?(seed = 0x434c49L) ?password ?(kdc_timeout = 1.0) ?(kdc_retries = 0)
   { net; host; profile; kdcs; me; rng = Util.Rng.create seed; password;
     kdc_timeout; kdc_retries; ccache; kdc_rotation; rotation = 0;
     svc_creds = Hashtbl.create 8; ccache_hits = 0; ccache_misses = 0;
-    tgt_creds = None }
+    degraded = 0; tgt_creds = None }
 
 let principal t = t.me
 let host t = t.host
@@ -103,7 +105,12 @@ let creds_to_bytes c =
 
 let creds_of_bytes b =
   let r = Wire.Codec.Reader.of_bytes b in
-  let service = Principal.of_string (Wire.Codec.Reader.lstring r) in
+  let service =
+    match Principal.of_string (Wire.Codec.Reader.lstring r) with
+    | p -> p
+    | exception Invalid_argument _ ->
+        Wire.Codec.fail "credentials: malformed service principal"
+  in
   let ticket = Wire.Codec.Reader.lbytes r in
   let session_key = Wire.Codec.Reader.lbytes r in
   let issued_at = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
@@ -200,9 +207,9 @@ let login t ?handheld ?key ?service ~password k =
         (Wire.Encoding.encode t.profile.Profile.encoding (Messages.as_req_to_value req))
         ~on_error:(fun e -> k (Error e))
         ~on_reply:(fun pkt ->
-          match Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload with
-          | exception Wire.Codec.Decode_error e -> k (Error e)
-          | v -> (
+          match Wire.Encoding.decode_result t.profile.Profile.encoding pkt.Sim.Packet.payload with
+          | Error e -> k (Error e)
+          | Ok v -> (
               match Messages.err_of_value v with
               | { e_code = _; e_text } -> k (Error ("KDC error: " ^ e_text))
               | exception Wire.Codec.Decode_error _ -> (
@@ -363,10 +370,11 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
             k (Error (if String.equal e "KDC timeout" then "TGS timeout" else e)))
           ~on_reply:(fun pkt ->
             match
-              Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload
+              Wire.Encoding.decode_result t.profile.Profile.encoding
+                pkt.Sim.Packet.payload
             with
-            | exception Wire.Codec.Decode_error e -> k (Error e)
-            | v -> (
+            | Error e -> k (Error e)
+            | Ok v -> (
                 match Messages.err_of_value v with
                 | { e_text; _ } -> k (Error ("TGS error: " ^ e_text))
                 | exception Wire.Codec.Decode_error _ -> (
@@ -423,7 +431,17 @@ let contains_substring ~sub s =
    ours does, and a mid-retry client can cross the boundary in flight). *)
 let is_expiry_error e = contains_substring ~sub:"expired" e
 
-let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
+(* Every KDC in the realm stayed silent — the failover walked the whole
+   list and nobody answered. This is the one failure graceful degradation
+   can paper over: a still-valid cached ticket needs no KDC at all. *)
+let is_timeout_error e =
+  contains_substring ~sub:"timeout" e || contains_substring ~sub:"timed out" e
+
+type source = From_kdc | From_cache | Degraded
+
+let degraded_fallbacks t = t.degraded
+
+let get_ticket_ex t ?options ?additional_ticket ?authz_data ~service k =
   (* The credential cache: an unexpired service ticket is reused without
      going back to the TGS, exactly the /tmp/tkt<uid> behaviour — and with
      the same caveat the paper raises: anyone who can read the cache can
@@ -444,22 +462,52 @@ let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
   match cached with
   | Some c ->
       t.ccache_hits <- t.ccache_hits + 1;
-      k (Ok c)
+      k (Ok (c, From_cache))
   | None ->
   if t.ccache && plain then t.ccache_misses <- t.ccache_misses + 1;
   let k r =
-    (match r with
-    | Ok c when t.ccache && plain ->
-        Hashtbl.replace t.svc_creds sname c;
-        (* Park it in the host cache too, as /tmp/tkt<uid> does — which is
-           exactly what makes it stealable on a multi-user machine. *)
-        cache_creds t ("svc:" ^ sname) c
-    | _ -> ());
-    k r
+    match r with
+    | Ok ((c : credentials), src) ->
+        (* The service-ticket wallet: always kept in memory for plain
+           requests (it is what degradation falls back on); parked in the
+           stealable host cache only under [ccache], as before. *)
+        if plain then begin
+          Hashtbl.replace t.svc_creds sname c;
+          if t.ccache then cache_creds t ("svc:" ^ sname) c
+        end;
+        k (Ok (c, src))
+    | Error e when is_timeout_error e -> (
+        (* All KDCs in crash windows (or unreachable): fall back to a
+           still-valid cached service ticket rather than surfacing the
+           timeout storm. The distinct [Degraded] source tells the caller
+           the ticket came from the wallet, not a live KDC. *)
+        let fallback =
+          if not plain then None
+          else
+            match Hashtbl.find_opt t.svc_creds sname with
+            | Some c when not (tgt_expired t c) -> Some c
+            | _ -> None
+        in
+        match fallback with
+        | Some c ->
+            t.degraded <- t.degraded + 1;
+            Telemetry.Metrics.incr
+              (Telemetry.Metrics.counter
+                 (Telemetry.Collector.metrics (Sim.Net.telemetry t.net))
+                 "client.degraded_fallbacks");
+            Sim.Net.note t.net
+              (Printf.sprintf
+                 "%s: no KDC reachable (%s); degraded to cached ticket for %s"
+                 t.host.Sim.Host.name e sname);
+            k (Ok (c, Degraded))
+        | None -> k (Error e))
+    | Error e -> k (Error e)
   in
   let request via ~k =
     get_ticket_via t ~via ?options ?additional_ticket
-      ?authz_data:(Option.map Fun.id authz_data) ~hops:0 ~service ~k ()
+      ?authz_data:(Option.map Fun.id authz_data) ~hops:0 ~service
+      ~k:(fun r -> k (Result.map (fun c -> (c, From_kdc)) r))
+      ()
   in
   let relogin ~err k =
     match t.password with
@@ -487,6 +535,10 @@ let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
                 | Error e -> k (Error e)
                 | Ok via -> request via ~k)
           | r -> k r)
+
+let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
+  get_ticket_ex t ?options ?additional_ticket ?authz_data ~service (fun r ->
+      k (Result.map fst r))
 
 (* ------------------------------------------------------------------ *)
 (* AP exchange and sealed calls                                        *)

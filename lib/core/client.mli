@@ -97,6 +97,36 @@ val get_ticket :
     on a TGS "ticket expired" error, for the client whose TGT dies while
     a retry is in flight. *)
 
+(** Where the credentials came from — {!get_ticket_ex} tags its result so
+    a caller can tell a live KDC answer from graceful degradation. *)
+type source =
+  | From_kdc    (** a KDC (AS or TGS) issued the ticket just now *)
+  | From_cache  (** credential-cache hit ([~ccache:true], unexpired) *)
+  | Degraded
+      (** every KDC timed out, but a still-valid cached service ticket
+          was served instead — authentication to {e new} services is
+          down, existing tickets keep working until they expire *)
+
+val get_ticket_ex :
+  t ->
+  ?options:Messages.kdc_options ->
+  ?additional_ticket:bytes ->
+  ?authz_data:bytes ->
+  service:Principal.t ->
+  ((credentials * source, string) result -> unit) ->
+  unit
+(** As {!get_ticket}, with the provenance of the result. When the whole
+    KDC pool is silent (crash windows, partitions) and an unexpired
+    ticket for [service] sits in the wallet, the request degrades to it
+    ([Degraded]) instead of surfacing the timeout — the paper's
+    availability story: tickets in hand outlive the KDC that issued
+    them. Only plain requests degrade; options, additional tickets and
+    authorization data genuinely need the TGS. *)
+
+val degraded_fallbacks : t -> int
+(** Requests this client served as [Degraded] (also counted on the
+    net-wide [client.degraded_fallbacks] metric). *)
+
 val kdc_addrs : t -> string -> Sim.Addr.t list
 (** All configured KDC addresses for a realm, failover order. *)
 

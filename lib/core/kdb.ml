@@ -2,16 +2,191 @@ type kind = User | Service | Cross_realm
 
 type entry = { key : bytes; kind : kind }
 
+let kind_code = function User -> 0 | Service -> 1 | Cross_realm -> 2
+
+let kind_of_code = function
+  | 0 -> User
+  | 1 -> Service
+  | 2 -> Cross_realm
+  | _ -> Wire.Codec.fail "kdb: unknown principal kind"
+
+let entries_to_bytes entries =
+  let w = Wire.Codec.Writer.create () in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  Wire.Codec.Writer.u32 w (List.length entries);
+  List.iter
+    (fun (name, e) ->
+      Wire.Codec.Writer.lstring w name;
+      Wire.Codec.Writer.u8 w (kind_code e.kind);
+      Wire.Codec.Writer.lbytes w e.key)
+    entries;
+  Wire.Codec.Writer.contents w
+
+(* Decode a dump into a fresh table first; only a fully decoded blob is
+   ever made visible to readers. Names are validated as principals here so
+   a corrupted dump surfaces as a [Decode_error] at the trust boundary,
+   not as an [Invalid_argument] from [principals] long after the swap. *)
+let entries_of_bytes b =
+  let r = Wire.Codec.Reader.of_bytes b in
+  let n = Wire.Codec.Reader.u32 r in
+  let tbl = Hashtbl.create (max 32 (min n 65536)) in
+  for _ = 1 to n do
+    let name = Wire.Codec.Reader.lstring r in
+    (match Principal.of_string name with
+    | (_ : Principal.t) -> ()
+    | exception Invalid_argument _ ->
+        Wire.Codec.fail "kdb: malformed principal name");
+    let kind = kind_of_code (Wire.Codec.Reader.u8 r) in
+    let key = Wire.Codec.Reader.lbytes r in
+    Hashtbl.replace tbl name { key; kind }
+  done;
+  Wire.Codec.Reader.expect_end r;
+  tbl
+
+(* The write-ahead log. Every mutation is rendered as a CRC-framed record
+   and appended {e before} the in-memory tables change, so the log image
+   captured at any crash instant covers at least everything a reader could
+   have observed. A frame is [u32 len; u32 crc32(payload); payload]; the
+   payload carries the shard index, the shard's post-mutation version
+   (monotonic mutation counter — the same number the anti-entropy version
+   vectors compare), and the operation itself. *)
+module Wal = struct
+  type op =
+    | Put of string * entry  (* single-principal upsert *)
+    | Swap of bytes          (* whole-shard replacement (propagation) *)
+
+  type record = { w_shard : int; w_version : int; w_op : op }
+
+  type t = {
+    mutable frames : (record * bytes) list;  (* newest first *)
+    mutable count : int;
+    mutable bytes : int;
+    mutable appended : int;  (* lifetime appends; survives truncation *)
+  }
+
+  let create () = { frames = []; count = 0; bytes = 0; appended = 0 }
+
+  let payload_of_record r =
+    let w = Wire.Codec.Writer.create () in
+    Wire.Codec.Writer.u32 w r.w_shard;
+    Wire.Codec.Writer.i64 w (Int64.of_int r.w_version);
+    (match r.w_op with
+    | Put (name, e) ->
+        Wire.Codec.Writer.u8 w 0;
+        Wire.Codec.Writer.lstring w name;
+        Wire.Codec.Writer.u8 w (kind_code e.kind);
+        Wire.Codec.Writer.lbytes w e.key
+    | Swap b ->
+        Wire.Codec.Writer.u8 w 1;
+        Wire.Codec.Writer.lbytes w b);
+    Wire.Codec.Writer.contents w
+
+  let frame payload =
+    let w = Wire.Codec.Writer.create () in
+    Wire.Codec.Writer.u32 w (Bytes.length payload);
+    Wire.Codec.Writer.u32 w (Crypto.Crc32.bytes_digest payload);
+    Wire.Codec.Writer.raw w payload;
+    Wire.Codec.Writer.contents w
+
+  let append t r =
+    let fb = frame (payload_of_record r) in
+    t.frames <- (r, fb) :: t.frames;
+    t.count <- t.count + 1;
+    t.bytes <- t.bytes + Bytes.length fb;
+    t.appended <- t.appended + 1
+
+  let length t = t.count
+  let byte_size t = t.bytes
+  let appended t = t.appended
+  let records t = List.rev_map fst t.frames
+
+  let contents t =
+    let buf = Buffer.create (max 64 t.bytes) in
+    List.iter (fun (_, fb) -> Buffer.add_bytes buf fb) (List.rev t.frames);
+    Buffer.to_bytes buf
+
+  let record_of_payload p =
+    let r = Wire.Codec.Reader.of_bytes p in
+    let w_shard = Wire.Codec.Reader.u32 r in
+    let w_version = Int64.to_int (Wire.Codec.Reader.i64 r) in
+    let w_op =
+      match Wire.Codec.Reader.u8 r with
+      | 0 ->
+          let name = Wire.Codec.Reader.lstring r in
+          let kind = kind_of_code (Wire.Codec.Reader.u8 r) in
+          let key = Wire.Codec.Reader.lbytes r in
+          Put (name, { key; kind })
+      | 1 -> Swap (Wire.Codec.Reader.lbytes r)
+      | _ -> Wire.Codec.fail "wal: unknown opcode"
+    in
+    Wire.Codec.Reader.expect_end r;
+    { w_shard; w_version; w_op }
+
+  (* Replay stops cleanly at the first torn or corrupt frame: a crash can
+     leave a half-written record at the tail, and the fault plane can flip
+     bits anywhere, so everything from the first frame that fails its
+     length or CRC check is untrusted and reported as discarded. *)
+  let replay b =
+    let total = Bytes.length b in
+    let r = Wire.Codec.Reader.of_bytes b in
+    let recs = ref [] in
+    let consumed_ok = ref 0 in
+    (try
+       while Wire.Codec.Reader.remaining r > 0 do
+         let len = Wire.Codec.Reader.u32 r in
+         let crc = Wire.Codec.Reader.u32 r in
+         if len > Wire.Codec.Reader.remaining r then
+           Wire.Codec.fail "wal: torn frame";
+         let payload = Wire.Codec.Reader.raw r len in
+         if Crypto.Crc32.bytes_digest payload <> crc then
+           Wire.Codec.fail "wal: crc mismatch";
+         recs := record_of_payload payload :: !recs;
+         consumed_ok := total - Wire.Codec.Reader.remaining r
+       done
+     with Wire.Codec.Decode_error _ -> ());
+    (List.rev !recs, total - !consumed_ok)
+
+  (* Drop every record the checkpoint already covers: record versions are
+     monotonic per shard, and a checkpoint taken at version vector [V]
+     makes any record with [w_version <= V.(w_shard)] redundant. *)
+  let truncate_after_checkpoint t ~versions =
+    let keep =
+      List.filter
+        (fun (r, _) ->
+          r.w_shard >= Array.length versions
+          || r.w_version > versions.(r.w_shard))
+        t.frames
+    in
+    t.frames <- keep;
+    t.count <- List.length keep;
+    t.bytes <- List.fold_left (fun a (_, fb) -> a + Bytes.length fb) 0 keep
+end
+
+(* Durable state: the log plus the last checkpoint image. [every = 0]
+   means checkpoints are manual only. *)
+type durable = {
+  d_wal : Wal.t;
+  mutable d_checkpoint : bytes;
+  d_every : int;
+  mutable d_since : int;       (* mutations since the last checkpoint *)
+  mutable d_checkpoints : int; (* checkpoints taken, incl. the initial one *)
+}
+
 (* Hash-partitioned shards. [shards] is swapped wholesale (never mutated
    element-by-element across event boundaries) so a propagation installs
    either the old view or the new one — nothing in between. *)
 type t = {
   mutable shards : (string, entry) Hashtbl.t array;
   mutable lookups : int array;  (* per-shard lookup counts, same length *)
+  (* Per-shard monotonic mutation counters — bumped on every mutation,
+     stamped into WAL records, and compared by anti-entropy
+     reconciliation as a version vector. *)
+  mutable versions : int array;
   (* The few cross-realm keys, memoized: the TGS opens every presented TGT
      against this set plus its own key, so deriving it must not scan a
      realm-sized database per request. Any mutation clears it. *)
   mutable cross_realm_cache : (Principal.t * bytes) list option;
+  mutable durable : durable option;
 }
 
 (* FNV-1a over the principal string: stable across runs and processes
@@ -28,23 +203,19 @@ let create ?(shards = 1) () =
   if shards < 1 then invalid_arg "Kdb.create: shards must be >= 1";
   { shards = Array.init shards (fun _ -> Hashtbl.create 32);
     lookups = Array.make shards 0;
-    cross_realm_cache = None }
+    versions = Array.make shards 0;
+    cross_realm_cache = None;
+    durable = None }
 
 let shard_count t = Array.length t.shards
 let shard_of_name t name = fnv1a name mod Array.length t.shards
 let shard_of t principal = shard_of_name t (Principal.to_string principal)
 let shard_lookups t = Array.copy t.lookups
-
-let add t principal entry =
-  let name = Principal.to_string principal in
-  t.cross_realm_cache <- None;
-  Hashtbl.replace t.shards.(shard_of_name t name) name entry
-
-let add_user t principal ~password =
-  add t principal { key = Crypto.Str2key.derive password; kind = User }
-
-let add_service t principal ~key = add t principal { key; kind = Service }
-let add_cross_realm t principal ~key = add t principal { key; kind = Cross_realm }
+let version_vector t = Array.copy t.versions
+let durable t = t.durable <> None
+let wal t = Option.map (fun d -> d.d_wal) t.durable
+let checkpoints_taken t =
+  match t.durable with None -> 0 | Some d -> d.d_checkpoints
 
 let lookup t principal =
   let name = Principal.to_string principal in
@@ -76,26 +247,6 @@ let cross_realm_keys t =
       t.cross_realm_cache <- Some l;
       l
 
-let kind_code = function User -> 0 | Service -> 1 | Cross_realm -> 2
-
-let kind_of_code = function
-  | 0 -> User
-  | 1 -> Service
-  | 2 -> Cross_realm
-  | _ -> Wire.Codec.fail "kdb: unknown principal kind"
-
-let entries_to_bytes entries =
-  let w = Wire.Codec.Writer.create () in
-  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
-  Wire.Codec.Writer.u32 w (List.length entries);
-  List.iter
-    (fun (name, e) ->
-      Wire.Codec.Writer.lstring w name;
-      Wire.Codec.Writer.u8 w (kind_code e.kind);
-      Wire.Codec.Writer.lbytes w e.key)
-    entries;
-  Wire.Codec.Writer.contents w
-
 let to_bytes t = entries_to_bytes (fold (fun name e acc -> (name, e) :: acc) t [])
 
 let shard_to_bytes t i =
@@ -103,20 +254,79 @@ let shard_to_bytes t i =
   entries_to_bytes
     (Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.shards.(i) [])
 
-(* Decode a dump into a fresh table first; only a fully decoded blob is
-   ever made visible to readers. *)
-let entries_of_bytes b =
-  let r = Wire.Codec.Reader.of_bytes b in
-  let n = Wire.Codec.Reader.u32 r in
-  let tbl = Hashtbl.create (max 32 n) in
-  for _ = 1 to n do
-    let name = Wire.Codec.Reader.lstring r in
-    let kind = kind_of_code (Wire.Codec.Reader.u8 r) in
-    let key = Wire.Codec.Reader.lbytes r in
-    Hashtbl.replace tbl name { key; kind }
+let shard_digest t i = Crypto.Crc32.bytes_digest (shard_to_bytes t i)
+let digests t = Array.init (Array.length t.shards) (shard_digest t)
+
+(* Checkpoint image: CRC-guarded [shard_count; (version, dump) per shard].
+   Written atomically (the invariant the WAL's torn-tail tolerance rests
+   on): a crash leaves either the previous checkpoint or the new one. *)
+let checkpoint_to_bytes t =
+  let w = Wire.Codec.Writer.create () in
+  let n = Array.length t.shards in
+  Wire.Codec.Writer.u32 w n;
+  for i = 0 to n - 1 do
+    Wire.Codec.Writer.i64 w (Int64.of_int t.versions.(i));
+    Wire.Codec.Writer.lbytes w (shard_to_bytes t i)
   done;
-  Wire.Codec.Reader.expect_end r;
-  tbl
+  let body = Wire.Codec.Writer.contents w in
+  let fw = Wire.Codec.Writer.create () in
+  Wire.Codec.Writer.u32 fw (Crypto.Crc32.bytes_digest body);
+  Wire.Codec.Writer.raw fw body;
+  Wire.Codec.Writer.contents fw
+
+let checkpoint t =
+  match t.durable with
+  | None -> invalid_arg "Kdb.checkpoint: durability not enabled"
+  | Some d ->
+      d.d_checkpoint <- checkpoint_to_bytes t;
+      Wal.truncate_after_checkpoint d.d_wal ~versions:t.versions;
+      d.d_since <- 0;
+      d.d_checkpoints <- d.d_checkpoints + 1
+
+let maybe_checkpoint t =
+  match t.durable with
+  | Some d when d.d_every > 0 && d.d_since >= d.d_every -> checkpoint t
+  | _ -> ()
+
+let enable_durability ?(checkpoint_every = 0) t =
+  let d =
+    { d_wal = Wal.create ();
+      d_checkpoint = Bytes.empty;
+      d_every = checkpoint_every;
+      d_since = 0;
+      d_checkpoints = 1 }
+  in
+  d.d_checkpoint <- checkpoint_to_bytes t;
+  t.durable <- Some d
+
+let disk_image t =
+  Option.map (fun d -> (d.d_checkpoint, Wal.contents d.d_wal)) t.durable
+
+(* Append-before-apply: the record hits the log before the caller touches
+   the tables, so the disk image at any crash instant is never behind the
+   in-memory state a client could have observed. *)
+let log_mutation t i v op =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Wal.append d.d_wal { Wal.w_shard = i; w_version = v; w_op = op };
+      d.d_since <- d.d_since + 1
+
+let add t principal entry =
+  let name = Principal.to_string principal in
+  let i = shard_of_name t name in
+  let v = t.versions.(i) + 1 in
+  log_mutation t i v (Wal.Put (name, entry));
+  t.versions.(i) <- v;
+  t.cross_realm_cache <- None;
+  Hashtbl.replace t.shards.(i) name entry;
+  maybe_checkpoint t
+
+let add_user t principal ~password =
+  add t principal { key = Crypto.Str2key.derive password; kind = User }
+
+let add_service t principal ~key = add t principal { key; kind = Service }
+let add_cross_realm t principal ~key = add t principal { key; kind = Cross_realm }
 
 let of_bytes b =
   let tbl = entries_of_bytes b in
@@ -124,7 +334,7 @@ let of_bytes b =
   t.shards <- [| tbl |];
   t
 
-let replace_shard_from_bytes t i b =
+let replace_shard_from_bytes ?version t i b =
   if i < 0 || i >= Array.length t.shards then
     invalid_arg "Kdb.replace_shard_from_bytes";
   let tbl = entries_of_bytes b in
@@ -134,8 +344,14 @@ let replace_shard_from_bytes t i b =
         Wire.Codec.fail
           (Printf.sprintf "kdb: %s does not belong in shard %d" name i))
     tbl;
+  (* A reconcile install adopts the winner's version; a plain propagation
+     counts as one local mutation. *)
+  let v = match version with Some v -> v | None -> t.versions.(i) + 1 in
+  log_mutation t i v (Wal.Swap b);
+  t.versions.(i) <- v;
   t.cross_realm_cache <- None;
-  t.shards.(i) <- tbl
+  t.shards.(i) <- tbl;
+  maybe_checkpoint t
 
 let replace_from dst src =
   let n = Array.length dst.shards in
@@ -146,8 +362,91 @@ let replace_from dst src =
         (fun name e -> Hashtbl.replace fresh.(shard_of_name dst name) name e)
         shard)
     src.shards;
+  (* Log every shard's new contents before the swap becomes visible. *)
+  Array.iteri
+    (fun i tbl ->
+      let v = dst.versions.(i) + 1 in
+      if dst.durable <> None then
+        log_mutation dst i v
+          (Wal.Swap
+             (entries_to_bytes
+                (Hashtbl.fold (fun name e acc -> (name, e) :: acc) tbl [])));
+      dst.versions.(i) <- v)
+    fresh;
   dst.cross_realm_cache <- None;
-  dst.shards <- fresh
+  dst.shards <- fresh;
+  maybe_checkpoint dst
+
+(* Model a crash's memory loss: every table, counter and the attached
+   durable state vanish; only a previously captured {!disk_image}
+   survives, elsewhere. *)
+let wipe t =
+  let n = Array.length t.shards in
+  t.shards <- Array.init n (fun _ -> Hashtbl.create 32);
+  t.lookups <- Array.make n 0;
+  t.versions <- Array.make n 0;
+  t.cross_realm_cache <- None;
+  t.durable <- None
+
+type recovery = {
+  recovered : t;
+  applied : int;
+  skipped : int;
+  discarded_bytes : int;
+}
+
+let recover ~checkpoint ~wal =
+  let r = Wire.Codec.Reader.of_bytes checkpoint in
+  let crc = Wire.Codec.Reader.u32 r in
+  let body = Wire.Codec.Reader.raw r (Wire.Codec.Reader.remaining r) in
+  if Crypto.Crc32.bytes_digest body <> crc then
+    Wire.Codec.fail "kdb: corrupt checkpoint";
+  let br = Wire.Codec.Reader.of_bytes body in
+  let n = Wire.Codec.Reader.u32 br in
+  if n < 1 || n > 65536 then Wire.Codec.fail "kdb: bad checkpoint shard count";
+  let t = create ~shards:n () in
+  for i = 0 to n - 1 do
+    t.versions.(i) <- Int64.to_int (Wire.Codec.Reader.i64 br);
+    t.shards.(i) <- entries_of_bytes (Wire.Codec.Reader.lbytes br)
+  done;
+  Wire.Codec.Reader.expect_end br;
+  let recs, discarded_bytes = Wal.replay wal in
+  let applied = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (rc : Wal.record) ->
+      if
+        rc.w_shard < 0 || rc.w_shard >= n
+        || rc.w_version <= t.versions.(rc.w_shard)
+      then incr skipped
+      else
+        match rc.w_op with
+        | Wal.Put (name, e) ->
+            Hashtbl.replace t.shards.(rc.w_shard) name e;
+            t.versions.(rc.w_shard) <- rc.w_version;
+            incr applied
+        | Wal.Swap b -> (
+            match entries_of_bytes b with
+            | tbl ->
+                t.shards.(rc.w_shard) <- tbl;
+                t.versions.(rc.w_shard) <- rc.w_version;
+                incr applied
+            | exception Wire.Codec.Decode_error _ -> incr skipped))
+    recs;
+  t.cross_realm_cache <- None;
+  { recovered = t; applied = !applied; skipped = !skipped; discarded_bytes }
+
+(* Install a recovery in place (the database object is shared with the
+   KDC's routes and with tests, so recovery must not change its identity).
+   Unlike {!replace_from} this adopts the recovered version vector as-is
+   and logs nothing — it {e is} the log's effect. *)
+let restore t (r : recovery) =
+  let src = r.recovered in
+  if Array.length src.shards <> Array.length t.shards then
+    invalid_arg "Kdb.restore: shard count mismatch";
+  t.shards <- src.shards;
+  t.versions <- src.versions;
+  t.lookups <- Array.make (Array.length src.shards) 0;
+  t.cross_realm_cache <- None
 
 let size t = Array.fold_left (fun acc s -> acc + Hashtbl.length s) 0 t.shards
 let shard_sizes t = Array.map Hashtbl.length t.shards

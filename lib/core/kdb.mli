@@ -17,6 +17,52 @@ type kind = User | Service | Cross_realm
 
 type entry = { key : bytes; kind : kind }
 
+(** The per-shard write-ahead log. Records are appended {e before} the
+    in-memory tables change and framed as [u32 len; u32 crc32; payload],
+    so a log image captured at any crash instant replays to at least the
+    state a reader could have observed, and a torn or bit-flipped tail is
+    detected and cleanly truncated rather than crashing recovery. *)
+module Wal : sig
+  type op =
+    | Put of string * entry
+        (** A single-principal upsert (the [add_*] family). *)
+    | Swap of bytes
+        (** A whole-shard replacement — a propagation or reconcile
+            install, carrying the full {!shard_to_bytes} dump. *)
+
+  type record = {
+    w_shard : int;    (** shard the mutation landed in *)
+    w_version : int;  (** that shard's post-mutation version *)
+    w_op : op;
+  }
+
+  type t
+
+  val create : unit -> t
+  val append : t -> record -> unit
+  val length : t -> int
+  (** Records currently held (post-truncation). *)
+
+  val byte_size : t -> int
+  val appended : t -> int
+  (** Lifetime appends — unlike {!length}, never decreased by
+      {!truncate_after_checkpoint}. *)
+
+  val records : t -> record list
+  val contents : t -> bytes
+  (** The serialized log image — what a crash captures. *)
+
+  val replay : bytes -> record list * int
+  (** Parse a log image. Returns the records up to the first torn or
+      CRC-failing frame, plus the number of trailing bytes discarded.
+      Never raises: a corrupt log yields a shorter prefix, not an
+      exception. *)
+
+  val truncate_after_checkpoint : t -> versions:int array -> unit
+  (** Drop every record a checkpoint at version vector [versions] already
+      covers ([w_version <= versions.(w_shard)]). *)
+end
+
 type t
 
 val create : ?shards:int -> unit -> t
@@ -68,12 +114,14 @@ val shard_to_bytes : t -> int -> bytes
     incremental propagation ({!Services.Kprop.propagate_shard}).
     @raise Invalid_argument if the index is out of range. *)
 
-val replace_shard_from_bytes : t -> int -> bytes -> unit
+val replace_shard_from_bytes : ?version:int -> t -> int -> bytes -> unit
 (** Atomically replace shard [i] from a {!shard_to_bytes} dump taken on a
     database with the {e same} shard count. The blob is decoded fully
     before anything becomes visible: on a decode error (a truncated or
     corrupted propagation) the shard keeps its previous contents — no
-    half-swapped state, ever.
+    half-swapped state, ever. Without [?version] the swap counts as one
+    local mutation (the shard's version increments); a reconcile install
+    passes [~version] to adopt the winning replica's version instead.
     @raise Wire.Codec.Decode_error on malformed input or if an entry does
     not belong in shard [i]
     @raise Invalid_argument if the index is out of range. *)
@@ -93,3 +141,64 @@ val shard_sizes : t -> int array
     a registered population, as opposed to {!shard_lookups}, which follows
     the {e traffic} and concentrates on hot principals (the TGS's own
     entry, popular services). *)
+
+(** {2 Durability}
+
+    The write-ahead log plus periodic checkpoints. Enable with
+    {!enable_durability}; thereafter every mutation is logged
+    append-before-apply, and {!disk_image} at any instant recovers (via
+    {!recover}) to exactly the state a crash at that instant would
+    strand. *)
+
+val enable_durability : ?checkpoint_every:int -> t -> unit
+(** Attach a WAL and take an initial checkpoint. [checkpoint_every = n]
+    (default 0 = manual) takes a fresh checkpoint — and truncates the log
+    — after every [n] mutations. *)
+
+val durable : t -> bool
+
+val checkpoint : t -> unit
+(** Snapshot the current state and truncate the WAL behind it.
+    @raise Invalid_argument if durability is not enabled. *)
+
+val checkpoints_taken : t -> int
+
+val wal : t -> Wal.t option
+
+val disk_image : t -> (bytes * bytes) option
+(** [(checkpoint, wal)] — what survives a crash. [None] when durability
+    is off: such a database dies with its process. *)
+
+val wipe : t -> unit
+(** Model the crash itself: every table, version counter and the attached
+    durable state vanish in place (the object identity survives — it is
+    shared with routes and tests). Shard count is preserved. *)
+
+val version_vector : t -> int array
+(** Per-shard monotonic mutation counters (length {!shard_count}) — the
+    vector anti-entropy reconciliation compares and WAL records carry. *)
+
+val shard_digest : t -> int -> int
+(** CRC-32 over the shard's deterministic sorted dump — equal digests
+    mean byte-identical shard contents across replicas. *)
+
+val digests : t -> int array
+
+type recovery = {
+  recovered : t;        (** fresh database: checkpoint + replayed WAL *)
+  applied : int;        (** WAL records applied on top of the checkpoint *)
+  skipped : int;        (** records the checkpoint already covered *)
+  discarded_bytes : int (** torn/corrupt WAL tail dropped by CRC *)
+}
+
+val recover : checkpoint:bytes -> wal:bytes -> recovery
+(** Rebuild from a {!disk_image}. The checkpoint must be intact (it is
+    written atomically; @raise Wire.Codec.Decode_error if its CRC fails);
+    the WAL may be torn or bit-flipped anywhere — replay stops cleanly at
+    the first bad frame. Records the checkpoint already covers are
+    skipped by version comparison, so replay is idempotent. *)
+
+val restore : t -> recovery -> unit
+(** Install a recovery into an existing database in place, adopting the
+    recovered version vector as-is (no WAL logging — the recovery {e is}
+    the log's effect). @raise Invalid_argument on shard count mismatch. *)

@@ -1,5 +1,23 @@
 let default_port = 750
 
+let tgs_cache_horizon = 600.0
+
+(* What survives a crash on "disk": the database's checkpoint + WAL image
+   and the TGS replay-cache snapshot. Captured at crash time — a KDC
+   without durability enabled has no disk and loses everything. *)
+type disk = {
+  dk_checkpoint : bytes;
+  dk_wal : bytes;
+  dk_replay : bytes;
+}
+
+type recovery_info = {
+  wal_applied : int;        (** WAL records replayed on top of the checkpoint *)
+  wal_skipped : int;        (** records the checkpoint already covered *)
+  wal_discarded_bytes : int;(** torn/corrupt WAL tail truncated by CRC *)
+  replay_entries : int;     (** TGS replay-cache entries still live at restart *)
+}
+
 type t = {
   realm : string;
   profile : Profile.t;
@@ -7,12 +25,19 @@ type t = {
   db : Kdb.t;
   rng : Util.Rng.t;
   routes : (string, string) Hashtbl.t;  (** remote realm -> next-hop realm *)
-  tgs_cache : Replay_cache.t;  (** authenticators presented to the TGS *)
+  mutable tgs_cache : Replay_cache.t;  (** authenticators presented to the TGS *)
   enc_tkt_cname_check : bool;
   verify_transit : bool;
   rate_limit : int option;  (** AS requests per source per minute *)
   rate_table : (Sim.Addr.t, float list ref) Hashtbl.t;  (** recent request times *)
   tel : Telemetry.Collector.t;
+  (* Crash/restart state, mirroring Apserver. [installed] remembers where
+     [install] bound us so [restart] can re-listen. *)
+  mutable installed : (Sim.Net.t * Sim.Host.t * int) option;
+  mutable running : bool;
+  mutable disk : disk option;
+  mutable durability_every : int option;  (** checkpoint cadence, if durable *)
+  mutable last_recovery : recovery_info option;
   (* The bespoke int fields these replaced live on in the registry; the
      .mli accessors below read the counters back. [fresh_name] keeps two
      KDCs of one realm (replication tests) from merging their counts. *)
@@ -20,6 +45,7 @@ type t = {
   c_preauth_rejected : Telemetry.Metrics.counter;
   c_rate_limited : Telemetry.Metrics.counter;
   c_replay_hits : Telemetry.Metrics.counter;
+  c_recoveries : Telemetry.Metrics.counter;
 }
 
 let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
@@ -30,13 +56,21 @@ let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
   let m = Telemetry.Collector.metrics tel in
   let fresh base = Telemetry.Metrics.counter m (Telemetry.Metrics.fresh_name m base) in
   { realm; profile; lifetime; db; rng = Util.Rng.create seed;
-    routes = Hashtbl.create 4; tgs_cache = Replay_cache.create ~horizon:600.0;
+    routes = Hashtbl.create 4;
+    tgs_cache = Replay_cache.create ~horizon:tgs_cache_horizon;
     enc_tkt_cname_check; verify_transit; rate_limit;
     rate_table = Hashtbl.create 16; tel;
+    installed = None; running = false; disk = None; durability_every = None;
+    last_recovery = None;
     c_as_served = fresh ("kdc." ^ realm ^ ".as_requests_served");
     c_preauth_rejected = fresh ("kdc." ^ realm ^ ".preauth_rejections");
     c_rate_limited = fresh ("kdc." ^ realm ^ ".rate_limited_requests");
-    c_replay_hits = fresh ("kdc." ^ realm ^ ".replay_hits") }
+    c_replay_hits = fresh ("kdc." ^ realm ^ ".replay_hits");
+    c_recoveries = fresh ("kdc." ^ realm ^ ".recoveries") }
+
+let enable_durability ?(checkpoint_every = 0) t =
+  Kdb.enable_durability ~checkpoint_every t.db;
+  t.durability_every <- Some checkpoint_every
 
 let realm t = t.realm
 let database t = t.db
@@ -433,7 +467,7 @@ let outcome_of_reply v =
   | e -> Ap_check.outcome_of_code ~code:e.Messages.e_code ~text:e.Messages.e_text
   | exception Wire.Codec.Decode_error _ -> "ok"
 
-let install net host t ?(port = default_port) () =
+let serve t net host port =
   let tel = t.tel in
   Sim.Net.listen net host ~port (fun pkt ->
       let reply v =
@@ -468,9 +502,9 @@ let install net host t ?(port = default_port) () =
         end;
         Telemetry.Collector.span_finish tel ~outcome span
       in
-      match Wire.Encoding.decode t.profile.Profile.encoding pkt.Sim.Packet.payload with
-      | exception Wire.Codec.Decode_error e -> reply (err Messages.err_generic e)
-      | v -> (
+      match Wire.Encoding.decode_result t.profile.Profile.encoding pkt.Sim.Packet.payload with
+      | Error e -> reply (err Messages.err_generic e)
+      | Ok v -> (
           (* Try AS first, then TGS; under Der the tag disambiguates, under
              V4 the structural parse does. *)
           match Messages.as_req_of_value v with
@@ -486,3 +520,74 @@ let install net host t ?(port = default_port) () =
                     (fun () -> handle_tgs t net host req ~src_addr)
               | exception Wire.Codec.Decode_error e ->
                   reply (err Messages.err_generic e))))
+
+let install net host t ?(port = default_port) () =
+  t.installed <- Some (net, host, port);
+  t.running <- true;
+  serve t net host port
+
+let running t = t.running
+let last_recovery t = t.last_recovery
+let recoveries t = Telemetry.Metrics.value t.c_recoveries
+
+(* A crash loses everything in memory: the principal database, the TGS
+   replay cache, the rate tables, the port. What survives is the disk
+   image the durability plane maintained — checkpoint plus WAL, captured
+   here exactly as the instant of death left them (the WAL may well end
+   mid-mutation; recovery's CRC framing deals with that). Without
+   {!enable_durability} there is no disk and a restart comes back empty —
+   the pre-PR behaviour, now opt-out instead of inevitable. *)
+let crash t =
+  match t.installed with
+  | Some (net, host, port) when t.running ->
+      t.running <- false;
+      Sim.Net.unlisten net host ~port;
+      t.disk <-
+        Option.map
+          (fun (dk_checkpoint, dk_wal) ->
+            { dk_checkpoint; dk_wal;
+              dk_replay = Replay_cache.to_bytes t.tgs_cache })
+          (Kdb.disk_image t.db);
+      Kdb.wipe t.db;
+      t.tgs_cache <- Replay_cache.create ~horizon:tgs_cache_horizon;
+      Hashtbl.reset t.rate_table;
+      Sim.Net.note net
+        (Printf.sprintf "%s: KDC for realm %s crashed%s" host.Sim.Host.name
+           t.realm
+           (if t.disk = None then " (no durable state: database lost)" else ""))
+  | _ -> ()
+
+let restart t =
+  match t.installed with
+  | Some (net, host, port) when not t.running ->
+      (match t.disk with
+      | Some d ->
+          let r = Kdb.recover ~checkpoint:d.dk_checkpoint ~wal:d.dk_wal in
+          Kdb.restore t.db r;
+          (match t.durability_every with
+          | Some every -> Kdb.enable_durability ~checkpoint_every:every t.db
+          | None -> ());
+          let now = Sim.Net.local_time net host in
+          let cache = Replay_cache.of_bytes ~now d.dk_replay in
+          t.tgs_cache <- cache;
+          t.last_recovery <-
+            Some
+              { wal_applied = r.Kdb.applied;
+                wal_skipped = r.Kdb.skipped;
+                wal_discarded_bytes = r.Kdb.discarded_bytes;
+                replay_entries = Replay_cache.size cache };
+          Telemetry.Metrics.incr t.c_recoveries;
+          Sim.Net.note net
+            (Printf.sprintf
+               "%s: KDC for realm %s recovered (checkpoint + %d WAL records, \
+                %d stale bytes dropped, %d replay entries live)"
+               host.Sim.Host.name t.realm r.Kdb.applied r.Kdb.discarded_bytes
+               (Replay_cache.size cache))
+      | None ->
+          Sim.Net.note net
+            (Printf.sprintf "%s: KDC for realm %s restarted cold (empty database)"
+               host.Sim.Host.name t.realm));
+      t.disk <- None;
+      t.running <- true;
+      serve t net host port
+  | _ -> ()

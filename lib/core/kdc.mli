@@ -54,6 +54,46 @@ val add_realm_route : t -> remote:string -> next_hop:string -> unit
 
 val install : Sim.Net.t -> Sim.Host.t -> t -> ?port:int -> unit -> unit
 
+(** {2 Durability and crash recovery}
+
+    Mirrors {!Apserver.crash}/[restart], but for the state that actually
+    matters realm-wide: the principal database. With durability enabled
+    the database logs every mutation append-before-apply
+    ({!Kdb.enable_durability}); a crash captures the checkpoint + WAL
+    disk image and the TGS replay-cache snapshot, and a restart recovers
+    by checkpoint load + WAL replay (torn or bit-flipped tails are
+    CRC-truncated, never fatal) and prunes expired replay entries. *)
+
+val enable_durability : ?checkpoint_every:int -> t -> unit
+(** Attach a WAL to the KDC's database and take an initial checkpoint.
+    [checkpoint_every] as in {!Kdb.enable_durability}. *)
+
+val crash : t -> unit
+(** Stop listening and lose all in-memory state. Only meaningful after
+    {!install} (a KDC that never listened has nothing to crash). Without
+    durability the database itself is lost — the paper's single point of
+    failure, reproduced. *)
+
+val restart : t -> unit
+(** Recover from the disk image captured at crash time and listen again
+    on the same port. No-op if already running. *)
+
+val running : t -> bool
+
+type recovery_info = {
+  wal_applied : int;        (** WAL records replayed on top of the checkpoint *)
+  wal_skipped : int;        (** records the checkpoint already covered *)
+  wal_discarded_bytes : int;(** torn/corrupt WAL tail truncated by CRC *)
+  replay_entries : int;     (** TGS replay-cache entries still live at restart *)
+}
+
+val last_recovery : t -> recovery_info option
+(** What the most recent {!restart} had to do, [None] before any
+    recovery. *)
+
+val recoveries : t -> int
+(** Lifetime recovery count (the [kdc.<realm>.recoveries] counter). *)
+
 (** Statistics for the experiments — thin wrappers over the registry
     counters the KDC records into (the historical interface, kept). *)
 

@@ -210,7 +210,13 @@ let seal s ~now data =
   | Profile.Cbc_iv_chain -> seal_chain s ~now data
 
 let open_ s ~now ct =
-  match s.Session.profile.Profile.priv_mode with
-  | Profile.Pcbc_v4 -> open_v4 s ~now ct
-  | Profile.Cbc_v5_draft -> open_v5 s ~now ct
-  | Profile.Cbc_iv_chain -> open_chain s ~now ct
+  (* Guard before the block modes see the buffer: [Mode.*_decrypt_into]
+     raises [Invalid_argument] on anything that is not a whole number of
+     blocks, and a fault-plane truncation (or any injected frame) can
+     hand us exactly that. Not a ciphertext — just Garbled. *)
+  if Bytes.length ct = 0 || Bytes.length ct mod 8 <> 0 then Error Garbled
+  else
+    match s.Session.profile.Profile.priv_mode with
+    | Profile.Pcbc_v4 -> open_v4 s ~now ct
+    | Profile.Cbc_v5_draft -> open_v5 s ~now ct
+    | Profile.Cbc_iv_chain -> open_chain s ~now ct

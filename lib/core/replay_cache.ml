@@ -82,7 +82,13 @@ let to_bytes t =
     entries;
   Wire.Codec.Writer.contents w
 
-let of_bytes b =
+(* [?now] prunes at load: a snapshot taken before a long crash window is
+   mostly expired entries by the time the server restarts, and loading
+   them would both grow the heap with dead weight and — worse — resurrect
+   entries whose authenticators the timestamp check already rejects
+   (harmless for correctness, unbounded for memory). Entries at or past
+   expiry are simply not admitted. *)
+let of_bytes ?now b =
   let r = Wire.Codec.Reader.of_bytes b in
   let horizon = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
   let t = create ~horizon in
@@ -90,8 +96,11 @@ let of_bytes b =
   for _ = 1 to n do
     let k = Wire.Codec.Reader.lstring r in
     let expiry = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
-    Hashtbl.replace t.entries k expiry;
-    Sim.Heap.push t.expq { expiry; ekey = k }
+    let live = match now with None -> true | Some now -> expiry > now in
+    if live then begin
+      Hashtbl.replace t.entries k expiry;
+      Sim.Heap.push t.expq { expiry; ekey = k }
+    end
   done;
   Wire.Codec.Reader.expect_end r;
   t

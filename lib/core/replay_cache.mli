@@ -39,6 +39,9 @@ val to_bytes : t -> bytes
     shutdown. Lifetime counters ({!hits}/{!inserts}) are process state and
     are not included. *)
 
-val of_bytes : bytes -> t
+val of_bytes : ?now:float -> bytes -> t
 (** Rebuild a cache from {!to_bytes} output; counters start at zero.
+    With [~now], entries already expired at load time are pruned rather
+    than admitted — a restart after a long crash window must not
+    resurrect stale entries or rebuild a heap of dead weight.
     @raise Wire.Codec.Decode_error on malformed input. *)

@@ -1,0 +1,427 @@
+open Kerberos
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type world_report = {
+  w_outcomes : (string * (string, string) result option) list;
+  w_replies : string list;  (** every KDC reply payload, in delivery order *)
+  w_digests : int array;
+  w_recovery : Kdc.recovery_info option;
+  w_checkpoints : int;
+  w_recoveries : int;
+  w_pending : int;
+}
+
+type report = {
+  seed : int64;
+  crashed : world_report;
+  golden : world_report;
+  torn_discarded : int;
+  torn_applied : int;
+  torn_full_applied : int;
+  torn_digests_ok : bool;
+  bitflip_ok : bool;
+  rec_result : (Services.Kprop.reconcile_report, string) result option;
+  rec_digests_equal : bool;
+  rec_versions_equal : bool;
+  rec_installs : int;
+  degraded_outcome : string;
+  degraded_count : int;
+  post_restart_outcome : string;
+}
+
+let realm = "REC"
+
+let profile = Profile.v5_draft3
+
+let quad = Sim.Addr.of_quad
+
+(* ------------------------------------------------------------------ *)
+(* Scenario A: crash-equivalence against a golden twin world.          *)
+(*                                                                     *)
+(* Two fully deterministic worlds share every seed; the only           *)
+(* difference is that one KDC crashes at t=6 and recovers at t=7,      *)
+(* inside a quiet window. If checkpoint + WAL replay reconstruct the   *)
+(* database exactly, the two worlds' KDC reply transcripts — every     *)
+(* encrypted AS/TGS reply byte — are identical, and so are the         *)
+(* post-run shard digests.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let world ~seed ~crash () =
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed:0x52454356L ~telemetry:tel eng in
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ quad 10 1 0 1 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ quad 10 1 0 10 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; ws ];
+  let replies = ref [] in
+  Sim.Net.add_tap net (fun pkt ->
+      if pkt.Sim.Packet.sport = Kdc.default_port then
+        replies := Bytes.to_string pkt.Sim.Packet.payload :: !replies);
+  let rng = Util.Rng.create (Int64.add 0x4b455953L seed) in
+  let db = Kdb.create ~shards:4 () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  let fileserv = Principal.service ~realm "fileserv" ~host:"fs" in
+  Kdb.add_service db fileserv ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user db (Principal.user ~realm "pat") ~password:"rec.pw.1";
+  let kdc = Kdc.create ~seed:(Int64.add 0x4b4443L seed) ~realm ~profile
+      ~lifetime:28800.0 db
+  in
+  Kdc.enable_durability ~checkpoint_every:2 kdc;
+  Kdc.install net kdc_host kdc ();
+  let kdcs = [ (realm, Sim.Host.primary_ip kdc_host) ] in
+  let outcomes = ref [] in
+  let flow name c ~password ~service =
+    let settled = ref None in
+    outcomes := (name, settled) :: !outcomes;
+    Client.login c ~password (function
+      | Error e -> settled := Some (Error ("login: " ^ e))
+      | Ok _ ->
+          Client.get_ticket c ~service (function
+            | Error e -> settled := Some (Error ("ticket: " ^ e))
+            | Ok _ -> settled := Some (Ok "ok")))
+  in
+  (* Phase 1: pat works against the pristine database. *)
+  Sim.Engine.schedule eng ~at:0.5 (fun () ->
+      let c = Client.create ~seed:(Int64.add 0x1001L seed) net ws ~profile ~kdcs
+          (Principal.user ~realm "pat")
+      in
+      flow "pat/phase1" c ~password:"rec.pw.1" ~service:fileserv);
+  (* Admin mutations, each WAL-logged; the second triggers the auto
+     checkpoint, the third stays in the log and must survive the crash. *)
+  let printer = Principal.service ~realm "printer" ~host:"pr" in
+  let printer_key = Crypto.Des.random_key rng in
+  Sim.Engine.schedule eng ~at:2.0 (fun () ->
+      Kdb.add_user db (Principal.user ~realm "newbie") ~password:"rec.pw.n");
+  Sim.Engine.schedule eng ~at:3.0 (fun () ->
+      Kdb.add_service db printer ~key:printer_key);
+  Sim.Engine.schedule eng ~at:4.0 (fun () ->
+      Kdb.add_user db (Principal.user ~realm "pat") ~password:"rec.pw.2");
+  if crash then begin
+    Sim.Engine.schedule eng ~at:6.0 (fun () -> Kdc.crash kdc);
+    Sim.Engine.schedule eng ~at:7.0 (fun () -> Kdc.restart kdc)
+  end;
+  (* Phase 2: both the checkpointed and the WAL-only mutations serve. *)
+  Sim.Engine.schedule eng ~at:8.0 (fun () ->
+      let c = Client.create ~seed:(Int64.add 0x1002L seed) net ws ~profile ~kdcs
+          (Principal.user ~realm "newbie")
+      in
+      flow "newbie/phase2" c ~password:"rec.pw.n" ~service:printer);
+  Sim.Engine.schedule eng ~at:8.2 (fun () ->
+      let c = Client.create ~seed:(Int64.add 0x1003L seed) net ws ~profile ~kdcs
+          (Principal.user ~realm "pat")
+      in
+      flow "pat/phase2" c ~password:"rec.pw.2" ~service:fileserv);
+  Sim.Engine.run eng;
+  { w_outcomes =
+      List.rev_map (fun (name, settled) -> (name, !settled)) !outcomes;
+    w_replies = List.rev !replies;
+    w_digests = Kdb.digests db;
+    w_recovery = Kdc.last_recovery kdc;
+    w_checkpoints = Kdb.checkpoints_taken db;
+    w_recoveries = Kdc.recoveries kdc;
+    w_pending = Sim.Engine.pending eng }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario B: torn and bit-flipped WAL tails truncate cleanly.        *)
+(* ------------------------------------------------------------------ *)
+
+let torn_tail ~seed =
+  let mk () =
+    let rng = Util.Rng.create (Int64.add 0x544f524eL seed) in
+    let db = Kdb.create ~shards:4 () in
+    Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+    (db, rng)
+  in
+  let mutate db rng n =
+    for i = 0 to n - 1 do
+      if i mod 3 = 2 then
+        Kdb.add_service db
+          (Principal.service ~realm (Printf.sprintf "svc%d" i) ~host:"h")
+          ~key:(Crypto.Des.random_key rng)
+      else
+        Kdb.add_user db (Principal.user ~realm (Printf.sprintf "u%d" i))
+          ~password:(Printf.sprintf "pw%d" i)
+    done
+  in
+  let n = 7 in
+  let db, rng = mk () in
+  Kdb.enable_durability db;
+  mutate db rng n;
+  let checkpoint, wal = Option.get (Kdb.disk_image db) in
+  let full = Kdb.recover ~checkpoint ~wal in
+  (* Tear 3 bytes off the tail: the last frame is incomplete and must be
+     discarded, leaving exactly the first [n - 1] mutations. *)
+  let torn_wal = Bytes.sub wal 0 (Bytes.length wal - 3) in
+  let torn = Kdb.recover ~checkpoint ~wal:torn_wal in
+  let twin, twin_rng = mk () in
+  mutate twin twin_rng (n - 1);
+  let torn_digests_ok = Kdb.digests torn.Kdb.recovered = Kdb.digests twin in
+  (* Flip one bit mid-log: CRC catches it and replay stops before the
+     damaged frame — never garbage, never an exception. *)
+  let flipped = Bytes.copy wal in
+  let pos = Bytes.length flipped / 2 in
+  Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x10));
+  let bf = Kdb.recover ~checkpoint ~wal:flipped in
+  let bitflip_ok =
+    bf.Kdb.discarded_bytes > 0 && bf.Kdb.applied < full.Kdb.applied
+  in
+  ( torn.Kdb.discarded_bytes,
+    torn.Kdb.applied,
+    full.Kdb.applied,
+    torn_digests_ok,
+    bitflip_ok )
+
+(* ------------------------------------------------------------------ *)
+(* Scenario C: anti-entropy reconciliation of diverged replicas.       *)
+(* ------------------------------------------------------------------ *)
+
+let reconcile_run ~seed =
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed:0x52454341L ~telemetry:tel eng in
+  let a_host = Sim.Host.create ~name:"kdc-a" ~ips:[ quad 10 2 0 1 ] () in
+  let b_host = Sim.Host.create ~name:"kdc-b" ~ips:[ quad 10 2 0 2 ] () in
+  List.iter (Sim.Net.attach net) [ a_host; b_host ];
+  (* Two replicas built identically — same seeds, same insertion order —
+     then diverged as if a partition let each keep taking writes. *)
+  let build () =
+    let rng = Util.Rng.create (Int64.add 0x444956L seed) in
+    let db = Kdb.create ~shards:4 () in
+    Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+    Kdb.add_user db (Principal.user ~realm "kadmin") ~password:"master.pw";
+    let kpropd_principal = Principal.service ~realm "kprop" ~host:"kdc-b" in
+    let kpropd_key = Crypto.Des.random_key rng in
+    Kdb.add_service db kpropd_principal ~key:kpropd_key;
+    for i = 0 to 7 do
+      Kdb.add_user db (Principal.user ~realm (Printf.sprintf "u%d" i))
+        ~password:(Printf.sprintf "pw%d" i)
+    done;
+    (db, kpropd_principal, kpropd_key)
+  in
+  let db_a, kpropd_principal, kpropd_key = build () in
+  let db_b, _, _ = build () in
+  (* Divergence: A gained a user; B gained two and re-keyed u0 twice, so
+     u0's shard has a strictly higher version on B. *)
+  Kdb.add_user db_a (Principal.user ~realm "alice") ~password:"alice.pw";
+  Kdb.add_user db_b (Principal.user ~realm "bob") ~password:"bob.pw";
+  Kdb.add_user db_b (Principal.user ~realm "u0") ~password:"pw0.second";
+  Kdb.add_user db_b (Principal.user ~realm "u0") ~password:"pw0.third";
+  let kdc_a = Kdc.create ~realm ~profile ~lifetime:28800.0 db_a in
+  Kdc.install net a_host kdc_a ();
+  let _kpropd =
+    Services.Kprop.install_slave net b_host ~profile ~principal:kpropd_principal
+      ~key:kpropd_key ~port:754 ~master:(Principal.user ~realm "kadmin")
+      ~slave_db:db_b
+  in
+  let admin =
+    Client.create ~seed:(Int64.add 0x41444dL seed) net a_host ~profile
+      ~kdcs:[ (realm, Sim.Host.primary_ip a_host) ]
+      (Principal.user ~realm "kadmin")
+  in
+  let result = ref None in
+  Client.login admin ~password:"master.pw" (function
+    | Error e -> result := Some (Error ("login: " ^ e))
+    | Ok _ ->
+        Client.get_ticket admin ~service:kpropd_principal (function
+          | Error e -> result := Some (Error ("ticket: " ^ e))
+          | Ok creds ->
+              Client.ap_exchange admin creds
+                ~dst:(Sim.Host.primary_ip b_host) ~dport:754 (function
+                | Error e -> result := Some (Error ("ap: " ^ e))
+                | Ok chan ->
+                    Services.Kprop.reconcile ~deadline:5.0 admin chan ~db:db_a
+                      ~k:(fun r -> result := Some r))));
+  Sim.Engine.run eng;
+  let installs =
+    let m = Telemetry.Collector.metrics tel in
+    let total = ref 0 in
+    for i = 0 to Kdb.shard_count db_a - 1 do
+      total :=
+        !total
+        + Telemetry.Metrics.value
+            (Telemetry.Metrics.counter m (Printf.sprintf "kprop.reconciled.%d" i))
+    done;
+    !total
+  in
+  ( !result,
+    Kdb.digests db_a = Kdb.digests db_b,
+    Kdb.version_vector db_a = Kdb.version_vector db_b,
+    installs )
+
+(* ------------------------------------------------------------------ *)
+(* Scenario D: graceful degradation when every KDC is dark.            *)
+(* ------------------------------------------------------------------ *)
+
+let degraded_run ~seed =
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed:0x44454744L ~telemetry:tel eng in
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ quad 10 3 0 1 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ quad 10 3 0 10 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; ws ];
+  let rng = Util.Rng.create (Int64.add 0x444747L seed) in
+  let db = Kdb.create () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  let fileserv = Principal.service ~realm "fileserv" ~host:"fs" in
+  Kdb.add_service db fileserv ~key:(Crypto.Des.random_key rng);
+  Kdb.add_user db (Principal.user ~realm "pat") ~password:"deg.pw";
+  let kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 db in
+  Kdc.enable_durability kdc;
+  Kdc.install net kdc_host kdc ();
+  let c =
+    Client.create ~seed:(Int64.add 0x2001L seed) ~kdc_timeout:0.4 net ws
+      ~profile ~kdcs:[ (realm, Sim.Host.primary_ip kdc_host) ]
+      (Principal.user ~realm "pat")
+  in
+  let show = function
+    | None -> "stalled"
+    | Some (Error e) -> "error: " ^ e
+    | Some (Ok (_, Client.From_kdc)) -> "from-kdc"
+    | Some (Ok (_, Client.From_cache)) -> "from-cache"
+    | Some (Ok (_, Client.Degraded)) -> "degraded"
+  in
+  let dark = ref None and relit = ref None in
+  Sim.Engine.schedule eng ~at:0.5 (fun () ->
+      Client.login c ~password:"deg.pw" (fun r ->
+          ignore (Result.get_ok r);
+          Client.get_ticket c ~service:fileserv (fun r -> ignore (Result.get_ok r))));
+  Sim.Engine.schedule eng ~at:2.0 (fun () -> Kdc.crash kdc);
+  Sim.Engine.schedule eng ~at:3.0 (fun () ->
+      Client.get_ticket_ex c ~service:fileserv (fun r -> dark := Some r));
+  Sim.Engine.schedule eng ~at:10.0 (fun () -> Kdc.restart kdc);
+  Sim.Engine.schedule eng ~at:11.0 (fun () ->
+      Client.get_ticket_ex c ~service:fileserv (fun r -> relit := Some r));
+  Sim.Engine.run eng;
+  (show !dark, Client.degraded_fallbacks c, show !relit)
+
+(* ------------------------------------------------------------------ *)
+
+let run ~seed =
+  let crashed = world ~seed ~crash:true () in
+  let golden = world ~seed ~crash:false () in
+  let torn_discarded, torn_applied, torn_full_applied, torn_digests_ok, bitflip_ok
+      =
+    torn_tail ~seed
+  in
+  let rec_result, rec_digests_equal, rec_versions_equal, rec_installs =
+    reconcile_run ~seed
+  in
+  let degraded_outcome, degraded_count, post_restart_outcome =
+    degraded_run ~seed
+  in
+  { seed; crashed; golden; torn_discarded; torn_applied; torn_full_applied;
+    torn_digests_ok; bitflip_ok; rec_result; rec_digests_equal;
+    rec_versions_equal; rec_installs; degraded_outcome; degraded_count;
+    post_restart_outcome }
+
+let violations r =
+  let v = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+  (* Crash-equivalence: the recovered KDC is indistinguishable on the
+     wire from the twin that never crashed. *)
+  if r.crashed.w_replies <> r.golden.w_replies then
+    add "recovered KDC reply transcript diverged from uncrashed twin (%d vs %d replies)"
+      (List.length r.crashed.w_replies) (List.length r.golden.w_replies);
+  if r.crashed.w_digests <> r.golden.w_digests then
+    add "recovered database digests diverge from uncrashed twin";
+  List.iter
+    (fun (name, o) ->
+      match o with
+      | Some (Ok _) -> ()
+      | Some (Error e) -> add "crashed world: %s failed (%s)" name e
+      | None -> add "crashed world: %s never settled" name)
+    r.crashed.w_outcomes;
+  (match r.crashed.w_recovery with
+  | None -> add "KDC restart recorded no recovery"
+  | Some ri ->
+      if ri.Kdc.wal_applied = 0 then
+        add "recovery applied no WAL records (scenario under-exercised)";
+      if ri.Kdc.wal_discarded_bytes <> 0 then
+        add "clean crash discarded %d WAL bytes" ri.Kdc.wal_discarded_bytes);
+  if r.crashed.w_recoveries <> 1 then
+    add "expected exactly 1 recovery, counted %d" r.crashed.w_recoveries;
+  if r.crashed.w_pending <> 0 || r.golden.w_pending <> 0 then
+    add "engine failed to drain (%d/%d events pending)" r.crashed.w_pending
+      r.golden.w_pending;
+  (* Torn / corrupt tails. *)
+  if r.torn_discarded = 0 then add "torn WAL tail was not detected";
+  if r.torn_applied <> r.torn_full_applied - 1 then
+    add "torn tail should cost exactly the last record (%d vs %d applied)"
+      r.torn_applied r.torn_full_applied;
+  if not r.torn_digests_ok then
+    add "torn-tail recovery does not match the clean prefix";
+  if not r.bitflip_ok then add "bit-flipped WAL frame not CRC-truncated";
+  (* Reconciliation. *)
+  (match r.rec_result with
+  | Some (Ok rr) ->
+      if rr.Services.Kprop.pulled + rr.Services.Kprop.pushed = 0 then
+        add "reconcile moved no shards despite divergence";
+      if rr.Services.Kprop.pulled = 0 then
+        add "reconcile pulled nothing: the peer won at least one shard";
+      if rr.Services.Kprop.pushed = 0 then
+        add "reconcile pushed nothing: we won at least one shard"
+  | Some (Error e) -> add "reconcile failed: %s" e
+  | None -> add "reconcile never settled");
+  if not r.rec_digests_equal then
+    add "replicas hold different shard digests after reconciliation";
+  if not r.rec_versions_equal then
+    add "replicas hold different version vectors after reconciliation";
+  if r.rec_installs = 0 then add "no kprop.reconciled.<shard> counter moved";
+  (* Degradation. *)
+  if r.degraded_outcome <> "degraded" then
+    add "dark-KDC ticket request was %S, expected degraded fallback"
+      r.degraded_outcome;
+  if r.degraded_count <> 1 then
+    add "expected 1 degraded fallback, counted %d" r.degraded_count;
+  if r.post_restart_outcome <> "from-kdc" then
+    add "post-restart ticket request was %S, expected from-kdc"
+      r.post_restart_outcome;
+  List.rev !v
+
+let summary r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "seed %Ld:" r.seed;
+  (match r.crashed.w_recovery with
+  | Some ri ->
+      line
+        "  crash/recover: %d checkpoints, replayed %d WAL record(s) (%d skipped, %d bytes discarded), %d replay-cache entries restored"
+        r.crashed.w_checkpoints ri.Kdc.wal_applied ri.Kdc.wal_skipped
+        ri.Kdc.wal_discarded_bytes ri.Kdc.replay_entries
+  | None -> line "  crash/recover: NO RECOVERY RECORDED");
+  line "  twin equivalence: %d KDC replies, transcripts %s, digests %s"
+    (List.length r.crashed.w_replies)
+    (if r.crashed.w_replies = r.golden.w_replies then "identical" else "DIVERGED")
+    (if r.crashed.w_digests = r.golden.w_digests then "identical" else "DIVERGED");
+  List.iter
+    (fun (name, o) ->
+      line "    %-14s %s" name
+        (match o with
+        | Some (Ok _) -> "ok"
+        | Some (Error e) -> "error (" ^ e ^ ")"
+        | None -> "STALLED"))
+    r.crashed.w_outcomes;
+  line "  torn tail: %d byte(s) discarded, %d/%d records survive, prefix %s; bit-flip %s"
+    r.torn_discarded r.torn_applied r.torn_full_applied
+    (if r.torn_digests_ok then "exact" else "WRONG")
+    (if r.bitflip_ok then "truncated" else "NOT CAUGHT");
+  (match r.rec_result with
+  | Some (Ok rr) ->
+      line "  reconcile: %d shards examined, %d pulled, %d pushed, %d installs counted; digests %s, versions %s"
+        rr.Services.Kprop.examined rr.Services.Kprop.pulled
+        rr.Services.Kprop.pushed r.rec_installs
+        (if r.rec_digests_equal then "equal" else "UNEQUAL")
+        (if r.rec_versions_equal then "equal" else "UNEQUAL")
+  | Some (Error e) -> line "  reconcile: FAILED (%s)" e
+  | None -> line "  reconcile: STALLED");
+  line "  degradation: dark-KDC request -> %s (%d fallback), after restart -> %s"
+    r.degraded_outcome r.degraded_count r.post_restart_outcome;
+  (match violations r with
+  | [] -> line "  invariants: OK (0 violations)"
+  | vs ->
+      line "  invariants: %d VIOLATIONS" (List.length vs);
+      List.iter (fun s -> line "    - %s" s) vs);
+  Buffer.contents b

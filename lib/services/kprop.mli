@@ -84,3 +84,38 @@ val propagate_with_retry :
     [deadline] seconds (default 2.0) and spaced [pause] seconds apart
     (default 1.0) — the re-propagation loop that repairs a slave stranded
     behind a partition once the network heals. *)
+
+(** {2 Anti-entropy reconciliation}
+
+    After a partition heals, two replicas of one realm may have diverged:
+    each kept serving and mutating its own copy. Reconciliation exchanges
+    per-shard [(version, digest)] vectors (the versions are the
+    database's monotonic mutation counters, the digests CRC-32 over the
+    deterministic sorted shard dumps) and transfers {e only} the shards
+    whose digests differ — the winner decided by a deterministic
+    last-writer-wins rule: higher version wins, a version tie breaks to
+    the smaller digest. Every shard install increments the
+    [kprop.reconciled.<shard>] counter on the installing side. *)
+
+type reconcile_report = {
+  examined : int;  (** shards compared (the full vector) *)
+  pulled : int;    (** divergent shards the peer won — installed locally *)
+  pushed : int;    (** divergent shards we won — installed on the peer *)
+}
+
+val reconcile :
+  ?deadline:float ->
+  Kerberos.Client.t ->
+  Kerberos.Client.channel ->
+  db:Kerberos.Kdb.t ->
+  k:((reconcile_report, string) result -> unit) ->
+  unit
+(** Reconcile the local [db] with the replica behind [chan] (a channel to
+    its kpropd, authenticated as the master principal). Pulls adopt the
+    peer's shard {e and} version; pushes carry ours, so after a clean run
+    both replicas hold identical digests and version vectors for every
+    previously divergent shard. *)
+
+val reconciliations : t -> int
+(** Versioned shard installs this daemon accepted (pushes from a
+    reconciling peer). *)

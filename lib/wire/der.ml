@@ -119,7 +119,15 @@ let decode_length data pos =
     (!v, pos + 1 + n)
   end
 
-let rec decode_at data pos =
+(* Nesting bound: no legitimate protocol message nests more than a
+   handful of levels, but a crafted (or bit-flipped) input can encode
+   thousands of nested SEQUENCE/context headers in a few bytes and drive
+   the recursive decoder into the native stack. Past [max_depth] the
+   input is rejected as a decode error, not a crash. *)
+let max_depth = 64
+
+let rec decode_at ?(depth = 0) data pos =
+  if depth > max_depth then fail "der: nesting too deep";
   if pos >= Bytes.length data then fail "der: truncated";
   let tag = Char.code (Bytes.get data pos) in
   let len, content_pos = decode_length data (pos + 1) in
@@ -141,7 +149,7 @@ let rec decode_at data pos =
       if pos = after then List.rev acc
       else if pos > after then fail "der: SEQUENCE element overruns"
       else
-        let v, next = decode_at data pos in
+        let v, next = decode_at ~depth:(depth + 1) data pos in
         elems next (v :: acc)
     in
     (Sequence (elems content_pos []), after)
@@ -149,7 +157,7 @@ let rec decode_at data pos =
   else if tag land 0xE0 = 0xA0 then begin
     let n = tag land 0x1f in
     if n > 30 then fail "der: high-tag-number form unsupported";
-    let v, next = decode_at data content_pos in
+    let v, next = decode_at ~depth:(depth + 1) data content_pos in
     if next <> after then fail "der: context tag content length mismatch";
     (Context (n, v), after)
   end

@@ -39,9 +39,14 @@ let encode_v4 v =
   go v;
   Codec.Writer.contents w
 
+(* Same bound as {!Der.max_depth}: nested list headers cost one byte
+   each, so without it a short crafted input recurses thousands deep. *)
+let max_depth = 64
+
 let decode_v4 b =
   let r = Codec.Reader.of_bytes b in
-  let rec go () =
+  let rec go depth =
+    if depth > max_depth then fail "nesting too deep";
     match Codec.Reader.u8 r with
     | k when k = k_str -> Str (Codec.Reader.lstring r)
     | k when k = k_raw -> Raw (Codec.Reader.lbytes r)
@@ -49,10 +54,10 @@ let decode_v4 b =
     | k when k = k_list ->
         let n = Codec.Reader.u32 r in
         if n > Codec.Reader.remaining r then fail "implausible list length";
-        List (List.init n (fun _ -> go ()))
+        List (List.init n (fun _ -> go (depth + 1)))
     | k -> fail (Printf.sprintf "unknown value kind %d" k)
   in
-  let v = go () in
+  let v = go 0 in
   Codec.Reader.expect_end r;
   v
 
@@ -78,6 +83,18 @@ let encode kind v =
 
 let decode kind b =
   match kind with V4_adhoc -> decode_v4 b | Der_typed -> of_der (Der.decode b)
+
+(* No protocol message comes anywhere near this; anything larger is an
+   attack or a corrupted length field, and rejecting it up front bounds
+   what a decoder can be made to allocate. *)
+let max_message = 1 lsl 20
+
+let decode_result kind b =
+  if Bytes.length b > max_message then Error "oversized message"
+  else
+    match decode kind b with
+    | v -> Ok v
+    | exception Codec.Decode_error e -> Error e
 
 let expect_tag kind tag v =
   match kind with

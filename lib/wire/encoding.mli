@@ -33,7 +33,15 @@ val encode : kind -> value -> bytes
 
 val decode : kind -> bytes -> value
 (** Structural inverse of [encode]. Under [V4_adhoc], any [Tagged] wrappers
-    present at encode time are gone. @raise Codec.Decode_error *)
+    present at encode time are gone. Nesting is bounded (64 levels), so a
+    crafted input cannot drive the decoder into the native stack.
+    @raise Codec.Decode_error *)
+
+val decode_result : kind -> bytes -> (value, string) result
+(** The hardened entry point for bytes straight off the wire: rejects
+    oversized input (> 1 MiB) before allocating, and returns [Error]
+    where {!decode} would raise — truncated, corrupt, over-nested and
+    oversized input all land in [Error], never an exception. *)
 
 val expect_tag : kind -> int -> value -> value
 (** [expect_tag kind t v] enforces the message-type discipline: under

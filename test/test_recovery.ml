@@ -1,0 +1,563 @@
+(* The durability & recovery plane: WAL framing and its torn/corrupt
+   tails, checkpoint truncation, crash recovery at the database and KDC
+   layers, replay-cache pruning at load, anti-entropy reconciliation of
+   diverged replicas, kprop under flapping partitions, and the client's
+   degraded fallback when every KDC is dark. *)
+
+open Kerberos
+
+let realm = "REC"
+let quad = Sim.Addr.of_quad
+let profile = Profile.v5_draft3
+
+let key_rng = Util.Rng.create 0x52454354L
+let fixed_key = Crypto.Des.random_key key_rng
+
+(* ------------------------------------------------------------------ *)
+(* WAL framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records =
+  [ { Kdb.Wal.w_shard = 0; w_version = 1;
+      w_op = Kdb.Wal.Put ("pat@REC", { Kdb.key = fixed_key; kind = Kdb.User }) };
+    { Kdb.Wal.w_shard = 2; w_version = 1;
+      w_op = Kdb.Wal.Put ("rlogin.ws@REC", { Kdb.key = fixed_key; kind = Kdb.Service }) };
+    { Kdb.Wal.w_shard = 0; w_version = 2;
+      w_op = Kdb.Wal.Swap (Bytes.of_string "not-a-real-dump, opaque to the log") };
+    { Kdb.Wal.w_shard = 1; w_version = 1;
+      w_op = Kdb.Wal.Put ("krbtgt.REC@REC", { Kdb.key = fixed_key; kind = Kdb.Cross_realm }) } ]
+
+let wal_of records =
+  let w = Kdb.Wal.create () in
+  List.iter (Kdb.Wal.append w) records;
+  w
+
+let wal_roundtrip () =
+  let w = wal_of sample_records in
+  Alcotest.(check int) "length" 4 (Kdb.Wal.length w);
+  Alcotest.(check int) "appended" 4 (Kdb.Wal.appended w);
+  let records, discarded = Kdb.Wal.replay (Kdb.Wal.contents w) in
+  Alcotest.(check int) "no bytes discarded" 0 discarded;
+  Alcotest.(check bool) "records survive the roundtrip" true
+    (records = sample_records);
+  let empty, d0 = Kdb.Wal.replay Bytes.empty in
+  Alcotest.(check bool) "empty log replays empty" true (empty = [] && d0 = 0)
+
+(* Cut the image at every possible byte boundary: replay must always
+   return an exact record prefix and account for every discarded byte —
+   and never, at any cut, raise. *)
+let wal_torn_at_every_boundary () =
+  let w = wal_of sample_records in
+  let image = Kdb.Wal.contents w in
+  let n = Bytes.length image in
+  for cut = 0 to n - 1 do
+    let torn = Bytes.sub image 0 cut in
+    let records, discarded = Kdb.Wal.replay torn in
+    let k = List.length records in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut at %d: prefix of the original" cut)
+      true
+      (k <= 4
+      && records = List.filteri (fun i _ -> i < k) sample_records);
+    (* Every byte of the torn image is either inside a replayed frame or
+       counted as discarded. *)
+    let replayed_bytes = cut - discarded in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut at %d: bytes accounted for" cut)
+      true
+      (replayed_bytes >= 0 && replayed_bytes <= cut)
+  done
+
+(* Flip each byte in turn: the CRC must catch the damaged frame and
+   truncate there. A flip can only ever shorten the prefix, never alter
+   a record that still replays. *)
+let wal_bitflip_every_byte () =
+  let w = wal_of sample_records in
+  let image = Kdb.Wal.contents w in
+  for pos = 0 to Bytes.length image - 1 do
+    let mutated = Bytes.copy image in
+    Bytes.set mutated pos
+      (Char.chr (Char.code (Bytes.get mutated pos) lxor 0x40));
+    let records, _ = Kdb.Wal.replay mutated in
+    let k = List.length records in
+    Alcotest.(check bool)
+      (Printf.sprintf "flip at %d: surviving prefix is genuine" pos)
+      true
+      (k <= 4 && records = List.filteri (fun i _ -> i < k) sample_records)
+  done
+
+let wal_truncate_after_checkpoint () =
+  let w = wal_of sample_records in
+  (* A checkpoint at versions [1; 1; 1] covers everything but shard 0's
+     version-2 swap. *)
+  Kdb.Wal.truncate_after_checkpoint w ~versions:[| 1; 1; 1 |];
+  Alcotest.(check int) "only the newer record survives" 1 (Kdb.Wal.length w);
+  (match Kdb.Wal.records w with
+  | [ { Kdb.Wal.w_shard = 0; w_version = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "wrong record survived truncation");
+  Alcotest.(check int) "lifetime appends unaffected" 4 (Kdb.Wal.appended w)
+
+let suite_wal =
+  [ Alcotest.test_case "roundtrip" `Quick wal_roundtrip;
+    Alcotest.test_case "torn at every boundary" `Quick wal_torn_at_every_boundary;
+    Alcotest.test_case "bit-flip at every byte" `Quick wal_bitflip_every_byte;
+    Alcotest.test_case "truncate after checkpoint" `Quick
+      wal_truncate_after_checkpoint ]
+
+(* ------------------------------------------------------------------ *)
+(* Database-level crash recovery                                       *)
+(* ------------------------------------------------------------------ *)
+
+let populate db n =
+  for i = 0 to n - 1 do
+    if i mod 4 = 3 then
+      Kdb.add_service db
+        (Principal.service ~realm (Printf.sprintf "svc%d" i) ~host:"h")
+        ~key:fixed_key
+    else
+      Kdb.add_user db (Principal.user ~realm (Printf.sprintf "u%d" i))
+        ~password:(Printf.sprintf "pw%d" i)
+  done
+
+let kdb_recovery_equivalence () =
+  let db = Kdb.create ~shards:4 () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:fixed_key;
+  Kdb.enable_durability db;
+  populate db 9;
+  let checkpoint, wal = Option.get (Kdb.disk_image db) in
+  let r = Kdb.recover ~checkpoint ~wal in
+  Alcotest.(check int) "nothing discarded" 0 r.Kdb.discarded_bytes;
+  Alcotest.(check int) "all mutations applied" 9 r.Kdb.applied;
+  Alcotest.(check bool) "digests identical" true
+    (Kdb.digests r.Kdb.recovered = Kdb.digests db);
+  Alcotest.(check bool) "version vectors identical" true
+    (Kdb.version_vector r.Kdb.recovered = Kdb.version_vector db);
+  Alcotest.(check int) "size identical" (Kdb.size db) (Kdb.size r.Kdb.recovered);
+  (* And a key actually decrypts: look one principal up in both. *)
+  let p = Principal.user ~realm "u0" in
+  Alcotest.(check bool) "entry survives byte-for-byte" true
+    (match (Kdb.lookup db p, Kdb.lookup r.Kdb.recovered p) with
+    | Some a, Some b -> a = b
+    | _ -> false)
+
+let kdb_recovery_is_idempotent () =
+  (* Records the checkpoint already covers are skipped, so replaying a log
+     that overlaps the checkpoint is harmless. *)
+  let db = Kdb.create ~shards:2 () in
+  Kdb.enable_durability db;
+  populate db 6;
+  let _, wal = Option.get (Kdb.disk_image db) in
+  Kdb.checkpoint db;
+  let checkpoint, _ = Option.get (Kdb.disk_image db) in
+  (* New checkpoint + the old (now fully covered) log. *)
+  let r = Kdb.recover ~checkpoint ~wal in
+  Alcotest.(check int) "everything skipped" 6 r.Kdb.skipped;
+  Alcotest.(check int) "nothing applied" 0 r.Kdb.applied;
+  Alcotest.(check bool) "state unchanged" true
+    (Kdb.digests r.Kdb.recovered = Kdb.digests db)
+
+let kdb_auto_checkpoint () =
+  let db = Kdb.create ~shards:2 () in
+  Kdb.enable_durability ~checkpoint_every:3 db;
+  Alcotest.(check int) "initial checkpoint" 1 (Kdb.checkpoints_taken db);
+  populate db 7;
+  (* 7 mutations at a cadence of 3: checkpoints after the 3rd and 6th. *)
+  Alcotest.(check int) "auto checkpoints fired" 3 (Kdb.checkpoints_taken db);
+  Alcotest.(check int) "log holds only the tail" 1
+    (Kdb.Wal.length (Option.get (Kdb.wal db)));
+  let checkpoint, wal = Option.get (Kdb.disk_image db) in
+  let r = Kdb.recover ~checkpoint ~wal in
+  Alcotest.(check int) "tail replays" 1 r.Kdb.applied;
+  Alcotest.(check bool) "recovered state exact" true
+    (Kdb.digests r.Kdb.recovered = Kdb.digests db)
+
+let kdb_restore_in_place () =
+  let db = Kdb.create ~shards:4 () in
+  Kdb.enable_durability db;
+  populate db 5;
+  let digests = Kdb.digests db in
+  let checkpoint, wal = Option.get (Kdb.disk_image db) in
+  Kdb.wipe db;
+  Alcotest.(check int) "wipe empties the database" 0 (Kdb.size db);
+  Alcotest.(check bool) "wipe drops durable state" false (Kdb.durable db);
+  Kdb.restore db (Kdb.recover ~checkpoint ~wal);
+  Alcotest.(check bool) "restore rebuilds in place" true (Kdb.digests db = digests)
+
+let suite_kdb =
+  [ Alcotest.test_case "recovery equivalence" `Quick kdb_recovery_equivalence;
+    Alcotest.test_case "recovery is idempotent" `Quick kdb_recovery_is_idempotent;
+    Alcotest.test_case "auto checkpoint cadence" `Quick kdb_auto_checkpoint;
+    Alcotest.test_case "wipe + restore in place" `Quick kdb_restore_in_place ]
+
+(* ------------------------------------------------------------------ *)
+(* Replay-cache pruning at load (regression)                           *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cache_prunes_expired_on_load () =
+  let c = Replay_cache.create ~horizon:600.0 in
+  ignore (Replay_cache.check_and_insert c ~now:0.0 (Bytes.of_string "old-auth"));
+  ignore (Replay_cache.check_and_insert c ~now:500.0 (Bytes.of_string "new-auth"));
+  let snapshot = Replay_cache.to_bytes c in
+  (* The clock advanced past the first entry's expiry while the server
+     was down: a naive load would resurrect dead weight. *)
+  let c' = Replay_cache.of_bytes ~now:700.0 snapshot in
+  Alcotest.(check int) "expired entry pruned at load" 1 (Replay_cache.size c');
+  Alcotest.(check bool) "live entry still replays" true
+    (Replay_cache.check_and_insert c' ~now:700.0 (Bytes.of_string "new-auth")
+    = Replay_cache.Replayed);
+  Alcotest.(check bool) "expired authenticator is fresh again (timestamp check owns it now)"
+    true
+    (Replay_cache.check_and_insert c' ~now:700.0 (Bytes.of_string "old-auth")
+    = Replay_cache.Fresh);
+  (* Without [~now] the load is faithful (the historical behaviour). *)
+  let c_all = Replay_cache.of_bytes snapshot in
+  Alcotest.(check int) "plain load keeps everything" 2 (Replay_cache.size c_all)
+
+let suite_replay_cache =
+  [ Alcotest.test_case "expired entries pruned at load" `Quick
+      replay_cache_prunes_expired_on_load ]
+
+(* ------------------------------------------------------------------ *)
+(* KDC crash + restart over the network                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_realm () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ quad 10 0 0 1 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ quad 10 0 0 10 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; ws ];
+  let db = Kdb.create ~shards:4 () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:fixed_key;
+  let fileserv = Principal.service ~realm "fileserv" ~host:"fs" in
+  Kdb.add_service db fileserv ~key:fixed_key;
+  Kdb.add_user db (Principal.user ~realm "pat") ~password:"pat.pw";
+  (eng, net, kdc_host, ws, db, fileserv)
+
+let kdc_crash_restart () =
+  let eng, net, kdc_host, ws, db, fileserv = mk_realm () in
+  let kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 db in
+  Kdc.enable_durability kdc;
+  Kdc.install net kdc_host kdc ();
+  Alcotest.(check bool) "running after install" true (Kdc.running kdc);
+  let kdcs = [ (realm, Sim.Host.primary_ip kdc_host) ] in
+  let mk_client seed =
+    Client.create ~seed ~kdc_timeout:0.3 net ws ~profile ~kdcs
+      (Principal.user ~realm "pat")
+  in
+  (* Phase 1: a login and a mutation that lives only in the WAL. *)
+  let before = ref None in
+  let c1 = mk_client 1L in
+  Client.login c1 ~password:"pat.pw" (fun r -> before := Some (Result.is_ok r));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "login before crash" (Some true) !before;
+  Kdb.add_user db (Principal.user ~realm "newbie") ~password:"newbie.pw";
+  (* Crash: the port goes dark and the in-memory database is gone. *)
+  Kdc.crash kdc;
+  Alcotest.(check bool) "not running after crash" false (Kdc.running kdc);
+  Alcotest.(check int) "database wiped by the crash" 0 (Kdb.size db);
+  Alcotest.(check bool) "port dark" false
+    (Sim.Net.listening net (Sim.Host.primary_ip kdc_host) ~port:Kdc.default_port);
+  let during = ref None in
+  let c2 = mk_client 2L in
+  Client.login c2 ~password:"pat.pw" (fun r -> during := Some r);
+  Sim.Engine.run eng;
+  (match !during with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "login served by a crashed KDC"
+  | None -> Alcotest.fail "login against crashed KDC stalled");
+  (* Restart: checkpoint + WAL replay bring every principal back,
+     including the WAL-only one. *)
+  Kdc.restart kdc;
+  Alcotest.(check bool) "running after restart" true (Kdc.running kdc);
+  Alcotest.(check int) "one recovery counted" 1 (Kdc.recoveries kdc);
+  (match Kdc.last_recovery kdc with
+  | None -> Alcotest.fail "no recovery info recorded"
+  | Some ri ->
+      Alcotest.(check int) "the WAL-only mutation replayed" 1 ri.Kdc.wal_applied;
+      Alcotest.(check int) "clean image, nothing discarded" 0
+        ri.Kdc.wal_discarded_bytes);
+  let after_pat = ref None and after_newbie = ref None in
+  let c3 = mk_client 3L in
+  Client.login c3 ~password:"pat.pw" (fun r ->
+      after_pat := Some (Result.is_ok r);
+      Client.get_ticket c3 ~service:fileserv (fun r ->
+          after_pat := Some (Result.is_ok r)));
+  let c4 =
+    Client.create ~seed:4L ~kdc_timeout:0.3 net ws ~profile ~kdcs
+      (Principal.user ~realm "newbie")
+  in
+  Client.login c4 ~password:"newbie.pw" (fun r ->
+      after_newbie := Some (Result.is_ok r));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "checkpointed principal serves" (Some true)
+    !after_pat;
+  Alcotest.(check (option bool)) "WAL-only principal serves" (Some true)
+    !after_newbie;
+  (* A second crash/restart cycle keeps working (recovery re-arms
+     durability). *)
+  Kdc.crash kdc;
+  Kdc.restart kdc;
+  Alcotest.(check int) "second recovery counted" 2 (Kdc.recoveries kdc);
+  let again = ref None in
+  let c5 = mk_client 5L in
+  Client.login c5 ~password:"pat.pw" (fun r -> again := Some (Result.is_ok r));
+  Sim.Engine.run eng;
+  Alcotest.(check (option bool)) "still serving after second cycle" (Some true)
+    !again
+
+let kdc_crash_without_durability_loses_the_realm () =
+  let eng, net, kdc_host, ws, db, _ = mk_realm () in
+  let kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 db in
+  Kdc.install net kdc_host kdc ();
+  Kdc.crash kdc;
+  Kdc.restart kdc;
+  (* The paper's single point of failure, reproduced: no WAL, no realm. *)
+  Alcotest.(check int) "database empty after cold restart" 0 (Kdb.size db);
+  let r = ref None in
+  let c =
+    Client.create ~seed:9L ~kdc_timeout:0.3 net ws ~profile
+      ~kdcs:[ (realm, Sim.Host.primary_ip kdc_host) ]
+      (Principal.user ~realm "pat")
+  in
+  Client.login c ~password:"pat.pw" (fun x -> r := Some x);
+  Sim.Engine.run eng;
+  (match !r with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "a cold-started KDC somehow authenticated pat")
+
+let suite_kdc =
+  [ Alcotest.test_case "crash + restart recovers the realm" `Quick
+      kdc_crash_restart;
+    Alcotest.test_case "crash without durability loses the realm" `Quick
+      kdc_crash_without_durability_loses_the_realm ]
+
+(* ------------------------------------------------------------------ *)
+(* Kprop under flapping partitions; reconciliation                     *)
+(* ------------------------------------------------------------------ *)
+
+let kpropd_key = Crypto.Des.random_key key_rng
+
+(* Deterministic replica contents: building twice yields identical
+   databases — entries, version vectors and digests alike — exactly the
+   state two replicas share before a partition diverges them. *)
+let build_replica_db () =
+  let db = Kdb.create ~shards:4 () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:fixed_key;
+  Kdb.add_user db (Principal.user ~realm "kadmin") ~password:"admin.pw";
+  Kdb.add_service db (Principal.service ~realm "kprop" ~host:"kdc-b")
+    ~key:kpropd_key;
+  populate db 8;
+  db
+
+let mk_replication () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng in
+  let master_host = Sim.Host.create ~name:"kdc-a" ~ips:[ quad 10 2 0 1 ] () in
+  let slave_host = Sim.Host.create ~name:"kdc-b" ~ips:[ quad 10 2 0 2 ] () in
+  List.iter (Sim.Net.attach net) [ master_host; slave_host ];
+  let db = build_replica_db () in
+  let admin_p = Principal.user ~realm "kadmin" in
+  let kpropd_p = Principal.service ~realm "kprop" ~host:"kdc-b" in
+  Kdc.install net master_host (Kdc.create ~realm ~profile ~lifetime:28800.0 db) ();
+  (eng, net, master_host, slave_host, db, admin_p, kpropd_p, kpropd_key)
+
+let channel_to_slave eng net master_host slave_host admin_p kpropd_p =
+  let admin =
+    Client.create ~seed:7L net master_host ~profile
+      ~kdcs:[ (realm, Sim.Host.primary_ip master_host) ]
+      admin_p
+  in
+  let chan = ref None in
+  Client.login admin ~password:"admin.pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket admin ~service:kpropd_p (fun r ->
+          let creds = Result.get_ok r in
+          Client.ap_exchange admin creds ~dst:(Sim.Host.primary_ip slave_host)
+            ~dport:754 (fun r -> chan := Some (Result.get_ok r))));
+  Sim.Engine.run eng;
+  (admin, Option.get !chan)
+
+(* Three partition/heal flaps while a propagation retries: the push must
+   land exactly once, converge the databases, and spend no more sends
+   than its attempt budget. *)
+let kprop_converges_through_flapping_partition () =
+  let eng, net, master_host, slave_host, db, admin_p, kpropd_p, kpropd_key =
+    mk_replication ()
+  in
+  let slave_db = Kdb.create ~shards:4 () in
+  let kpropd =
+    Services.Kprop.install_slave net slave_host ~profile ~principal:kpropd_p
+      ~key:kpropd_key ~port:754 ~master:admin_p ~slave_db
+  in
+  let admin, chan =
+    channel_to_slave eng net master_host slave_host admin_p kpropd_p
+  in
+  (* Count pushes on the wire: each attempt sends exactly one datagram to
+     the kpropd port. *)
+  let pushes_sent = ref 0 in
+  Sim.Net.add_tap net (fun pkt ->
+      if pkt.Sim.Packet.dport = 754 then incr pushes_sent);
+  (* The weather: three half-open windows, each slamming shut again —
+     partitioned during [t0, t0+0.4), [t0+0.8, t0+1.2), [t0+1.6, t0+2.0). *)
+  let t0 = Sim.Engine.now eng in
+  let plane = Sim.Faults.create () in
+  let a = [ Sim.Host.primary_ip master_host ]
+  and b = [ Sim.Host.primary_ip slave_host ] in
+  Sim.Faults.partition plane ~a ~b ~from:t0 ~until:(t0 +. 0.4) ();
+  Sim.Faults.partition plane ~a ~b ~from:(t0 +. 0.8) ~until:(t0 +. 1.2) ();
+  Sim.Faults.partition plane ~a ~b ~from:(t0 +. 1.6) ~until:(t0 +. 2.0) ();
+  Sim.Net.attach_faults net plane;
+  let attempts = 8 in
+  let result = ref None in
+  Services.Kprop.propagate_with_retry ~attempts ~deadline:0.3 ~pause:0.25 admin
+    chan ~db ~k:(fun r -> result := Some r);
+  Sim.Engine.run eng;
+  (match !result with
+  | Some (Ok ()) -> ()
+  | Some (Error e) -> Alcotest.failf "never converged: %s" e
+  | None -> Alcotest.fail "retry loop stalled");
+  Alcotest.(check bool) "the flaps actually dropped traffic" true
+    (Sim.Faults.count plane Sim.Faults.Partition >= 1);
+  Alcotest.(check int) "exactly one push installed" 1
+    (Services.Kprop.propagations_received kpropd);
+  Alcotest.(check bool) "databases converged" true
+    (Kdb.digests db = Kdb.digests slave_db);
+  Alcotest.(check bool)
+    (Printf.sprintf "retries bounded by the budget (%d sent <= %d)" !pushes_sent
+       attempts)
+    true
+    (!pushes_sent <= attempts)
+
+let reconcile_diverged_replicas () =
+  let eng, net, master_host, slave_host, db, admin_p, kpropd_p, kpropd_key =
+    mk_replication ()
+  in
+  (* The replica starts as an exact copy (same entries, same version
+     vector — what a pre-partition pair shares)... *)
+  let slave_db = build_replica_db () in
+  Alcotest.(check bool) "replicas start identical" true
+    (Kdb.digests db = Kdb.digests slave_db
+    && Kdb.version_vector db = Kdb.version_vector slave_db);
+  let kpropd =
+    Services.Kprop.install_slave net slave_host ~profile ~principal:kpropd_p
+      ~key:kpropd_key ~port:754 ~master:admin_p ~slave_db
+  in
+  (* ...then a partition lets both sides take writes: ours gains alice,
+     theirs gains bob and re-keys u0 twice (a higher version for u0's
+     shard, so the peer wins it). *)
+  Kdb.add_user db (Principal.user ~realm "alice") ~password:"alice.pw";
+  Kdb.add_user slave_db (Principal.user ~realm "bob") ~password:"bob.pw";
+  Kdb.add_user slave_db (Principal.user ~realm "u0") ~password:"pw0.b";
+  Kdb.add_user slave_db (Principal.user ~realm "u0") ~password:"pw0.c";
+  Alcotest.(check bool) "replicas diverged" false
+    (Kdb.digests db = Kdb.digests slave_db);
+  let admin, chan =
+    channel_to_slave eng net master_host slave_host admin_p kpropd_p
+  in
+  let result = ref None in
+  Services.Kprop.reconcile ~deadline:5.0 admin chan ~db ~k:(fun r ->
+      result := Some r);
+  Sim.Engine.run eng;
+  (match !result with
+  | Some (Ok r) ->
+      Alcotest.(check int) "all shards examined" 4 r.Services.Kprop.examined;
+      Alcotest.(check bool) "pulled the shards the peer won" true
+        (r.Services.Kprop.pulled >= 1);
+      Alcotest.(check bool) "pushed the shards we won" true
+        (r.Services.Kprop.pushed >= 1);
+      Alcotest.(check int) "daemon counted our pushes"
+        r.Services.Kprop.pushed
+        (Services.Kprop.reconciliations kpropd)
+  | Some (Error e) -> Alcotest.failf "reconcile failed: %s" e
+  | None -> Alcotest.fail "reconcile stalled");
+  Alcotest.(check bool) "digests converged" true
+    (Kdb.digests db = Kdb.digests slave_db);
+  Alcotest.(check bool) "version vectors converged" true
+    (Kdb.version_vector db = Kdb.version_vector slave_db);
+  (* Deterministic LWW: u0's shard adopted the peer's third password. *)
+  let u0 = Principal.user ~realm "u0" in
+  Alcotest.(check bool) "higher version won u0" true
+    (Kdb.lookup db u0 = Kdb.lookup slave_db u0);
+  (* Reconciling twice is a no-op. *)
+  let again = ref None in
+  Services.Kprop.reconcile ~deadline:5.0 admin chan ~db ~k:(fun r ->
+      again := Some r);
+  Sim.Engine.run eng;
+  (match !again with
+  | Some (Ok r) ->
+      Alcotest.(check int) "second pass pulls nothing" 0 r.Services.Kprop.pulled;
+      Alcotest.(check int) "second pass pushes nothing" 0 r.Services.Kprop.pushed
+  | _ -> Alcotest.fail "second reconcile failed")
+
+let suite_kprop =
+  [ Alcotest.test_case "convergence through 3 partition flaps" `Quick
+      kprop_converges_through_flapping_partition;
+    Alcotest.test_case "reconcile diverged replicas" `Quick
+      reconcile_diverged_replicas ]
+
+(* ------------------------------------------------------------------ *)
+(* Client degradation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let degraded_fallback_when_kdcs_dark () =
+  let eng, net, kdc_host, ws, db, fileserv = mk_realm () in
+  let printer = Principal.service ~realm "printer" ~host:"pr" in
+  Kdb.add_service db printer ~key:fixed_key;
+  let kdc = Kdc.create ~realm ~profile ~lifetime:28800.0 db in
+  Kdc.enable_durability kdc;
+  Kdc.install net kdc_host kdc ();
+  let c =
+    Client.create ~seed:11L ~kdc_timeout:0.3 net ws ~profile
+      ~kdcs:[ (realm, Sim.Host.primary_ip kdc_host) ]
+      (Principal.user ~realm "pat")
+  in
+  let live = ref None in
+  Client.login c ~password:"pat.pw" (fun r ->
+      ignore (Result.get_ok r);
+      Client.get_ticket_ex c ~service:fileserv (fun r -> live := Some r));
+  Sim.Engine.run eng;
+  (match !live with
+  | Some (Ok (_, Client.From_kdc)) -> ()
+  | _ -> Alcotest.fail "live ticket fetch did not come from the KDC");
+  Kdc.crash kdc;
+  (* Dark KDC, warm wallet: the cached fileserv ticket serves, marked
+     Degraded. A service never fetched has nothing to fall back on. *)
+  let dark = ref None and cold = ref None in
+  Client.get_ticket_ex c ~service:fileserv (fun r -> dark := Some r);
+  Client.get_ticket_ex c ~service:printer (fun r -> cold := Some r);
+  Sim.Engine.run eng;
+  (match !dark with
+  | Some (Ok (creds, Client.Degraded)) ->
+      Alcotest.(check bool) "degraded creds are the cached ones" true
+        (match !live with
+        | Some (Ok (orig, _)) -> creds = orig
+        | _ -> false)
+  | _ -> Alcotest.fail "warm-wallet request did not degrade");
+  (match !cold with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "cold request should surface the timeout");
+  Alcotest.(check int) "one degraded fallback counted" 1
+    (Client.degraded_fallbacks c);
+  (* The KDC returns; the next request is served live again. *)
+  Kdc.restart kdc;
+  let relit = ref None in
+  Client.get_ticket_ex c ~service:fileserv (fun r -> relit := Some r);
+  Sim.Engine.run eng;
+  (match !relit with
+  | Some (Ok (_, Client.From_kdc)) -> ()
+  | _ -> Alcotest.fail "post-restart request not served live");
+  Alcotest.(check int) "no further fallbacks" 1 (Client.degraded_fallbacks c)
+
+let suite_degraded =
+  [ Alcotest.test_case "degraded fallback when every KDC is dark" `Quick
+      degraded_fallback_when_kdcs_dark ]
+
+let () =
+  Alcotest.run "recovery"
+    [ ("wal", suite_wal);
+      ("kdb-recovery", suite_kdb);
+      ("replay-cache", suite_replay_cache);
+      ("kdc-crash-restart", suite_kdc);
+      ("kprop", suite_kprop);
+      ("degraded-client", suite_degraded) ]
