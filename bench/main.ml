@@ -251,7 +251,11 @@ let load_smoke () =
       "\"as_latency\""; "\"tgs_latency\""; "\"ap_latency\""; "\"p50\"";
       "\"p90\""; "\"p99\""; "\"shard_lookups\""; "\"shard_entries\"";
       "\"shard_balance\""; "\"lookup_balance\"";
-      "\"throughput_per_sim_second\"" ]
+      "\"throughput_per_sim_second\""; "\"span_breakdown\"";
+      "\"main_timing\""; "\"setup_seconds\""; "\"run_seconds\"";
+      "\"sim_events\""; "\"sim_events_per_wall_second\"";
+      "\"perf_ablation\""; "\"schedule_cache\""; "\"lightweight\"";
+      "\"lazy_users\""; "\"fast_path_speedup\"" ]
   in
   List.iter
     (fun key ->
@@ -263,12 +267,49 @@ let load_smoke () =
   assert (r.Workloads.Loadgen.completed > 0);
   assert (r.Workloads.Loadgen.errors = 0);
   assert (Workloads.Loadgen.tgs_reduction suite > 1.0);
+  assert (suite.Workloads.Loadgen.main_timing.Workloads.Loadgen.events > 0);
+  (* Lightweight telemetry must change nothing the report sees — same
+     simulated world, same counts, same histograms — and must not cost
+     more than the full collector it strips down. The wall budget is
+     generous (25% + 20 ms of jitter allowance over the best of two runs)
+     because the claim is "inert", not "faster on every tiny run". *)
+  let timed_min cfg =
+    let _, t1 = Workloads.Loadgen.run_timed cfg in
+    let r, t2 = Workloads.Loadgen.run_timed cfg in
+    ( r,
+      Float.min t1.Workloads.Loadgen.run_seconds
+        t2.Workloads.Loadgen.run_seconds )
+  in
+  let full_r, full_s = timed_min { cfg with Workloads.Loadgen.lightweight = false } in
+  let light_r, light_s = timed_min { cfg with Workloads.Loadgen.lightweight = true } in
+  let masked =
+    { light_r with Workloads.Loadgen.r_config = full_r.Workloads.Loadgen.r_config }
+  in
+  if
+    not
+      (String.equal
+         (Telemetry.Json.to_string (Workloads.Loadgen.report_to_json full_r))
+         (Telemetry.Json.to_string (Workloads.Loadgen.report_to_json masked)))
+  then (
+    Printf.eprintf
+      "load smoke: lightweight telemetry changed the report — it must be \
+       observationally inert\n";
+    exit 1);
+  let budget = (full_s *. 1.25) +. 0.02 in
+  if light_s > budget then (
+    Printf.eprintf
+      "load smoke: lightweight run took %.3fs vs full %.3fs — exceeds the \
+       inert-telemetry budget (%.3fs)\n"
+      light_s full_s budget;
+    exit 1);
   Printf.printf
-    "load smoke: suite ran (%d completed, tgs reduction %.1fx), schema has \
-     all %d keys\n"
+    "load smoke: suite ran (%d completed, tgs reduction %.1fx, fast-path \
+     speedup %.2fx), schema has all %d keys; lightweight run %.3fs vs full \
+     %.3fs (budget %.3fs), reports identical\n"
     r.Workloads.Loadgen.completed
     (Workloads.Loadgen.tgs_reduction suite)
-    (List.length required)
+    (Workloads.Loadgen.fast_path_speedup suite)
+    (List.length required) light_s full_s budget
 
 (* --- recovery smoke: BENCH_recovery.json schema guard --- *)
 

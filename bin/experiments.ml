@@ -208,16 +208,36 @@ let print_recovery seed seeds =
    (credential cache on/off, shard sweep) to BENCH_load.json. *)
 let load_json_path = "BENCH_load.json"
 
-let print_load users shards kdcs active requests services seed =
+let print_load users shards kdcs active requests services seed lightweight
+    lazy_users quick =
   let cfg =
     { Workloads.Loadgen.default with
       Workloads.Loadgen.users; shards; kdcs; active_clients = active;
-      requests_per_client = requests; services; seed = Int64.of_int seed }
+      requests_per_client = requests; services; seed = Int64.of_int seed;
+      lightweight; lazy_users }
   in
   Printf.printf
-    "== Load: %d users, %d shards, %d KDCs, %d services; %d active clients x \
-     %d requests ==\n\n"
-    users shards kdcs services active requests;
+    "== Load: %d users%s, %d shards, %d KDCs, %d services; %d active clients \
+     x %d requests%s ==\n\n"
+    users
+    (if lazy_users then " (lazy)" else "")
+    shards kdcs services active requests
+    (if lightweight then "; lightweight telemetry" else "");
+  if quick then begin
+    (* One main run, no ablation suite, no JSON — for sizing a campaign
+       before paying for the full suite. *)
+    let blocks0 = Crypto.Des.blocks_performed () in
+    let r, t = Workloads.Loadgen.run_timed cfg in
+    let blocks = Crypto.Des.blocks_performed () - blocks0 in
+    Printf.printf
+      "quick: %d completed, %d errors; setup %.2fs, run %.2fs; %d sim events \
+       => %.0f sim events / wall second (%d DES blocks, %.1f per event)\n"
+      r.Workloads.Loadgen.completed r.Workloads.Loadgen.errors
+      t.Workloads.Loadgen.setup_seconds t.Workloads.Loadgen.run_seconds
+      t.Workloads.Loadgen.events t.Workloads.Loadgen.events_per_second blocks
+      (float_of_int blocks /. float_of_int (max 1 t.Workloads.Loadgen.events));
+    exit 0
+  end;
   let started = Sys.time () in
   let suite = Workloads.Loadgen.run_suite cfg in
   let cpu = Sys.time () -. started in
@@ -266,12 +286,42 @@ let print_load users shards kdcs active requests services seed =
     "(entry balance = how evenly FNV-1a spread the population; lookup\n\
     \ balance follows the traffic, which concentrates on the TGS's own\n\
     \ entry and the popular services — hot keys no hash partition spreads)";
+  let mt = suite.Workloads.Loadgen.main_timing in
+  Printf.printf
+    "\nmain run wall clock: setup %.2fs, run %.2fs; %d sim events => %.0f \
+     sim events / wall second\n"
+    mt.Workloads.Loadgen.setup_seconds mt.Workloads.Loadgen.run_seconds
+    mt.Workloads.Loadgen.events mt.Workloads.Loadgen.events_per_second;
+  print_endline "\nFast-path ablation (identical reduced traffic per cell):";
+  Expframework.Table.print
+    ~header:
+      [ "cell"; "DES schedule cache"; "lightweight telemetry"; "setup (s)";
+        "run (s)"; "events/wall-s" ]
+    (List.map
+       (fun (p : Workloads.Loadgen.perf_row) ->
+         [ p.Workloads.Loadgen.p_label;
+           (if p.Workloads.Loadgen.p_schedule_cache then "on" else "off");
+           (if p.Workloads.Loadgen.p_lightweight then "on" else "off");
+           Printf.sprintf "%.2f"
+             p.Workloads.Loadgen.p_timing.Workloads.Loadgen.setup_seconds;
+           Printf.sprintf "%.2f"
+             p.Workloads.Loadgen.p_timing.Workloads.Loadgen.run_seconds;
+           Printf.sprintf "%.0f"
+             p.Workloads.Loadgen.p_timing.Workloads.Loadgen.events_per_second ])
+       suite.Workloads.Loadgen.perf);
+  Printf.printf "fast path over baseline: %.2fx sim events / wall second\n"
+    (Workloads.Loadgen.fast_path_speedup suite);
   let json =
     match Workloads.Loadgen.suite_to_json suite with
     | Telemetry.Json.Obj fields ->
         Telemetry.Json.Obj
           (fields
-          @ [ ("wall", Telemetry.Json.Obj [ ("suite_cpu_seconds", Telemetry.Json.Float cpu) ]) ])
+          @ [ ( "wall",
+                Telemetry.Json.Obj
+                  [ ("suite_cpu_seconds", Telemetry.Json.Float cpu);
+                    ( "sim_events_per_wall_second",
+                      Telemetry.Json.Float mt.Workloads.Loadgen.events_per_second
+                    ) ] ) ])
     | j -> j
   in
   let oc = open_out load_json_path in
@@ -356,13 +406,39 @@ let load_cmd =
   let requests = opt_int "requests" ~default:d.Workloads.Loadgen.requests_per_client ~doc:"Requests per client." in
   let services = opt_int "services" ~default:d.Workloads.Loadgen.services ~doc:"Distinct application services." in
   let seed = opt_int "seed" ~default:(Int64.to_int d.Workloads.Loadgen.seed) ~doc:"Workload seed." in
+  let lightweight =
+    Arg.(
+      value & flag
+      & info [ "lightweight" ]
+          ~doc:
+            "Counters-and-histograms telemetry only (no trace machinery) — \
+             the million-user fast path.")
+  in
+  let lazy_users =
+    Arg.(
+      value & flag
+      & info [ "lazy" ]
+          ~doc:
+            "Materialize principals at first authentication instead of \
+             registering the whole realm up front.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Run only the main configuration (no ablation suite, no \
+             BENCH_load.json) and print its timing.")
+  in
   Cmd.v
     (Cmd.info "load"
        ~doc:
          "Capacity planning: drive open-loop AS/TGS/AP traffic against a \
           sharded KDC pool and write the ablation suite (credential cache \
-          on/off, shard sweep) to BENCH_load.json")
-    Term.(const print_load $ users $ shards $ kdcs $ active $ requests $ services $ seed)
+          on/off, shard sweep, fast-path timing cells) to BENCH_load.json")
+    Term.(
+      const print_load $ users $ shards $ kdcs $ active $ requests $ services
+      $ seed $ lightweight $ lazy_users $ quick)
 
 let () =
   let default = Term.(const run_all $ const ()) in

@@ -227,8 +227,7 @@ let login t ?handheld ?key ?service ~password k =
                                   (* No device: the login program computes
                                      {R}Kc itself from the typed password. *)
                                   Crypto.Des.encrypt_block
-                                    (Crypto.Des.schedule
-                                       (Crypto.Des.fix_parity client_key))
+                                    (Crypto.Des.schedule_cached client_key)
                                     r
                             in
                             Ok (Crypto.Des.fix_parity response)

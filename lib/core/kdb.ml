@@ -187,6 +187,13 @@ type t = {
      realm-sized database per request. Any mutation clears it. *)
   mutable cross_realm_cache : (Principal.t * bytes) list option;
   mutable durable : durable option;
+  (* On-demand materialization for realm-scale load runs: a lookup miss
+     consults the provider, and anything it supplies is memoized in a side
+     table — never the shards, so the propagation/durability surface
+     (dumps, digests, WAL, reconciliation) is exactly the registered
+     population. *)
+  mutable lazy_provider : (string -> entry option) option;
+  lazy_memo : (string, entry) Hashtbl.t;
 }
 
 (* FNV-1a over the principal string: stable across runs and processes
@@ -205,7 +212,9 @@ let create ?(shards = 1) () =
     lookups = Array.make shards 0;
     versions = Array.make shards 0;
     cross_realm_cache = None;
-    durable = None }
+    durable = None;
+    lazy_provider = None;
+    lazy_memo = Hashtbl.create 64 }
 
 let shard_count t = Array.length t.shards
 let shard_of_name t name = fnv1a name mod Array.length t.shards
@@ -217,11 +226,27 @@ let wal t = Option.map (fun d -> d.d_wal) t.durable
 let checkpoints_taken t =
   match t.durable with None -> 0 | Some d -> d.d_checkpoints
 
+let set_lazy_provider t f = t.lazy_provider <- Some f
+let lazy_materialized t = Hashtbl.length t.lazy_memo
+
 let lookup t principal =
   let name = Principal.to_string principal in
   let i = shard_of_name t name in
   t.lookups.(i) <- t.lookups.(i) + 1;
-  Hashtbl.find_opt t.shards.(i) name
+  match Hashtbl.find_opt t.shards.(i) name with
+  | Some _ as r -> r
+  | None -> (
+      match t.lazy_provider with
+      | None -> None
+      | Some provide -> (
+          match Hashtbl.find_opt t.lazy_memo name with
+          | Some _ as r -> r
+          | None -> (
+              match provide name with
+              | Some e as r ->
+                  Hashtbl.add t.lazy_memo name e;
+                  r
+              | None -> None)))
 
 let fold f t acc =
   Array.fold_left
@@ -319,6 +344,9 @@ let add t principal entry =
   log_mutation t i v (Wal.Put (name, entry));
   t.versions.(i) <- v;
   t.cross_realm_cache <- None;
+  (* A real registration supersedes any materialized-on-demand entry (a
+     password change must not resurrect the old key from the memo). *)
+  Hashtbl.remove t.lazy_memo name;
   Hashtbl.replace t.shards.(i) name entry;
   maybe_checkpoint t
 
@@ -386,7 +414,9 @@ let wipe t =
   t.lookups <- Array.make n 0;
   t.versions <- Array.make n 0;
   t.cross_realm_cache <- None;
-  t.durable <- None
+  t.durable <- None;
+  t.lazy_provider <- None;
+  Hashtbl.reset t.lazy_memo
 
 type recovery = {
   recovered : t;

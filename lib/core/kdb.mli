@@ -80,6 +80,26 @@ val lookup : t -> Principal.t -> entry option
 
 val principals : t -> Principal.t list
 
+(** {2 Lazy materialization}
+
+    A realm of a million principals does not need a million up-front
+    [add_user] calls when only a fraction ever authenticate: a {e lazy
+    provider} is consulted on a {!lookup} miss, and whatever it supplies
+    is memoized in a side table. The shards — and with them every
+    propagation, digest, WAL and reconciliation surface — hold only the
+    explicitly registered population; materialized entries are serving
+    state, not durable state. A later [add_*] of the same principal
+    supersedes (and evicts) its memoized entry. *)
+
+val set_lazy_provider : t -> (string -> entry option) -> unit
+(** Install the provider. It receives the principal in
+    {!Principal.to_string} form and must be deterministic: the same name
+    always maps to the same entry, or the realm's keys depend on lookup
+    order. *)
+
+val lazy_materialized : t -> int
+(** How many entries the provider has materialized so far. *)
+
 val cross_realm_keys : t -> (Principal.t * bytes) list
 (** The realm's cross-realm entries ([krbtgt.<us>@<neighbor>] keys),
     sorted by principal. Memoized: the TGS consults this set for every

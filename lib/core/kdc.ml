@@ -135,7 +135,7 @@ let check_preauth t ~client_key (q : Messages.as_req) =
 
 (* The {R}Kc wrapping of the handheld scheme. *)
 let handheld_wrap ~client_key r =
-  let k = Crypto.Des.schedule (Crypto.Des.fix_parity client_key) in
+  let k = Crypto.Des.schedule_cached client_key in
   Crypto.Des.fix_parity (Crypto.Des.encrypt_block k r)
 
 (* The KDC's half of the exponential exchange: its public value and the

@@ -22,29 +22,27 @@ let direction_byte (s : Session.t) ~sending =
   | Session.Client_side, true | Session.Server_side, false -> 0 (* client -> server *)
   | Session.Client_side, false | Session.Server_side, true -> 1
 
-let sched (s : Session.t) = Crypto.Des.schedule (Crypto.Des.fix_parity s.key)
+let sched (s : Session.t) = s.Session.sched
 
-(* Pad-then-encrypt in place, and decrypt into one fresh buffer: the only
-   allocations on the sealing path are the padded plaintext itself. *)
-let encrypt_pcbc k ~iv plain =
-  let buf = Crypto.Mode.pad plain in
-  Crypto.Mode.pcbc_encrypt_into k ~iv ~src:buf ~dst:buf;
-  buf
-
-let encrypt_cbc k ~iv plain =
-  let buf = Crypto.Mode.pad plain in
-  Crypto.Mode.cbc_encrypt_into k ~iv ~src:buf ~dst:buf;
-  buf
+(* The seal paths assemble each layout directly in its final padded buffer
+   ([Mode.create_padded]) with plain big-endian stores matching the
+   [Wire.Codec.Writer] formats, then encrypt in place: sealing a frame
+   performs exactly one allocation, the ciphertext itself. The open paths
+   decrypt into one fresh buffer and parse it in place with a cursor
+   reader ([Codec.Reader.of_sub]) — no trailer copies. *)
+let set_u32 b pos v =
+  Bytes.set_uint16_be b pos ((v lsr 16) land 0xffff);
+  Bytes.set_uint16_be b (pos + 2) (v land 0xffff)
 
 let decrypt_pcbc k ~iv ct =
   let plain = Bytes.create (Bytes.length ct) in
   Crypto.Mode.pcbc_decrypt_into k ~iv ~src:ct ~dst:plain;
-  Crypto.Mode.unpad plain
+  plain
 
 let decrypt_cbc k ~iv ct =
   let plain = Bytes.create (Bytes.length ct) in
   Crypto.Mode.cbc_decrypt_into k ~iv ~src:ct ~dst:plain;
-  Crypto.Mode.unpad plain
+  plain
 
 (* Stamp field: timestamp or sequence number, by profile. *)
 let stamp_value (s : Session.t) ~now =
@@ -75,20 +73,25 @@ let check_stamp (s : Session.t) ~now stamp ~replay_key =
 (* --- V4 layout: [u32 len][data][i64 msec][u32 addr][i64 stamp][u8 dir] --- *)
 
 let seal_v4 s ~now data =
-  let w = Wire.Codec.Writer.create () in
-  Wire.Codec.Writer.lbytes w data;
-  Wire.Codec.Writer.i64 w (Int64.of_float (now *. 1000.0));
-  Wire.Codec.Writer.u32 w s.Session.own_addr;
-  Wire.Codec.Writer.i64 w (stamp_value s ~now);
-  Wire.Codec.Writer.u8 w (direction_byte s ~sending:true);
-  encrypt_pcbc (sched s) ~iv:Crypto.Mode.zero_iv (Wire.Codec.Writer.contents w)
+  let dlen = Bytes.length data in
+  let plen = 4 + dlen + 8 + 4 + 8 + 1 in
+  let buf = Crypto.Mode.create_padded plen in
+  set_u32 buf 0 dlen;
+  Bytes.blit data 0 buf 4 dlen;
+  Bytes.set_int64_be buf (4 + dlen) (Int64.of_float (now *. 1000.0));
+  set_u32 buf (12 + dlen) s.Session.own_addr;
+  Bytes.set_int64_be buf (16 + dlen) (stamp_value s ~now);
+  Bytes.set buf (24 + dlen) (Char.chr (direction_byte s ~sending:true));
+  Crypto.Mode.pcbc_encrypt_into (sched s) ~iv:Crypto.Mode.zero_iv ~src:buf ~dst:buf;
+  buf
 
 let open_v4 s ~now ct =
-  match decrypt_pcbc (sched s) ~iv:Crypto.Mode.zero_iv ct with
+  let plain = decrypt_pcbc (sched s) ~iv:Crypto.Mode.zero_iv ct in
+  match Crypto.Mode.unpad_length plain with
   | None -> Error Garbled
-  | Some plain -> (
+  | Some n -> (
       match
-        let r = Wire.Codec.Reader.of_bytes plain in
+        let r = Wire.Codec.Reader.of_sub plain ~pos:0 ~len:n in
         let data = Wire.Codec.Reader.lbytes r in
         let _msec = Wire.Codec.Reader.i64 r in
         let addr = Wire.Codec.Reader.u32 r in
@@ -120,22 +123,30 @@ let v5_cksum (s : Session.t) data =
   Crypto.Checksum.compute s.profile.Profile.checksum ~key:s.key data
 
 let seal_v5 s ~now data =
-  let w = Wire.Codec.Writer.create () in
-  Wire.Codec.Writer.raw w data;
-  Wire.Codec.Writer.raw w (v5_cksum s data);
-  Wire.Codec.Writer.i64 w (stamp_value s ~now);
-  Wire.Codec.Writer.u8 w (direction_byte s ~sending:true);
-  Wire.Codec.Writer.u32 w s.Session.own_addr;
-  encrypt_cbc (sched s) ~iv:Crypto.Mode.zero_iv (Wire.Codec.Writer.contents w)
+  let dlen = Bytes.length data in
+  let csize = v5_cksum_size s in
+  let plen = dlen + csize + trailer_size in
+  let buf = Crypto.Mode.create_padded plen in
+  Bytes.blit data 0 buf 0 dlen;
+  let cksum =
+    Crypto.Checksum.compute_sub s.Session.profile.Profile.checksum ~key:s.Session.key
+      buf ~pos:0 ~len:dlen
+  in
+  Bytes.blit cksum 0 buf dlen csize;
+  Bytes.set_int64_be buf (dlen + csize) (stamp_value s ~now);
+  Bytes.set buf (dlen + csize + 8) (Char.chr (direction_byte s ~sending:true));
+  set_u32 buf (dlen + csize + 9) s.Session.own_addr;
+  Crypto.Mode.cbc_encrypt_into (sched s) ~iv:Crypto.Mode.zero_iv ~src:buf ~dst:buf;
+  buf
 
-let parse_v5_plain s plain =
-  let n = Bytes.length plain in
+let parse_v5_plain s plain n =
   let csize = v5_cksum_size s in
   if n < trailer_size + csize then Error Garbled
   else begin
-    let data = Bytes.sub plain 0 (n - trailer_size - csize) in
-    let cksum = Bytes.sub plain (n - trailer_size - csize) csize in
-    let r = Wire.Codec.Reader.of_bytes (Bytes.sub plain (n - trailer_size) trailer_size) in
+    let dlen = n - trailer_size - csize in
+    let data = Bytes.sub plain 0 dlen in
+    let cksum = Bytes.sub plain dlen csize in
+    let r = Wire.Codec.Reader.of_sub plain ~pos:(n - trailer_size) ~len:trailer_size in
     let stamp = Wire.Codec.Reader.i64 r in
     let dir = Wire.Codec.Reader.u8 r in
     let addr = Wire.Codec.Reader.u32 r in
@@ -144,10 +155,11 @@ let parse_v5_plain s plain =
   end
 
 let open_v5 s ~now ct =
-  match decrypt_cbc (sched s) ~iv:Crypto.Mode.zero_iv ct with
+  let plain = decrypt_cbc (sched s) ~iv:Crypto.Mode.zero_iv ct in
+  match Crypto.Mode.unpad_length plain with
   | None -> Error Garbled
-  | Some plain -> (
-      match parse_v5_plain s plain with
+  | Some n -> (
+      match parse_v5_plain s plain n with
       | Error e -> Error e
       | Ok (data, addr, stamp, dir) ->
           if dir <> direction_byte s ~sending:false then Error Bad_direction
@@ -158,37 +170,40 @@ let open_v5 s ~now ct =
    across the session's messages in each direction. --- *)
 
 let seal_chain s ~now data =
-  let w = Wire.Codec.Writer.create () in
-  Wire.Codec.Writer.raw w data;
-  Wire.Codec.Writer.raw w (Bytes.make 16 '\000');
-  Wire.Codec.Writer.i64 w (stamp_value s ~now);
-  Wire.Codec.Writer.u8 w (direction_byte s ~sending:true);
-  Wire.Codec.Writer.u32 w s.Session.own_addr;
-  let plain = Wire.Codec.Writer.contents w in
   let dlen = Bytes.length data in
-  (* The digest field is still zero here, so this hashes the zeroed form. *)
-  let digest = Crypto.Md4.digest plain in
-  Bytes.blit digest 0 plain dlen 16;
-  let ct = encrypt_cbc (sched s) ~iv:s.Session.send_iv plain in
+  let plen = dlen + 16 + trailer_size in
+  let buf = Crypto.Mode.create_padded plen in
+  Bytes.blit data 0 buf 0 dlen;
+  Bytes.fill buf dlen 16 '\000';
+  Bytes.set_int64_be buf (dlen + 16) (stamp_value s ~now);
+  Bytes.set buf (dlen + 24) (Char.chr (direction_byte s ~sending:true));
+  set_u32 buf (dlen + 25) s.Session.own_addr;
+  (* The digest field is still zero here, so this hashes the zeroed form
+     (the digest covers the unpadded plaintext only). *)
+  let digest = Crypto.Md4.digest_sub buf ~pos:0 ~len:plen in
+  Bytes.blit digest 0 buf dlen 16;
+  Crypto.Mode.cbc_encrypt_into (sched s) ~iv:s.Session.send_iv ~src:buf ~dst:buf;
   (* Chain: next message continues from this one's last block. *)
-  s.Session.send_iv <- Bytes.sub ct (Bytes.length ct - 8) 8;
-  ct
+  s.Session.send_iv <- Bytes.sub buf (Bytes.length buf - 8) 8;
+  buf
 
 let open_chain s ~now ct =
-  match decrypt_cbc (sched s) ~iv:s.Session.recv_iv ct with
+  let plain = decrypt_cbc (sched s) ~iv:s.Session.recv_iv ct in
+  match Crypto.Mode.unpad_length plain with
   | None -> Error Garbled
-  | Some plain ->
-      let n = Bytes.length plain in
+  | Some n ->
       if n < 16 + trailer_size then Error Garbled
       else begin
         let dlen = n - 16 - trailer_size in
+        (* [plain] is ours: lift the digest out and re-zero its field in
+           place rather than copying the whole message. *)
         let digest = Bytes.sub plain dlen 16 in
-        let zeroed = Bytes.copy plain in
-        Bytes.fill zeroed dlen 16 '\000';
-        if not (Util.Bytesutil.equal digest (Crypto.Md4.digest zeroed)) then Error Garbled
+        Bytes.fill plain dlen 16 '\000';
+        if not (Util.Bytesutil.equal digest (Crypto.Md4.digest_sub plain ~pos:0 ~len:n))
+        then Error Garbled
         else begin
           let data = Bytes.sub plain 0 dlen in
-          let r = Wire.Codec.Reader.of_bytes (Bytes.sub plain (dlen + 16) trailer_size) in
+          let r = Wire.Codec.Reader.of_sub plain ~pos:(dlen + 16) ~len:trailer_size in
           let stamp = Wire.Codec.Reader.i64 r in
           let dir = Wire.Codec.Reader.u8 r in
           let addr = Wire.Codec.Reader.u32 r in

@@ -12,17 +12,22 @@ let skew = Krb_priv.skew
 (* Covered fields: data, stamp, the sender's address. The sender passes its
    own address; the verifier passes the peer's. *)
 let covered ~addr data stamp =
-  let w = Wire.Codec.Writer.create () in
-  Wire.Codec.Writer.lbytes w data;
-  Wire.Codec.Writer.i64 w stamp;
-  Wire.Codec.Writer.u32 w addr;
-  Wire.Codec.Writer.contents w
+  Wire.Codec.Writer.pooled (fun w ->
+      Wire.Codec.Writer.lbytes w data;
+      Wire.Codec.Writer.i64 w stamp;
+      Wire.Codec.Writer.u32 w addr;
+      Wire.Codec.Writer.contents w)
 
 (* Encipher the checksum under the session key (ECB over its padded form),
-   as the drafts' "encrypted checksum" types do. *)
+   as the drafts' "encrypted checksum" types do. The session's scheduled
+   key is reused; padding is written straight into the buffer we encrypt
+   in place. *)
 let seal_cksum (s : Session.t) raw =
-  let k = Crypto.Des.schedule (Crypto.Des.fix_parity s.key) in
-  Crypto.Mode.ecb_encrypt k (Crypto.Mode.pad raw)
+  let n = Bytes.length raw in
+  let buf = Crypto.Mode.create_padded n in
+  Bytes.blit raw 0 buf 0 n;
+  Crypto.Mode.ecb_encrypt_into s.sched ~src:buf ~dst:buf;
+  buf
 
 let stamp_of (s : Session.t) ~now =
   match s.profile.Profile.priv_replay with
@@ -38,11 +43,11 @@ let seal (s : Session.t) ~now data =
     Crypto.Checksum.compute s.profile.Profile.checksum ~key:s.key
       (covered ~addr:s.own_addr data stamp)
   in
-  let w = Wire.Codec.Writer.create () in
-  Wire.Codec.Writer.lbytes w data;
-  Wire.Codec.Writer.i64 w stamp;
-  Wire.Codec.Writer.lbytes w (seal_cksum s cksum);
-  Wire.Codec.Writer.contents w
+  Wire.Codec.Writer.pooled (fun w ->
+      Wire.Codec.Writer.lbytes w data;
+      Wire.Codec.Writer.i64 w stamp;
+      Wire.Codec.Writer.lbytes w (seal_cksum s cksum);
+      Wire.Codec.Writer.contents w)
 
 let open_ (s : Session.t) ~now msg =
   match

@@ -5,29 +5,38 @@ let of_profile (p : Profile.t) =
   | Wire.Encoding.V4_adhoc -> Pcbc_raw
   | Wire.Encoding.Der_typed -> Cbc_confounder p.checksum
 
+(* Both directions assemble the message directly in its final padded buffer
+   ([Mode.create_padded]) and encrypt in place: no intermediate plaintext
+   copy, no [Bytes.concat], and the key schedule comes from the process-wide
+   memo ([Des.schedule_cached]) rather than being recomputed per message. *)
+
 let seal scheme rng ~key plaintext =
-  let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+  let k = Crypto.Des.schedule_cached key in
   match scheme with
   | Pcbc_raw ->
-      let buf = Crypto.Mode.pad plaintext in
+      let n = Bytes.length plaintext in
+      let buf = Crypto.Mode.create_padded n in
+      Bytes.blit plaintext 0 buf 0 n;
       Crypto.Mode.pcbc_encrypt_into k ~iv:Crypto.Mode.zero_iv ~src:buf ~dst:buf;
       buf
   | Cbc_confounder kind ->
       let confounder = Util.Rng.bytes rng 8 in
       let cksum_size = Crypto.Checksum.size kind in
-      (* Checksum is computed over the message with the checksum field
-         zeroed, then spliced in. *)
-      let body =
-        Bytes.concat Bytes.empty [ confounder; Bytes.make cksum_size '\000'; plaintext ]
-      in
-      let cksum = Crypto.Checksum.compute kind ~key body in
-      Bytes.blit cksum 0 body 8 cksum_size;
-      let buf = Crypto.Mode.pad body in
+      let n = Bytes.length plaintext in
+      (* Checksum is computed over the body (confounder, zeroed checksum
+         field, plaintext) then spliced in; padding is outside it. *)
+      let body_len = 8 + cksum_size + n in
+      let buf = Crypto.Mode.create_padded body_len in
+      Bytes.blit confounder 0 buf 0 8;
+      Bytes.fill buf 8 cksum_size '\000';
+      Bytes.blit plaintext 0 buf (8 + cksum_size) n;
+      let cksum = Crypto.Checksum.compute_sub kind ~key buf ~pos:0 ~len:body_len in
+      Bytes.blit cksum 0 buf 8 cksum_size;
       Crypto.Mode.cbc_encrypt_into k ~iv:Crypto.Mode.zero_iv ~src:buf ~dst:buf;
       buf
 
 let open_ scheme ~key ciphertext =
-  let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+  let k = Crypto.Des.schedule_cached key in
   if Bytes.length ciphertext = 0 || Bytes.length ciphertext mod 8 <> 0 then
     Error "not a ciphertext"
   else
@@ -41,16 +50,18 @@ let open_ scheme ~key ciphertext =
     | Cbc_confounder kind -> (
         let plain = Bytes.create (Bytes.length ciphertext) in
         Crypto.Mode.cbc_decrypt_into k ~iv:Crypto.Mode.zero_iv ~src:ciphertext ~dst:plain;
-        match Crypto.Mode.unpad plain with
+        match Crypto.Mode.unpad_length plain with
         | None -> Error "bad padding"
-        | Some body ->
+        | Some body_len ->
             let cksum_size = Crypto.Checksum.size kind in
-            if Bytes.length body < 8 + cksum_size then Error "too short"
+            if body_len < 8 + cksum_size then Error "too short"
             else begin
-              let expect = Bytes.sub body 8 cksum_size in
-              let zeroed = Bytes.copy body in
-              Bytes.fill zeroed 8 cksum_size '\000';
-              if Crypto.Checksum.verify kind ~key zeroed ~expect then
-                Ok (Bytes.sub body (8 + cksum_size) (Bytes.length body - 8 - cksum_size))
+              (* [plain] is ours: lift the checksum out, zero its field and
+                 verify over the body in place. *)
+              let expect = Bytes.sub plain 8 cksum_size in
+              Bytes.fill plain 8 cksum_size '\000';
+              let actual = Crypto.Checksum.compute_sub kind ~key plain ~pos:0 ~len:body_len in
+              if Util.Bytesutil.equal actual expect then
+                Ok (Bytes.sub plain (8 + cksum_size) (body_len - 8 - cksum_size))
               else Error "checksum mismatch"
             end)

@@ -3,6 +3,7 @@ type role = Client_side | Server_side
 type t = {
   profile : Profile.t;
   key : bytes;
+  sched : Crypto.Des.key;
   role : role;
   own_addr : Sim.Addr.t;
   peer_addr : Sim.Addr.t;
@@ -17,19 +18,19 @@ type t = {
 (* Directional initial IVs both sides can compute: E_k(direction byte,
    zero-padded). "Initial values for it should be exchanged during (or
    derived from) the authentication handshake." *)
-let initial_iv ~key direction =
-  let k = Crypto.Des.schedule (Crypto.Des.fix_parity key) in
+let initial_iv ~sched direction =
   let block = Bytes.make 8 '\000' in
   Bytes.set block 0 direction;
-  Crypto.Des.encrypt_block k block
+  Crypto.Des.encrypt_block sched block
 
 let make ~profile ~rng ~role ~key ~own_addr ~peer_addr ~send_seq ~recv_seq =
-  let c2s = initial_iv ~key 'C' and s2c = initial_iv ~key 'S' in
+  let sched = Crypto.Des.schedule_cached key in
+  let c2s = initial_iv ~sched 'C' and s2c = initial_iv ~sched 'S' in
   let send_iv, recv_iv =
     match role with Client_side -> (c2s, s2c) | Server_side -> (s2c, c2s)
   in
-  { profile; key; role; own_addr; peer_addr; send_seq; recv_seq; send_iv; recv_iv;
-    cache = Replay_cache.create ~horizon:600.0; rng }
+  { profile; key; sched; role; own_addr; peer_addr; send_seq; recv_seq;
+    send_iv; recv_iv; cache = Replay_cache.create ~horizon:600.0; rng }
 
 let derived_key (profile : Profile.t) ~multi ~client_part ~server_part =
   if not profile.negotiate_session_key then multi

@@ -12,6 +12,10 @@ type role = Client_side | Server_side
 type t = {
   profile : Profile.t;
   key : bytes;  (** multi-session or negotiated, per profile *)
+  sched : Crypto.Des.key;
+      (** [key] scheduled once at [make]; every seal/open under this
+          session reuses it instead of re-deriving the subkeys per
+          message. *)
   role : role;
   own_addr : Sim.Addr.t;
   peer_addr : Sim.Addr.t;

@@ -8,11 +8,13 @@ let collision_proof = function Crc32 -> false | Md4 | Md4_des -> true
 
 let size = function Crc32 -> 4 | Md4 -> 16 | Md4_des -> 16
 
-let compute kind ~key data =
+let compute_sub kind ~key data ~pos ~len =
   match kind with
-  | Crc32 -> Crc32.digest_to_bytes (Crc32.bytes_digest data)
-  | Md4 -> Md4.digest data
-  | Md4_des -> Md4.hmac_des ~key data
+  | Crc32 -> Crc32.digest_to_bytes (Crc32.bytes_digest_sub data ~pos ~len)
+  | Md4 -> Md4.digest_sub data ~pos ~len
+  | Md4_des -> Md4.hmac_des_sub ~key data ~pos ~len
+
+let compute kind ~key data = compute_sub kind ~key data ~pos:0 ~len:(Bytes.length data)
 
 let verify kind ~key data ~expect =
   Util.Bytesutil.equal (compute kind ~key data) expect

@@ -20,6 +20,11 @@ val size : kind -> int
 val compute : kind -> key:bytes -> bytes -> bytes
 (** [compute kind ~key data]. The [key] is used only by {!Md4_des}. *)
 
+val compute_sub : kind -> key:bytes -> bytes -> pos:int -> len:int -> bytes
+(** Checksum a subrange of [data] without materializing the slice — the
+    sealing layers checksum the plaintext region of the final padded
+    buffer in place. *)
+
 val verify : kind -> key:bytes -> bytes -> expect:bytes -> bool
 
 val forge_to_match : kind -> original:bytes -> tampered_prefix:bytes -> bytes option

@@ -22,16 +22,19 @@ type state = int
 
 let init = 0xFFFFFFFF
 
-let update st b =
+let update_sub st b ~pos ~len =
   let s = ref st in
-  for i = 0 to Bytes.length b - 1 do
+  for i = pos to pos + len - 1 do
     s := (!s lsr 8) lxor table.((!s lxor Char.code (Bytes.get b i)) land 0xff)
   done;
   !s
 
+let update st b = update_sub st b ~pos:0 ~len:(Bytes.length b)
+
 let digest st = st lxor 0xFFFFFFFF
 
 let bytes_digest b = digest (update init b)
+let bytes_digest_sub b ~pos ~len = digest (update_sub init b ~pos ~len)
 
 let digest_to_bytes d =
   let out = Bytes.create 4 in

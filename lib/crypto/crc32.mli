@@ -19,6 +19,11 @@ val digest : state -> int
 val bytes_digest : bytes -> int
 (** One-shot checksum. *)
 
+val update_sub : state -> bytes -> pos:int -> len:int -> state
+val bytes_digest_sub : bytes -> pos:int -> len:int -> int
+(** Subrange forms: checksum [len] bytes of [b] starting at [pos] without
+    materializing the slice. *)
+
 val digest_to_bytes : int -> bytes
 (** Big-endian 4-byte rendering, as carried in protocol messages. *)
 

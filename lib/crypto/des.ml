@@ -133,8 +133,14 @@ let rotl28 x n =
   let mask = 0xFFFFFFF in
   ((x lsl n) lor (x lsr (28 - n))) land mask
 
+let schedules = ref 0
+let schedules_performed () = !schedules
+let blocks = ref 0
+let blocks_performed () = !blocks
+
 let schedule k =
   if Bytes.length k <> 8 then invalid_arg "Des.schedule: key must be 8 bytes";
+  incr schedules;
   let k64 = Bytes.get_int64_be k 0 in
   let cd = Int64.to_int (permute pc1 64 k64) in
   let c = ref ((cd lsr 28) land 0xFFFFFFF) in
@@ -200,6 +206,7 @@ type halves = { mutable hi : int; mutable lo : int }
    the R16/L16 pre-output swap, and the inverse swap network for FP. All
    values are immediate ints; nothing is allocated. *)
 let crypt_halves sk st =
+  incr blocks;
   let l = st.hi and r = st.lo in
   (* IP *)
   let t = ((l lsr 4) lxor r) land 0x0f0f0f0f in
@@ -348,3 +355,40 @@ let is_weak k =
 let rec random_key rng =
   let k = fix_parity (Util.Rng.bytes rng 8) in
   if is_weak k then random_key rng else k
+
+(* --- schedule cache ------------------------------------------------------
+
+   [schedule (fix_parity k)] costs two bit-by-bit permutes plus sixteen
+   rotate-and-permute rounds — far more than enciphering the short messages
+   Kerberos actually sends. Long-lived keys (principal keys, session keys,
+   the TGS key) are scheduled over and over at every sealing site, so a
+   small memo table keyed on the raw key bytes removes the work entirely.
+   The cache is semantically invisible: a hit returns a schedule equal to
+   what [schedule (fix_parity k)] would rebuild, and the toggle exists so
+   the equivalence tests and bench ablations can prove it. *)
+
+let cache_enabled = ref true
+let cache : (string, key) Hashtbl.t = Hashtbl.create 1024
+
+(* Beyond this the workload is churning through one-shot keys and memoizing
+   stops paying; dropping the table keeps memory bounded at ~
+   [max_cache_entries * (2 schedules + raw)] and correctness is unaffected. *)
+let max_cache_entries = 65_536
+
+let set_schedule_cache on =
+  cache_enabled := on;
+  if not on then Hashtbl.reset cache
+
+let schedule_cache_enabled () = !cache_enabled
+
+let schedule_cached k =
+  if not !cache_enabled then schedule (fix_parity k)
+  else
+    let id = Bytes.to_string k in
+    match Hashtbl.find_opt cache id with
+    | Some sk -> sk
+    | None ->
+        if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+        let sk = schedule (fix_parity k) in
+        Hashtbl.add cache id sk;
+        sk

@@ -23,6 +23,31 @@ val schedule : bytes -> key
 val key_bytes : key -> bytes
 (** The original 8-byte key material (with its parity bits untouched). *)
 
+val schedule_cached : bytes -> key
+(** [schedule_cached k] is [schedule (fix_parity k)], memoized on the raw
+    key bytes. Long-lived Kerberos keys are sealed under thousands of
+    times, and the schedule dominates short-message sealing cost, so the
+    hot paths route through this. Semantically identical to rescheduling
+    every time (the equivalence tests pin this); the memo table is bounded
+    and dropped wholesale when full. *)
+
+val set_schedule_cache : bool -> unit
+(** Enable/disable the [schedule_cached] memo table (clears it when turning
+    off). On by default; the off position exists for equivalence tests and
+    bench ablations. *)
+
+val schedule_cache_enabled : unit -> bool
+
+val schedules_performed : unit -> int
+(** Process-wide count of key-schedule computations actually performed
+    (cache hits don't count). Lets tests assert a session schedules its key
+    exactly once. *)
+
+val blocks_performed : unit -> int
+(** Process-wide count of single-block DES operations (every mode bottoms
+    out here). The load harness uses it to apportion wall time between
+    irreducible cipher work and everything else. *)
+
 val encrypt_block : key -> bytes -> bytes
 (** [encrypt_block k b] enciphers one 8-byte block. *)
 

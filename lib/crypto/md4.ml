@@ -12,22 +12,21 @@ let f x y z = (x land y) lor (lnot x land z land mask)
 let g x y z = (x land y) lor (x land z) lor (y land z)
 let h x y z = x lxor y lxor z
 
-let pad_message b =
-  let len = Bytes.length b in
+let pad_message b pos len =
   let bitlen = Int64.of_int (len * 8) in
   let padlen =
     let r = (len + 1) mod 64 in
     if r <= 56 then 56 - r + 1 else 64 - r + 56 + 1
   in
   let out = Bytes.create (len + padlen + 8) in
-  Bytes.blit b 0 out 0 len;
+  Bytes.blit b pos out 0 len;
   Bytes.set out len '\x80';
   Bytes.fill out (len + 1) (padlen - 1) '\000';
   Bytes.set_int64_le out (len + padlen) bitlen;
   out
 
-let digest b =
-  let msg = pad_message b in
+let digest_sub b ~pos ~len =
+  let msg = pad_message b pos len in
   let a = ref 0x67452301 and b' = ref 0xefcdab89
   and c = ref 0x98badcfe and d = ref 0x10325476 in
   let x = Array.make 16 0 in
@@ -75,8 +74,12 @@ let digest b =
     [ !a; !b'; !c; !d ];
   out
 
+let digest b = digest_sub b ~pos:0 ~len:(Bytes.length b)
+
 let hex_digest b = Util.Bytesutil.to_hex (digest b)
 
-let hmac_des ~key b =
-  let k = Des.schedule (Des.fix_parity key) in
-  Mode.cbc_encrypt k ~iv:Mode.zero_iv (digest b)
+let hmac_des_sub ~key b ~pos ~len =
+  let k = Des.schedule_cached key in
+  Mode.cbc_encrypt k ~iv:Mode.zero_iv (digest_sub b ~pos ~len)
+
+let hmac_des ~key b = hmac_des_sub ~key b ~pos:0 ~len:(Bytes.length b)

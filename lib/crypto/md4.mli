@@ -9,7 +9,13 @@ val digest_size : int
 val digest : bytes -> bytes
 (** [digest b] is the 16-byte MD4 hash of [b]. *)
 
+val digest_sub : bytes -> pos:int -> len:int -> bytes
+(** Hash a subrange without materializing the slice. *)
+
 val hex_digest : bytes -> string
+
+val hmac_des_sub : key:bytes -> bytes -> pos:int -> len:int -> bytes
+(** Subrange form of {!hmac_des}. *)
 
 val hmac_des : key:bytes -> bytes -> bytes
 (** The drafts' "MD4 encrypted with DES" checksum: the MD4 digest enciphered

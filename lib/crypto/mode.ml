@@ -6,6 +6,19 @@
 
 let block = Des.block_size
 
+let padded_length n = n + (block - (n mod block))
+
+(* The allocation-free sealing layers assemble messages directly in their
+   final padded buffer: [create_padded n] returns a block-multiple buffer
+   whose last [padlen] bytes already hold the padding for an [n]-byte
+   payload; the caller writes the payload into [0..n-1] and encrypts in
+   place. Equivalent to [pad] without the intermediate plaintext copy. *)
+let create_padded n =
+  let padlen = block - (n mod block) in
+  let out = Bytes.create (n + padlen) in
+  Bytes.fill out n padlen (Char.chr padlen);
+  out
+
 let pad b =
   let n = Bytes.length b in
   let padlen = block - (n mod block) in
@@ -14,7 +27,7 @@ let pad b =
   Bytes.fill out n padlen (Char.chr padlen);
   out
 
-let unpad b =
+let unpad_length b =
   let n = Bytes.length b in
   if n = 0 || n mod block <> 0 then None
   else
@@ -25,7 +38,10 @@ let unpad b =
       for i = n - padlen to n - 1 do
         if Char.code (Bytes.get b i) <> padlen then ok := false
       done;
-      if !ok then Some (Bytes.sub b 0 (n - padlen)) else None
+      if !ok then Some (n - padlen) else None
+
+let unpad b =
+  match unpad_length b with Some l -> Some (Bytes.sub b 0 l) | None -> None
 
 let check_into name ~src ~dst =
   if Bytes.length src mod block <> 0 then

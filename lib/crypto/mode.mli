@@ -18,12 +18,29 @@
     (in-place transformation); the sealing layers exploit this to encrypt
     freshly padded buffers without another copy. *)
 
+val padded_length : int -> int
+(** [padded_length n] is the length [pad] would produce for an [n]-byte
+    input: the next multiple of the block size strictly greater than [n]. *)
+
+val create_padded : int -> bytes
+(** [create_padded n] allocates a [padded_length n] buffer with the pad
+    bytes already written at positions [n..]; the caller fills [0..n-1]
+    with the payload and encrypts in place. [pad b] is
+    [create_padded (length b)] with [b] blitted in — the split form lets
+    sealing layers build a message in its final buffer with no
+    intermediate copy. *)
+
 val pad : bytes -> bytes
 (** [pad b] appends 1–8 bytes of padding, each holding the pad length, so
     the result is a non-empty multiple of the block size (PKCS#5-style). *)
 
 val unpad : bytes -> bytes option
 (** [unpad b] strips padding added by [pad]; [None] if malformed. *)
+
+val unpad_length : bytes -> int option
+(** [unpad_length b] is the payload length [unpad] would return, without
+    allocating the stripped copy — openers that go on to parse fields in
+    place use this. *)
 
 val ecb_encrypt : Des.key -> bytes -> bytes
 val ecb_decrypt : Des.key -> bytes -> bytes

@@ -100,19 +100,19 @@ let overhead () =
   List.map
     (fun profile ->
       let bed = Attacks.Testbed.make ~profile () in
-      let start_events = List.length (Sim.Net.events bed.net) in
+      let start_events = Sim.Net.event_count bed.net in
       (* One canonical session: login, ticket, AP, three priv calls. *)
       let ap_start = ref 0 and ap_end = ref 0 in
       Client.login bed.victim ~password:bed.victim_password (fun r ->
           ignore (Attacks.Testbed.expect "login" r);
           Client.get_ticket bed.victim ~service:bed.file_principal (fun r ->
               let creds = Attacks.Testbed.expect "ticket" r in
-              ap_start := List.length (Sim.Net.events bed.net);
+              ap_start := Sim.Net.event_count bed.net;
               Client.ap_exchange bed.victim creds
                 ~dst:(Sim.Host.primary_ip bed.file_host) ~dport:bed.file_port
                 (fun r ->
                   let chan = Attacks.Testbed.expect "ap" r in
-                  ap_end := List.length (Sim.Net.events bed.net);
+                  ap_end := Sim.Net.event_count bed.net;
                   let rec go i =
                     if i < 3 then
                       Client.call_priv bed.victim chan

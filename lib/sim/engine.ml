@@ -4,6 +4,7 @@ type t = {
   heap : event Heap.t;
   mutable clock : float;
   mutable next_seq : int;
+  mutable executed : int;
   mutable telemetry : Telemetry.Collector.t list;
 }
 
@@ -11,9 +12,10 @@ let cmp a b =
   match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
 
 let create () =
-  { heap = Heap.create ~cmp; clock = 0.0; next_seq = 0; telemetry = [] }
+  { heap = Heap.create ~cmp; clock = 0.0; next_seq = 0; executed = 0; telemetry = [] }
 
 let now t = t.clock
+let executed t = t.executed
 
 let attach_telemetry t c =
   if not (List.memq c t.telemetry) then t.telemetry <- c :: t.telemetry
@@ -27,11 +29,28 @@ let schedule t ~at fn =
 
 let schedule_after t delay fn = schedule t ~at:(t.clock +. delay) fn
 
+(* One call for a burst of events (the loadgen ramp): sequence numbers are
+   assigned in list order, so the batch fires exactly as the same sequence
+   of [schedule] calls would — [Heap.push_many] only changes internal
+   layout, never pop order. *)
+let schedule_batch t evs =
+  let events =
+    List.map
+      (fun (at, fn) ->
+        if at < t.clock then invalid_arg "Engine.schedule_batch: event in the past";
+        let e = { time = at; seq = t.next_seq; fn } in
+        t.next_seq <- t.next_seq + 1;
+        e)
+      evs
+  in
+  Heap.push_many t.heap events
+
 let step t =
   match Heap.pop t.heap with
   | None -> false
   | Some ev ->
       t.clock <- ev.time;
+      t.executed <- t.executed + 1;
       ev.fn ();
       true
 

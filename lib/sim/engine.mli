@@ -21,6 +21,17 @@ val schedule : t -> at:float -> (unit -> unit) -> unit
 
 val schedule_after : t -> float -> (unit -> unit) -> unit
 
+val schedule_batch : t -> (float * (unit -> unit)) list -> unit
+(** Schedule a burst in one call: fires exactly as the same sequence of
+    {!schedule} calls would (sequence numbers are taken in list order),
+    but the heap is re-heapified once instead of sifting per event —
+    O(n + m) for a batch of m. The loadgen ramp uses this.
+    @raise Invalid_argument if any time is in the past. *)
+
+val executed : t -> int
+(** Events executed so far — the numerator of the load plane's
+    [sim_events_per_wall_second]. *)
+
 val run : ?strict_spans:bool -> t -> unit
 (** Drain the queue, then settle attached collectors' spans.
     [strict_spans] (default [false]) instead treats a leaked span as a

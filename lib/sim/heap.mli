@@ -16,6 +16,13 @@ val push : 'a t -> 'a -> unit
     a realm-sized burst of scheduled events costs amortised O(1) space
     per push. *)
 
+val push_many : 'a t -> 'a list -> unit
+(** Bulk insert: equivalent to [List.iter (push t)] element for element —
+    when [cmp] is a total order the observable pop sequence is identical —
+    but a large batch is appended and re-heapified bottom-up, O(n + m)
+    rather than O(m log n). The engine's bulk-schedule path (loadgen ramp
+    bursts) rides on this. *)
+
 val pop : 'a t -> 'a option
 (** Remove and return the minimum, or [None] on an empty heap. O(log n):
     swap the last leaf to the root and sift down. *)

@@ -6,6 +6,12 @@ type event =
   | Dropped of float * Packet.t * string
   | Note of float * string
 
+(* The event trace is a bounded ring: small harness runs (tests, demos,
+   chaos determinism checks) stay far below the capacity and see every
+   event; a million-request load campaign would otherwise accumulate an
+   unbounded list and dominate memory. *)
+let trace_capacity = 65_536
+
 type t = {
   eng : Engine.t;
   latency : float;
@@ -18,7 +24,16 @@ type t = {
   mutable faults : Faults.t option;
   mutable next_uid : int;
   mutable next_port : int;
-  mutable trace : event list;  (** reverse chronological *)
+  (* Per-packet counters, resolved once at [create] — the hot path never
+     hashes a metric name. Per-reason drop counters are memoized below. *)
+  c_sent : Telemetry.Metrics.counter;
+  c_delivered : Telemetry.Metrics.counter;
+  c_dropped : Telemetry.Metrics.counter;
+  drop_counters : (string, Telemetry.Metrics.counter) Hashtbl.t;
+  mutable ev_buf : event array;  (** ring; empty until the first record *)
+  mutable ev_start : int;
+  mutable ev_len : int;
+  mutable ev_seen : int;  (** total recorded, monotone across eviction *)
 }
 
 let create ?(latency = 0.005) ?(seed = 1L) ?telemetry eng =
@@ -28,22 +43,43 @@ let create ?(latency = 0.005) ?(seed = 1L) ?telemetry eng =
   (* Telemetry time is simulation time, never the wall clock. *)
   Telemetry.Collector.set_clock tel (fun () -> Engine.now eng);
   Engine.attach_telemetry eng tel;
+  let m = Telemetry.Collector.metrics tel in
   { eng; latency; rng = Util.Rng.create seed; tel; hosts = Hashtbl.create 16;
     ports = Hashtbl.create 64; taps = []; interceptor = None; faults = None;
-    next_uid = 0; next_port = 33000; trace = [] }
+    next_uid = 0; next_port = 33000;
+    c_sent = Telemetry.Metrics.counter m "net.packets.sent";
+    c_delivered = Telemetry.Metrics.counter m "net.packets.delivered";
+    c_dropped = Telemetry.Metrics.counter m "net.packets.dropped";
+    drop_counters = Hashtbl.create 8;
+    ev_buf = [||]; ev_start = 0; ev_len = 0; ev_seen = 0 }
 
 let engine t = t.eng
 let now t = Engine.now t.eng
 let rng t = t.rng
 let telemetry t = t.tel
 
-let record t ev = t.trace <- ev :: t.trace
+let record t ev =
+  t.ev_seen <- t.ev_seen + 1;
+  if Array.length t.ev_buf = 0 then t.ev_buf <- Array.make trace_capacity ev;
+  let cap = Array.length t.ev_buf in
+  if t.ev_len < cap then begin
+    t.ev_buf.((t.ev_start + t.ev_len) mod cap) <- ev;
+    t.ev_len <- t.ev_len + 1
+  end
+  else begin
+    t.ev_buf.(t.ev_start) <- ev;
+    t.ev_start <- (t.ev_start + 1) mod cap
+  end
 
 let note t msg =
   record t (Note (now t, msg));
   Telemetry.Collector.event t.tel ~component:"net" ~kind:"note" [ ("msg", msg) ]
 
-let events t = List.rev t.trace
+let events t =
+  List.init t.ev_len (fun i ->
+      t.ev_buf.((t.ev_start + i) mod Array.length t.ev_buf))
+
+let event_count t = t.ev_seen
 
 let attach t host =
   List.iter
@@ -69,10 +105,6 @@ let ephemeral_port t =
   t.next_port <- t.next_port + 1;
   t.next_port
 
-let c_sent t = Telemetry.Metrics.counter (Telemetry.Collector.metrics t.tel) "net.packets.sent"
-let c_delivered t = Telemetry.Metrics.counter (Telemetry.Collector.metrics t.tel) "net.packets.delivered"
-let c_dropped t = Telemetry.Metrics.counter (Telemetry.Collector.metrics t.tel) "net.packets.dropped"
-
 let packet_attrs pkt =
   [ ("src", Printf.sprintf "%s:%d" (Addr.to_string pkt.Packet.src) pkt.Packet.sport);
     ("dst", Printf.sprintf "%s:%d" (Addr.to_string pkt.Packet.dst) pkt.Packet.dport);
@@ -83,31 +115,47 @@ let packet_attrs pkt =
    context stack, under whatever exchange sent it) and finished at
    delivery or drop. The receiving handler runs inside the packet's span
    context, so server-side handling nests under the packet that caused
-   it. *)
+   it. Under a lightweight collector the four sprintf attrs are skipped —
+   span_begin would drop them unused. *)
 let begin_packet_span t pkt =
-  Telemetry.Collector.span_begin t.tel ~component:"net" ~attrs:(packet_attrs pkt)
-    "net.packet"
+  if Telemetry.Collector.lightweight t.tel then
+    Telemetry.Collector.span_begin t.tel ~component:"net" "net.packet"
+  else
+    Telemetry.Collector.span_begin t.tel ~component:"net" ~attrs:(packet_attrs pkt)
+      "net.packet"
 
 (* Every drop also bumps a per-reason counter ("no listener" →
    net.dropped.no-listener) so black holes show up in the metrics export,
-   not just the trace. *)
+   not just the trace. The slugged counter is resolved once per distinct
+   reason, then served from the memo table. *)
 let drop_reason_slug why = String.map (function ' ' -> '-' | c -> c) why
 
+let drop_counter t why =
+  match Hashtbl.find_opt t.drop_counters why with
+  | Some c -> c
+  | None ->
+      let c =
+        Telemetry.Metrics.counter
+          (Telemetry.Collector.metrics t.tel)
+          ("net.dropped." ^ drop_reason_slug why)
+      in
+      Hashtbl.add t.drop_counters why c;
+      c
+
 let drop_packet t span pkt why =
-  record t (Dropped (now t, pkt, why));
-  Telemetry.Metrics.incr (c_dropped t);
-  Telemetry.Metrics.incr
-    (Telemetry.Metrics.counter
-       (Telemetry.Collector.metrics t.tel)
-       ("net.dropped." ^ drop_reason_slug why));
+  if not (Telemetry.Collector.lightweight t.tel) then
+    record t (Dropped (now t, pkt, why));
+  Telemetry.Metrics.incr t.c_dropped;
+  Telemetry.Metrics.incr (drop_counter t why);
   Telemetry.Collector.span_finish t.tel ~outcome:("dropped:" ^ why) span
 
 let deliver ?(extra = 0.0) t span pkt =
   Engine.schedule_after t.eng (t.latency +. extra) (fun () ->
       match Hashtbl.find_opt t.ports (pkt.Packet.dst, pkt.Packet.dport) with
       | Some fn ->
-          record t (Delivered (now t, pkt));
-          Telemetry.Metrics.incr (c_delivered t);
+          if not (Telemetry.Collector.lightweight t.tel) then
+            record t (Delivered (now t, pkt));
+          Telemetry.Metrics.incr t.c_delivered;
           Telemetry.Collector.with_context t.tel span (fun () -> fn pkt);
           Telemetry.Collector.span_finish t.tel ~outcome:"ok" span
       | None -> drop_packet t span pkt "no listener")
@@ -140,8 +188,8 @@ let faulted_deliver t span pkt =
             deliveries)
 
 let transmit t pkt =
-  record t (Sent (now t, pkt));
-  Telemetry.Metrics.incr (c_sent t);
+  if not (Telemetry.Collector.lightweight t.tel) then record t (Sent (now t, pkt));
+  Telemetry.Metrics.incr t.c_sent;
   let span = begin_packet_span t pkt in
   List.iter (fun tap -> tap pkt) t.taps;
   match t.interceptor with
@@ -176,7 +224,7 @@ let inject t pkt =
   t.next_uid <- t.next_uid + 1;
   let pkt = { pkt with Packet.uid = t.next_uid } in
   record t (Sent (now t, pkt));
-  Telemetry.Metrics.incr (c_sent t);
+  Telemetry.Metrics.incr t.c_sent;
   List.iter (fun tap -> tap pkt) t.taps;
   let span =
     Telemetry.Collector.span_begin t.tel ~component:"net"

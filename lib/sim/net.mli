@@ -91,6 +91,15 @@ type event =
 
 val note : t -> string -> unit
 val events : t -> event list
-(** Chronological. *)
+(** Chronological. Bounded: the most recent ~65k events are retained (a
+    load campaign would otherwise hold every packet alive); harness-scale
+    runs sit far below the cap and see everything. Under a lightweight
+    collector only {!note} events are recorded at all — the counters
+    still tell the packet story. *)
+
+val event_count : t -> int
+(** Total events recorded since creation — monotone, unaffected by ring
+    eviction, O(1). Use this (not [List.length (events t)]) to diff
+    activity around a phase. *)
 
 val pp_event : Format.formatter -> event -> unit

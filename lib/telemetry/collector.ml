@@ -19,25 +19,33 @@ type t = {
   ops : Opsview.t;
   mutable clock : unit -> float;
   mutable next_span_id : int;
+  mutable lightweight : bool;
   open_table : (int, Span.t) Hashtbl.t;
+  span_hists : (string, Metrics.histogram) Hashtbl.t;
   mutable context : Span.t list;
 }
 
-let create ?trace_capacity () =
+let create ?trace_capacity ?(lightweight = false) () =
   { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity ();
     ops = Opsview.create (); clock = (fun () -> 0.0); next_span_id = 1;
-    open_table = Hashtbl.create 16; context = [] }
+    lightweight; open_table = Hashtbl.create 16; span_hists = Hashtbl.create 16;
+    context = [] }
 
 let metrics t = t.metrics
 let trace t = t.trace
 let ops t = t.ops
 
+let set_lightweight t on = t.lightweight <- on
+let lightweight t = t.lightweight
+
 let set_clock t f = t.clock <- f
 let now t = t.clock ()
 
 let event t ?time ?severity ~component ~kind attrs =
-  let time = match time with Some x -> x | None -> now t in
-  Trace.event t.trace ~time ?severity ~component ~kind attrs
+  if not t.lightweight then begin
+    let time = match time with Some x -> x | None -> now t in
+    Trace.event t.trace ~time ?severity ~component ~kind attrs
+  end
 
 (* --- spans --------------------------------------------------------- *)
 
@@ -55,38 +63,55 @@ let span_begin t ?time ?parent ?(attrs = []) ~component name =
       end_time = None; outcome = "open"; attrs }
   in
   t.next_span_id <- t.next_span_id + 1;
-  Hashtbl.replace t.open_table span.Span.id span;
-  Trace.event t.trace ~time ~severity:Trace.Debug ~component ~kind:"span.begin"
-    ([ ("span", string_of_int span.Span.id); ("name", name) ]
-    @ (match parent with
-      | Some p -> [ ("parent", string_of_int p) ]
-      | None -> [])
-    @ attrs);
+  (* Lightweight mode: spans still exist (their duration feeds the
+     histograms the load reports are computed from) but the open-span
+     table and the per-span trace events — the per-packet cost — are
+     skipped. *)
+  if not t.lightweight then begin
+    Hashtbl.replace t.open_table span.Span.id span;
+    Trace.event t.trace ~time ~severity:Trace.Debug ~component ~kind:"span.begin"
+      ([ ("span", string_of_int span.Span.id); ("name", name) ]
+      @ (match parent with
+        | Some p -> [ ("parent", string_of_int p) ]
+        | None -> [])
+      @ attrs)
+  end;
   span
+
+(* One string concatenation + registry probe per distinct span name, not
+   per finish: finishing a span is a memo-table hit and an observe. *)
+let span_hist t name =
+  match Hashtbl.find_opt t.span_hists name with
+  | Some h -> h
+  | None ->
+      let h = Metrics.histogram t.metrics ("span." ^ name ^ ".seconds") in
+      Hashtbl.add t.span_hists name h;
+      h
 
 let span_finish t ?time ?(outcome = "ok") (span : Span.t) =
   if Span.is_open span then begin
     let time = match time with Some x -> x | None -> now t in
     span.Span.end_time <- Some time;
     span.Span.outcome <- outcome;
-    Hashtbl.remove t.open_table span.Span.id;
     let duration = time -. span.Span.start_time in
-    Metrics.observe
-      (Metrics.histogram t.metrics ("span." ^ span.Span.name ^ ".seconds"))
-      duration;
-    Trace.event t.trace ~time ~severity:Trace.Debug ~component:span.Span.component
-      ~kind:"span.end"
-      [ ("span", string_of_int span.Span.id); ("name", span.Span.name);
-        ("outcome", outcome);
-        ("duration_ms", Printf.sprintf "%.3f" (duration *. 1000.0)) ]
+    Metrics.observe (span_hist t span.Span.name) duration;
+    if not t.lightweight then begin
+      Hashtbl.remove t.open_table span.Span.id;
+      Trace.event t.trace ~time ~severity:Trace.Debug ~component:span.Span.component
+        ~kind:"span.end"
+        [ ("span", string_of_int span.Span.id); ("name", span.Span.name);
+          ("outcome", outcome);
+          ("duration_ms", Printf.sprintf "%.3f" (duration *. 1000.0)) ]
+    end
   end
 
 let span_abandon t ?time (span : Span.t) =
   if Span.is_open span then begin
     let time = match time with Some x -> x | None -> now t in
-    Trace.event t.trace ~time ~severity:Trace.Warn ~component:span.Span.component
-      ~kind:"span.abandoned"
-      [ ("span", string_of_int span.Span.id); ("name", span.Span.name) ];
+    if not t.lightweight then
+      Trace.event t.trace ~time ~severity:Trace.Warn ~component:span.Span.component
+        ~kind:"span.abandoned"
+        [ ("span", string_of_int span.Span.id); ("name", span.Span.name) ];
     span_finish t ~time ~outcome:"abandoned" span
   end
 

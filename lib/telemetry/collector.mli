@@ -5,10 +5,21 @@
 
 type t
 
-val create : ?trace_capacity:int -> unit -> t
+val create : ?trace_capacity:int -> ?lightweight:bool -> unit -> t
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
 val ops : t -> Opsview.t
+
+(** {2 Lightweight mode}
+
+    For pure-throughput runs (the million-user load campaign): counters
+    and span-duration histograms stay live — reports are computed from
+    them — but the trace ring, the open-span table, and the per-span
+    trace events are skipped, which is most of the per-packet telemetry
+    cost. Off by default; flip it per collector, never globally. *)
+
+val set_lightweight : t -> bool -> unit
+val lightweight : t -> bool
 
 val set_clock : t -> (unit -> float) -> unit
 (** Install the time source for events/spans recorded without an explicit

@@ -118,6 +118,11 @@ let sorted t =
   Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let histograms t =
+  List.filter_map
+    (fun (name, m) -> match m with Histogram h -> Some (name, h) | _ -> None)
+    (sorted t)
+
 let bucket_label bound =
   if Float.is_integer bound then Printf.sprintf "%.0f" bound
   else Printf.sprintf "%g" bound

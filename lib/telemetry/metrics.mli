@@ -40,5 +40,10 @@ val hist_sum : histogram -> float
 val bucket_counts : histogram -> int array
 (** Per-bucket counts; last entry is the +inf overflow bucket. *)
 
+val histograms : t -> (string * histogram) list
+(** Every registered histogram, sorted by name — for reports that
+    aggregate over families of metrics (the load plane's per-span
+    breakdown) without knowing the names in advance. *)
+
 val to_text : t -> string
 val to_json : t -> Json.t

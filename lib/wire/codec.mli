@@ -19,12 +19,24 @@ module Writer : sig
 
   val lbytes : t -> bytes -> unit
   val contents : t -> bytes
+
+  val pooled : (t -> 'a) -> 'a
+  (** [pooled f] hands [f] a writer drawn from a small free list and
+      returns it afterwards: the per-message encode path allocates only
+      the final [contents], not a fresh buffer per message. The writer
+      must not escape [f]. *)
 end
 
 module Reader : sig
   type t
 
   val of_bytes : bytes -> t
+
+  val of_sub : bytes -> pos:int -> len:int -> t
+  (** A cursor over the window [pos, pos+len) of the buffer — decode a
+      nested region in place instead of copying it out first.
+      @raise Invalid_argument if the window is out of bounds. *)
+
   val u8 : t -> int
   val u16 : t -> int
   val u32 : t -> int

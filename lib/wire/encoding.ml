@@ -18,26 +18,26 @@ let k_int = 2
 let k_list = 3
 
 let encode_v4 v =
-  let w = Codec.Writer.create () in
-  let rec go v =
-    match v with
-    | Str s ->
-        Codec.Writer.u8 w k_str;
-        Codec.Writer.lstring w s
-    | Raw b ->
-        Codec.Writer.u8 w k_raw;
-        Codec.Writer.lbytes w b
-    | Int i ->
-        Codec.Writer.u8 w k_int;
-        Codec.Writer.i64 w i
-    | List vs ->
-        Codec.Writer.u8 w k_list;
-        Codec.Writer.u32 w (List.length vs);
-        List.iter go vs
-    | Tagged (_, inner) -> go inner (* the V4 deficiency: the label vanishes *)
-  in
-  go v;
-  Codec.Writer.contents w
+  Codec.Writer.pooled (fun w ->
+      let rec go v =
+        match v with
+        | Str s ->
+            Codec.Writer.u8 w k_str;
+            Codec.Writer.lstring w s
+        | Raw b ->
+            Codec.Writer.u8 w k_raw;
+            Codec.Writer.lbytes w b
+        | Int i ->
+            Codec.Writer.u8 w k_int;
+            Codec.Writer.i64 w i
+        | List vs ->
+            Codec.Writer.u8 w k_list;
+            Codec.Writer.u32 w (List.length vs);
+            List.iter go vs
+        | Tagged (_, inner) -> go inner (* the V4 deficiency: the label vanishes *)
+      in
+      go v;
+      Codec.Writer.contents w)
 
 (* Same bound as {!Der.max_depth}: nested list headers cost one byte
    each, so without it a short crafted input recurses thousands deep. *)

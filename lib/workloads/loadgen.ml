@@ -14,13 +14,15 @@ type config = {
   seed : int64;
   profile : Profile.t;
   lifetime : float;
+  lightweight : bool;
+  lazy_users : bool;
 }
 
 let default =
   { users = 1000; shards = 2; kdcs = 2; services = 10; active_clients = 200;
     requests_per_client = 150; think_time = 0.2; ramp = 20.0; ccache = true;
     zipf_exponent = 1.3; seed = 0x10adL; profile = Profile.v4;
-    lifetime = 28800.0 }
+    lifetime = 28800.0; lightweight = false; lazy_users = false }
 
 type percentiles = { p50 : float; p90 : float; p99 : float }
 
@@ -40,9 +42,18 @@ type report = {
   shard_lookups : int array;
   shard_entries : int array;
   throughput : float;
+  span_breakdown : (string * int * float) list;
+}
+
+type timing = {
+  setup_seconds : float;
+  run_seconds : float;
+  events : int;
+  events_per_second : float;
 }
 
 let realm = "LOAD"
+let weak_fraction = 0.4
 
 (* Quantiles from a fixed-bucket histogram: the upper bound of the bucket
    the quantile lands in, clamped to the last finite bound. Coarse, but
@@ -109,11 +120,35 @@ let validate cfg =
     invalid_arg "Loadgen: requests_per_client must be >= 1";
   if cfg.shards < 1 then invalid_arg "Loadgen: shards must be >= 1"
 
-let run cfg =
+(* User [i] of this run's population — derived from (seed, i) alone, so
+   the registration path, the lazy provider and the client all agree
+   without sharing a generator (see {!Passwords.user_at}). *)
+let user_of cfg i = Passwords.user_at ~seed:cfg.seed ~weak_fraction i
+
+(* The per-span breakdown: every "span.<name>.seconds" histogram's count
+   and summed simulated time, largest first. Sim-time sums are
+   deterministic, so this lives inside the report (unlike wall time). *)
+let breakdown_of tel =
+  let m = Telemetry.Collector.metrics tel in
+  List.filter_map
+    (fun (name, h) ->
+      let n = String.length name in
+      if n > 13 && String.sub name 0 5 = "span." && String.sub name (n - 8) 8 = ".seconds"
+      then
+        Some (String.sub name 5 (n - 13), Telemetry.Metrics.hist_count h,
+              Telemetry.Metrics.hist_sum h)
+      else None)
+    (Telemetry.Metrics.histograms m)
+  |> List.filter (fun (_, c, _) -> c > 0)
+  |> List.sort (fun (na, _, sa) (nb, _, sb) -> compare (sb, na) (sa, nb))
+
+let run_timed cfg =
   validate cfg;
+  let t0 = Sys.time () in
   (* A private collector: latency histograms and KDC counters for this run
-     only, clocked on this run's engine. *)
-  let tel = Telemetry.Collector.create () in
+     only, clocked on this run's engine. Lightweight mode keeps exactly
+     the metrics the report below reads and skips the trace machinery. *)
+  let tel = Telemetry.Collector.create ~lightweight:cfg.lightweight () in
   let engine = Sim.Engine.create () in
   let net = Sim.Net.create ~telemetry:tel engine in
   let rng = Util.Rng.create cfg.seed in
@@ -156,24 +191,45 @@ let run cfg =
         in
         (principal, Sim.Host.primary_ip host))
   in
-  (* The population. Registering a principal derives its key from the
-     password, exactly the work a realm-sized user community costs. *)
-  let population =
-    Array.of_list (Passwords.population rng ~n:cfg.users ~weak_fraction:0.4)
-  in
-  Array.iter
-    (fun u ->
+  (* The population. Eager mode registers every principal up front —
+     deriving each key from its password, exactly the work a realm-sized
+     user community costs. Lazy mode registers nobody: a principal's
+     entry is derived at its first AS request, so a million-user realm
+     costs only its authenticating fraction. *)
+  if cfg.lazy_users then
+    Kdb.set_lazy_provider db (fun name ->
+        match Principal.of_string name with
+        | { Principal.name = n; instance = ""; realm = r }
+          when r = realm && String.length n > 1 && n.[0] = 'u' -> (
+            match int_of_string_opt (String.sub n 1 (String.length n - 1)) with
+            | Some i when i >= 0 && i < cfg.users ->
+                let u = user_of cfg i in
+                if String.equal u.Passwords.name n then
+                  Some { Kdb.key = Crypto.Str2key.derive u.Passwords.password;
+                         kind = Kdb.User }
+                else None
+            | _ -> None)
+        | _ -> None
+        | exception Invalid_argument _ -> None)
+  else
+    for i = 0 to cfg.users - 1 do
+      let u = user_of cfg i in
       Kdb.add_user db (Principal.user ~realm u.Passwords.name)
-        ~password:u.Passwords.password)
-    population;
+        ~password:u.Passwords.password
+    done;
   (* Active clients: open-loop traffic. Each client's requests fire on a
-     fixed schedule regardless of completions — arrival is not gated on
-     service, as in any open-loop load test. *)
+     fixed absolute schedule regardless of completions — arrival is not
+     gated on service, as in any open-loop load test. Request [j]
+     schedules request [j+1] when it fires (same instants as scheduling
+     the whole chain up front, without holding clients*requests closures
+     in the heap at once), and the ramp of start events goes in as one
+     bulk {!Sim.Engine.schedule_batch}. *)
   let completed = ref 0 and errors = ref 0 in
   let pick_service = zipf_sampler cfg in
+  let starts = ref [] in
   let clients =
     Array.init cfg.active_clients (fun i ->
-        let u = population.(i) in
+        let u = user_of cfg i in
         let host =
           Sim.Host.create ~name:(Printf.sprintf "c%05d" i)
             ~ips:[ Sim.Addr.of_quad 10 (2 + (i / 250)) (i mod 250) 1 ] ()
@@ -187,47 +243,64 @@ let run cfg =
         in
         let crng = Util.Rng.create (Util.Rng.next_int64 rng) in
         let start = Util.Rng.float rng cfg.ramp in
-        Sim.Engine.schedule engine ~at:start (fun () ->
-            Client.login client ~password:u.Passwords.password (function
-              | Ok _ -> ()
-              | Error _ -> incr errors));
-        for j = 0 to cfg.requests_per_client - 1 do
-          let at = start +. 1.0 +. (float_of_int j *. cfg.think_time) in
-          Sim.Engine.schedule engine ~at (fun () ->
-              let svc_principal, svc_addr = services.(pick_service crng) in
-              Client.get_ticket client ~service:svc_principal (function
-                | Error _ -> incr errors
-                | Ok creds ->
-                    Client.ap_exchange client creds ~dst:svc_addr ~dport:600
-                      (function
-                      | Error _ -> incr errors
-                      | Ok chan ->
-                          Client.call_priv client chan (Bytes.of_string "PING")
-                            ~k:(function
-                            | Error _ -> incr errors
-                            | Ok _ -> incr completed))))
-        done;
+        let rec fire j () =
+          let svc_principal, svc_addr = services.(pick_service crng) in
+          Client.get_ticket client ~service:svc_principal (function
+            | Error _ -> incr errors
+            | Ok creds ->
+                Client.ap_exchange client creds ~dst:svc_addr ~dport:600
+                  (function
+                  | Error _ -> incr errors
+                  | Ok chan ->
+                      Client.call_priv client chan (Bytes.of_string "PING")
+                        ~k:(function
+                        | Error _ -> incr errors
+                        | Ok _ -> incr completed)));
+          if j + 1 < cfg.requests_per_client then
+            Sim.Engine.schedule engine
+              ~at:(start +. 1.0 +. (float_of_int (j + 1) *. cfg.think_time))
+              (fire (j + 1))
+        in
+        starts :=
+          ( start,
+            fun () ->
+              Client.login client ~password:u.Passwords.password (function
+                | Ok _ -> ()
+                | Error _ -> incr errors);
+              Sim.Engine.schedule engine ~at:(start +. 1.0) (fire 0) )
+          :: !starts;
         client)
   in
+  Sim.Engine.schedule_batch engine (List.rev !starts);
+  let setup_seconds = Sys.time () -. t0 in
+  let t1 = Sys.time () in
   Sim.Engine.run engine;
+  let run_seconds = Sys.time () -. t1 in
   let m = Telemetry.Collector.metrics tel in
   let hist name = Telemetry.Metrics.histogram m name in
   let count name = Telemetry.Metrics.hist_count (hist name) in
   let hits = Array.fold_left (fun a c -> a + Client.ccache_hits c) 0 clients in
   let misses = Array.fold_left (fun a c -> a + Client.ccache_misses c) 0 clients in
   let sim_seconds = Sim.Engine.now engine in
-  { r_config = cfg; sim_seconds; completed = !completed; errors = !errors;
-    as_requests = count "span.kdc.as_req.seconds";
-    tgs_requests = count "span.kdc.tgs_req.seconds";
-    ap_exchanges = count "span.client.ap_exchange.seconds";
-    ccache_hits = hits; ccache_misses = misses;
-    as_latency = percentiles_of_hist (hist "span.kdc.as_req.seconds");
-    tgs_latency = percentiles_of_hist (hist "span.client.tgs_exchange.seconds");
-    ap_latency = percentiles_of_hist (hist "span.client.ap_exchange.seconds");
-    shard_lookups = Kdb.shard_lookups db;
-    shard_entries = Kdb.shard_sizes db;
-    throughput =
-      (if sim_seconds > 0.0 then float_of_int !completed /. sim_seconds else 0.0) }
+  let events = Sim.Engine.executed engine in
+  ( { r_config = cfg; sim_seconds; completed = !completed; errors = !errors;
+      as_requests = count "span.kdc.as_req.seconds";
+      tgs_requests = count "span.kdc.tgs_req.seconds";
+      ap_exchanges = count "span.client.ap_exchange.seconds";
+      ccache_hits = hits; ccache_misses = misses;
+      as_latency = percentiles_of_hist (hist "span.kdc.as_req.seconds");
+      tgs_latency = percentiles_of_hist (hist "span.client.tgs_exchange.seconds");
+      ap_latency = percentiles_of_hist (hist "span.client.ap_exchange.seconds");
+      shard_lookups = Kdb.shard_lookups db;
+      shard_entries = Kdb.shard_sizes db;
+      throughput =
+        (if sim_seconds > 0.0 then float_of_int !completed /. sim_seconds else 0.0);
+      span_breakdown = breakdown_of tel },
+    { setup_seconds; run_seconds; events;
+      events_per_second =
+        (if run_seconds > 0.0 then float_of_int events /. run_seconds else 0.0) } )
+
+let run cfg = fst (run_timed cfg)
 
 let max_over_mean a =
   let n = Array.length a in
@@ -258,7 +331,15 @@ let json_config (c : config) =
       ("think_time", Float c.think_time); ("ramp", Float c.ramp);
       ("ccache", Bool c.ccache); ("zipf_exponent", Float c.zipf_exponent);
       ("seed", Str (Int64.to_string c.seed));
-      ("profile", Str c.profile.Profile.name); ("lifetime", Float c.lifetime) ]
+      ("profile", Str c.profile.Profile.name); ("lifetime", Float c.lifetime);
+      ("lightweight", Bool c.lightweight); ("lazy_users", Bool c.lazy_users) ]
+
+let timing_to_json t =
+  let open Telemetry.Json in
+  Obj
+    [ ("setup_seconds", Float t.setup_seconds);
+      ("run_seconds", Float t.run_seconds); ("sim_events", Int t.events);
+      ("sim_events_per_wall_second", Float t.events_per_second) ]
 
 let report_to_json r =
   let open Telemetry.Json in
@@ -277,9 +358,30 @@ let report_to_json r =
        List (Array.to_list (Array.map (fun n -> Int n) r.shard_entries)));
       ("shard_balance", Float (shard_balance r));
       ("lookup_balance", Float (lookup_balance r));
-      ("throughput_per_sim_second", Float r.throughput) ]
+      ("throughput_per_sim_second", Float r.throughput);
+      ("span_breakdown",
+       List
+         (List.map
+            (fun (name, count, sum) ->
+              Obj
+                [ ("span", Str name); ("count", Int count);
+                  ("sim_seconds", Float sum) ])
+            r.span_breakdown)) ]
 
-type suite = { main : report; cache_off : report; shard_ablation : report list }
+type perf_row = {
+  p_label : string;
+  p_schedule_cache : bool;
+  p_lightweight : bool;
+  p_timing : timing;
+}
+
+type suite = {
+  main : report;
+  main_timing : timing;
+  cache_off : report;
+  shard_ablation : report list;
+  perf : perf_row list;
+}
 
 (* Shard counts for the sweep: powers of two up to the configured count,
    always ending at the configured count itself. *)
@@ -287,8 +389,43 @@ let ablation_shards cfg =
   let rec go acc s = if s >= cfg.shards then List.rev (cfg.shards :: acc) else go (s :: acc) (2 * s) in
   go [] 1
 
+(* The fast-path ablation measures engine cost, so it must be honest
+   about the baseline: eager population and full telemetry, exactly the
+   pre-fast-path configuration, at traffic every cell can afford. *)
+let perf_config cfg =
+  { cfg with
+    users = min cfg.users 10_000;
+    active_clients = min cfg.active_clients 1_000;
+    requests_per_client = min cfg.requests_per_client 40;
+    lazy_users = false }
+
+let perf_ablation cfg =
+  let base = perf_config cfg in
+  let row p_label ~cache ~lightweight =
+    Crypto.Des.set_schedule_cache cache;
+    Fun.protect
+      ~finally:(fun () -> Crypto.Des.set_schedule_cache true)
+      (fun () ->
+        (* Best of two, behind a major collection: a cell timed right
+           after a realm-sized main run would otherwise inherit its heap
+           and read as slower than an identical cell timed cold. *)
+        let timed () =
+          Gc.full_major ();
+          snd (run_timed { base with lightweight })
+        in
+        let t1 = timed () in
+        let t2 = timed () in
+        let t = if t2.run_seconds < t1.run_seconds then t2 else t1 in
+        { p_label; p_schedule_cache = cache; p_lightweight = lightweight;
+          p_timing = t })
+  in
+  [ row "baseline" ~cache:false ~lightweight:false;
+    row "schedule-cache" ~cache:true ~lightweight:false;
+    row "lightweight-telemetry" ~cache:false ~lightweight:true;
+    row "fast-path" ~cache:true ~lightweight:true ]
+
 let run_suite cfg =
-  let main = run cfg in
+  let main, main_timing = run_timed cfg in
   let cache_off = run { cfg with ccache = false } in
   (* The sweep runs reduced traffic: it measures partition balance and
      scaling shape, not absolute throughput. *)
@@ -300,16 +437,38 @@ let run_suite cfg =
   let shard_ablation =
     List.map (fun s -> run { small with shards = s }) (ablation_shards cfg)
   in
-  { main; cache_off; shard_ablation }
+  { main; main_timing; cache_off; shard_ablation; perf = perf_ablation cfg }
 
 let tgs_reduction s =
   if s.main.tgs_requests = 0 then Float.of_int s.cache_off.tgs_requests
   else float_of_int s.cache_off.tgs_requests /. float_of_int s.main.tgs_requests
 
+let fast_path_speedup s =
+  let find f = List.find_opt f s.perf in
+  match
+    ( find (fun r -> r.p_schedule_cache && r.p_lightweight),
+      find (fun r -> (not r.p_schedule_cache) && not r.p_lightweight) )
+  with
+  | Some fast, Some base when base.p_timing.events_per_second > 0.0 ->
+      fast.p_timing.events_per_second /. base.p_timing.events_per_second
+  | _ -> 1.0
+
 let suite_to_json s =
   let open Telemetry.Json in
   Obj
     [ ("main", report_to_json s.main);
+      ("main_timing", timing_to_json s.main_timing);
       ("cache_off", report_to_json s.cache_off);
       ("tgs_reduction_factor", Float (tgs_reduction s));
-      ("shard_ablation", List (List.map report_to_json s.shard_ablation)) ]
+      ("shard_ablation", List (List.map report_to_json s.shard_ablation));
+      ("perf_ablation",
+       List
+         (List.map
+            (fun r ->
+              Obj
+                [ ("label", Str r.p_label);
+                  ("schedule_cache", Bool r.p_schedule_cache);
+                  ("lightweight", Bool r.p_lightweight);
+                  ("timing", timing_to_json r.p_timing) ])
+            s.perf));
+      ("fast_path_speedup", Float (fast_path_speedup s)) ]

@@ -7,10 +7,18 @@
     must survive "a fairly large user community" whose every login is
     "grist for password-guessing mills", so realm-sized populations have
     to be cheap to stand up and realistic to drive. Everything is seeded;
-    the same configuration produces a byte-identical {!report_to_json}. *)
+    the same configuration produces a byte-identical {!report_to_json}.
+
+    The million-user fast path: [lazy_users] materializes principals at
+    their first authentication instead of registering the whole realm up
+    front (every user is derived from [(seed, index)] alone, so lazy and
+    eager populations are byte-identical — see {!Passwords.user_at}), and
+    [lightweight] swaps the run's collector into counters-and-histograms
+    mode ({!Telemetry.Collector.set_lightweight}). Neither changes a
+    single simulated byte; both change what the wall clock sees. *)
 
 type config = {
-  users : int;  (** principals registered in the realm *)
+  users : int;  (** principals in the realm (registered or derivable) *)
   shards : int;  (** {!Kerberos.Kdb} partition count *)
   kdcs : int;  (** pool size: KDCs sharing the one database *)
   services : int;  (** distinct application services *)
@@ -23,11 +31,14 @@ type config = {
   seed : int64;
   profile : Kerberos.Profile.t;
   lifetime : float;  (** ticket lifetime the KDCs issue *)
+  lightweight : bool;  (** counters/histograms only — no trace machinery *)
+  lazy_users : bool;  (** materialize principals at first authentication *)
 }
 
 val default : config
 (** 1000 users, 2 shards, a pool of 2 KDCs, 10 services, 200 active
-    clients sending 150 requests each, credential cache on. *)
+    clients sending 150 requests each, credential cache on, eager
+    population, full telemetry. *)
 
 (** Latency percentiles, estimated from the fixed-bucket telemetry
     histograms: each value is the upper bound of the bucket the quantile
@@ -50,6 +61,21 @@ type report = {
   shard_lookups : int array;  (** per-shard database accesses *)
   shard_entries : int array;  (** per-shard registered principals *)
   throughput : float;  (** completed requests per simulated second *)
+  span_breakdown : (string * int * float) list;
+      (** Per-span (name, count, total simulated seconds), largest first —
+          where the run's simulated time went. Deterministic: durations
+          are sim-time, not wall time. *)
+}
+
+(** Where the run's {e wall-clock} time went — the non-deterministic
+    companion to the report. [events] is {!Sim.Engine.executed};
+    [events_per_second] is the load plane's headline
+    [sim_events_per_wall_second]. *)
+type timing = {
+  setup_seconds : float;  (** world building: hosts, database, clients *)
+  run_seconds : float;  (** draining the event queue *)
+  events : int;
+  events_per_second : float;
 }
 
 val run : config -> report
@@ -57,22 +83,44 @@ val run : config -> report
     telemetry collector, so concurrent harnesses do not pollute each
     other. @raise Invalid_argument on a non-positive population or pool. *)
 
+val run_timed : config -> report * timing
+(** {!run}, plus where the wall-clock went. The report half is exactly
+    {!run}'s (byte-identical for a fixed config); the timing half is
+    whatever this machine did this time. *)
+
 val report_to_json : report -> Telemetry.Json.t
 (** Deterministic: same [config] ⇒ byte-identical
     [Telemetry.Json.to_string]. Wall-clock timings deliberately live
-    outside this object (the experiment runner adds them next to it). *)
+    outside this object ({!timing_to_json} / the suite's timing rows). *)
+
+val timing_to_json : timing -> Telemetry.Json.t
 
 (** {2 The ablation suite}
 
     What [experiments load] runs and [BENCH_load.json] records: the
     configured run, the same run with the credential cache off (the
-    steady-state TGS-reduction claim), and a shard-count sweep at reduced
-    traffic (the balance/scaling claim). *)
+    steady-state TGS-reduction claim), a shard-count sweep at reduced
+    traffic (the balance/scaling claim), and the fast-path ablation
+    ({!perf_row}): the same reduced configuration timed under the four
+    combinations of DES schedule cache × lightweight telemetry. *)
+
+(** One fast-path ablation cell. The reports of all four cells are
+    byte-identical by construction (neither knob touches simulated
+    state); only the wall-clock {!timing} differs, which is the point. *)
+type perf_row = {
+  p_label : string;  (** ["baseline"], ["schedule-cache"],
+                         ["lightweight-telemetry"], ["fast-path"] *)
+  p_schedule_cache : bool;
+  p_lightweight : bool;
+  p_timing : timing;
+}
 
 type suite = {
   main : report;
+  main_timing : timing;
   cache_off : report;
   shard_ablation : report list;  (** shard counts 1, 2, 4, … up to [shards] *)
+  perf : perf_row list;  (** the fast-path ablation, reduced traffic *)
 }
 
 val run_suite : config -> suite
@@ -80,6 +128,11 @@ val run_suite : config -> suite
 val tgs_reduction : suite -> float
 (** TGS requests with the cache off divided by TGS requests with it on —
     the headline ≥10x claim. *)
+
+val fast_path_speedup : suite -> float
+(** [events_per_second] of the fast-path cell over the baseline cell —
+    the engine-cost claim, measured at identical traffic. 1.0 if either
+    cell is missing or degenerate. *)
 
 val shard_balance : report -> float
 (** Max over mean of {!report.shard_entries}: 1.0 means FNV-1a spread the
@@ -93,5 +146,6 @@ val lookup_balance : report -> float
     the most popular services), which hash partitioning cannot spread. *)
 
 val suite_to_json : suite -> Telemetry.Json.t
-(** The [BENCH_load.json] payload (minus the wall-clock section). Also
-    deterministic for a fixed configuration. *)
+(** The [BENCH_load.json] payload. The report sections are deterministic
+    for a fixed configuration; the [main_timing] and [perf_ablation]
+    sections carry wall-clock measurements and are not. *)

@@ -51,3 +51,18 @@ let population rng ~n ~weak_fraction =
       { name = Printf.sprintf "u%03d" i;
         password = (if is_weak then weak rng else strong rng);
         is_weak })
+
+(* One user, derivable from (seed, index) alone: each index gets its own
+   generator, so user [i] costs O(1) whether materialized up front, lazily
+   at first authentication, or independently by the client driving it —
+   all three derivations agree byte-for-byte. *)
+let user_at ~seed ~weak_fraction i =
+  if i < 0 then invalid_arg "Passwords.user_at: negative index";
+  let rng =
+    Util.Rng.create
+      (Int64.add seed (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (i + 1))))
+  in
+  let is_weak = Util.Rng.float rng 1.0 < weak_fraction in
+  { name = Printf.sprintf "u%03d" i;
+    password = (if is_weak then weak rng else strong rng);
+    is_weak }

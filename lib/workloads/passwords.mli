@@ -23,3 +23,10 @@ type user = { name : string; password : string; is_weak : bool }
 val population : Util.Rng.t -> n:int -> weak_fraction:float -> user list
 (** [n] users named [u000..], each with a password; approximately
     [weak_fraction] of them weak. Deterministic for a given generator. *)
+
+val user_at : seed:int64 -> weak_fraction:float -> int -> user
+(** User [i] of the population keyed by [seed], derived from [(seed, i)]
+    alone — no shared generator stream. The load generator and the KDB's
+    lazy provider call this independently and get the same user, which is
+    what lets a million-principal realm exist without a million up-front
+    key derivations. @raise Invalid_argument on a negative index. *)

@@ -1,0 +1,237 @@
+(* The fast-path equivalence suite: every cheap path must be observationally
+   identical to the expensive path it replaces. The DES schedule cache must
+   be invisible to ciphertext; a session must schedule its key exactly once
+   no matter how many messages it seals; the heap's bulk insert must pop in
+   the same order as one-at-a-time pushes; and a lazily materialized realm
+   must serve byte-identical traffic to an eagerly registered one. *)
+
+let realm = "ATHENA"
+
+let with_schedule_cache enabled f =
+  let prev = Crypto.Des.schedule_cache_enabled () in
+  Crypto.Des.set_schedule_cache enabled;
+  Fun.protect ~finally:(fun () -> Crypto.Des.set_schedule_cache prev) f
+
+(* ------------------------------------------------------------------ *)
+(* DES schedule cache: invisible to every sealed byte                  *)
+(* ------------------------------------------------------------------ *)
+
+let key = Crypto.Des.fix_parity (Bytes.of_string "perfkey!")
+
+let seal_with_cache enabled scheme =
+  with_schedule_cache enabled (fun () ->
+      let rng = Util.Rng.create 77L in
+      let sealed =
+        Kerberos.Seal.seal scheme rng ~key (Bytes.of_string "TKT pat@ATHENA")
+      in
+      let opened = Kerberos.Seal.open_ scheme ~key sealed in
+      (sealed, opened))
+
+let cache_transparent_seal () =
+  List.iter
+    (fun (label, scheme) ->
+      let s_off, o_off = seal_with_cache false scheme in
+      let s_on, o_on = seal_with_cache true scheme in
+      Alcotest.(check bool)
+        (label ^ ": ciphertext identical")
+        true (Bytes.equal s_off s_on);
+      match (o_off, o_on) with
+      | Ok a, Ok b ->
+          Alcotest.(check bool) (label ^ ": plaintext identical") true
+            (Bytes.equal a b)
+      | _ -> Alcotest.fail (label ^ ": open failed"))
+    [ ("pcbc", Kerberos.Seal.Pcbc_raw);
+      ("cbc+crc", Kerberos.Seal.Cbc_confounder Crypto.Checksum.Crc32);
+      ("cbc+md4", Kerberos.Seal.Cbc_confounder Crypto.Checksum.Md4) ]
+
+(* The strongest form: an entire KDC workload (AS, TGS, AP, priv traffic)
+   reports byte-identically with the cache on and off. *)
+let cache_transparent_load () =
+  let cfg =
+    { Workloads.Loadgen.default with
+      Workloads.Loadgen.users = 60; shards = 2; kdcs = 2;
+      active_clients = 12; requests_per_client = 5; seed = 99L }
+  in
+  let report enabled =
+    with_schedule_cache enabled (fun () ->
+        Telemetry.Json.to_string
+          (Workloads.Loadgen.report_to_json (Workloads.Loadgen.run cfg)))
+  in
+  Alcotest.(check string) "whole-realm report identical" (report false)
+    (report true)
+
+(* ------------------------------------------------------------------ *)
+(* Session: the key is scheduled once, not once per message            *)
+(* ------------------------------------------------------------------ *)
+
+let session role ~seed =
+  let a = Sim.Addr.of_quad 10 0 0 1 and b = Sim.Addr.of_quad 10 0 0 2 in
+  let own, peer =
+    match role with
+    | Kerberos.Session.Client_side -> (a, b)
+    | Kerberos.Session.Server_side -> (b, a)
+  in
+  Kerberos.Session.make ~profile:Kerberos.Profile.v4
+    ~rng:(Util.Rng.create seed) ~role ~key ~own_addr:own ~peer_addr:peer
+    ~send_seq:0 ~recv_seq:0
+
+let session_schedules_once () =
+  (* With the cache off, every [Des.schedule_cached] call would show up in
+     the process-wide counter — so a constant count across N messages
+     proves the session carries its scheduled key. *)
+  with_schedule_cache false (fun () ->
+      let c = session Kerberos.Session.Client_side ~seed:5L in
+      let s = session Kerberos.Session.Server_side ~seed:6L in
+      let before = Crypto.Des.schedules_performed () in
+      for i = 1 to 25 do
+        let now = float_of_int i in
+        let sealed =
+          Kerberos.Krb_priv.seal c ~now (Bytes.of_string "tob or not tob")
+        in
+        match Kerberos.Krb_priv.open_ s ~now sealed with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.fail ("priv open: " ^ Kerberos.Krb_priv.error_to_string e)
+      done;
+      Alcotest.(check int) "no per-message key schedules" 0
+        (Crypto.Des.schedules_performed () - before))
+
+(* ------------------------------------------------------------------ *)
+(* Heap: ordering and the bulk-insert fast path                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's event shape: ordered by (time, seq), a total order. *)
+let cmp (t1, s1) (t2, s2) =
+  match compare (t1 : float) t2 with 0 -> compare (s1 : int) s2 | c -> c
+
+let drain h =
+  let rec go acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+(* Times drawn from a small pool so ties are common — ties are exactly
+   where heap order bugs hide. *)
+let events =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (t, s) -> Printf.sprintf "(%g,%d)" t s) l))
+    QCheck.Gen.(
+      list_size (int_bound 200)
+        (map2 (fun t s -> (float_of_int t /. 4.0, s)) (int_bound 12) int))
+
+let heap_pops_sorted =
+  QCheck.Test.make ~name:"heap pops in (time,seq) order" ~count:200 events
+    (fun l ->
+      let h = Sim.Heap.create ~cmp in
+      List.iter (Sim.Heap.push h) l;
+      let popped = drain h in
+      popped = List.stable_sort cmp l)
+
+let push_many_equiv =
+  QCheck.Test.make ~name:"push_many = repeated push" ~count:200
+    (QCheck.pair events events) (fun (prefix, batch) ->
+      let one = Sim.Heap.create ~cmp and bulk = Sim.Heap.create ~cmp in
+      List.iter (Sim.Heap.push one) prefix;
+      List.iter (Sim.Heap.push bulk) prefix;
+      List.iter (Sim.Heap.push one) batch;
+      Sim.Heap.push_many bulk batch;
+      Sim.Heap.size one = Sim.Heap.size bulk && drain one = drain bulk)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy materialization: same realm, same bytes, fewer registrations   *)
+(* ------------------------------------------------------------------ *)
+
+let user_at = Workloads.Passwords.user_at ~seed:4269L ~weak_fraction:0.4
+
+let user_at_is_index_pure () =
+  (* Derivation depends on (seed, index) alone — the registrar, the lazy
+     provider, and the client can each derive user [i] independently. *)
+  let a = user_at 17 and b = user_at 17 in
+  Alcotest.(check string) "same name" a.Workloads.Passwords.name
+    b.Workloads.Passwords.name;
+  Alcotest.(check string) "same password" a.Workloads.Passwords.password
+    b.Workloads.Passwords.password;
+  let other = Workloads.Passwords.user_at ~seed:4270L ~weak_fraction:0.4 17 in
+  Alcotest.(check bool) "seed matters" false
+    (String.equal a.Workloads.Passwords.password
+       other.Workloads.Passwords.password);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Passwords.user_at: negative index") (fun () ->
+      ignore (user_at (-1)))
+
+let kdb_lazy_provider () =
+  let db = Kerberos.Kdb.create ~shards:4 () in
+  let u i = Kerberos.Principal.user ~realm (user_at i).Workloads.Passwords.name in
+  Kerberos.Kdb.set_lazy_provider db (fun name ->
+      match Kerberos.Principal.of_string name with
+      | { Kerberos.Principal.name = n; instance = ""; realm = r }
+        when r = realm && String.length n > 1 && n.[0] = 'u' -> (
+          match int_of_string_opt (String.sub n 1 (String.length n - 1)) with
+          | Some i when i >= 0 ->
+              Some
+                { Kerberos.Kdb.key =
+                    Crypto.Str2key.derive (user_at i).Workloads.Passwords.password;
+                  kind = Kerberos.Kdb.User }
+          | _ -> None)
+      | _ -> None
+      | exception Invalid_argument _ -> None)
+  ;
+  Alcotest.(check int) "nothing materialized yet" 0
+    (Kerberos.Kdb.lazy_materialized db);
+  let e1 = Kerberos.Kdb.lookup db (u 3) in
+  Alcotest.(check bool) "lookup materializes" true (e1 <> None);
+  Alcotest.(check int) "memoized once" 1 (Kerberos.Kdb.lazy_materialized db);
+  let e2 = Kerberos.Kdb.lookup db (u 3) in
+  Alcotest.(check bool) "second lookup identical" true (e1 = e2);
+  Alcotest.(check int) "still one entry" 1 (Kerberos.Kdb.lazy_materialized db);
+  (* A real registration — a password change — supersedes the memo. *)
+  Kerberos.Kdb.add_user db (u 3) ~password:"NewSecret99";
+  (match Kerberos.Kdb.lookup db (u 3) with
+  | Some e ->
+      Alcotest.(check bool) "registration wins over memo" true
+        (Bytes.equal e.Kerberos.Kdb.key (Crypto.Str2key.derive "NewSecret99"))
+  | None -> Alcotest.fail "registered user vanished");
+  Alcotest.(check bool) "unknown principal still misses" true
+    (Kerberos.Kdb.lookup db (Kerberos.Principal.user ~realm "mallory") = None)
+
+let lazy_matches_eager () =
+  let cfg =
+    { Workloads.Loadgen.default with
+      Workloads.Loadgen.users = 300; shards = 4; kdcs = 2;
+      active_clients = 40; requests_per_client = 6; seed = 4269L }
+  in
+  let eager = Workloads.Loadgen.run cfg in
+  let lazy_r =
+    Workloads.Loadgen.run { cfg with Workloads.Loadgen.lazy_users = true }
+  in
+  (* Everything the traffic can observe must match; only the registered
+     population (shard_entries) legitimately differs — that is the point. *)
+  let masked =
+    { eager with
+      Workloads.Loadgen.r_config = lazy_r.Workloads.Loadgen.r_config;
+      shard_entries = lazy_r.Workloads.Loadgen.shard_entries }
+  in
+  Alcotest.(check bool) "reports identical up to registration" true
+    (masked = lazy_r);
+  let total a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check bool) "lazy registers fewer principals" true
+    (total lazy_r.Workloads.Loadgen.shard_entries
+    < total eager.Workloads.Loadgen.shard_entries);
+  Alcotest.(check bool) "but at least the touched ones" true
+    (total lazy_r.Workloads.Loadgen.shard_entries > 0)
+
+let () =
+  Alcotest.run "perf"
+    [ ( "schedule-cache",
+        [ Alcotest.test_case "seal transparent" `Quick cache_transparent_seal;
+          Alcotest.test_case "load transparent" `Quick cache_transparent_load;
+          Alcotest.test_case "session schedules once" `Quick
+            session_schedules_once ] );
+      ( "heap",
+        [ QCheck_alcotest.to_alcotest heap_pops_sorted;
+          QCheck_alcotest.to_alcotest push_many_equiv ] );
+      ( "lazy-users",
+        [ Alcotest.test_case "user_at index-pure" `Quick user_at_is_index_pure;
+          Alcotest.test_case "kdb provider" `Quick kdb_lazy_provider;
+          Alcotest.test_case "lazy = eager" `Quick lazy_matches_eager ] ) ]
