@@ -407,6 +407,94 @@ let recovery_smoke () =
     (match List.rev rows with (r, _, _) :: _ -> r | [] -> 0)
     (match List.rev rows with (_, _, ms) :: _ -> ms | [] -> 0.0)
 
+(* --- detect smoke: BENCH_detect.json schema guard --- *)
+
+(* With --detect-smoke, run a runtest-sized blended attack campaign twice
+   (same seed — the serialized JSON must be byte-identical), persist it to
+   BENCH_detect.json, check the schema, and hold the detection floor: at
+   least three attack classes at detection rate >= 0.9 with false-positive
+   rate <= 0.01. A detector regression then fails `dune runtest`. *)
+let detect_json_path = "BENCH_detect.json"
+
+let detect_smoke () =
+  let profile =
+    { Profile.v4 with
+      Profile.name = "v4+preauth+cache";
+      preauth = true;
+      ap_auth = Profile.Timestamp { skew = 300.0; replay_cache = true } }
+  in
+  let cfg =
+    { Workloads.Loadgen.default with
+      Workloads.Loadgen.users = 2_000; shards = 4; kdcs = 2;
+      active_clients = 300; requests_per_client = 30; think_time = 1.0;
+      ramp = 10.0; seed = 0xdefec7L; profile; lightweight = true;
+      lazy_users = true }
+  in
+  let mix =
+    { Workloads.Attack_mix.default_mix with
+      Workloads.Attack_mix.start = 25.0; stagger = 1.0; guess_tries = 20 }
+  in
+  let policy =
+    { Telemetry.Detect.default_policy with
+      Telemetry.Detect.warmup = 20.0; epoch = 10.0;
+      max_lifetime = cfg.Workloads.Loadgen.lifetime }
+  in
+  let run () = snd (Workloads.Loadgen.run_campaign ~policy ~mix cfg) in
+  let c1 = run () in
+  let c2 = run () in
+  let j1 = Telemetry.Json.to_string (Workloads.Loadgen.campaign_to_json c1) in
+  let j2 = Telemetry.Json.to_string (Workloads.Loadgen.campaign_to_json c2) in
+  if not (String.equal j1 j2) then (
+    Printf.eprintf
+      "detect smoke: two campaigns at the same seed serialized differently\n";
+    exit 1);
+  let oc = open_out detect_json_path in
+  output_string oc j1;
+  output_char oc '\n';
+  close_out oc;
+  let contains needle =
+    let nl = String.length needle and sl = String.length j1 in
+    let rec go i = i + nl <= sl && (String.sub j1 i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      if not (contains k) then (
+        Printf.eprintf "detect smoke: BENCH_detect.json schema lost %s\n" k;
+        exit 1))
+    [ "\"config\""; "\"mix\""; "\"policy\""; "\"report\"";
+      "\"detector_events\""; "\"labels\""; "\"alerts\""; "\"score\"";
+      "\"classes\""; "\"password_guess\""; "\"ticket_harvest\"";
+      "\"replay_auth\""; "\"forged_ticket\""; "\"attackers\"";
+      "\"detected\""; "\"detection_rate\""; "\"false_positive_rate\"";
+      "\"mean_ttd\""; "\"max_ttd\""; "\"benign_subjects\"";
+      "\"benign_flagged\""; "\"warmup\""; "\"burst_factor\""; "\"rule\"";
+      "\"subject\""; "\"evidence\"" ];
+  let score = c1.Workloads.Loadgen.ca_score in
+  let good =
+    List.filter
+      (fun (c : Telemetry.Detect.class_score) ->
+        c.Telemetry.Detect.cs_detection_rate >= 0.9
+        && c.Telemetry.Detect.cs_false_positive_rate <= 0.01)
+      score.Telemetry.Detect.sc_classes
+  in
+  if List.length good < 3 then (
+    Printf.eprintf
+      "detect smoke: only %d/%d attack classes at detection rate >= 0.9 with \
+       FPR <= 0.01 (need >= 3)\n"
+      (List.length good)
+      (List.length score.Telemetry.Detect.sc_classes);
+    exit 1);
+  Printf.printf
+    "detect smoke: %d/%d classes over the floor (overall FPR %.4f, %d \
+     alerts, %d detector events), campaign JSON deterministic (%d bytes), \
+     schema intact\n"
+    (List.length good)
+    (List.length score.Telemetry.Detect.sc_classes)
+    score.Telemetry.Detect.sc_false_positive_rate
+    score.Telemetry.Detect.sc_alerts c1.Workloads.Loadgen.ca_events
+    (String.length j1)
+
 (* --- harness --- *)
 
 let tests =
@@ -441,6 +529,8 @@ let () =
   if Array.exists (( = ) "--load-smoke") Sys.argv then (load_smoke (); exit 0);
   if Array.exists (( = ) "--recovery-smoke") Sys.argv then
     (recovery_smoke (); exit 0);
+  if Array.exists (( = ) "--detect-smoke") Sys.argv then
+    (detect_smoke (); exit 0);
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -508,14 +598,32 @@ let () =
     close_out oc;
     Printf.printf "fault-plane overhead:     %s (disabled plane: %+.2f%%)\n"
       (Filename.concat (Sys.getcwd ()) faults_json_path) disabled_pct;
-    (* Telemetry companion: run one traced session per profile on a fresh
-       collector and persist its metrics export — span-latency histograms
-       (simulated seconds) plus the request counters — alongside the
-       wall-clock numbers above. *)
-    let tel = Telemetry.Collector.fresh_default () in
-    List.iter full_session [ Profile.v4; Profile.v5_draft3; Profile.hardened ];
+    (* Telemetry companion: one traced session per profile, each on its
+       own fresh collector, exported as {profile: metrics}. Sharing one
+       collector across the three sessions used to re-register every
+       KDC/AP metric and export "name#2"/"name#3" duplicates — per-profile
+       collectors give each metric exactly one stable key, which the '#'
+       guard below enforces. *)
+    let profile_metrics =
+      List.map
+        (fun (p : Profile.t) ->
+          let tel = Telemetry.Collector.fresh_default () in
+          full_session p;
+          (p.Profile.name, Telemetry.Collector.metrics_json tel))
+        [ Profile.v4; Profile.v5_draft3; Profile.hardened ]
+    in
+    ignore (Telemetry.Collector.fresh_default ());
+    let telemetry_json =
+      Telemetry.Json.to_string (Telemetry.Json.Obj profile_metrics)
+    in
+    if String.contains telemetry_json '#' then begin
+      Printf.eprintf
+        "telemetry companion: duplicate metric keys leaked into %s\n"
+        telemetry_json_path;
+      exit 1
+    end;
     let oc = open_out telemetry_json_path in
-    output_string oc (Telemetry.Json.to_string (Telemetry.Collector.metrics_json tel));
+    output_string oc telemetry_json;
     output_char oc '\n';
     close_out oc;
     Printf.printf "telemetry histograms:     %s\n"

@@ -99,6 +99,22 @@ let reject t ~pkt (r : Ap_check.reject) =
 
 let now t = Sim.Net.local_time t.net t.host
 
+(* The detection-plane hook: every ticket that decrypts and passes
+   validation reports its shape — the fields a forged ticket must fake
+   and the rules key on. Emitted before the authenticator check, so a
+   well-sealed forgery is visible even if its authenticator later
+   fails. *)
+let emit_ticket_validated t ~(pkt : Sim.Packet.t) (ticket : Messages.ticket) =
+  if Telemetry.Collector.wants_events t.tel then
+    Telemetry.Collector.event t.tel ~component:"apserver" ~kind:"ticket.validated"
+      [ ("src", Sim.Addr.to_string pkt.Sim.Packet.src);
+        ("client", Principal.to_string ticket.Messages.client);
+        ("service", Principal.to_string t.principal);
+        ("lifetime", Printf.sprintf "%g" ticket.Messages.lifetime);
+        ("issued_at", Printf.sprintf "%g" ticket.Messages.issued_at);
+        ( "addr",
+          match ticket.Messages.addr with Some _ -> "bound" | None -> "none" ) ]
+
 let fresh_parts t =
   let server_part =
     if t.profile.Profile.negotiate_session_key then Some (Util.Rng.bytes t.rng 8)
@@ -142,6 +158,7 @@ let handle_ap_timestamp t ~pkt ~skew (r : Messages.ap_req) =
   with
   | Error rej -> reject t ~pkt rej
   | Ok ticket -> (
+      emit_ticket_validated t ~pkt ticket;
       match
         Ap_check.validate_authenticator ~profile:t.profile ~ticket
           ~ticket_blob:r.r_ticket ~principal:t.principal ~now:(now t) ~skew
@@ -177,6 +194,7 @@ let handle_ap_challenge t ~pkt (r : Messages.ap_req) =
   with
   | Error rej -> reject t ~pkt rej
   | Ok ticket ->
+      emit_ticket_validated t ~pkt ticket;
       (* No authenticator, no clock: issue a nonce under the session key.
          The state burden ("all servers must then retain state") is this
          table entry. *)
@@ -282,9 +300,16 @@ let handle_frame t pkt =
         in
         t.pending_outcome <- None;
         Telemetry.Collector.with_context t.tel span handler;
-        Telemetry.Collector.span_finish t.tel
-          ~outcome:(Option.value t.pending_outcome ~default:"ok")
-          span;
+        let outcome = Option.value t.pending_outcome ~default:"ok" in
+        Telemetry.Collector.span_finish t.tel ~outcome span;
+        (* The detection-plane hook: per-frame outcome from this source —
+           follow-up activity for the harvest rule, replay/address/checksum
+           outcomes for theirs. *)
+        if Telemetry.Collector.wants_events t.tel then
+          Telemetry.Collector.event t.tel ~component:"apserver" ~kind:"auth.ap_req"
+            [ ("src", Sim.Addr.to_string pkt.Sim.Packet.src);
+              ("service", Principal.to_string t.principal); ("frame", name);
+              ("outcome", outcome) ];
         t.pending_outcome <- None
       in
       match (kind, Hashtbl.find_opt t.peers peer) with

@@ -205,6 +205,16 @@ let handle_as t net host (q : Messages.as_req) ~src_addr =
                       issued_at = now; lifetime = t.lifetime; session_key;
                       forwarded = false; dup_skey = false; transited = [] }
                   in
+                  if Telemetry.Collector.wants_events t.tel then
+                    Telemetry.Collector.event t.tel ~component:"kdc"
+                      ~kind:"ticket.issued"
+                      [ ("client", Principal.to_string q.q_client);
+                        ("server", Principal.to_string q.q_server);
+                        ("lifetime", Printf.sprintf "%g" t.lifetime);
+                        ( "addr",
+                          match ticket.Messages.addr with
+                          | Some _ -> "bound"
+                          | None -> "none" ) ];
                   let sealed_ticket =
                     Messages.seal_msg t.profile t.rng ~key:server_key
                       ~tag:Messages.tag_ticket (Messages.ticket_to_value ticket)
@@ -401,6 +411,15 @@ let handle_tgs t net host (req : Messages.tgs_req) ~src_addr =
                         (if Principal.equal server_principal req.t_server then tgt.transited
                          else tgt.transited @ [ t.realm ]) }
                   in
+                  if Telemetry.Collector.wants_events t.tel then
+                    Telemetry.Collector.event t.tel ~component:"kdc"
+                      ~kind:"ticket.issued"
+                      [ ("client", Principal.to_string ticket.client);
+                        ("server", Principal.to_string server_principal);
+                        ("lifetime", Printf.sprintf "%g" t.lifetime);
+                        ( "addr",
+                          match ticket.addr with Some _ -> "bound" | None -> "none"
+                        ) ];
                   let sealed_ticket =
                     seal_msg t.profile t.rng ~key:seal_key ~tag:tag_ticket
                       (ticket_to_value ticket)
@@ -495,6 +514,13 @@ let serve t net host port =
         if name = "kdc.as_req" then
           Telemetry.Opsview.record_as_req (Telemetry.Collector.ops tel) ~src
             ~time:(Sim.Net.local_time net host) ~outcome;
+        (* The detection-plane hook: one event per exchange with the fields
+           the anomaly rules key on. Guarded so the million-user fast path
+           skips the attribute list when nothing is listening. *)
+        if Telemetry.Collector.wants_events tel then
+          Telemetry.Collector.event tel ~component:"kdc"
+            ~kind:(if name = "kdc.as_req" then "auth.as_req" else "auth.tgs_req")
+            (("src", src) :: ("outcome", outcome) :: attrs);
         if outcome = "replay-detected" then begin
           Telemetry.Opsview.record_replay (Telemetry.Collector.ops tel)
             ~component:("kdc." ^ t.realm);

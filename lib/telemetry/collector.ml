@@ -20,6 +20,7 @@ type t = {
   mutable clock : unit -> float;
   mutable next_span_id : int;
   mutable lightweight : bool;
+  mutable sink : (Trace.event -> unit) option;
   open_table : (int, Span.t) Hashtbl.t;
   span_hists : (string, Metrics.histogram) Hashtbl.t;
   mutable context : Span.t list;
@@ -28,8 +29,8 @@ type t = {
 let create ?trace_capacity ?(lightweight = false) () =
   { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity ();
     ops = Opsview.create (); clock = (fun () -> 0.0); next_span_id = 1;
-    lightweight; open_table = Hashtbl.create 16; span_hists = Hashtbl.create 16;
-    context = [] }
+    lightweight; sink = None; open_table = Hashtbl.create 16;
+    span_hists = Hashtbl.create 16; context = [] }
 
 let metrics t = t.metrics
 let trace t = t.trace
@@ -41,10 +42,19 @@ let lightweight t = t.lightweight
 let set_clock t f = t.clock <- f
 let now t = t.clock ()
 
-let event t ?time ?severity ~component ~kind attrs =
-  if not t.lightweight then begin
+(* The sink is a live tap on explicit [event] calls (hooks, faults,
+   notes — not the per-span machinery). Unlike the trace ring it stays
+   fed in lightweight mode, which is what lets a detector watch a
+   million-user run whose ring is switched off. *)
+let set_sink t f = t.sink <- f
+let wants_events t = t.sink <> None || not t.lightweight
+
+let event t ?time ?(severity = Trace.Info) ~component ~kind attrs =
+  if t.sink <> None || not t.lightweight then begin
     let time = match time with Some x -> x | None -> now t in
-    Trace.event t.trace ~time ?severity ~component ~kind attrs
+    let e = { Trace.time; severity; component; kind; attrs } in
+    (match t.sink with Some f -> f e | None -> ());
+    if not t.lightweight then Trace.record t.trace e
   end
 
 (* --- spans --------------------------------------------------------- *)

@@ -31,6 +31,20 @@ val event :
   t -> ?time:float -> ?severity:Trace.severity -> component:string ->
   kind:string -> (string * string) list -> unit
 
+(** {2 The event sink}
+
+    A live tap on explicit {!event} calls (protocol hooks, fault
+    firings, notes — not the per-span debug machinery). Unlike the trace
+    ring, the sink stays fed in lightweight mode: this is how the
+    detection plane watches a million-user run whose ring is switched
+    off. One sink per collector; [set_sink t None] detaches. *)
+
+val set_sink : t -> (Trace.event -> unit) option -> unit
+
+val wants_events : t -> bool
+(** Whether an {!event} call would go anywhere (sink attached, or ring
+    live). Hot paths check this before building attribute lists. *)
+
 (** {2 Spans}
 
     [span_begin] opens a span (default parent: the innermost span entered

@@ -1,0 +1,441 @@
+(* The detection plane. See detect.mli for the model; the short version:
+   learn per-subject EWMA rates during a warm-up window, then run cheap
+   online rules per event and fold firings into one alert per
+   (rule, subject). Everything is driven by the event stream alone — no
+   wall clock, no randomness — so identical runs produce identical
+   alerts and identical JSON. *)
+
+type policy = {
+  warmup : float;
+  epoch : float;
+  ewma_alpha : float;
+  burst_factor : float;
+  burst_floor : int;
+  preauth_run : int;
+  harvest_min_clients : int;
+  harvest_max_followups : int;
+  replay_min_hits : int;
+  checksum_min_hits : int;
+  max_lifetime : float;
+  expect_addr : bool;
+  score_threshold : float;
+}
+
+let default_policy =
+  { warmup = 45.0; epoch = 30.0; ewma_alpha = 0.3; burst_factor = 4.0;
+    burst_floor = 8; preauth_run = 4; harvest_min_clients = 10;
+    harvest_max_followups = 2; replay_min_hits = 1; checksum_min_hits = 2;
+    max_lifetime = 8.0 *. 3600.0; expect_addr = true; score_threshold = 0.25 }
+
+type alert = {
+  al_time : float;
+  al_rule : string;
+  al_subject : string;
+  mutable al_score : float;
+  mutable al_count : int;
+  al_evidence : string;
+}
+
+(* One EWMA rate: requests per [epoch]-second bucket. Rolling is closed
+   form over however many epochs elapsed, so a subject silent for an hour
+   costs one [**], not 120 loop iterations. *)
+type rate = { mutable ep_start : float; mutable ep_count : int; mutable ewma : float }
+
+type src_state = {
+  sr : rate;  (* AS_REQ arrivals from this source *)
+  mutable consec_preauth : int;
+  distinct : (string, unit) Hashtbl.t;  (* client principals asked about *)
+  mutable distinct_n : int;
+  mutable followups : int;  (* TGS + AP requests from this source *)
+  mutable replays : int;
+  replay_services : (string, unit) Hashtbl.t;
+  mutable replay_services_n : int;
+  mutable badaddr : int;
+  mutable cksum : int;
+}
+
+type t = {
+  pol : policy;
+  srcs : (string, src_state) Hashtbl.t;
+  principals : (string, rate) Hashtbl.t;
+  by_key : (string, alert) Hashtbl.t;  (* "rule|subject" -> folded alert *)
+  mutable alerts_rev : alert list;
+  mutable n_alerts : int;
+  mutable t0 : float;  (* time of the first observed event; nan = none yet *)
+  mutable observed : int;
+  mutable tickets_issued : int;
+}
+
+let create ?(policy = default_policy) () =
+  { pol = policy; srcs = Hashtbl.create 64; principals = Hashtbl.create 64;
+    by_key = Hashtbl.create 16; alerts_rev = []; n_alerts = 0; t0 = nan;
+    observed = 0; tickets_issued = 0 }
+
+let policy t = t.pol
+let observed t = t.observed
+let alert_count t = t.n_alerts
+let alerts t = List.rev t.alerts_rev
+
+let armed t time = time -. t.t0 >= t.pol.warmup
+
+(* --- rates ---------------------------------------------------------- *)
+
+let fresh_rate time = { ep_start = time; ep_count = 0; ewma = 0.0 }
+
+let roll pol r now =
+  if now >= r.ep_start +. pol.epoch then begin
+    let k = int_of_float ((now -. r.ep_start) /. pol.epoch) in
+    let a = pol.ewma_alpha in
+    let folded = (a *. float_of_int r.ep_count) +. ((1.0 -. a) *. r.ewma) in
+    r.ewma <- (if k > 1 then folded *. ((1.0 -. a) ** float_of_int (k - 1)) else folded);
+    r.ep_count <- 0;
+    r.ep_start <- r.ep_start +. (float_of_int k *. pol.epoch)
+  end
+
+let src_state t src =
+  match Hashtbl.find_opt t.srcs src with
+  | Some s -> s
+  | None ->
+      let s =
+        { sr = fresh_rate t.t0; consec_preauth = 0; distinct = Hashtbl.create 4;
+          distinct_n = 0; followups = 0; replays = 0;
+          replay_services = Hashtbl.create 2; replay_services_n = 0; badaddr = 0;
+          cksum = 0 }
+      in
+      Hashtbl.replace t.srcs src s;
+      s
+
+let principal_rate t name =
+  match Hashtbl.find_opt t.principals name with
+  | Some r -> r
+  | None ->
+      let r = fresh_rate t.t0 in
+      Hashtbl.replace t.principals name r;
+      r
+
+let baseline t ~subject =
+  match String.index_opt subject ':' with
+  | None -> 0.0
+  | Some i -> (
+      let kind = String.sub subject 0 i in
+      let name = String.sub subject (i + 1) (String.length subject - i - 1) in
+      match kind with
+      | "src" -> (
+          match Hashtbl.find_opt t.srcs name with Some s -> s.sr.ewma | None -> 0.0)
+      | "principal" -> (
+          match Hashtbl.find_opt t.principals name with Some r -> r.ewma | None -> 0.0)
+      | _ -> 0.0)
+
+(* --- alerts --------------------------------------------------------- *)
+
+let raise_alert t ~time ~rule ~subject ~score ~evidence =
+  if score >= t.pol.score_threshold then begin
+    let key = rule ^ "|" ^ subject in
+    match Hashtbl.find_opt t.by_key key with
+    | Some a ->
+        a.al_count <- a.al_count + 1;
+        if score > a.al_score then a.al_score <- score
+    | None ->
+        let a =
+          { al_time = time; al_rule = rule; al_subject = subject;
+            al_score = score; al_count = 1; al_evidence = evidence }
+        in
+        Hashtbl.replace t.by_key key a;
+        t.alerts_rev <- a :: t.alerts_rev;
+        t.n_alerts <- t.n_alerts + 1
+  end
+
+let first_alert t ~subject ~rules =
+  let rec go = function
+    | [] -> None
+    | a :: rest ->
+        if a.al_subject = subject && List.mem a.al_rule rules then Some a
+        else go rest
+  in
+  go (alerts t)
+
+(* --- rules ---------------------------------------------------------- *)
+
+let cap1 x = if x > 1.0 then 1.0 else x
+
+let check_burst t ~time ~subject (r : rate) =
+  let p = t.pol in
+  let base = if r.ewma > 1.0 then r.ewma else 1.0 in
+  if r.ep_count >= p.burst_floor && float_of_int r.ep_count > p.burst_factor *. base
+  then
+    raise_alert t ~time ~rule:"as-burst" ~subject
+      ~score:(cap1 (float_of_int r.ep_count /. (2.0 *. p.burst_factor *. base)))
+      ~evidence:
+        (Printf.sprintf "%d AS_REQs this epoch vs baseline %.2f/epoch" r.ep_count
+           r.ewma)
+
+let attr key attrs = List.assoc_opt key attrs
+let attr_or key default attrs = Option.value (attr key attrs) ~default
+
+let is_preauth_failure = function
+  | "preauth-reject" | "preauth-failed" -> true
+  | _ -> false
+
+let on_as_req t (ev : Trace.event) =
+  let p = t.pol in
+  let src = attr_or "src" "?" ev.attrs in
+  let client = attr_or "client" "?" ev.attrs in
+  let outcome = attr_or "outcome" "?" ev.attrs in
+  let s = src_state t src in
+  let pr = principal_rate t client in
+  roll p s.sr ev.time;
+  roll p pr ev.time;
+  s.sr.ep_count <- s.sr.ep_count + 1;
+  pr.ep_count <- pr.ep_count + 1;
+  if not (Hashtbl.mem s.distinct client) then begin
+    Hashtbl.replace s.distinct client ();
+    s.distinct_n <- s.distinct_n + 1
+  end;
+  if is_preauth_failure outcome then s.consec_preauth <- s.consec_preauth + 1
+  else if outcome = "ok" then s.consec_preauth <- 0
+  else if outcome <> "rate-limited" then s.consec_preauth <- 0;
+  if armed t ev.time then begin
+    check_burst t ~time:ev.time ~subject:("src:" ^ src) s.sr;
+    check_burst t ~time:ev.time ~subject:("principal:" ^ client) pr;
+    if s.consec_preauth >= p.preauth_run then
+      raise_alert t ~time:ev.time ~rule:"preauth-run" ~subject:("src:" ^ src)
+        ~score:(cap1 (float_of_int s.consec_preauth /. float_of_int (2 * p.preauth_run)))
+        ~evidence:
+          (Printf.sprintf "%d consecutive preauth failures (last target %s)"
+             s.consec_preauth client);
+    if s.distinct_n >= p.harvest_min_clients && s.followups <= p.harvest_max_followups
+    then
+      raise_alert t ~time:ev.time ~rule:"harvest" ~subject:("src:" ^ src)
+        ~score:
+          (cap1
+             (float_of_int s.distinct_n /. float_of_int (2 * p.harvest_min_clients)))
+        ~evidence:
+          (Printf.sprintf "AS_REQs for %d distinct principals, %d follow-ups"
+             s.distinct_n s.followups)
+  end
+
+let on_followup t (ev : Trace.event) =
+  let p = t.pol in
+  let src = attr_or "src" "?" ev.attrs in
+  let outcome = attr_or "outcome" "?" ev.attrs in
+  let service = attr_or "service" ev.component ev.attrs in
+  let s = src_state t src in
+  s.followups <- s.followups + 1;
+  (match outcome with
+  | "replay-detected" ->
+      s.replays <- s.replays + 1;
+      if not (Hashtbl.mem s.replay_services service) then begin
+        Hashtbl.replace s.replay_services service ();
+        s.replay_services_n <- s.replay_services_n + 1
+      end;
+      if armed t ev.time && s.replays >= p.replay_min_hits then
+        raise_alert t ~time:ev.time ~rule:"replay" ~subject:("src:" ^ src)
+          ~score:
+            (cap1
+               (0.5
+               +. (float_of_int s.replays /. float_of_int (2 * p.replay_min_hits) /. 2.0)
+               ))
+          ~evidence:
+            (Printf.sprintf "%d replay-cache hits across %d services" s.replays
+               s.replay_services_n)
+  | "bad-address" ->
+      s.badaddr <- s.badaddr + 1;
+      if armed t ev.time then
+        raise_alert t ~time:ev.time ~rule:"addr-anomaly" ~subject:("src:" ^ src)
+          ~score:0.9
+          ~evidence:
+            (Printf.sprintf "%d ticket/authenticator address mismatches" s.badaddr)
+  | "bad-checksum" | "bad-integrity" ->
+      s.cksum <- s.cksum + 1;
+      if armed t ev.time && s.cksum >= p.checksum_min_hits then
+        raise_alert t ~time:ev.time ~rule:"checksum-anomaly" ~subject:("src:" ^ src)
+          ~score:0.7
+          ~evidence:(Printf.sprintf "%d checksum/integrity failures" s.cksum)
+  | _ -> ())
+
+let on_validated t (ev : Trace.event) =
+  let p = t.pol in
+  let src = attr_or "src" "?" ev.attrs in
+  let lifetime =
+    match float_of_string_opt (attr_or "lifetime" "0" ev.attrs) with
+    | Some x -> x
+    | None -> 0.0
+  in
+  let addr = attr_or "addr" "bound" ev.attrs in
+  if armed t ev.time then
+    if lifetime > p.max_lifetime then
+      raise_alert t ~time:ev.time ~rule:"forged-ticket" ~subject:("src:" ^ src)
+        ~score:1.0
+        ~evidence:
+          (Printf.sprintf "ticket lifetime %.0fs exceeds realm max %.0fs" lifetime
+             p.max_lifetime)
+    else if p.expect_addr && addr = "none" then
+      raise_alert t ~time:ev.time ~rule:"forged-ticket" ~subject:("src:" ^ src)
+        ~score:0.8 ~evidence:"address-free ticket in an address-bound realm"
+
+let observe t (ev : Trace.event) =
+  match ev.kind with
+  | "auth.as_req" | "auth.tgs_req" | "auth.ap_req" | "ticket.validated"
+  | "ticket.issued" ->
+      if Float.is_nan t.t0 then t.t0 <- ev.time;
+      t.observed <- t.observed + 1;
+      (match ev.kind with
+      | "auth.as_req" -> on_as_req t ev
+      | "auth.tgs_req" | "auth.ap_req" -> on_followup t ev
+      | "ticket.validated" -> on_validated t ev
+      | _ -> t.tickets_issued <- t.tickets_issued + 1)
+  | _ -> ()
+
+let attach t c = Collector.set_sink c (Some (observe t))
+
+(* --- scoring -------------------------------------------------------- *)
+
+type label = { lb_class : string; lb_subject : string; lb_start : float }
+
+type class_score = {
+  cs_class : string;
+  cs_attackers : int;
+  cs_detected : int;
+  cs_detection_rate : float;
+  cs_benign_flagged : int;
+  cs_false_positive_rate : float;
+  cs_mean_ttd : float;
+  cs_max_ttd : float;
+}
+
+type score = {
+  sc_classes : class_score list;
+  sc_benign : int;
+  sc_benign_flagged : int;
+  sc_false_positive_rate : float;
+  sc_alerts : int;
+}
+
+let rules_for_class = function
+  | "password_guess" -> [ "preauth-run"; "as-burst" ]
+  | "ticket_harvest" -> [ "harvest"; "as-burst" ]
+  | "replay_auth" -> [ "replay"; "addr-anomaly" ]
+  | "forged_ticket" -> [ "forged-ticket"; "checksum-anomaly" ]
+  | _ -> []
+
+let score t ~labels ~benign =
+  let classes =
+    List.fold_left
+      (fun acc lb -> if List.mem lb.lb_class acc then acc else acc @ [ lb.lb_class ])
+      [] labels
+  in
+  let benign_n = List.length benign in
+  let flagged_by subject rules = first_alert t ~subject ~rules in
+  let class_scores =
+    List.map
+      (fun cls ->
+        let rules = rules_for_class cls in
+        let mine = List.filter (fun lb -> lb.lb_class = cls) labels in
+        let detections =
+          List.filter_map
+            (fun lb ->
+              match flagged_by lb.lb_subject rules with
+              | Some a ->
+                  let ttd = a.al_time -. lb.lb_start in
+                  Some (if ttd < 0.0 then 0.0 else ttd)
+              | None -> None)
+            mine
+        in
+        let n = List.length mine and d = List.length detections in
+        let fp =
+          List.length
+            (List.filter (fun s -> flagged_by s rules <> None) benign)
+        in
+        { cs_class = cls; cs_attackers = n; cs_detected = d;
+          cs_detection_rate = (if n = 0 then 0.0 else float_of_int d /. float_of_int n);
+          cs_benign_flagged = fp;
+          cs_false_positive_rate =
+            (if benign_n = 0 then 0.0 else float_of_int fp /. float_of_int benign_n);
+          cs_mean_ttd =
+            (if d = 0 then 0.0
+             else List.fold_left ( +. ) 0.0 detections /. float_of_int d);
+          cs_max_ttd = List.fold_left (fun m x -> if x > m then x else m) 0.0 detections
+        })
+      classes
+  in
+  let any_rules =
+    [ "as-burst"; "preauth-run"; "harvest"; "replay"; "addr-anomaly";
+      "forged-ticket"; "checksum-anomaly" ]
+  in
+  let benign_flagged =
+    List.length (List.filter (fun s -> flagged_by s any_rules <> None) benign)
+  in
+  { sc_classes = class_scores; sc_benign = benign_n;
+    sc_benign_flagged = benign_flagged;
+    sc_false_positive_rate =
+      (if benign_n = 0 then 0.0
+       else float_of_int benign_flagged /. float_of_int benign_n);
+    sc_alerts = t.n_alerts }
+
+(* --- rendering ------------------------------------------------------ *)
+
+let policy_to_json p =
+  Json.Obj
+    [ ("warmup", Json.Float p.warmup); ("epoch", Json.Float p.epoch);
+      ("ewma_alpha", Json.Float p.ewma_alpha);
+      ("burst_factor", Json.Float p.burst_factor);
+      ("burst_floor", Json.Int p.burst_floor);
+      ("preauth_run", Json.Int p.preauth_run);
+      ("harvest_min_clients", Json.Int p.harvest_min_clients);
+      ("harvest_max_followups", Json.Int p.harvest_max_followups);
+      ("replay_min_hits", Json.Int p.replay_min_hits);
+      ("checksum_min_hits", Json.Int p.checksum_min_hits);
+      ("max_lifetime", Json.Float p.max_lifetime);
+      ("expect_addr", Json.Bool p.expect_addr);
+      ("score_threshold", Json.Float p.score_threshold) ]
+
+let report t =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "detection plane — %d events observed (%d tickets issued), %d alerts:\n"
+    t.observed t.tickets_issued t.n_alerts;
+  if t.n_alerts = 0 then Buffer.add_string b "  (no alerts)\n"
+  else begin
+    Printf.bprintf b "  %9s  %-16s %-22s %5s %5s  %s\n" "time" "rule" "subject"
+      "score" "hits" "evidence";
+    List.iter
+      (fun a ->
+        Printf.bprintf b "  %9.3f  %-16s %-22s %5.2f %5d  %s\n" a.al_time a.al_rule
+          a.al_subject a.al_score a.al_count a.al_evidence)
+      (alerts t)
+  end;
+  Buffer.contents b
+
+let alerts_to_json alerts =
+  Json.List
+    (List.map
+       (fun a ->
+         Json.Obj
+           [ ("time", Json.Float a.al_time); ("rule", Json.Str a.al_rule);
+             ("subject", Json.Str a.al_subject); ("score", Json.Float a.al_score);
+             ("count", Json.Int a.al_count); ("evidence", Json.Str a.al_evidence) ])
+       alerts)
+
+let score_to_json s =
+  Json.Obj
+    [ ( "classes",
+        Json.Obj
+          (List.map
+             (fun c ->
+               ( c.cs_class,
+                 Json.Obj
+                   [ ("attackers", Json.Int c.cs_attackers);
+                     ("detected", Json.Int c.cs_detected);
+                     ("detection_rate", Json.Float c.cs_detection_rate);
+                     ("benign_flagged", Json.Int c.cs_benign_flagged);
+                     ("false_positive_rate", Json.Float c.cs_false_positive_rate);
+                     ( "mean_ttd",
+                       if c.cs_detected = 0 then Json.Null
+                       else Json.Float c.cs_mean_ttd );
+                     ( "max_ttd",
+                       if c.cs_detected = 0 then Json.Null
+                       else Json.Float c.cs_max_ttd ) ] ))
+             s.sc_classes) );
+      ("benign_subjects", Json.Int s.sc_benign);
+      ("benign_flagged", Json.Int s.sc_benign_flagged);
+      ("false_positive_rate", Json.Float s.sc_false_positive_rate);
+      ("alerts", Json.Int s.sc_alerts) ]

@@ -112,6 +112,32 @@ let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 let bucket_counts h = Array.copy h.h_counts
 
+(* Interpolated quantile: find the bucket the rank falls in, then assume
+   observations spread uniformly across it. The overflow bucket's upper
+   edge is the observed maximum (tracked exactly), so p99 stays finite
+   even when the tail escapes the fixed bounds. *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let target = q *. float_of_int h.h_count in
+    let n = Array.length h.h_bounds in
+    let rec go i cum =
+      if i > n then h.h_max
+      else
+        let c = h.h_counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then
+          let lo = if i = 0 then 0.0 else h.h_bounds.(i - 1) in
+          let hi = if i < n then h.h_bounds.(i) else h.h_max in
+          let frac = (target -. cum) /. float_of_int c in
+          let v = lo +. ((hi -. lo) *. frac) in
+          let v = if v < h.h_min then h.h_min else v in
+          if v > h.h_max then h.h_max else v
+        else go (i + 1) cum'
+    in
+    go 0 0.0
+
 (* --- export -------------------------------------------------------- *)
 
 let sorted t =
@@ -141,6 +167,9 @@ let hist_to_json h =
       ("sum", Json.Float h.h_sum);
       ("min", if h.h_count = 0 then Json.Null else Json.Float h.h_min);
       ("max", if h.h_count = 0 then Json.Null else Json.Float h.h_max);
+      ("p50", if h.h_count = 0 then Json.Null else Json.Float (quantile h 0.5));
+      ("p95", if h.h_count = 0 then Json.Null else Json.Float (quantile h 0.95));
+      ("p99", if h.h_count = 0 then Json.Null else Json.Float (quantile h 0.99));
       ("buckets", Json.Obj buckets) ]
 
 let to_json t =
@@ -166,7 +195,8 @@ let to_text t =
       | Histogram h ->
           Printf.bprintf b "histogram %-48s count=%d sum=%.6f" name h.h_count h.h_sum;
           if h.h_count > 0 then
-            Printf.bprintf b " min=%.6f max=%.6f" h.h_min h.h_max;
+            Printf.bprintf b " min=%.6f max=%.6f p50=%.6f p95=%.6f p99=%.6f"
+              h.h_min h.h_max (quantile h 0.5) (quantile h 0.95) (quantile h 0.99);
           Buffer.add_char b '\n';
           Array.iteri
             (fun i bound ->

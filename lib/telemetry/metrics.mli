@@ -40,6 +40,13 @@ val hist_sum : histogram -> float
 val bucket_counts : histogram -> int array
 (** Per-bucket counts; last entry is the +inf overflow bucket. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0..1], clamped) by linear
+    interpolation inside the bucket the rank falls in, clamped to the
+    observed [min]/[max]. The overflow bucket interpolates up to the
+    observed maximum, so tail quantiles stay finite. 0 on an empty
+    histogram. Exported as [p50]/[p95]/[p99] in {!to_json}/{!to_text}. *)
+
 val histograms : t -> (string * histogram) list
 (** Every registered histogram, sorted by name — for reports that
     aggregate over families of metrics (the load plane's per-span

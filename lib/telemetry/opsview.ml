@@ -17,16 +17,33 @@ type source = {
   mutable last : float;
 }
 
+(* The suspicion thresholds, configurable per deployment. The defaults
+   are the original 1991-grade heuristics an operator could run from
+   syslog: a mill hammers the AS port far faster than a human types
+   passwords, or trips preauth / the rate limiter repeatedly. *)
+type policy = {
+  sus_rate_per_min : float;  (* suspicious above this AS_REQ rate *)
+  sus_preauth_rejects : int;  (* suspicious above this many preauth rejects *)
+  sus_rate_limited : int;  (* suspicious above this many rate-limit hits *)
+}
+
+let default_policy =
+  { sus_rate_per_min = 30.0; sus_preauth_rejects = 3; sus_rate_limited = 0 }
+
 type t = {
   sources : (string, source) Hashtbl.t;
   replay_hits : (string, int ref) Hashtbl.t;  (* component -> hits *)
   mutable total_as_reqs : int;
   mutable total_replays : int;
+  mutable policy : policy;
 }
 
-let create () =
+let create ?(policy = default_policy) () =
   { sources = Hashtbl.create 16; replay_hits = Hashtbl.create 4;
-    total_as_reqs = 0; total_replays = 0 }
+    total_as_reqs = 0; total_replays = 0; policy }
+
+let set_policy t p = t.policy <- p
+let policy t = t.policy
 
 let clear t =
   Hashtbl.reset t.sources;
@@ -84,11 +101,10 @@ let sorted_sources t =
          | 0 -> compare sa sb
          | c -> c)
 
-let suspicious s =
-  (* Heuristics a 1991 operator could run from syslog: a mill hammers the
-     AS port far faster than a human types passwords, or trips preauth /
-     the rate limiter repeatedly. *)
-  rate_per_min s > 30.0 || s.preauth_rejected > 3 || s.rate_limited > 0
+let suspicious_under p s =
+  rate_per_min s > p.sus_rate_per_min
+  || s.preauth_rejected > p.sus_preauth_rejects
+  || s.rate_limited > p.sus_rate_limited
 
 let report t =
   let b = Buffer.create 512 in
@@ -102,7 +118,7 @@ let report t =
       (fun (src, s) ->
         Printf.bprintf b "  %-18s %6d %6d %8d %8d %8d %10.1f%s\n" src s.req_count
           s.ok s.preauth_rejected s.rate_limited s.other_rejected (rate_per_min s)
-          (if suspicious s then "  <-- suspicious" else ""))
+          (if suspicious_under t.policy s then "  <-- suspicious" else ""))
       (sorted_sources t)
   end;
   Printf.bprintf b "replay-cache hits: %d total\n" t.total_replays;
@@ -126,7 +142,7 @@ let to_json t =
                      ("rate_limited", Json.Int s.rate_limited);
                      ("other_rejected", Json.Int s.other_rejected);
                      ("rate_per_min", Json.Float (rate_per_min s));
-                     ("suspicious", Json.Bool (suspicious s)) ] ))
+                     ("suspicious", Json.Bool (suspicious_under t.policy s)) ] ))
              (sorted_sources t)) );
       ( "replay_hits",
         Json.Obj
@@ -136,5 +152,5 @@ let to_json t =
 (* The per-source flag, exported for tests and harnesses. *)
 let suspicious t ~src =
   match Hashtbl.find_opt t.sources src with
-  | Some s -> suspicious s
+  | Some s -> suspicious_under t.policy s
   | None -> false

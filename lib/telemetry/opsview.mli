@@ -5,7 +5,29 @@
 
 type t
 
-val create : unit -> t
+(** The suspicion thresholds. A source is flagged when its AS_REQ rate
+    exceeds [sus_rate_per_min], its preauth-reject count exceeds
+    [sus_preauth_rejects], or its rate-limit hits exceed
+    [sus_rate_limited]. *)
+type policy = {
+  sus_rate_per_min : float;
+  sus_preauth_rejects : int;
+  sus_rate_limited : int;
+}
+
+val default_policy : policy
+(** The original 1991-grade heuristics: over 30 AS_REQs/minute, more than
+    3 preauth rejects, or any rate-limiter hit. *)
+
+val create : ?policy:policy -> unit -> t
+(** Defaults to {!default_policy}. *)
+
+val set_policy : t -> policy -> unit
+(** Swap thresholds on a live view; already-recorded traffic is
+    re-judged under the new policy (suspicion is computed at read time). *)
+
+val policy : t -> policy
+
 val clear : t -> unit
 
 val record_as_req : t -> src:string -> time:float -> outcome:string -> unit
@@ -19,8 +41,9 @@ val replay_hits : t -> component:string -> int
 val total_replay_hits : t -> int
 
 val suspicious : t -> src:string -> bool
-(** Whether a source trips the operator's 1991-grade heuristics: over 30
-    AS_REQs/minute, repeated preauth failures, or any rate-limiter hit. *)
+(** Whether a source trips the view's {!policy} (by default the 1991-grade
+    heuristics: over 30 AS_REQs/minute, repeated preauth failures, or any
+    rate-limiter hit). *)
 
 val report : t -> string
 (** Multi-line operator console: per-source request table (rate per

@@ -1,0 +1,290 @@
+(* The attack-mix scheduler. See the interface for the model; the code
+   below is four small attacker implementations over the raw protocol
+   APIs (Messages/Frames/Sim) — deliberately not the benign Client, so an
+   attacker costs nothing it wouldn't really pay and leaves no
+   client-side telemetry. *)
+
+open Kerberos
+
+type world = {
+  w_net : Sim.Net.t;
+  w_engine : Sim.Engine.t;
+  w_rng : Util.Rng.t;
+  w_profile : Profile.t;
+  w_realm : string;
+  w_kdcs : Sim.Addr.t list;
+  w_services : (Principal.t * bytes * Sim.Addr.t) array;
+  w_client_addrs : Sim.Addr.t array;
+  w_user : int -> Passwords.user;
+  w_users : int;
+  w_active : int;
+}
+
+type mix = {
+  guessers : int;
+  guess_targets : int;
+  guess_tries : int;
+  harvesters : int;
+  harvest_targets : int;
+  replayers : int;
+  replay_count : int;
+  replay_delay : float;
+  forgers : int;
+  forged_lifetime : float;
+  presents : int;
+  start : float;
+  stagger : float;
+  gap : float;
+}
+
+let default_mix =
+  { guessers = 4; guess_targets = 3; guess_tries = 40; harvesters = 4;
+    harvest_targets = 30; replayers = 4; replay_count = 3; replay_delay = 5.0;
+    forgers = 4; forged_lifetime = 30.0 *. 86400.0; presents = 2; start = 60.0;
+    stagger = 2.0; gap = 0.5 }
+
+let mix_to_json m =
+  let open Telemetry.Json in
+  Obj
+    [ ("guessers", Int m.guessers); ("guess_targets", Int m.guess_targets);
+      ("guess_tries", Int m.guess_tries); ("harvesters", Int m.harvesters);
+      ("harvest_targets", Int m.harvest_targets); ("replayers", Int m.replayers);
+      ("replay_count", Int m.replay_count); ("replay_delay", Float m.replay_delay);
+      ("forgers", Int m.forgers); ("forged_lifetime", Float m.forged_lifetime);
+      ("presents", Int m.presents); ("start", Float m.start);
+      ("stagger", Float m.stagger); ("gap", Float m.gap) ]
+
+let attacker_port = 4000
+
+(* Attacker hosts live in 10.200.x.y — benign clients stop at
+   10.(2+active/250).*, far below. Each host swallows replies on its one
+   port; attackers never parse what comes back (the harvester "keeps" its
+   AS_REPs conceptually, but cracking is offline and out of scope here). *)
+let attacker_host w ~name ~ip =
+  let host = Sim.Host.create ~name ~ips:[ ip ] () in
+  Sim.Net.attach w.w_net host;
+  Sim.Net.listen w.w_net host ~port:attacker_port (fun _ -> ());
+  host
+
+(* A principal the benign plane doesn't drive: indices past the active
+   range when the population allows it. Targets are excluded from the
+   benign scoring set either way. *)
+let target_index w k =
+  if w.w_users > w.w_active then w.w_active + (k mod (w.w_users - w.w_active))
+  else k mod w.w_users
+
+let encode w v = Wire.Encoding.encode w.w_profile.Profile.encoding v
+
+let send_as_req w host ~kdc (q : Messages.as_req) =
+  Sim.Net.send w.w_net ~sport:attacker_port ~dst:kdc ~dport:Kdc.default_port host
+    (encode w (Messages.as_req_to_value q))
+
+let subject_of_addr a = "src:" ^ Sim.Addr.to_string a
+
+(* --- password_guess ------------------------------------------------- *)
+
+(* Wrong-key preauthenticators: each try seals a correct-looking blob
+   under a key derived from a candidate that is (by construction) never
+   the target's password, so every try is a clean preauth failure — the
+   dictionary mill as the KDC sees it. *)
+let inject_guessers w m ~labels ~excluded =
+  let kdcs = Array.of_list w.w_kdcs in
+  for i = 0 to m.guessers - 1 do
+    let rng = Util.Rng.split w.w_rng in
+    let host =
+      attacker_host w
+        ~name:(Printf.sprintf "atk-guess%02d" i)
+        ~ip:(Sim.Addr.of_quad 10 200 0 (i + 1))
+    in
+    let addr = Sim.Host.primary_ip host in
+    let kdc = kdcs.(i mod Array.length kdcs) in
+    let targets =
+      Array.init (max 1 m.guess_targets) (fun j ->
+          let u = w.w_user (target_index w ((i * 37) + j)) in
+          excluded := ("principal:" ^ u.Passwords.name) :: !excluded;
+          u.Passwords.name)
+    in
+    let start = m.start +. (float_of_int i *. m.stagger) in
+    labels :=
+      { Telemetry.Detect.lb_class = "password_guess";
+        lb_subject = subject_of_addr addr; lb_start = start }
+      :: !labels;
+    for j = 0 to m.guess_tries - 1 do
+      Sim.Engine.schedule w.w_engine
+        ~at:(start +. (float_of_int j *. m.gap))
+        (fun () ->
+          let nonce = Util.Rng.next_int64 rng in
+          let wrong_key =
+            Crypto.Str2key.derive (Printf.sprintf "not-the-password-%02d-%03d" i j)
+          in
+          let blob =
+            Messages.seal_msg w.w_profile rng ~key:wrong_key
+              ~tag:Messages.tag_preauth
+              (Wire.Encoding.Tagged
+                 (Messages.tag_preauth, Wire.Encoding.List [ Wire.Encoding.Int nonce ]))
+          in
+          send_as_req w host ~kdc
+            { Messages.q_client =
+                Principal.user ~realm:w.w_realm targets.(j mod Array.length targets);
+              q_server = Principal.tgs ~realm:w.w_realm; q_nonce = nonce;
+              q_addr = addr; q_padata = [ Messages.Pa_preauth blob ] })
+    done
+  done
+
+(* --- ticket_harvest ------------------------------------------------- *)
+
+(* Bare AS_REQs over many distinct principals, never following up: under
+   preauthentication every request is refused, without it every reply is
+   a crackable AS_REP — either way the signature is the same, which is
+   what the harvest rule keys on. *)
+let inject_harvesters w m ~labels ~excluded =
+  let kdcs = Array.of_list w.w_kdcs in
+  for i = 0 to m.harvesters - 1 do
+    let rng = Util.Rng.split w.w_rng in
+    let host =
+      attacker_host w
+        ~name:(Printf.sprintf "atk-harvest%02d" i)
+        ~ip:(Sim.Addr.of_quad 10 200 1 (i + 1))
+    in
+    let addr = Sim.Host.primary_ip host in
+    let kdc = kdcs.(i mod Array.length kdcs) in
+    let start = m.start +. (float_of_int i *. m.stagger) in
+    labels :=
+      { Telemetry.Detect.lb_class = "ticket_harvest";
+        lb_subject = subject_of_addr addr; lb_start = start }
+      :: !labels;
+    for j = 0 to m.harvest_targets - 1 do
+      let u = w.w_user (target_index w ((i * m.harvest_targets) + j)) in
+      excluded := ("principal:" ^ u.Passwords.name) :: !excluded;
+      Sim.Engine.schedule w.w_engine
+        ~at:(start +. (float_of_int j *. m.gap))
+        (fun () ->
+          send_as_req w host ~kdc
+            { Messages.q_client = Principal.user ~realm:w.w_realm u.Passwords.name;
+              q_server = Principal.tgs ~realm:w.w_realm;
+              q_nonce = Util.Rng.next_int64 rng; q_addr = addr; q_padata = [] })
+    done
+  done
+
+(* --- replay_auth ---------------------------------------------------- *)
+
+(* One tap watches for each victim's next AP_REQ after the campaign
+   starts, then re-injects the captured datagram byte-for-byte with the
+   victim's spoofed source — [Sim.Net.inject] is the adversary's
+   transmitter, outside the fault plane. The replay lands inside the skew
+   window, so only the replay cache can tell; the detectable subject is
+   the victim's own address. *)
+let inject_replayers w m ~labels ~excluded =
+  let n = Array.length w.w_client_addrs in
+  if m.replayers > 0 && n > 0 then begin
+    let used = Hashtbl.create 8 in
+    let victims =
+      Array.init m.replayers (fun i ->
+          let rec pick v =
+            if Hashtbl.mem used (v mod n) then pick (v + 1) else v mod n
+          in
+          let v = pick (((i * 97) + 11) mod n) in
+          Hashtbl.replace used v ();
+          w.w_client_addrs.(v))
+    in
+    Array.iter
+      (fun victim ->
+        excluded := subject_of_addr victim :: !excluded;
+        let captured = ref false in
+        Sim.Net.add_tap w.w_net (fun pkt ->
+            if
+              (not !captured)
+              && Sim.Addr.equal pkt.Sim.Packet.src victim
+              && pkt.Sim.Packet.dport = 600
+              && Sim.Engine.now w.w_engine >= m.start
+              && (match Frames.unwrap pkt.Sim.Packet.payload with
+                 | Some (k, _) -> k = Frames.ap_req
+                 | None -> false)
+            then begin
+              captured := true;
+              let t0 = Sim.Engine.now w.w_engine +. m.replay_delay in
+              labels :=
+                { Telemetry.Detect.lb_class = "replay_auth";
+                  lb_subject = subject_of_addr victim; lb_start = t0 }
+                :: !labels;
+              for r = 0 to m.replay_count - 1 do
+                Sim.Engine.schedule w.w_engine
+                  ~at:(t0 +. (float_of_int r *. m.gap))
+                  (fun () -> Sim.Net.inject w.w_net pkt)
+              done
+            end))
+      victims
+  end
+
+(* --- forged_ticket -------------------------------------------------- *)
+
+(* The golden ticket: with a stolen service key the attacker seals a
+   ticket of its own making — month-long lifetime, and every other forger
+   also drops the address binding — plus a matching authenticator under a
+   session key it chose itself. V4 validation accepts all of it; only the
+   reported ticket shape gives it away. *)
+let inject_forgers w m ~labels ~excluded =
+  let n_svc = Array.length w.w_services in
+  if m.forgers > 0 && n_svc > 0 then
+    for i = 0 to m.forgers - 1 do
+      let rng = Util.Rng.split w.w_rng in
+      let host =
+        attacker_host w
+          ~name:(Printf.sprintf "atk-forge%02d" i)
+          ~ip:(Sim.Addr.of_quad 10 200 3 (i + 1))
+      in
+      let addr = Sim.Host.primary_ip host in
+      let svc_principal, svc_key, svc_addr = w.w_services.(i mod n_svc) in
+      let victim = w.w_user (target_index w ((i * 53) + 7)) in
+      excluded := ("principal:" ^ victim.Passwords.name) :: !excluded;
+      let start = m.start +. (float_of_int i *. m.stagger) in
+      labels :=
+        { Telemetry.Detect.lb_class = "forged_ticket";
+          lb_subject = subject_of_addr addr; lb_start = start }
+        :: !labels;
+      for j = 0 to m.presents - 1 do
+        Sim.Engine.schedule w.w_engine
+          ~at:(start +. (float_of_int j *. m.gap))
+          (fun () ->
+            let now = Sim.Net.local_time w.w_net host in
+            let session_key = Crypto.Des.random_key rng in
+            let ticket =
+              { Messages.server = svc_principal;
+                client = Principal.user ~realm:w.w_realm victim.Passwords.name;
+                addr = (if i mod 2 = 0 then Some addr else None); issued_at = now;
+                lifetime = m.forged_lifetime; session_key; forwarded = false;
+                dup_skey = false; transited = [] }
+            in
+            let sealed_ticket =
+              Messages.seal_msg w.w_profile rng ~key:svc_key
+                ~tag:Messages.tag_ticket (Messages.ticket_to_value ticket)
+            in
+            let auth =
+              { Messages.a_client = ticket.Messages.client; a_addr = addr;
+                a_timestamp = now; a_req_cksum = None; a_ticket_cksum = None;
+                a_service = None; a_seq_init = None; a_subkey_part = None }
+            in
+            let sealed_auth =
+              Messages.seal_msg w.w_profile rng ~key:session_key
+                ~tag:Messages.tag_authenticator
+                (Messages.authenticator_to_value auth)
+            in
+            let payload =
+              Frames.wrap Frames.ap_req
+                (encode w
+                   (Messages.ap_req_to_value
+                      { Messages.r_ticket = sealed_ticket;
+                        r_authenticator = sealed_auth; r_mutual = false }))
+            in
+            Sim.Net.send w.w_net ~sport:attacker_port ~dst:svc_addr ~dport:600 host
+              payload)
+      done
+    done
+
+let inject w m =
+  let labels = ref [] and excluded = ref [] in
+  inject_guessers w m ~labels ~excluded;
+  inject_harvesters w m ~labels ~excluded;
+  inject_replayers w m ~labels ~excluded;
+  inject_forgers w m ~labels ~excluded;
+  fun () -> (List.rev !labels, List.rev !excluded)

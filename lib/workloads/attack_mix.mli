@@ -1,0 +1,72 @@
+(** The attack-mix scheduler: hide the paper's attacks inside a load
+    campaign's benign traffic, with ground-truth labels for the scorer.
+
+    Four attacker behaviours, each run from its own dedicated hosts in an
+    address block no benign client uses (the {e label} is the source
+    address — what the detection plane must find):
+
+    - [password_guess] — rapid AS_REQs with wrong-key preauthenticators
+      against a few target principals: the online dictionary mill.
+    - [ticket_harvest] — bare AS_REQs naming many distinct principals and
+      never following up: collecting sealed AS_REPs for offline cracking.
+    - [replay_auth] — a network tap captures a benign client's AP_REQ and
+      re-injects it with the victim's (spoofed) source address; the
+      detectable subject is the victim's address suddenly tripping replay
+      caches.
+    - [forged_ticket] — with a stolen service key, seal a self-made ticket
+      with an over-policy lifetime (every other forger also strips the
+      address binding) and present it straight to the AP server: the
+      golden-ticket shape, accepted by V4 validation, visible only by its
+      field anomalies.
+
+    Everything is scheduled deterministically on the campaign's engine;
+    attackers reuse no benign-client state. *)
+
+open Kerberos
+
+(** What the scheduler needs from the load generator's world. *)
+type world = {
+  w_net : Sim.Net.t;
+  w_engine : Sim.Engine.t;
+  w_rng : Util.Rng.t;  (** attack-plane generator (pre-split from the run's) *)
+  w_profile : Profile.t;
+  w_realm : string;
+  w_kdcs : Sim.Addr.t list;
+  w_services : (Principal.t * bytes * Sim.Addr.t) array;
+      (** principal, service key (what a forger steals), address *)
+  w_client_addrs : Sim.Addr.t array;  (** benign clients' source addresses *)
+  w_user : int -> Passwords.user;  (** user [i] of the population *)
+  w_users : int;
+  w_active : int;  (** how many of them drive benign traffic *)
+}
+
+type mix = {
+  guessers : int;
+  guess_targets : int;  (** principals each guesser cycles through *)
+  guess_tries : int;  (** AS_REQs per guesser *)
+  harvesters : int;
+  harvest_targets : int;  (** distinct principals each harvester asks about *)
+  replayers : int;  (** victims whose AP_REQ is captured and replayed *)
+  replay_count : int;  (** spoofed re-sends per victim *)
+  replay_delay : float;  (** capture-to-first-replay, within the skew window *)
+  forgers : int;
+  forged_lifetime : float;  (** far above any realm policy *)
+  presents : int;  (** AP_REQs per forger *)
+  start : float;  (** campaign start, simulated seconds (after warm-up) *)
+  stagger : float;  (** launch spacing between attackers of one class *)
+  gap : float;  (** spacing between one attacker's own requests *)
+}
+
+val default_mix : mix
+(** 4 of each class starting at t=60 s: 40 guesses over 3 targets,
+    30 harvested principals, 3 replays per victim, 30-day forged
+    lifetimes presented twice. *)
+
+val mix_to_json : mix -> Telemetry.Json.t
+
+val inject : world -> mix -> unit -> Telemetry.Detect.label list * string list
+(** Schedule the whole mix onto the world's engine. Returns a thunk to
+    call {e after} the engine drains: ground-truth labels (one per
+    attacker actually launched — a replayer whose victim never spoke
+    again yields no label) and the subjects to exclude from the benign
+    set (replay victims' addresses, attacker-touched principals). *)

@@ -55,37 +55,14 @@ type timing = {
 let realm = "LOAD"
 let weak_fraction = 0.4
 
-(* Quantiles from a fixed-bucket histogram: the upper bound of the bucket
-   the quantile lands in, clamped to the last finite bound. Coarse, but
-   deterministic and cheap — the operator cares about the order of
-   magnitude and the trend across ablations. *)
-let percentile_of ~buckets ~counts q =
-  let total = Array.fold_left ( + ) 0 counts in
-  if total = 0 then 0.0
-  else begin
-    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
-    let last = buckets.(Array.length buckets - 1) in
-    let res = ref last in
-    let cum = ref 0 in
-    (try
-       Array.iteri
-         (fun i c ->
-           cum := !cum + c;
-           if !cum >= target then begin
-             res := (if i < Array.length buckets then buckets.(i) else last);
-             raise Exit
-           end)
-         counts
-     with Exit -> ());
-    !res
-  end
-
+(* Quantiles straight from the telemetry histograms — interpolated inside
+   the bucket the rank falls in and clamped to the observed min/max (see
+   {!Telemetry.Metrics.quantile}), so the report's percentiles are the
+   same numbers the registry's text/JSON export prints. *)
 let percentiles_of_hist h =
-  let buckets = Telemetry.Metrics.default_latency_buckets in
-  let counts = Telemetry.Metrics.bucket_counts h in
-  { p50 = percentile_of ~buckets ~counts 0.50;
-    p90 = percentile_of ~buckets ~counts 0.90;
-    p99 = percentile_of ~buckets ~counts 0.99 }
+  { p50 = Telemetry.Metrics.quantile h 0.50;
+    p90 = Telemetry.Metrics.quantile h 0.90;
+    p99 = Telemetry.Metrics.quantile h 0.99 }
 
 (* Service popularity: zipf-ish weights 1/rank^s, sampled by inverse CDF.
    A couple of services carry most of the traffic — which is exactly what
@@ -142,7 +119,11 @@ let breakdown_of tel =
   |> List.filter (fun (_, c, _) -> c > 0)
   |> List.sort (fun (na, _, sa) (nb, _, sb) -> compare (sb, na) (sa, nb))
 
-let run_timed cfg =
+(* Benign client [i]'s one source address — shared by the traffic loop,
+   the attack world (replay victims) and the benign scoring set. *)
+let client_addr i = Sim.Addr.of_quad 10 (2 + (i / 250)) (i mod 250) 1
+
+let run_timed ?on_world cfg =
   validate cfg;
   let t0 = Sys.time () in
   (* A private collector: latency histograms and KDC counters for this run
@@ -189,7 +170,7 @@ let run_timed cfg =
             ~handler:(fun _session ~client:_ data -> Some data)
             ()
         in
-        (principal, Sim.Host.primary_ip host))
+        (principal, key, Sim.Host.primary_ip host))
   in
   (* The population. Eager mode registers every principal up front —
      deriving each key from its password, exactly the work a realm-sized
@@ -231,8 +212,7 @@ let run_timed cfg =
     Array.init cfg.active_clients (fun i ->
         let u = user_of cfg i in
         let host =
-          Sim.Host.create ~name:(Printf.sprintf "c%05d" i)
-            ~ips:[ Sim.Addr.of_quad 10 (2 + (i / 250)) (i mod 250) 1 ] ()
+          Sim.Host.create ~name:(Printf.sprintf "c%05d" i) ~ips:[ client_addr i ] ()
         in
         Sim.Net.attach net host;
         let client =
@@ -244,7 +224,7 @@ let run_timed cfg =
         let crng = Util.Rng.create (Util.Rng.next_int64 rng) in
         let start = Util.Rng.float rng cfg.ramp in
         let rec fire j () =
-          let svc_principal, svc_addr = services.(pick_service crng) in
+          let svc_principal, _, svc_addr = services.(pick_service crng) in
           Client.get_ticket client ~service:svc_principal (function
             | Error _ -> incr errors
             | Ok creds ->
@@ -272,6 +252,19 @@ let run_timed cfg =
         client)
   in
   Sim.Engine.schedule_batch engine (List.rev !starts);
+  (* The attack plane, if any, schedules itself into the same engine now —
+     after the benign world is fully built (splitting the generator here
+     perturbs nothing: the benign run draws no more from [rng]). *)
+  (match on_world with
+  | None -> ()
+  | Some f ->
+      f
+        { Attack_mix.w_net = net; w_engine = engine; w_rng = Util.Rng.split rng;
+          w_profile = cfg.profile; w_realm = realm;
+          w_kdcs = List.map snd kdc_addrs; w_services = services;
+          w_client_addrs = Array.init cfg.active_clients client_addr;
+          w_user = user_of cfg; w_users = cfg.users; w_active = cfg.active_clients }
+        tel);
   let setup_seconds = Sys.time () -. t0 in
   let t1 = Sys.time () in
   Sim.Engine.run engine;
@@ -367,6 +360,85 @@ let report_to_json r =
                 [ ("span", Str name); ("count", Int count);
                   ("sim_seconds", Float sum) ])
             r.span_breakdown)) ]
+
+(* --- blended attack campaign ----------------------------------------- *)
+
+type campaign = {
+  ca_report : report;
+  ca_timing : timing;
+  ca_mix : Attack_mix.mix;
+  ca_policy : Telemetry.Detect.policy;
+  ca_events : int;
+  ca_alerts : Telemetry.Detect.alert list;
+  ca_labels : Telemetry.Detect.label list;
+  ca_score : Telemetry.Detect.score;
+}
+
+(* The benign scoring population: every active client's source address and
+   principal, minus whatever the mix touched (replay victims, targeted
+   principals) — a subject the attack borrowed is neither benign nor an
+   attacker, so it scores as neither. *)
+let benign_subjects cfg ~excluded =
+  let ex = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace ex s ()) excluded;
+  let acc = ref [] in
+  for i = cfg.active_clients - 1 downto 0 do
+    let pr = "principal:" ^ (user_of cfg i).Passwords.name in
+    if not (Hashtbl.mem ex pr) then acc := pr :: !acc;
+    let src = "src:" ^ Sim.Addr.to_string (client_addr i) in
+    if not (Hashtbl.mem ex src) then acc := src :: !acc
+  done;
+  !acc
+
+let run_campaign ?policy ?(mix = Attack_mix.default_mix) cfg =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+        (* Realm policy is what the run actually enforces: the configured
+           ticket lifetime and the profile's address binding. *)
+        { Telemetry.Detect.default_policy with
+          Telemetry.Detect.max_lifetime = cfg.lifetime;
+          expect_addr = cfg.profile.Profile.addr_in_ticket }
+  in
+  let det = Telemetry.Detect.create ~policy () in
+  let ground = ref (fun () -> ([], [])) in
+  let report, timing =
+    run_timed cfg ~on_world:(fun w tel ->
+        Telemetry.Detect.attach det tel;
+        ground := Attack_mix.inject w mix)
+  in
+  let labels, excluded = !ground () in
+  let score =
+    Telemetry.Detect.score det ~labels ~benign:(benign_subjects cfg ~excluded)
+  in
+  ( det,
+    { ca_report = report; ca_timing = timing; ca_mix = mix; ca_policy = policy;
+      ca_events = Telemetry.Detect.observed det;
+      ca_alerts = Telemetry.Detect.alerts det; ca_labels = labels;
+      ca_score = score } )
+
+(* Everything in this object is a function of (config, mix, policy, seed):
+   no wall-clock numbers, so two runs at the same seed serialize to the
+   same bytes — the determinism the smoke test byte-compares. *)
+let campaign_to_json c =
+  let open Telemetry.Json in
+  Obj
+    [ ("config", json_config c.ca_report.r_config);
+      ("mix", Attack_mix.mix_to_json c.ca_mix);
+      ("policy", Telemetry.Detect.policy_to_json c.ca_policy);
+      ("report", report_to_json c.ca_report);
+      ("detector_events", Int c.ca_events);
+      ("labels",
+       List
+         (List.map
+            (fun (l : Telemetry.Detect.label) ->
+              Obj
+                [ ("class", Str l.Telemetry.Detect.lb_class);
+                  ("subject", Str l.lb_subject); ("start", Float l.lb_start) ])
+            c.ca_labels));
+      ("alerts", Telemetry.Detect.alerts_to_json c.ca_alerts);
+      ("score", Telemetry.Detect.score_to_json c.ca_score) ]
 
 type perf_row = {
   p_label : string;

@@ -41,8 +41,9 @@ val default : config
     population, full telemetry. *)
 
 (** Latency percentiles, estimated from the fixed-bucket telemetry
-    histograms: each value is the upper bound of the bucket the quantile
-    falls in (clamped to the last finite bucket), in simulated seconds. *)
+    histograms by linear interpolation inside the quantile's bucket and
+    clamped to the observed min/max ({!Telemetry.Metrics.quantile}), in
+    simulated seconds. *)
 type percentiles = { p50 : float; p90 : float; p99 : float }
 
 type report = {
@@ -83,10 +84,16 @@ val run : config -> report
     telemetry collector, so concurrent harnesses do not pollute each
     other. @raise Invalid_argument on a non-positive population or pool. *)
 
-val run_timed : config -> report * timing
+val run_timed :
+  ?on_world:(Attack_mix.world -> Telemetry.Collector.t -> unit) ->
+  config ->
+  report * timing
 (** {!run}, plus where the wall-clock went. The report half is exactly
     {!run}'s (byte-identical for a fixed config); the timing half is
-    whatever this machine did this time. *)
+    whatever this machine did this time. [on_world] is called once, after
+    the benign world is fully built and scheduled but before the engine
+    runs — the campaign runner uses it to attach a detector to the run's
+    collector and let {!Attack_mix.inject} schedule the attack plane. *)
 
 val report_to_json : report -> Telemetry.Json.t
 (** Deterministic: same [config] ⇒ byte-identical
@@ -94,6 +101,42 @@ val report_to_json : report -> Telemetry.Json.t
     outside this object ({!timing_to_json} / the suite's timing rows). *)
 
 val timing_to_json : timing -> Telemetry.Json.t
+
+(** {2 The blended attack campaign}
+
+    What [experiments detect] runs and [BENCH_detect.json] records: the
+    benign load with an {!Attack_mix.mix} hidden inside it, a
+    {!Telemetry.Detect} detector attached to the run's collector, and the
+    detector's alerts scored against the mix's ground-truth labels. *)
+
+type campaign = {
+  ca_report : report;  (** the benign-plane report, as {!run} would give *)
+  ca_timing : timing;
+  ca_mix : Attack_mix.mix;
+  ca_policy : Telemetry.Detect.policy;
+  ca_events : int;  (** hook events the detector consumed *)
+  ca_alerts : Telemetry.Detect.alert list;
+  ca_labels : Telemetry.Detect.label list;  (** ground truth *)
+  ca_score : Telemetry.Detect.score;
+}
+
+val run_campaign :
+  ?policy:Telemetry.Detect.policy ->
+  ?mix:Attack_mix.mix ->
+  config ->
+  Telemetry.Detect.t * campaign
+(** One campaign: build the benign world, hide the mix in it, run, score.
+    The default detection policy is {!Telemetry.Detect.default_policy}
+    with [max_lifetime]/[expect_addr] taken from what this realm actually
+    enforces ([cfg.lifetime], the profile's address binding). The benign
+    scoring set is every active client's address and principal, minus
+    subjects the mix touched (replay victims, targeted principals). The
+    detector is returned alongside for {!Telemetry.Detect.report}. *)
+
+val campaign_to_json : campaign -> Telemetry.Json.t
+(** The [BENCH_detect.json] payload: config, mix, policy, benign report,
+    labels, alerts, score. No wall-clock numbers — two runs at the same
+    seed serialize byte-identically. *)
 
 (** {2 The ablation suite}
 
