@@ -495,6 +495,232 @@ let detect_smoke () =
     score.Telemetry.Detect.sc_alerts c1.Workloads.Loadgen.ca_events
     (String.length j1)
 
+(* --- transport smoke: UDP vs TCP-fallback latency, BENCH_transport.json --- *)
+
+(* With --transport-smoke, run a fixed login->TGS->AP->sealed-read
+   workload twice over: once with no MTU (every exchange rides a single
+   datagram) and once with the path MTU pinned below the largest AS/TGS
+   reply (every exchange is forced through the RESPONSE-TOO-BIG -> framed
+   TCP fallback). Both runs must complete every exchange; the sim-time
+   latency rows quantify what the fallback costs. The constrained run is
+   repeated at the same seed and its serialized row must be
+   byte-identical. Finally the armed-but-never-firing MTU check must cost
+   <= 1% wall time over the unconfigured network (plus a small absolute
+   jitter allowance), so the MTU model stays free when unused. *)
+let transport_json_path = "BENCH_transport.json"
+
+type transport_row = {
+  tw_reads : int;
+  tw_completed : int;
+  tw_p50_ms : float;  (** sim milliseconds per full pipeline *)
+  tw_max_ms : float;
+  tw_udp_calls : int;
+  tw_tcp_calls : int;
+  tw_fallbacks : int;
+  tw_rtb : int;  (** of which RESPONSE-TOO-BIG refusals *)
+  tw_truncated : int;
+  tw_packets : int;
+  tw_wall_s : float;
+}
+
+let transport_workload ?mtu ~clients ~reads () =
+  let wall0 = Sys.time () in
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed:0x7E57L ~telemetry:tel eng in
+  Sim.Net.set_mtu net mtu;
+  let quad = Sim.Addr.of_quad in
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ quad 10 9 0 1 ] () in
+  let fs_host = Sim.Host.create ~name:"fs" ~ips:[ quad 10 9 0 2 ] () in
+  let ws =
+    List.init clients (fun i ->
+        Sim.Host.create ~name:(Printf.sprintf "tws%d" i)
+          ~ips:[ quad 10 9 1 (1 + i) ] ())
+  in
+  List.iter (Sim.Net.attach net) (kdc_host :: fs_host :: ws);
+  let profile = Profile.v5_draft3 in
+  let rng = Util.Rng.create 0x7BE7CL in
+  let db = Kdb.create () in
+  Kdb.add_service db (Principal.tgs ~realm:"BENCHT") ~key:(Crypto.Des.random_key rng);
+  let users =
+    List.init clients (fun i ->
+        ( Principal.user ~realm:"BENCHT" (Printf.sprintf "u%d" i),
+          Printf.sprintf "pw.%d" i ))
+  in
+  List.iter (fun (p, pw) -> Kdb.add_user db p ~password:pw) users;
+  let fileserv = Principal.service ~realm:"BENCHT" "fileserv" ~host:"fs" in
+  let fs_key = Crypto.Des.random_key rng in
+  Kdb.add_service db fileserv ~key:fs_key;
+  let kdc = Kdc.create ~realm:"BENCHT" ~profile ~lifetime:28800.0 db in
+  Kdc.install net kdc_host kdc ();
+  let fsrv =
+    Services.Fileserver.install net fs_host ~profile ~principal:fileserv
+      ~key:fs_key ~port:600
+  in
+  Services.Fileserver.write_file fsrv ~owner:"seed" ~path:"/blob"
+    (Bytes.make 1200 'x');
+  let kdcs = [ ("BENCHT", Sim.Host.primary_ip kdc_host) ] in
+  let lats = ref [] in
+  let completed = ref 0 in
+  List.iteri
+    (fun i host ->
+      let who, pw = List.nth users i in
+      let c =
+        Client.create ~seed:(Int64.of_int (0xB0B + i)) ~password:pw net host
+          ~profile ~kdcs who
+      in
+      let rec pipeline n =
+        if n < reads then begin
+          let t0 = Sim.Engine.now eng in
+          Client.login c ~password:pw (function
+            | Error _ -> ()
+            | Ok _ ->
+                Client.get_ticket c ~service:fileserv (function
+                  | Error _ -> ()
+                  | Ok creds ->
+                      Client.ap_exchange c creds ~deadline:5.0
+                        ~dst:(Sim.Host.primary_ip fs_host) ~dport:600 (function
+                        | Error _ -> ()
+                        | Ok chan ->
+                            Client.call_priv c chan ~deadline:5.0
+                              (Bytes.of_string "READ /blob") ~k:(function
+                              | Error _ -> ()
+                              | Ok _ ->
+                                  incr completed;
+                                  lats := (Sim.Engine.now eng -. t0) :: !lats;
+                                  pipeline (n + 1)))))
+        end
+      in
+      Sim.Engine.schedule eng ~at:(0.01 *. float_of_int i) (fun () ->
+          pipeline 0))
+    ws;
+  Sim.Engine.run eng;
+  let counter name =
+    Telemetry.Metrics.value
+      (Telemetry.Metrics.counter (Telemetry.Collector.metrics tel) name)
+  in
+  let sorted = List.sort compare !lats in
+  let nth_ms q =
+    match sorted with
+    | [] -> nan
+    | l ->
+        let n = List.length l in
+        1000.0 *. List.nth l (min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  { tw_reads = clients * reads;
+    tw_completed = !completed;
+    tw_p50_ms = nth_ms 0.5;
+    tw_max_ms = (match List.rev sorted with [] -> nan | m :: _ -> 1000.0 *. m);
+    tw_udp_calls = counter "transport.udp.calls";
+    tw_tcp_calls = counter "transport.tcp.calls";
+    tw_fallbacks =
+      counter "transport.fallback.response_too_big"
+      + counter "transport.fallback.request_too_big"
+      + counter "transport.fallback.truncation";
+    tw_rtb = counter "transport.fallback.response_too_big";
+    tw_truncated = counter "net.packets.truncated";
+    tw_packets = counter "net.packets.sent";
+    tw_wall_s = Sys.time () -. wall0 }
+
+(* The wall clock stays out of the serialized row so the determinism
+   comparison is over sim-side bytes only. *)
+let transport_row_json r =
+  Printf.sprintf
+    "{ \"reads\": %d, \"completed\": %d, \"p50_sim_ms\": %s, \"max_sim_ms\": \
+     %s, \"udp_calls\": %d, \"tcp_calls\": %d, \"fallbacks\": %d, \
+     \"response_too_big\": %d, \"truncated\": %d, \"packets\": %d }"
+    r.tw_reads r.tw_completed (num r.tw_p50_ms) (num r.tw_max_ms) r.tw_udp_calls
+    r.tw_tcp_calls r.tw_fallbacks r.tw_rtb r.tw_truncated r.tw_packets
+
+let transport_smoke () =
+  let clients = 12 and reads = 6 in
+  (* 200 sits below the largest AS/TGS reply (between 200 and 230 encoded
+     bytes under v5_draft3), so the KDC plane itself must refuse over UDP
+     and the client must retry the exchange over the stream — not just the
+     AP channel upgrading for the oversized sealed read. *)
+  let constrained_mtu = 200 in
+  let udp = transport_workload ~clients ~reads () in
+  let tcp = transport_workload ~mtu:constrained_mtu ~clients ~reads () in
+  let tcp2 = transport_workload ~mtu:constrained_mtu ~clients ~reads () in
+  if not (String.equal (transport_row_json tcp) (transport_row_json tcp2)) then begin
+    Printf.eprintf
+      "transport smoke: two constrained runs at the same seed serialized \
+       differently\n";
+    exit 1
+  end;
+  List.iter
+    (fun (label, r) ->
+      if r.tw_completed <> r.tw_reads then begin
+        Printf.eprintf "transport smoke: %s row completed %d/%d exchanges\n"
+          label r.tw_completed r.tw_reads;
+        exit 1
+      end)
+    [ ("udp", udp); ("tcp_fallback", tcp) ];
+  if tcp.tw_rtb = 0 || tcp.tw_tcp_calls = 0 then begin
+    Printf.eprintf
+      "transport smoke: MTU %d forced no RESPONSE-TOO-BIG fallbacks \
+       (fallbacks=%d, response_too_big=%d, tcp_calls=%d)\n"
+      constrained_mtu tcp.tw_fallbacks tcp.tw_rtb tcp.tw_tcp_calls;
+    exit 1
+  end;
+  if udp.tw_fallbacks <> 0 || udp.tw_truncated <> 0 then begin
+    Printf.eprintf
+      "transport smoke: unconfigured run fell back (%d) or truncated (%d)\n"
+      udp.tw_fallbacks udp.tw_truncated;
+    exit 1
+  end;
+  (* Inert-MTU gate: armed but never firing must cost <= 1% wall over the
+     unconfigured network (best of 3, plus 20 ms jitter allowance). *)
+  let best_of_3 f =
+    let a = (f ()).tw_wall_s and b = (f ()).tw_wall_s and c = (f ()).tw_wall_s in
+    Float.min a (Float.min b c)
+  in
+  let base_s = best_of_3 (fun () -> transport_workload ~clients ~reads ()) in
+  let armed_s =
+    best_of_3 (fun () ->
+        transport_workload ~mtu:1_000_000 ~clients ~reads ())
+  in
+  let budget = (base_s *. 1.01) +. 0.02 in
+  if armed_s > budget then begin
+    Printf.eprintf
+      "transport smoke: armed-but-inert MTU run took %.4fs vs %.4fs \
+       unconfigured — exceeds the 1%% budget (%.4fs)\n"
+      armed_s base_s budget;
+    exit 1
+  end;
+  let json =
+    Printf.sprintf
+      "{\n  \"udp\": %s,\n  \"tcp_fallback\": %s,\n  \"mtu\": %d,\n  \
+       \"inert_overhead\": { \"baseline_s\": %s, \"armed_s\": %s }\n}\n"
+      (transport_row_json udp) (transport_row_json tcp) constrained_mtu
+      (num base_s) (num armed_s)
+  in
+  let oc = open_out transport_json_path in
+  output_string oc json;
+  close_out oc;
+  let contains needle =
+    let nl = String.length needle and sl = String.length json in
+    let rec go i = i + nl <= sl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      if not (contains k) then begin
+        Printf.eprintf "transport smoke: BENCH_transport.json schema lost %s\n" k;
+        exit 1
+      end)
+    [ "\"udp\""; "\"tcp_fallback\""; "\"mtu\""; "\"inert_overhead\"";
+      "\"reads\""; "\"completed\""; "\"p50_sim_ms\""; "\"max_sim_ms\"";
+      "\"udp_calls\""; "\"tcp_calls\""; "\"fallbacks\"";
+      "\"response_too_big\""; "\"truncated\"";
+      "\"packets\""; "\"baseline_s\""; "\"armed_s\"" ];
+  Printf.printf
+    "transport smoke: %d/%d udp exchanges (p50 %.1f sim-ms), %d/%d forced \
+     through TCP fallback (p50 %.1f sim-ms, %d fallbacks), constrained row \
+     deterministic, inert-MTU %.4fs vs %.4fs (budget %.4fs), schema intact\n"
+    udp.tw_completed udp.tw_reads udp.tw_p50_ms tcp.tw_completed tcp.tw_reads
+    tcp.tw_p50_ms tcp.tw_fallbacks armed_s base_s budget
+
 (* --- harness --- *)
 
 let tests =
@@ -531,6 +757,8 @@ let () =
     (recovery_smoke (); exit 0);
   if Array.exists (( = ) "--detect-smoke") Sys.argv then
     (detect_smoke (); exit 0);
+  if Array.exists (( = ) "--transport-smoke") Sys.argv then
+    (transport_smoke (); exit 0);
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

@@ -180,6 +180,35 @@ let print_chaos fault_seed seeds =
     exit 1
   end
 
+(* The session-fuzz runbook: generated operation schedules at randomized
+   MTUs, invariant-checked, with periodic determinism double-runs and a
+   mutation check proving the harness catches a planted bug. Exit
+   nonzero on any violation, so CI gates on it. *)
+let print_session_fuzz seed seeds schedules =
+  print_endline
+    "== Session fuzz: generated op schedules at randomized path MTUs ==";
+  print_newline ();
+  let failures = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.add seed (Int64.of_int i) in
+    let c = Expframework.Session_fuzz.campaign ~schedules ~seed () in
+    print_string (Expframework.Session_fuzz.campaign_summary c);
+    if not (Expframework.Session_fuzz.ok c) then incr failures
+  done;
+  let caught = Expframework.Session_fuzz.mutation_caught () in
+  Printf.printf "  mutation check (replay cache off + duplicated AP datagrams): %s\n"
+    (if caught then "caught" else "MISSED");
+  if not caught then incr failures;
+  ignore (Telemetry.Collector.fresh_default ());
+  if !failures = 0 then
+    Printf.printf
+      "session-fuzz: %d seed(s) x %d schedules, all invariants held\n" seeds
+      schedules
+  else begin
+    Printf.printf "session-fuzz: FAILURES in %d seed(s)\n" !failures;
+    exit 1
+  end
+
 (* The disaster-recovery drill: crash-equivalence against a golden twin,
    torn/bit-flipped WAL tails, anti-entropy reconciliation, graceful
    degradation. Exit nonzero on any violated invariant, so CI gates on
@@ -514,6 +543,35 @@ let recovery_cmd =
           degradation (exits nonzero on violation)")
     Term.(const print_recovery $ seed $ seeds)
 
+let session_fuzz_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt int64 1L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"First campaign seed.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+  in
+  let schedules =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Generated operation schedules per seed.")
+  in
+  Cmd.v
+    (Cmd.info "session-fuzz"
+       ~doc:
+         "Property-based session fuzzing of the transport plane: generated \
+          connect/login/read/crash/partition schedules at randomized path \
+          MTUs, checked against the session invariants, with determinism \
+          double-runs and a mutation check (exits nonzero on violation)")
+    Term.(const print_session_fuzz $ seed $ seeds $ schedules)
+
 let load_cmd =
   let opt_int name ~default ~doc =
     Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
@@ -604,6 +662,7 @@ let () =
       cmd_of "validation" "message-confusion matrices" print_validation;
       cmd_of "opsview" "operator view of the attacks" print_opsview;
       chaos_cmd;
+      session_fuzz_cmd;
       recovery_cmd;
       load_cmd;
       detect_cmd;

@@ -48,8 +48,8 @@ let run ?(seed = 0xE8AL) ~profile () =
   (match (!next_seq, !conn_src) with
   | Some seq, Some (src, sport) ->
       let seg =
-        { Sim.Tcpish.syn = false; ack = false; fin = false; seq; ackno = 0;
-          body = Bytes.of_string injected_command }
+        { Sim.Tcpish.syn = false; ack = false; fin = false; rst = false; seq;
+          ackno = 0; body = Bytes.of_string injected_command }
       in
       Sim.Adversary.spoof bed.adv ~src ~sport ~dst:(Sim.Host.primary_ip bed.file_host)
         ~dport:rsh_port (Sim.Tcpish.encode_segment seg)

@@ -55,7 +55,7 @@ let run ?(seed = 0xE8BL) ?(isn = Sim.Tcpish.Predictable) ~profile () =
   let my_isn = 5000 in
   let seg ?(syn = false) ?(ack = false) ~seq ~ackno body =
     Sim.Tcpish.encode_segment
-      { Sim.Tcpish.syn; ack; fin = false; seq; ackno; body }
+      { Sim.Tcpish.syn; ack; fin = false; rst = false; seq; ackno; body }
   in
   let spoof payload =
     Sim.Adversary.spoof bed.adv ~src:vic ~sport ~dst:srv ~dport:rsh_port payload

@@ -22,6 +22,17 @@ type peer_state =
   | Awaiting_response of pending  (** challenge sent, waiting for the reply *)
   | Established of Session.t * Principal.t
 
+(* Where a frame came from and how to answer it — the same shape whether
+   the frame arrived as a datagram or on a stream connection. Datagram
+   replies go back through the transport's MTU guard; stream replies ride
+   the connection that carried the request. *)
+type ctx = {
+  cx_src : Sim.Addr.t;
+  cx_sport : int;
+  cx_own : Sim.Addr.t;  (** the server address the frame arrived at *)
+  cx_reply : bytes -> unit;  (** whole framed bytes *)
+}
+
 type t = {
   net : Sim.Net.t;
   host : Sim.Host.t;
@@ -35,6 +46,7 @@ type t = {
   mutable disk : bytes option;
       (** persisted replay-cache snapshot, written at crash *)
   mutable running : bool;
+  mutable endpoint : Sim.Transport.server option;
   peers : (Sim.Addr.t * int, peer_state) Hashtbl.t;
   peer_order : (Sim.Addr.t * int) Queue.t;  (** insertion order, for eviction *)
   handler : Session.t -> client:Principal.t -> bytes -> bytes option;
@@ -72,9 +84,7 @@ let put_peer t key state =
     | Some oldest -> Hashtbl.remove t.peers oldest
   done
 
-let reply t ~(pkt : Sim.Packet.t) kind payload =
-  Sim.Net.send t.net ~sport:t.port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
-    t.host (Frames.wrap kind payload)
+let reply _t ~cx kind payload = cx.cx_reply (Frames.wrap kind payload)
 
 (* Mark how the current frame ended; replays additionally feed the
    operator view and the per-service replay counter. *)
@@ -87,13 +97,13 @@ let flag_outcome t outcome =
     Telemetry.Metrics.incr t.c_replay_hits
   end
 
-let reject t ~pkt (r : Ap_check.reject) =
+let reject t ~cx (r : Ap_check.reject) =
   t.rejected <- (r.code, r.reason) :: t.rejected;
   Telemetry.Metrics.incr t.c_rejected;
   flag_outcome t (Ap_check.outcome_of_reject r);
   Sim.Net.note t.net
     (Printf.sprintf "%s: rejected AP attempt (%s)" t.host.Sim.Host.name r.reason);
-  reply t ~pkt Frames.error
+  reply t ~cx Frames.error
     (Messages.encode_msg t.profile ~tag:Messages.tag_err
        (Messages.err_to_value { Messages.e_code = r.code; e_text = r.reason }))
 
@@ -104,10 +114,10 @@ let now t = Sim.Net.local_time t.net t.host
    and the rules key on. Emitted before the authenticator check, so a
    well-sealed forgery is visible even if its authenticator later
    fails. *)
-let emit_ticket_validated t ~(pkt : Sim.Packet.t) (ticket : Messages.ticket) =
+let emit_ticket_validated t ~cx (ticket : Messages.ticket) =
   if Telemetry.Collector.wants_events t.tel then
     Telemetry.Collector.event t.tel ~component:"apserver" ~kind:"ticket.validated"
-      [ ("src", Sim.Addr.to_string pkt.Sim.Packet.src);
+      [ ("src", Sim.Addr.to_string cx.cx_src);
         ("client", Principal.to_string ticket.Messages.client);
         ("service", Principal.to_string t.principal);
         ("lifetime", Printf.sprintf "%g" ticket.Messages.lifetime);
@@ -127,7 +137,7 @@ let fresh_parts t =
   in
   (server_part, seq_init)
 
-let establish t ~pkt ~(ticket : Messages.ticket) ~client_part ~server_part
+let establish t ~cx ~(ticket : Messages.ticket) ~client_part ~server_part
     ~client_seq ~server_seq =
   let key =
     Session.derived_key t.profile ~multi:ticket.Messages.session_key
@@ -135,40 +145,38 @@ let establish t ~pkt ~(ticket : Messages.ticket) ~client_part ~server_part
   in
   let session =
     Session.make ~profile:t.profile ~rng:(Util.Rng.split t.rng) ~role:Session.Server_side
-      ~key ~own_addr:pkt.Sim.Packet.dst ~peer_addr:pkt.Sim.Packet.src
+      ~key ~own_addr:cx.cx_own ~peer_addr:cx.cx_src
       ~send_seq:(Option.value server_seq ~default:0)
       ~recv_seq:(Option.value client_seq ~default:0)
   in
-  put_peer t
-    (pkt.Sim.Packet.src, pkt.Sim.Packet.sport)
-    (Established (session, ticket.Messages.client));
+  put_peer t (cx.cx_src, cx.cx_sport) (Established (session, ticket.Messages.client));
   t.established <- t.established + 1;
   Telemetry.Metrics.incr t.c_established;
   session
 
 (* --- Timestamp-authenticator path ---------------------------------- *)
 
-let handle_ap_timestamp t ~pkt ~skew (r : Messages.ap_req) =
+let handle_ap_timestamp t ~cx ~skew (r : Messages.ap_req) =
   match
     Ap_check.validate_ticket ~profile:t.profile ~service_key:t.key
-      ~principal:t.principal ~now:(now t) ~src_addr:pkt.Sim.Packet.src
+      ~principal:t.principal ~now:(now t) ~src_addr:cx.cx_src
       ~accept_forwarded:t.config.accept_forwarded
       ~trusted_transit:t.config.trusted_transit
       ~refuse_dup_skey:t.config.refuse_dup_skey r.r_ticket
   with
-  | Error rej -> reject t ~pkt rej
+  | Error rej -> reject t ~cx rej
   | Ok ticket -> (
-      emit_ticket_validated t ~pkt ticket;
+      emit_ticket_validated t ~cx ticket;
       match
         Ap_check.validate_authenticator ~profile:t.profile ~ticket
           ~ticket_blob:r.r_ticket ~principal:t.principal ~now:(now t) ~skew
           ~cache:t.cache r.r_authenticator
       with
-      | Error rej -> reject t ~pkt rej
+      | Error rej -> reject t ~cx rej
       | Ok auth ->
           let server_part, server_seq = fresh_parts t in
           let (_ : Session.t) =
-            establish t ~pkt ~ticket ~client_part:auth.a_subkey_part ~server_part
+            establish t ~cx ~ticket ~client_part:auth.a_subkey_part ~server_part
               ~client_seq:auth.a_seq_init ~server_seq
           in
           let body =
@@ -180,21 +188,21 @@ let handle_ap_timestamp t ~pkt ~skew (r : Messages.ap_req) =
                      ar_subkey_part = server_part; ar_seq_init = server_seq })
             else Bytes.empty
           in
-          reply t ~pkt Frames.ap_ok body)
+          reply t ~cx Frames.ap_ok body)
 
 (* --- Challenge/response path --------------------------------------- *)
 
-let handle_ap_challenge t ~pkt (r : Messages.ap_req) =
+let handle_ap_challenge t ~cx (r : Messages.ap_req) =
   match
     Ap_check.validate_ticket ~profile:t.profile ~service_key:t.key
-      ~principal:t.principal ~now:(now t) ~src_addr:pkt.Sim.Packet.src
+      ~principal:t.principal ~now:(now t) ~src_addr:cx.cx_src
       ~accept_forwarded:t.config.accept_forwarded
       ~trusted_transit:t.config.trusted_transit
       ~refuse_dup_skey:t.config.refuse_dup_skey r.r_ticket
   with
-  | Error rej -> reject t ~pkt rej
+  | Error rej -> reject t ~cx rej
   | Ok ticket ->
-      emit_ticket_validated t ~pkt ticket;
+      emit_ticket_validated t ~cx ticket;
       (* No authenticator, no clock: issue a nonce under the session key.
          The state burden ("all servers must then retain state") is this
          table entry. *)
@@ -204,7 +212,7 @@ let handle_ap_challenge t ~pkt (r : Messages.ap_req) =
         { pend_ticket = ticket; pend_nonce = nonce; pend_server_part = server_part;
           pend_seq_init = server_seq }
       in
-      put_peer t (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) (Awaiting_response pending);
+      put_peer t (cx.cx_src, cx.cx_sport) (Awaiting_response pending);
       let body =
         Messages.seal_msg t.profile t.rng ~key:ticket.Messages.session_key
           ~tag:Messages.tag_challenge
@@ -212,30 +220,30 @@ let handle_ap_challenge t ~pkt (r : Messages.ap_req) =
              { Messages.c_nonce = nonce; c_server_part = server_part;
                c_seq_init = server_seq })
       in
-      reply t ~pkt Frames.challenge body
+      reply t ~cx Frames.challenge body
 
-let handle_challenge_resp t ~pkt pending payload =
+let handle_challenge_resp t ~cx pending payload =
   match
     Messages.open_msg t.profile ~key:pending.pend_ticket.Messages.session_key
       ~tag:Messages.tag_challenge_resp payload
   with
   | Error e ->
-      reject t ~pkt { Ap_check.code = Messages.err_bad_integrity; reason = e }
+      reject t ~cx { Ap_check.code = Messages.err_bad_integrity; reason = e }
   | Ok v -> (
       match Messages.challenge_resp_of_value v with
       | exception Wire.Codec.Decode_error e ->
-          reject t ~pkt { Ap_check.code = Messages.err_bad_integrity; reason = e }
+          reject t ~cx { Ap_check.code = Messages.err_bad_integrity; reason = e }
       | resp ->
           if resp.cr_nonce_f <> Int64.add pending.pend_nonce 1L then
-            reject t ~pkt
+            reject t ~cx
               { Ap_check.code = Messages.err_bad_integrity;
                 reason = "challenge response incorrect" }
           else begin
             ignore
-              (establish t ~pkt ~ticket:pending.pend_ticket
+              (establish t ~cx ~ticket:pending.pend_ticket
                  ~client_part:resp.cr_client_part ~server_part:pending.pend_server_part
                  ~client_seq:resp.cr_seq_init ~server_seq:pending.pend_seq_init);
-            reply t ~pkt Frames.ap_ok Bytes.empty
+            reply t ~cx Frames.ap_ok Bytes.empty
           end)
 
 (* --- Established-session traffic ----------------------------------- *)
@@ -255,7 +263,7 @@ let safe_outcome = function
   | Krb_safe.Out_of_sequence -> "out-of-sequence"
   | Krb_safe.Malformed -> "bad-integrity"
 
-let handle_priv t ~pkt session client payload =
+let handle_priv t ~cx session client payload =
   match Krb_priv.open_ session ~now:(now t) payload with
   | Error e ->
       flag_outcome t (priv_outcome e);
@@ -266,9 +274,9 @@ let handle_priv t ~pkt session client payload =
       match t.handler session ~client data with
       | None -> ()
       | Some resp ->
-          reply t ~pkt Frames.priv (Krb_priv.seal session ~now:(now t) resp))
+          reply t ~cx Frames.priv (Krb_priv.seal session ~now:(now t) resp))
 
-let handle_safe t ~pkt session client payload =
+let handle_safe t ~cx session client payload =
   match Krb_safe.open_ session ~now:(now t) payload with
   | Error e ->
       flag_outcome t (safe_outcome e);
@@ -279,15 +287,15 @@ let handle_safe t ~pkt session client payload =
       match t.handler session ~client data with
       | None -> ()
       | Some resp ->
-          reply t ~pkt Frames.safe (Krb_safe.seal session ~now:(now t) resp))
+          reply t ~cx Frames.safe (Krb_safe.seal session ~now:(now t) resp))
 
 (* --- Frame dispatch and lifecycle ---------------------------------- *)
 
-let handle_frame t pkt =
-  match Frames.unwrap pkt.Sim.Packet.payload with
+let handle_frame t ~cx raw =
+  match Frames.unwrap raw with
   | None -> ()
   | Some (kind, payload) -> (
-      let peer = (pkt.Sim.Packet.src, pkt.Sim.Packet.sport) in
+      let peer = (cx.cx_src, cx.cx_sport) in
       (* One span per recognized frame, nested under the packet span;
          replies sent inside the handler nest under it in turn. The
          failure paths record the outcome via [flag_outcome]. *)
@@ -296,7 +304,7 @@ let handle_frame t pkt =
           Telemetry.Collector.span_begin t.tel ~component:"apserver" name
             ~attrs:
               [ ("service", Principal.to_string t.principal);
-                ("src", Sim.Addr.to_string pkt.Sim.Packet.src) ]
+                ("src", Sim.Addr.to_string cx.cx_src) ]
         in
         t.pending_outcome <- None;
         Telemetry.Collector.with_context t.tel span handler;
@@ -307,7 +315,7 @@ let handle_frame t pkt =
            outcomes for theirs. *)
         if Telemetry.Collector.wants_events t.tel then
           Telemetry.Collector.event t.tel ~component:"apserver" ~kind:"auth.ap_req"
-            [ ("src", Sim.Addr.to_string pkt.Sim.Packet.src);
+            [ ("src", Sim.Addr.to_string cx.cx_src);
               ("service", Principal.to_string t.principal); ("frame", name);
               ("outcome", outcome) ];
         t.pending_outcome <- None
@@ -320,22 +328,47 @@ let handle_frame t pkt =
                   (Wire.Encoding.decode t.profile.Profile.encoding payload)
               with
               | exception Wire.Codec.Decode_error e ->
-                  reject t ~pkt { Ap_check.code = Messages.err_generic; reason = e }
+                  reject t ~cx { Ap_check.code = Messages.err_generic; reason = e }
               | r -> (
                   match t.profile.Profile.ap_auth with
                   | Profile.Timestamp { skew; _ } ->
-                      handle_ap_timestamp t ~pkt ~skew:(min skew t.config.skew) r
-                  | Profile.Challenge_response -> handle_ap_challenge t ~pkt r))
+                      handle_ap_timestamp t ~cx ~skew:(min skew t.config.skew) r
+                  | Profile.Challenge_response -> handle_ap_challenge t ~cx r))
       | k, Some (Awaiting_response pending) when k = Frames.challenge_resp ->
           traced "ap.challenge_resp" (fun () ->
-              handle_challenge_resp t ~pkt pending payload)
+              handle_challenge_resp t ~cx pending payload)
       | k, Some (Established (session, client)) when k = Frames.priv ->
-          traced "ap.priv" (fun () -> handle_priv t ~pkt session client payload)
+          traced "ap.priv" (fun () -> handle_priv t ~cx session client payload)
       | k, Some (Established (session, client)) when k = Frames.safe ->
-          traced "ap.safe" (fun () -> handle_safe t ~pkt session client payload)
+          traced "ap.safe" (fun () -> handle_safe t ~cx session client payload)
       | _ ->
           Sim.Net.note t.net
             (Printf.sprintf "%s: unexpected frame %d" t.host.Sim.Host.name kind))
+
+(* Both endpoints — datagrams on [port], framed stream on the paired TCP
+   port — feed the same frame dispatcher; the context records where the
+   frame came from and how to answer it. An AP reply that cannot fit the
+   return-path MTU is replaced by a RESPONSE-TOO-BIG error frame, which
+   tells the client library to redo the exchange over the stream. *)
+let serve_endpoint t =
+  let refusal ~mtu:_ =
+    Frames.wrap Frames.error
+      (Messages.encode_msg t.profile ~tag:Messages.tag_err
+         (Messages.err_to_value
+            { Messages.e_code = Messages.err_response_too_big;
+              e_text = "response exceeds path MTU" }))
+  in
+  let ep =
+    Sim.Transport.serve t.net t.host ~port:t.port ~too_big:refusal
+      (fun ~peer raw ~reply ->
+        let cx =
+          { cx_src = peer.Sim.Transport.p_addr;
+            cx_sport = peer.Sim.Transport.p_port;
+            cx_own = peer.Sim.Transport.p_local; cx_reply = reply }
+        in
+        handle_frame t ~cx raw)
+  in
+  t.endpoint <- Some ep
 
 let fresh_cache ~profile ~config =
   match profile.Profile.ap_auth with
@@ -351,7 +384,8 @@ let fresh_cache ~profile ~config =
 let crash t =
   if t.running then begin
     t.running <- false;
-    Sim.Net.unlisten t.net t.host ~port:t.port;
+    (match t.endpoint with Some ep -> Sim.Transport.shutdown ep | None -> ());
+    t.endpoint <- None;
     t.disk <-
       (match t.cache with
       | Some c when t.config.persist_replay_cache -> Some (Replay_cache.to_bytes c)
@@ -372,7 +406,7 @@ let restart t =
       | Some b -> Some (Replay_cache.of_bytes ~now:(now t) b)
       | None -> fresh_cache ~profile:t.profile ~config:t.config);
     t.disk <- None;
-    Sim.Net.listen t.net t.host ~port:t.port (fun pkt -> handle_frame t pkt);
+    serve_endpoint t;
     Sim.Net.note t.net
       (Printf.sprintf "%s: %s restarted%s" t.host.Sim.Host.name
          (Principal.to_string t.principal)
@@ -397,7 +431,7 @@ let install ?(seed = 0x5345525645L) ?(config = default_config) net host ~profile
       c_established = fresh (svc ^ ".sessions_established");
       c_rejected = fresh (svc ^ ".ap_rejects");
       c_replay_hits = fresh (svc ^ ".replay_hits");
-      pending_outcome = None }
+      pending_outcome = None; endpoint = None }
   in
-  Sim.Net.listen net host ~port (fun pkt -> handle_frame t pkt);
+  serve_endpoint t;
   t

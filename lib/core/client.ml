@@ -71,15 +71,32 @@ let rotated t addrs =
     split 0 [] addrs
   end
 
+(* How the client's decoder judges a datagram reply from the KDC, for the
+   transport's fallback decision: an explicit RESPONSE-TOO-BIG refusal
+   switches the exchange to the stream leg, an undecodable blob (e.g. an
+   MTU-truncated tail) is a garble; everything else — replies and other
+   KDC errors alike — is the caller's to interpret. *)
+let classify_kdc_reply t payload =
+  match Wire.Encoding.decode_result t.profile.Profile.encoding payload with
+  | Error _ -> Sim.Transport.Garbled
+  | Ok v -> (
+      match Messages.err_of_value v with
+      | e when e.Messages.e_code = Messages.err_response_too_big ->
+          Sim.Transport.Response_too_big
+      | _ -> Sim.Transport.Accept
+      | exception Wire.Codec.Decode_error _ -> Sim.Transport.Accept)
+
 (* One logical KDC request: try each address in turn (with the client's
-   per-address timeout/retry budget) and fail over on silence. *)
+   per-address timeout/retry budget, UDP-first with transparent TCP
+   fallback) and fail over on silence. *)
 let kdc_call t ~realm payload ~on_reply ~on_error =
   match rotated t (kdc_addrs t realm) with
   | [] -> on_error ("no KDC known for realm " ^ realm)
   | first :: rest ->
       let rec go kdc rest =
-        Sim.Rpc.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
-          ~timeout:t.kdc_timeout ~retries:t.kdc_retries payload ~on_reply
+        Sim.Transport.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+          ~timeout:t.kdc_timeout ~retries:t.kdc_retries
+          ~classify:(classify_kdc_reply t) payload ~on_reply
           ~on_timeout:(fun () ->
             match rest with
             | [] -> on_error "KDC timeout"
@@ -206,8 +223,8 @@ let login t ?handheld ?key ?service ~password k =
       kdc_call t ~realm:t.me.Principal.realm
         (Wire.Encoding.encode t.profile.Profile.encoding (Messages.as_req_to_value req))
         ~on_error:(fun e -> k (Error e))
-        ~on_reply:(fun pkt ->
-          match Wire.Encoding.decode_result t.profile.Profile.encoding pkt.Sim.Packet.payload with
+        ~on_reply:(fun reply_bytes ->
+          match Wire.Encoding.decode_result t.profile.Profile.encoding reply_bytes with
           | Error e -> k (Error e)
           | Ok v -> (
               match Messages.err_of_value v with
@@ -367,10 +384,9 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
           (Wire.Encoding.encode t.profile.Profile.encoding (Messages.tgs_req_to_value req))
           ~on_error:(fun e ->
             k (Error (if String.equal e "KDC timeout" then "TGS timeout" else e)))
-          ~on_reply:(fun pkt ->
+          ~on_reply:(fun reply_bytes ->
             match
-              Wire.Encoding.decode_result t.profile.Profile.encoding
-                pkt.Sim.Packet.payload
+              Wire.Encoding.decode_result t.profile.Profile.encoding reply_bytes
             with
             | Error e -> k (Error e)
             | Ok v -> (
@@ -543,53 +559,178 @@ let get_ticket t ?options ?additional_ticket ?authz_data ~service k =
 (* AP exchange and sealed calls                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* A channel's transport link: how wrapped frames leave this client and
+   how the peer's frames come back. The datagram flavour is an ephemeral
+   port; the stream flavour is a framed {!Sim.Tcpish} connection. Either
+   way the channel machinery above it is identical. *)
+type link = {
+  lk_via : [ `Udp | `Tcp ];
+  lk_send : bytes -> unit;
+  mutable lk_recv : bytes -> unit;
+  lk_teardown : unit -> unit;
+}
+
+let bump t name =
+  Telemetry.Metrics.incr
+    (Telemetry.Metrics.counter
+       (Telemetry.Collector.metrics (Sim.Net.telemetry t.net))
+       name)
+
+let udp_link t ~dst ~dport =
+  let sport = Sim.Net.ephemeral_port t.net in
+  let lk =
+    { lk_via = `Udp;
+      lk_send = (fun raw -> Sim.Net.send t.net ~sport ~dst ~dport t.host raw);
+      lk_recv = ignore;
+      lk_teardown = (fun () -> Sim.Net.unlisten t.net t.host ~port:sport) }
+  in
+  Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
+      lk.lk_recv pkt.Sim.Packet.payload);
+  lk
+
+(* Frames sent before the handshake completes are parked and flushed from
+   [on_connected]; a reset that we did not cause ourselves surfaces as
+   [on_reset] so the caller can fail the exchange. *)
+let tcp_link t ~dst ~dport ~on_reset =
+  let parked = Queue.create () in
+  let up = ref None in
+  let torn = ref false in
+  let conn_ref = ref None in
+  let lk =
+    { lk_via = `Tcp;
+      lk_send =
+        (fun raw ->
+          match !up with
+          | Some conn -> Sim.Tcpish.send_message conn raw
+          | None -> Queue.add raw parked);
+      lk_recv = ignore;
+      lk_teardown =
+        (fun () ->
+          torn := true;
+          match !conn_ref with
+          | Some conn -> Sim.Tcpish.close conn
+          | None -> ()) }
+  in
+  let conn =
+    Sim.Tcpish.connect t.net t.host ~dst ~dport:(Sim.Transport.tcp_port dport)
+      ~on_connected:(fun conn ->
+        up := Some conn;
+        Sim.Tcpish.on_message conn (fun msg -> lk.lk_recv msg);
+        Queue.iter (Sim.Tcpish.send_message conn) parked;
+        Queue.clear parked)
+      ()
+  in
+  conn_ref := Some conn;
+  Sim.Tcpish.on_close conn (fun ~reset -> if reset && not !torn then on_reset ());
+  lk
+
 type channel = {
-  chan_session : Session.t;
-  chan_sport : int;
+  mutable chan_session : Session.t;
+  mutable chan_link : link;
   chan_dst : Sim.Addr.t;
   chan_dport : int;
+  chan_creds : credentials;
+  chan_mutual : bool;
   mutable chan_waiting : (bytes, string) result -> unit;
+  mutable chan_pending : ([ `Priv | `Safe ] * bytes) option;
+      (** the in-flight request's plaintext, kept for the TCP-upgrade
+          resend *)
   chan_client : t;
 }
 
 let session c = c.chan_session
 
-let make_channel t session ~sport ~dst ~dport =
+let rec make_channel t session ~link ~creds ~mutual ~dst ~dport =
   let chan =
-    { chan_session = session; chan_sport = sport; chan_dst = dst; chan_dport = dport;
-      chan_waiting = ignore; chan_client = t }
+    { chan_session = session; chan_link = link; chan_dst = dst;
+      chan_dport = dport; chan_creds = creds; chan_mutual = mutual;
+      chan_waiting = ignore; chan_pending = None; chan_client = t }
   in
-  (* Replies on the channel port: priv frames handed to the waiter. *)
-  Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
-      match Frames.unwrap pkt.Sim.Packet.payload with
-      | Some (kind, payload) when kind = Frames.priv -> (
-          let waiter = chan.chan_waiting in
-          chan.chan_waiting <- ignore;
-          match Krb_priv.open_ session ~now:(now t) payload with
-          | Ok data -> waiter (Ok data)
-          | Error e -> waiter (Error (Krb_priv.error_to_string e)))
-      | Some (kind, payload) when kind = Frames.safe -> (
-          let waiter = chan.chan_waiting in
-          chan.chan_waiting <- ignore;
-          match Krb_safe.open_ session ~now:(now t) payload with
-          | Ok data -> waiter (Ok data)
-          | Error e -> waiter (Error (Krb_safe.error_to_string e)))
-      | Some (kind, payload) when kind = Frames.error ->
-          let waiter = chan.chan_waiting in
-          chan.chan_waiting <- ignore;
-          let text =
-            match
-              Messages.err_of_value
-                (Wire.Encoding.decode t.profile.Profile.encoding payload)
-            with
-            | { e_text; _ } -> e_text
-            | exception Wire.Codec.Decode_error _ -> "unparseable error"
-          in
-          waiter (Error text)
-      | _ -> ());
+  attach_channel chan;
   chan
 
-let ap_exchange t (creds : credentials) ?(mutual = true) ?deadline ~dst ~dport k =
+and attach_channel chan = chan.chan_link.lk_recv <- channel_dispatch chan
+
+(* Replies on the channel link: priv/safe frames handed to the waiter;
+   an explicit RESPONSE-TOO-BIG refusal on a datagram channel triggers
+   the stream upgrade instead of surfacing an error. *)
+and channel_dispatch chan raw =
+  let t = chan.chan_client in
+  let settle r =
+    chan.chan_pending <- None;
+    let waiter = chan.chan_waiting in
+    chan.chan_waiting <- ignore;
+    waiter r
+  in
+  match Frames.unwrap raw with
+  | Some (kind, payload) when kind = Frames.priv -> (
+      match Krb_priv.open_ chan.chan_session ~now:(now t) payload with
+      | Ok data -> settle (Ok data)
+      | Error e -> settle (Error (Krb_priv.error_to_string e)))
+  | Some (kind, payload) when kind = Frames.safe -> (
+      match Krb_safe.open_ chan.chan_session ~now:(now t) payload with
+      | Ok data -> settle (Ok data)
+      | Error e -> settle (Error (Krb_safe.error_to_string e)))
+  | Some (kind, payload) when kind = Frames.error ->
+      let err =
+        match
+          Messages.err_of_value
+            (Wire.Encoding.decode t.profile.Profile.encoding payload)
+        with
+        | e -> e
+        | exception Wire.Codec.Decode_error _ ->
+            { Messages.e_code = Messages.err_generic;
+              e_text = "unparseable error" }
+      in
+      if
+        err.Messages.e_code = Messages.err_response_too_big
+        && chan.chan_link.lk_via = `Udp
+      then upgrade_channel chan
+      else settle (Error err.Messages.e_text)
+  | _ -> ()
+
+(* A sealed reply that cannot fit the return path dooms the datagram
+   channel outright: in sequence mode the server's discarded reply
+   already advanced its send counter, so no resend on this session can
+   ever line up again. The sound recovery is a fresh AP exchange over
+   the stream — then the in-flight request is resealed on the new
+   session and replayed, invisibly to the caller. *)
+and upgrade_channel chan =
+  let t = chan.chan_client in
+  bump t "transport.fallback.response_too_big";
+  chan.chan_link.lk_teardown ();
+  Sim.Net.note t.net
+    (Printf.sprintf "%s: AP reply exceeds path MTU; redoing exchange over TCP"
+       t.host.Sim.Host.name);
+  ap_exchange t chan.chan_creds ~mutual:chan.chan_mutual ~transport:`Tcp
+    ~dst:chan.chan_dst ~dport:chan.chan_dport (function
+    | Error e ->
+        let waiter = chan.chan_waiting in
+        chan.chan_waiting <- ignore;
+        chan.chan_pending <- None;
+        waiter (Error ("TCP upgrade failed: " ^ e))
+    | Ok fresh ->
+        chan.chan_session <- fresh.chan_session;
+        chan.chan_link <- fresh.chan_link;
+        attach_channel chan;
+        (match chan.chan_pending with
+        | None -> ()
+        | Some (`Priv, data) ->
+            chan.chan_link.lk_send
+              (Frames.wrap Frames.priv
+                 (Krb_priv.seal chan.chan_session ~now:(now t) data))
+        | Some (`Safe, data) ->
+            chan.chan_link.lk_send
+              (Frames.wrap Frames.safe
+                 (Krb_safe.seal chan.chan_session ~now:(now t) data))))
+
+and ap_exchange t (creds : credentials) ?(mutual = true) ?deadline
+    ?(transport = `Auto) ~dst ~dport k =
+  (* Counts every exchange this library starts — including the internal
+     re-exchange a channel's TCP upgrade performs — so an invariant of
+     the form "sessions established <= honest exchanges started" can be
+     checked against it. *)
+  bump t "client.ap_exchange.started";
   let tel, span, wrap_k = exchange_span t "client.ap_exchange" in
   let k = wrap_k k in
   (* With a deadline the continuation can be raced by the timer: first
@@ -601,24 +742,83 @@ let ap_exchange t (creds : credentials) ?(mutual = true) ?deadline ~dst ~dport k
       k r
     end
   in
-  let sport = Sim.Net.ephemeral_port t.net in
+  let current = ref None in
+  let teardown () =
+    match !current with
+    | Some lk ->
+        current := None;
+        lk.lk_teardown ()
+    | None -> ()
+  in
+  let finish r =
+    teardown ();
+    k r
+  in
   (match deadline with
   | None -> ()
   | Some d ->
       Sim.Engine.schedule_after (Sim.Net.engine t.net) d (fun () ->
-          if not !settled then begin
-            Sim.Net.unlisten t.net t.host ~port:sport;
-            k (Error "AP exchange timed out")
-          end));
-  (* Transmit inside the span's context: AP_REQ and any challenge
-     response nest under the exchange. *)
-  let send kind payload =
+          if not !settled then finish (Error "AP exchange timed out")));
+  (* One attempt = one link. [start] builds the link (upgrading a doomed
+     datagram attempt to the stream when the AP_REQ itself cannot fit the
+     path MTU), installs the mode's reply handler, and transmits the
+     AP_REQ inside the span's context so it nests under the exchange. *)
+  let start via ~first_frame ~install =
+    let via =
+      match (via, transport) with
+      | `Udp, `Auto -> (
+          match
+            Sim.Net.path_mtu t.net ~src:(Sim.Host.primary_ip t.host) ~dst
+          with
+          | Some m when Bytes.length first_frame > m ->
+              bump t "transport.fallback.request_too_big";
+              `Tcp
+          | _ -> `Udp)
+      | v, _ -> v
+    in
+    let link =
+      match via with
+      | `Udp -> udp_link t ~dst ~dport
+      | `Tcp ->
+          tcp_link t ~dst ~dport ~on_reset:(fun () ->
+              if not !settled then finish (Error "AP connection reset"))
+    in
+    current := Some link;
+    install ~via ~link;
     Telemetry.Collector.with_context tel span (fun () ->
-        Sim.Net.send t.net ~sport ~dst ~dport t.host (Frames.wrap kind payload))
+        link.lk_send first_frame)
+  (* An error frame mid-exchange: the server's RESPONSE-TOO-BIG refusal
+     on the datagram leg restarts the whole exchange over the stream
+     (fresh authenticator — the refused attempt already consumed the
+     old one at the server); every other error surfaces. *)
+  and handle_error_frame ~via body ~retry =
+    let err =
+      match
+        Messages.err_of_value
+          (Wire.Encoding.decode t.profile.Profile.encoding body)
+      with
+      | e -> e
+      | exception Wire.Codec.Decode_error _ ->
+          { Messages.e_code = Messages.err_generic; e_text = "unparseable error" }
+    in
+    if
+      err.Messages.e_code = Messages.err_response_too_big
+      && via = `Udp && transport <> `Udp
+    then begin
+      bump t "transport.fallback.response_too_big";
+      teardown ();
+      retry `Tcp
+    end
+    else finish (Error err.Messages.e_text)
   in
-  let finish_session ~client_part ~server_part ~my_seq ~their_seq =
+  let send_in_span link kind payload =
+    Telemetry.Collector.with_context tel span (fun () ->
+        link.lk_send (Frames.wrap kind payload))
+  in
+  let finish_session ~link ~client_part ~server_part ~my_seq ~their_seq =
     match
-      Session.derived_key t.profile ~multi:creds.session_key ~client_part ~server_part
+      Session.derived_key t.profile ~multi:creds.session_key ~client_part
+        ~server_part
     with
     | key ->
         let session =
@@ -628,114 +828,126 @@ let ap_exchange t (creds : credentials) ?(mutual = true) ?deadline ~dst ~dport k
             ~send_seq:(Option.value my_seq ~default:0)
             ~recv_seq:(Option.value their_seq ~default:0)
         in
-        Ok (make_channel t session ~sport ~dst ~dport)
+        (* The channel takes ownership of the link: success must not tear
+           it down with the exchange. *)
+        current := None;
+        Ok (make_channel t session ~link ~creds ~mutual ~dst ~dport)
     | exception Invalid_argument e -> Error e
   in
-  match t.profile.Profile.ap_auth with
-  | Profile.Timestamp _ ->
-      let ts = now t in
-      let auth, client_part, my_seq = build_authenticator t creds ~now:ts () in
-      let ap =
-        { Messages.r_ticket = creds.ticket;
-          r_authenticator = seal_authenticator t creds auth; r_mutual = mutual }
-      in
-      let expect_body = mutual || client_part <> None || my_seq <> None in
-      Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
-          Sim.Net.unlisten t.net t.host ~port:sport;
-          match Frames.unwrap pkt.Sim.Packet.payload with
-          | Some (kind, body) when kind = Frames.ap_ok ->
-              if not expect_body then
-                k (finish_session ~client_part:None ~server_part:None ~my_seq:None ~their_seq:None)
-              else (
-                match
-                  Messages.open_msg t.profile ~key:creds.session_key
-                    ~tag:Messages.tag_ap_rep_body body
-                with
-                | Error e -> k (Error ("AP_REP: " ^ e))
-                | Ok v -> (
-                    match Messages.ap_rep_body_of_value v with
-                    | exception Wire.Codec.Decode_error e -> k (Error e)
-                    | rep ->
-                        if mutual && rep.ar_timestamp <> ts +. 1.0 then
-                          k (Error "mutual authentication failed (bad timestamp echo)")
-                        else
-                          k
-                            (finish_session ~client_part ~server_part:rep.ar_subkey_part
-                               ~my_seq ~their_seq:rep.ar_seq_init)))
-          | Some (kind, body) when kind = Frames.error ->
-              let text =
-                match
-                  Messages.err_of_value
-                    (Wire.Encoding.decode t.profile.Profile.encoding body)
-                with
-                | { e_text; _ } -> e_text
-                | exception Wire.Codec.Decode_error _ -> "unparseable error"
-              in
-              k (Error text)
-          | _ -> k (Error "unexpected reply to AP_REQ"));
-      send Frames.ap_req
-        (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
-           (Messages.ap_req_to_value ap))
-  | Profile.Challenge_response ->
-      let ap =
-        { Messages.r_ticket = creds.ticket; r_authenticator = Bytes.empty;
-          r_mutual = mutual }
-      in
-      let client_part =
-        if t.profile.Profile.negotiate_session_key then Some (Util.Rng.bytes t.rng 8)
-        else None
-      in
-      let my_seq =
-        match t.profile.Profile.priv_replay with
-        | Profile.Priv_sequence -> Some (Util.Rng.int t.rng 1_000_000)
-        | Profile.Priv_timestamp -> None
-      in
-      let stage = ref `Challenge in
-      Sim.Net.listen t.net t.host ~port:sport (fun pkt ->
-          match (!stage, Frames.unwrap pkt.Sim.Packet.payload) with
-          | `Challenge, Some (kind, body) when kind = Frames.challenge -> (
-              match
-                Messages.open_msg t.profile ~key:creds.session_key
-                  ~tag:Messages.tag_challenge body
-              with
-              | Error e ->
-                  Sim.Net.unlisten t.net t.host ~port:sport;
-                  k (Error ("challenge: " ^ e))
-              | Ok v -> (
-                  match Messages.challenge_of_value v with
-                  | exception Wire.Codec.Decode_error e ->
-                      Sim.Net.unlisten t.net t.host ~port:sport;
-                      k (Error e)
-                  | ch ->
-                      (* A well-formed sealed challenge is itself proof the
-                         server holds the session key: mutual auth. *)
-                      stage := `Ok (ch.c_server_part, ch.c_seq_init);
-                      let resp =
-                        { Messages.cr_nonce_f = Int64.add ch.c_nonce 1L;
-                          cr_client_part = client_part; cr_seq_init = my_seq }
-                      in
-                      send Frames.challenge_resp
-                        (Messages.seal_msg t.profile t.rng ~key:creds.session_key
-                           ~tag:Messages.tag_challenge_resp
-                           (Messages.challenge_resp_to_value resp))))
-          | `Ok (server_part, their_seq), Some (kind, _) when kind = Frames.ap_ok ->
-              Sim.Net.unlisten t.net t.host ~port:sport;
-              k (finish_session ~client_part ~server_part ~my_seq ~their_seq)
-          | _, Some (kind, body) when kind = Frames.error ->
-              Sim.Net.unlisten t.net t.host ~port:sport;
-              let text =
-                match
-                  Messages.err_of_value
-                    (Wire.Encoding.decode t.profile.Profile.encoding body)
-                with
-                | { e_text; _ } -> e_text
-                | exception Wire.Codec.Decode_error _ -> "unparseable error"
-              in
-              k (Error text)
-          | _ -> ());
-      send Frames.ap_req
-        (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
-           (Messages.ap_req_to_value ap))
+  let rec attempt via =
+    match t.profile.Profile.ap_auth with
+    | Profile.Timestamp _ ->
+        let ts = now t in
+        let auth, client_part, my_seq = build_authenticator t creds ~now:ts () in
+        let ap =
+          { Messages.r_ticket = creds.ticket;
+            r_authenticator = seal_authenticator t creds auth; r_mutual = mutual }
+        in
+        let expect_body = mutual || client_part <> None || my_seq <> None in
+        let first_frame =
+          Frames.wrap Frames.ap_req
+            (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
+               (Messages.ap_req_to_value ap))
+        in
+        start via ~first_frame ~install:(fun ~via ~link ->
+            link.lk_recv <-
+              (fun raw ->
+                if not !settled then
+                  match Frames.unwrap raw with
+                  | Some (kind, body) when kind = Frames.ap_ok ->
+                      if not expect_body then
+                        finish
+                          (finish_session ~link ~client_part:None
+                             ~server_part:None ~my_seq:None ~their_seq:None)
+                      else (
+                        match
+                          Messages.open_msg t.profile ~key:creds.session_key
+                            ~tag:Messages.tag_ap_rep_body body
+                        with
+                        | Error e -> finish (Error ("AP_REP: " ^ e))
+                        | Ok v -> (
+                            match Messages.ap_rep_body_of_value v with
+                            | exception Wire.Codec.Decode_error e ->
+                                finish (Error e)
+                            | rep ->
+                                if mutual && rep.ar_timestamp <> ts +. 1.0 then
+                                  finish
+                                    (Error
+                                       "mutual authentication failed (bad \
+                                        timestamp echo)")
+                                else
+                                  finish
+                                    (finish_session ~link ~client_part
+                                       ~server_part:rep.ar_subkey_part ~my_seq
+                                       ~their_seq:rep.ar_seq_init)))
+                  | Some (kind, body) when kind = Frames.error ->
+                      handle_error_frame ~via body ~retry:attempt
+                  | _ -> finish (Error "unexpected reply to AP_REQ")))
+    | Profile.Challenge_response ->
+        let ap =
+          { Messages.r_ticket = creds.ticket; r_authenticator = Bytes.empty;
+            r_mutual = mutual }
+        in
+        let client_part =
+          if t.profile.Profile.negotiate_session_key then
+            Some (Util.Rng.bytes t.rng 8)
+          else None
+        in
+        let my_seq =
+          match t.profile.Profile.priv_replay with
+          | Profile.Priv_sequence -> Some (Util.Rng.int t.rng 1_000_000)
+          | Profile.Priv_timestamp -> None
+        in
+        let first_frame =
+          Frames.wrap Frames.ap_req
+            (Messages.encode_msg t.profile ~tag:Messages.tag_ap_req
+               (Messages.ap_req_to_value ap))
+        in
+        let stage = ref `Challenge in
+        start via ~first_frame ~install:(fun ~via ~link ->
+            link.lk_recv <-
+              (fun raw ->
+                if not !settled then
+                  match (!stage, Frames.unwrap raw) with
+                  | `Challenge, Some (kind, body) when kind = Frames.challenge
+                    -> (
+                      match
+                        Messages.open_msg t.profile ~key:creds.session_key
+                          ~tag:Messages.tag_challenge body
+                      with
+                      | Error e -> finish (Error ("challenge: " ^ e))
+                      | Ok v -> (
+                          match Messages.challenge_of_value v with
+                          | exception Wire.Codec.Decode_error e ->
+                              finish (Error e)
+                          | ch ->
+                              (* A well-formed sealed challenge is itself
+                                 proof the server holds the session key:
+                                 mutual auth. *)
+                              stage := `Ok (ch.c_server_part, ch.c_seq_init);
+                              let resp =
+                                { Messages.cr_nonce_f = Int64.add ch.c_nonce 1L;
+                                  cr_client_part = client_part;
+                                  cr_seq_init = my_seq }
+                              in
+                              send_in_span link Frames.challenge_resp
+                                (Messages.seal_msg t.profile t.rng
+                                   ~key:creds.session_key
+                                   ~tag:Messages.tag_challenge_resp
+                                   (Messages.challenge_resp_to_value resp))))
+                  | `Ok (server_part, their_seq), Some (kind, _)
+                    when kind = Frames.ap_ok ->
+                      finish
+                        (finish_session ~link ~client_part ~server_part ~my_seq
+                           ~their_seq)
+                  | _, Some (kind, body) when kind = Frames.error ->
+                      handle_error_frame ~via body ~retry:(fun via ->
+                          stage := `Challenge;
+                          attempt via)
+                  | _ -> ()))
+  in
+  let initial = match transport with `Tcp -> `Tcp | `Udp | `Auto -> `Udp in
+  attempt initial
 
 (* Park a waiter on the channel, optionally bounded by a deadline. The
    waiter and the timer race; the first to settle wins, and the timer only
@@ -763,17 +975,16 @@ let wait_on_channel chan ?deadline net ~k =
 
 let call_priv t chan ?deadline data ~k =
   wait_on_channel chan ?deadline t.net ~k;
+  chan.chan_pending <- Some (`Priv, data);
   let sealed = Krb_priv.seal chan.chan_session ~now:(now t) data in
-  Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
-    t.host (Frames.wrap Frames.priv sealed)
+  chan.chan_link.lk_send (Frames.wrap Frames.priv sealed)
 
 let send_priv_oneway t chan data =
   let sealed = Krb_priv.seal chan.chan_session ~now:(now t) data in
-  Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
-    t.host (Frames.wrap Frames.priv sealed)
+  chan.chan_link.lk_send (Frames.wrap Frames.priv sealed)
 
 let call_safe t chan ?deadline data ~k =
   wait_on_channel chan ?deadline t.net ~k;
+  chan.chan_pending <- Some (`Safe, data);
   let msg = Krb_safe.seal chan.chan_session ~now:(now t) data in
-  Sim.Net.send t.net ~sport:chan.chan_sport ~dst:chan.chan_dst ~dport:chan.chan_dport
-    t.host (Frames.wrap Frames.safe msg)
+  chan.chan_link.lk_send (Frames.wrap Frames.safe msg)

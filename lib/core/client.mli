@@ -140,14 +140,24 @@ val ap_exchange :
   credentials ->
   ?mutual:bool ->
   ?deadline:float ->
+  ?transport:[ `Auto | `Udp | `Tcp ] ->
   dst:Sim.Addr.t ->
   dport:int ->
   ((channel, string) result -> unit) ->
   unit
 (** [deadline] (seconds from now; default none — wait forever, the
     pre-fault-plane behaviour) bounds the whole exchange: if it passes
-    first the ephemeral port is torn down and the continuation gets
-    [Error "AP exchange timed out"], exactly once. *)
+    first the link is torn down and the continuation gets
+    [Error "AP exchange timed out"], exactly once.
+
+    [transport] (default [`Auto]) picks the channel's link: [`Auto]
+    tries a datagram exchange first and transparently redoes it over
+    framed TCP when the AP_REQ itself exceeds the client's path MTU or
+    the server answers with a RESPONSE-TOO-BIG refusal; [`Udp]/[`Tcp]
+    pin the link. A datagram channel that later hits the refusal on a
+    sealed call re-establishes itself over TCP and resends the call,
+    invisibly to the caller (counted in
+    [transport.fallback.response_too_big]). *)
 
 val call_priv :
   t -> channel -> ?deadline:float -> bytes -> k:((bytes, string) result -> unit) -> unit

@@ -34,6 +34,7 @@ type t = {
   (* Crash/restart state, mirroring Apserver. [installed] remembers where
      [install] bound us so [restart] can re-listen. *)
   mutable installed : (Sim.Net.t * Sim.Host.t * int) option;
+  mutable endpoint : Sim.Transport.server option;
   mutable running : bool;
   mutable disk : disk option;
   mutable durability_every : int option;  (** checkpoint cadence, if durable *)
@@ -60,7 +61,8 @@ let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
     tgs_cache = Replay_cache.create ~horizon:tgs_cache_horizon;
     enc_tkt_cname_check; verify_transit; rate_limit;
     rate_table = Hashtbl.create 16; tel;
-    installed = None; running = false; disk = None; durability_every = None;
+    installed = None; endpoint = None; running = false; disk = None;
+    durability_every = None;
     last_recovery = None;
     c_as_served = fresh ("kdc." ^ realm ^ ".as_requests_served");
     c_preauth_rejected = fresh ("kdc." ^ realm ^ ".preauth_rejections");
@@ -488,13 +490,17 @@ let outcome_of_reply v =
 
 let serve t net host port =
   let tel = t.tel in
-  Sim.Net.listen net host ~port (fun pkt ->
-      let reply v =
-        Sim.Net.send net ~sport:port ~dst:pkt.Sim.Packet.src ~dport:pkt.Sim.Packet.sport
-          host
-          (Wire.Encoding.encode t.profile.Profile.encoding v)
-      in
-      let src_addr = pkt.Sim.Packet.src in
+  let encode v = Wire.Encoding.encode t.profile.Profile.encoding v in
+  (* Both endpoints (datagram and framed stream) feed this handler; a
+     datagram reply that cannot fit the return path is replaced by the
+     RESPONSE-TOO-BIG refusal, telling the client to redo over TCP. *)
+  let endpoint =
+    Sim.Transport.serve net host ~port
+      ~too_big:(fun ~mtu:_ ->
+        encode (err Messages.err_response_too_big "response exceeds path MTU"))
+      (fun ~peer payload ~reply:send_raw ->
+      let reply v = send_raw (encode v) in
+      let src_addr = peer.Sim.Transport.p_addr in
       let src = Sim.Addr.to_string src_addr in
       (* One span per exchange, nested under the request's packet span; the
          reply is transmitted inside the span's context so the reply packet
@@ -528,7 +534,7 @@ let serve t net host port =
         end;
         Telemetry.Collector.span_finish tel ~outcome span
       in
-      match Wire.Encoding.decode_result t.profile.Profile.encoding pkt.Sim.Packet.payload with
+      match Wire.Encoding.decode_result t.profile.Profile.encoding payload with
       | Error e -> reply (err Messages.err_generic e)
       | Ok v -> (
           (* Try AS first, then TGS; under Der the tag disambiguates, under
@@ -546,6 +552,8 @@ let serve t net host port =
                     (fun () -> handle_tgs t net host req ~src_addr)
               | exception Wire.Codec.Decode_error e ->
                   reply (err Messages.err_generic e))))
+  in
+  t.endpoint <- Some endpoint
 
 let install net host t ?(port = default_port) () =
   t.installed <- Some (net, host, port);
@@ -565,9 +573,12 @@ let recoveries t = Telemetry.Metrics.value t.c_recoveries
    the pre-PR behaviour, now opt-out instead of inevitable. *)
 let crash t =
   match t.installed with
-  | Some (net, host, port) when t.running ->
+  | Some (net, host, _port) when t.running ->
       t.running <- false;
-      Sim.Net.unlisten net host ~port;
+      (match t.endpoint with
+      | Some ep -> Sim.Transport.shutdown ep
+      | None -> ());
+      t.endpoint <- None;
       t.disk <-
         Option.map
           (fun (dk_checkpoint, dk_wal) ->

@@ -113,6 +113,7 @@ let err_option_forbidden = 9
 let err_policy = 10
 let err_transit = 11
 let err_generic = 12
+let err_response_too_big = 13
 
 (* ------------------------------------------------------------------ *)
 (* Small building blocks                                               *)

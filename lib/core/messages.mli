@@ -140,6 +140,10 @@ val err_policy : int
 val err_transit : int
 val err_generic : int
 
+val err_response_too_big : int
+(** The encoded response exceeds the path MTU back to the client — retry
+    the exchange over the stream transport (the v5 KRB_ERR_RESPONSE_TOO_BIG). *)
+
 (** Serialization. [of_value] functions raise {!Wire.Codec.Decode_error}. *)
 
 val ticket_to_value : ticket -> Wire.Encoding.value

@@ -1,0 +1,89 @@
+(** Property-based session fuzzing for the transport plane.
+
+    A {e scheme} is a generated program: a randomized path MTU, optional
+    background fault noise, and 5-25 operations — sealed reads (small,
+    and deliberately larger than any MTU), KDC and application-server
+    crash/heal pairs, partitions of the master KDC, and workstation
+    clock steps. {!run_scheme} executes one scheme against the
+    quickstart realm on a fresh engine and reports everything the
+    invariants need; {!violations} checks them:
+
+    - no authenticator is accepted twice and no forged one ever — the
+      server never holds more sessions than honest AP exchanges started;
+    - a session established under a mismatched key never completes — a
+      successful sealed read is byte-exact, whichever transport
+      (datagram or stream fallback) carried it;
+    - every client call terminates in a reply, a typed error, or a
+      timeout — no continuation is left unsettled;
+    - the engine drains and no telemetry span leaks.
+
+    {!deterministic} re-runs a scheme and compares full telemetry traces
+    byte-for-byte. {!shrink} minimizes a failing scheme by greedy op
+    deletion. {!mutation_caught} plants a real bug (no replay cache +
+    every datagram to the server duplicated) and confirms the invariant
+    checker flags it — the test of the tester. *)
+
+type op =
+  | Read of { who : int; at : float; big : bool }
+  | Crash_kdc of { at : float; back : float }
+  | Crash_ap of { at : float; back : float }
+  | Partition of { at : float; dur : float }
+  | Clock_step of { who : int; at : float; delta : float }
+
+type scheme = {
+  sc_seed : int64;
+  sc_mtu : int option;
+  sc_noise : bool;
+  sc_ops : op list;
+}
+
+val gen_scheme : Util.Rng.t -> scheme
+val scheme_to_string : scheme -> string
+
+type read_report = {
+  rr_op : int;
+  rr_big : bool;
+  rr_outcome : (string, string) result option;
+}
+
+type report = {
+  r_scheme : scheme;
+  r_reads : read_report list;
+  r_ap_attempts : int;
+  r_sessions : int;
+  r_replay_hits : int;
+  r_fallbacks : int;
+  r_truncated : int;
+  r_packets : int;
+  r_pending_after : int;
+  r_open_spans : int;
+  r_sim_seconds : float;
+  r_trace : string;
+}
+
+val run_scheme : ?mutate:bool -> scheme -> report
+(** [mutate] plants the replay-cache bug for {!mutation_caught}. *)
+
+val violations : report -> string list
+(** Empty iff every invariant held. *)
+
+val deterministic : scheme -> bool
+val shrink : scheme -> scheme
+val mutation_caught : unit -> bool
+
+type campaign = {
+  c_seed : int64;
+  c_schedules : int;
+  c_reads : int;
+  c_read_oks : int;
+  c_fallbacks : int;
+  c_truncated : int;
+  c_det_checks : int;
+  c_det_failures : int;
+  c_failures : (scheme * string list) list;
+}
+
+val campaign : ?schedules:int -> ?det_every:int -> seed:int64 -> unit -> campaign
+val campaign_summary : campaign -> string
+val ok : campaign -> bool
+(** No invariant violations and no determinism mismatches. *)

@@ -102,7 +102,8 @@ let install net host ~profile ~principal ~key ~port ?(isn = Sim.Tcpish.Random_is
 let run_command client (creds : Client.credentials) ~dst ~dport ~cmd ~k =
   let net = Client.net client in
   let profile = Client.client_profile client in
-  Sim.Tcpish.connect net (Client.host client) ~dst ~dport
+  ignore
+  @@ Sim.Tcpish.connect net (Client.host client) ~dst ~dport
     ~on_connected:(fun conn ->
       let stage = ref `Auth in
       Sim.Tcpish.on_data conn (fun data ->

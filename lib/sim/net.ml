@@ -24,11 +24,19 @@ type t = {
   mutable faults : Faults.t option;
   mutable next_uid : int;
   mutable next_port : int;
+  (* Path MTU model: a default for every link plus per-(src,dst) overrides.
+     [mtu_active] is the fast-path guard — unconfigured networks (the
+     common case, and all of the load campaigns) take a single branch per
+     delivery. *)
+  mutable default_mtu : int option;
+  link_mtus : (Addr.t * Addr.t, int option) Hashtbl.t;
+  mutable mtu_active : bool;
   (* Per-packet counters, resolved once at [create] — the hot path never
      hashes a metric name. Per-reason drop counters are memoized below. *)
   c_sent : Telemetry.Metrics.counter;
   c_delivered : Telemetry.Metrics.counter;
   c_dropped : Telemetry.Metrics.counter;
+  c_truncated : Telemetry.Metrics.counter;
   drop_counters : (string, Telemetry.Metrics.counter) Hashtbl.t;
   mutable ev_buf : event array;  (** ring; empty until the first record *)
   mutable ev_start : int;
@@ -47,9 +55,11 @@ let create ?(latency = 0.005) ?(seed = 1L) ?telemetry eng =
   { eng; latency; rng = Util.Rng.create seed; tel; hosts = Hashtbl.create 16;
     ports = Hashtbl.create 64; taps = []; interceptor = None; faults = None;
     next_uid = 0; next_port = 33000;
+    default_mtu = None; link_mtus = Hashtbl.create 8; mtu_active = false;
     c_sent = Telemetry.Metrics.counter m "net.packets.sent";
     c_delivered = Telemetry.Metrics.counter m "net.packets.delivered";
     c_dropped = Telemetry.Metrics.counter m "net.packets.dropped";
+    c_truncated = Telemetry.Metrics.counter m "net.packets.truncated";
     drop_counters = Hashtbl.create 8;
     ev_buf = [||]; ev_start = 0; ev_len = 0; ev_seen = 0 }
 
@@ -105,6 +115,32 @@ let ephemeral_port t =
   t.next_port <- t.next_port + 1;
   t.next_port
 
+let refresh_mtu_active t =
+  t.mtu_active <-
+    t.default_mtu <> None
+    || Hashtbl.fold (fun _ v acc -> acc || v <> None) t.link_mtus false
+
+let set_mtu t mtu =
+  (match mtu with
+  | Some m when m < 16 -> invalid_arg "Net.set_mtu: MTU below 16 bytes"
+  | _ -> ());
+  t.default_mtu <- mtu;
+  refresh_mtu_active t
+
+let set_link_mtu t ~src ~dst mtu =
+  (match mtu with
+  | Some m when m < 16 -> invalid_arg "Net.set_link_mtu: MTU below 16 bytes"
+  | _ -> ());
+  Hashtbl.replace t.link_mtus (src, dst) mtu;
+  refresh_mtu_active t
+
+let path_mtu t ~src ~dst =
+  if not t.mtu_active then None
+  else
+    match Hashtbl.find_opt t.link_mtus (src, dst) with
+    | Some override -> override
+    | None -> t.default_mtu
+
 let packet_attrs pkt =
   [ ("src", Printf.sprintf "%s:%d" (Addr.to_string pkt.Packet.src) pkt.Packet.sport);
     ("dst", Printf.sprintf "%s:%d" (Addr.to_string pkt.Packet.dst) pkt.Packet.dport);
@@ -149,7 +185,30 @@ let drop_packet t span pkt why =
   Telemetry.Metrics.incr (drop_counter t why);
   Telemetry.Collector.span_finish t.tel ~outcome:("dropped:" ^ why) span
 
+(* MTU truncation is applied at the single delivery choke point so that
+   everything obeys the same physics: honest sends, fault-plane duplicates
+   and replacements, and adversarial [inject] alike. A datagram longer
+   than the path MTU is delivered {e short} — the lost tail is the drop,
+   so it rides the same [net.dropped.<reason>] vocabulary as injected
+   loss, while the packet itself still counts as delivered. *)
+let truncate_for_path t pkt =
+  if not t.mtu_active then pkt
+  else
+    match path_mtu t ~src:pkt.Packet.src ~dst:pkt.Packet.dst with
+    | Some mtu when Bytes.length pkt.Packet.payload > mtu ->
+        Telemetry.Metrics.incr t.c_truncated;
+        Telemetry.Metrics.incr (drop_counter t "truncated");
+        if not (Telemetry.Collector.lightweight t.tel) then
+          note t
+            (Printf.sprintf "mtu: %d-byte datagram %s:%d -> %s:%d truncated to %d"
+               (Bytes.length pkt.Packet.payload)
+               (Addr.to_string pkt.Packet.src) pkt.Packet.sport
+               (Addr.to_string pkt.Packet.dst) pkt.Packet.dport mtu);
+        { pkt with Packet.payload = Bytes.sub pkt.Packet.payload 0 mtu }
+    | _ -> pkt
+
 let deliver ?(extra = 0.0) t span pkt =
+  let pkt = truncate_for_path t pkt in
   Engine.schedule_after t.eng (t.latency +. extra) (fun () ->
       match Hashtbl.find_opt t.ports (pkt.Packet.dst, pkt.Packet.dport) with
       | Some fn ->

@@ -49,6 +49,31 @@ val listening : t -> Addr.t -> port:int -> bool
 val ephemeral_port : t -> int
 (** Fresh high port, unique per network. *)
 
+(** {1 Path MTU}
+
+    Real datagram transports lose the tail of an oversized message; the
+    paper's protocol lives on such datagrams. With an MTU configured, any
+    packet whose payload exceeds the path MTU is delivered {e truncated}
+    to exactly the MTU — the receiver sees a short, undecodable prefix
+    (the PR-5 hardened decoders reject it cleanly). Truncation applies at
+    the delivery choke point, so fault-plane duplicates/replacements and
+    adversarial {!inject} obey the same physics. Each truncation bumps
+    [net.packets.truncated] and [net.dropped.truncated] (the lost tail is
+    the drop) and records a trace note. Unconfigured networks pay a
+    single branch per delivery. *)
+
+val set_mtu : t -> int option -> unit
+(** Default MTU for every link ([None] = unlimited, the initial state).
+    @raise Invalid_argument on an MTU below 16 bytes. *)
+
+val set_link_mtu : t -> src:Addr.t -> dst:Addr.t -> int option -> unit
+(** Directed per-link override; [Some _]/[None] here beats the default
+    (so a link can be made unlimited under a finite default). *)
+
+val path_mtu : t -> src:Addr.t -> dst:Addr.t -> int option
+(** Effective MTU a datagram from [src] to [dst] is subject to. Senders
+    use this to pre-judge whether a request can fit at all. *)
+
 val send : t -> ?src:Addr.t -> sport:int -> dst:Addr.t -> dport:int -> Host.t -> bytes -> unit
 (** [send net host payload ~sport ~dst ~dport] transmits from [host]
     (source address [?src] defaults to the host's primary address and must

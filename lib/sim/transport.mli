@@ -1,0 +1,80 @@
+(** UDP-first request/reply transport with transparent fallback to framed
+    {!Tcpish} — the shape real Kerberos clients implement: try the
+    datagram; if the server refuses because its response exceeds the path
+    MTU (KRB_ERR_RESPONSE_TOO_BIG in the Kerberos planes), or replies
+    keep arriving truncated, redo the exchange over a stream with 4-byte
+    length-prefixed framing.
+
+    Fallback decisions are counted in the network's telemetry registry:
+    [transport.fallback.response_too_big], [transport.fallback.truncation],
+    [transport.fallback.request_too_big], plus [transport.truncated]
+    (garbled datagram replies observed), [transport.udp.calls/replies],
+    [transport.tcp.calls/replies], and server-side
+    [transport.responses_too_big]. Every call is one ["transport.call"]
+    span with outcome [ok]/[timeout]/[reset]. *)
+
+val tcp_port : int -> int
+(** The simulator has one port namespace; a service's stream endpoint
+    lives at this fixed offset (+20000) from its datagram port. *)
+
+(** How a client's decoder judged a datagram reply. *)
+type classification =
+  | Accept  (** a well-formed reply — hand it to the caller *)
+  | Response_too_big  (** the server's explicit refusal: redo over TCP *)
+  | Garbled  (** undecodable — possibly a truncated tail; retry, then TCP *)
+
+type peer = {
+  p_addr : Addr.t;
+  p_port : int;
+  p_local : Addr.t;  (** the server address the request arrived at *)
+  p_via : [ `Udp | `Tcp ];  (** which endpoint the message arrived on *)
+}
+
+type server
+
+val serve :
+  Net.t ->
+  Host.t ->
+  port:int ->
+  ?too_big:(mtu:int -> bytes) ->
+  (peer:peer -> bytes -> reply:(bytes -> unit) -> unit) ->
+  server
+(** Install the same message handler on both endpoints: datagrams on
+    [port], framed stream messages on [tcp_port port]. A datagram reply
+    that would exceed the return-path MTU is replaced by [too_big ~mtu]
+    (when given) — the refusal must itself fit the MTU. Stream replies
+    are never size-limited. *)
+
+val shutdown : server -> unit
+(** Remove both listeners (e.g. on crash). In-flight stream connections
+    lose their endpoint and die by retransmission exhaustion on the
+    client side, exactly like a crashed real server. *)
+
+val call :
+  Net.t ->
+  Host.t ->
+  ?src:Addr.t ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?max_timeout:float ->
+  ?jitter:float ->
+  ?tcp_timeout:float ->
+  ?classify:(bytes -> classification) ->
+  dst:Addr.t ->
+  dport:int ->
+  bytes ->
+  on_reply:(bytes -> unit) ->
+  on_timeout:(unit -> unit) ->
+  unit
+(** One request/reply exchange. The datagram leg rides {!Rpc.call} with
+    the given retry envelope; each reply is judged by [classify]
+    (default: accept everything). [Response_too_big] switches to the
+    stream leg immediately; [Garbled] retries the datagram once more and
+    switches after a second garble. If the request itself exceeds the
+    sender's path MTU the datagram leg is skipped entirely
+    ([transport.fallback.request_too_big]). The stream leg opens a
+    connection to [tcp_port dport], sends the request as one framed
+    message and yields the first framed reply; a reset or [tcp_timeout]
+    expiry reports [on_timeout]. Exactly one of [on_reply]/[on_timeout]
+    fires. *)

@@ -109,7 +109,10 @@ let segment_roundtrip =
         (triple (int_bound 0x7FFFFFFF) (int_bound 0x7FFFFFFF)
            (string_of_size (QCheck.Gen.int_range 0 80))))
     (fun ((syn, ack, fin), (seq, ackno, body)) ->
-      let seg = { Sim.Tcpish.syn; ack; fin; seq; ackno; body = Bytes.of_string body } in
+      let seg =
+        { Sim.Tcpish.syn; ack; fin; rst = syn && ack; seq; ackno;
+          body = Bytes.of_string body }
+      in
       match Sim.Tcpish.decode_segment (Sim.Tcpish.encode_segment seg) with
       | Some back -> back = seg
       | None -> false)

@@ -432,12 +432,14 @@ let tcp_handshake_and_data () =
           server_got := Bytes.to_string data :: !server_got;
           Tcpish.send conn (Bytes.of_string "pong")))
     ();
-  Tcpish.connect net a ~dst:(Host.primary_ip b) ~dport:513
-    ~on_connected:(fun conn ->
-      Tcpish.on_data conn (fun data -> client_got := Bytes.to_string data :: !client_got);
-      Tcpish.send conn (Bytes.of_string "ping");
-      Tcpish.send conn (Bytes.of_string "ping2"))
-    ();
+  ignore
+    (Tcpish.connect net a ~dst:(Host.primary_ip b) ~dport:513
+       ~on_connected:(fun conn ->
+         Tcpish.on_data conn (fun data ->
+             client_got := Bytes.to_string data :: !client_got);
+         Tcpish.send conn (Bytes.of_string "ping");
+         Tcpish.send conn (Bytes.of_string "ping2"))
+       ());
   Engine.run eng;
   Alcotest.(check (list string)) "server got" [ "ping"; "ping2" ] (List.rev !server_got);
   Alcotest.(check (list string)) "client got" [ "pong"; "pong" ] (List.rev !client_got)
@@ -459,16 +461,17 @@ let tcp_out_of_window_dropped () =
       server_conn := Some conn;
       Tcpish.on_data conn (fun d -> server_got := Bytes.to_string d :: !server_got))
     ();
-  Tcpish.connect net a ~dst:(Host.primary_ip b) ~dport:513
-    ~on_connected:(fun conn -> Tcpish.send conn (Bytes.of_string "real"))
-    ();
+  ignore
+    (Tcpish.connect net a ~dst:(Host.primary_ip b) ~dport:513
+       ~on_connected:(fun conn -> Tcpish.send conn (Bytes.of_string "real"))
+       ());
   Engine.run eng;
   (* Inject a segment with a wrong sequence number at the server. *)
   let adv = Adversary.attach net in
   let bogus =
     Tcpish.encode_segment
-      { Tcpish.syn = false; ack = false; fin = false; seq = 999999; ackno = 0;
-        body = Bytes.of_string "fake" }
+      { Tcpish.syn = false; ack = false; fin = false; rst = false; seq = 999999;
+        ackno = 0; body = Bytes.of_string "fake" }
   in
   Adversary.spoof adv ~src:(Host.primary_ip a) ~sport:33001 ~dst:(Host.primary_ip b) ~dport:513 bogus;
   Engine.run eng;

@@ -1,0 +1,236 @@
+(* The bytes-faithful transport plane: 4-byte length-prefixed framing
+   reassembled across many MTU-sized segments under reordering and
+   duplication, a length prefix torn across segment boundaries, honest
+   datagram truncation at the MTU choke point (delivered short, rejected
+   by the hardened decoders, counted), and the quickstart workload forced
+   through the RESPONSE-TOO-BIG -> framed-TCP fallback end to end —
+   byte-identically across two runs at one seed. *)
+
+open Kerberos
+
+let quad = Sim.Addr.of_quad
+
+let counter tel name =
+  Telemetry.Metrics.value
+    (Telemetry.Metrics.counter (Telemetry.Collector.metrics tel) name)
+
+let mk_net ?(seed = 0xF4AEL) () =
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed ~telemetry:tel eng in
+  let a = Sim.Host.create ~name:"alpha" ~ips:[ quad 10 0 0 1 ] () in
+  let b = Sim.Host.create ~name:"beta" ~ips:[ quad 10 0 0 2 ] () in
+  Sim.Net.attach net a;
+  Sim.Net.attach net b;
+  (tel, eng, net, a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Framing reassembly                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One framed message chopped into a dozen segments by the MTU, with the
+   fault plane reordering and duplicating segments underneath: the
+   receiver's on_message must yield the message once, byte-identical,
+   and a second message on the same stream must arrive intact after it
+   (the frame boundary survives the churn). *)
+let framed_across_segments () =
+  let tel, eng, net, a, b = mk_net () in
+  Sim.Net.set_mtu net (Some 100);
+  let rng = Util.Rng.create 0x5E6E17L in
+  let msg1 = Util.Rng.bytes rng 1000 in
+  let msg2 = Util.Rng.bytes rng 333 in
+  let got = ref [] in
+  Sim.Tcpish.listen net b ~port:750
+    ~on_accept:(fun conn ->
+      Sim.Tcpish.on_message conn (fun m -> got := Bytes.copy m :: !got))
+    ();
+  let plane = Sim.Faults.create ~seed:0x0DDL () in
+  ignore
+  @@ Sim.Tcpish.connect net a ~dst:(Sim.Host.primary_ip b) ~dport:750
+       ~on_connected:(fun conn ->
+         (* Faults start after the handshake: from here every segment may
+            be doubled and one in three is held back to arrive late. *)
+         Sim.Faults.add_duplicate plane ~p:0.5 ();
+         Sim.Faults.add_reorder plane ~hold:0.05 ~p:0.3 ();
+         Sim.Net.attach_faults net plane;
+         Sim.Tcpish.send_message conn msg1;
+         Sim.Tcpish.send_message conn msg2)
+       ();
+  Sim.Engine.run eng;
+  (match List.rev !got with
+  | [ m1; m2 ] ->
+      Alcotest.(check bool) "first message byte-identical" true
+        (Bytes.equal m1 msg1);
+      Alcotest.(check bool) "second message byte-identical" true
+        (Bytes.equal m2 msg2)
+  | l -> Alcotest.failf "expected 2 messages, got %d" (List.length l));
+  Alcotest.(check bool) "the plane actually interfered" true
+    (Sim.Faults.count plane Sim.Faults.Duplicate
+     + Sim.Faults.count plane Sim.Faults.Reorder
+     > 0);
+  Alcotest.(check bool) "out-of-order segments were buffered" true
+    (counter tel "tcpish.ooo_buffered" > 0)
+
+(* MTU 16 leaves 3 stream bytes per segment (13 go to the segment
+   header), so the 4-byte length prefix itself is torn across the first
+   two segments. The framer must buffer the partial prefix and still
+   deliver the message byte-identically. *)
+let torn_length_prefix () =
+  let _tel, eng, net, a, b = mk_net () in
+  Sim.Net.set_mtu net (Some 16);
+  let msg = Bytes.of_string "torn-prefix payload" in
+  let got = ref [] in
+  Sim.Tcpish.listen net b ~port:750
+    ~on_accept:(fun conn ->
+      Sim.Tcpish.on_message conn (fun m -> got := Bytes.copy m :: !got))
+    ();
+  ignore
+  @@ Sim.Tcpish.connect net a ~dst:(Sim.Host.primary_ip b) ~dport:750
+       ~on_connected:(fun conn -> Sim.Tcpish.send_message conn msg)
+       ();
+  Sim.Engine.run eng;
+  match !got with
+  | [ m ] ->
+      Alcotest.(check bool) "reassembled through 3-byte segments" true
+        (Bytes.equal m msg)
+  | l -> Alcotest.failf "expected 1 message, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Honest truncation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A datagram above the path MTU is delivered short — exactly MTU bytes,
+   a prefix of the original — and the loss is counted. The truncated
+   prefix of a real encoded message must then fail to decode: short
+   reads surface as a clean rejection, never as a different message. *)
+let truncation_delivered_short_and_rejected () =
+  let tel, eng, net, a, b = mk_net () in
+  Sim.Net.set_mtu net (Some 64);
+  let profile = Profile.v5_draft3 in
+  let encoded =
+    Messages.encode_msg profile ~tag:Messages.tag_err
+      (Messages.err_to_value
+         { Messages.e_code = Messages.err_generic;
+           e_text = String.make 150 'x' })
+  in
+  Alcotest.(check bool) "test message exceeds the MTU" true
+    (Bytes.length encoded > 64);
+  let got = ref None in
+  Sim.Net.listen net b ~port:99 (fun pkt ->
+      got := Some (Bytes.copy pkt.Sim.Packet.payload));
+  Sim.Net.send net ~sport:5000 ~dst:(Sim.Host.primary_ip b) ~dport:99 a encoded;
+  Sim.Engine.run eng;
+  (match !got with
+  | None -> Alcotest.fail "truncated datagram was not delivered at all"
+  | Some short ->
+      Alcotest.(check int) "delivered exactly MTU bytes" 64 (Bytes.length short);
+      Alcotest.(check bool) "delivered bytes are a prefix of the original" true
+        (Bytes.equal short (Bytes.sub encoded 0 64));
+      let rejected =
+        match Messages.decode_msg profile ~tag:Messages.tag_err short with
+        | _ -> false
+        | exception _ -> true
+      in
+      Alcotest.(check bool) "hardened decoder rejects the stub" true rejected);
+  Alcotest.(check int) "net.packets.truncated" 1
+    (counter tel "net.packets.truncated");
+  Alcotest.(check int) "net.dropped.truncated" 1
+    (counter tel "net.dropped.truncated")
+
+(* ------------------------------------------------------------------ *)
+(* RESPONSE-TOO-BIG fallback, end to end                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The quickstart realm with the path MTU pinned below the largest
+   AS/TGS reply: login, TGS, AP exchange and a sealed read of a blob
+   far above the MTU must all complete — the KDC exchanges retried over
+   the stream after the server's explicit refusal, the AP channel
+   upgraded for the oversized sealed reply. Returns the full telemetry
+   trace so the caller can compare two runs byte for byte. *)
+let quickstart_under_mtu () =
+  let tel = Telemetry.Collector.fresh_default () in
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create ~seed:0x7E57L ~telemetry:tel eng in
+  Sim.Net.set_mtu net (Some 200);
+  let kdc_host = Sim.Host.create ~name:"kdc" ~ips:[ quad 10 2 0 1 ] () in
+  let fs_host = Sim.Host.create ~name:"fs" ~ips:[ quad 10 2 0 2 ] () in
+  let ws = Sim.Host.create ~name:"ws" ~ips:[ quad 10 2 0 3 ] () in
+  List.iter (Sim.Net.attach net) [ kdc_host; fs_host; ws ];
+  let profile = Profile.v5_draft3 in
+  let rng = Util.Rng.create 0xC4FEL in
+  let db = Kdb.create () in
+  Kdb.add_service db
+    (Principal.tgs ~realm:"TPORT")
+    ~key:(Crypto.Des.random_key rng);
+  let user = Principal.user ~realm:"TPORT" "u" in
+  Kdb.add_user db user ~password:"pw.u";
+  let fileserv = Principal.service ~realm:"TPORT" "fileserv" ~host:"fs" in
+  let fs_key = Crypto.Des.random_key rng in
+  Kdb.add_service db fileserv ~key:fs_key;
+  let kdc = Kdc.create ~realm:"TPORT" ~profile ~lifetime:28800.0 db in
+  Kdc.install net kdc_host kdc ();
+  let fsrv =
+    Services.Fileserver.install net fs_host ~profile ~principal:fileserv
+      ~key:fs_key ~port:600
+  in
+  Services.Fileserver.write_file fsrv ~owner:"seed" ~path:"/blob"
+    (Bytes.make 1200 'b');
+  let c =
+    Client.create ~seed:0xB0BL ~password:"pw.u" net ws ~profile
+      ~kdcs:[ ("TPORT", Sim.Host.primary_ip kdc_host) ]
+      user
+  in
+  let read = ref None in
+  Client.login c ~password:"pw.u" (function
+    | Error e -> Alcotest.failf "login under MTU: %s" e
+    | Ok _ ->
+        Client.get_ticket c ~service:fileserv (function
+          | Error e -> Alcotest.failf "TGS under MTU: %s" e
+          | Ok creds ->
+              Client.ap_exchange c creds ~deadline:10.0
+                ~dst:(Sim.Host.primary_ip fs_host) ~dport:600 (function
+                | Error e -> Alcotest.failf "AP under MTU: %s" e
+                | Ok chan ->
+                    Client.call_priv c chan ~deadline:10.0
+                      (Bytes.of_string "READ /blob") ~k:(fun r ->
+                        read := Some r))));
+  Sim.Engine.run eng;
+  (match !read with
+  | Some (Ok data) ->
+      Alcotest.(check int) "blob read whole over the fallback" 1200
+        (Bytes.length data)
+  | Some (Error e) -> Alcotest.failf "sealed read under MTU: %s" e
+  | None -> Alcotest.fail "pipeline never completed");
+  (tel, Telemetry.Collector.trace_jsonl tel)
+
+let response_too_big_fallback () =
+  let tel, _ = quickstart_under_mtu () in
+  Alcotest.(check bool) "transport.fallback.response_too_big > 0" true
+    (counter tel "transport.fallback.response_too_big" > 0);
+  Alcotest.(check bool) "the stream leg actually carried calls" true
+    (counter tel "transport.tcp.calls" > 0);
+  Alcotest.(check int) "no datagram was honestly truncated" 0
+    (counter tel "net.packets.truncated")
+
+let fallback_deterministic () =
+  let _, trace1 = quickstart_under_mtu () in
+  let _, trace2 = quickstart_under_mtu () in
+  Alcotest.(check bool) "two runs at one seed trace byte-identically" true
+    (String.equal trace1 trace2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "transport"
+    [ ( "framing",
+        [ Alcotest.test_case "reassembly across segments under churn" `Quick
+            framed_across_segments;
+          Alcotest.test_case "torn length prefix" `Quick torn_length_prefix ] );
+      ( "truncation",
+        [ Alcotest.test_case "delivered short, rejected, counted" `Quick
+            truncation_delivered_short_and_rejected ] );
+      ( "fallback",
+        [ Alcotest.test_case "response-too-big forces the stream" `Quick
+            response_too_big_fallback;
+          Alcotest.test_case "byte-identical at one seed" `Quick
+            fallback_deterministic ] ) ]
