@@ -721,6 +721,123 @@ let transport_smoke () =
     udp.tw_completed udp.tw_reads udp.tw_p50_ms tcp.tw_completed tcp.tw_reads
     tcp.tw_p50_ms tcp.tw_fallbacks armed_s base_s budget
 
+(* --- replication smoke (--replication-smoke) ---
+
+   The viral-service campaign at its committed seed, run twice: the
+   suite JSON must be byte-identical across runs, keep its schema, and
+   the replication floors must hold — primary-only melts (p99 >= 2x
+   calm), the replica pool keeps p99 flat (<= 1.2x) and balanced
+   (max/mean <= 1.5), and a crashed replica rejoins converged. *)
+let replication_smoke () =
+  let open Workloads.Loadgen in
+  let v = default_viral in
+  let s = run_viral v in
+  let json = Telemetry.Json.to_string (viral_suite_to_json s) in
+  let json2 =
+    Telemetry.Json.to_string (viral_suite_to_json (run_viral v))
+  in
+  if not (String.equal json json2) then begin
+    prerr_endline
+      "replication smoke: re-run diverged (campaign determinism lost)";
+    exit 1
+  end;
+  let contains needle =
+    let nl = String.length needle and sl = String.length json in
+    let rec go i = i + nl <= sl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      if not (contains k) then begin
+        Printf.eprintf
+          "replication smoke: BENCH_replication.json schema lost %s\n" k;
+        exit 1
+      end)
+    [ "\"config\""; "\"calm\""; "\"unreplicated\""; "\"replicated\"";
+      "\"overload_p99_ratio\""; "\"replicated_p99_ratio\"";
+      "\"floor_failures\""; "\"tgs_latency\""; "\"shard_lookup_balance\"";
+      "\"unit_reads\""; "\"unit_balance\""; "\"fresh_fallbacks\"";
+      "\"shipped_records\""; "\"catchups\""; "\"max_lag_seen\"";
+      "\"replica_crashes\""; "\"converged\"" ];
+  let fails = viral_floor_failures s in
+  List.iter (fun f -> Printf.eprintf "replication smoke: floor: %s\n" f) fails;
+  if fails <> [] then exit 1;
+  Printf.printf
+    "replication smoke: spike p99 %.2fx calm unreplicated vs %.2fx with %d \
+     replicas (pool balance %.2f, %d records shipped, %d crash(es) rejoined \
+     converged), suite JSON deterministic (%d bytes), schema intact\n"
+    (viral_overload_ratio s) (viral_p99_ratio s) v.v_replicas
+    s.vs_replicated.vr_unit_balance s.vs_replicated.vr_shipped_records
+    s.vs_replicated.vr_replica_crashes (String.length json)
+
+(* --- docs check (--docs-check) ---
+
+   Lint the documentation plane against Expframework.Catalog: every
+   experiments subcommand must be named in EXPERIMENTS.md (as
+   `experiments <name>`), every committed BENCH_*.json must be listed in
+   the catalog AND carry a `### `<file>`` section in BENCH.md, and every
+   catalog bench entry must exist on disk. Run from the repo root or as
+   a dune rule (where the sources sit one directory up). *)
+let docs_check () =
+  let root = if Sys.file_exists "EXPERIMENTS.md" then "." else ".." in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let contains hay needle =
+    let nl = String.length needle and sl = String.length hay in
+    let rec go i = i + nl <= sl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let experiments_md =
+    let p = Filename.concat root "EXPERIMENTS.md" in
+    if Sys.file_exists p then read_file p
+    else (problem "EXPERIMENTS.md missing"; "")
+  in
+  let bench_md =
+    let p = Filename.concat root "BENCH.md" in
+    if Sys.file_exists p then read_file p
+    else (problem "BENCH.md missing"; "")
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (contains experiments_md (Printf.sprintf "`experiments %s`" name))
+      then
+        problem "EXPERIMENTS.md has no section for `experiments %s`" name)
+    Expframework.Catalog.experiments_subcommands;
+  List.iter
+    (fun (file, _) ->
+      if not (Sys.file_exists (Filename.concat root file)) then
+        problem "catalog lists %s but it is not committed" file;
+      if not (contains bench_md (Printf.sprintf "### `%s`" file)) then
+        problem "BENCH.md has no ### `%s` section" file)
+    Expframework.Catalog.bench_files;
+  Array.iter
+    (fun f ->
+      if
+        String.length f > 6
+        && String.sub f 0 6 = "BENCH_"
+        && Filename.check_suffix f ".json"
+        && not (List.mem_assoc f Expframework.Catalog.bench_files)
+      then
+        problem "%s is committed but absent from Expframework.Catalog" f)
+    (Sys.readdir root);
+  match List.rev !problems with
+  | [] ->
+      Printf.printf
+        "docs check: %d experiments subcommands and %d bench files all \
+         documented (EXPERIMENTS.md, BENCH.md)\n"
+        (List.length Expframework.Catalog.experiments_subcommands)
+        (List.length Expframework.Catalog.bench_files)
+  | ps ->
+      List.iter (fun p -> Printf.eprintf "docs check: %s\n" p) ps;
+      exit 1
+
 (* --- harness --- *)
 
 let tests =
@@ -759,6 +876,9 @@ let () =
     (detect_smoke (); exit 0);
   if Array.exists (( = ) "--transport-smoke") Sys.argv then
     (transport_smoke (); exit 0);
+  if Array.exists (( = ) "--replication-smoke") Sys.argv then
+    (replication_smoke (); exit 0);
+  if Array.exists (( = ) "--docs-check") Sys.argv then (docs_check (); exit 0);
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

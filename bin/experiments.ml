@@ -481,6 +481,94 @@ let print_detect users active requests seed quick =
     exit 1
   end
 
+(* The replication campaign: one service goes viral. Three same-seed runs
+   (calm baseline, spike through the primary alone, spike against a
+   WAL-shipped replica pool with a crash + rejoin mid-storm) and the
+   floors BENCH_replication.json commits to: overload visible without
+   replicas, p99 TGS flat (<= 1.2x calm) and the pool balanced (max/mean
+   <= 1.5) with them, replica state converged at quiesce. *)
+let replication_json_path = "BENCH_replication.json"
+
+let print_viral_rows (s : Workloads.Loadgen.viral_suite) =
+  let open Workloads.Loadgen in
+  Expframework.Table.print
+    ~header:
+      [ "run"; "completed"; "errors"; "tgs"; "tgs p50 (s)"; "tgs p99 (s)";
+        "shard bal"; "unit bal"; "shipped"; "max lag"; "converged" ]
+    (List.map
+       (fun r ->
+         [ r.vr_label; string_of_int r.vr_completed; string_of_int r.vr_errors;
+           string_of_int r.vr_tgs_requests;
+           Printf.sprintf "%.4f" r.vr_tgs_latency.p50;
+           Printf.sprintf "%.4f" r.vr_tgs_latency.p99;
+           Printf.sprintf "%.2f" r.vr_shard_lookup_balance;
+           Printf.sprintf "%.2f" r.vr_unit_balance;
+           string_of_int r.vr_shipped_records;
+           string_of_int r.vr_max_lag_seen;
+           string_of_bool r.vr_converged ])
+       [ s.vs_calm; s.vs_unreplicated; s.vs_replicated ]);
+  Printf.printf
+    "\np99 TGS vs calm: %.2fx unreplicated, %.2fx replicated; pool reads: %s\n"
+    (viral_overload_ratio s) (viral_p99_ratio s)
+    (String.concat ", "
+       (List.map
+          (fun (n, c) -> Printf.sprintf "%s=%d" n c)
+          s.vs_replicated.vr_unit_reads))
+
+let print_replicate seed quick =
+  let open Workloads.Loadgen in
+  let v =
+    let dv = default_viral in
+    let base = { dv.v_base with seed = Int64.of_int seed } in
+    if quick then { dv with v_base = base }
+    else
+      { dv with
+        v_base =
+          { base with users = 2_000; active_clients = 200;
+            requests_per_client = 25 };
+        v_replicas = 4; v_spike_clients = 300; v_spike_requests = 60;
+        v_spike_think = 0.1 }
+  in
+  Printf.printf
+    "== Replicate: %d users, %d shards; service app%02d goes viral at t=%gs \
+     (%d cache-less clients x %d requests); %d read replicas, ship every \
+     %gs, max lag %d ==\n\n"
+    v.v_base.users v.v_base.shards v.v_spike_service v.v_spike_at
+    v.v_spike_clients v.v_spike_requests v.v_replicas v.v_ship_every
+    v.v_max_lag;
+  let s = run_viral v in
+  print_viral_rows s;
+  let json = Telemetry.Json.to_string (viral_suite_to_json s) in
+  let failures = ref 0 in
+  if quick then begin
+    let s2 = run_viral v in
+    let json2 = Telemetry.Json.to_string (viral_suite_to_json s2) in
+    if String.equal json json2 then
+      Printf.printf
+        "\ndeterminism: re-run produced byte-identical suite JSON (%d bytes)\n"
+        (String.length json)
+    else begin
+      print_endline "\ndeterminism: RE-RUN DIVERGED";
+      incr failures
+    end
+  end
+  else begin
+    let oc = open_out replication_json_path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nmachine-readable results: %s\n"
+      (Filename.concat (Sys.getcwd ()) replication_json_path)
+  end;
+  let floor_fails = viral_floor_failures s in
+  List.iter (fun f -> Printf.printf "floor: %s\n" f) floor_fails;
+  if floor_fails <> [] then incr failures;
+  if !failures > 0 then begin
+    print_endline "replicate: FAILED";
+    exit 1
+  end
+  else print_endline "replicate: all floors hold"
+
 let run_all () =
   print_matrix ();
   print_endline "";
@@ -644,6 +732,31 @@ let detect_cmd =
           classes clear detection rate >= 0.9 at FPR <= 0.01)")
     Term.(const print_detect $ users $ active $ requests $ seed $ quick)
 
+let replicate_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt int (Int64.to_int Workloads.Loadgen.default_viral.v_base.seed)
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Runtest-sized campaign, run twice to assert byte-identical \
+             JSON; no BENCH_replication.json.")
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:
+         "One service goes viral: same-seed calm / primary-only / \
+          replicated runs of a TGS read spike against WAL-shipped read \
+          replicas, with a replica crash + rejoin mid-storm; writes \
+          BENCH_replication.json and exits nonzero unless p99 stays flat, \
+          the pool balances, and the replicas converge")
+    Term.(const print_replicate $ seed $ quick)
+
 let () =
   let default = Term.(const run_all $ const ()) in
   let info =
@@ -666,6 +779,15 @@ let () =
       recovery_cmd;
       load_cmd;
       detect_cmd;
+      replicate_cmd;
       cmd_of "all" "run everything" run_all ]
   in
+  let names = List.map Cmd.name cmds in
+  let catalog = List.map fst Expframework.Catalog.experiments_subcommands in
+  if names <> catalog then begin
+    prerr_endline
+      "experiments: subcommand list diverges from Expframework.Catalog \
+       (update lib/expframework/catalog.ml and the docs)";
+    exit 2
+  end;
   exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -58,7 +58,11 @@ module Wal = struct
   type record = { w_shard : int; w_version : int; w_op : op }
 
   type t = {
-    mutable frames : (record * bytes) list;  (* newest first *)
+    (* Newest first. Each frame carries its log sequence number: LSNs are
+       assigned at append time from the lifetime counter, so they survive
+       checkpoint truncation and give replicas a stable replication
+       cursor. *)
+    mutable frames : (int * record * bytes) list;
     mutable count : int;
     mutable bytes : int;
     mutable appended : int;  (* lifetime appends; survives truncation *)
@@ -90,20 +94,54 @@ module Wal = struct
 
   let append t r =
     let fb = frame (payload_of_record r) in
-    t.frames <- (r, fb) :: t.frames;
+    let lsn = t.appended + 1 in
+    t.frames <- (lsn, r, fb) :: t.frames;
     t.count <- t.count + 1;
     t.bytes <- t.bytes + Bytes.length fb;
-    t.appended <- t.appended + 1
+    t.appended <- lsn
 
   let length t = t.count
   let byte_size t = t.bytes
   let appended t = t.appended
-  let records t = List.rev_map fst t.frames
+  let records t = List.rev_map (fun (_, r, _) -> r) t.frames
+
+  (* The head LSN is the newest record ever appended; a replica whose
+     applied LSN equals it has seen everything. *)
+  let head_lsn t = t.appended
+
+  (* Oldest LSN the log still holds. When the log is empty (everything
+     behind the last checkpoint) this is head+1: a replica at exactly the
+     head needs nothing, anything older must catch up via checkpoint. *)
+  let first_retained_lsn t =
+    match t.frames with
+    | [] -> t.appended + 1
+    | frames ->
+        let rec oldest = function
+          | [ (l, _, _) ] -> l
+          | _ :: tl -> oldest tl
+          | [] -> assert false
+        in
+        oldest frames
 
   let contents t =
     let buf = Buffer.create (max 64 t.bytes) in
-    List.iter (fun (_, fb) -> Buffer.add_bytes buf fb) (List.rev t.frames);
+    List.iter (fun (_, _, fb) -> Buffer.add_bytes buf fb) (List.rev t.frames);
     Buffer.to_bytes buf
+
+  (* Replication shipment: every retained frame past [lsn], oldest first,
+     each prefixed with its LSN — [i64 lsn; u32 len; u32 crc; payload]
+     repeated. Reuses the already-rendered frame bytes, so shipping costs
+     a concatenation, not a re-encode. *)
+  let ship_since t ~lsn =
+    let w = Wire.Codec.Writer.create () in
+    List.iter
+      (fun (l, _, fb) ->
+        if l > lsn then begin
+          Wire.Codec.Writer.i64 w (Int64.of_int l);
+          Wire.Codec.Writer.raw w fb
+        end)
+      (List.rev t.frames);
+    Wire.Codec.Writer.contents w
 
   let record_of_payload p =
     let r = Wire.Codec.Reader.of_bytes p in
@@ -146,20 +184,45 @@ module Wal = struct
      with Wire.Codec.Decode_error _ -> ());
     (List.rev !recs, total - !consumed_ok)
 
+  (* Decode a shipment with the same torn-tail tolerance as {!replay}: a
+     shipment cut mid-frame (lossy link, crashed shipper) yields the clean
+     prefix plus a discarded byte count; the replica simply acks the
+     prefix and asks again. *)
+  let replay_shipment b =
+    let total = Bytes.length b in
+    let r = Wire.Codec.Reader.of_bytes b in
+    let recs = ref [] in
+    let consumed_ok = ref 0 in
+    (try
+       while Wire.Codec.Reader.remaining r > 0 do
+         let lsn = Int64.to_int (Wire.Codec.Reader.i64 r) in
+         let len = Wire.Codec.Reader.u32 r in
+         let crc = Wire.Codec.Reader.u32 r in
+         if len > Wire.Codec.Reader.remaining r then
+           Wire.Codec.fail "wal: torn shipment frame";
+         let payload = Wire.Codec.Reader.raw r len in
+         if Crypto.Crc32.bytes_digest payload <> crc then
+           Wire.Codec.fail "wal: shipment crc mismatch";
+         recs := (lsn, record_of_payload payload) :: !recs;
+         consumed_ok := total - Wire.Codec.Reader.remaining r
+       done
+     with Wire.Codec.Decode_error _ -> ());
+    (List.rev !recs, total - !consumed_ok)
+
   (* Drop every record the checkpoint already covers: record versions are
      monotonic per shard, and a checkpoint taken at version vector [V]
      makes any record with [w_version <= V.(w_shard)] redundant. *)
   let truncate_after_checkpoint t ~versions =
     let keep =
       List.filter
-        (fun (r, _) ->
+        (fun (_, r, _) ->
           r.w_shard >= Array.length versions
           || r.w_version > versions.(r.w_shard))
         t.frames
     in
     t.frames <- keep;
     t.count <- List.length keep;
-    t.bytes <- List.fold_left (fun a (_, fb) -> a + Bytes.length fb) 0 keep
+    t.bytes <- List.fold_left (fun a (_, _, fb) -> a + Bytes.length fb) 0 keep
 end
 
 (* Durable state: the log plus the last checkpoint image. [every = 0]
@@ -480,3 +543,228 @@ let restore t (r : recovery) =
 
 let size t = Array.fold_left (fun acc s -> acc + Hashtbl.length s) 0 t.shards
 let shard_sizes t = Array.map Hashtbl.length t.shards
+
+let head_lsn t =
+  match t.durable with
+  | None -> invalid_arg "Kdb.head_lsn: durability not enabled"
+  | Some d -> Wal.head_lsn d.d_wal
+
+(* ------------------------------------------------------------------ *)
+(* Read replicas.
+
+   A replica is a same-shape database fed from the primary's WAL: the
+   primary ships every frame past the replica's applied LSN, and the
+   replica materializes each record {e before} advancing its ack point
+   (apply-before-ack), so an acked LSN is never ahead of visible state.
+   A replica that falls behind the log's retained tail — the primary
+   checkpointed and truncated past it — catches up from the checkpoint
+   image plus the tail, exactly the recovery path a crashed primary
+   takes. *)
+
+type replica = {
+  rep_name : string;
+  rep_primary : t;
+  rep_db : t;  (* same shard count; only subscribed shards materialized *)
+  rep_mask : bool array;  (* shard subscription *)
+  mutable rep_applied : int;  (* highest WAL LSN acked *)
+  mutable rep_live : bool;
+  mutable rep_records_applied : int;  (* records materialized, lifetime *)
+  mutable rep_catchups : int;  (* checkpoint+tail catch-ups, incl. bootstrap *)
+  rep_c_applied : Telemetry.Metrics.counter option;
+  rep_g_lag : Telemetry.Metrics.gauge option;
+}
+
+let replica_name r = r.rep_name
+let replica_db r = r.rep_db
+let replica_live r = r.rep_live
+let replica_applied_lsn r = r.rep_applied
+let replica_records_applied r = r.rep_records_applied
+let replica_catchups r = r.rep_catchups
+
+let replica_covers r shard =
+  shard >= 0 && shard < Array.length r.rep_mask && r.rep_mask.(shard)
+
+let replica_lag t r =
+  match t.durable with
+  | None -> 0
+  | Some d -> Wal.head_lsn d.d_wal - r.rep_applied
+
+(* Materialize one shipped record on the replica, guarded the same way
+   {!recover} guards replayed records: out-of-range shards, already-seen
+   versions and undecodable swaps are skipped (but still acked — they are
+   ordered before the ack point by construction). *)
+let replica_apply_record r (rc : Wal.record) =
+  let db = r.rep_db in
+  if
+    rc.Wal.w_shard < 0
+    || rc.Wal.w_shard >= Array.length db.shards
+    || (not r.rep_mask.(rc.Wal.w_shard))
+    || rc.Wal.w_version <= db.versions.(rc.Wal.w_shard)
+  then false
+  else
+    match rc.Wal.w_op with
+    | Wal.Put (name, e) ->
+        Hashtbl.replace db.shards.(rc.Wal.w_shard) name e;
+        db.versions.(rc.Wal.w_shard) <- rc.Wal.w_version;
+        db.cross_realm_cache <- None;
+        true
+    | Wal.Swap b -> (
+        match entries_of_bytes b with
+        | tbl ->
+            db.shards.(rc.Wal.w_shard) <- tbl;
+            db.versions.(rc.Wal.w_shard) <- rc.Wal.w_version;
+            db.cross_realm_cache <- None;
+            true
+        | exception Wire.Codec.Decode_error _ -> false)
+
+(* Apply a shipment in LSN order. The ack ([rep_applied]) advances only
+   after each record's effect is visible — a reader routed to this
+   replica at lag computed from the ack can never observe state older
+   than the ack claims. *)
+let replica_apply r shipment =
+  let recs, _discarded = Wal.replay_shipment shipment in
+  let applied = ref 0 in
+  List.iter
+    (fun (lsn, rc) ->
+      if lsn > r.rep_applied then begin
+        if replica_apply_record r rc then begin
+          incr applied;
+          r.rep_records_applied <- r.rep_records_applied + 1
+        end;
+        r.rep_applied <- lsn
+      end)
+    recs;
+  (match r.rep_c_applied with
+  | Some c when !applied > 0 -> Telemetry.Metrics.add c !applied
+  | _ -> ());
+  !applied
+
+(* Checkpoint + tail: install the primary's last checkpoint image for
+   the subscribed shards, then apply the retained WAL tail. This is both
+   the bootstrap path and the catch-up path taken when the primary has
+   truncated the log past the replica's ack point. *)
+let replica_catch_up r =
+  let t = r.rep_primary in
+  match t.durable with
+  | None -> invalid_arg "Kdb.replica_catch_up: durability not enabled"
+  | Some d ->
+      let reader = Wire.Codec.Reader.of_bytes d.d_checkpoint in
+      let crc = Wire.Codec.Reader.u32 reader in
+      let body =
+        Wire.Codec.Reader.raw reader (Wire.Codec.Reader.remaining reader)
+      in
+      if Crypto.Crc32.bytes_digest body <> crc then
+        Wire.Codec.fail "kdb: corrupt checkpoint";
+      let br = Wire.Codec.Reader.of_bytes body in
+      let n = Wire.Codec.Reader.u32 br in
+      if n <> Array.length t.shards then
+        Wire.Codec.fail "kdb: checkpoint shard count mismatch";
+      for i = 0 to n - 1 do
+        let v = Int64.to_int (Wire.Codec.Reader.i64 br) in
+        let dump = Wire.Codec.Reader.lbytes br in
+        if r.rep_mask.(i) then begin
+          r.rep_db.shards.(i) <- entries_of_bytes dump;
+          r.rep_db.versions.(i) <- v
+        end
+      done;
+      Wire.Codec.Reader.expect_end br;
+      r.rep_db.cross_realm_cache <- None;
+      (* Retained frames are exactly the post-checkpoint suffix, so the
+         checkpoint image stands for everything before them. *)
+      r.rep_applied <- Wal.first_retained_lsn d.d_wal - 1;
+      r.rep_catchups <- r.rep_catchups + 1;
+      replica_apply r (Wal.ship_since d.d_wal ~lsn:r.rep_applied)
+
+(* One shipping round: frames past the ack when the log still reaches
+   back that far, checkpoint + tail when it does not. Returns the number
+   of records materialized and refreshes the lag gauge. *)
+let ship_to_replica r =
+  let t = r.rep_primary in
+  match t.durable with
+  | None -> invalid_arg "Kdb.ship_to_replica: durability not enabled"
+  | Some d ->
+      let n =
+        if r.rep_applied + 1 < Wal.first_retained_lsn d.d_wal then
+          replica_catch_up r
+        else replica_apply r (Wal.ship_since d.d_wal ~lsn:r.rep_applied)
+      in
+      (match r.rep_g_lag with
+      | Some g -> Telemetry.Metrics.set g (float_of_int (replica_lag t r))
+      | None -> ());
+      n
+
+let attach_replica ?telemetry ?shards t ~name =
+  if t.durable = None then
+    invalid_arg "Kdb.attach_replica: durability not enabled";
+  let n = Array.length t.shards in
+  let mask = Array.make n false in
+  (match shards with
+  | None -> Array.fill mask 0 n true
+  | Some l ->
+      if l = [] then invalid_arg "Kdb.attach_replica: empty shard list";
+      List.iter
+        (fun i ->
+          if i < 0 || i >= n then
+            invalid_arg "Kdb.attach_replica: shard out of range";
+          mask.(i) <- true)
+        l);
+  let metrics = Option.map Telemetry.Collector.metrics telemetry in
+  let r =
+    { rep_name = name;
+      rep_primary = t;
+      rep_db = create ~shards:n ();
+      rep_mask = mask;
+      rep_applied = 0;
+      rep_live = true;
+      rep_records_applied = 0;
+      rep_catchups = 0;
+      rep_c_applied =
+        Option.map (fun m -> Telemetry.Metrics.counter m "kdb.replica.applied")
+          metrics;
+      rep_g_lag =
+        Option.map
+          (fun m -> Telemetry.Metrics.gauge m ("kdb.replica.lag." ^ name))
+          metrics }
+  in
+  ignore (replica_catch_up r : int);
+  r
+
+(* A replica crash loses its memory image and its replication cursor;
+   only the handle (its identity in the pool) survives. *)
+let replica_crash r =
+  r.rep_live <- false;
+  let n = Array.length r.rep_db.shards in
+  r.rep_db.shards <- Array.init n (fun _ -> Hashtbl.create 32);
+  r.rep_db.lookups <- Array.make n 0;
+  r.rep_db.versions <- Array.make n 0;
+  r.rep_db.cross_realm_cache <- None;
+  r.rep_applied <- 0
+
+(* Rejoin through the kprop reconcile machinery: compare per-shard
+   versions and digests exactly as anti-entropy does, pull every
+   divergent subscribed shard with a versioned install (the primary's
+   higher version wins — LWW), then resume tailing from the primary's
+   current head. *)
+let replica_rejoin r =
+  let t = r.rep_primary in
+  if t.durable = None then
+    invalid_arg "Kdb.replica_rejoin: durability not enabled";
+  let pulled = ref 0 in
+  Array.iteri
+    (fun i covered ->
+      if
+        covered
+        && (t.versions.(i) <> r.rep_db.versions.(i)
+           || shard_digest t i <> shard_digest r.rep_db i)
+      then begin
+        replace_shard_from_bytes ~version:t.versions.(i) r.rep_db i
+          (shard_to_bytes t i);
+        incr pulled
+      end)
+    r.rep_mask;
+  r.rep_applied <- head_lsn t;
+  r.rep_live <- true;
+  (match r.rep_g_lag with
+  | Some g -> Telemetry.Metrics.set g 0.0
+  | None -> ());
+  !pulled

@@ -61,6 +61,31 @@ module Wal : sig
   val truncate_after_checkpoint : t -> versions:int array -> unit
   (** Drop every record a checkpoint at version vector [versions] already
       covers ([w_version <= versions.(w_shard)]). *)
+
+  (** {2 Replication log}
+
+      Every frame carries a log sequence number assigned at append time
+      from the lifetime counter, so LSNs survive checkpoint truncation
+      and give a replica a stable cursor into the primary's history. *)
+
+  val head_lsn : t -> int
+  (** LSN of the newest record ever appended (0 for an empty log). *)
+
+  val first_retained_lsn : t -> int
+  (** Oldest LSN still held, or [head_lsn + 1] when truncation has
+      emptied the log — a replica applied to [first_retained_lsn - 1] or
+      beyond can tail the log; anything older must catch up from the
+      checkpoint. *)
+
+  val ship_since : t -> lsn:int -> bytes
+  (** Every retained frame with LSN strictly greater than [lsn], oldest
+      first, each prefixed with its LSN:
+      [i64 lsn; u32 len; u32 crc; payload] repeated. *)
+
+  val replay_shipment : bytes -> (int * record) list * int
+  (** Decode a {!ship_since} blob with the same torn-tail tolerance as
+      {!replay}: the clean [(lsn, record)] prefix plus discarded trailing
+      bytes. Never raises. *)
 end
 
 type t
@@ -222,3 +247,70 @@ val restore : t -> recovery -> unit
 (** Install a recovery into an existing database in place, adopting the
     recovered version vector as-is (no WAL logging — the recovery {e is}
     the log's effect). @raise Invalid_argument on shard count mismatch. *)
+
+val head_lsn : t -> int
+(** The primary's replication head — {!Wal.head_lsn} of the attached log.
+    @raise Invalid_argument if durability is not enabled. *)
+
+(** {2 Read replicas}
+
+    The paper's master/slave database model, rebuilt on the WAL: a
+    replica is a same-shard-count database fed by shipping log frames
+    past its applied LSN (apply-before-ack — the ack never runs ahead of
+    visible state), catching up via checkpoint + tail when the primary
+    has truncated past its cursor, and rejoining after a crash through
+    the same per-shard version/digest reconcile kprop anti-entropy uses.
+    Replicas serve reads only; every write goes to the primary and
+    reaches replicas through the log. *)
+
+type replica
+
+val attach_replica :
+  ?telemetry:Telemetry.Collector.t -> ?shards:int list -> t -> name:string ->
+  replica
+(** Create a replica of [t] and bootstrap it from the current checkpoint
+    plus the retained WAL tail. [?shards] restricts the subscription to
+    the listed shard indices (default: all shards). With [?telemetry],
+    applied records feed the [kdb.replica.applied] counter and shipping
+    refreshes the [kdb.replica.lag.<name>] gauge.
+    @raise Invalid_argument if durability is not enabled on [t], the
+    shard list is empty, or an index is out of range. *)
+
+val replica_name : replica -> string
+
+val replica_db : replica -> t
+(** The replica's own database — route read-only lookups here. *)
+
+val replica_live : replica -> bool
+val replica_applied_lsn : replica -> int
+
+val replica_lag : t -> replica -> int
+(** [head_lsn t - replica_applied_lsn r]: how many log records the
+    replica has not yet acked (0 when durability is off). *)
+
+val replica_covers : replica -> int -> bool
+(** Whether the replica subscribes to the given shard index. *)
+
+val replica_records_applied : replica -> int
+(** Records materialized over the replica's lifetime. *)
+
+val replica_catchups : replica -> int
+(** Checkpoint+tail catch-ups taken, including the bootstrap one. *)
+
+val ship_to_replica : replica -> int
+(** One shipping round from the primary: frames past the replica's ack
+    when the log still reaches back that far, checkpoint + tail when the
+    primary has truncated beyond it. Returns the number of records
+    materialized. @raise Invalid_argument if durability is not enabled. *)
+
+val replica_crash : replica -> unit
+(** Lose the replica's memory image and replication cursor in place (the
+    handle survives, marked not live). *)
+
+val replica_rejoin : replica -> int
+(** Rejoin after a crash through the reconcile machinery: pull every
+    subscribed shard whose version or digest diverges from the primary
+    (versioned install — the primary wins), reset the cursor to the
+    primary's head, and mark the replica live. Returns the number of
+    shards pulled. @raise Invalid_argument if durability is not
+    enabled. *)

@@ -31,6 +31,13 @@ type t = {
   rate_limit : int option;  (** AS requests per source per minute *)
   rate_table : (Sim.Addr.t, float list ref) Hashtbl.t;  (** recent request times *)
   tel : Telemetry.Collector.t;
+  (* Replica-aware read routing. [None] (the default) keeps every lookup
+     on [db] with zero cost — the pre-replication behaviour, bit for bit.
+     With a router, reads are spread over the primary + replica pool and
+     each accumulates queueing delay into [read_delay]; [serve] applies
+     the accumulated delay to the reply. *)
+  reads : Replication.t option;
+  mutable read_delay : float;
   (* Crash/restart state, mirroring Apserver. [installed] remembers where
      [install] bound us so [restart] can re-listen. *)
   mutable installed : (Sim.Net.t * Sim.Host.t * int) option;
@@ -50,13 +57,19 @@ type t = {
 }
 
 let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
-    ?(verify_transit = false) ?rate_limit ?telemetry ~realm ~profile ~lifetime db =
+    ?(verify_transit = false) ?rate_limit ?telemetry ?reads ~realm ~profile
+    ~lifetime db =
+  (match reads with
+  | Some r when Replication.primary r != db ->
+      invalid_arg "Kdc.create: reads router is not over this database"
+  | _ -> ());
   let tel =
     match telemetry with Some c -> c | None -> Telemetry.Collector.default ()
   in
   let m = Telemetry.Collector.metrics tel in
   let fresh base = Telemetry.Metrics.counter m (Telemetry.Metrics.fresh_name m base) in
   { realm; profile; lifetime; db; rng = Util.Rng.create seed;
+    reads; read_delay = 0.0;
     routes = Hashtbl.create 4;
     tgs_cache = Replay_cache.create ~horizon:tgs_cache_horizon;
     enc_tkt_cname_check; verify_transit; rate_limit;
@@ -105,6 +118,23 @@ let rate_limit_exceeded t ~now src =
       end
 
 let tgs_principal t = Principal.tgs ~realm:t.realm
+
+(* Route one database read. Without a router this is [Kdb.lookup] on the
+   primary, free. With one, the read goes to the least-loaded eligible
+   serving unit and its queueing + service delay accumulates into
+   [read_delay]; successive reads within one exchange queue behind each
+   other (hence [now + read_delay]). [fresh] marks password-change-
+   sensitive lookups — the AS client key — which must not be served from
+   a replica still behind on shipped writes. *)
+let db_read ?(fresh = false) t ~now principal =
+  match t.reads with
+  | None -> Kdb.lookup t.db principal
+  | Some router ->
+      let entry, delay =
+        Replication.read router ~now:(now +. t.read_delay) ~fresh principal
+      in
+      t.read_delay <- t.read_delay +. delay;
+      entry
 
 let err code text = Messages.err_to_value { Messages.e_code = code; e_text = text }
 
@@ -180,10 +210,14 @@ let wrap_key t ~client_key (q : Messages.as_req) =
         (dh_respond t q)
 
 let handle_as t net host (q : Messages.as_req) ~src_addr =
-  if rate_limit_exceeded t ~now:(Sim.Net.local_time net host) src_addr then
+  let arrival = Sim.Net.local_time net host in
+  if rate_limit_exceeded t ~now:arrival src_addr then
     err Messages.err_policy "request rate limit exceeded"
   else
-  match Kdb.lookup t.db q.q_client with
+  (* The client key seals the reply a password change just re-derived:
+     a stale replica would issue tickets under the old key, so this read
+     carries the freshness floor. *)
+  match db_read ~fresh:true t ~now:arrival q.q_client with
   | None -> err Messages.err_principal_unknown (Principal.to_string q.q_client)
   | Some { key = client_key; _ } -> (
       match check_preauth t ~client_key q with
@@ -191,7 +225,7 @@ let handle_as t net host (q : Messages.as_req) ~src_addr =
           Telemetry.Metrics.incr t.c_preauth_rejected;
           err Messages.err_preauth_required reason
       | Ok () -> (
-          match Kdb.lookup t.db q.q_server with
+          match db_read t ~now:arrival q.q_server with
           | None -> err Messages.err_principal_unknown (Principal.to_string q.q_server)
           | Some { key = server_key; _ } -> (
               match wrap_key t ~client_key q with
@@ -248,9 +282,9 @@ let handle_as t net host (q : Messages.as_req) ~src_addr =
    or under a cross-realm key another realm shares with us. The key that
    opens it tells us which neighboring realm vouched for it — information
    the ticket's own transited field cannot be trusted to carry. *)
-let open_tgt t (blob : bytes) =
+let open_tgt t ~now (blob : bytes) =
   let candidates =
-    (match Kdb.lookup t.db (tgs_principal t) with
+    (match db_read t ~now (tgs_principal t) with
     | Some { Kdb.key; kind = Kdb.Service } -> [ (key, None) ]
     | _ -> [])
     (* krbtgt.<us>@<neighbor>: the neighbor is the key's realm. The
@@ -350,7 +384,7 @@ let validate_tgs_authenticator t ~now ~src_addr ~(ticket : Messages.ticket)
 let handle_tgs t net host (req : Messages.tgs_req) ~src_addr =
   let open Messages in
   let now = Sim.Net.local_time net host in
-  match open_tgt t req.t_ap.r_ticket with
+  match open_tgt t ~now req.t_ap.r_ticket with
   | Error e -> err err_bad_integrity e
   | Ok (tgt, source_realm) -> (
       (* With transit verification on, the realm whose key vouched for this
@@ -468,7 +502,7 @@ let handle_tgs t net host (req : Messages.tgs_req) ~src_addr =
                     | true, Some a -> Ok a.session_key
                     | true, None -> Error "missing additional ticket"
                     | false, _ -> (
-                        match Kdb.lookup t.db req.t_server with
+                        match db_read t ~now req.t_server with
                         | None -> Error (Principal.to_string req.t_server ^ " unknown")
                         | Some { key; _ } -> Ok key)
                   with
@@ -510,11 +544,20 @@ let serve t net host port =
           Telemetry.Collector.span_begin tel ~component:"kdc" name
             ~attrs:(("realm", t.realm) :: ("src", src) :: attrs)
         in
+        t.read_delay <- 0.0;
         let outcome =
           Telemetry.Collector.with_context tel span (fun () ->
               let v = handler () in
               let outcome = outcome_of_reply v in
-              reply v;
+              (* Replica-routed reads accumulated queueing delay: hold the
+                 reply until the serving units would actually have finished,
+                 so overload surfaces as client-visible latency. The
+                 no-router path replies inline, exactly as before. *)
+              let delay = t.read_delay in
+              if delay > 0.0 then
+                Sim.Engine.schedule_after (Sim.Net.engine net) delay
+                  (fun () -> reply v)
+              else reply v;
               outcome)
         in
         if name = "kdc.as_req" then

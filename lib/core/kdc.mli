@@ -20,12 +20,21 @@ val create :
   ?verify_transit:bool ->
   ?rate_limit:int ->
   ?telemetry:Telemetry.Collector.t ->
+  ?reads:Replication.t ->
   realm:string ->
   profile:Profile.t ->
   lifetime:float ->
   Kdb.t ->
   t
-(** [rate_limit] caps AS requests accepted per source address per minute —
+(** [reads] attaches a replica-aware read router (over the {e same}
+    database — @raise Invalid_argument otherwise): AS/TGS database
+    lookups spread across the primary + replica pool by observed load,
+    the AS client-key lookup carries the freshness floor, and each
+    exchange's reply is held by the accumulated queueing delay so an
+    overloaded pool shows up as client-visible latency. Default: every
+    lookup on the primary, free — the pre-replication behaviour.
+
+    [rate_limit] caps AS requests accepted per source address per minute —
     "an enhancement to the server, to limit the rate of requests from a
     single source, may be useful" (the paper's partial mitigation for
     ticket harvesting). Default: unlimited.

@@ -1,0 +1,160 @@
+(* Replica-aware read routing. The serving pool is the primary plus its
+   attached read replicas; each unit carries a one-server queue
+   (busy-until clock) fed by a fixed per-lookup service time, and a read
+   is routed to the eligible unit whose queue frees up soonest. The
+   queueing model is what makes overload *visible* in the simulator:
+   handlers are otherwise instantaneous, so without it a viral service
+   melts nothing and the replicas would have nothing to prove.
+
+   Staleness is bounded by replication lag measured in WAL records
+   (head LSN minus the replica's acked LSN). An ordinary read accepts a
+   replica within [max_lag]; a *fresh* read — password-change-sensitive
+   paths like the AS client-key lookup — only accepts a replica within
+   [fresh_floor] (default 0: fully caught up) and otherwise falls back
+   to the primary. Writes never come here; they go to the primary and
+   reach replicas through the shipped log. *)
+
+type unit_ = {
+  u_name : string;
+  u_replica : Kdb.replica option;  (* [None] = the primary itself *)
+  mutable u_busy_until : float;
+  u_reads : Telemetry.Metrics.counter;
+}
+
+type t = {
+  primary : Kdb.t;
+  service_time : float;
+  max_lag : int;
+  fresh_floor : int;
+  metrics : Telemetry.Metrics.t;
+  mutable units : unit_ list;  (* primary first, then attach order *)
+  c_fresh_fallback : Telemetry.Metrics.counter;
+  c_stale_fallback : Telemetry.Metrics.counter;
+}
+
+let create ?(service_time = 0.0) ?(max_lag = 64) ?(fresh_floor = 0) ?telemetry
+    primary =
+  if service_time < 0.0 then
+    invalid_arg "Replication.create: negative service_time";
+  if max_lag < 0 || fresh_floor < 0 then
+    invalid_arg "Replication.create: negative lag bound";
+  let tel =
+    match telemetry with Some c -> c | None -> Telemetry.Collector.create ()
+  in
+  let m = Telemetry.Collector.metrics tel in
+  { primary;
+    service_time;
+    max_lag;
+    fresh_floor;
+    metrics = m;
+    units =
+      [ { u_name = "primary";
+          u_replica = None;
+          u_busy_until = 0.0;
+          u_reads = Telemetry.Metrics.counter m "routed_reads.primary" } ];
+    c_fresh_fallback = Telemetry.Metrics.counter m "kdb.reads.fresh_fallbacks";
+    c_stale_fallback = Telemetry.Metrics.counter m "kdb.reads.stale_fallbacks" }
+
+let primary t = t.primary
+
+let add_replica t r =
+  let name = Kdb.replica_name r in
+  if List.exists (fun u -> u.u_name = name) t.units then
+    invalid_arg ("Replication.add_replica: duplicate unit " ^ name);
+  t.units <-
+    t.units
+    @ [ { u_name = name;
+          u_replica = Some r;
+          u_busy_until = 0.0;
+          u_reads = Telemetry.Metrics.counter t.metrics ("routed_reads." ^ name)
+        } ]
+
+let replicas t = List.filter_map (fun u -> u.u_replica) t.units
+
+let unit_reads t =
+  List.map (fun u -> (u.u_name, Telemetry.Metrics.value u.u_reads)) t.units
+
+let fresh_fallbacks t = Telemetry.Metrics.value t.c_fresh_fallback
+let stale_fallbacks t = Telemetry.Metrics.value t.c_stale_fallback
+
+(* A unit may serve the read when it holds the shard at acceptable lag.
+   The primary is always eligible — it is never stale. *)
+let eligible t ~bound shard u =
+  match u.u_replica with
+  | None -> true
+  | Some r ->
+      Kdb.replica_live r
+      && Kdb.replica_covers r shard
+      && Kdb.replica_lag t.primary r <= bound
+
+let read t ~now ?(fresh = false) principal =
+  let shard = Kdb.shard_of t.primary principal in
+  let bound = if fresh then t.fresh_floor else t.max_lag in
+  let candidates = List.filter (eligible t ~bound shard) t.units in
+  (* Least-loaded: earliest free queue wins; strict comparison keeps the
+     first (primary-first, attach-order) unit on ties, so routing is a
+     pure function of prior state — deterministic at a fixed seed. *)
+  let u =
+    match candidates with
+    | [] -> assert false (* the primary is always eligible *)
+    | first :: rest ->
+        List.fold_left
+          (fun best c -> if c.u_busy_until < best.u_busy_until then c else best)
+          first rest
+  in
+  (* Count reads a lagging replica would have served at a looser bound —
+     the cost of the freshness floor (fresh) or of bounded staleness. *)
+  (match u.u_replica with
+  | None ->
+      let excluded_by_lag =
+        List.exists
+          (fun c ->
+            match c.u_replica with
+            | None -> false
+            | Some r ->
+                Kdb.replica_live r
+                && Kdb.replica_covers r shard
+                && Kdb.replica_lag t.primary r > bound)
+          t.units
+      in
+      if excluded_by_lag then
+        Telemetry.Metrics.incr
+          (if fresh then t.c_fresh_fallback else t.c_stale_fallback)
+  | Some _ -> ());
+  Telemetry.Metrics.incr u.u_reads;
+  let entry =
+    match u.u_replica with
+    | None -> Kdb.lookup t.primary principal
+    | Some r -> (
+        match Kdb.lookup (Kdb.replica_db r) principal with
+        | Some _ as e -> e
+        | None ->
+            (* Replica miss — e.g. a principal the primary materializes
+               lazily. The authoritative answer comes from the primary;
+               the queue cost stays on the unit that took the read. *)
+            Kdb.lookup t.primary principal)
+  in
+  let start = if now > u.u_busy_until then now else u.u_busy_until in
+  let finish = start +. t.service_time in
+  u.u_busy_until <- finish;
+  (entry, finish -. now)
+
+(* One shipping round to every live replica (the replication daemon's
+   tick). Returns the number of records materialized across the pool. *)
+let ship_all t =
+  List.fold_left
+    (fun acc u ->
+      match u.u_replica with
+      | Some r when Kdb.replica_live r -> acc + Kdb.ship_to_replica r
+      | _ -> acc)
+    0 t.units
+
+let max_lag_live t =
+  List.fold_left
+    (fun acc u ->
+      match u.u_replica with
+      | Some r when Kdb.replica_live r ->
+          let l = Kdb.replica_lag t.primary r in
+          if l > acc then l else acc
+      | _ -> acc)
+    0 t.units

@@ -1,0 +1,62 @@
+(** Replica-aware read routing over a {!Kdb} primary and its attached
+    read replicas — the serving half of the paper's master/slave database
+    model. Each serving unit (the primary, plus one unit per replica)
+    carries a one-server queue fed by a fixed per-lookup service time;
+    {!read} routes to the eligible unit whose queue frees up soonest and
+    returns the queueing + service delay the caller should charge the
+    request. Staleness is bounded in WAL records: an ordinary read
+    accepts a replica within [max_lag]; a {e fresh} read
+    (password-change-sensitive paths) only within [fresh_floor],
+    otherwise the primary serves it. Writes never pass through this
+    module — they go to the primary and reach replicas via log
+    shipping. *)
+
+type t
+
+val create :
+  ?service_time:float ->
+  ?max_lag:int ->
+  ?fresh_floor:int ->
+  ?telemetry:Telemetry.Collector.t ->
+  Kdb.t ->
+  t
+(** A router over [primary] with only the primary in the pool.
+    [service_time] (default 0) is the simulated cost of one lookup at a
+    serving unit; [max_lag] (default 64) bounds ordinary reads,
+    [fresh_floor] (default 0) bounds fresh ones. Routed-read counters
+    ([routed_reads.<unit>]) and fallback counters land in [telemetry]
+    when given. @raise Invalid_argument on negative parameters. *)
+
+val primary : t -> Kdb.t
+
+val add_replica : t -> Kdb.replica -> unit
+(** Append a replica (created with {!Kdb.attach_replica}) to the pool.
+    Pool order is attach order and is part of routing determinism.
+    @raise Invalid_argument on a duplicate unit name. *)
+
+val replicas : t -> Kdb.replica list
+
+val read : t -> now:float -> ?fresh:bool -> Principal.t -> Kdb.entry option * float
+(** Route one read at simulated time [now]. Returns the entry (replica
+    misses fall back to the primary's answer, covering lazily
+    materialized principals) and the delay — queue wait plus service
+    time — the caller should apply before replying. [~fresh:true]
+    restricts eligible replicas to lag <= [fresh_floor]. *)
+
+val ship_all : t -> int
+(** One WAL shipping round to every live replica; returns records
+    materialized across the pool. *)
+
+val max_lag_live : t -> int
+(** Largest lag among live replicas (0 with none). *)
+
+val unit_reads : t -> (string * int) list
+(** Reads served per unit, pool order — [("primary", _)] first. *)
+
+val fresh_fallbacks : t -> int
+(** Fresh reads the primary served while a lagging replica covered the
+    shard — the price of the freshness floor. *)
+
+val stale_fallbacks : t -> int
+(** Ordinary reads the primary served because every covering replica
+    exceeded [max_lag]. *)

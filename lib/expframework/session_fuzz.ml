@@ -17,10 +17,20 @@ type op =
   | Crash_ap of { at : float; back : float }
   | Partition of { at : float; dur : float }  (** master cut off *)
   | Clock_step of { who : int; at : float; delta : float }
+  | Mtu_change of { at : float; mtu : int option }
+      (** mid-run global path-MTU change: shrink under an open channel
+          (truncating replies already in flight), or lift the constraint
+          so later exchanges can ride datagrams again *)
 
 type scheme = {
   sc_seed : int64;  (** seeds the run's net / faults / client rngs *)
   sc_mtu : int option;  (** path MTU for the whole run; [None] = unlimited *)
+  sc_reply_mtu : int option;
+      (** asymmetric link MTU on the {e reply} direction only
+          (server -> workstation). Deliberately low-banded: small enough
+          to clip even a RESPONSE-TOO-BIG refusal, so the client sees
+          garbage rather than a typed refusal and must take the
+          Garbled-retry arm of the transport fallback. *)
   sc_noise : bool;  (** background loss / duplication / reordering *)
   sc_ops : op list;
 }
@@ -36,16 +46,20 @@ let op_to_string = function
   | Partition { at; dur } -> Printf.sprintf "partition(at=%.2f dur=%.2f)" at dur
   | Clock_step { who; at; delta } ->
       Printf.sprintf "clock_step(who=%d at=%.2f delta=%+.1f)" who at delta
+  | Mtu_change { at; mtu } ->
+      Printf.sprintf "mtu_change(at=%.2f mtu=%s)" at
+        (match mtu with None -> "none" | Some m -> string_of_int m)
 
 let scheme_to_string sc =
-  Printf.sprintf "seed=%Ld mtu=%s noise=%b ops=[%s]" sc.sc_seed
+  Printf.sprintf "seed=%Ld mtu=%s reply_mtu=%s noise=%b ops=[%s]" sc.sc_seed
     (match sc.sc_mtu with None -> "none" | Some m -> string_of_int m)
+    (match sc.sc_reply_mtu with None -> "none" | Some m -> string_of_int m)
     sc.sc_noise
     (String.concat "; " (List.map op_to_string sc.sc_ops))
 
 let gen_op rng =
   let at = 0.5 +. Util.Rng.float rng 15.0 in
-  match Util.Rng.int rng 10 with
+  match Util.Rng.int rng 12 with
   | 0 -> Crash_kdc { at; back = at +. 1.0 +. Util.Rng.float rng 4.0 }
   | 1 -> Crash_ap { at; back = at +. 1.0 +. Util.Rng.float rng 4.0 }
   | 2 -> Partition { at; dur = 1.0 +. Util.Rng.float rng 4.0 }
@@ -53,6 +67,12 @@ let gen_op rng =
       Clock_step
         { who = Util.Rng.int rng n_clients; at;
           delta = Util.Rng.float rng 120.0 -. 60.0 }
+  | 4 ->
+      Mtu_change
+        { at;
+          mtu =
+            (if Util.Rng.int rng 4 = 0 then None
+             else Some (64 + Util.Rng.int rng 1437)) }
   | _ ->
       Read
         { who = Util.Rng.int rng n_clients; at;
@@ -67,6 +87,16 @@ let gen_scheme rng =
     sc_mtu =
       (if Util.Rng.int rng 3 = 0 then None
        else Some (96 + Util.Rng.int rng 1405));
+    (* A quarter of runs squeeze the reply direction only, banded 16-63
+       bytes to straddle the ~33-byte encoded RESPONSE-TOO-BIG refusal:
+       below it even the refusal gets clipped, the client classifies the
+       reply as Garbled, and two in a row force the truncation-reason
+       TCP fallback — the arm a symmetric MTU can never reach, because
+       there the refusal always fits; above it the same squeeze
+       exercises the typed-refusal arm. *)
+    sc_reply_mtu =
+      (if Util.Rng.int rng 4 = 0 then Some (16 + Util.Rng.int rng 48)
+       else None);
     sc_noise = Util.Rng.int rng 3 = 0;
     sc_ops = List.init n (fun _ -> gen_op rng) }
 
@@ -99,6 +129,9 @@ type report = {
   r_sessions : int;
   r_replay_hits : int;
   r_fallbacks : int;  (** all [transport.fallback.*] counters summed *)
+  r_trunc_fallbacks : int;
+      (** the [transport.fallback.truncation] counter alone: TCP upgrades
+          forced by repeated Garbled replies, not by a typed refusal *)
   r_truncated : int;  (** datagrams clipped by the MTU model *)
   r_packets : int;
   r_pending_after : int;
@@ -133,6 +166,17 @@ let run_scheme ?(mutate = false) sc =
           ~ips:[ quad 10 1 0 (30 + i) ] ())
   in
   List.iter (Sim.Net.attach net) (master_host :: slave_host :: fs_host :: ws);
+  (match sc.sc_reply_mtu with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun srv ->
+          List.iter
+            (fun w ->
+              Sim.Net.set_link_mtu net ~src:(Sim.Host.primary_ip srv)
+                ~dst:(Sim.Host.primary_ip w) (Some m))
+            ws)
+        [ master_host; slave_host; fs_host ]);
   let rng = Util.Rng.create sc.sc_seed in
   let db = Kdb.create () in
   Kdb.add_service db (Principal.tgs ~realm:"FUZZ") ~key:(Crypto.Des.random_key rng);
@@ -204,6 +248,8 @@ let run_scheme ?(mutate = false) sc =
             ~b:others ~from:at ~until:(at +. dur) ()
       | Clock_step { who; at; delta } ->
           Sim.Faults.clock_step plane eng (List.nth ws who) ~at ~delta
+      | Mtu_change { at; mtu } ->
+          Sim.Engine.schedule eng ~at (fun () -> Sim.Net.set_mtu net mtu)
       | Read { who; at; big } ->
           let c = List.nth clients who in
           let _, pw = List.nth users who in
@@ -263,6 +309,7 @@ let run_scheme ?(mutate = false) sc =
       counter "transport.fallback.response_too_big"
       + counter "transport.fallback.request_too_big"
       + counter "transport.fallback.truncation";
+    r_trunc_fallbacks = counter "transport.fallback.truncation";
     r_truncated = counter "net.packets.truncated";
     r_packets = counter "net.packets.sent";
     r_pending_after = Sim.Engine.pending eng;
@@ -330,7 +377,8 @@ let mutation_caught () =
   (* The planted bug needs at least one read to replay; a fixed scheme
      with a few reads and no other weather keeps the check fast. *)
   let sc =
-    { sc_seed = 0xB16B00B5L; sc_mtu = None; sc_noise = false;
+    { sc_seed = 0xB16B00B5L; sc_mtu = None; sc_reply_mtu = None;
+      sc_noise = false;
       sc_ops =
         [ Read { who = 0; at = 1.0; big = false };
           Read { who = 1; at = 2.0; big = false } ] }
@@ -345,6 +393,7 @@ type campaign = {
   c_reads : int;
   c_read_oks : int;
   c_fallbacks : int;
+  c_trunc_fallbacks : int;
   c_truncated : int;
   c_det_checks : int;
   c_det_failures : int;
@@ -354,6 +403,7 @@ type campaign = {
 let campaign ?(schedules = 100) ?(det_every = 25) ~seed () =
   let rng = Util.Rng.create seed in
   let reads = ref 0 and oks = ref 0 and fallbacks = ref 0 and trunc = ref 0 in
+  let trunc_fb = ref 0 in
   let det_checks = ref 0 and det_failures = ref 0 in
   let failures = ref [] in
   for i = 1 to schedules do
@@ -367,6 +417,7 @@ let campaign ?(schedules = 100) ?(det_every = 25) ~seed () =
              (fun rr -> match rr.rr_outcome with Some (Ok _) -> true | _ -> false)
              r.r_reads);
     fallbacks := !fallbacks + r.r_fallbacks;
+    trunc_fb := !trunc_fb + r.r_trunc_fallbacks;
     trunc := !trunc + r.r_truncated;
     (match violations r with
     | [] -> ()
@@ -379,14 +430,16 @@ let campaign ?(schedules = 100) ?(det_every = 25) ~seed () =
     end
   done;
   { c_seed = seed; c_schedules = schedules; c_reads = !reads; c_read_oks = !oks;
-    c_fallbacks = !fallbacks; c_truncated = !trunc; c_det_checks = !det_checks;
+    c_fallbacks = !fallbacks; c_trunc_fallbacks = !trunc_fb;
+    c_truncated = !trunc; c_det_checks = !det_checks;
     c_det_failures = !det_failures; c_failures = List.rev !failures }
 
 let campaign_summary c =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "seed %Ld: %d schedules, %d reads (%d ok), %d transport fallbacks, %d truncated datagrams"
-    c.c_seed c.c_schedules c.c_reads c.c_read_oks c.c_fallbacks c.c_truncated;
+  line "seed %Ld: %d schedules, %d reads (%d ok), %d transport fallbacks (%d via Garbled-retry), %d truncated datagrams"
+    c.c_seed c.c_schedules c.c_reads c.c_read_oks c.c_fallbacks
+    c.c_trunc_fallbacks c.c_truncated;
   line "  determinism double-runs: %d (%d mismatches)" c.c_det_checks
     c.c_det_failures;
   (match c.c_failures with

@@ -1,10 +1,15 @@
 (** Property-based session fuzzing for the transport plane.
 
-    A {e scheme} is a generated program: a randomized path MTU, optional
-    background fault noise, and 5-25 operations — sealed reads (small,
-    and deliberately larger than any MTU), KDC and application-server
-    crash/heal pairs, partitions of the master KDC, and workstation
-    clock steps. {!run_scheme} executes one scheme against the
+    A {e scheme} is a generated program: a randomized path MTU, an
+    optional {e asymmetric} reply-direction link MTU (server ->
+    workstation only, banded low enough to clip even the
+    RESPONSE-TOO-BIG refusal, so the Garbled-retry arm of the transport
+    fallback gets real coverage), optional background fault noise, and
+    5-25 operations — sealed reads (small, and deliberately larger than
+    any MTU), KDC and application-server crash/heal pairs, partitions of
+    the master KDC, workstation clock steps, and mid-run global MTU
+    changes (shrink under an open channel, or lift the constraint so
+    later exchanges re-upgrade to datagrams). {!run_scheme} executes one scheme against the
     quickstart realm on a fresh engine and reports everything the
     invariants need; {!violations} checks them:
 
@@ -29,10 +34,12 @@ type op =
   | Crash_ap of { at : float; back : float }
   | Partition of { at : float; dur : float }
   | Clock_step of { who : int; at : float; delta : float }
+  | Mtu_change of { at : float; mtu : int option }
 
 type scheme = {
   sc_seed : int64;
   sc_mtu : int option;
+  sc_reply_mtu : int option;
   sc_noise : bool;
   sc_ops : op list;
 }
@@ -53,6 +60,7 @@ type report = {
   r_sessions : int;
   r_replay_hits : int;
   r_fallbacks : int;
+  r_trunc_fallbacks : int;
   r_truncated : int;
   r_packets : int;
   r_pending_after : int;
@@ -77,6 +85,7 @@ type campaign = {
   c_reads : int;
   c_read_oks : int;
   c_fallbacks : int;
+  c_trunc_fallbacks : int;
   c_truncated : int;
   c_det_checks : int;
   c_det_failures : int;

@@ -525,6 +525,433 @@ let fast_path_speedup s =
       fast.p_timing.events_per_second /. base.p_timing.events_per_second
   | _ -> 1.0
 
+(* --- "one service goes viral" replication campaign -------------------- *)
+
+(* The rebalancing experiment behind BENCH_replication.json. Three runs at
+   one seed: [calm] (no spike — the latency baseline), [unreplicated]
+   (a second open-loop wave of cache-less clients hammers one service
+   through the primary alone — the overload), and [replicated] (the same
+   spike against a primary + replica pool with WAL shipping, bounded-lag
+   routing, background password churn, and a replica crash + rejoin in
+   the middle of the storm). Every run routes reads through a
+   {!Replication.t} with the same per-lookup service time, so the three
+   rows differ only in pool size and traffic — the comparison is fair. *)
+
+type viral_config = {
+  v_base : config;          (* the calm world: population, shards, KDCs *)
+  v_replicas : int;         (* pool size in the replicated run *)
+  v_service_time : float;   (* simulated cost of one lookup at a unit *)
+  v_max_lag : int;          (* bounded-lag eligibility, in WAL records *)
+  v_ship_every : float;     (* WAL shipping cadence (seconds) *)
+  v_spike_at : float;       (* when the service goes viral *)
+  v_spike_clients : int;    (* size of the viral wave *)
+  v_spike_requests : int;   (* requests per viral client *)
+  v_spike_think : float;    (* viral wave think time *)
+  v_spike_service : int;    (* which service goes viral *)
+  v_churn_every : float;    (* password-change cadence; 0 = no churn *)
+  v_crash_replica : bool;   (* crash + rejoin replica 0 mid-spike *)
+}
+
+let default_viral =
+  { v_base =
+      { default with
+        users = 400; shards = 8; kdcs = 2; services = 10; active_clients = 60;
+        requests_per_client = 15; think_time = 0.3; ramp = 5.0;
+        seed = 0x7e91caL; lightweight = true };
+    v_replicas = 3; v_service_time = 0.0005; v_max_lag = 8;
+    v_ship_every = 0.1; v_spike_at = 8.0; v_spike_clients = 80;
+    v_spike_requests = 40; v_spike_think = 0.05; v_spike_service = 0;
+    v_churn_every = 0.4; v_crash_replica = true }
+
+type viral_row = {
+  vr_label : string;
+  vr_completed : int;
+  vr_errors : int;
+  vr_as_requests : int;
+  vr_tgs_requests : int;
+  vr_tgs_latency : percentiles;
+  vr_shard_lookup_balance : float;  (* per-shard skew seen by the primary *)
+  vr_unit_reads : (string * int) list;
+  vr_unit_balance : float;          (* max/mean over serving units *)
+  vr_fresh_fallbacks : int;
+  vr_stale_fallbacks : int;
+  vr_shipped_records : int;
+  vr_catchups : int;
+  vr_max_lag_seen : int;
+  vr_replica_crashes : int;
+  vr_converged : bool;  (* digests + version vectors equal at quiesce *)
+  vr_sim_seconds : float;
+}
+
+let validate_viral v =
+  validate v.v_base;
+  if v.v_replicas < 0 || v.v_replicas > 16 then
+    invalid_arg "Loadgen: v_replicas out of range";
+  if v.v_service_time < 0.0 then invalid_arg "Loadgen: negative service time";
+  if v.v_ship_every <= 0.0 then invalid_arg "Loadgen: ship cadence must be > 0";
+  if v.v_spike_service < 0 || v.v_spike_service >= v.v_base.services then
+    invalid_arg "Loadgen: v_spike_service out of range";
+  if v.v_spike_clients < 1 || v.v_spike_requests < 1 then
+    invalid_arg "Loadgen: spike size out of range";
+  (* Base actives, the viral wave and the churn pool draw on disjoint
+     user index ranges. *)
+  if v.v_base.active_clients + v.v_spike_clients + 50 > v.v_base.users then
+    invalid_arg "Loadgen: users must cover actives + spike wave + churn pool"
+
+let run_viral_one v ~label ~replicas ~spike =
+  let cfg = v.v_base in
+  let tel = Telemetry.Collector.create ~lightweight:cfg.lightweight () in
+  let engine = Sim.Engine.create () in
+  let net = Sim.Net.create ~telemetry:tel engine in
+  let rng = Util.Rng.create cfg.seed in
+  let db = Kdb.create ~shards:cfg.shards () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  (* Population first, durability second: the initial checkpoint then
+     covers the whole registered realm and replicas bootstrap from it
+     instead of replaying one Put per principal. *)
+  let services =
+    Array.init cfg.services (fun i ->
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "svc%02d" i)
+            ~ips:[ Sim.Addr.of_quad 10 1 (i / 200) ((i mod 200) + 1) ] ()
+        in
+        Sim.Net.attach net host;
+        let principal =
+          Principal.service ~realm (Printf.sprintf "app%02d" i)
+            ~host:host.Sim.Host.name
+        in
+        let key = Crypto.Des.random_key rng in
+        Kdb.add_service db principal ~key;
+        let (_ : Apserver.t) =
+          Apserver.install ~seed:(Util.Rng.next_int64 rng) net host
+            ~profile:cfg.profile ~principal ~key ~port:600
+            ~handler:(fun _session ~client:_ data -> Some data)
+            ()
+        in
+        (principal, key, Sim.Host.primary_ip host))
+  in
+  for i = 0 to cfg.users - 1 do
+    let u = user_of cfg i in
+    Kdb.add_user db (Principal.user ~realm u.Passwords.name)
+      ~password:u.Passwords.password
+  done;
+  Kdb.enable_durability ~checkpoint_every:500 db;
+  let router =
+    Replication.create ~service_time:v.v_service_time ~max_lag:v.v_max_lag
+      ~telemetry:tel db
+  in
+  let pool_replicas =
+    List.init replicas (fun i ->
+        let r =
+          Kdb.attach_replica ~telemetry:tel db
+            ~name:(Printf.sprintf "replica%d" i)
+        in
+        Replication.add_replica router r;
+        r)
+  in
+  let kdc_addrs =
+    List.init cfg.kdcs (fun i ->
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "kdc%02d" i)
+            ~ips:[ Sim.Addr.of_quad 10 0 0 (i + 1) ] ()
+        in
+        Sim.Net.attach net host;
+        let kdc =
+          Kdc.create ~seed:(Util.Rng.next_int64 rng) ~telemetry:tel
+            ~reads:router ~realm ~profile:cfg.profile ~lifetime:cfg.lifetime db
+        in
+        Kdc.install net host kdc ();
+        (realm, Sim.Host.primary_ip host))
+  in
+  let completed = ref 0 and errors = ref 0 in
+  let pick_service = zipf_sampler cfg in
+  let starts = ref [] in
+  (* The calm background: the same open-loop clients as {!run_timed}. *)
+  Array.iteri
+    (fun i () ->
+      let u = user_of cfg i in
+      let host =
+        Sim.Host.create ~name:(Printf.sprintf "c%05d" i)
+          ~ips:[ client_addr i ] ()
+      in
+      Sim.Net.attach net host;
+      let client =
+        Client.create ~seed:(Util.Rng.next_int64 rng)
+          ~password:u.Passwords.password ~ccache:cfg.ccache ~kdc_rotation:true
+          net host ~profile:cfg.profile ~kdcs:kdc_addrs
+          (Principal.user ~realm u.Passwords.name)
+      in
+      let crng = Util.Rng.create (Util.Rng.next_int64 rng) in
+      let start = Util.Rng.float rng cfg.ramp in
+      let rec fire j () =
+        let svc_principal, _, svc_addr = services.(pick_service crng) in
+        Client.get_ticket client ~service:svc_principal (function
+          | Error _ -> incr errors
+          | Ok creds ->
+              Client.ap_exchange client creds ~dst:svc_addr ~dport:600
+                (function
+                | Error _ -> incr errors
+                | Ok chan ->
+                    Client.call_priv client chan (Bytes.of_string "PING")
+                      ~k:(function
+                      | Error _ -> incr errors
+                      | Ok _ -> incr completed)));
+        if j + 1 < cfg.requests_per_client then
+          Sim.Engine.schedule engine
+            ~at:(start +. 1.0 +. (float_of_int (j + 1) *. cfg.think_time))
+            (fire (j + 1))
+      in
+      starts :=
+        ( start,
+          fun () ->
+            Client.login client ~password:u.Passwords.password (function
+              | Ok _ -> ()
+              | Error _ -> incr errors);
+            Sim.Engine.schedule engine ~at:(start +. 1.0) (fire 0) )
+        :: !starts)
+    (Array.make cfg.active_clients ());
+  (* The viral wave: cache-less clients, all aimed at one service, open
+     loop at a much hotter think time. Cache-less is the realistic shape —
+     a service suddenly popular is popular with *new* clients, who all
+     need tickets. *)
+  if spike then
+    Array.iteri
+      (fun j () ->
+        let i = cfg.active_clients + j in
+        let u = user_of cfg i in
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "v%05d" j)
+            ~ips:[ client_addr i ] ()
+        in
+        Sim.Net.attach net host;
+        let client =
+          Client.create ~seed:(Util.Rng.next_int64 rng)
+            ~password:u.Passwords.password ~ccache:false ~kdc_rotation:true
+            net host ~profile:cfg.profile ~kdcs:kdc_addrs
+            (Principal.user ~realm u.Passwords.name)
+        in
+        let svc_principal, _, svc_addr = services.(v.v_spike_service) in
+        let start = v.v_spike_at +. Util.Rng.float rng 1.0 in
+        let rec fire j () =
+          Client.get_ticket client ~service:svc_principal (function
+            | Error _ -> incr errors
+            | Ok creds ->
+                Client.ap_exchange client creds ~dst:svc_addr ~dport:600
+                  (function
+                  | Error _ -> incr errors
+                  | Ok chan ->
+                      Client.call_priv client chan (Bytes.of_string "VIRAL")
+                        ~k:(function
+                        | Error _ -> incr errors
+                        | Ok _ -> incr completed)));
+          if j + 1 < v.v_spike_requests then
+            Sim.Engine.schedule engine
+              ~at:(start +. 1.0 +. (float_of_int (j + 1) *. v.v_spike_think))
+              (fire (j + 1))
+        in
+        starts :=
+          ( start,
+            fun () ->
+              Client.login client ~password:u.Passwords.password (function
+                | Ok _ -> ()
+                | Error _ -> incr errors);
+              Sim.Engine.schedule engine ~at:(start +. 1.0) (fire 0) )
+          :: !starts)
+      (Array.make v.v_spike_clients ());
+  let base_end =
+    cfg.ramp +. 1.0
+    +. (float_of_int cfg.requests_per_client *. cfg.think_time)
+  in
+  let spike_end =
+    if spike then
+      v.v_spike_at +. 2.0
+      +. (float_of_int v.v_spike_requests *. v.v_spike_think)
+    else 0.0
+  in
+  let horizon = Float.max base_end spike_end +. 3.0 in
+  (* The replication daemon: ship the log to every live replica on a
+     fixed cadence, tracking the worst pre-ship lag. *)
+  let max_lag_seen = ref 0 in
+  let shipped = ref 0 in
+  if replicas > 0 then begin
+    let rec ship_tick at () =
+      let lag = Replication.max_lag_live router in
+      if lag > !max_lag_seen then max_lag_seen := lag;
+      shipped := !shipped + Replication.ship_all router;
+      if at < horizon then
+        Sim.Engine.schedule engine ~at:(at +. v.v_ship_every)
+          (ship_tick (at +. v.v_ship_every))
+    in
+    Sim.Engine.schedule engine ~at:v.v_ship_every (ship_tick v.v_ship_every)
+  end;
+  (* Background password churn on a user pool nobody logs in as: write
+     traffic for the WAL to ship, and the reason the freshness floor
+     exists. *)
+  if v.v_churn_every > 0.0 then begin
+    let churn_base = cfg.active_clients + (if spike then v.v_spike_clients else 0) in
+    let rec churn_tick n at () =
+      let i = churn_base + (n mod 50) in
+      let u = user_of cfg i in
+      Kdb.add_user db (Principal.user ~realm u.Passwords.name)
+        ~password:(Printf.sprintf "%s#%d" u.Passwords.password n);
+      if at < horizon then
+        Sim.Engine.schedule engine ~at:(at +. v.v_churn_every)
+          (churn_tick (n + 1) (at +. v.v_churn_every))
+    in
+    Sim.Engine.schedule engine ~at:1.0 (churn_tick 0 1.0)
+  end;
+  (* A replica dies in the middle of the storm and rejoins through the
+     reconcile machinery while writes keep flowing. *)
+  let crashes = ref 0 in
+  (match (v.v_crash_replica && spike, pool_replicas) with
+  | true, r0 :: _ ->
+      let mid = v.v_spike_at +. 1.0 in
+      Sim.Engine.schedule engine ~at:mid (fun () ->
+          incr crashes;
+          Kdb.replica_crash r0);
+      Sim.Engine.schedule engine ~at:(mid +. 0.6) (fun () ->
+          ignore (Kdb.replica_rejoin r0 : int))
+  | _ -> ());
+  Sim.Engine.schedule_batch engine (List.rev !starts);
+  Sim.Engine.run engine;
+  (* Quiesce: one final shipping round, then convergence is digest +
+     version-vector equality on every subscribed shard. *)
+  shipped := !shipped + Replication.ship_all router;
+  let converged =
+    List.for_all
+      (fun r ->
+        let rdb = Kdb.replica_db r in
+        Kdb.version_vector rdb = Kdb.version_vector db
+        && Kdb.digests rdb = Kdb.digests db)
+      pool_replicas
+  in
+  let m = Telemetry.Collector.metrics tel in
+  let hist name = Telemetry.Metrics.histogram m name in
+  let unit_reads = Replication.unit_reads router in
+  { vr_label = label;
+    vr_completed = !completed;
+    vr_errors = !errors;
+    vr_as_requests = Telemetry.Metrics.hist_count (hist "span.kdc.as_req.seconds");
+    vr_tgs_requests = Telemetry.Metrics.hist_count (hist "span.kdc.tgs_req.seconds");
+    vr_tgs_latency = percentiles_of_hist (hist "span.client.tgs_exchange.seconds");
+    vr_shard_lookup_balance = max_over_mean (Kdb.shard_lookups db);
+    vr_unit_reads = unit_reads;
+    vr_unit_balance =
+      max_over_mean (Array.of_list (List.map snd unit_reads));
+    vr_fresh_fallbacks = Replication.fresh_fallbacks router;
+    vr_stale_fallbacks = Replication.stale_fallbacks router;
+    vr_shipped_records = !shipped;
+    vr_catchups =
+      List.fold_left (fun a r -> a + Kdb.replica_catchups r) 0 pool_replicas;
+    vr_max_lag_seen = !max_lag_seen;
+    vr_replica_crashes = !crashes;
+    vr_converged = converged;
+    vr_sim_seconds = Sim.Engine.now engine }
+
+type viral_suite = {
+  vs_config : viral_config;
+  vs_calm : viral_row;
+  vs_unreplicated : viral_row;
+  vs_replicated : viral_row;
+}
+
+let run_viral v =
+  validate_viral v;
+  { vs_config = v;
+    vs_calm = run_viral_one v ~label:"calm" ~replicas:0 ~spike:false;
+    vs_unreplicated =
+      run_viral_one v ~label:"viral-unreplicated" ~replicas:0 ~spike:true;
+    vs_replicated =
+      run_viral_one v ~label:"viral-replicated" ~replicas:v.v_replicas
+        ~spike:true }
+
+let viral_p99_ratio s =
+  if s.vs_calm.vr_tgs_latency.p99 > 0.0 then
+    s.vs_replicated.vr_tgs_latency.p99 /. s.vs_calm.vr_tgs_latency.p99
+  else 1.0
+
+let viral_overload_ratio s =
+  if s.vs_calm.vr_tgs_latency.p99 > 0.0 then
+    s.vs_unreplicated.vr_tgs_latency.p99 /. s.vs_calm.vr_tgs_latency.p99
+  else 1.0
+
+(* The gates BENCH_replication.json and the smoke rule enforce. Returns
+   human-readable violations; [] is a pass. *)
+let viral_floor_failures s =
+  let fails = ref [] in
+  let check cond msg = if not cond then fails := msg :: !fails in
+  check
+    (viral_overload_ratio s >= 2.0)
+    (Printf.sprintf
+       "unreplicated spike shows no overload (p99 ratio %.2f < 2.0)"
+       (viral_overload_ratio s));
+  check
+    (viral_p99_ratio s <= 1.2)
+    (Printf.sprintf "replicated p99 not flat (ratio %.2f > 1.2)"
+       (viral_p99_ratio s));
+  check
+    (s.vs_unreplicated.vr_shard_lookup_balance >= 2.0)
+    (Printf.sprintf "expected hot-shard skew missing (balance %.2f < 2.0)"
+       s.vs_unreplicated.vr_shard_lookup_balance);
+  check
+    (s.vs_replicated.vr_unit_balance <= 1.5)
+    (Printf.sprintf "replicated pool unbalanced (max/mean %.2f > 1.5)"
+       s.vs_replicated.vr_unit_balance);
+  check s.vs_replicated.vr_converged
+    "replica state did not converge to the primary at quiesce";
+  check
+    ((not s.vs_config.v_crash_replica)
+    || s.vs_replicated.vr_replica_crashes >= 1)
+    "replica crash was configured but never injected";
+  List.rev !fails
+
+let json_viral_config (v : viral_config) =
+  let open Telemetry.Json in
+  Obj
+    [ ("base", json_config v.v_base); ("replicas", Int v.v_replicas);
+      ("service_time", Float v.v_service_time); ("max_lag", Int v.v_max_lag);
+      ("ship_every", Float v.v_ship_every); ("spike_at", Float v.v_spike_at);
+      ("spike_clients", Int v.v_spike_clients);
+      ("spike_requests", Int v.v_spike_requests);
+      ("spike_think", Float v.v_spike_think);
+      ("spike_service", Int v.v_spike_service);
+      ("churn_every", Float v.v_churn_every);
+      ("crash_replica", Bool v.v_crash_replica) ]
+
+let json_viral_row r =
+  let open Telemetry.Json in
+  Obj
+    [ ("label", Str r.vr_label); ("completed", Int r.vr_completed);
+      ("errors", Int r.vr_errors); ("as_requests", Int r.vr_as_requests);
+      ("tgs_requests", Int r.vr_tgs_requests);
+      ("tgs_latency", json_percentiles r.vr_tgs_latency);
+      ("shard_lookup_balance", Float r.vr_shard_lookup_balance);
+      ("unit_reads",
+       Obj (List.map (fun (n, c) -> (n, Int c)) r.vr_unit_reads));
+      ("unit_balance", Float r.vr_unit_balance);
+      ("fresh_fallbacks", Int r.vr_fresh_fallbacks);
+      ("stale_fallbacks", Int r.vr_stale_fallbacks);
+      ("shipped_records", Int r.vr_shipped_records);
+      ("catchups", Int r.vr_catchups);
+      ("max_lag_seen", Int r.vr_max_lag_seen);
+      ("replica_crashes", Int r.vr_replica_crashes);
+      ("converged", Bool r.vr_converged);
+      ("sim_seconds", Float r.vr_sim_seconds) ]
+
+(* Deterministic: every field is a function of (viral_config, seed) in
+   simulated time — two runs at one seed serialize byte-identically. *)
+let viral_suite_to_json s =
+  let open Telemetry.Json in
+  Obj
+    [ ("config", json_viral_config s.vs_config);
+      ("calm", json_viral_row s.vs_calm);
+      ("unreplicated", json_viral_row s.vs_unreplicated);
+      ("replicated", json_viral_row s.vs_replicated);
+      ("overload_p99_ratio", Float (viral_overload_ratio s));
+      ("replicated_p99_ratio", Float (viral_p99_ratio s));
+      ("floor_failures",
+       List (List.map (fun f -> Str f) (viral_floor_failures s))) ]
+
 let suite_to_json s =
   let open Telemetry.Json in
   Obj

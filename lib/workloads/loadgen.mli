@@ -192,3 +192,81 @@ val suite_to_json : suite -> Telemetry.Json.t
 (** The [BENCH_load.json] payload. The report sections are deterministic
     for a fixed configuration; the [main_timing] and [perf_ablation]
     sections carry wall-clock measurements and are not. *)
+
+(** {2 The "one service goes viral" replication campaign}
+
+    Three runs at one seed against the same world: [calm] (no spike,
+    primary-only — the latency baseline), [unreplicated] (a second wave
+    of cache-less open-loop clients hammers one service through the
+    primary alone) and [replicated] (the same spike against a primary +
+    WAL-shipped replica pool with bounded-lag routing, background
+    password churn, and a replica crash + rejoin mid-storm). Every run
+    routes reads through a {!Replication.t} with the same per-lookup
+    service time, so the rows differ only in pool size and traffic. *)
+
+type viral_config = {
+  v_base : config;          (** the calm world: population, shards, KDCs *)
+  v_replicas : int;         (** pool size in the replicated run *)
+  v_service_time : float;   (** simulated cost of one lookup at a unit *)
+  v_max_lag : int;          (** bounded-lag eligibility, in WAL records *)
+  v_ship_every : float;     (** WAL shipping cadence (seconds) *)
+  v_spike_at : float;       (** when the service goes viral *)
+  v_spike_clients : int;    (** size of the viral wave *)
+  v_spike_requests : int;   (** requests per viral client *)
+  v_spike_think : float;    (** viral wave think time *)
+  v_spike_service : int;    (** which service goes viral *)
+  v_churn_every : float;    (** password-change cadence; 0 = no churn *)
+  v_crash_replica : bool;   (** crash + rejoin replica 0 mid-spike *)
+}
+
+val default_viral : viral_config
+(** Runtest-sized: the committed-seed configuration the replication
+    smoke runs (and [experiments replicate --quick] byte-compares). *)
+
+type viral_row = {
+  vr_label : string;
+  vr_completed : int;
+  vr_errors : int;
+  vr_as_requests : int;
+  vr_tgs_requests : int;
+  vr_tgs_latency : percentiles;   (** client-observed, queueing included *)
+  vr_shard_lookup_balance : float;(** per-shard skew seen by the primary *)
+  vr_unit_reads : (string * int) list; (** reads per serving unit *)
+  vr_unit_balance : float;        (** max/mean over serving units *)
+  vr_fresh_fallbacks : int;
+  vr_stale_fallbacks : int;
+  vr_shipped_records : int;
+  vr_catchups : int;
+  vr_max_lag_seen : int;          (** worst pre-ship lag, WAL records *)
+  vr_replica_crashes : int;
+  vr_converged : bool;  (** digests + version vectors equal at quiesce *)
+  vr_sim_seconds : float;
+}
+
+type viral_suite = {
+  vs_config : viral_config;
+  vs_calm : viral_row;
+  vs_unreplicated : viral_row;
+  vs_replicated : viral_row;
+}
+
+val run_viral : viral_config -> viral_suite
+(** @raise Invalid_argument on out-of-range configuration (the user
+    population must cover actives + the spike wave + the churn pool). *)
+
+val viral_overload_ratio : viral_suite -> float
+(** Unreplicated-spike p99 TGS latency over calm p99 — how badly the
+    viral service melts a primary-only pool. *)
+
+val viral_p99_ratio : viral_suite -> float
+(** Replicated-spike p99 over calm p99 — the headline "stays flat"
+    number (the floor gates it at <= 1.2). *)
+
+val viral_floor_failures : viral_suite -> string list
+(** The gates BENCH_replication.json and [bench --replication-smoke]
+    enforce: overload visible unreplicated, flat p99 replicated, unit
+    balance <= 1.5, convergence after crash/rejoin. [[]] is a pass. *)
+
+val viral_suite_to_json : viral_suite -> Telemetry.Json.t
+(** The [BENCH_replication.json] payload. Fully deterministic at a fixed
+    seed — no wall-clock fields — so two runs byte-compare equal. *)

@@ -311,6 +311,205 @@ let kdb_reshard =
            (Kdb.principals src))
 
 (* ------------------------------------------------------------------ *)
+(* WAL-shipped read replicas: apply-before-ack, torn shipments,        *)
+(* bounded-lag routing, crash/rejoin convergence, determinism.         *)
+(* ------------------------------------------------------------------ *)
+
+let user i = Principal.user ~realm (Printf.sprintf "u%d" i)
+
+let primary_with ?(shards = 4) ?(checkpoint_every = 0) n =
+  let db = Kdb.create ~shards () in
+  for i = 0 to n - 1 do
+    Kdb.add_user db (user i) ~password:(Printf.sprintf "pw%d" i)
+  done;
+  Kdb.enable_durability ~checkpoint_every db;
+  db
+
+let converged db r =
+  Kdb.version_vector (Kdb.replica_db r) = Kdb.version_vector db
+  && Kdb.digests (Kdb.replica_db r) = Kdb.digests db
+
+(* The ack (applied LSN) only moves when the record's effect is visible
+   in the replica's database: writes made after the last shipping round
+   are neither visible nor acked, and one round makes them both at
+   once. *)
+let apply_before_ack () =
+  let db = primary_with 8 in
+  let r = Kdb.attach_replica db ~name:"r0" in
+  Alcotest.(check int) "bootstrap acks the full log" (Kdb.head_lsn db)
+    (Kdb.replica_applied_lsn r);
+  Kdb.add_user db (user 100) ~password:"pw100";
+  Kdb.add_user db (user 101) ~password:"pw101";
+  Alcotest.(check int) "unshipped writes leave the replica lagging" 2
+    (Kdb.replica_lag db r);
+  Alcotest.(check (option reject)) "unacked record is not visible"
+    None
+    (Kdb.lookup (Kdb.replica_db r) (user 100));
+  let applied = Kdb.ship_to_replica r in
+  Alcotest.(check int) "one round applies both records" 2 applied;
+  Alcotest.(check int) "ack caught up to head" (Kdb.head_lsn db)
+    (Kdb.replica_applied_lsn r);
+  Alcotest.(check bool) "acked record is visible" true
+    (Kdb.lookup (Kdb.replica_db r) (user 100) <> None
+    && Kdb.lookup (Kdb.replica_db r) (user 101) <> None);
+  Alcotest.(check bool) "replica converged" true (converged db r)
+
+(* A shipment torn mid-frame replays to the clean prefix — LSNs strictly
+   increasing, trailing garbage discarded, never an exception. *)
+let torn_shipment () =
+  let db = primary_with 6 in
+  let wal = Option.get (Kdb.wal db) in
+  let base = Kdb.Wal.head_lsn wal in
+  for i = 200 to 204 do
+    Kdb.add_user db (user i) ~password:(Printf.sprintf "pw%d" i)
+  done;
+  let blob = Kdb.Wal.ship_since wal ~lsn:base in
+  let whole, none = Kdb.Wal.replay_shipment blob in
+  Alcotest.(check int) "intact shipment: all five records" 5 (List.length whole);
+  Alcotest.(check int) "intact shipment: nothing discarded" 0 none;
+  let lsns = List.map fst whole in
+  Alcotest.(check bool) "LSNs strictly increasing" true
+    (List.sort_uniq compare lsns = lsns && List.sort compare lsns = lsns);
+  (* Tear inside the last frame. *)
+  let torn = Bytes.sub blob 0 (Bytes.length blob - 7) in
+  let prefix, discarded = Kdb.Wal.replay_shipment torn in
+  Alcotest.(check int) "torn tail: clean prefix of four" 4 (List.length prefix);
+  Alcotest.(check bool) "torn tail: remainder discarded" true (discarded > 0);
+  (* Bit-flip mid-frame: CRC stops replay at the flip, cleanly. *)
+  let flipped = Bytes.copy blob in
+  let off = Bytes.length blob / 2 in
+  Bytes.set flipped off (Char.chr (Char.code (Bytes.get flipped off) lxor 0x40));
+  let p2, d2 = Kdb.Wal.replay_shipment flipped in
+  Alcotest.(check bool) "bit flip: strict prefix survives" true
+    (List.length p2 < 5 && d2 > 0);
+  List.iter2
+    (fun (la, _) (lb, _) -> Alcotest.(check int) "prefix LSNs match" la lb)
+    (List.filteri (fun i _ -> i < List.length p2) whole)
+    p2
+
+(* Bounded-lag routing: an ordinary read uses a replica only within
+   max_lag; a fresh read (the AS client-key path) only within
+   fresh_floor — otherwise the primary serves and the fallback is
+   counted. *)
+let bounded_lag_routing () =
+  let db = primary_with ~shards:1 4 in
+  let router =
+    Replication.create ~service_time:0.001 ~max_lag:2 ~fresh_floor:0 db
+  in
+  let r = Kdb.attach_replica db ~name:"r0" in
+  Replication.add_replica router r;
+  let read ?fresh p = fst (Replication.read router ~now:0.0 ?fresh p) in
+  (* In sync: the replica (idle, same queue) is eligible; with both
+     queues empty the tie breaks to the first unit, the primary — so
+     issue two reads and expect one each. *)
+  ignore (read (user 0));
+  ignore (read (user 1));
+  Alcotest.(check (list (pair string int)))
+    "tie-break then queue-balance" [ ("primary", 1); ("r0", 1) ]
+    (Replication.unit_reads router);
+  (* Three writes push the lag past max_lag = 2: ordinary reads must
+     fall back to the primary. *)
+  for i = 300 to 302 do
+    Kdb.add_user db (user i) ~password:"pw"
+  done;
+  Alcotest.(check int) "lag beyond bound" 3 (Kdb.replica_lag db r);
+  ignore (read (user 0));
+  Alcotest.(check int) "stale fallback counted" 1
+    (Replication.stale_fallbacks router);
+  Alcotest.(check (list (pair string int)))
+    "over-lag read pinned to primary" [ ("primary", 2); ("r0", 1) ]
+    (Replication.unit_reads router);
+  (* One shipping round brings lag to 0; reads spread again. *)
+  ignore (Replication.ship_all router);
+  ignore (read (user 300));
+  Alcotest.(check (list (pair string int)))
+    "replica eligible again after shipping" [ ("primary", 2); ("r0", 2) ]
+    (Replication.unit_reads router);
+  (* Fresh reads tolerate no lag at all (fresh_floor = 0). *)
+  Kdb.add_user db (user 303) ~password:"pw";
+  ignore (read ~fresh:true (user 0));
+  Alcotest.(check int) "fresh fallback counted" 1
+    (Replication.fresh_fallbacks router);
+  ignore (Replication.ship_all router);
+  ignore (read ~fresh:true (user 0));
+  Alcotest.(check int) "fresh read uses a caught-up replica" 1
+    (Replication.fresh_fallbacks router)
+
+(* Crash and rejoin: the reconcile pull restores byte-identical shards
+   (digest + version-vector equality), including when the primary has
+   checkpointed past the replica's cursor in the meantime. *)
+let crash_rejoin_convergence () =
+  (* checkpoint_every 4: the log truncates often, so the crashed
+     replica's cursor falls behind first_retained_lsn and rejoin must go
+     through the reconcile install, not a log tail. *)
+  let db = primary_with ~checkpoint_every:4 10 in
+  let r = Kdb.attach_replica db ~name:"r0" in
+  ignore (Kdb.ship_to_replica r);
+  Alcotest.(check bool) "in sync before the crash" true (converged db r);
+  Kdb.replica_crash r;
+  Alcotest.(check bool) "crash marks the replica down" false (Kdb.replica_live r);
+  Alcotest.(check int) "crash wipes the image" 0 (Kdb.size (Kdb.replica_db r));
+  for i = 400 to 409 do
+    Kdb.add_user db (user i) ~password:(Printf.sprintf "pw%d" i)
+  done;
+  let pulled = Kdb.replica_rejoin r in
+  Alcotest.(check bool) "rejoin pulls diverged shards" true (pulled > 0);
+  Alcotest.(check bool) "rejoin marks the replica live" true (Kdb.replica_live r);
+  Alcotest.(check bool) "digests and version vectors equal" true (converged db r);
+  Alcotest.(check int) "cursor reset to head" (Kdb.head_lsn db)
+    (Kdb.replica_applied_lsn r);
+  (* And the shipped path still works on top of the rejoin. *)
+  Kdb.add_user db (user 410) ~password:"pw410";
+  ignore (Kdb.ship_to_replica r);
+  Alcotest.(check bool) "still converged after post-rejoin shipping" true
+    (converged db r)
+
+(* A replica so far behind that the log no longer reaches it catches up
+   via checkpoint + tail (counted), and converges. *)
+let catchup_after_truncation () =
+  let db = primary_with ~checkpoint_every:3 6 in
+  let r = Kdb.attach_replica db ~name:"r0" in
+  let catchups_before = Kdb.replica_catchups r in
+  (* 9 writes = three checkpoints: the retained tail starts far past the
+     replica's ack. *)
+  for i = 500 to 508 do
+    Kdb.add_user db (user i) ~password:(Printf.sprintf "pw%d" i)
+  done;
+  let wal = Option.get (Kdb.wal db) in
+  Alcotest.(check bool) "gap: ack is behind the retained log" true
+    (Kdb.replica_applied_lsn r + 1 < Kdb.Wal.first_retained_lsn wal);
+  ignore (Kdb.ship_to_replica r);
+  Alcotest.(check int) "catch-up taken, not a tail ship"
+    (catchups_before + 1) (Kdb.replica_catchups r);
+  Alcotest.(check bool) "converged after catch-up" true (converged db r);
+  Alcotest.(check int) "ack at head" (Kdb.head_lsn db) (Kdb.replica_applied_lsn r)
+
+(* Routing is a deterministic function of the read sequence: two
+   identically-built pools given the same reads in the same order serve
+   them from the same units with the same delays. *)
+let routing_determinism () =
+  let build () =
+    let db = primary_with ~shards:4 40 in
+    let router = Replication.create ~service_time:0.002 ~max_lag:8 db in
+    Replication.add_replica router (Kdb.attach_replica db ~name:"r0");
+    Replication.add_replica router (Kdb.attach_replica db ~name:"r1");
+    router
+  in
+  let drive router =
+    List.init 200 (fun i ->
+        let now = 0.01 *. float_of_int i in
+        let _, delay = Replication.read router ~now (user (i * 7 mod 40)) in
+        delay)
+  in
+  let a = build () and b = build () in
+  let da = drive a and db_ = drive b in
+  Alcotest.(check (list (float 0.0))) "identical delay sequences" da db_;
+  Alcotest.(check (list (pair string int))) "identical unit loads"
+    (Replication.unit_reads a) (Replication.unit_reads b);
+  Alcotest.(check bool) "work actually spread beyond the primary" true
+    (List.for_all (fun (_, c) -> c > 0) (Replication.unit_reads a))
+
+(* ------------------------------------------------------------------ *)
 (* Replay-cache stress: a busy server's worth of authenticators.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -370,5 +569,13 @@ let () =
        [ Alcotest.test_case "atomic shard swap" `Quick shard_atomicity;
          QCheck_alcotest.to_alcotest kdb_roundtrip;
          QCheck_alcotest.to_alcotest kdb_reshard ]);
+      ("replicas",
+       [ Alcotest.test_case "apply before ack" `Quick apply_before_ack;
+         Alcotest.test_case "torn shipment truncates cleanly" `Quick torn_shipment;
+         Alcotest.test_case "bounded-lag and fresh routing" `Quick bounded_lag_routing;
+         Alcotest.test_case "crash/rejoin convergence" `Quick crash_rejoin_convergence;
+         Alcotest.test_case "catch-up across log truncation" `Quick
+           catchup_after_truncation;
+         Alcotest.test_case "routing determinism" `Quick routing_determinism ]);
       ("replay_cache_stress",
        [ Alcotest.test_case "50k inserts with expiry" `Quick cache_stress ]) ]
