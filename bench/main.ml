@@ -84,7 +84,7 @@ let t_modexp_521 = modexp_test 521
 (* --- replay cache --- *)
 
 let t_cache =
-  let cache = Replay_cache.create ~horizon:600.0 in
+  let cache = Replay_cache.create ~horizon:600.0 () in
   let n = ref 0 in
   Test.make ~name:"server/replay-cache-insert"
     (Staged.stage (fun () ->
@@ -770,6 +770,59 @@ let replication_smoke () =
     s.vs_replicated.vr_unit_balance s.vs_replicated.vr_shipped_records
     s.vs_replicated.vr_replica_crashes (String.length json)
 
+(* --- overload smoke (--overload-smoke) ---
+
+   The metastable-failure campaign at its committed seed, run twice:
+   byte-identical suite JSON across runs, schema intact, and the
+   overload floors must hold — the naive retry storm collapses goodput
+   past the spike (< 50% of calm) and never recovers within the
+   horizon, the budgeted/breaker/hint-honoring row recovers to >= 90%
+   of baseline within 8 sim-seconds and ends the horizon at >= 90% of
+   the calm row's final goodput, the controlled KDCs visibly shed
+   (busy + brownout > 0), and no row drops a request silently. *)
+let overload_smoke () =
+  let open Workloads.Loadgen in
+  let o = default_overload in
+  let s = run_overload o in
+  let json = Telemetry.Json.to_string (overload_suite_to_json s) in
+  let json2 =
+    Telemetry.Json.to_string (overload_suite_to_json (run_overload o))
+  in
+  if not (String.equal json json2) then begin
+    prerr_endline "overload smoke: re-run diverged (campaign determinism lost)";
+    exit 1
+  end;
+  let contains needle =
+    let nl = String.length needle and sl = String.length json in
+    let rec go i = i + nl <= sl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      if not (contains k) then begin
+        Printf.eprintf "overload smoke: BENCH_overload.json schema lost %s\n" k;
+        exit 1
+      end)
+    [ "\"config\""; "\"calm\""; "\"naive\""; "\"controlled\"";
+      "\"floor_failures\""; "\"goodput_baseline\""; "\"goodput_post\"";
+      "\"goodput_final\""; "\"recovery_s\""; "\"windows\"";
+      "\"busy_received\""; "\"breaker_trips\""; "\"budget_exhausted\"";
+      "\"arrived\""; "\"processed\""; "\"busy_rejections\"";
+      "\"brownout_sheds\""; "\"deadline_sheds\""; "\"residual_queue\"";
+      "\"silent_drops\"" ];
+  let fails = overload_floor_failures s in
+  List.iter (fun f -> Printf.eprintf "overload smoke: floor: %s\n" f) fails;
+  if fails <> [] then exit 1;
+  Printf.printf
+    "overload smoke: naive post-spike goodput %.1f/s vs calm %.1f/s \
+     (collapsed, never recovered); controlled recovered in %.1fs, %d busy + \
+     %d brownout sheds, 0 silent drops; suite JSON deterministic (%d bytes), \
+     schema intact\n"
+    s.os_naive.or_goodput_post s.os_calm.or_goodput_baseline
+    (match s.os_controlled.or_recovery_s with Some r -> r | None -> nan)
+    s.os_controlled.or_busy_rejections s.os_controlled.or_brownout_sheds
+    (String.length json)
+
 (* --- docs check (--docs-check) ---
 
    Lint the documentation plane against Expframework.Catalog: every
@@ -878,6 +931,8 @@ let () =
     (transport_smoke (); exit 0);
   if Array.exists (( = ) "--replication-smoke") Sys.argv then
     (replication_smoke (); exit 0);
+  if Array.exists (( = ) "--overload-smoke") Sys.argv then
+    (overload_smoke (); exit 0);
   if Array.exists (( = ) "--docs-check") Sys.argv then (docs_check (); exit 0);
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let ols =

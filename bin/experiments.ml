@@ -569,6 +569,78 @@ let print_replicate seed quick =
   end
   else print_endline "replicate: all floors hold"
 
+let overload_json_path = "BENCH_overload.json"
+
+let print_overload_rows (s : Workloads.Loadgen.overload_suite) =
+  let open Workloads.Loadgen in
+  Expframework.Table.print
+    ~header:
+      [ "run"; "base/s"; "post/s"; "final/s"; "recover"; "busy"; "brownout";
+        "deadline"; "errors"; "silent" ]
+    (List.map
+       (fun r ->
+         [ r.or_label;
+           Printf.sprintf "%.1f" r.or_goodput_baseline;
+           Printf.sprintf "%.1f" r.or_goodput_post;
+           Printf.sprintf "%.1f" r.or_goodput_final;
+           (match r.or_recovery_s with
+           | Some x -> Printf.sprintf "%.1fs" x
+           | None -> "never");
+           string_of_int r.or_busy_rejections;
+           string_of_int r.or_brownout_sheds;
+           string_of_int r.or_deadline_sheds;
+           string_of_int r.or_errors;
+           string_of_int r.or_silent_drops ])
+       [ s.os_calm; s.os_naive; s.os_controlled ])
+
+let print_overload seed quick =
+  let open Workloads.Loadgen in
+  let o =
+    let d = default_overload in
+    { d with o_base = { d.o_base with seed = Int64.of_int seed } }
+  in
+  Printf.printf
+    "== Overload: %d calm clients (think %gs) vs a %d-client login storm \
+     at t=%gs (%d logins each, think %gs); %d KDCs, service time %gs, \
+     queue limit %d, brownout at %d; naive retries=%d vs budget=%d + \
+     breaker(%d, %gs) + retry-after + deadline %gs ==\n\n"
+    o.o_base.active_clients o.o_base.think_time o.o_spike_clients o.o_spike_at
+    o.o_spike_requests o.o_spike_think o.o_base.kdcs o.o_service_time
+    o.o_queue_limit o.o_brownout_at o.o_retries o.o_retry_budget
+    o.o_breaker_threshold o.o_breaker_cooldown o.o_deadline;
+  let s = run_overload o in
+  print_overload_rows s;
+  let json = Telemetry.Json.to_string (overload_suite_to_json s) in
+  let failures = ref 0 in
+  if quick then begin
+    let s2 = run_overload o in
+    let json2 = Telemetry.Json.to_string (overload_suite_to_json s2) in
+    if String.equal json json2 then
+      Printf.printf
+        "\ndeterminism: re-run produced byte-identical suite JSON (%d bytes)\n"
+        (String.length json)
+    else begin
+      print_endline "\ndeterminism: RE-RUN DIVERGED";
+      incr failures
+    end
+  end
+  else begin
+    let oc = open_out overload_json_path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nmachine-readable results: %s\n"
+      (Filename.concat (Sys.getcwd ()) overload_json_path)
+  end;
+  let floor_fails = overload_floor_failures s in
+  List.iter (fun f -> Printf.printf "floor: %s\n" f) floor_fails;
+  if floor_fails <> [] then incr failures;
+  if !failures > 0 then begin
+    print_endline "overload: FAILED";
+    exit 1
+  end
+  else print_endline "overload: all floors hold"
+
 let run_all () =
   print_matrix ();
   print_endline "";
@@ -757,6 +829,32 @@ let replicate_cmd =
           the pool balances, and the replicas converge")
     Term.(const print_replicate $ seed $ quick)
 
+let overload_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt int (Int64.to_int Workloads.Loadgen.default_overload.o_base.seed)
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Runtest-sized campaign, run twice to assert byte-identical \
+             JSON; no BENCH_overload.json.")
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Metastable failure: same-seed calm / naive / controlled runs of \
+          a login storm against the KDC pool. Naive fixed-retry clients \
+          push goodput into a collapse that outlives the spike; admission \
+          control + retry budgets + circuit breakers + retry-after + \
+          deadlines recover it within bounded sim-seconds; writes \
+          BENCH_overload.json and exits nonzero unless the floors hold")
+    Term.(const print_overload $ seed $ quick)
+
 let () =
   let default = Term.(const run_all $ const ()) in
   let info =
@@ -780,6 +878,7 @@ let () =
       load_cmd;
       detect_cmd;
       replicate_cmd;
+      overload_cmd;
       cmd_of "all" "run everything" run_all ]
   in
   let names = List.map Cmd.name cmds in

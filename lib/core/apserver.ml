@@ -373,7 +373,7 @@ let serve_endpoint t =
 let fresh_cache ~profile ~config =
   match profile.Profile.ap_auth with
   | Profile.Timestamp { replay_cache = true; _ } ->
-      Some (Replay_cache.create ~horizon:(2.0 *. config.skew))
+      Some (Replay_cache.create ~horizon:(2.0 *. config.skew) ())
   | _ -> None
 
 (* A crash loses everything in memory: the port, every pending challenge

@@ -6,6 +6,14 @@ type credentials = {
   lifetime : float;
 }
 
+(* Per-KDC circuit breaker state. Closed: [br_open_until = 0], counting
+   consecutive failures. Open: [now < br_open_until], the KDC is skipped
+   without sending. Half-open: the cooldown has passed but
+   [br_open_until] is still set — one probe request goes through, and a
+   single failure re-trips the breaker immediately (no need to count back
+   up to the threshold) while a success closes it fully. *)
+type breaker = { mutable br_fails : int; mutable br_open_until : float }
+
 type t = {
   net : Sim.Net.t;
   host : Sim.Host.t;
@@ -26,14 +34,44 @@ type t = {
   mutable degraded : int;
       (** requests served from the wallet because no KDC answered *)
   mutable tgt_creds : credentials option;
+  (* Overload hygiene (all off by default — the storm-prone historical
+     client). *)
+  retry_budget : int option;  (** token-bucket capacity; [None] = unlimited *)
+  mutable budget_tokens : float;
+  breaker_threshold : int option;  (** consecutive failures before trip *)
+  breaker_cooldown : float;
+  breakers : (Sim.Addr.t, breaker) Hashtbl.t;
+  honor_retry_after : bool;
+  kdc_deadline : float option;
+      (** overall per-exchange patience, stamped into the request *)
+  mutable busy_received : int;
+  mutable breaker_trips : int;
+  mutable budget_exhausted : int;
 }
 
 let create ?(seed = 0x434c49L) ?password ?(kdc_timeout = 1.0) ?(kdc_retries = 0)
-    ?(ccache = false) ?(kdc_rotation = false) net host ~profile ~kdcs me =
+    ?(ccache = false) ?(kdc_rotation = false) ?retry_budget ?breaker_threshold
+    ?(breaker_cooldown = 5.0) ?(honor_retry_after = false) ?kdc_deadline net
+    host ~profile ~kdcs me =
+  (match retry_budget with
+  | Some b when b < 0 -> invalid_arg "Client.create: negative retry_budget"
+  | _ -> ());
+  (match breaker_threshold with
+  | Some n when n <= 0 ->
+      invalid_arg "Client.create: breaker_threshold must be positive"
+  | _ -> ());
+  if breaker_cooldown < 0.0 then
+    invalid_arg "Client.create: negative breaker_cooldown";
   { net; host; profile; kdcs; me; rng = Util.Rng.create seed; password;
     kdc_timeout; kdc_retries; ccache; kdc_rotation; rotation = 0;
     svc_creds = Hashtbl.create 8; ccache_hits = 0; ccache_misses = 0;
-    degraded = 0; tgt_creds = None }
+    degraded = 0; tgt_creds = None;
+    retry_budget;
+    budget_tokens =
+      (match retry_budget with Some b -> float_of_int b | None -> 0.0);
+    breaker_threshold; breaker_cooldown; breakers = Hashtbl.create 4;
+    honor_retry_after; kdc_deadline;
+    busy_received = 0; breaker_trips = 0; budget_exhausted = 0 }
 
 let principal t = t.me
 let host t = t.host
@@ -86,28 +124,160 @@ let classify_kdc_reply t payload =
       | _ -> Sim.Transport.Accept
       | exception Wire.Codec.Decode_error _ -> Sim.Transport.Accept)
 
+(* --- Retry budget: a token bucket spent on retries (failover hops and
+   busy-waits), refilled by successes. A client that only ever succeeds
+   keeps a full bucket; one that is mostly failing runs dry and stops
+   amplifying the storm. The first attempt of an exchange is free — the
+   budget bounds *extra* load, not the offered load itself. *)
+
+let budget_take t =
+  match t.retry_budget with
+  | None -> true
+  | Some _ ->
+      if t.budget_tokens >= 1.0 then begin
+        t.budget_tokens <- t.budget_tokens -. 1.0;
+        true
+      end
+      else begin
+        t.budget_exhausted <- t.budget_exhausted + 1;
+        false
+      end
+
+let budget_refill t =
+  match t.retry_budget with
+  | None -> ()
+  | Some cap ->
+      t.budget_tokens <- Float.min (float_of_int cap) (t.budget_tokens +. 1.0)
+
+(* --- Per-KDC circuit breaker. *)
+
+let breaker_for t addr =
+  match Hashtbl.find_opt t.breakers addr with
+  | Some b -> b
+  | None ->
+      let b = { br_fails = 0; br_open_until = 0.0 } in
+      Hashtbl.add t.breakers addr b;
+      b
+
+let breaker_blocks t b =
+  match t.breaker_threshold with
+  | None -> false
+  | Some _ -> now t < b.br_open_until
+
+let breaker_success b =
+  b.br_fails <- 0;
+  b.br_open_until <- 0.0
+
+let breaker_failure t b =
+  match t.breaker_threshold with
+  | None -> ()
+  | Some threshold ->
+      (* A failed half-open probe re-trips without counting back up. *)
+      let half_open = b.br_open_until > 0.0 && now t >= b.br_open_until in
+      b.br_fails <- b.br_fails + 1;
+      if half_open || b.br_fails >= threshold then begin
+        b.br_open_until <- now t +. t.breaker_cooldown;
+        t.breaker_trips <- t.breaker_trips + 1
+      end
+
+(* Decode a KDC datagram just far enough to recognize KRB_ERR_BUSY and
+   extract its retry-after hint. *)
+let busy_hint_of_reply t reply =
+  match Wire.Encoding.decode_result t.profile.Profile.encoding reply with
+  | Error _ -> None
+  | Ok v -> (
+      match Messages.err_of_value v with
+      | e when e.Messages.e_code = Messages.err_busy ->
+          Some
+            (Option.value
+               (Messages.retry_after_of_text e.Messages.e_text)
+               ~default:(t.kdc_timeout /. 10.0))
+      | _ -> None
+      | exception Wire.Codec.Decode_error _ -> None)
+
 (* One logical KDC request: try each address in turn (with the client's
    per-address timeout/retry budget, UDP-first with transparent TCP
-   fallback) and fail over on silence. *)
-let kdc_call t ~realm payload ~on_reply ~on_error =
+   fallback) and fail over on silence. Takes the request as a wire value
+   so the client's deadline can be stamped into it ({!Messages.with_deadline})
+   before encoding — the KDC sheds queued work whose caller already gave up.
+
+   Storm hygiene, all opt-in: a KDC whose circuit breaker is open is
+   skipped without sending; every failover hop (and every honored
+   retry-after wait) spends a retry-budget token and stops when the
+   bucket is dry; a busy answer with [honor_retry_after] waits out the
+   KDC's hint instead of hammering on. The errors for "every avenue
+   exhausted" all contain "timeout"/"timed out" so the degraded
+   cached-ticket fallback still recognizes them. *)
+let kdc_call t ~realm v ~on_reply ~on_error =
   match rotated t (kdc_addrs t realm) with
   | [] -> on_error ("no KDC known for realm " ^ realm)
   | first :: rest ->
-      let rec go kdc rest =
-        Sim.Transport.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
-          ~timeout:t.kdc_timeout ~retries:t.kdc_retries
-          ~classify:(classify_kdc_reply t) payload ~on_reply
-          ~on_timeout:(fun () ->
-            match rest with
-            | [] -> on_error "KDC timeout"
-            | next :: rest ->
-                Sim.Net.note t.net
-                  (Printf.sprintf "%s: KDC %s unreachable, failing over to %s"
-                     t.host.Sim.Host.name (Sim.Addr.to_string kdc)
-                     (Sim.Addr.to_string next));
-                go next rest)
+      let abs_deadline = Option.map (fun d -> now t +. d) t.kdc_deadline in
+      let payload =
+        let v =
+          match abs_deadline with
+          | None -> v
+          | Some d -> Messages.with_deadline ~deadline:d v
+        in
+        Wire.Encoding.encode t.profile.Profile.encoding v
       in
-      go first rest
+      let remaining () = Option.map (fun d -> d -. now t) abs_deadline in
+      (* [attempted] distinguishes "every KDC timed out" from "every
+         breaker was open and we never sent a byte". *)
+      let rec go ~attempted kdc rest =
+        match remaining () with
+        | Some left when left <= 0.0 ->
+            on_error "KDC deadline expired (timed out)"
+        | left ->
+            let b = breaker_for t kdc in
+            if breaker_blocks t b then
+              match rest with
+              | [] ->
+                  on_error
+                    (if attempted then "KDC timeout"
+                     else "all KDCs circuit-open (timeout)")
+              | next :: rest -> go ~attempted next rest
+            else
+              Sim.Transport.call t.net t.host ~dst:kdc ~dport:Kdc.default_port
+                ~timeout:t.kdc_timeout ~retries:t.kdc_retries ?deadline:left
+                ~classify:(classify_kdc_reply t) payload
+                ~on_reply:(fun reply ->
+                  match busy_hint_of_reply t reply with
+                  | Some hint ->
+                      t.busy_received <- t.busy_received + 1;
+                      breaker_failure t b;
+                      if t.honor_retry_after && budget_take t then begin
+                        Sim.Net.note t.net
+                          (Printf.sprintf
+                             "%s: KDC %s busy; backing off %.3fs as hinted"
+                             t.host.Sim.Host.name (Sim.Addr.to_string kdc) hint);
+                        Sim.Engine.schedule_after (Sim.Net.engine t.net) hint
+                          (fun () -> go ~attempted:true kdc rest)
+                      end
+                      else
+                        (* Naive (or out of budget): the busy error
+                           surfaces to the caller like any KDC error. *)
+                        on_reply reply
+                  | None ->
+                      breaker_success b;
+                      budget_refill t;
+                      on_reply reply)
+                ~on_timeout:(fun () ->
+                  breaker_failure t b;
+                  match rest with
+                  | [] -> on_error "KDC timeout"
+                  | next :: rest ->
+                      if budget_take t then begin
+                        Sim.Net.note t.net
+                          (Printf.sprintf
+                             "%s: KDC %s unreachable, failing over to %s"
+                             t.host.Sim.Host.name (Sim.Addr.to_string kdc)
+                             (Sim.Addr.to_string next));
+                        go ~attempted:true next rest
+                      end
+                      else on_error "KDC retry budget exhausted (timed out)")
+      in
+      go ~attempted:false first rest
 
 (* Credentials are parked in the host cache so the cache-theft experiment
    can steal exactly what a real intruder would find. *)
@@ -145,6 +315,10 @@ let logout t =
 
 let ccache_hits t = t.ccache_hits
 let ccache_misses t = t.ccache_misses
+let busy_received t = t.busy_received
+let breaker_trips t = t.breaker_trips
+let budget_exhausted t = t.budget_exhausted
+let retry_tokens t = t.budget_tokens
 
 (* ------------------------------------------------------------------ *)
 (* Login (AS exchange)                                                 *)
@@ -220,8 +394,7 @@ let login t ?handheld ?key ?service ~password k =
       q_addr = Sim.Host.primary_ip t.host; q_padata = padata }
   in
   Telemetry.Collector.with_context tel span (fun () ->
-      kdc_call t ~realm:t.me.Principal.realm
-        (Wire.Encoding.encode t.profile.Profile.encoding (Messages.as_req_to_value req))
+      kdc_call t ~realm:t.me.Principal.realm (Messages.as_req_to_value req)
         ~on_error:(fun e -> k (Error e))
         ~on_reply:(fun reply_bytes ->
           match Wire.Encoding.decode_result t.profile.Profile.encoding reply_bytes with
@@ -381,7 +554,7 @@ let rec get_ticket_via t ~(via : credentials) ?(options = Messages.no_options)
     (* The TGS for the realm the 'via' credentials belong to. *)
     Telemetry.Collector.with_context tel span (fun () ->
         kdc_call t ~realm:via.service.Principal.realm
-          (Wire.Encoding.encode t.profile.Profile.encoding (Messages.tgs_req_to_value req))
+          (Messages.tgs_req_to_value req)
           ~on_error:(fun e ->
             k (Error (if String.equal e "KDC timeout" then "TGS timeout" else e)))
           ~on_reply:(fun reply_bytes ->

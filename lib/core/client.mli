@@ -22,6 +22,11 @@ val create :
   ?kdc_retries:int ->
   ?ccache:bool ->
   ?kdc_rotation:bool ->
+  ?retry_budget:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
+  ?honor_retry_after:bool ->
+  ?kdc_deadline:float ->
   Sim.Net.t ->
   Sim.Host.t ->
   profile:Profile.t ->
@@ -48,7 +53,33 @@ val create :
     load-balancing rotation: each logical KDC request starts one position
     further along the realm's list (wrapping), so a pool of KDCs serving
     one realm shares the load while an unreachable member still fails
-    over to the rest. *)
+    over to the rest.
+
+    {b Storm hygiene} (all off by default — the historical client, which
+    amplifies overload):
+
+    [retry_budget] caps retry amplification with a token bucket of the
+    given capacity: every failover hop and every honored busy-wait spends
+    a token, every successful exchange refills one (capped), and when the
+    bucket is dry the exchange fails instead of adding load. [None]
+    (default) retries without bound.
+
+    [breaker_threshold] arms a per-KDC circuit breaker: after that many
+    {e consecutive} busy/timeout outcomes from one KDC, the client stops
+    sending to it for [breaker_cooldown] seconds (default 5.0) and routes
+    around it via the failover list. After the cooldown one probe request
+    is allowed through — success closes the breaker, failure re-trips it
+    immediately.
+
+    [honor_retry_after] makes the client treat a [KRB_ERR_BUSY] answer as
+    a scheduling hint: wait out the KDC's retry-after, then retry (budget
+    permitting). Without it a busy answer surfaces as an ordinary KDC
+    error — the naive client the overload experiment measures.
+
+    [kdc_deadline] bounds each logical KDC exchange (seconds): the
+    deadline is stamped into the request ({!Messages.with_deadline}) so
+    an admission-controlled KDC can shed the queued copy once the caller
+    has given up, and no failover/busy-wait step starts past it. *)
 
 val principal : t -> Principal.t
 val host : t -> Sim.Host.t
@@ -183,6 +214,20 @@ val ccache_hits : t -> int
 val ccache_misses : t -> int
 (** Cacheable {!get_ticket} requests that had to go to the TGS anyway —
     first use of a service, or its cached ticket had expired. *)
+
+val busy_received : t -> int
+(** [KRB_ERR_BUSY] answers this client has received from KDCs. *)
+
+val breaker_trips : t -> int
+(** Times a per-KDC circuit breaker opened (0 without
+    [breaker_threshold]). *)
+
+val budget_exhausted : t -> int
+(** Retry/busy-wait steps refused because the retry budget was dry (0
+    without [retry_budget]). *)
+
+val retry_tokens : t -> float
+(** Tokens currently in the retry bucket (0.0 without [retry_budget]). *)
 
 (** Plumbing shared with the hardened helpers and the attacks: *)
 

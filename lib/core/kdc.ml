@@ -18,6 +18,42 @@ type recovery_info = {
   replay_entries : int;     (** TGS replay-cache entries still live at restart *)
 }
 
+(* Admission control: the KDC models itself as a single server with a
+   bounded priority queue. Every admitted request costs
+   [base_service_time] plus whatever read delay the replica router
+   charges; requests past the class's share of [queue_limit] are shed
+   with KRB_ERR_BUSY and a retry-after hint instead of queueing into
+   uselessness — and never dropped silently. *)
+type admission = {
+  queue_limit : int;        (* max requests waiting, all classes together *)
+  base_service_time : float;(* per-request CPU cost, seed for the EWMA *)
+  brownout_at : int;        (* depth where expensive work sheds; <= 0 off *)
+  suspect_rate : int;       (* per-source requests/min before demotion *)
+  classes : bool;           (* strict-priority classes; false = one FIFO *)
+}
+
+let default_admission =
+  { queue_limit = 64; base_service_time = 0.001; brownout_at = 48;
+    suspect_rate = 600; classes = true }
+
+(* A queued request: the closure runs the traced handler (and sends the
+   reply); the deadline, when the client propagated one, lets the drain
+   loop shed stale work at the queue head. *)
+type pending = {
+  pq_deadline : float option;
+  pq_attrs : (string * string) list;
+  pq_run : unit -> unit;
+}
+
+(* Per-source arrival rate in O(1) state: two epoch-bucket counters over
+   ~minute buckets; the sliding-window estimate is cur + prev. Bounded
+   memory per source no matter how hard a flood hammers us. *)
+type rate_cell = {
+  mutable rc_epoch : int;
+  mutable rc_cur : int;
+  mutable rc_prev : int;
+}
+
 type t = {
   realm : string;
   profile : Profile.t;
@@ -38,6 +74,18 @@ type t = {
      the accumulated delay to the reply. *)
   reads : Replication.t option;
   mutable read_delay : float;
+  (* Overload-control plane. [None] keeps the pre-admission behaviour:
+     every decoded request runs inline, bit for bit as before. *)
+  admission : admission option;
+  service_base : float;  (* base_service_time when admission is on, else 0 *)
+  aq_high : pending Queue.t;  (* TGS holders (renewals) *)
+  aq_norm : pending Queue.t;  (* fresh AS_REQ *)
+  aq_low : pending Queue.t;   (* attack-suspect sources *)
+  mutable aq_busy_until : float;
+  mutable aq_draining : bool;
+  mutable aq_avg_service : float;  (* EWMA of measured per-request cost *)
+  suspect_table : (Sim.Addr.t, rate_cell) Hashtbl.t;
+  replay_cap : int option;  (* TGS replay-cache entry bound *)
   (* Crash/restart state, mirroring Apserver. [installed] remembers where
      [install] bound us so [restart] can re-listen. *)
   mutable installed : (Sim.Net.t * Sim.Host.t * int) option;
@@ -54,24 +102,48 @@ type t = {
   c_rate_limited : Telemetry.Metrics.counter;
   c_replay_hits : Telemetry.Metrics.counter;
   c_recoveries : Telemetry.Metrics.counter;
+  c_replay_evicted : Telemetry.Metrics.counter;
+  c_ov_arrived : Telemetry.Metrics.counter;
+  c_ov_busy : Telemetry.Metrics.counter;
+  c_ov_brownout : Telemetry.Metrics.counter;
+  c_ov_deadline : Telemetry.Metrics.counter;
+  c_ov_processed : Telemetry.Metrics.counter;
 }
 
 let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
-    ?(verify_transit = false) ?rate_limit ?telemetry ?reads ~realm ~profile
-    ~lifetime db =
+    ?(verify_transit = false) ?rate_limit ?telemetry ?reads ?admission
+    ?replay_cap ~realm ~profile ~lifetime db =
   (match reads with
   | Some r when Replication.primary r != db ->
       invalid_arg "Kdc.create: reads router is not over this database"
+  | _ -> ());
+  (match admission with
+  | Some a when a.queue_limit <= 0 || a.base_service_time < 0.0 ->
+      invalid_arg "Kdc.create: admission needs a positive queue and service time"
   | _ -> ());
   let tel =
     match telemetry with Some c -> c | None -> Telemetry.Collector.default ()
   in
   let m = Telemetry.Collector.metrics tel in
   let fresh base = Telemetry.Metrics.counter m (Telemetry.Metrics.fresh_name m base) in
+  let c_replay_evicted = fresh ("kdc." ^ realm ^ ".replay_cache.evicted") in
   { realm; profile; lifetime; db; rng = Util.Rng.create seed;
     reads; read_delay = 0.0;
+    admission;
+    service_base =
+      (match admission with Some a -> a.base_service_time | None -> 0.0);
+    aq_high = Queue.create (); aq_norm = Queue.create ();
+    aq_low = Queue.create ();
+    aq_busy_until = 0.0; aq_draining = false;
+    aq_avg_service =
+      (match admission with Some a -> a.base_service_time | None -> 0.0);
+    suspect_table = Hashtbl.create 16;
+    replay_cap;
     routes = Hashtbl.create 4;
-    tgs_cache = Replay_cache.create ~horizon:tgs_cache_horizon;
+    tgs_cache =
+      Replay_cache.create ?cap:replay_cap
+        ~on_evict:(fun () -> Telemetry.Metrics.incr c_replay_evicted)
+        ~horizon:tgs_cache_horizon ();
     enc_tkt_cname_check; verify_transit; rate_limit;
     rate_table = Hashtbl.create 16; tel;
     installed = None; endpoint = None; running = false; disk = None;
@@ -81,7 +153,13 @@ let create ?(seed = 0x4b4443L) ?(enc_tkt_cname_check = false)
     c_preauth_rejected = fresh ("kdc." ^ realm ^ ".preauth_rejections");
     c_rate_limited = fresh ("kdc." ^ realm ^ ".rate_limited_requests");
     c_replay_hits = fresh ("kdc." ^ realm ^ ".replay_hits");
-    c_recoveries = fresh ("kdc." ^ realm ^ ".recoveries") }
+    c_recoveries = fresh ("kdc." ^ realm ^ ".recoveries");
+    c_replay_evicted;
+    c_ov_arrived = fresh ("kdc." ^ realm ^ ".admission.arrived");
+    c_ov_busy = fresh ("kdc." ^ realm ^ ".admission.busy_rejections");
+    c_ov_brownout = fresh ("kdc." ^ realm ^ ".admission.brownout_sheds");
+    c_ov_deadline = fresh ("kdc." ^ realm ^ ".admission.deadline_sheds");
+    c_ov_processed = fresh ("kdc." ^ realm ^ ".admission.processed") }
 
 let enable_durability ?(checkpoint_every = 0) t =
   Kdb.enable_durability ~checkpoint_every t.db;
@@ -93,6 +171,15 @@ let add_realm_route t ~remote ~next_hop = Hashtbl.replace t.routes remote next_h
 let as_requests_served t = Telemetry.Metrics.value t.c_as_served
 let preauth_rejections t = Telemetry.Metrics.value t.c_preauth_rejected
 let rate_limited_requests t = Telemetry.Metrics.value t.c_rate_limited
+let busy_rejections t = Telemetry.Metrics.value t.c_ov_busy
+let brownout_sheds t = Telemetry.Metrics.value t.c_ov_brownout
+let deadline_sheds t = Telemetry.Metrics.value t.c_ov_deadline
+let admission_arrived t = Telemetry.Metrics.value t.c_ov_arrived
+let admission_processed t = Telemetry.Metrics.value t.c_ov_processed
+let replay_evictions t = Telemetry.Metrics.value t.c_replay_evicted
+
+let admission_queue_depth t =
+  Queue.length t.aq_high + Queue.length t.aq_norm + Queue.length t.aq_low
 
 (* Sliding one-minute window per source address. *)
 let rate_limit_exceeded t ~now src =
@@ -522,6 +609,84 @@ let outcome_of_reply v =
   | e -> Ap_check.outcome_of_code ~code:e.Messages.e_code ~text:e.Messages.e_text
   | exception Wire.Codec.Decode_error _ -> "ok"
 
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Was this source's recent request rate past the suspect threshold?
+   Counted on every arrival while admission is on; a suspect source is
+   not refused outright — it is demoted to the lowest priority class, so
+   a flood queues behind legitimate work instead of ahead of it. *)
+let note_arrival t ~now src =
+  match t.admission with
+  | None -> false
+  | Some a ->
+      let cell =
+        match Hashtbl.find_opt t.suspect_table src with
+        | Some c -> c
+        | None ->
+            let c = { rc_epoch = min_int; rc_cur = 0; rc_prev = 0 } in
+            Hashtbl.replace t.suspect_table src c;
+            c
+      in
+      let epoch = int_of_float (now /. 60.0) in
+      if epoch <> cell.rc_epoch then begin
+        cell.rc_prev <- (if epoch = cell.rc_epoch + 1 then cell.rc_cur else 0);
+        cell.rc_cur <- 0;
+        cell.rc_epoch <- epoch
+      end;
+      cell.rc_cur <- cell.rc_cur + 1;
+      cell.rc_cur + cell.rc_prev > a.suspect_rate
+
+(* Strict priority: TGS holders (and anything else in the high class)
+   drain before fresh AS logins, which drain before suspect sources. *)
+let aq_pop t =
+  if not (Queue.is_empty t.aq_high) then Some (Queue.pop t.aq_high)
+  else if not (Queue.is_empty t.aq_norm) then Some (Queue.pop t.aq_norm)
+  else if not (Queue.is_empty t.aq_low) then Some (Queue.pop t.aq_low)
+  else None
+
+(* How long the shed client should stay away: the measured time to drain
+   what is queued ahead of it, clamped to something a client will
+   actually wait. Deterministic — EWMA state and queue depth only. *)
+let retry_hint t ~depth =
+  Float.min 30.0 (Float.max 0.01 (float_of_int (depth + 1) *. t.aq_avg_service))
+
+(* The virtual single server: pop the highest-priority request, shed it
+   for free if its propagated deadline has already passed (the caller
+   stopped waiting — processing it would burn service time on a reply
+   nobody reads), otherwise run it, charge the measured cost, and come
+   back when the service completes. *)
+let rec aq_drain t net =
+  if not t.running then t.aq_draining <- false
+  else begin
+    let eng = Sim.Net.engine net in
+    let now = Sim.Engine.now eng in
+    if now < t.aq_busy_until then ()  (* the completion event re-drains *)
+    else
+      match aq_pop t with
+      | None -> t.aq_draining <- false
+      | Some p -> (
+          match p.pq_deadline with
+          | Some d when now > d ->
+              Telemetry.Metrics.incr t.c_ov_deadline;
+              if Telemetry.Collector.wants_events t.tel then
+                Telemetry.Collector.event t.tel ~component:"kdc"
+                  ~kind:"overload.deadline_shed" p.pq_attrs;
+              aq_drain t net
+          | _ ->
+              p.pq_run ();
+              let cost = t.service_base +. t.read_delay in
+              t.aq_avg_service <-
+                (0.8 *. t.aq_avg_service) +. (0.2 *. cost);
+              Telemetry.Metrics.incr t.c_ov_processed;
+              if cost > 0.0 then begin
+                t.aq_busy_until <- now +. cost;
+                Sim.Engine.schedule_after eng cost (fun () -> aq_drain t net)
+              end
+              else aq_drain t net)
+  end
+
 let serve t net host port =
   let tel = t.tel in
   let encode v = Wire.Encoding.encode t.profile.Profile.encoding v in
@@ -551,9 +716,12 @@ let serve t net host port =
               let outcome = outcome_of_reply v in
               (* Replica-routed reads accumulated queueing delay: hold the
                  reply until the serving units would actually have finished,
-                 so overload surfaces as client-visible latency. The
-                 no-router path replies inline, exactly as before. *)
-              let delay = t.read_delay in
+                 so overload surfaces as client-visible latency. Under
+                 admission control the request's own service time is added
+                 — the reply leaves when the virtual server finishes it.
+                 The no-router, no-admission path replies inline, exactly
+                 as before. *)
+              let delay = t.read_delay +. t.service_base in
               if delay > 0.0 then
                 Sim.Engine.schedule_after (Sim.Net.engine net) delay
                   (fun () -> reply v)
@@ -577,24 +745,112 @@ let serve t net host port =
         end;
         Telemetry.Collector.span_finish tel ~outcome span
       in
+      (* Admission: with no configuration, [run] executes inline — the
+         pre-overload-plane behaviour, bit for bit. With one, the request
+         joins its priority class's share of the bounded queue or is shed
+         with KRB_ERR_BUSY + retry-after; brownout additionally sheds
+         expensive work (cross-realm chases, preauth-heavy logins) while
+         the queue is merely deep, keeping cheap renewals alive. Every
+         shed is counted and answered (busy) or counted and traced
+         (deadline) — never silent. *)
+      let admit ~cls ~expensive ~deadline ~attrs ~run =
+        match t.admission with
+        | None -> run ()
+        | Some ad ->
+            Telemetry.Metrics.incr t.c_ov_arrived;
+            (* [classes = false] collapses the scheduler to one FIFO class
+               — the pre-priority KDC whose queue treats a login storm and
+               a calm renewal identically. The overload experiment's naive
+               arm runs this way. *)
+            let cls = if ad.classes then cls else `Norm in
+            let depth = admission_queue_depth t in
+            let shed c hint_depth =
+              Telemetry.Metrics.incr c;
+              reply
+                (err Messages.err_busy
+                   (Messages.busy_text ~retry_after:(retry_hint t ~depth:hint_depth)))
+            in
+            if expensive && ad.brownout_at > 0 && depth >= ad.brownout_at then
+              shed t.c_ov_brownout ad.brownout_at
+            else begin
+              let threshold =
+                if not ad.classes then ad.queue_limit
+                else
+                  match cls with
+                  | `High -> ad.queue_limit
+                  | `Norm -> ad.queue_limit * 3 / 4
+                  | `Low -> ad.queue_limit / 4
+              in
+              if depth >= threshold then shed t.c_ov_busy depth
+              else begin
+                let q =
+                  match cls with
+                  | `High -> t.aq_high
+                  | `Norm -> t.aq_norm
+                  | `Low -> t.aq_low
+                in
+                Queue.push { pq_deadline = deadline; pq_attrs = attrs; pq_run = run } q;
+                if not t.aq_draining then begin
+                  t.aq_draining <- true;
+                  aq_drain t net
+                end
+              end
+            end
+      in
       match Wire.Encoding.decode_result t.profile.Profile.encoding payload with
       | Error e -> reply (err Messages.err_generic e)
       | Ok v -> (
-          (* Try AS first, then TGS; under Der the tag disambiguates, under
-             V4 the structural parse does. *)
-          match Messages.as_req_of_value v with
-          | q ->
-              traced "kdc.as_req"
-                ~attrs:[ ("client", Principal.to_string q.Messages.q_client) ]
-                (fun () -> handle_as t net host q ~src_addr)
-          | exception Wire.Codec.Decode_error _ -> (
-              match Messages.tgs_req_of_value v with
-              | req ->
-                  traced "kdc.tgs_req"
-                    ~attrs:[ ("server", Principal.to_string req.Messages.t_server) ]
-                    (fun () -> handle_tgs t net host req ~src_addr)
-              | exception Wire.Codec.Decode_error e ->
-                  reply (err Messages.err_generic e))))
+          match Messages.split_deadline v with
+          | exception Wire.Codec.Decode_error e -> reply (err Messages.err_generic e)
+          | deadline, v -> (
+              let suspect =
+                note_arrival t ~now:(Sim.Engine.now (Sim.Net.engine net)) src_addr
+              in
+              (* Try AS first, then TGS; under Der the tag disambiguates,
+                 under V4 the structural parse does. *)
+              match Messages.as_req_of_value v with
+              | q ->
+                  let attrs =
+                    [ ("client", Principal.to_string q.Messages.q_client) ]
+                  in
+                  (* Preauth-heavy logins are the AS path's expensive work:
+                     a preauth decrypt or a DH exponentiation per request. *)
+                  let expensive =
+                    List.exists
+                      (function
+                        | Messages.Pa_preauth _ | Messages.Pa_dh _ -> true
+                        | Messages.Pa_handheld -> false)
+                      q.Messages.q_padata
+                  in
+                  admit
+                    ~cls:(if suspect then `Low else `Norm)
+                    ~expensive ~deadline
+                    ~attrs:(("kind", "as_req") :: ("src", src) :: attrs)
+                    ~run:(fun () ->
+                      traced "kdc.as_req" ~attrs (fun () ->
+                          handle_as t net host q ~src_addr))
+              | exception Wire.Codec.Decode_error _ -> (
+                  match Messages.tgs_req_of_value v with
+                  | req ->
+                      let attrs =
+                        [ ("server", Principal.to_string req.Messages.t_server) ]
+                      in
+                      (* A TGS request proves the sender once held a TGT:
+                         renewals ride the high class (unless the source is
+                         suspect). Cross-realm chases are the expensive
+                         work brownout sheds first. *)
+                      let expensive =
+                        req.Messages.t_server.Principal.realm <> t.realm
+                      in
+                      admit
+                        ~cls:(if suspect then `Low else `High)
+                        ~expensive ~deadline
+                        ~attrs:(("kind", "tgs_req") :: ("src", src) :: attrs)
+                        ~run:(fun () ->
+                          traced "kdc.tgs_req" ~attrs (fun () ->
+                              handle_tgs t net host req ~src_addr))
+                  | exception Wire.Codec.Decode_error e ->
+                      reply (err Messages.err_generic e)))))
   in
   t.endpoint <- Some endpoint
 
@@ -629,8 +885,19 @@ let crash t =
               dk_replay = Replay_cache.to_bytes t.tgs_cache })
           (Kdb.disk_image t.db);
       Kdb.wipe t.db;
-      t.tgs_cache <- Replay_cache.create ~horizon:tgs_cache_horizon;
+      t.tgs_cache <-
+        Replay_cache.create ?cap:t.replay_cap
+          ~on_evict:(fun () -> Telemetry.Metrics.incr t.c_replay_evicted)
+          ~horizon:tgs_cache_horizon ();
       Hashtbl.reset t.rate_table;
+      Hashtbl.reset t.suspect_table;
+      (* Queued work dies with the process; the clients' retry machinery
+         is what carries those requests across the crash. *)
+      Queue.clear t.aq_high;
+      Queue.clear t.aq_norm;
+      Queue.clear t.aq_low;
+      t.aq_busy_until <- 0.0;
+      t.aq_draining <- false;
       Sim.Net.note net
         (Printf.sprintf "%s: KDC for realm %s crashed%s" host.Sim.Host.name
            t.realm
@@ -648,7 +915,11 @@ let restart t =
           | Some every -> Kdb.enable_durability ~checkpoint_every:every t.db
           | None -> ());
           let now = Sim.Net.local_time net host in
-          let cache = Replay_cache.of_bytes ~now d.dk_replay in
+          let cache =
+            Replay_cache.of_bytes ~now
+              ~on_evict:(fun () -> Telemetry.Metrics.incr t.c_replay_evicted)
+              d.dk_replay
+          in
           t.tgs_cache <- cache;
           t.last_recovery <-
             Some

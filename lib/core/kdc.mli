@@ -14,6 +14,36 @@ type t
 val default_port : int
 (** 750, as in V4. *)
 
+(** Admission control — the overload plane's KDC half. Requests join a
+    bounded queue drained by a virtual single server whose per-request
+    cost is [base_service_time] plus the read router's queueing delay.
+    Three strict-priority classes share the queue budget: {e high} (TGS
+    exchanges — the sender demonstrably holds a TGT, so renewals stay
+    alive under load) admits up to [queue_limit]; {e normal} (fresh
+    AS_REQ) up to 3/4 of it; {e low} (traffic from suspect sources, see
+    [suspect_rate]) up to 1/4. Past its class's share a request is
+    answered — never silently dropped — with [KRB_ERR_BUSY] carrying a
+    measured retry-after hint. At depth [brownout_at] the KDC enters
+    {e brownout}: expensive work (preauth/DH-heavy AS exchanges,
+    cross-realm TGS chases) is shed with busy while cheap same-realm
+    work still queues. [suspect_rate] is the per-source requests/minute
+    above which a source is demoted to the low class (demotion, not
+    refusal — distinct from [rate_limit]'s hard per-source cap).
+    [classes = false] collapses the scheduler to a single FIFO class with
+    the full [queue_limit] — the queue-but-no-policy KDC the overload
+    experiment's naive arm measures against. *)
+type admission = {
+  queue_limit : int;        (** total queued requests; > 0 *)
+  base_service_time : float;(** seconds of KDC work per request; >= 0 *)
+  brownout_at : int;        (** depth that sheds expensive work; 0 = off *)
+  suspect_rate : int;       (** per-source req/min before demotion *)
+  classes : bool;           (** strict-priority classes; false = one FIFO *)
+}
+
+val default_admission : admission
+(** [{ queue_limit = 64; base_service_time = 0.001; brownout_at = 48;
+      suspect_rate = 600; classes = true }]. *)
+
 val create :
   ?seed:int64 ->
   ?enc_tkt_cname_check:bool ->
@@ -21,6 +51,8 @@ val create :
   ?rate_limit:int ->
   ?telemetry:Telemetry.Collector.t ->
   ?reads:Replication.t ->
+  ?admission:admission ->
+  ?replay_cap:int ->
   realm:string ->
   profile:Profile.t ->
   lifetime:float ->
@@ -49,7 +81,18 @@ val create :
     ["kdc.as_req"]/["kdc.tgs_req"] span per exchange, per-source AS_REQ
     tracking in the operator view, and the request counters as registry
     metrics named [kdc.<realm>.as_requests_served] etc. (suffixed [#2], …
-    when several KDCs serve one realm). *)
+    when several KDCs serve one realm).
+
+    [admission] enables the overload-control plane (default: off — every
+    request handled inline on arrival, the historical behaviour).
+    Requests whose deadline envelope (see {!Messages.with_deadline}) has
+    already expired when they reach the queue head are shed without a
+    reply — the caller stopped listening — and counted/traced as
+    [overload.deadline_shed].
+
+    [replay_cap] bounds the TGS replay cache under authenticator floods
+    ({!Replay_cache.create}'s [cap]); evictions land on the
+    [kdc.<realm>.replay_cache.evicted] counter. Default: unbounded. *)
 
 val realm : t -> string
 val database : t -> Kdb.t
@@ -109,3 +152,32 @@ val recoveries : t -> int
 val as_requests_served : t -> int
 val preauth_rejections : t -> int
 val rate_limited_requests : t -> int
+
+(** {2 Overload-plane statistics} *)
+
+val admission_arrived : t -> int
+(** Requests that reached admission control (decodable AS/TGS traffic). *)
+
+val admission_processed : t -> int
+(** Requests actually served from the queue. The zero-silent-drop
+    identity: [arrived = processed + busy_rejections + brownout_sheds +
+    deadline_sheds + admission_queue_depth]. *)
+
+val busy_rejections : t -> int
+(** Requests answered [KRB_ERR_BUSY] because their class's queue share
+    was full. *)
+
+val brownout_sheds : t -> int
+(** Expensive requests answered [KRB_ERR_BUSY] by brownout (counted
+    separately from class-limit rejections). *)
+
+val deadline_sheds : t -> int
+(** Requests dropped at the queue head because their propagated deadline
+    had already passed — no reply, but traced. *)
+
+val admission_queue_depth : t -> int
+(** Requests currently queued across all three classes. *)
+
+val replay_evictions : t -> int
+(** TGS replay-cache entries evicted by [replay_cap]
+    (the [kdc.<realm>.replay_cache.evicted] counter). *)

@@ -17,6 +17,7 @@ let tag_safe = 14
 let tag_err = 15
 let tag_preauth = 16
 let tag_keystore = 17
+let tag_deadline = 18
 
 type ticket = {
   server : Principal.t;
@@ -114,6 +115,29 @@ let err_policy = 10
 let err_transit = 11
 let err_generic = 12
 let err_response_too_big = 13
+let err_busy = 14
+
+(* The BUSY refusal carries its retry-after hint inside the error text:
+   the wire error record is just (code, text) and every decoder in the
+   tree already knows how to carry that pair, so overloaded servers can
+   shed with a hint without a codec change. *)
+let busy_text ~retry_after = Printf.sprintf "server busy; retry-after=%.3f" retry_after
+
+let retry_after_of_text s =
+  let marker = "retry-after=" in
+  let mlen = String.length marker in
+  let n = String.length s in
+  let digit c = (c >= '0' && c <= '9') || c = '.' in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub s i mlen = marker then begin
+      let j = ref (i + mlen) in
+      while !j < n && digit s.[!j] do incr j done;
+      float_of_string_opt (String.sub s (i + mlen) (!j - (i + mlen)))
+    end
+    else find (i + 1)
+  in
+  find 0
 
 (* ------------------------------------------------------------------ *)
 (* Small building blocks                                               *)
@@ -344,6 +368,22 @@ let challenge_resp_of_value v =
   | [ n; cp; seq ] ->
       { cr_nonce_f = get_int n; cr_client_part = gopt get_raw cp; cr_seq_init = gopt gint seq }
   | _ -> Wire.Codec.fail "challenge_resp: wrong arity"
+
+(* Deadline envelope: an optional wrapper a client may put around a KDC
+   request so the server can shed it unanswered once the caller has
+   stopped waiting. The deadline is absolute simulation time — faithful
+   to V4's reliance on synchronized clocks, and subject to exactly the
+   skew caveat the paper levels at the timestamp scheme. Requests without
+   the envelope decode as before, so the wrapper is pay-as-you-go. *)
+let with_deadline ~deadline v = Tagged (tag_deadline, List [ vfloat deadline; v ])
+
+let split_deadline v =
+  match v with
+  | Tagged (t, inner) when t = tag_deadline -> (
+      match get_list inner with
+      | [ d; body ] -> (Some (gfloat d), body)
+      | _ -> Wire.Codec.fail "deadline envelope: wrong arity")
+  | v -> (None, v)
 
 let err_to_value e = Tagged (tag_err, List [ vint e.e_code; Str e.e_text ])
 

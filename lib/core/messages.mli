@@ -24,6 +24,7 @@ val tag_safe : int
 val tag_err : int
 val tag_preauth : int
 val tag_keystore : int
+val tag_deadline : int
 
 type ticket = {
   server : Principal.t;
@@ -144,6 +145,20 @@ val err_response_too_big : int
 (** The encoded response exceeds the path MTU back to the client — retry
     the exchange over the stream transport (the v5 KRB_ERR_RESPONSE_TOO_BIG). *)
 
+val err_busy : int
+(** The KDC's admission queue refused the request (KRB_ERR_BUSY): the
+    server is overloaded and shed the exchange rather than queueing it
+    past usefulness. The error text carries a retry-after hint — see
+    {!busy_text} / {!retry_after_of_text}. *)
+
+val busy_text : retry_after:float -> string
+(** The canonical [err_busy] error text: ["server busy; retry-after=T"]
+    with [T] printed to millisecond precision. *)
+
+val retry_after_of_text : string -> float option
+(** Parse the retry-after hint back out of an error text; [None] when the
+    text carries no (or a malformed) hint. *)
+
 (** Serialization. [of_value] functions raise {!Wire.Codec.Decode_error}. *)
 
 val ticket_to_value : ticket -> Wire.Encoding.value
@@ -168,6 +183,16 @@ val challenge_resp_to_value : challenge_resp -> Wire.Encoding.value
 val challenge_resp_of_value : Wire.Encoding.value -> challenge_resp
 val err_to_value : krb_err -> Wire.Encoding.value
 val err_of_value : Wire.Encoding.value -> krb_err
+
+val with_deadline : deadline:float -> Wire.Encoding.value -> Wire.Encoding.value
+(** Wrap a request in the deadline envelope: the server should not bother
+    replying after [deadline] (absolute time on the shared clock) — shed
+    it at the queue head instead. *)
+
+val split_deadline : Wire.Encoding.value -> float option * Wire.Encoding.value
+(** Peel a deadline envelope off a decoded request; requests without one
+    come back unchanged with [None]. Raises {!Wire.Codec.Decode_error} on
+    a malformed envelope. *)
 
 val tgs_req_cleartext_fields : tgs_req -> bytes
 (** The Draft 3 cleartext portion a TGS request's [a_req_cksum] covers:

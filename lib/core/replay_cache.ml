@@ -10,23 +10,37 @@
    leaves its stale heap entry behind, so a popped entry only evicts the
    table slot when the slot's recorded expiry has itself passed. A live key
    is never re-inserted (it reports [Replayed]), so there is at most one
-   heap entry per table entry plus already-popped stragglers. *)
+   heap entry per table entry plus already-popped stragglers.
+
+   The paper's flooding vector: an attacker who stuffs the cache with
+   distinct authenticators grows it without bound — memory exhaustion as
+   denial of service. [cap] bounds the live entry count; at capacity the
+   entry closest to expiry is evicted deterministically (it had the
+   shortest remaining replay window, so its loss re-opens the smallest
+   possible door) and counted, so operators can see a flood squeezing the
+   cache rather than discovering it from an OOM kill. *)
 
 type entry = { expiry : float; ekey : string }
 
 type t = {
   horizon : float;
+  cap : int option;
+  on_evict : unit -> unit;
   entries : (string, float) Hashtbl.t; (* key -> expiry *)
   expq : entry Sim.Heap.t;
   mutable hits : int;     (* authenticators refused as replays *)
   mutable inserts : int;  (* fresh authenticators admitted *)
+  mutable evicted : int;  (* live entries pushed out by the cap *)
 }
 
-let create ~horizon =
-  { horizon;
+let create ?cap ?(on_evict = fun () -> ()) ~horizon () =
+  (match cap with
+  | Some c when c <= 0 -> invalid_arg "Replay_cache.create: cap must be positive"
+  | _ -> ());
+  { horizon; cap; on_evict;
     entries = Hashtbl.create 64;
     expq = Sim.Heap.create ~cmp:(fun a b -> Float.compare a.expiry b.expiry);
-    hits = 0; inserts = 0 }
+    hits = 0; inserts = 0; evicted = 0 }
 
 type verdict = Fresh | Replayed
 
@@ -45,6 +59,25 @@ let purge t ~now =
   in
   drain ()
 
+(* At capacity: pop heap entries until one still names a live table slot
+   (its recorded expiry matches — lazy-deleted stragglers are skipped and
+   discarded, they cost nothing) and evict that slot. Deterministic: the
+   heap orders by expiry, and among equal expiries its internal order is
+   a pure function of the insert sequence. *)
+let evict_soonest t =
+  let rec go () =
+    match Sim.Heap.pop t.expq with
+    | None -> ()
+    | Some e -> (
+        match Hashtbl.find_opt t.entries e.ekey with
+        | Some recorded when recorded = e.expiry ->
+            Hashtbl.remove t.entries e.ekey;
+            t.evicted <- t.evicted + 1;
+            t.on_evict ()
+        | _ -> go ())
+  in
+  go ()
+
 let check_and_insert t ~now blob =
   purge t ~now;
   let key = Bytes.to_string blob in
@@ -53,6 +86,9 @@ let check_and_insert t ~now blob =
       t.hits <- t.hits + 1;
       Replayed
   | None ->
+      (match t.cap with
+      | Some c when Hashtbl.length t.entries >= c -> evict_soonest t
+      | _ -> ());
       let expiry = now +. t.horizon in
       Hashtbl.replace t.entries key expiry;
       Sim.Heap.push t.expq { expiry; ekey = key };
@@ -62,16 +98,20 @@ let check_and_insert t ~now blob =
 let size t = Hashtbl.length t.entries
 let hits t = t.hits
 let inserts t = t.inserts
+let evicted t = t.evicted
 
 (* Persistence: the paper's replay cache only earns its name if it
    survives a server restart — a cache that evaporates with the process
    re-admits every authenticator still inside the skew window. Entries are
    dumped sorted by key so the snapshot is deterministic; the heap is
    rebuilt from the table on load, and the lifetime counters start over
-   (they describe a process, not a disk file). *)
+   (they describe a process, not a disk file). The cap travels with the
+   snapshot (0 encodes "uncapped") so a restarted server keeps its memory
+   bound. *)
 let to_bytes t =
   let w = Wire.Codec.Writer.create () in
   Wire.Codec.Writer.i64 w (Int64.bits_of_float t.horizon);
+  Wire.Codec.Writer.u32 w (match t.cap with None -> 0 | Some c -> c);
   let entries = Hashtbl.fold (fun k exp acc -> (k, exp) :: acc) t.entries [] in
   let entries = List.sort compare entries in
   Wire.Codec.Writer.u32 w (List.length entries);
@@ -88,10 +128,11 @@ let to_bytes t =
    entries whose authenticators the timestamp check already rejects
    (harmless for correctness, unbounded for memory). Entries at or past
    expiry are simply not admitted. *)
-let of_bytes ?now b =
+let of_bytes ?now ?on_evict b =
   let r = Wire.Codec.Reader.of_bytes b in
   let horizon = Int64.float_of_bits (Wire.Codec.Reader.i64 r) in
-  let t = create ~horizon in
+  let cap = match Wire.Codec.Reader.u32 r with 0 -> None | c -> Some c in
+  let t = create ?cap ?on_evict ~horizon () in
   let n = Wire.Codec.Reader.u32 r in
   for _ = 1 to n do
     let k = Wire.Codec.Reader.lstring r in

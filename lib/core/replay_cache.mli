@@ -9,11 +9,20 @@
 
     Expiry is tracked by a min-heap drained incrementally, so sustained
     insert load costs O(log n) amortized per operation rather than a full
-    table sweep per insert. *)
+    table sweep per insert.
+
+    The paper names cache flooding as a denial-of-service vector: an
+    attacker stuffing distinct authenticators grows the cache without
+    bound. [cap] closes it — at capacity the live entry closest to expiry
+    is evicted deterministically (the smallest re-opened replay window)
+    and counted in {!evicted}. *)
 
 type t
 
-val create : horizon:float -> t
+val create : ?cap:int -> ?on_evict:(unit -> unit) -> horizon:float -> unit -> t
+(** [cap] bounds live entries (default: unbounded); [on_evict] fires once
+    per cap eviction, e.g. to bump a server's [replay_cache.evicted]
+    telemetry counter. @raise Invalid_argument when [cap <= 0]. *)
 
 type verdict = Fresh | Replayed
 
@@ -31,17 +40,24 @@ val hits : t -> int
 val inserts : t -> int
 (** Fresh authenticators admitted over the cache's lifetime. *)
 
+val evicted : t -> int
+(** Live entries pushed out by the cap over the cache's lifetime (0 when
+    uncapped). Evicted entries can be replayed once more until their
+    original expiry — the memory bound trades exactly that window. *)
+
 val purge : t -> now:float -> unit
 
 val to_bytes : t -> bytes
-(** Deterministic snapshot (entries sorted by key) of the horizon and the
-    live entries — what a server that keeps its cache on disk writes at
-    shutdown. Lifetime counters ({!hits}/{!inserts}) are process state and
-    are not included. *)
+(** Deterministic snapshot (entries sorted by key) of the horizon, the
+    cap and the live entries — what a server that keeps its cache on disk
+    writes at shutdown. Lifetime counters ({!hits}/{!inserts}/{!evicted})
+    are process state and are not included. *)
 
-val of_bytes : ?now:float -> bytes -> t
-(** Rebuild a cache from {!to_bytes} output; counters start at zero.
-    With [~now], entries already expired at load time are pruned rather
-    than admitted — a restart after a long crash window must not
-    resurrect stale entries or rebuild a heap of dead weight.
+val of_bytes : ?now:float -> ?on_evict:(unit -> unit) -> bytes -> t
+(** Rebuild a cache from {!to_bytes} output; counters start at zero and
+    the cap is restored from the snapshot. With [~now], entries already
+    expired at load time are pruned rather than admitted — a restart
+    after a long crash window must not resurrect stale entries or rebuild
+    a heap of dead weight. [on_evict] re-attaches the eviction hook
+    (callbacks cannot be serialized).
     @raise Wire.Codec.Decode_error on malformed input. *)

@@ -158,3 +158,19 @@ let max_lag_live t =
           if l > acc then l else acc
       | _ -> acc)
     0 t.units
+
+let staleness_bound t = t.max_lag
+
+(* Self-tuning ship trigger: instead of shipping on a fixed workload
+   cadence, the replication daemon checks lag (cheap — a fold over head
+   LSNs) and ships only once some live replica has fallen behind by
+   [fraction] of the staleness bound. Checked often enough relative to
+   the write rate, this keeps every replica's lag strictly inside
+   [max_lag] — bounded-staleness routing then never excludes a live
+   replica — while idle periods ship nothing at all. [fraction] 0.0
+   degenerates to ship-on-every-check, the old fixed-cadence behaviour. *)
+let ship_if_lagged ?(fraction = 0.5) t =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Replication.ship_if_lagged: fraction outside [0,1]";
+  let threshold = fraction *. float_of_int t.max_lag in
+  if float_of_int (max_lag_live t) >= threshold then ship_all t else 0

@@ -50,6 +50,18 @@ val ship_all : t -> int
 val max_lag_live : t -> int
 (** Largest lag among live replicas (0 with none). *)
 
+val staleness_bound : t -> int
+(** The [max_lag] this router was created with. *)
+
+val ship_if_lagged : ?fraction:float -> t -> int
+(** The self-tuning shipping trigger: ship one round ({!ship_all}) iff
+    some live replica's lag has reached [fraction] (default 0.5) of
+    [max_lag]; otherwise do nothing and return 0. Checked at a cadence
+    fast relative to the write rate, this keeps lag strictly inside the
+    staleness bound without the fixed-cadence daemon's idle shipping.
+    [fraction] 0.0 ships on every check (the fixed-cadence behaviour).
+    @raise Invalid_argument when [fraction] is outside [0,1]. *)
+
 val unit_reads : t -> (string * int) list
 (** Reads served per unit, pool order — [("primary", _)] first. *)
 

@@ -30,7 +30,7 @@ let make ~profile ~rng ~role ~key ~own_addr ~peer_addr ~send_seq ~recv_seq =
     match role with Client_side -> (c2s, s2c) | Server_side -> (s2c, c2s)
   in
   { profile; key; sched; role; own_addr; peer_addr; send_seq; recv_seq;
-    send_iv; recv_iv; cache = Replay_cache.create ~horizon:600.0; rng }
+    send_iv; recv_iv; cache = Replay_cache.create ~horizon:600.0 (); rng }
 
 let derived_key (profile : Profile.t) ~multi ~client_part ~server_part =
   if not profile.negotiate_session_key then multi

@@ -22,6 +22,7 @@ let experiments_subcommands =
     ("load", "capacity planning suite (BENCH_load.json)");
     ("detect", "blended attack campaign (BENCH_detect.json)");
     ("replicate", "viral-service replication campaign (BENCH_replication.json)");
+    ("overload", "metastable-failure overload campaign (BENCH_overload.json)");
     ("all", "run everything") ]
 
 let bench_files =
@@ -32,4 +33,5 @@ let bench_files =
     ("BENCH_recovery.json", "dune exec bench/main.exe -- --recovery-smoke");
     ("BENCH_detect.json", "dune exec bin/experiments.exe -- detect");
     ("BENCH_transport.json", "dune exec bench/main.exe -- --transport-smoke");
-    ("BENCH_replication.json", "dune exec bin/experiments.exe -- replicate") ]
+    ("BENCH_replication.json", "dune exec bin/experiments.exe -- replicate");
+    ("BENCH_overload.json", "dune exec bin/experiments.exe -- overload") ]

@@ -71,7 +71,7 @@ let shutdown s =
   end
 
 let call net host ?src ?(timeout = 1.0) ?(retries = 0) ?(backoff = 2.0)
-    ?(max_timeout = 8.0) ?(jitter = 0.1) ?(tcp_timeout = 2.0)
+    ?(max_timeout = 8.0) ?(jitter = 0.1) ?(tcp_timeout = 2.0) ?deadline
     ?(classify = fun _ -> Accept) ~dst ~dport payload ~on_reply ~on_timeout =
   let finished = ref false in
   let finish k = if not !finished then begin finished := true; k () end in
@@ -83,34 +83,54 @@ let call net host ?src ?(timeout = 1.0) ?(retries = 0) ?(backoff = 2.0)
     Telemetry.Collector.span_finish (Net.telemetry net) ~outcome span;
     k ()
   in
+  (* The caller's overall patience, counted from the moment the call
+     starts. The UDP leg is already bounded by timeout x retries; the
+     stream fallback must not overshoot what is left of the budget — a
+     fallback entered with 200 ms remaining gets a 200 ms connection
+     budget, not the full [tcp_timeout]. *)
+  let started = Engine.now (Net.engine net) in
+  let remaining () =
+    match deadline with
+    | None -> infinity
+    | Some d -> started +. d -. Engine.now (Net.engine net)
+  in
   (* The stream leg: connect, send the request as one framed message,
      take the first framed reply. A connection that resets or never
-     completes within [tcp_timeout] counts as a timeout. *)
+     completes within [tcp_timeout] (clamped to the caller's remaining
+     deadline) counts as a timeout; an already-exhausted deadline fails
+     the leg without touching the network. *)
   let tcp_leg ~why () =
-    bump net ("transport.fallback." ^ why);
-    bump net "transport.tcp.calls";
-    let conn_ref = ref None in
-    let conn =
-      Tcpish.connect net host ?src ~dst ~dport:(tcp_port dport)
-        ~on_connected:(fun conn ->
-          Tcpish.on_message conn (fun msg ->
-              if not !finished then begin
-                bump net "transport.tcp.replies";
-                Tcpish.close conn;
-                finish (fun () -> settle "ok" (fun () -> on_reply msg))
-              end);
-          Tcpish.send_message conn payload)
-        ()
-    in
-    conn_ref := Some conn;
-    Tcpish.on_close conn (fun ~reset ->
-        if reset then
-          finish (fun () -> settle "reset" on_timeout));
-    Engine.schedule_after (Net.engine net) tcp_timeout (fun () ->
-        if not !finished then begin
-          (match !conn_ref with Some c -> Tcpish.abort c | None -> ());
-          finish (fun () -> settle "timeout" on_timeout)
-        end)
+    let budget = Float.min tcp_timeout (remaining ()) in
+    if budget <= 0.0 then begin
+      bump net "transport.deadline_exhausted";
+      finish (fun () -> settle "timeout" on_timeout)
+    end
+    else begin
+      bump net ("transport.fallback." ^ why);
+      bump net "transport.tcp.calls";
+      let conn_ref = ref None in
+      let conn =
+        Tcpish.connect net host ?src ~dst ~dport:(tcp_port dport)
+          ~on_connected:(fun conn ->
+            Tcpish.on_message conn (fun msg ->
+                if not !finished then begin
+                  bump net "transport.tcp.replies";
+                  Tcpish.close conn;
+                  finish (fun () -> settle "ok" (fun () -> on_reply msg))
+                end);
+            Tcpish.send_message conn payload)
+          ()
+      in
+      conn_ref := Some conn;
+      Tcpish.on_close conn (fun ~reset ->
+          if reset then
+            finish (fun () -> settle "reset" on_timeout));
+      Engine.schedule_after (Net.engine net) budget (fun () ->
+          if not !finished then begin
+            (match !conn_ref with Some c -> Tcpish.abort c | None -> ());
+            finish (fun () -> settle "timeout" on_timeout)
+          end)
+    end
   in
   let udp_leg () =
     bump net "transport.udp.calls";

@@ -60,6 +60,7 @@ val call :
   ?max_timeout:float ->
   ?jitter:float ->
   ?tcp_timeout:float ->
+  ?deadline:float ->
   ?classify:(bytes -> classification) ->
   dst:Addr.t ->
   dport:int ->
@@ -76,5 +77,12 @@ val call :
     ([transport.fallback.request_too_big]). The stream leg opens a
     connection to [tcp_port dport], sends the request as one framed
     message and yields the first framed reply; a reset or [tcp_timeout]
-    expiry reports [on_timeout]. Exactly one of [on_reply]/[on_timeout]
-    fires. *)
+    expiry reports [on_timeout].
+
+    [deadline] is the caller's total patience in seconds from the start
+    of the call. The stream fallback's timer is clamped to whatever the
+    datagram leg left of it (so the fallback can no longer overshoot a
+    deadline the datagram leg alone would have honored), and a fallback
+    entered with the deadline already spent reports [on_timeout]
+    immediately ([transport.deadline_exhausted]). Exactly one of
+    [on_reply]/[on_timeout] fires. *)

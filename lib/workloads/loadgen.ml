@@ -769,15 +769,20 @@ let run_viral_one v ~label ~replicas ~spike =
     else 0.0
   in
   let horizon = Float.max base_end spike_end +. 3.0 in
-  (* The replication daemon: ship the log to every live replica on a
-     fixed cadence, tracking the worst pre-ship lag. *)
+  (* The replication daemon, self-tuning: check lag on the (cheap)
+     cadence but ship only once some live replica has fallen behind by
+     half the staleness bound ({!Replication.ship_if_lagged}). The check
+     cadence is fast relative to the write rate, so lag stays strictly
+     inside [max_lag] and bounded-staleness routing never observes a
+     replica at the bound — asserted by test_replication's bursty-write
+     case — while idle stretches ship nothing. *)
   let max_lag_seen = ref 0 in
   let shipped = ref 0 in
   if replicas > 0 then begin
     let rec ship_tick at () =
       let lag = Replication.max_lag_live router in
       if lag > !max_lag_seen then max_lag_seen := lag;
-      shipped := !shipped + Replication.ship_all router;
+      shipped := !shipped + Replication.ship_if_lagged ~fraction:0.5 router;
       if at < horizon then
         Sim.Engine.schedule engine ~at:(at +. v.v_ship_every)
           (ship_tick (at +. v.v_ship_every))
@@ -951,6 +956,453 @@ let viral_suite_to_json s =
       ("replicated_p99_ratio", Float (viral_p99_ratio s));
       ("floor_failures",
        List (List.map (fun f -> Str f) (viral_floor_failures s))) ]
+
+(* --- metastable-failure overload campaign ----------------------------- *)
+
+(* The overload plane's proof: one world, three rows at one seed.
+
+   [calm] never spikes — the goodput baseline. [naive] aims a login storm
+   at the KDC pool while every client retransmits on a fixed schedule,
+   never honors retry-after, and has neither budget nor breaker: the
+   classic metastable failure. Once queueing delay crosses the client
+   timeout, every logical request turns into its full retransmit fan
+   (per-address retries, then failover to the other KDC), the offered
+   packet rate times the amplification exceeds the pool's service rate,
+   and the queues stay saturated long after the spike ends — goodput
+   collapses and *stays* collapsed, pinned near zero by work whose
+   callers gave up listening. [controlled] runs the same spike against
+   the deployed overload plane: bounded admission queues with priority
+   classes and brownout at the KDCs, and budgeted, breaker-guarded,
+   hint-honoring, deadline-stamping clients. Goodput dips during the
+   spike and recovers within a bounded number of sim-seconds.
+
+   The naive KDCs still run the admission queue/service-time model —
+   with an effectively unbounded single-FIFO queue ([classes = false])
+   and brownout off — so the two spike rows share one capacity model and
+   differ only in policy: what the bound, the classes, the hints and the
+   client hygiene buy. *)
+
+type overload_config = {
+  o_base : config;          (* population, KDC pool, calm open-loop load *)
+  o_service_time : float;   (* KDC work per request (the admission clock) *)
+  o_queue_limit : int;      (* controlled rows: admission queue bound *)
+  o_brownout_at : int;      (* controlled rows: expensive-work shed depth *)
+  o_suspect_rate : int;     (* controlled rows: per-source demotion rate *)
+  o_spike_at : float;       (* when the login storm starts *)
+  o_spike_clients : int;
+  o_spike_requests : int;   (* logins per spike client *)
+  o_spike_think : float;
+  o_retries : int;          (* per-address UDP retransmits, every row *)
+  o_retry_budget : int;     (* controlled clients: token-bucket capacity *)
+  o_breaker_threshold : int;
+  o_breaker_cooldown : float;
+  o_deadline : float;       (* controlled clients: per-exchange deadline *)
+  o_window : float;         (* goodput bucketing (seconds) *)
+  o_horizon : float;        (* measurement end (sim-seconds) *)
+}
+
+(* Preauth makes the spike's AS requests carry Pa_preauth — the
+   "expensive work" shape brownout sheds first, without the hardened
+   profile's per-login DH exponentiation inflating the run. *)
+let overload_profile =
+  { Profile.v5_draft3 with Profile.name = "v5-draft3+preauth"; preauth = true }
+
+let default_overload =
+  { o_base =
+      { default with
+        users = 400; shards = 4; kdcs = 2; services = 8; active_clients = 60;
+        requests_per_client = 300; think_time = 0.1; ramp = 4.0;
+        ccache = false; seed = 0x6f10adL; profile = overload_profile;
+        lightweight = true };
+    o_service_time = 0.002; o_queue_limit = 300; o_brownout_at = 150;
+    o_suspect_rate = 600; o_spike_at = 12.0; o_spike_clients = 200;
+    o_spike_requests = 50; o_spike_think = 0.02; o_retries = 3;
+    o_retry_budget = 5; o_breaker_threshold = 4; o_breaker_cooldown = 2.0;
+    o_deadline = 3.0; o_window = 1.0; o_horizon = 30.0 }
+
+(* When the last spike login can have fired (starts are jittered over
+   half a second) — recovery time is measured from here. *)
+let overload_spike_end o =
+  o.o_spike_at +. 0.5 +. (float_of_int o.o_spike_requests *. o.o_spike_think)
+
+let validate_overload o =
+  validate o.o_base;
+  if o.o_service_time < 0.0 then invalid_arg "Loadgen: negative service time";
+  if o.o_queue_limit < 1 then invalid_arg "Loadgen: queue limit out of range";
+  if o.o_spike_clients < 1 || o.o_spike_requests < 1 then
+    invalid_arg "Loadgen: spike size out of range";
+  if o.o_window <= 0.0 then invalid_arg "Loadgen: window must be > 0";
+  if o.o_base.active_clients + o.o_spike_clients > o.o_base.users then
+    invalid_arg "Loadgen: users must cover actives + spike wave";
+  if o.o_spike_at <= o.o_base.ramp +. 3.0 then
+    invalid_arg "Loadgen: spike must start after the calm baseline window";
+  if overload_spike_end o >= o.o_horizon then
+    invalid_arg "Loadgen: horizon must extend past the spike";
+  (* Every calm client's schedule must outlive the horizon — including
+     the one starting at ramp offset 0 — or offered load decays in the
+     last windows and post-spike goodput measures the schedule, not the
+     KDCs. *)
+  if
+    1.0 +. (float_of_int o.o_base.requests_per_client *. o.o_base.think_time)
+    < o.o_horizon
+  then invalid_arg "Loadgen: calm schedule ends before the horizon"
+
+type overload_row = {
+  or_label : string;
+  or_completed : int;       (* calm requests a KDC answered (goodput) *)
+  or_errors : int;
+  or_degraded : int;        (* calm requests served from the wallet *)
+  or_goodput_baseline : float;  (* calm completions/s before the spike *)
+  or_goodput_post : float;      (* mean completions/s after spike end *)
+  or_goodput_final : float;     (* mean over the last 5 windows *)
+  or_recovery_s : float option;
+      (* sim-seconds from spike end to the first window back at >= 90%
+         of this row's own baseline; [None] = never within the horizon *)
+  or_windows : int list;    (* calm completions per window, in order *)
+  or_busy_received : int;   (* summed over every client in the row *)
+  or_breaker_trips : int;
+  or_budget_exhausted : int;
+  or_arrived : int;         (* summed over the KDC pool *)
+  or_processed : int;
+  or_busy_rejections : int;
+  or_brownout_sheds : int;
+  or_deadline_sheds : int;
+  or_residual_queue : int;  (* still queued at quiesce (0 once drained) *)
+  or_silent_drops : int;    (* arrived minus every accounted outcome *)
+  or_sim_seconds : float;
+}
+
+let run_overload_one o ~label ~spike ~hygiene =
+  let cfg = o.o_base in
+  let tel = Telemetry.Collector.create ~lightweight:cfg.lightweight () in
+  let engine = Sim.Engine.create () in
+  let net = Sim.Net.create ~telemetry:tel engine in
+  let rng = Util.Rng.create cfg.seed in
+  let db = Kdb.create ~shards:cfg.shards () in
+  Kdb.add_service db (Principal.tgs ~realm) ~key:(Crypto.Des.random_key rng);
+  (* Service principals only — the campaign measures ticket goodput, so
+     nobody runs an AP exchange and the services need no hosts. *)
+  let services =
+    Array.init cfg.services (fun i ->
+        let principal =
+          Principal.service ~realm (Printf.sprintf "app%02d" i)
+            ~host:(Printf.sprintf "svc%02d" i)
+        in
+        Kdb.add_service db principal ~key:(Crypto.Des.random_key rng);
+        principal)
+  in
+  for i = 0 to cfg.users - 1 do
+    let u = user_of cfg i in
+    Kdb.add_user db (Principal.user ~realm u.Passwords.name)
+      ~password:u.Passwords.password
+  done;
+  let admission =
+    if hygiene then
+      { Kdc.queue_limit = o.o_queue_limit;
+        base_service_time = o.o_service_time;
+        brownout_at = o.o_brownout_at;
+        suspect_rate = o.o_suspect_rate;
+        classes = true }
+    else
+      (* The naive pool: same service clock, no policy. One FIFO class
+         (a login storm queues ahead of calm renewals, as V4 did), the
+         queue bound set far above any reachable backlog so nothing is
+         ever shed — overload expresses itself purely as queueing
+         delay. *)
+      { Kdc.queue_limit = 1_000_000;
+        base_service_time = o.o_service_time;
+        brownout_at = 0;
+        suspect_rate = max_int;
+        classes = false }
+  in
+  let kdc_pool = ref [] in
+  let kdc_addrs =
+    List.init cfg.kdcs (fun i ->
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "kdc%02d" i)
+            ~ips:[ Sim.Addr.of_quad 10 0 0 (i + 1) ] ()
+        in
+        Sim.Net.attach net host;
+        let kdc =
+          Kdc.create ~seed:(Util.Rng.next_int64 rng) ~telemetry:tel ~admission
+            ~realm ~profile:cfg.profile ~lifetime:cfg.lifetime db
+        in
+        kdc_pool := kdc :: !kdc_pool;
+        Kdc.install net host kdc ();
+        (realm, Sim.Host.primary_ip host))
+  in
+  let mk_client ~seed ~password host principal =
+    if hygiene then
+      Client.create ~seed ~password ~ccache:false ~kdc_rotation:true
+        ~kdc_retries:o.o_retries ~retry_budget:o.o_retry_budget
+        ~breaker_threshold:o.o_breaker_threshold
+        ~breaker_cooldown:o.o_breaker_cooldown ~honor_retry_after:true
+        ~kdc_deadline:o.o_deadline net host ~profile:cfg.profile
+        ~kdcs:kdc_addrs principal
+    else
+      Client.create ~seed ~password ~ccache:false ~kdc_rotation:true
+        ~kdc_retries:o.o_retries net host ~profile:cfg.profile
+        ~kdcs:kdc_addrs principal
+  in
+  let nwin = int_of_float (o.o_horizon /. o.o_window) in
+  let windows = Array.make (max nwin 1) 0 in
+  let completed = ref 0 and errors = ref 0 and degraded = ref 0 in
+  let all_clients = ref [] in
+  let record_completion () =
+    incr completed;
+    let w = int_of_float (Sim.Engine.now engine /. o.o_window) in
+    if w >= 0 && w < nwin then windows.(w) <- windows.(w) + 1
+  in
+  let pick_service = zipf_sampler cfg in
+  let starts = ref [] in
+  (* The calm population: open-loop TGS traffic, the goodput being
+     defended. Only [From_kdc] answers count — wallet fallbacks keep the
+     client alive but are not KDC goodput. *)
+  Array.iteri
+    (fun i () ->
+      let u = user_of cfg i in
+      let host =
+        Sim.Host.create ~name:(Printf.sprintf "c%05d" i)
+          ~ips:[ client_addr i ] ()
+      in
+      Sim.Net.attach net host;
+      let client =
+        mk_client ~seed:(Util.Rng.next_int64 rng) ~password:u.Passwords.password
+          host
+          (Principal.user ~realm u.Passwords.name)
+      in
+      all_clients := client :: !all_clients;
+      let crng = Util.Rng.create (Util.Rng.next_int64 rng) in
+      let start = Util.Rng.float rng cfg.ramp in
+      let rec fire j () =
+        Client.get_ticket_ex client ~service:services.(pick_service crng)
+          (function
+          | Ok (_, Client.From_kdc) -> record_completion ()
+          | Ok (_, Client.From_cache) -> ()
+          | Ok (_, Client.Degraded) -> incr degraded
+          | Error _ -> incr errors);
+        if j + 1 < cfg.requests_per_client then
+          Sim.Engine.schedule engine
+            ~at:(start +. 1.0 +. (float_of_int (j + 1) *. cfg.think_time))
+            (fire (j + 1))
+      in
+      starts :=
+        ( start,
+          fun () ->
+            Client.login client ~password:u.Passwords.password (function
+              | Ok _ -> ()
+              | Error _ -> incr errors);
+            Sim.Engine.schedule engine ~at:(start +. 1.0) (fire 0) )
+        :: !starts)
+    (Array.make cfg.active_clients ());
+  (* The spike: a wave of fresh clients all logging in at once — the
+     morning-rush AS storm, open loop. Their padata makes each request
+     expensive in the brownout sense. *)
+  if spike then
+    Array.iteri
+      (fun j () ->
+        let i = cfg.active_clients + j in
+        let u = user_of cfg i in
+        let host =
+          Sim.Host.create ~name:(Printf.sprintf "s%05d" j)
+            ~ips:[ client_addr i ] ()
+        in
+        Sim.Net.attach net host;
+        let client =
+          mk_client ~seed:(Util.Rng.next_int64 rng)
+            ~password:u.Passwords.password host
+            (Principal.user ~realm u.Passwords.name)
+        in
+        all_clients := client :: !all_clients;
+        let start = o.o_spike_at +. Util.Rng.float rng 0.5 in
+        let rec fire j () =
+          Client.login client ~password:u.Passwords.password (function
+            | Ok _ -> ()
+            | Error _ -> incr errors);
+          if j + 1 < o.o_spike_requests then
+            Sim.Engine.schedule engine
+              ~at:(start +. (float_of_int (j + 1) *. o.o_spike_think))
+              (fire (j + 1))
+        in
+        starts := (start, fire 0) :: !starts)
+      (Array.make o.o_spike_clients ());
+  Sim.Engine.schedule_batch engine (List.rev !starts);
+  Sim.Engine.run engine;
+  let ksum f = List.fold_left (fun a k -> a + f k) 0 !kdc_pool in
+  let csum f = List.fold_left (fun a c -> a + f c) 0 !all_clients in
+  let arrived = ksum Kdc.admission_arrived in
+  let processed = ksum Kdc.admission_processed in
+  let busy_rejections = ksum Kdc.busy_rejections in
+  let brownout_sheds = ksum Kdc.brownout_sheds in
+  let deadline_sheds = ksum Kdc.deadline_sheds in
+  let residual = ksum Kdc.admission_queue_depth in
+  let mean_rate lo hi =
+    if hi <= lo then 0.0
+    else begin
+      let s = ref 0 in
+      for w = lo to hi - 1 do s := !s + windows.(w) done;
+      float_of_int !s /. (float_of_int (hi - lo) *. o.o_window)
+    end
+  in
+  let spike_end = overload_spike_end o in
+  (* Baseline: full windows between the end of the ramp (plus margin for
+     the logins) and the spike. The same interval in every row. *)
+  let baseline_lo = int_of_float (Float.ceil ((cfg.ramp +. 2.0) /. o.o_window)) in
+  let baseline_hi = int_of_float (o.o_spike_at /. o.o_window) in
+  let post_lo = int_of_float (Float.ceil (spike_end /. o.o_window)) in
+  let baseline = mean_rate baseline_lo baseline_hi in
+  let post = mean_rate post_lo nwin in
+  let final = mean_rate (max post_lo (nwin - 5)) nwin in
+  let recovery =
+    if not spike then Some 0.0
+    else begin
+      let rec find w =
+        if w >= nwin then None
+        else if
+          float_of_int windows.(w) /. o.o_window >= 0.9 *. baseline
+        then Some ((float_of_int w *. o.o_window) -. spike_end)
+        else find (w + 1)
+      in
+      find post_lo
+    end
+  in
+  { or_label = label;
+    or_completed = !completed;
+    or_errors = !errors;
+    or_degraded = !degraded;
+    or_goodput_baseline = baseline;
+    or_goodput_post = post;
+    or_goodput_final = final;
+    or_recovery_s = recovery;
+    or_windows = Array.to_list windows;
+    or_busy_received = csum Client.busy_received;
+    or_breaker_trips = csum Client.breaker_trips;
+    or_budget_exhausted = csum Client.budget_exhausted;
+    or_arrived = arrived;
+    or_processed = processed;
+    or_busy_rejections = busy_rejections;
+    or_brownout_sheds = brownout_sheds;
+    or_deadline_sheds = deadline_sheds;
+    or_residual_queue = residual;
+    or_silent_drops =
+      arrived
+      - (processed + busy_rejections + brownout_sheds + deadline_sheds
+       + residual);
+    or_sim_seconds = Sim.Engine.now engine }
+
+type overload_suite = {
+  os_config : overload_config;
+  os_calm : overload_row;
+  os_naive : overload_row;
+  os_controlled : overload_row;
+}
+
+let run_overload o =
+  validate_overload o;
+  { os_config = o;
+    os_calm = run_overload_one o ~label:"calm" ~spike:false ~hygiene:true;
+    os_naive = run_overload_one o ~label:"spike-naive" ~spike:true ~hygiene:false;
+    os_controlled =
+      run_overload_one o ~label:"spike-controlled" ~spike:true ~hygiene:true }
+
+(* The gates BENCH_overload.json and the smoke rule enforce. *)
+let overload_floor_failures s =
+  let fails = ref [] in
+  let check cond msg = if not cond then fails := msg :: !fails in
+  let base = s.os_calm.or_goodput_baseline in
+  check (base > 0.0) "calm baseline goodput is zero";
+  check
+    (s.os_naive.or_goodput_post < 0.5 *. base)
+    (Printf.sprintf
+       "naive run did not collapse (post-spike %.1f/s >= 50%% of calm %.1f/s)"
+       s.os_naive.or_goodput_post base);
+  check
+    (s.os_naive.or_recovery_s = None)
+    "naive run recovered within the horizon (expected metastable collapse)";
+  check
+    (match s.os_controlled.or_recovery_s with
+    | Some r -> r <= 8.0
+    | None -> false)
+    (Printf.sprintf
+       "controlled run did not recover to >=90%% of baseline within 8s (%s)"
+       (match s.os_controlled.or_recovery_s with
+       | Some r -> Printf.sprintf "took %.1fs" r
+       | None -> "never"));
+  (* Final-window goodput is compared row-to-row over the same windows:
+     the calm row shares the controlled row's client schedule, so it is
+     the exact no-spike counterfactual. *)
+  check
+    (s.os_controlled.or_goodput_final >= 0.9 *. s.os_calm.or_goodput_final)
+    (Printf.sprintf
+       "controlled final goodput %.1f/s < 90%% of calm %.1f/s"
+       s.os_controlled.or_goodput_final s.os_calm.or_goodput_final);
+  check
+    (s.os_controlled.or_busy_rejections + s.os_controlled.or_brownout_sheds > 0)
+    "controlled KDCs never shed (busy + brownout = 0)";
+  List.iter
+    (fun r ->
+      check (r.or_silent_drops = 0)
+        (Printf.sprintf "%s: %d requests unaccounted for (silent drops)"
+           r.or_label r.or_silent_drops))
+    [ s.os_calm; s.os_naive; s.os_controlled ];
+  List.rev !fails
+
+let json_overload_config (o : overload_config) =
+  let open Telemetry.Json in
+  Obj
+    [ ("base", json_config o.o_base);
+      ("service_time", Float o.o_service_time);
+      ("queue_limit", Int o.o_queue_limit);
+      ("brownout_at", Int o.o_brownout_at);
+      ("suspect_rate", Int o.o_suspect_rate);
+      ("spike_at", Float o.o_spike_at);
+      ("spike_clients", Int o.o_spike_clients);
+      ("spike_requests", Int o.o_spike_requests);
+      ("spike_think", Float o.o_spike_think);
+      ("retries", Int o.o_retries);
+      ("retry_budget", Int o.o_retry_budget);
+      ("breaker_threshold", Int o.o_breaker_threshold);
+      ("breaker_cooldown", Float o.o_breaker_cooldown);
+      ("deadline", Float o.o_deadline);
+      ("window", Float o.o_window);
+      ("horizon", Float o.o_horizon) ]
+
+let json_overload_row r =
+  let open Telemetry.Json in
+  Obj
+    [ ("label", Str r.or_label);
+      ("completed", Int r.or_completed);
+      ("errors", Int r.or_errors);
+      ("degraded", Int r.or_degraded);
+      ("goodput_baseline", Float r.or_goodput_baseline);
+      ("goodput_post", Float r.or_goodput_post);
+      ("goodput_final", Float r.or_goodput_final);
+      ("recovery_s",
+       match r.or_recovery_s with Some x -> Float x | None -> Null);
+      ("windows", List (List.map (fun c -> Int c) r.or_windows));
+      ("busy_received", Int r.or_busy_received);
+      ("breaker_trips", Int r.or_breaker_trips);
+      ("budget_exhausted", Int r.or_budget_exhausted);
+      ("arrived", Int r.or_arrived);
+      ("processed", Int r.or_processed);
+      ("busy_rejections", Int r.or_busy_rejections);
+      ("brownout_sheds", Int r.or_brownout_sheds);
+      ("deadline_sheds", Int r.or_deadline_sheds);
+      ("residual_queue", Int r.or_residual_queue);
+      ("silent_drops", Int r.or_silent_drops);
+      ("sim_seconds", Float r.or_sim_seconds) ]
+
+(* Deterministic: every field is a function of (overload_config, seed) in
+   simulated time — two runs at one seed serialize byte-identically. *)
+let overload_suite_to_json s =
+  let open Telemetry.Json in
+  Obj
+    [ ("config", json_overload_config s.os_config);
+      ("calm", json_overload_row s.os_calm);
+      ("naive", json_overload_row s.os_naive);
+      ("controlled", json_overload_row s.os_controlled);
+      ("floor_failures",
+       List (List.map (fun f -> Str f) (overload_floor_failures s))) ]
 
 let suite_to_json s =
   let open Telemetry.Json in

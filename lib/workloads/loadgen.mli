@@ -270,3 +270,94 @@ val viral_floor_failures : viral_suite -> string list
 val viral_suite_to_json : viral_suite -> Telemetry.Json.t
 (** The [BENCH_replication.json] payload. Fully deterministic at a fixed
     seed — no wall-clock fields — so two runs byte-compare equal. *)
+
+(** {2 The metastable-failure overload campaign}
+
+    Three runs at one seed: [calm] (no spike — the goodput baseline),
+    [naive] (a login storm against fixed-retry clients and an unbounded
+    KDC queue: goodput collapses and stays collapsed after the spike —
+    the metastable failure) and [controlled] (the same storm against the
+    full overload plane: KDC admission control with priority classes and
+    brownout, client retry budgets, circuit breakers, honored
+    retry-after hints and propagated deadlines — goodput dips and
+    recovers within bounded sim-seconds). Goodput is calm-client ticket
+    completions answered by a live KDC, bucketed into fixed windows. *)
+
+type overload_config = {
+  o_base : config;          (** population, KDC pool, calm open-loop load *)
+  o_service_time : float;   (** KDC work per request (the admission clock) *)
+  o_queue_limit : int;      (** controlled rows: admission queue bound *)
+  o_brownout_at : int;      (** controlled rows: expensive-work shed depth *)
+  o_suspect_rate : int;     (** controlled rows: per-source demotion rate *)
+  o_spike_at : float;       (** when the login storm starts *)
+  o_spike_clients : int;
+  o_spike_requests : int;   (** logins per spike client *)
+  o_spike_think : float;
+  o_retries : int;          (** per-address UDP retransmits, every row *)
+  o_retry_budget : int;     (** controlled clients: token-bucket capacity *)
+  o_breaker_threshold : int;
+  o_breaker_cooldown : float;
+  o_deadline : float;       (** controlled clients: per-exchange deadline *)
+  o_window : float;         (** goodput bucketing (seconds) *)
+  o_horizon : float;        (** measurement end (sim-seconds) *)
+}
+
+val overload_profile : Kerberos.Profile.t
+(** [v5_draft3] with preauth on, so the spike's AS requests carry the
+    expensive-work shape brownout sheds first. *)
+
+val default_overload : overload_config
+(** Runtest-sized: the committed-seed configuration the overload smoke
+    runs (and [experiments overload] byte-compares). *)
+
+val overload_spike_end : overload_config -> float
+(** When the last spike login can have fired — recovery time is measured
+    from here. *)
+
+type overload_row = {
+  or_label : string;
+  or_completed : int;       (** calm requests a KDC answered (goodput) *)
+  or_errors : int;
+  or_degraded : int;        (** calm requests served from the wallet *)
+  or_goodput_baseline : float;  (** calm completions/s before the spike *)
+  or_goodput_post : float;      (** mean completions/s after spike end *)
+  or_goodput_final : float;     (** mean over the last 5 windows *)
+  or_recovery_s : float option;
+      (** sim-seconds from spike end to the first window back at >= 90%
+          of this row's own baseline; [None] = never within the horizon *)
+  or_windows : int list;    (** calm completions per window, in order *)
+  or_busy_received : int;   (** summed over every client in the row *)
+  or_breaker_trips : int;
+  or_budget_exhausted : int;
+  or_arrived : int;         (** summed over the KDC pool *)
+  or_processed : int;
+  or_busy_rejections : int;
+  or_brownout_sheds : int;
+  or_deadline_sheds : int;
+  or_residual_queue : int;  (** still queued at quiesce (0 once drained) *)
+  or_silent_drops : int;    (** arrived minus every accounted outcome *)
+  or_sim_seconds : float;
+}
+
+type overload_suite = {
+  os_config : overload_config;
+  os_calm : overload_row;
+  os_naive : overload_row;
+  os_controlled : overload_row;
+}
+
+val run_overload : overload_config -> overload_suite
+(** @raise Invalid_argument on out-of-range configuration (the spike
+    must start after the baseline window, the horizon must extend past
+    the spike, and the calm schedule must outlive the horizon). *)
+
+val overload_floor_failures : overload_suite -> string list
+(** The gates BENCH_overload.json and [bench --overload-smoke] enforce:
+    naive post-spike goodput under half the calm baseline with no
+    recovery, controlled recovery within 8 sim-seconds and final goodput
+    back at >= 90%, visible shedding, and zero silent drops on every
+    row. [[]] is a pass. *)
+
+val overload_suite_to_json : overload_suite -> Telemetry.Json.t
+(** The [BENCH_overload.json] payload. Fully deterministic at a fixed
+    seed — no wall-clock fields — so two runs byte-compare equal. *)

@@ -593,7 +593,7 @@ let persistent_restart_rejects_replay () =
   Alcotest.(check bool) "replay recorded as a hit" true (hits >= 1)
 
 let replay_cache_serialization_roundtrip () =
-  let c = Replay_cache.create ~horizon:600.0 in
+  let c = Replay_cache.create ~horizon:600.0 () in
   for i = 0 to 9 do
     ignore
       (Replay_cache.check_and_insert c ~now:(float_of_int i)

@@ -309,7 +309,7 @@ let suite_messages =
 (* ------------------------------------------------------------------ *)
 
 let cache_basics () =
-  let c = Replay_cache.create ~horizon:10.0 in
+  let c = Replay_cache.create ~horizon:10.0 () in
   let b1 = Bytes.of_string "auth-1" and b2 = Bytes.of_string "auth-2" in
   Alcotest.(check bool) "fresh" true (Replay_cache.check_and_insert c ~now:0.0 b1 = Replay_cache.Fresh);
   Alcotest.(check bool) "replayed" true
@@ -327,7 +327,7 @@ let cache_prop =
   QCheck.Test.make ~name:"cache never accepts a live duplicate" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (int_bound 10))
     (fun ids ->
-      let c = Replay_cache.create ~horizon:1000.0 in
+      let c = Replay_cache.create ~horizon:1000.0 () in
       let seen = Hashtbl.create 8 in
       List.for_all
         (fun id ->
@@ -350,7 +350,7 @@ let cache_no_conflation_prop =
     QCheck.(pair (bytes_of_size (Gen.int_range 0 64)) (bytes_of_size (Gen.int_range 0 64)))
     (fun (b1, b2) ->
       QCheck.assume (not (Bytes.equal b1 b2));
-      let c = Replay_cache.create ~horizon:100.0 in
+      let c = Replay_cache.create ~horizon:100.0 () in
       Replay_cache.check_and_insert c ~now:0.0 b1 = Replay_cache.Fresh
       && Replay_cache.check_and_insert c ~now:1.0 b2 = Replay_cache.Fresh
       && Replay_cache.check_and_insert c ~now:2.0 b1 = Replay_cache.Replayed
@@ -360,7 +360,7 @@ let cache_no_conflation_prop =
 let cache_mutation_safe () =
   (* The caller may reuse its buffer after the call; the cache must have
      captured the contents, not the reference. *)
-  let c = Replay_cache.create ~horizon:100.0 in
+  let c = Replay_cache.create ~horizon:100.0 () in
   let b = Bytes.of_string "authenticator-A" in
   Alcotest.(check bool) "first" true
     (Replay_cache.check_and_insert c ~now:0.0 b = Replay_cache.Fresh);

@@ -194,7 +194,7 @@ let suite_kdb =
 (* ------------------------------------------------------------------ *)
 
 let replay_cache_prunes_expired_on_load () =
-  let c = Replay_cache.create ~horizon:600.0 in
+  let c = Replay_cache.create ~horizon:600.0 () in
   ignore (Replay_cache.check_and_insert c ~now:0.0 (Bytes.of_string "old-auth"));
   ignore (Replay_cache.check_and_insert c ~now:500.0 (Bytes.of_string "new-auth"));
   let snapshot = Replay_cache.to_bytes c in

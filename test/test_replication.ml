@@ -435,6 +435,103 @@ let bounded_lag_routing () =
   Alcotest.(check int) "fresh read uses a caught-up replica" 1
     (Replication.fresh_fallbacks router)
 
+(* Self-tuning ship cadence under a bursty write schedule: the trigger
+   ships only when some replica's lag reaches [fraction] of [max_lag],
+   so as long as the burst size per check interval stays under the
+   remaining headroom, bounded-staleness routing never observes
+   lag >= max_lag — no read ever falls back to the primary for
+   staleness — and quiet checks ship nothing. *)
+let self_tuning_cadence () =
+  let db = primary_with ~shards:1 8 in
+  let max_lag = 8 in
+  let router = Replication.create ~service_time:0.001 ~max_lag db in
+  let r = Kdb.attach_replica db ~name:"r0" in
+  Replication.add_replica router r;
+  Alcotest.(check int) "router exposes its staleness bound" max_lag
+    (Replication.staleness_bound router);
+  let rng = Util.Rng.create 0xcadc3L in
+  let ships = ref 0 and checks_shipping = ref 0 and next = ref 1000 in
+  let worst = ref 0 in
+  (* 200 check intervals; each carries a write burst of 0..4 records —
+     sometimes silence, sometimes half the threshold at once. The
+     trigger fraction is 2/8, so headroom between a passing check and
+     the bound is 6 records > any single burst. *)
+  for _ = 1 to 200 do
+    let burst = Util.Rng.int rng 5 in
+    for _ = 1 to burst do
+      Kdb.add_user db (user !next) ~password:"pw";
+      incr next
+    done;
+    (* Routing decisions observe the lag as it stands when the read
+       lands, before this check's shipping round. *)
+    if Kdb.replica_lag db r > !worst then worst := Kdb.replica_lag db r;
+    ignore (Replication.read router ~now:0.0 (user 0));
+    let shipped = Replication.ship_if_lagged ~fraction:0.25 router in
+    ships := !ships + shipped;
+    if shipped > 0 then incr checks_shipping
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "lag stays strictly inside the bound (worst %d)" !worst)
+    true (!worst < max_lag);
+  Alcotest.(check int) "no read ever fell back for staleness" 0
+    (Replication.stale_fallbacks router);
+  (* fraction 0.0 is the fixed-cadence daemon: ships unconditionally,
+     leaving the replica fully converged. *)
+  ignore (Replication.ship_if_lagged ~fraction:0.0 router);
+  Alcotest.(check int) "fraction 0.0 ships on every check" 0
+    (Kdb.replica_lag db r);
+  Alcotest.(check bool)
+    (Printf.sprintf "quiet checks ship nothing (%d/200 shipped)"
+       !checks_shipping)
+    true
+    (!checks_shipping < 200 && !checks_shipping > 0)
+
+(* Replay-cache flood: a capped cache holds its memory bound under a
+   flood of distinct authenticators — evicting the soonest-to-expire
+   entry, counting every eviction — while a replay of a {e recent}
+   authenticator (well inside the horizon, still resident) is caught. *)
+let replay_cache_flood () =
+  let cap = 1000 in
+  let evictions = ref 0 in
+  let c =
+    Replay_cache.create ~cap ~on_evict:(fun () -> incr evictions)
+      ~horizon:600.0 ()
+  in
+  let blob i = Bytes.of_string (Printf.sprintf "flood-%08d" i) in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    let now = float_of_int i *. 0.001 in
+    (match Replay_cache.check_and_insert c ~now (blob i) with
+    | Replay_cache.Fresh -> ()
+    | Replay_cache.Replayed -> Alcotest.failf "distinct blob %d reported Replayed" i);
+    Alcotest.(check bool) "size never exceeds cap" true
+      (Replay_cache.size c <= cap);
+    (* A recent authenticator — inside the cap window, not yet evicted —
+       must still be rejected mid-flood. *)
+    if i mod 50 = 0 && i > 100 then
+      match Replay_cache.check_and_insert c ~now (blob (i - 100)) with
+      | Replay_cache.Replayed -> ()
+      | Replay_cache.Fresh ->
+          Alcotest.failf "recent duplicate %d accepted mid-flood" (i - 100)
+  done;
+  Alcotest.(check int) "cache ends exactly at cap" cap (Replay_cache.size c);
+  (* Every displaced entry is accounted: inserts minus live = evicted.
+     The mid-flood duplicates are hits, not inserts, so the arithmetic
+     is exact. *)
+  Alcotest.(check int) "every eviction counted" (n - cap)
+    (Replay_cache.evicted c);
+  Alcotest.(check int) "eviction hook fired once per eviction" (n - cap)
+    !evictions;
+  (* With all entries live (horizon 600 s >> 5 s of flood), eviction
+     order is soonest-to-expire = oldest surviving: the resident window
+     is exactly the newest [cap] blobs. *)
+  (match Replay_cache.check_and_insert c ~now:5.0 (blob (n - cap)) with
+  | Replay_cache.Replayed -> ()
+  | Replay_cache.Fresh -> Alcotest.fail "oldest resident entry was evicted early");
+  match Replay_cache.check_and_insert c ~now:5.0 (blob (n - cap - 2)) with
+  | Replay_cache.Fresh -> ()
+  | Replay_cache.Replayed -> Alcotest.fail "evicted entry still resident"
+
 (* Crash and rejoin: the reconcile pull restores byte-identical shards
    (digest + version-vector equality), including when the primary has
    checkpointed past the replica's cursor in the meantime. *)
@@ -524,7 +621,7 @@ let cache_stress () =
      finishes in well under a second. *)
   let n = 50_000 in
   let horizon = 50.0 in
-  let c = Replay_cache.create ~horizon in
+  let c = Replay_cache.create ~horizon () in
   let blob i = Bytes.of_string (Printf.sprintf "authenticator-%08d" i) in
   let started = Sys.time () in
   for i = 0 to n - 1 do
@@ -573,9 +670,13 @@ let () =
        [ Alcotest.test_case "apply before ack" `Quick apply_before_ack;
          Alcotest.test_case "torn shipment truncates cleanly" `Quick torn_shipment;
          Alcotest.test_case "bounded-lag and fresh routing" `Quick bounded_lag_routing;
+         Alcotest.test_case "self-tuning ship cadence under bursts" `Quick
+           self_tuning_cadence;
          Alcotest.test_case "crash/rejoin convergence" `Quick crash_rejoin_convergence;
          Alcotest.test_case "catch-up across log truncation" `Quick
            catchup_after_truncation;
          Alcotest.test_case "routing determinism" `Quick routing_determinism ]);
       ("replay_cache_stress",
-       [ Alcotest.test_case "50k inserts with expiry" `Quick cache_stress ]) ]
+       [ Alcotest.test_case "50k inserts with expiry" `Quick cache_stress;
+         Alcotest.test_case "capped cache bounded under flood" `Quick
+           replay_cache_flood ]) ]

@@ -341,6 +341,105 @@ let rpc_timeout_and_retry () =
   Alcotest.(check int) "no timeout" 0 !timeouts;
   Alcotest.(check int) "retransmitted" 2 !seen
 
+(* Backoff under overload: the retransmit schedule is exponential with
+   seeded jitter — attempt [i] waits [min max_timeout (timeout *
+   backoff^i)] scaled by a factor in [1 +- jitter]. The interceptor
+   timestamps each send before network latency, so the gaps measure the
+   client's own schedule. *)
+let rpc_backoff_jitter_bounds () =
+  let eng, net, a, b = mk_net () in
+  let sends = ref [] in
+  Net.set_interceptor net (fun pkt ->
+      if pkt.Packet.dport = 100 then sends := Engine.now eng :: !sends;
+      (* Swallow every request: only timeouts drive the schedule. *)
+      Net.Drop);
+  let timeouts = ref 0 in
+  Rpc.call net a ~timeout:1.0 ~retries:4 ~backoff:2.0 ~max_timeout:4.0
+    ~jitter:0.1 ~dst:(Host.primary_ip b) ~dport:100 (Bytes.of_string "req")
+    ~on_reply:(fun _ -> Alcotest.fail "dropped request cannot be answered")
+    ~on_timeout:(fun () -> incr timeouts);
+  Engine.run eng;
+  Alcotest.(check int) "one timeout" 1 !timeouts;
+  let times = List.rev !sends in
+  Alcotest.(check int) "retries + 1 transmissions" 5 (List.length times);
+  (* Nominal waits 1, 2, 4, 4 (the last capped by max_timeout), each
+     jittered by at most 10%. *)
+  let nominal = [ 1.0; 2.0; 4.0; 4.0 ] in
+  List.iteri
+    (fun i (prev, next) ->
+      let base = List.nth nominal i in
+      let gap = next -. prev in
+      Alcotest.(check bool)
+        (Printf.sprintf "gap %d within jitter bounds (%.3fs vs %.1fs)" i gap
+           base)
+        true
+        (gap >= base *. 0.9 -. 1e-9 && gap <= base *. 1.1 +. 1e-9))
+    (List.combine
+       (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times))
+
+(* The busy-KDC failover race: the first exchange times out, the caller
+   fails over, and only then does the overloaded server answer. The
+   late reply lands on the abandoned call's (unregistered) ephemeral
+   port and dies there — it must not resurrect the finished call — and
+   a duplicate of the healthy server's reply is suppressed by the
+   one-shot finish. *)
+let rpc_late_reply_after_failover_suppressed () =
+  let eng, net, a, b = mk_net () in
+  (* Port 100: the busy KDC — answers 5 s after the request, long after
+     the caller gave up. *)
+  Net.listen net b ~port:100 (fun pkt ->
+      Engine.schedule_after eng 5.0 (fun () ->
+          Net.send net ~sport:100 ~dst:pkt.Packet.src ~dport:pkt.Packet.sport b
+            (Bytes.of_string "late")));
+  (* Port 101: the failover target — answers immediately, twice (the
+     duplicate-prone network the paper's retransmission note worries
+     about). *)
+  Net.listen net b ~port:101 (fun pkt ->
+      for _ = 1 to 2 do
+        Net.send net ~sport:101 ~dst:pkt.Packet.src ~dport:pkt.Packet.sport b
+          (Bytes.of_string "ok")
+      done);
+  let first_replies = ref 0 and second_replies = ref 0 in
+  let timeouts = ref 0 in
+  Rpc.call net a ~timeout:1.0 ~retries:0 ~jitter:0.0 ~dst:(Host.primary_ip b)
+    ~dport:100 (Bytes.of_string "req")
+    ~on_reply:(fun _ -> incr first_replies)
+    ~on_timeout:(fun () ->
+      incr timeouts;
+      Rpc.call net a ~timeout:1.0 ~retries:0 ~jitter:0.0
+        ~dst:(Host.primary_ip b) ~dport:101 (Bytes.of_string "req")
+        ~on_reply:(fun _ -> incr second_replies)
+        ~on_timeout:(fun () -> Alcotest.fail "failover target answered"));
+  Engine.run eng;
+  (* The engine drains past t = 5: the busy KDC's answer has been sent
+     and dropped by the time these run. *)
+  Alcotest.(check int) "abandoned call saw the timeout" 1 !timeouts;
+  Alcotest.(check int) "late reply did not resurrect it" 0 !first_replies;
+  Alcotest.(check int) "duplicate reply suppressed after failover" 1
+    !second_replies
+
+(* When the retry envelope is spent the call stops transmitting: exactly
+   [retries + 1] copies leave the host, then one timeout, and the engine
+   goes quiet — no hidden retransmission keeps hammering the server. *)
+let rpc_retries_stop_when_spent () =
+  let eng, net, a, b = mk_net () in
+  let sends = ref 0 in
+  Net.set_interceptor net (fun pkt ->
+      if pkt.Packet.dport = 100 then incr sends;
+      Net.Drop);
+  let timeouts = ref 0 in
+  Rpc.call net a ~timeout:1.0 ~retries:2 ~backoff:2.0 ~jitter:0.0
+    ~dst:(Host.primary_ip b) ~dport:100 (Bytes.of_string "req")
+    ~on_reply:(fun _ -> Alcotest.fail "dropped request cannot be answered")
+    ~on_timeout:(fun () -> incr timeouts);
+  Engine.run eng;
+  Alcotest.(check int) "exactly retries + 1 transmissions" 3 !sends;
+  Alcotest.(check int) "exactly one timeout" 1 !timeouts;
+  (* 1 + 2 + 4 seconds of (unjittered) waiting, then nothing. *)
+  Alcotest.(check (float 1e-9)) "engine quiet after the envelope" 7.0
+    (Engine.now eng)
+
 let multihomed_addresses () =
   let eng = Engine.create () in
   let net = Net.create eng in
@@ -391,6 +490,12 @@ let suite_net =
     Alcotest.test_case "tap capture" `Quick net_tap_capture;
     Alcotest.test_case "rpc roundtrip" `Quick rpc_roundtrip;
     Alcotest.test_case "rpc retransmission" `Quick rpc_timeout_and_retry;
+    Alcotest.test_case "rpc backoff jitter within seeded bounds" `Quick
+      rpc_backoff_jitter_bounds;
+    Alcotest.test_case "rpc late reply after failover suppressed" `Quick
+      rpc_late_reply_after_failover_suppressed;
+    Alcotest.test_case "rpc retries stop when spent" `Quick
+      rpc_retries_stop_when_spent;
     Alcotest.test_case "multi-homed hosts" `Quick multihomed_addresses ]
 
 (* ------------------------------------------------------------------ *)

@@ -378,7 +378,7 @@ let kdc_counter_regression () =
     (T.Opsview.suspicious o ~src:"10.0.0.10")
 
 let replay_cache_stats () =
-  let c = Replay_cache.create ~horizon:600.0 in
+  let c = Replay_cache.create ~horizon:600.0 () in
   let blob = Bytes.of_string "auth-1" in
   Alcotest.(check bool) "fresh" true
     (Replay_cache.check_and_insert c ~now:0.0 blob = Replay_cache.Fresh);

@@ -219,6 +219,71 @@ let fallback_deterministic () =
     (String.equal trace1 trace2)
 
 (* ------------------------------------------------------------------ *)
+(* Deadline across the fallback                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A server whose datagram endpoint answers RESPONSE-TOO-BIG instantly
+   and whose stream endpoint accepts the connection but never replies:
+   every call is forced into the fallback, where only the deadline can
+   end it. *)
+let refusal = Bytes.of_string "TOO-BIG"
+
+let stalling_server net host ~port =
+  Sim.Net.listen net host ~port (fun pkt ->
+      Sim.Net.send net host ~sport:port ~dst:pkt.Sim.Packet.src
+        ~dport:pkt.Sim.Packet.sport refusal);
+  Sim.Tcpish.listen net host ~port:(Sim.Transport.tcp_port port)
+    ~on_accept:(fun conn -> Sim.Tcpish.on_message conn (fun _ -> ()))
+    ()
+
+let classify b =
+  if Bytes.equal b refusal then Sim.Transport.Response_too_big
+  else Sim.Transport.Accept
+
+(* The caller's deadline expires while the stream fallback is waiting:
+   the fallback's timer must be clamped to what the datagram leg left of
+   the budget, so on_timeout fires at the deadline — not a full
+   tcp_timeout after the fallback began (the pre-clamp regression, which
+   overshot to refusal-RTT + 2.0 s). *)
+let deadline_expires_mid_fallback () =
+  let tel, eng, net, a, b = mk_net () in
+  stalling_server net b ~port:750;
+  let fired = ref None in
+  Sim.Transport.call net a ~timeout:1.0 ~retries:0 ~tcp_timeout:2.0
+    ~deadline:0.5 ~classify ~dst:(Sim.Host.primary_ip b) ~dport:750
+    (Bytes.of_string "req")
+    ~on_reply:(fun _ -> Alcotest.fail "stalled server cannot reply")
+    ~on_timeout:(fun () -> fired := Some (Sim.Engine.now eng));
+  Sim.Engine.run eng;
+  (match !fired with
+  | None -> Alcotest.fail "call never timed out"
+  | Some at ->
+      Alcotest.(check bool)
+        (Printf.sprintf "on_timeout at the deadline, not tcp_timeout (%.3fs)" at)
+        true
+        (at >= 0.5 && at < 0.6));
+  Alcotest.(check bool) "the fallback was entered" true
+    (counter tel "transport.fallback.response_too_big" > 0)
+
+(* A fallback entered with the deadline already spent must fail
+   immediately — counted, without opening a connection. *)
+let deadline_spent_before_fallback () =
+  let tel, eng, net, a, b = mk_net () in
+  stalling_server net b ~port:750;
+  let fired = ref false in
+  Sim.Transport.call net a ~timeout:1.0 ~retries:0 ~tcp_timeout:2.0
+    ~deadline:0.0 ~classify ~dst:(Sim.Host.primary_ip b) ~dport:750
+    (Bytes.of_string "req")
+    ~on_reply:(fun _ -> Alcotest.fail "stalled server cannot reply")
+    ~on_timeout:(fun () -> fired := true);
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "on_timeout fired" true !fired;
+  Alcotest.(check bool) "exhaustion counted" true
+    (counter tel "transport.deadline_exhausted" > 0);
+  Alcotest.(check int) "no stream call was made" 0
+    (counter tel "transport.tcp.calls")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "transport"
@@ -232,5 +297,9 @@ let () =
       ( "fallback",
         [ Alcotest.test_case "response-too-big forces the stream" `Quick
             response_too_big_fallback;
+          Alcotest.test_case "deadline expires mid-fallback" `Quick
+            deadline_expires_mid_fallback;
+          Alcotest.test_case "deadline spent before fallback" `Quick
+            deadline_spent_before_fallback;
           Alcotest.test_case "byte-identical at one seed" `Quick
             fallback_deterministic ] ) ]
